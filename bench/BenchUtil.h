@@ -1,0 +1,82 @@
+//===- bench/BenchUtil.h - Shared table-bench machinery ---------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the table benchmarks: the 6-benchmark x 5-threshold
+/// sweep behind Tables I-IV, the delay sweep behind Table V, and the
+/// paper-style table layout (benchmarks as columns, a trailing average).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BENCH_BENCHUTIL_H
+#define JTC_BENCH_BENCHUTIL_H
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace bench {
+
+/// One full (workload x threshold) sweep at a fixed delay. Rows follow
+/// standardThresholds(); columns follow allWorkloads().
+struct ThresholdSweep {
+  std::vector<double> Thresholds;
+  std::vector<std::string> Workloads;
+  /// Cell[t][w] = stats of workload w at threshold t.
+  std::vector<std::vector<VmStats>> Cell;
+};
+
+inline ThresholdSweep runThresholdSweep(uint32_t Delay = 64) {
+  ThresholdSweep S;
+  S.Thresholds = standardThresholds();
+  for (const WorkloadInfo &W : allWorkloads())
+    S.Workloads.push_back(W.Name);
+  for (double T : S.Thresholds) {
+    std::vector<VmStats> Row;
+    for (const WorkloadInfo &W : allWorkloads()) {
+      VmConfig C;
+      C.CompletionThreshold = T;
+      C.StartStateDelay = Delay;
+      std::cerr << "  running " << W.Name << " @ threshold " << T << "...\n";
+      Row.push_back(runWorkload(W, C));
+    }
+    S.Cell.push_back(std::move(Row));
+  }
+  return S;
+}
+
+/// Prints a paper-style table: one row per threshold, one column per
+/// benchmark, plus the benchmark average, using \p Extract to pull the
+/// reported value and \p Format to render it.
+inline void printThresholdTable(
+    const ThresholdSweep &S, const std::string &RowHeader,
+    const std::function<double(const VmStats &)> &Extract,
+    const std::function<std::string(double)> &Format) {
+  std::vector<std::string> Header = {RowHeader};
+  for (const std::string &W : S.Workloads)
+    Header.push_back(W);
+  Header.push_back("average");
+  TablePrinter T(Header);
+  for (size_t R = 0; R < S.Thresholds.size(); ++R) {
+    std::vector<std::string> Row = {
+        TablePrinter::fmtPercent(S.Thresholds[R], 0)};
+    double Sum = 0;
+    for (const VmStats &Cell : S.Cell[R]) {
+      double V = Extract(Cell);
+      Sum += V;
+      Row.push_back(Format(V));
+    }
+    Row.push_back(Format(Sum / static_cast<double>(S.Cell[R].size())));
+    T.addRow(std::move(Row));
+  }
+  T.print(std::cout);
+}
+
+} // namespace bench
+} // namespace jtc
+
+#endif // JTC_BENCH_BENCHUTIL_H

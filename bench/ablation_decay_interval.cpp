@@ -1,0 +1,48 @@
+//===- bench/ablation_decay_interval.cpp - Decay interval sweep -----------===//
+///
+/// Ablation for the design constant the paper fixes at 256 (section
+/// 4.1.1): how the decay interval affects signal rate, trace length and
+/// coverage on a regular (compress) and an irregular (javac) benchmark.
+/// Expected shape: short intervals re-evaluate constantly (more signals,
+/// noisier probabilities, shorter traces); very long intervals adapt
+/// slowly; 256 sits on the flat part of the curve.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace jtc;
+
+int main() {
+  std::cout << "Ablation: decay interval (paper fixes 256)\n\n";
+  const uint32_t Intervals[] = {32, 64, 128, 256, 512, 1024};
+  for (const char *Name : {"compress", "javac"}) {
+    const WorkloadInfo &W = *findWorkload(Name);
+    std::cout << Name << ":\n";
+    TablePrinter T({"decay interval", "trace length", "coverage",
+                    "completion", "signals/1M dispatches", "live traces"});
+    for (uint32_t Interval : Intervals) {
+      std::cerr << "  running " << Name << " @ interval " << Interval
+                << "...\n";
+      VmConfig C;
+      C.CompletionThreshold = 0.97;
+      C.StartStateDelay = 64;
+      C.DecayInterval = Interval;
+      VmStats S = runWorkload(W, C, W.DefaultScale / 2);
+      T.addRow({std::to_string(Interval),
+                TablePrinter::fmt(S.avgCompletedTraceLength(), 1),
+                TablePrinter::fmtPercent(S.completedCoverage(), 1),
+                TablePrinter::fmtPercent(S.completionRate(), 2),
+                TablePrinter::fmt(static_cast<double>(S.Signals) * 1e6 /
+                                      static_cast<double>(S.BlocksExecuted),
+                                  1),
+                std::to_string(S.LiveTraces)});
+    }
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

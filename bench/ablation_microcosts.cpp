@@ -1,0 +1,114 @@
+//===- bench/ablation_microcosts.cpp - Component micro-costs --------------===//
+///
+/// Google-benchmark micro-costs for the mechanisms whose relative weights
+/// the paper argues about in section 5.4: the per-dispatch profiler hook
+/// (inline-cache hit vs. list search), the periodic decay pass, trace
+/// construction, and the trace-cache entry lookup. Expected shape
+/// (paper): hook << decay pass << trace construction, with the hook cost
+/// dominating overall because it runs every dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/BranchCorrelationGraph.h"
+#include "trace/TraceCache.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jtc;
+
+namespace {
+
+ProfilerConfig profConfig(uint32_t DecayInterval = 256) {
+  ProfilerConfig C;
+  C.StartStateDelay = 1;
+  C.DecayInterval = DecayInterval;
+  C.CompletionThreshold = 0.97;
+  return C;
+}
+
+/// Per-dispatch hook cost when the inline cache hits (the steady state
+/// the paper's "two comparisons, two pointer evaluations, one assignment"
+/// refers to).
+void BM_HookInlineCacheHit(benchmark::State &State) {
+  BranchCorrelationGraph G(profConfig(/*DecayInterval=*/1u << 30));
+  G.onBlockDispatch(1);
+  G.onBlockDispatch(2);
+  BlockId Next = 1;
+  for (auto _ : State) {
+    G.onBlockDispatch(Next);
+    Next = Next == 1 ? 2 : 1;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_HookInlineCacheHit);
+
+/// Hook cost when the prediction misses and the correlation list must be
+/// searched (polymorphic sites). The fan-out is the parameter.
+void BM_HookListSearch(benchmark::State &State) {
+  auto Fanout = static_cast<BlockId>(State.range(0));
+  BranchCorrelationGraph G(profConfig(/*DecayInterval=*/1u << 30));
+  G.onBlockDispatch(1);
+  BlockId Succ = 0;
+  for (auto _ : State) {
+    G.onBlockDispatch(2);
+    G.onBlockDispatch(3 + (Succ++ % Fanout));
+    G.onBlockDispatch(1);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * 3);
+}
+BENCHMARK(BM_HookListSearch)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+/// Cost of one decay pass over a node (the periodic check the paper
+/// estimates at ~25 dispatch costs).
+void BM_DecayPass(benchmark::State &State) {
+  BranchCorrelationGraph G(profConfig(/*DecayInterval=*/2));
+  G.onBlockDispatch(1);
+  G.onBlockDispatch(2);
+  BlockId Next = 1;
+  // Every second hook triggers a decay: the measured loop alternates
+  // hook-only and hook+decay, so item throughput shows the blended cost.
+  for (auto _ : State) {
+    G.onBlockDispatch(Next);
+    Next = Next == 1 ? 2 : 1;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_DecayPass);
+
+/// Full trace construction from a signal over an 8-block loop.
+void BM_TraceConstruction(benchmark::State &State) {
+  BranchCorrelationGraph G(profConfig());
+  for (unsigned I = 0; I < 2000; ++I)
+    for (BlockId B = 1; B <= 8; ++B)
+      G.onBlockDispatch(B);
+  TraceConfig TC;
+  TraceBuilder Builder(G, TC);
+  NodeId Changed = G.findNode(1, 2);
+  for (auto _ : State) {
+    TraceBuilder::BuildResult R = Builder.build(Changed);
+    benchmark::DoNotOptimize(R.Candidates.data());
+  }
+}
+BENCHMARK(BM_TraceConstruction);
+
+/// The per-dispatch trace-cache entry lookup (hit and miss).
+void BM_TraceEntryLookup(benchmark::State &State) {
+  BranchCorrelationGraph G(profConfig());
+  TraceCache Cache(G, TraceConfig());
+  G.setSink(&Cache);
+  for (unsigned I = 0; I < 2000; ++I)
+    for (BlockId B = 1; B <= 8; ++B)
+      G.onBlockDispatch(B);
+  bool Hit = true;
+  for (auto _ : State) {
+    const Trace *T = Hit ? Cache.findTrace(8, 1) : Cache.findTrace(77, 78);
+    benchmark::DoNotOptimize(T);
+    Hit = !Hit;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_TraceEntryLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

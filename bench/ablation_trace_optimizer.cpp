@@ -1,0 +1,99 @@
+//===- bench/ablation_trace_optimizer.cpp - Future-work measurement -------===//
+///
+/// The paper's closing future-work question: "what further improvement
+/// can be achieved by applying optimizations to the traces". This bench
+/// runs each workload at the recommended configuration, optimizes every
+/// live trace, and weights the per-trace instruction reduction by how
+/// often that trace completed -- i.e. the fraction of the trace-covered
+/// instruction stream that trace-level optimization eliminates.
+///
+/// Expected shape: regular numeric benchmarks (scimark, mpegaudio) fold
+/// more (constant-heavy kernels); branchy ones (javac, soot) keep more
+/// guards and eliminate less.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "opt/TraceOptimizer.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace jtc;
+
+namespace {
+
+/// Runs one workload, optimizes every live trace in the given mode, and
+/// adds a row to \p T. The baseline "before" is always the *uninlined,
+/// unoptimized* linearization, so the inlined mode's reduction includes
+/// what inlining itself exposes (call overhead becomes foldable data
+/// flow).
+void reportMode(TablePrinter &T, const WorkloadInfo &W, bool Inline) {
+  std::cerr << "  running " << W.Name << (Inline ? " (inlined)" : "")
+            << "...\n";
+  Module M = W.Build(W.DefaultScale / 2);
+  PreparedModule PM(M);
+  VmConfig C;
+  C.CompletionThreshold = 0.97;
+  C.StartStateDelay = 64;
+  TraceVM VM(PM, C);
+  VM.run();
+
+  OptStats Total;
+  uint64_t WeightedBefore = 0, WeightedAfter = 0;
+  size_t Live = 0;
+  for (const Trace &Tr : VM.traceCache().traces()) {
+    if (!Tr.Alive)
+      continue;
+    ++Live;
+    // Baseline: uninlined, unoptimized.
+    uint64_t Before = 0;
+    for (const LinearSegment &Seg : linearizeTrace(PM, Tr, false))
+      Before += Seg.numInstructions();
+    OptStats St;
+    uint64_t After = 0;
+    for (const LinearSegment &Seg :
+         optimizeTrace(PM, Tr, St, /*InlineStaticCalls=*/Inline))
+      After += Seg.numInstructions();
+    WeightedBefore += Before * Tr.Completed;
+    WeightedAfter += After * Tr.Completed;
+    Total.InstructionsBefore += Before;
+    Total.InstructionsAfter += After;
+    Total.GuardsAfter += St.GuardsAfter;
+    Total.GuardsEliminated += St.GuardsEliminated;
+    Total.ConstantsFolded += St.ConstantsFolded;
+    Total.DeadStores += St.DeadStores;
+  }
+  double WeightedReduction =
+      WeightedBefore == 0 ? 0.0
+                          : 1.0 - static_cast<double>(WeightedAfter) /
+                                      static_cast<double>(WeightedBefore);
+  T.addRow({W.Name, Inline ? "inline" : "plain", std::to_string(Live),
+            std::to_string(Total.InstructionsBefore),
+            std::to_string(Total.InstructionsAfter),
+            TablePrinter::fmtPercent(WeightedReduction, 1),
+            std::to_string(Total.GuardsAfter),
+            std::to_string(Total.GuardsEliminated),
+            std::to_string(Total.ConstantsFolded),
+            std::to_string(Total.DeadStores)});
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Ablation: trace-level optimization (the paper's future "
+               "work)\n\n";
+  TablePrinter T({"benchmark", "mode", "live traces", "instrs before",
+                  "instrs after", "weighted reduction", "guards kept",
+                  "guards eliminated", "const folds", "dead stores"});
+  for (const WorkloadInfo &W : allWorkloads()) {
+    reportMode(T, W, /*Inline=*/false);
+    reportMode(T, W, /*Inline=*/true);
+  }
+  T.print(std::cout);
+  std::cout << "\n(weighted reduction = instruction savings relative to "
+               "the uninlined, unoptimized trace,\n weighted by how often "
+               "each trace completed; \"inline\" flattens static calls "
+               "into the segment first)\n";
+  return 0;
+}

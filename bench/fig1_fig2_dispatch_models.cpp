@@ -1,0 +1,66 @@
+//===- bench/fig1_fig2_dispatch_models.cpp - Paper Figures 1 and 2 --------===//
+///
+/// Quantifies the dispatch-model story of the paper's Figures 1 and 2
+/// (and the trace extension of section 3.1): the same program run under
+///
+///   Fig. 1 - ordinary interpreter:          one dispatch per instruction
+///   Fig. 2 - direct-threaded inlining:      one dispatch per basic block
+///   Sec 3.1 - trace cache dispatch:         one dispatch per block *or*
+///                                           whole trace
+///
+/// Expected shape: block dispatch cuts dispatches by the average block
+/// size (~5-8x); trace dispatch cuts them several-fold further on the
+/// regular benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "interp/InstructionInterpreter.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace jtc;
+
+int main() {
+  std::cout << "Figures 1 & 2: dispatches per model (millions)\n\n";
+  TablePrinter T({"benchmark", "instructions (M)", "per-instr (M)",
+                  "per-block (M)", "per-trace (M)", "block/instr",
+                  "trace/block"});
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::cerr << "  running " << W.Name << "...\n";
+    // Smaller scale: the per-instruction model is the slow one.
+    uint32_t Scale = std::max(1u, W.DefaultScale / 4);
+    Module M = W.Build(Scale);
+
+    Machine M1(M);
+    RunResult R1 = runInstructions(M1);
+
+    PreparedModule PM(M);
+    Machine M2(M);
+    BlockStepper Stepper(PM, M2);
+    RunResult R2 = runBlocks(Stepper);
+
+    VmConfig C;
+    C.CompletionThreshold = 0.97;
+    C.StartStateDelay = 64;
+    TraceVM VM(PM, C);
+    RunResult R3 = VM.run();
+
+    auto InM = [](uint64_t V) {
+      return TablePrinter::fmt(static_cast<double>(V) / 1e6, 2);
+    };
+    T.addRow({W.Name, InM(R1.Instructions), InM(R1.Dispatches),
+              InM(R2.Dispatches), InM(R3.Dispatches),
+              TablePrinter::fmt(static_cast<double>(R1.Dispatches) /
+                                    static_cast<double>(R2.Dispatches),
+                                1) +
+                  "x",
+              TablePrinter::fmt(static_cast<double>(R2.Dispatches) /
+                                    static_cast<double>(R3.Dispatches),
+                                1) +
+                  "x"});
+  }
+  T.print(std::cout);
+  return 0;
+}

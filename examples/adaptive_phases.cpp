@@ -1,0 +1,137 @@
+//===- examples/adaptive_phases.cpp - Decay-driven adaptation -------------===//
+///
+/// Demonstrates the role of exponential decay (paper section 4.1.1): a
+/// program whose dominant branch direction flips between phases. The
+/// decayed correlation counters favour recent behaviour, so after each
+/// phase change the profiler re-signals and the trace cache rebuilds its
+/// traces for the new dominant path -- watch TracesReplaced/Invalidated
+/// climb with each phase while completion stays high.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Assembler.h"
+#include "bytecode/Verifier.h"
+#include "vm/TraceVM.h"
+
+#include <iostream>
+
+using namespace jtc;
+
+namespace {
+
+/// Builds a program with \p Phases phases of \p PhaseLen iterations. In
+/// even phases a branch goes almost always left; in odd phases almost
+/// always right. Each side does distinct work, so the dominant trace
+/// differs per phase.
+Module phasedProgram(int32_t Phases, int32_t PhaseLen) {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 4, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label Outer = B.newLabel(), OuterEnd = B.newLabel();
+  Label Inner = B.newLabel(), InnerEnd = B.newLabel();
+  Label Right = B.newLabel(), Join = B.newLabel(), TakeLeft = B.newLabel();
+
+  B.iconst(0);
+  B.istore(0); // phase
+  B.iconst(0);
+  B.istore(2); // acc
+
+  B.bind(Outer);
+  B.iload(0);
+  B.iconst(Phases);
+  B.branch(Opcode::IfIcmpGe, OuterEnd);
+  B.iconst(0);
+  B.istore(1); // i
+
+  B.bind(Inner);
+  B.iload(1);
+  B.iconst(PhaseLen);
+  B.branch(Opcode::IfIcmpGe, InnerEnd);
+
+  // Direction = phase parity, with a 1/256 exception so neither side is
+  // ever perfectly unique.
+  B.iload(1);
+  B.iconst(255);
+  B.emit(Opcode::Iand);
+  B.branch(Opcode::IfEq, Right); // the rare exception path
+  B.iload(0);
+  B.iconst(1);
+  B.emit(Opcode::Iand);
+  B.branch(Opcode::IfEq, TakeLeft);
+  B.branch(Opcode::Goto, Right);
+
+  B.bind(TakeLeft); // even phases: multiply-accumulate
+  B.iload(2);
+  B.iconst(3);
+  B.emit(Opcode::Imul);
+  B.iload(1);
+  B.emit(Opcode::Iadd);
+  B.iconst(0xffffff);
+  B.emit(Opcode::Iand);
+  B.istore(2);
+  B.branch(Opcode::Goto, Join);
+
+  B.bind(Right); // odd phases: xor-shift
+  B.iload(2);
+  B.iload(1);
+  B.emit(Opcode::Ixor);
+  B.iconst(1);
+  B.emit(Opcode::Ishr);
+  B.istore(2);
+
+  B.bind(Join);
+  B.iinc(1, 1);
+  B.branch(Opcode::Goto, Inner);
+
+  B.bind(InnerEnd);
+  B.iload(2);
+  B.emit(Opcode::Iprint);
+  B.iinc(0, 1);
+  B.branch(Opcode::Goto, Outer);
+
+  B.bind(OuterEnd);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+} // namespace
+
+int main() {
+  Module M = phasedProgram(/*Phases=*/8, /*PhaseLen=*/60000);
+  if (!isValid(M)) {
+    std::cerr << "internal error: program does not verify\n";
+    return 1;
+  }
+  PreparedModule PM(M);
+
+  std::cout << "A branch flips direction every 60000 iterations across 8 "
+               "phases.\n"
+            << "Decay lets the profiler follow each flip and rebuild the "
+               "loop trace.\n\n";
+
+  VmConfig Config;
+  Config.CompletionThreshold = 0.97;
+  Config.StartStateDelay = 64;
+  TraceVM VM(PM, Config);
+  VM.run();
+
+  const VmStats &S = VM.stats();
+  std::cout << "signals (state changes):      " << S.Signals << "\n"
+            << "traces constructed:           " << S.TracesConstructed << "\n"
+            << "traces replaced/invalidated:  "
+            << S.TracesReplaced << " replaced, live " << S.LiveTraces << "\n"
+            << "trace completion rate:        " << S.completionRate() * 100
+            << "%\n"
+            << "coverage (completed traces):  "
+            << S.completedCoverage() * 100 << "%\n\n";
+
+  std::cout << "Expected: roughly one burst of signals per phase change "
+               "(plus warm-up),\nhigh completion throughout -- the cache "
+               "tracks the program's phases instead\nof being flushed "
+               "(compare Dynamo, which flushes wholesale; paper section "
+               "3.6).\n\n== final traces ==\n";
+  VM.traceCache().dump(std::cout);
+  return 0;
+}

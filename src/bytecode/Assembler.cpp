@@ -1,0 +1,162 @@
+//===- bytecode/Assembler.cpp ---------------------------------------------===//
+
+#include "bytecode/Assembler.h"
+
+#include <limits>
+
+using namespace jtc;
+
+static constexpr uint32_t UnboundPc = 0xffffffffu;
+
+//===----------------------------------------------------------------------===//
+// MethodBuilder
+//===----------------------------------------------------------------------===//
+
+MethodBuilder::MethodBuilder(Assembler &A, uint32_t Id)
+    : Asm(&A), MethodId(Id) {}
+
+Label MethodBuilder::newLabel() {
+  Label L;
+  L.Id = static_cast<uint32_t>(LabelPcs.size());
+  LabelPcs.push_back(UnboundPc);
+  return L;
+}
+
+void MethodBuilder::bind(Label L) {
+  assert(L.valid() && L.Id < LabelPcs.size() && "unknown label");
+  assert(LabelPcs[L.Id] == UnboundPc && "label bound twice");
+  LabelPcs[L.Id] = nextPc();
+}
+
+uint32_t MethodBuilder::nextPc() const {
+  return static_cast<uint32_t>(Asm->M.Methods[MethodId].Code.size());
+}
+
+void MethodBuilder::emit(Opcode Op, int32_t A, int32_t B) {
+  assert(!Finished && "emit after finish");
+  Asm->M.Methods[MethodId].Code.emplace_back(Op, A, B);
+}
+
+void MethodBuilder::branch(Opcode Op, Label L) {
+  assert((opKind(Op) == OpKind::Branch || opKind(Op) == OpKind::Jump) &&
+         "branch() requires a branch or jump opcode");
+  assert(L.valid() && "branch to invalid label");
+  Fixups.push_back({nextPc(), L.Id, /*SwitchIdx=*/-1, /*SwitchSlot=*/-1});
+  emit(Op, /*A=*/0);
+}
+
+void MethodBuilder::tableswitch(int32_t Low, const std::vector<Label> &Targets,
+                                Label Default) {
+  Method &M = Asm->M.Methods[MethodId];
+  auto TableIdx = static_cast<int32_t>(M.SwitchTables.size());
+  SwitchTable Table;
+  Table.Low = Low;
+  Table.Targets.resize(Targets.size(), 0);
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    assert(Targets[I].valid() && "switch target label invalid");
+    Fixups.push_back({nextPc(), Targets[I].Id, TableIdx,
+                      static_cast<int32_t>(I)});
+  }
+  assert(Default.valid() && "switch default label invalid");
+  Fixups.push_back({nextPc(), Default.Id, TableIdx, /*SwitchSlot=*/-1});
+  M.SwitchTables.push_back(std::move(Table));
+  emit(Opcode::Tableswitch, TableIdx);
+}
+
+void MethodBuilder::iconst(int64_t V) {
+  // The instruction encoding carries 32-bit immediates; the workloads only
+  // need that range.
+  assert(V >= std::numeric_limits<int32_t>::min() &&
+         V <= std::numeric_limits<int32_t>::max() &&
+         "iconst immediate out of 32-bit range");
+  emit(Opcode::Iconst, static_cast<int32_t>(V));
+}
+
+void MethodBuilder::finish() {
+  assert(!Finished && "finish called twice");
+  Method &M = Asm->M.Methods[MethodId];
+  for (const Fixup &F : Fixups) {
+    uint32_t Target = LabelPcs[F.LabelId];
+    assert(Target != UnboundPc && "branch to unbound label");
+    if (F.SwitchIdx < 0) {
+      M.Code[F.Pc].A = static_cast<int32_t>(Target);
+      continue;
+    }
+    SwitchTable &Table = M.SwitchTables[F.SwitchIdx];
+    if (F.SwitchSlot < 0)
+      Table.DefaultTarget = Target;
+    else
+      Table.Targets[F.SwitchSlot] = Target;
+  }
+  Finished = true;
+  Asm->BuilderLive = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Assembler
+//===----------------------------------------------------------------------===//
+
+uint32_t Assembler::declareSlot(const std::string &Name, uint32_t ArgCount,
+                                bool ReturnsValue) {
+  assert(ArgCount >= 1 && "virtual slots include the receiver argument");
+  auto Id = static_cast<uint32_t>(M.Slots.size());
+  M.Slots.push_back({Name, ArgCount, ReturnsValue});
+  return Id;
+}
+
+uint32_t Assembler::declareClass(const std::string &Name, uint32_t NumFields) {
+  auto Id = static_cast<uint32_t>(M.Classes.size());
+  Class C;
+  C.Name = Name;
+  C.NumFields = NumFields;
+  C.Vtable.assign(M.Slots.size(), InvalidMethod);
+  M.Classes.push_back(std::move(C));
+  return Id;
+}
+
+void Assembler::setVtableEntry(uint32_t ClassId, uint32_t Slot,
+                               uint32_t MethodId) {
+  assert(ClassId < M.Classes.size() && "unknown class");
+  assert(Slot < M.Slots.size() && "unknown slot");
+  assert(MethodId < M.Methods.size() && "unknown method");
+  Class &C = M.Classes[ClassId];
+  if (C.Vtable.size() < M.Slots.size())
+    C.Vtable.resize(M.Slots.size(), InvalidMethod);
+  C.Vtable[Slot] = MethodId;
+}
+
+uint32_t Assembler::declareMethod(const std::string &Name, uint32_t NumArgs,
+                                  uint32_t NumLocals, bool ReturnsValue) {
+  assert(NumLocals >= NumArgs && "locals must cover the arguments");
+  auto Id = static_cast<uint32_t>(M.Methods.size());
+  Method Mth;
+  Mth.Name = Name;
+  Mth.NumArgs = NumArgs;
+  Mth.NumLocals = NumLocals;
+  Mth.ReturnsValue = ReturnsValue;
+  M.Methods.push_back(std::move(Mth));
+  return Id;
+}
+
+MethodBuilder Assembler::beginMethod(uint32_t MethodId) {
+  assert(MethodId < M.Methods.size() && "unknown method");
+  assert(!BuilderLive && "previous MethodBuilder not finished");
+  assert(M.Methods[MethodId].Code.empty() && "method defined twice");
+  BuilderLive = true;
+  return MethodBuilder(*this, MethodId);
+}
+
+void Assembler::setEntry(uint32_t MethodId) {
+  assert(MethodId < M.Methods.size() && "unknown method");
+  M.EntryMethod = MethodId;
+}
+
+Module Assembler::build() {
+  assert(!BuilderLive && "a MethodBuilder is still live");
+  for (Class &C : M.Classes)
+    if (C.Vtable.size() < M.Slots.size())
+      C.Vtable.resize(M.Slots.size(), InvalidMethod);
+  Module Out = std::move(M);
+  M = Module();
+  return Out;
+}

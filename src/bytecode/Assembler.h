@@ -1,0 +1,146 @@
+//===- bytecode/Assembler.h - Program construction API ----------*- C++ -*-===//
+///
+/// \file
+/// A builder API for constructing Modules in memory. The workload
+/// generators, examples and tests all assemble programs through this
+/// interface. Methods are declared first (so forward calls work), then
+/// defined through a MethodBuilder that supports labels with back-patching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BYTECODE_ASSEMBLER_H
+#define JTC_BYTECODE_ASSEMBLER_H
+
+#include "bytecode/Program.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jtc {
+
+class Assembler;
+
+/// An unresolved branch target. Create with MethodBuilder::newLabel(),
+/// place with bind(), reference from branch emitters. All labels must be
+/// bound before finish().
+struct Label {
+  uint32_t Id = 0xffffffffu;
+  bool valid() const { return Id != 0xffffffffu; }
+};
+
+/// Streams instructions into one method, resolving labels at finish().
+///
+/// Builders are obtained from Assembler::beginMethod() and must be
+/// finished before the next beginMethod() or build() call.
+class MethodBuilder {
+public:
+  MethodBuilder(MethodBuilder &&) = default;
+  MethodBuilder(const MethodBuilder &) = delete;
+  MethodBuilder &operator=(const MethodBuilder &) = delete;
+
+  /// Creates a fresh, unbound label.
+  Label newLabel();
+
+  /// Binds \p L to the next emitted instruction. A label may be bound only
+  /// once.
+  void bind(Label L);
+
+  /// Emits a raw instruction. Prefer the typed helpers below.
+  void emit(Opcode Op, int32_t A = 0, int32_t B = 0);
+
+  /// Emits a branch/jump whose target is \p L (back-patched at finish()).
+  void branch(Opcode Op, Label L);
+
+  /// Emits a tableswitch over \p Targets starting at selector \p Low with
+  /// default \p Default.
+  void tableswitch(int32_t Low, const std::vector<Label> &Targets,
+                   Label Default);
+
+  // Typed convenience emitters.
+  void iconst(int64_t V);
+  void iload(uint32_t Local) { emit(Opcode::Iload, static_cast<int32_t>(Local)); }
+  void istore(uint32_t Local) { emit(Opcode::Istore, static_cast<int32_t>(Local)); }
+  void iinc(uint32_t Local, int32_t Delta) {
+    emit(Opcode::Iinc, static_cast<int32_t>(Local), Delta);
+  }
+  void invokestatic(uint32_t MethodId) {
+    emit(Opcode::InvokeStatic, static_cast<int32_t>(MethodId));
+  }
+  void invokevirtual(uint32_t Slot) {
+    emit(Opcode::InvokeVirtual, static_cast<int32_t>(Slot));
+  }
+  void getfield(uint32_t Field) { emit(Opcode::GetField, static_cast<int32_t>(Field)); }
+  void putfield(uint32_t Field) { emit(Opcode::PutField, static_cast<int32_t>(Field)); }
+  void newobj(uint32_t ClassId) { emit(Opcode::New, static_cast<int32_t>(ClassId)); }
+  void ret() { emit(Opcode::Return); }
+  void iret() { emit(Opcode::Ireturn); }
+  void halt() { emit(Opcode::Halt); }
+
+  /// Instruction index the next emit() will occupy.
+  uint32_t nextPc() const;
+
+  /// Resolves all label references and commits the code to the module.
+  /// Asserts if any referenced label is unbound.
+  void finish();
+
+private:
+  friend class Assembler;
+  MethodBuilder(Assembler &Asm, uint32_t MethodId);
+
+  Assembler *Asm;
+  uint32_t MethodId;
+  bool Finished = false;
+  std::vector<uint32_t> LabelPcs;          // per label: bound pc or ~0
+  struct Fixup {
+    uint32_t Pc;       // instruction to patch
+    uint32_t LabelId;  // label providing the target
+    int32_t SwitchIdx; // -1: patch A; >=0: patch switch table entry
+    int32_t SwitchSlot;// -1: default target, else Targets[SwitchSlot]
+  };
+  std::vector<Fixup> Fixups;
+};
+
+/// Accumulates slots, classes and methods into a Module.
+class Assembler {
+public:
+  Assembler() = default;
+
+  /// Declares a virtual-call slot shared by all classes. \p ArgCount
+  /// includes the receiver.
+  uint32_t declareSlot(const std::string &Name, uint32_t ArgCount,
+                       bool ReturnsValue);
+
+  /// Declares a class with \p NumFields instance fields; its vtable is
+  /// sized to the current slot count (grown automatically on build()).
+  uint32_t declareClass(const std::string &Name, uint32_t NumFields);
+
+  /// Points \p ClassId's vtable entry for \p Slot at \p MethodId.
+  void setVtableEntry(uint32_t ClassId, uint32_t Slot, uint32_t MethodId);
+
+  /// Reserves a method id so other methods can call it before it is
+  /// defined. NumLocals must be >= NumArgs.
+  uint32_t declareMethod(const std::string &Name, uint32_t NumArgs,
+                         uint32_t NumLocals, bool ReturnsValue);
+
+  /// Starts defining a previously declared method. Only one builder may be
+  /// live at a time.
+  MethodBuilder beginMethod(uint32_t MethodId);
+
+  /// Selects the method executed by the VM first.
+  void setEntry(uint32_t MethodId);
+
+  /// Finalizes and returns the module. Pads every vtable to the final slot
+  /// count. The assembler is left empty.
+  Module build();
+
+private:
+  friend class MethodBuilder;
+  Module M;
+  bool BuilderLive = false;
+};
+
+} // namespace jtc
+
+#endif // JTC_BYTECODE_ASSEMBLER_H

@@ -1,0 +1,99 @@
+//===- bytecode/Disassembler.cpp ------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+
+#include <sstream>
+
+using namespace jtc;
+
+std::string jtc::disassemble(const Instruction &I, const Module *M,
+                             const Method *Mth) {
+  std::ostringstream OS;
+  OS << mnemonic(I.Op);
+  switch (I.Op) {
+  case Opcode::Iconst:
+  case Opcode::Iload:
+  case Opcode::Istore:
+  case Opcode::New:
+  case Opcode::GetField:
+  case Opcode::PutField:
+    OS << " " << I.A;
+    break;
+  case Opcode::Iinc:
+    OS << " " << I.A << " by " << I.B;
+    break;
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfGe:
+  case Opcode::IfGt:
+  case Opcode::IfLe:
+  case Opcode::IfIcmpEq:
+  case Opcode::IfIcmpNe:
+  case Opcode::IfIcmpLt:
+  case Opcode::IfIcmpGe:
+  case Opcode::IfIcmpGt:
+  case Opcode::IfIcmpLe:
+    OS << " -> " << I.A;
+    break;
+  case Opcode::Tableswitch:
+    OS << " table#" << I.A;
+    if (Mth && I.A >= 0 && static_cast<size_t>(I.A) < Mth->SwitchTables.size()) {
+      const SwitchTable &T = Mth->SwitchTables[I.A];
+      OS << " low=" << T.Low << " [";
+      for (size_t J = 0; J < T.Targets.size(); ++J)
+        OS << (J ? "," : "") << T.Targets[J];
+      OS << "] default=" << T.DefaultTarget;
+    }
+    break;
+  case Opcode::InvokeStatic:
+    OS << " #" << I.A;
+    if (M && I.A >= 0 && static_cast<size_t>(I.A) < M->Methods.size())
+      OS << " (" << M->Methods[I.A].Name << ")";
+    break;
+  case Opcode::InvokeVirtual:
+    OS << " slot#" << I.A;
+    if (M && I.A >= 0 && static_cast<size_t>(I.A) < M->Slots.size())
+      OS << " (" << M->Slots[I.A].Name << ")";
+    break;
+  default:
+    break;
+  }
+  return OS.str();
+}
+
+void jtc::disassembleMethod(std::ostream &OS, const Module &M,
+                            uint32_t MethodId) {
+  const Method &Mth = M.Methods[MethodId];
+  OS << "method #" << MethodId << " " << Mth.Name << " (args=" << Mth.NumArgs
+     << " locals=" << Mth.NumLocals
+     << (Mth.ReturnsValue ? " returns int" : " returns void") << ")\n";
+  for (size_t Pc = 0; Pc < Mth.Code.size(); ++Pc)
+    OS << "  " << Pc << ": " << disassemble(Mth.Code[Pc], &M, &Mth) << "\n";
+}
+
+void jtc::disassembleModule(std::ostream &OS, const Module &M) {
+  OS << "module: " << M.Methods.size() << " methods, " << M.Classes.size()
+     << " classes, " << M.Slots.size() << " virtual slots, entry #"
+     << M.EntryMethod << "\n";
+  for (size_t S = 0; S < M.Slots.size(); ++S)
+    OS << "slot #" << S << " " << M.Slots[S].Name
+       << " (args=" << M.Slots[S].ArgCount
+       << (M.Slots[S].ReturnsValue ? ", returns int" : "") << ")\n";
+  for (size_t C = 0; C < M.Classes.size(); ++C) {
+    const Class &Cls = M.Classes[C];
+    OS << "class #" << C << " " << Cls.Name << " (fields=" << Cls.NumFields
+       << ") vtable: [";
+    for (size_t S = 0; S < Cls.Vtable.size(); ++S) {
+      OS << (S ? "," : "");
+      if (Cls.Vtable[S] == InvalidMethod)
+        OS << "-";
+      else
+        OS << Cls.Vtable[S];
+    }
+    OS << "]\n";
+  }
+  for (uint32_t Id = 0; Id < M.Methods.size(); ++Id)
+    disassembleMethod(OS, M, Id);
+}

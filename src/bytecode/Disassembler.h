@@ -1,0 +1,32 @@
+//===- bytecode/Disassembler.h - Textual code dumps -------------*- C++ -*-===//
+///
+/// \file
+/// Renders instructions, methods and modules as text for the examples and
+/// for debugging trace contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BYTECODE_DISASSEMBLER_H
+#define JTC_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/Program.h"
+
+#include <ostream>
+#include <string>
+
+namespace jtc {
+
+/// One instruction as "iconst 5" / "if_icmplt -> 12" / etc. \p M and
+/// \p Mth provide names for call targets and switch tables when available.
+std::string disassemble(const Instruction &I, const Module *M = nullptr,
+                        const Method *Mth = nullptr);
+
+/// Dumps a whole method, one "pc: text" line per instruction.
+void disassembleMethod(std::ostream &OS, const Module &M, uint32_t MethodId);
+
+/// Dumps every method, class and slot in the module.
+void disassembleModule(std::ostream &OS, const Module &M);
+
+} // namespace jtc
+
+#endif // JTC_BYTECODE_DISASSEMBLER_H

@@ -1,0 +1,44 @@
+//===- bytecode/Instruction.h - Decoded instruction -------------*- C++ -*-===//
+///
+/// \file
+/// Fixed-width decoded instruction representation. Programs are stored
+/// pre-decoded (the equivalent of SableVM's code preparation), so an
+/// instruction index doubles as its program counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BYTECODE_INSTRUCTION_H
+#define JTC_BYTECODE_INSTRUCTION_H
+
+#include "bytecode/Opcode.h"
+
+#include <cstdint>
+
+namespace jtc {
+
+/// One decoded bytecode instruction.
+///
+/// The meaning of A and B depends on the opcode:
+///  - Iconst: A = immediate value
+///  - Iload/Istore: A = local index
+///  - Iinc: A = local index, B = signed delta
+///  - branches/Goto: A = target instruction index
+///  - Tableswitch: A = index into Method::SwitchTables
+///  - InvokeStatic: A = module method index
+///  - InvokeVirtual: A = vtable slot index
+///  - New: A = module class index
+///  - GetField/PutField: A = field slot index
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  int32_t A = 0;
+  int32_t B = 0;
+
+  Instruction() = default;
+  Instruction(Opcode Op, int32_t A = 0, int32_t B = 0) : Op(Op), A(A), B(B) {}
+
+  bool operator==(const Instruction &O) const = default;
+};
+
+} // namespace jtc
+
+#endif // JTC_BYTECODE_INSTRUCTION_H

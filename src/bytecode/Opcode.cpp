@@ -1,0 +1,42 @@
+//===- bytecode/Opcode.cpp ------------------------------------------------===//
+
+#include "bytecode/Opcode.h"
+
+#include <cassert>
+
+using namespace jtc;
+
+namespace {
+
+struct OpInfo {
+  const char *Mnemonic;
+  int8_t Pops;
+  int8_t Pushes;
+  OpKind Kind;
+};
+
+const OpInfo Infos[] = {
+#define JTC_OPCODE(Name, Mnemonic, Pops, Pushes, Kind)                         \
+  {Mnemonic, Pops, Pushes, OpKind::Kind},
+#include "bytecode/Opcodes.def"
+};
+
+const OpInfo &info(Opcode Op) {
+  unsigned Idx = static_cast<unsigned>(Op);
+  assert(Idx < sizeof(Infos) / sizeof(Infos[0]) && "invalid opcode");
+  return Infos[Idx];
+}
+
+} // namespace
+
+unsigned jtc::numOpcodes() { return sizeof(Infos) / sizeof(Infos[0]); }
+
+const char *jtc::mnemonic(Opcode Op) { return info(Op).Mnemonic; }
+
+OpKind jtc::opKind(Opcode Op) { return info(Op).Kind; }
+
+int jtc::opPops(Opcode Op) { return info(Op).Pops; }
+
+int jtc::opPushes(Opcode Op) { return info(Op).Pushes; }
+
+bool jtc::endsBlock(Opcode Op) { return opKind(Op) != OpKind::Normal; }

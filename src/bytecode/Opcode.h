@@ -1,0 +1,58 @@
+//===- bytecode/Opcode.h - Bytecode opcode set ------------------*- C++ -*-===//
+///
+/// \file
+/// The Java-like bytecode instruction set interpreted by the VM. The set is
+/// a stack-machine subset modelled on JVM bytecode: integer locals and
+/// arithmetic, conditional branches, a tableswitch, static and virtual
+/// invocation, object fields and integer arrays. See Opcodes.def for the
+/// full list and per-opcode metadata.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BYTECODE_OPCODE_H
+#define JTC_BYTECODE_OPCODE_H
+
+#include <cstdint>
+
+namespace jtc {
+
+/// Classifies how an opcode affects control flow; used by basic-block
+/// discovery and the verifier.
+enum class OpKind : uint8_t {
+  Normal, ///< Falls through to the next instruction.
+  Branch, ///< Conditional branch; target instruction index in operand A.
+  Jump,   ///< Unconditional branch; target in operand A.
+  Switch, ///< Tableswitch; switch-table index in operand A.
+  Call,   ///< Invokes another method, then resumes at the next instruction.
+  Ret,    ///< Returns from the current method.
+  End,    ///< Halts the virtual machine.
+};
+
+enum class Opcode : uint8_t {
+#define JTC_OPCODE(Name, Mnemonic, Pops, Pushes, Kind) Name,
+#include "bytecode/Opcodes.def"
+};
+
+/// Number of defined opcodes.
+unsigned numOpcodes();
+
+/// Human-readable mnemonic, e.g. "if_icmplt".
+const char *mnemonic(Opcode Op);
+
+/// Control-flow classification of \p Op.
+OpKind opKind(Opcode Op);
+
+/// Operand-stack pop count; -1 when it depends on a callee signature.
+int opPops(Opcode Op);
+
+/// Operand-stack push count; -1 when it depends on a callee signature.
+int opPushes(Opcode Op);
+
+/// True for opcodes that terminate a basic block in the
+/// direct-threaded-inlining preparation: branches, jumps, switches, calls,
+/// returns and halt. A dispatch occurs after every such instruction.
+bool endsBlock(Opcode Op);
+
+} // namespace jtc
+
+#endif // JTC_BYTECODE_OPCODE_H

@@ -1,0 +1,48 @@
+//===- bytecode/Verifier.h - Static bytecode checking -----------*- C++ -*-===//
+///
+/// \file
+/// A static verifier for Modules, modelled on the JVM's bytecode verifier
+/// but scoped to this instruction set. It checks structural validity
+/// (operand ranges, branch targets) and performs an abstract interpretation
+/// of operand-stack heights so the interpreters can rely on stack
+/// discipline and skip dynamic underflow checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BYTECODE_VERIFIER_H
+#define JTC_BYTECODE_VERIFIER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace jtc {
+
+/// One verification failure, with enough location info to act on it.
+struct VerifyError {
+  uint32_t MethodId = 0;
+  uint32_t Pc = 0;
+  std::string Message;
+};
+
+/// Verifies \p M and returns all errors found (empty = valid).
+///
+/// Checks, per method: local indices in range; branch/switch targets in
+/// range; call targets and slot indices valid; call-site stack depth
+/// sufficient; Ireturn only in value-returning methods (and vice versa);
+/// no path falls off the end of the code; operand stack heights consistent
+/// at merge points and never negative. Checks, per class: vtable entries
+/// match their slot signature. Checks that the entry method exists and
+/// takes no arguments.
+std::vector<VerifyError> verifyModule(const Module &M);
+
+/// Convenience wrapper: true when verifyModule() reports no errors.
+bool isValid(const Module &M);
+
+/// Renders errors as "method 3 @12: message" lines for diagnostics.
+std::string formatErrors(const std::vector<VerifyError> &Errors);
+
+} // namespace jtc
+
+#endif // JTC_BYTECODE_VERIFIER_H

@@ -1,0 +1,61 @@
+//===- harness/Experiment.h - Experiment harness ----------------*- C++ -*-===//
+///
+/// \file
+/// Shared machinery for the benchmark binaries that regenerate the
+/// paper's tables: building/verifying/preparing a workload, running it
+/// under a TraceVM configuration, the standard parameter sweeps of
+/// section 5.2, and the wall-clock profiler-overhead measurement of
+/// Tables VI and VII.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_HARNESS_EXPERIMENT_H
+#define JTC_HARNESS_EXPERIMENT_H
+
+#include "vm/TraceVM.h"
+#include "workloads/Workloads.h"
+
+#include <vector>
+
+namespace jtc {
+
+/// Thresholds of Tables I-IV, in the paper's row order.
+const std::vector<double> &standardThresholds();
+
+/// Start-state delays of Table V.
+const std::vector<uint32_t> &standardDelays();
+
+/// Builds \p W (verifying the module -- aborts on verifier errors, which
+/// would be a workload-generator bug), prepares it, runs it under
+/// \p Config, and returns the collected statistics. \p ScaleOverride of 0
+/// uses the workload's default scale.
+VmStats runWorkload(const WorkloadInfo &W, const VmConfig &Config,
+                    uint32_t ScaleOverride = 0);
+
+/// One wall-clock overhead measurement (Table VI): the same block
+/// interpreter timed with and without the profiler hook.
+struct OverheadSample {
+  double PlainSeconds = 0;    ///< Unmodified interpreter.
+  double ProfiledSeconds = 0; ///< Interpreter + profiler hook per dispatch.
+  uint64_t Dispatches = 0;    ///< Block dispatches per run.
+  uint64_t Instructions = 0;
+
+  /// Seconds of profiling overhead per million block dispatches.
+  double overheadPerMillionDispatches() const {
+    return Dispatches == 0 ? 0.0
+                           : (ProfiledSeconds - PlainSeconds) /
+                                 (static_cast<double>(Dispatches) / 1e6);
+  }
+};
+
+/// Times \p Repeats runs of each interpreter flavour over \p W (taking
+/// the fastest run of each to suppress scheduling noise). \p ScaleOverride
+/// of 0 uses the workload default; the overhead experiments typically
+/// scale up for stable timings.
+OverheadSample measureProfilerOverhead(const WorkloadInfo &W,
+                                       uint32_t ScaleOverride = 0,
+                                       int Repeats = 3);
+
+} // namespace jtc
+
+#endif // JTC_HARNESS_EXPERIMENT_H

@@ -1,0 +1,91 @@
+//===- interp/BlockStepper.h - Fig. 2 dispatch model ------------*- C++ -*-===//
+///
+/// \file
+/// The direct-threaded-inlining dispatch model of the paper's Figure 2:
+/// one dispatch per basic block. The stepper executes exactly one block
+/// per step() and exposes the resulting block transition, which is the
+/// event stream the profiler and trace cache consume. TraceVM drives a
+/// BlockStepper directly; plain runs use runBlocks().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_INTERP_BLOCKSTEPPER_H
+#define JTC_INTERP_BLOCKSTEPPER_H
+
+#include "interp/PreparedModule.h"
+#include "interp/RunResult.h"
+#include "runtime/Machine.h"
+
+namespace jtc {
+
+/// Executes a prepared module one basic block at a time.
+class BlockStepper {
+public:
+  /// \p Mach must be a fresh machine over \p PM's module.
+  BlockStepper(const PreparedModule &PM, Machine &Mach);
+
+  /// Pushes the entry frame; currentBlock() becomes the entry block.
+  void start();
+
+  enum class StepStatus : uint8_t {
+    Continue, ///< Block executed; currentBlock() is the successor.
+    Finished, ///< Entry method returned or Halt executed.
+    Trapped,  ///< A runtime trap fired mid-block.
+  };
+
+  /// Executes currentBlock() to its end and computes the successor block.
+  StepStatus step();
+
+  /// The block about to be executed by the next step().
+  BlockId currentBlock() const { return Cur; }
+
+  /// Total instructions executed so far.
+  uint64_t instructions() const { return Instructions; }
+
+  const PreparedModule &prepared() const { return *PM; }
+  Machine &machine() { return *Mach; }
+
+private:
+  const PreparedModule *PM;
+  Machine *Mach;
+  BlockId Cur = InvalidBlockId;
+  uint64_t Instructions = 0;
+};
+
+/// Runs \p Stepper to completion, invoking \p OnDispatch(NextBlock) before
+/// every block dispatch (including the entry block). The hook is a
+/// template parameter so a no-op hook compiles to the plain interpreter --
+/// this is how the Table VI experiment compares the profiled and
+/// unprofiled interpreters on identical dispatch loops.
+template <typename HookT>
+RunResult runBlocksWithHook(BlockStepper &Stepper, HookT &&OnDispatch,
+                            uint64_t MaxInstructions = ~0ull) {
+  RunResult R;
+  Stepper.start();
+  while (true) {
+    OnDispatch(Stepper.currentBlock());
+    ++R.Dispatches;
+    BlockStepper::StepStatus S = Stepper.step();
+    R.Instructions = Stepper.instructions();
+    if (S == BlockStepper::StepStatus::Finished) {
+      R.Status = RunStatus::Finished;
+      return R;
+    }
+    if (S == BlockStepper::StepStatus::Trapped) {
+      R.Status = RunStatus::Trapped;
+      R.Trap = Stepper.machine().trap();
+      return R;
+    }
+    if (R.Instructions >= MaxInstructions) {
+      R.Status = RunStatus::BudgetExhausted;
+      return R;
+    }
+  }
+}
+
+/// Runs \p Stepper to completion with no per-dispatch hook.
+RunResult runBlocks(BlockStepper &Stepper, uint64_t MaxInstructions = ~0ull);
+
+} // namespace jtc
+
+#endif // JTC_INTERP_BLOCKSTEPPER_H

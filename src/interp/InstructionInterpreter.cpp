@@ -1,0 +1,56 @@
+//===- interp/InstructionInterpreter.cpp ----------------------------------===//
+
+#include "interp/InstructionInterpreter.h"
+
+using namespace jtc;
+
+RunResult jtc::runInstructions(Machine &Mach, uint64_t MaxInstructions) {
+  RunResult R;
+  Mach.start(Mach.module().EntryMethod);
+  uint32_t Pc = 0;
+
+  while (true) {
+    if (R.Instructions >= MaxInstructions) {
+      R.Status = RunStatus::BudgetExhausted;
+      return R;
+    }
+    const Method &M = Mach.currentMethod();
+    assert(Pc < M.Code.size() && "pc ran off the end (verifier bug)");
+    Effect E = Mach.execOne(M.Code[Pc]);
+    ++R.Instructions;
+    ++R.Dispatches;
+
+    switch (E.Kind) {
+    case EffectKind::Next:
+      ++Pc;
+      break;
+    case EffectKind::Jump:
+      Pc = E.Target;
+      break;
+    case EffectKind::Call:
+      if (!Mach.pushFrame(E.Target, Pc + 1)) {
+        R.Status = RunStatus::Trapped;
+        R.Trap = Mach.trap();
+        return R;
+      }
+      Pc = 0;
+      break;
+    case EffectKind::Ret: {
+      Machine::PopInfo Info = Mach.popFrame(E.HasValue);
+      if (Info.BottomFrame) {
+        R.Status = RunStatus::Finished;
+        return R;
+      }
+      Pc = Info.ReturnPc;
+      break;
+    }
+    case EffectKind::Halt:
+      R.Status = RunStatus::Finished;
+      return R;
+    case EffectKind::Trap:
+      R.Status = RunStatus::Trapped;
+      R.Trap = Mach.trap();
+      return R;
+    }
+  }
+}

@@ -1,0 +1,26 @@
+//===- interp/InstructionInterpreter.h - Fig. 1 dispatch model --*- C++ -*-===//
+///
+/// \file
+/// The ordinary interpreter of the paper's Figure 1: one dispatch per
+/// instruction. It exists as the baseline dispatch model and as a
+/// differential-testing oracle for the block interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_INTERP_INSTRUCTIONINTERPRETER_H
+#define JTC_INTERP_INSTRUCTIONINTERPRETER_H
+
+#include "interp/RunResult.h"
+#include "runtime/Machine.h"
+
+namespace jtc {
+
+/// Runs \p Mach's module entry method to completion, dispatching one
+/// instruction at a time. \p Mach must be freshly reset; its output and
+/// heap are left in place for inspection. RunResult::Dispatches equals
+/// RunResult::Instructions under this model.
+RunResult runInstructions(Machine &Mach, uint64_t MaxInstructions = ~0ull);
+
+} // namespace jtc
+
+#endif // JTC_INTERP_INSTRUCTIONINTERPRETER_H

@@ -1,0 +1,90 @@
+//===- interp/PreparedModule.h - Basic-block discovery ----------*- C++ -*-===//
+///
+/// \file
+/// Code preparation for the direct-threaded-inlining dispatch model
+/// (paper section 3.1, following Piumarta & Riccardi and SableVM): every
+/// method is partitioned into basic blocks, and the block interpreter
+/// dispatches one block at a time. Blocks end at any control-transfer
+/// instruction -- branches, jumps, switches, calls, returns, halt -- or
+/// where the next instruction is a branch target (fallthrough into a
+/// leader). Block ids are globally unique across the module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_INTERP_PREPAREDMODULE_H
+#define JTC_INTERP_PREPAREDMODULE_H
+
+#include "bytecode/Program.h"
+#include "support/Ids.h"
+
+#include <cassert>
+#include <ostream>
+#include <vector>
+
+namespace jtc {
+
+/// One basic block: the half-open instruction range [StartPc, EndPc) of a
+/// method. The block's last instruction either transfers control or falls
+/// through into the leader at EndPc.
+struct BasicBlock {
+  uint32_t MethodId = 0;
+  uint32_t StartPc = 0;
+  uint32_t EndPc = 0;
+
+  uint32_t numInstructions() const { return EndPc - StartPc; }
+};
+
+/// A verified Module plus its discovered basic blocks and the leader maps
+/// needed to turn (method, pc) control transfers into block transitions.
+class PreparedModule {
+public:
+  /// Prepares \p M. The module must outlive the PreparedModule and should
+  /// already have passed the verifier (preparation asserts on structural
+  /// errors instead of reporting them).
+  explicit PreparedModule(const Module &M);
+
+  const Module &module() const { return *M; }
+
+  size_t numBlocks() const { return Blocks.size(); }
+
+  const BasicBlock &block(BlockId B) const {
+    assert(B < Blocks.size() && "invalid block id");
+    return Blocks[B];
+  }
+
+  /// The block whose first instruction is (\p MethodId, \p Pc). \p Pc must
+  /// be a leader: every pc that can be reached by a control transfer
+  /// (branch target, call continuation, method entry) is one.
+  BlockId blockStartingAt(uint32_t MethodId, uint32_t Pc) const {
+    assert(MethodId < LeaderToBlock.size() && "invalid method");
+    assert(Pc < LeaderToBlock[MethodId].size() && "pc out of range");
+    BlockId B = LeaderToBlock[MethodId][Pc];
+    assert(B != InvalidBlockId && "pc is not a block leader");
+    return B;
+  }
+
+  /// Entry block of \p MethodId (its pc 0 block).
+  BlockId methodEntryBlock(uint32_t MethodId) const {
+    return blockStartingAt(MethodId, 0);
+  }
+
+  /// Entry block of the module's entry method.
+  BlockId entryBlock() const { return methodEntryBlock(M->EntryMethod); }
+
+  /// Instruction count of block \p B, used when attributing executed
+  /// instructions to traces.
+  uint32_t blockSize(BlockId B) const { return block(B).numInstructions(); }
+
+  /// Dumps the block structure, one line per block.
+  void dump(std::ostream &OS) const;
+
+private:
+  const Module *M;
+  std::vector<BasicBlock> Blocks;
+  /// Per method, per pc: block id if pc is a leader, else InvalidBlockId.
+  std::vector<std::vector<BlockId>> LeaderToBlock;
+};
+
+} // namespace jtc
+
+#endif // JTC_INTERP_PREPAREDMODULE_H

@@ -1,0 +1,749 @@
+//===- opt/TraceOptimizer.cpp ---------------------------------------------===//
+
+#include "opt/TraceOptimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+
+using namespace jtc;
+
+size_t LinearSegment::numInstructions() const {
+  size_t N = 0;
+  for (const LinearOp &Op : Ops)
+    N += Op.K == LinearOp::Kind::Instr;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Linearization
+//===----------------------------------------------------------------------===//
+
+std::vector<LinearSegment> jtc::linearizeTrace(const PreparedModule &PM,
+                                               const Trace &T,
+                                               bool InlineStaticCalls) {
+  std::vector<LinearSegment> Segments;
+  const Module &M = PM.module();
+  constexpr unsigned MaxInlineDepth = 8;
+  constexpr uint32_t MaxFlatLocals = 512;
+
+  LinearSegment Cur;
+  bool Open = false;
+  // The inline frame stack: local-index base per flattened frame. The
+  // caller (root) frame has base 0; inlined callees rename their locals
+  // above the frames below them.
+  struct FrameCtx {
+    uint32_t MethodId = 0;
+    uint32_t LocalBase = 0;
+  };
+  std::vector<FrameCtx> Inline;
+
+  auto Begin = [&](uint32_t MethodId) {
+    Cur = LinearSegment();
+    Cur.MethodId = MethodId;
+    Cur.NumLocals = M.Methods[MethodId].NumLocals;
+    Cur.ScratchBase = Cur.NumLocals;
+    Inline.assign(1, {MethodId, 0});
+    Open = true;
+  };
+  auto End = [&] {
+    if (Open && !Cur.Ops.empty())
+      Segments.push_back(std::move(Cur));
+    Open = false;
+    Inline.clear();
+  };
+
+  for (size_t Bi = 0; Bi < T.Blocks.size(); ++Bi) {
+    const BasicBlock &BB = PM.block(T.Blocks[Bi]);
+    const Method &Mth = M.Methods[BB.MethodId];
+    // A block in a different method than the current inline frame means
+    // the previous segment ended (call break, return past the root, or
+    // trace start).
+    if (!Open || Inline.back().MethodId != BB.MethodId) {
+      End();
+      Begin(BB.MethodId);
+    }
+    uint32_t Base = Inline.back().LocalBase;
+
+    for (uint32_t Pc = BB.StartPc; Pc < BB.EndPc; ++Pc) {
+      const Instruction &I = Mth.Code[Pc];
+      bool Last = Pc + 1 == BB.EndPc;
+      switch (opKind(I.Op)) {
+      case OpKind::Normal: {
+        Instruction Remapped = I;
+        if (Base > 0 && (I.Op == Opcode::Iload || I.Op == Opcode::Istore ||
+                         I.Op == Opcode::Iinc))
+          Remapped.A += static_cast<int32_t>(Base);
+        Cur.Ops.push_back(LinearOp::instr(Remapped));
+        break;
+      }
+      case OpKind::Jump:
+        // The trace sequence already encodes the transfer.
+        assert(Last && "goto mid-block");
+        break;
+      case OpKind::Branch: {
+        assert(Last && "branch mid-block");
+        if (Bi + 1 == T.Blocks.size()) {
+          // The trace's final terminator has no recorded direction.
+          End();
+          break;
+        }
+        const BasicBlock &NextBB = PM.block(T.Blocks[Bi + 1]);
+        bool Taken = NextBB.MethodId == BB.MethodId &&
+                     NextBB.StartPc == static_cast<uint32_t>(I.A);
+        Cur.Ops.push_back(LinearOp::guard(I.Op, Taken));
+        break;
+      }
+      case OpKind::Switch:
+        assert(Last && "switch mid-block");
+        if (Bi + 1 == T.Blocks.size()) {
+          End();
+          break;
+        }
+        // The selected case is not tracked through the guard, only that
+        // the selector must reproduce the recorded direction; switch
+        // guards are therefore never eliminated.
+        Cur.Ops.push_back(LinearOp::guard(I.Op, /*Taken=*/true));
+        break;
+      case OpKind::Call: {
+        assert(Last && "call mid-block");
+        uint32_t Callee =
+            I.Op == Opcode::InvokeStatic ? static_cast<uint32_t>(I.A)
+                                         : InvalidMethod;
+        bool CanInline =
+            InlineStaticCalls && Open && Callee != InvalidMethod &&
+            Bi + 1 < T.Blocks.size() &&
+            T.Blocks[Bi + 1] == PM.methodEntryBlock(Callee) &&
+            Inline.size() < MaxInlineDepth;
+        if (CanInline) {
+          const Method &CM = M.Methods[Callee];
+          uint32_t NewBase = Cur.NumLocals;
+          if (NewBase + CM.NumLocals > MaxFlatLocals)
+            CanInline = false;
+          if (CanInline) {
+            // Argument passing becomes explicit stores (deepest argument
+            // lands in the lowest renamed local), and non-argument
+            // locals are zeroed as pushFrame would.
+            for (uint32_t K = CM.NumArgs; K-- > 0;)
+              Cur.Ops.push_back(LinearOp::instr(Instruction(
+                  Opcode::Istore, static_cast<int32_t>(NewBase + K))));
+            for (uint32_t K = CM.NumArgs; K < CM.NumLocals; ++K) {
+              Cur.Ops.push_back(
+                  LinearOp::instr(Instruction(Opcode::Iconst, 0)));
+              Cur.Ops.push_back(LinearOp::instr(Instruction(
+                  Opcode::Istore, static_cast<int32_t>(NewBase + K))));
+            }
+            Cur.NumLocals = NewBase + CM.NumLocals;
+            Inline.push_back({Callee, NewBase});
+            break;
+          }
+        }
+        // Not inlinable: the call stays outside the segments.
+        End();
+        break;
+      }
+      case OpKind::Ret:
+        assert(Last && "return mid-block");
+        if (Open && Inline.size() > 1) {
+          // Returning from an inlined callee: the return value (if any)
+          // is already on the stack; just drop the frame.
+          Inline.pop_back();
+          break;
+        }
+        // Returning past the segment's root frame.
+        End();
+        break;
+      case OpKind::End:
+        End();
+        break;
+      }
+      (void)Last;
+    }
+  }
+  End();
+  return Segments;
+}
+
+//===----------------------------------------------------------------------===//
+// Folding helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when \p V can be re-emitted as an Iconst immediate.
+bool fitsImm(int64_t V) {
+  return V >= std::numeric_limits<int32_t>::min() &&
+         V <= std::numeric_limits<int32_t>::max();
+}
+
+/// Folds A op B with the Machine's wrap-around semantics. Returns false
+/// when the operation cannot be folded safely (division that would trap)
+/// or the result cannot be re-emitted as an immediate.
+bool foldBinary(Opcode Op, int64_t A, int64_t B, int64_t &Out) {
+  auto U = [](int64_t V) { return static_cast<uint64_t>(V); };
+  switch (Op) {
+  case Opcode::Iadd:
+    Out = static_cast<int64_t>(U(A) + U(B));
+    return true;
+  case Opcode::Isub:
+    Out = static_cast<int64_t>(U(A) - U(B));
+    return true;
+  case Opcode::Imul:
+    Out = static_cast<int64_t>(U(A) * U(B));
+    return true;
+  case Opcode::Idiv:
+    if (B == 0)
+      return false;
+    Out = (A == std::numeric_limits<int64_t>::min() && B == -1) ? A : A / B;
+    return true;
+  case Opcode::Irem:
+    if (B == 0)
+      return false;
+    Out = (A == std::numeric_limits<int64_t>::min() && B == -1) ? 0 : A % B;
+    return true;
+  case Opcode::Ishl:
+    Out = static_cast<int64_t>(U(A) << (B & 63));
+    return true;
+  case Opcode::Ishr:
+    Out = A >> (B & 63);
+    return true;
+  case Opcode::Iushr:
+    Out = static_cast<int64_t>(U(A) >> (B & 63));
+    return true;
+  case Opcode::Iand:
+    Out = A & B;
+    return true;
+  case Opcode::Ior:
+    Out = A | B;
+    return true;
+  case Opcode::Ixor:
+    Out = A ^ B;
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool foldBinaryImm(Opcode Op, int64_t A, int64_t B, int64_t &Out) {
+  return foldBinary(Op, A, B, Out) && fitsImm(Out);
+}
+
+bool isBinaryArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::Iadd:
+  case Opcode::Isub:
+  case Opcode::Imul:
+  case Opcode::Idiv:
+  case Opcode::Irem:
+  case Opcode::Ishl:
+  case Opcode::Ishr:
+  case Opcode::Iushr:
+  case Opcode::Iand:
+  case Opcode::Ior:
+  case Opcode::Ixor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Evaluates a one- or two-operand conditional branch. For two-operand
+/// compares \p A is the deeper value.
+bool evalBranch(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::IfEq:
+    return A == 0;
+  case Opcode::IfNe:
+    return A != 0;
+  case Opcode::IfLt:
+    return A < 0;
+  case Opcode::IfGe:
+    return A >= 0;
+  case Opcode::IfGt:
+    return A > 0;
+  case Opcode::IfLe:
+    return A <= 0;
+  case Opcode::IfIcmpEq:
+    return A == B;
+  case Opcode::IfIcmpNe:
+    return A != B;
+  case Opcode::IfIcmpLt:
+    return A < B;
+  case Opcode::IfIcmpGe:
+    return A >= B;
+  case Opcode::IfIcmpGt:
+    return A > B;
+  case Opcode::IfIcmpLe:
+    return A <= B;
+  default:
+    assert(false && "not a conditional branch");
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The stack-caching optimizer
+//===----------------------------------------------------------------------===//
+
+/// Abstract operand-stack entry. Materialized entries live on the real
+/// stack; deferred entries (always a contiguous suffix on top) exist only
+/// in the optimizer's head and are emitted on demand.
+struct Entry {
+  enum class Kind : uint8_t { Materialized, Const, Load } K;
+  int64_t C = 0;      ///< Kind::Const: the value.
+  uint32_t Local = 0; ///< Kind::Load: the local index.
+};
+
+/// What the optimizer knows about one local's current value.
+struct LocalVal {
+  enum class Kind : uint8_t { Unknown, Const, Copy } K = Kind::Unknown;
+  int64_t C = 0;    ///< Kind::Const.
+  uint32_t Src = 0; ///< Kind::Copy: the (non-dirty) source local.
+};
+
+class SegmentOptimizer {
+public:
+  SegmentOptimizer(const LinearSegment &In, OptStats &Stats)
+      : In(In), Stats(Stats) {
+    Out.MethodId = In.MethodId;
+    Out.NumLocals = In.NumLocals;
+    Out.ScratchBase = In.ScratchBase;
+    Vals.assign(In.NumLocals, LocalVal());
+    Dirty.assign(In.NumLocals, false);
+    // Local access positions, for the liveness queries that decide
+    // whether a displaced copy must be pinned or is simply dead.
+    Reads.assign(In.NumLocals, {});
+    Writes.assign(In.NumLocals, {});
+    for (size_t I = 0; I < In.Ops.size(); ++I) {
+      const LinearOp &Op = In.Ops[I];
+      if (Op.K != LinearOp::Kind::Instr)
+        continue;
+      auto X = static_cast<uint32_t>(Op.I.A);
+      switch (Op.I.Op) {
+      case Opcode::Iload:
+        Reads[X].push_back(I);
+        break;
+      case Opcode::Istore:
+        Writes[X].push_back(I);
+        break;
+      case Opcode::Iinc:
+        Reads[X].push_back(I);
+        Writes[X].push_back(I);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  LinearSegment run();
+
+private:
+  void emit(Instruction I) { Out.Ops.push_back(LinearOp::instr(I)); }
+
+  /// Emits the pushes for every deferred entry, bottom-up, turning them
+  /// into materialized entries.
+  void materializeAll() {
+    for (Entry &E : AbstractStack) {
+      switch (E.K) {
+      case Entry::Kind::Materialized:
+        break;
+      case Entry::Kind::Const:
+        emit(Instruction(Opcode::Iconst, static_cast<int32_t>(E.C)));
+        break;
+      case Entry::Kind::Load:
+        assert(!Dirty[E.Local] && "deferred load of a dirty local");
+        emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+        break;
+      }
+      E.K = Entry::Kind::Materialized;
+    }
+  }
+
+  /// Materializes every deferred load of local \p X (and, to preserve
+  /// stack order, everything beneath the highest such load).
+  void materializeLoadsOf(uint32_t X) {
+    size_t Highest = AbstractStack.size();
+    for (size_t I = AbstractStack.size(); I-- > 0;) {
+      if (AbstractStack[I].K == Entry::Kind::Load &&
+          AbstractStack[I].Local == X) {
+        Highest = I;
+        break;
+      }
+    }
+    if (Highest == AbstractStack.size())
+      return;
+    for (size_t I = 0; I <= Highest; ++I) {
+      Entry &E = AbstractStack[I];
+      switch (E.K) {
+      case Entry::Kind::Materialized:
+        break;
+      case Entry::Kind::Const:
+        emit(Instruction(Opcode::Iconst, static_cast<int32_t>(E.C)));
+        break;
+      case Entry::Kind::Load:
+        emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+        break;
+      }
+      E.K = Entry::Kind::Materialized;
+    }
+  }
+
+  /// Emits the deferred store of one local.
+  void flushDirtyLocal(uint32_t X) {
+    if (!Dirty[X])
+      return;
+    switch (Vals[X].K) {
+    case LocalVal::Kind::Const:
+      emit(Instruction(Opcode::Iconst, static_cast<int32_t>(Vals[X].C)));
+      break;
+    case LocalVal::Kind::Copy:
+      emit(Instruction(Opcode::Iload, static_cast<int32_t>(Vals[X].Src)));
+      break;
+    case LocalVal::Kind::Unknown:
+      assert(false && "dirty local with unknown value");
+      break;
+    }
+    emit(Instruction(Opcode::Istore, static_cast<int32_t>(X)));
+    Dirty[X] = false;
+  }
+
+  /// Emits deferred stores so the real locals match the abstract state
+  /// (required before any potential exit). Scratch locals (inlined-callee
+  /// frames) are dead outside the segment and stay deferred.
+  void flushDirtyLocals() {
+    for (uint32_t X = 0; X < Dirty.size(); ++X)
+      if (X < In.ScratchBase)
+        flushDirtyLocal(X);
+  }
+
+  /// True when local \p X's current value can still be observed after
+  /// operation index \p I: it is read before its next write, or it
+  /// survives to the segment end as a non-scratch local.
+  bool liveAfter(uint32_t X, size_t I) const {
+    auto NextAbove = [I](const std::vector<size_t> &V) {
+      auto It = std::upper_bound(V.begin(), V.end(), I);
+      return It == V.end() ? ~size_t{0} : *It;
+    };
+    size_t NextRead = NextAbove(Reads[X]);
+    size_t NextWrite = NextAbove(Writes[X]);
+    if (NextRead < NextWrite)
+      return true;
+    return NextWrite == ~size_t{0} && X < In.ScratchBase;
+  }
+
+  /// Before local \p Y is modified: pin down every deferred store whose
+  /// value is a copy of \p Y (unless that store is dead anyway), and
+  /// drop copy knowledge derived from it.
+  void invalidateCopiesOf(uint32_t Y) {
+    for (uint32_t X = 0; X < Vals.size(); ++X) {
+      if (Vals[X].K != LocalVal::Kind::Copy || Vals[X].Src != Y)
+        continue;
+      if (Dirty[X]) {
+        if (liveAfter(X, CurIndex))
+          flushDirtyLocal(X);
+        else
+          ++Stats.DeadStores;
+        Dirty[X] = false;
+      }
+      Vals[X] = LocalVal();
+    }
+  }
+
+  void push(Entry E) { AbstractStack.push_back(E); }
+
+  /// Pops the abstract top. An empty abstract stack means the operand
+  /// came in from before the segment started; incoming values are on the
+  /// real stack, i.e. materialized.
+  Entry pop() {
+    if (AbstractStack.empty())
+      return {Entry::Kind::Materialized, 0, 0};
+    Entry E = AbstractStack.back();
+    AbstractStack.pop_back();
+    return E;
+  }
+
+  /// The constant value of \p E, if statically known.
+  std::optional<int64_t> constOf(const Entry &E) const {
+    if (E.K == Entry::Kind::Const)
+      return E.C;
+    if (E.K == Entry::Kind::Load &&
+        Vals[E.Local].K == LocalVal::Kind::Const)
+      return Vals[E.Local].C;
+    return std::nullopt;
+  }
+
+  void handleInstr(const Instruction &I);
+  void handleGuard(const LinearOp &Op);
+
+  const LinearSegment &In;
+  OptStats &Stats;
+  LinearSegment Out;
+  std::vector<Entry> AbstractStack;
+  std::vector<LocalVal> Vals; ///< Known local values.
+  std::vector<bool> Dirty;    ///< Deferred (unemitted) stores.
+  std::vector<std::vector<size_t>> Reads;  ///< Load positions per local.
+  std::vector<std::vector<size_t>> Writes; ///< Store positions per local.
+  size_t CurIndex = 0; ///< Index of the op being processed.
+};
+
+void SegmentOptimizer::handleInstr(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Nop:
+    return; // dropped
+
+  case Opcode::Iconst:
+    push({Entry::Kind::Const, I.A, 0});
+    return;
+
+  case Opcode::Iload: {
+    auto X = static_cast<uint32_t>(I.A);
+    switch (Vals[X].K) {
+    case LocalVal::Kind::Const:
+      ++Stats.LoadsForwarded;
+      push({Entry::Kind::Const, Vals[X].C, 0});
+      return;
+    case LocalVal::Kind::Copy:
+      ++Stats.LoadsForwarded;
+      push({Entry::Kind::Load, 0, Vals[X].Src});
+      return;
+    case LocalVal::Kind::Unknown:
+      push({Entry::Kind::Load, 0, X});
+      return;
+    }
+    return;
+  }
+
+  case Opcode::Istore: {
+    auto X = static_cast<uint32_t>(I.A);
+    Entry E = pop();
+    // `iload x; istore x` cancels outright.
+    if (E.K == Entry::Kind::Load && E.Local == X) {
+      ++Stats.DeadStores;
+      return;
+    }
+    // Any deferred load of x still on the stack must observe the old
+    // value, and any deferred copy *of* x must be pinned before x
+    // changes.
+    materializeLoadsOf(X);
+    invalidateCopiesOf(X);
+    if (Dirty[X])
+      ++Stats.DeadStores; // the previous deferred store is overwritten
+    if (auto C = constOf(E); C && fitsImm(*C)) {
+      // Defer the store itself; it becomes real at the next exit point.
+      Vals[X] = {LocalVal::Kind::Const, *C, 0};
+      Dirty[X] = true;
+      return;
+    }
+    if (E.K == Entry::Kind::Load) {
+      // Defer as a copy of the (non-dirty) source local.
+      assert(!Dirty[E.Local] && "deferred loads never target dirty locals");
+      Vals[X] = {LocalVal::Kind::Copy, 0, E.Local};
+      Dirty[X] = true;
+      return;
+    }
+    assert(E.K == Entry::Kind::Materialized &&
+           "const entries are always known");
+    emit(Instruction(Opcode::Istore, static_cast<int32_t>(X)));
+    Vals[X] = LocalVal();
+    Dirty[X] = false;
+    return;
+  }
+
+  case Opcode::Iinc: {
+    auto X = static_cast<uint32_t>(I.A);
+    materializeLoadsOf(X);
+    invalidateCopiesOf(X);
+    if (Vals[X].K == LocalVal::Kind::Const) {
+      auto V = static_cast<int64_t>(static_cast<uint64_t>(Vals[X].C) +
+                                    static_cast<uint64_t>(I.B));
+      if (fitsImm(V)) {
+        Vals[X].C = V;
+        Dirty[X] = true;
+        ++Stats.ConstantsFolded;
+        return;
+      }
+    }
+    // Pin any deferred value down, then increment for real.
+    flushDirtyLocal(X);
+    Vals[X] = LocalVal();
+    emit(I);
+    return;
+  }
+
+  case Opcode::Pop: {
+    Entry E = pop();
+    if (E.K == Entry::Kind::Materialized)
+      emit(I);
+    return; // a deferred value popped costs nothing
+  }
+
+  case Opcode::Dup: {
+    if (AbstractStack.empty()) {
+      // Duplicating an incoming (materialized) value.
+      emit(I);
+      push({Entry::Kind::Materialized, 0, 0});
+      return;
+    }
+    Entry Top = AbstractStack.back();
+    if (Top.K == Entry::Kind::Materialized)
+      emit(I);
+    push(Top);
+    return;
+  }
+
+  case Opcode::Swap: {
+    Entry B = pop(), A = pop();
+    if (A.K == Entry::Kind::Materialized ||
+        B.K == Entry::Kind::Materialized) {
+      // Mixed forms would break the deferred-suffix invariant; pin both.
+      push(A);
+      push(B);
+      materializeAll();
+      emit(I);
+      Entry &NewB = AbstractStack[AbstractStack.size() - 2];
+      Entry &NewA = AbstractStack[AbstractStack.size() - 1];
+      std::swap(NewA, NewB);
+      return;
+    }
+    push(B);
+    push(A);
+    return;
+  }
+
+  case Opcode::Ineg: {
+    Entry E = pop();
+    if (auto C = constOf(E)) {
+      auto V = static_cast<int64_t>(0 - static_cast<uint64_t>(*C));
+      if (fitsImm(V)) {
+        ++Stats.ConstantsFolded;
+        push({Entry::Kind::Const, V, 0});
+        return;
+      }
+    }
+    push(E);
+    materializeAll();
+    emit(I);
+    return;
+  }
+
+  case Opcode::Iprint: {
+    Entry E = pop();
+    // The net stack effect of push+print is zero, so a deferred operand
+    // can be emitted directly without disturbing entries beneath it.
+    if (auto C = constOf(E)) {
+      emit(Instruction(Opcode::Iconst, static_cast<int32_t>(*C)));
+    } else if (E.K == Entry::Kind::Load) {
+      emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+    }
+    emit(Instruction(Opcode::Iprint));
+    return;
+  }
+
+  default:
+    break;
+  }
+
+  if (isBinaryArith(I.Op)) {
+    Entry B = pop(), A = pop();
+    auto CA = constOf(A), CB = constOf(B);
+    int64_t Folded = 0;
+    if (CA && CB && foldBinaryImm(I.Op, *CA, *CB, Folded)) {
+      ++Stats.ConstantsFolded;
+      push({Entry::Kind::Const, Folded, 0});
+      return;
+    }
+    push(A);
+    push(B);
+    materializeAll();
+    emit(I);
+    pop();
+    pop();
+    push({Entry::Kind::Materialized, 0, 0});
+    return;
+  }
+
+  // Everything else (heap operations, New, arrays): operands must be on
+  // the real stack; results are opaque.
+  materializeAll();
+  emit(I);
+  for (int P = 0; P < opPops(I.Op); ++P)
+    pop();
+  for (int P = 0; P < opPushes(I.Op); ++P)
+    push({Entry::Kind::Materialized, 0, 0});
+}
+
+void SegmentOptimizer::handleGuard(const LinearOp &Op) {
+  int Pops = opPops(Op.I.Op);
+  assert(Pops >= 1 && Pops <= 2);
+
+  // A guard whose operands are statically known and agree with the
+  // recorded direction can never fire; drop it with its operands.
+  if (Op.I.Op != Opcode::Tableswitch &&
+      AbstractStack.size() >= static_cast<size_t>(Pops)) {
+    Entry Top = AbstractStack.back();
+    Entry Below =
+        Pops == 2 ? AbstractStack[AbstractStack.size() - 2] : Entry{};
+    auto CT = constOf(Top);
+    auto CB = Pops == 2 ? constOf(Below) : std::optional<int64_t>(0);
+    if (CT && CB) {
+      int64_t A = Pops == 2 ? *CB : *CT;
+      int64_t B = Pops == 2 ? *CT : 0;
+      if (evalBranch(Op.I.Op, A, B) == Op.GuardTaken &&
+          Top.K != Entry::Kind::Materialized &&
+          (Pops == 1 || Below.K != Entry::Kind::Materialized)) {
+        pop();
+        if (Pops == 2)
+          pop();
+        ++Stats.GuardsEliminated;
+        return;
+      }
+    }
+  }
+
+  // A live guard is a potential exit: the real machine state must be
+  // complete before it runs.
+  materializeAll();
+  flushDirtyLocals();
+  Out.Ops.push_back(Op);
+  for (int P = 0; P < Pops; ++P)
+    pop();
+  ++Stats.GuardsAfter;
+}
+
+LinearSegment SegmentOptimizer::run() {
+  for (size_t I = 0; I < In.Ops.size(); ++I) {
+    CurIndex = I;
+    const LinearOp &Op = In.Ops[I];
+    if (Op.K == LinearOp::Kind::Guard) {
+      ++Stats.GuardsBefore;
+      handleGuard(Op);
+    } else {
+      handleInstr(Op.I);
+    }
+  }
+  // Segment end: the next thing executed is unoptimized code.
+  materializeAll();
+  flushDirtyLocals();
+
+  Stats.InstructionsBefore += In.numInstructions();
+  Stats.InstructionsAfter += Out.numInstructions();
+  return std::move(Out);
+}
+
+} // namespace
+
+LinearSegment jtc::optimizeSegment(const LinearSegment &In, OptStats &Stats) {
+  return SegmentOptimizer(In, Stats).run();
+}
+
+std::vector<LinearSegment> jtc::optimizeTrace(const PreparedModule &PM,
+                                              const Trace &T,
+                                              OptStats &Stats,
+                                              bool InlineStaticCalls) {
+  std::vector<LinearSegment> Out;
+  for (const LinearSegment &Seg : linearizeTrace(PM, T, InlineStaticCalls))
+    Out.push_back(optimizeSegment(Seg, Stats));
+  return Out;
+}

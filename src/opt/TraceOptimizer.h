@@ -1,0 +1,134 @@
+//===- opt/TraceOptimizer.h - Trace-level optimization ----------*- C++ -*-===//
+///
+/// \file
+/// The paper's future-work step (section 6): traces are "excellent
+/// targets for dynamic optimization" because they have a single entry
+/// and a recorded direction for every branch. This module makes that
+/// concrete:
+///
+///  - linearizeTrace() turns a trace's block sequence into straight-line
+///    *segments* of instructions in which every conditional branch or
+///    switch becomes a *guard* (an assertion that execution follows the
+///    recorded direction, paper section 3.7 / rePLay's assertions).
+///    Segments break at call/return boundaries, where the locals frame
+///    changes.
+///
+///  - optimizeSegment() runs a stack-caching optimizer over one segment:
+///    constant folding, deferred loads and constants, store forwarding,
+///    dead store elimination and guard elimination. State is fully
+///    materialized at every guard, so an early exit observes exactly the
+///    unoptimized machine state.
+///
+/// The optimizer is measured (bench/ablation_trace_optimizer) rather than
+/// wired into the dispatch loop; its correctness contract -- identical
+/// final locals, operand stack and output for any initial state -- is
+/// enforced by an evaluator-based equivalence test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_OPT_TRACEOPTIMIZER_H
+#define JTC_OPT_TRACEOPTIMIZER_H
+
+#include "interp/PreparedModule.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+
+/// One element of a linearized trace segment.
+struct LinearOp {
+  enum class Kind : uint8_t {
+    Instr, ///< An ordinary non-control instruction.
+    Guard, ///< A branch converted to a direction assertion.
+  };
+
+  Kind K = Kind::Instr;
+  /// For Instr: the instruction. For Guard: I.Op is the original branch
+  /// opcode (its pops define the guard's operands).
+  Instruction I;
+  /// For Guard: true when the trace follows the branch's taken edge.
+  bool GuardTaken = false;
+
+  static LinearOp instr(Instruction In) {
+    LinearOp Op;
+    Op.I = In;
+    return Op;
+  }
+  static LinearOp guard(Opcode Branch, bool Taken) {
+    LinearOp Op;
+    Op.K = Kind::Guard;
+    Op.I = Instruction(Branch);
+    Op.GuardTaken = Taken;
+    return Op;
+  }
+};
+
+/// A straight-line run of operations within one method's frame (plus,
+/// when calls were inlined, the renamed locals of flattened callees).
+struct LinearSegment {
+  uint32_t MethodId = 0;
+  uint32_t NumLocals = 0;
+  /// Locals at or above this index are synthetic (renamed inlined-callee
+  /// frames): they are dead outside the segment, so the optimizer never
+  /// materializes deferred stores to them at exits.
+  uint32_t ScratchBase = 0;
+  std::vector<LinearOp> Ops;
+
+  /// Ordinary instructions (guards excluded).
+  size_t numInstructions() const;
+};
+
+/// Splits \p T into optimizable straight-line segments. Conditional
+/// branches and switches interior to the trace become guards; calls,
+/// returns and the trace end terminate segments.
+///
+/// With \p InlineStaticCalls, static calls whose callee blocks are part
+/// of the trace are flattened into the segment instead of breaking it:
+/// callee locals are renamed above the caller's frame, argument passing
+/// becomes explicit stores, and returns become plain data flow -- the
+/// "traces that inline small methods" unit of Duesterwald & Bruening
+/// that the paper cites as the optimal optimization shape. (A real
+/// system would need deoptimization metadata to reconstruct frames at
+/// guard exits inside inlined code; this implementation measures the
+/// headroom.) Virtual calls still break segments: they would need
+/// receiver-class guards.
+std::vector<LinearSegment> linearizeTrace(const PreparedModule &PM,
+                                          const Trace &T,
+                                          bool InlineStaticCalls = false);
+
+/// Optimization statistics, accumulated across segments.
+struct OptStats {
+  uint64_t InstructionsBefore = 0;
+  uint64_t InstructionsAfter = 0;
+  uint64_t GuardsBefore = 0;
+  uint64_t GuardsAfter = 0;
+  uint64_t ConstantsFolded = 0;
+  uint64_t DeadStores = 0;
+  uint64_t LoadsForwarded = 0;
+  uint64_t GuardsEliminated = 0;
+
+  double reduction() const {
+    return InstructionsBefore == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(InstructionsAfter) /
+                           static_cast<double>(InstructionsBefore);
+  }
+};
+
+/// Optimizes one segment. The result is observably equivalent: executed
+/// from any initial (locals, stack), it produces the same final locals,
+/// stack, and Iprint output, and at every remaining guard the live
+/// machine state equals the unoptimized state.
+LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats);
+
+/// Convenience: linearize + optimize every segment of \p T, accumulating
+/// into \p Stats; returns the optimized segments.
+std::vector<LinearSegment> optimizeTrace(const PreparedModule &PM,
+                                         const Trace &T, OptStats &Stats,
+                                         bool InlineStaticCalls = false);
+
+} // namespace jtc
+
+#endif // JTC_OPT_TRACEOPTIMIZER_H

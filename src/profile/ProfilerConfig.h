@@ -1,0 +1,40 @@
+//===- profile/ProfilerConfig.h - Profiler parameters -----------*- C++ -*-===//
+///
+/// \file
+/// The two parameters the paper's evaluation sweeps (section 5.2) plus the
+/// fixed decay interval of section 4.1.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_PROFILE_PROFILERCONFIG_H
+#define JTC_PROFILE_PROFILERCONFIG_H
+
+#include <cstdint>
+
+namespace jtc {
+
+struct ProfilerConfig {
+  /// How many times a branch must execute before it leaves the
+  /// newly-created state and may be included in a trace. The paper sweeps
+  /// {1, 64, 4096}; 64 gave their best results.
+  uint32_t StartStateDelay = 64;
+
+  /// Executions of a branch between decay passes over its correlations.
+  /// The paper fixes this at 256 (one right shift every 256 executions).
+  uint32_t DecayInterval = 256;
+
+  /// Correlation ratio at which a branch counts as strongly correlated.
+  /// This equals the trace completion threshold; the paper sweeps
+  /// {1.00, 0.99, 0.98, 0.97, 0.95} and recommends 0.97. Stored in basis
+  /// points internally for exact comparisons at 100%.
+  double CompletionThreshold = 0.97;
+
+  /// \p CompletionThreshold in basis points (0.97 -> 9700).
+  uint32_t thresholdBasisPoints() const {
+    return static_cast<uint32_t>(CompletionThreshold * 10000.0 + 0.5);
+  }
+};
+
+} // namespace jtc
+
+#endif // JTC_PROFILE_PROFILERCONFIG_H

@@ -1,0 +1,60 @@
+//===- runtime/Heap.cpp ---------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace jtc;
+
+int64_t Heap::allocObject(uint32_t ClassId, uint32_t NumFields) {
+  assert(ClassId != ArrayClass && "ArrayClass id is reserved for arrays");
+  if (Cells.size() >= MaxCells)
+    return Null;
+  Cell C;
+  C.ClassId = ClassId;
+  C.Slots.assign(NumFields, 0);
+  Cells.push_back(std::move(C));
+  return static_cast<int64_t>(Cells.size());
+}
+
+int64_t Heap::allocArray(int64_t Len) {
+  assert(Len >= 0 && "caller must trap negative lengths");
+  if (Cells.size() >= MaxCells)
+    return Null;
+  Cell C;
+  C.ClassId = ArrayClass;
+  C.Slots.assign(static_cast<size_t>(Len), 0);
+  Cells.push_back(std::move(C));
+  return static_cast<int64_t>(Cells.size());
+}
+
+bool Heap::isLive(int64_t Ref) const {
+  return Ref > 0 && static_cast<size_t>(Ref) <= Cells.size();
+}
+
+const Heap::Cell &Heap::cell(int64_t Ref) const {
+  assert(isLive(Ref) && "dereference of dead or null reference");
+  return Cells[static_cast<size_t>(Ref) - 1];
+}
+
+Heap::Cell &Heap::cell(int64_t Ref) {
+  assert(isLive(Ref) && "dereference of dead or null reference");
+  return Cells[static_cast<size_t>(Ref) - 1];
+}
+
+uint32_t Heap::classOf(int64_t Ref) const { return cell(Ref).ClassId; }
+
+size_t Heap::slotCount(int64_t Ref) const { return cell(Ref).Slots.size(); }
+
+int64_t Heap::load(int64_t Ref, size_t Idx) const {
+  const Cell &C = cell(Ref);
+  assert(Idx < C.Slots.size() && "slot index out of range");
+  return C.Slots[Idx];
+}
+
+void Heap::store(int64_t Ref, size_t Idx, int64_t Value) {
+  Cell &C = cell(Ref);
+  assert(Idx < C.Slots.size() && "slot index out of range");
+  C.Slots[Idx] = Value;
+}

@@ -1,0 +1,74 @@
+//===- runtime/Heap.h - Objects and integer arrays ---------------*- C++ -*-===//
+///
+/// \file
+/// A simple non-moving heap holding class instances and integer arrays.
+/// References are opaque nonzero int64 handles (0 is null); there is no
+/// collector -- workload programs allocate a bounded working set, and the
+/// heap enforces a configurable cell budget to trap runaway allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_RUNTIME_HEAP_H
+#define JTC_RUNTIME_HEAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+
+/// The heap. Object cells remember their class id (for virtual dispatch);
+/// array cells use the reserved ArrayClass id.
+class Heap {
+public:
+  /// Class id stored in array cells.
+  static constexpr uint32_t ArrayClass = 0xffffffffu;
+  /// The null reference.
+  static constexpr int64_t Null = 0;
+
+  explicit Heap(size_t MaxCells = 1u << 22) : MaxCells(MaxCells) {}
+
+  /// Allocates an instance of \p ClassId with \p NumFields zeroed fields.
+  /// Returns Null when the cell budget is exhausted.
+  int64_t allocObject(uint32_t ClassId, uint32_t NumFields);
+
+  /// Allocates a zeroed integer array of length \p Len (>= 0). Returns
+  /// Null when the cell budget is exhausted.
+  int64_t allocArray(int64_t Len);
+
+  /// True iff \p Ref is a live non-null reference.
+  bool isLive(int64_t Ref) const;
+
+  /// Class id of the cell behind \p Ref (ArrayClass for arrays). \p Ref
+  /// must be live.
+  uint32_t classOf(int64_t Ref) const;
+
+  /// Number of fields / array length. \p Ref must be live.
+  size_t slotCount(int64_t Ref) const;
+
+  /// Raw slot access. \p Ref must be live, \p Idx in range.
+  int64_t load(int64_t Ref, size_t Idx) const;
+  void store(int64_t Ref, size_t Idx, int64_t Value);
+
+  /// Cells allocated so far.
+  size_t size() const { return Cells.size(); }
+
+  /// Drops every cell (used by Machine::reset()).
+  void clear() { Cells.clear(); }
+
+private:
+  struct Cell {
+    uint32_t ClassId = 0;
+    std::vector<int64_t> Slots;
+  };
+
+  const Cell &cell(int64_t Ref) const;
+  Cell &cell(int64_t Ref);
+
+  std::vector<Cell> Cells;
+  size_t MaxCells;
+};
+
+} // namespace jtc
+
+#endif // JTC_RUNTIME_HEAP_H

@@ -1,0 +1,29 @@
+//===- runtime/Trap.cpp ---------------------------------------------------===//
+
+#include "runtime/Trap.h"
+
+using namespace jtc;
+
+const char *jtc::trapName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::DivideByZero:
+    return "divide by zero";
+  case TrapKind::NullReference:
+    return "null reference";
+  case TrapKind::ArrayBounds:
+    return "array index out of bounds";
+  case TrapKind::FieldBounds:
+    return "field index out of bounds";
+  case TrapKind::NegativeArraySize:
+    return "negative array size";
+  case TrapKind::StackOverflow:
+    return "call stack overflow";
+  case TrapKind::OutOfMemory:
+    return "heap exhausted";
+  case TrapKind::BadVirtualDispatch:
+    return "no implementation for virtual slot";
+  }
+  return "unknown trap";
+}

@@ -1,0 +1,35 @@
+//===- runtime/Trap.h - Runtime trap kinds ----------------------*- C++ -*-===//
+///
+/// \file
+/// Data-dependent runtime failures. The verifier rules out structural
+/// errors statically; what remains (division by zero, null dereference,
+/// bounds violations, resource exhaustion) surfaces as a trap that halts
+/// execution with a diagnosable cause, in place of Java exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_RUNTIME_TRAP_H
+#define JTC_RUNTIME_TRAP_H
+
+#include <cstdint>
+
+namespace jtc {
+
+enum class TrapKind : uint8_t {
+  None,
+  DivideByZero,
+  NullReference,
+  ArrayBounds,
+  FieldBounds,
+  NegativeArraySize,
+  StackOverflow,
+  OutOfMemory,
+  BadVirtualDispatch, ///< Receiver's class has no implementation for the slot.
+};
+
+/// Human-readable trap name for diagnostics.
+const char *trapName(TrapKind Kind);
+
+} // namespace jtc
+
+#endif // JTC_RUNTIME_TRAP_H

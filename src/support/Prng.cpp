@@ -1,0 +1,55 @@
+//===- support/Prng.cpp ---------------------------------------------------===//
+
+#include "support/Prng.h"
+
+using namespace jtc;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void Prng::reseed(uint64_t Seed) {
+  uint64_t X = Seed;
+  State0 = splitmix64(X);
+  State1 = splitmix64(X);
+  // Guard against the all-zero state, which xorshift cannot leave.
+  if (State0 == 0 && State1 == 0)
+    State1 = 1;
+}
+
+uint64_t Prng::next() {
+  uint64_t S1 = State0;
+  const uint64_t S0 = State1;
+  State0 = S0;
+  S1 ^= S1 << 23;
+  State1 = S1 ^ S0 ^ (S1 >> 17) ^ (S0 >> 26);
+  return State1 + S0;
+}
+
+uint64_t Prng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Multiply-shift bounded generation; the tiny modulo bias is irrelevant
+  // for workload synthesis.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(next()) * Bound) >> 64);
+}
+
+int64_t Prng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+bool Prng::chancePercent(unsigned Percent) {
+  assert(Percent <= 100 && "percentage out of range");
+  return nextBelow(100) < Percent;
+}
+
+double Prng::nextUnit() {
+  // 53 random mantissa bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}

@@ -1,0 +1,52 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xorshift128+ seeded via splitmix64).
+/// Every stochastic choice in the workload generators and tests flows
+/// through this class so that runs are exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_PRNG_H
+#define JTC_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace jtc {
+
+/// Deterministic xorshift128+ generator.
+///
+/// Not cryptographic; chosen for speed and reproducibility across
+/// platforms. The default seed is arbitrary but fixed.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64 so that nearby
+  /// seeds yield unrelated streams.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent);
+
+  /// Returns a uniform double in [0, 1).
+  double nextUnit();
+
+private:
+  uint64_t State0 = 0;
+  uint64_t State1 = 0;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_PRNG_H

@@ -1,0 +1,55 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace jtc;
+
+double jtc::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double jtc::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geomean requires positive samples");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double jtc::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Acc = 0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / static_cast<double>(Values.size()));
+}
+
+double jtc::safeDiv(double Num, double Den) {
+  return Den == 0.0 ? 0.0 : Num / Den;
+}
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Lo = Hi = X;
+  } else {
+    if (X < Lo)
+      Lo = X;
+    if (X > Hi)
+      Hi = X;
+  }
+  ++N;
+  Sum += X;
+}

@@ -1,0 +1,47 @@
+//===- support/Stats.h - Small statistics helpers --------------*- C++ -*-===//
+///
+/// \file
+/// Aggregation helpers used when reducing per-benchmark measurements into
+/// the averages the paper's tables report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_STATS_H
+#define JTC_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace jtc {
+
+/// Arithmetic mean; returns 0 for an empty sample.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean; requires strictly positive samples, returns 0 if empty.
+double geomean(const std::vector<double> &Values);
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+double stddev(const std::vector<double> &Values);
+
+/// Ratio helper that maps x/0 to 0 instead of a trap.
+double safeDiv(double Num, double Den);
+
+/// Online accumulator for min/max/mean without storing the samples.
+class RunningStat {
+public:
+  void add(double X);
+  size_t count() const { return N; }
+  double mean() const { return N == 0 ? 0.0 : Sum / static_cast<double>(N); }
+  double min() const { return N == 0 ? 0.0 : Lo; }
+  double max() const { return N == 0 ? 0.0 : Hi; }
+
+private:
+  size_t N = 0;
+  double Sum = 0;
+  double Lo = 0;
+  double Hi = 0;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_STATS_H

@@ -1,0 +1,56 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace jtc;
+
+TablePrinter::TablePrinter(std::vector<std::string> Hdr)
+    : Header(std::move(Hdr)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity must match header");
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Width[I])
+        Width[I] = Row[I].size();
+
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      OS << (I == 0 ? "| " : " | ");
+      OS << Row[I];
+      OS << std::string(Width[I] - Row[I].size(), ' ');
+    }
+    OS << " |\n";
+  };
+
+  emitRow(Header);
+  for (size_t I = 0; I < Header.size(); ++I) {
+    OS << (I == 0 ? "|-" : "-|-");
+    OS << std::string(Width[I], '-');
+  }
+  OS << "-|\n";
+  for (const auto &Row : Rows)
+    emitRow(Row);
+}
+
+std::string TablePrinter::fmt(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmtPercent(double Ratio, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Ratio * 100.0);
+  return Buf;
+}

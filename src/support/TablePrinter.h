@@ -1,0 +1,49 @@
+//===- support/TablePrinter.h - Aligned ASCII tables -----------*- C++ -*-===//
+///
+/// \file
+/// Formats the benchmark harness output as aligned ASCII tables mirroring
+/// the rows/columns of the paper's Tables I-VII.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_TABLEPRINTER_H
+#define JTC_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jtc {
+
+/// Collects rows of string cells and prints them with per-column alignment.
+///
+/// Usage:
+/// \code
+///   TablePrinter T({"threshold", "compress", "javac"});
+///   T.addRow({"97%", "12.1", "4.3"});
+///   T.print(OS);
+/// \endcode
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Formats a double with \p Decimals fraction digits.
+  static std::string fmt(double Value, int Decimals = 1);
+
+  /// Formats a ratio as a percentage string like "97.3%".
+  static std::string fmtPercent(double Ratio, int Decimals = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,36 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal steady-clock stopwatch used by the Table VI/VII overhead
+/// experiments, which time the profiled vs. unprofiled interpreters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_TIMER_H
+#define JTC_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace jtc {
+
+/// A stopwatch over std::chrono::steady_clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_TIMER_H

@@ -1,0 +1,437 @@
+//===- text/AsmParser.cpp -------------------------------------------------===//
+
+#include "text/AsmParser.h"
+
+#include "bytecode/Assembler.h"
+#include "bytecode/Opcode.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace jtc;
+
+namespace {
+
+/// One whitespace-split line with its comment stripped.
+struct Line {
+  unsigned Number = 0;
+  std::vector<std::string> Tokens;
+
+  bool empty() const { return Tokens.empty(); }
+  const std::string &head() const { return Tokens[0]; }
+};
+
+/// Splits \p Text into token lines. Tokens are separated by spaces,
+/// tabs and commas; '[' and ']' are standalone tokens; ';' starts a
+/// comment. A trailing ':' stays attached to its token (labels).
+std::vector<Line> tokenize(std::string_view Text) {
+  std::vector<Line> Lines;
+  unsigned Number = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Text.size();
+    std::string_view Raw = Text.substr(Pos, Eol - Pos);
+    ++Number;
+    Pos = Eol + 1;
+
+    Line L;
+    L.Number = Number;
+    std::string Cur;
+    auto Flush = [&] {
+      if (!Cur.empty()) {
+        L.Tokens.push_back(Cur);
+        Cur.clear();
+      }
+    };
+    for (char C : Raw) {
+      if (C == ';')
+        break;
+      if (C == ' ' || C == '\t' || C == ',' || C == '\r') {
+        Flush();
+        continue;
+      }
+      if (C == '[' || C == ']' || C == '=') {
+        Flush();
+        L.Tokens.push_back(std::string(1, C));
+        continue;
+      }
+      Cur.push_back(C);
+    }
+    Flush();
+    if (!L.empty())
+      Lines.push_back(std::move(L));
+    if (Eol == Text.size())
+      break;
+  }
+  return Lines;
+}
+
+/// Builds the mnemonic -> opcode map once.
+const std::map<std::string, Opcode> &mnemonicMap() {
+  static const std::map<std::string, Opcode> Map = [] {
+    std::map<std::string, Opcode> M;
+    for (unsigned I = 0; I < numOpcodes(); ++I)
+      M.emplace(mnemonic(static_cast<Opcode>(I)), static_cast<Opcode>(I));
+    return M;
+  }();
+  return Map;
+}
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Lines(tokenize(Text)), Error(Error) {}
+
+  std::optional<Module> run() {
+    if (!declarePass())
+      return std::nullopt;
+    if (!definePass())
+      return std::nullopt;
+    return Asm.build();
+  }
+
+private:
+  bool fail(unsigned LineNo, const std::string &Msg) {
+    Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+  /// Parses "key" "=" "value" starting at \p Idx in \p L; on success
+  /// advances \p Idx past the value and stores it in \p Value.
+  bool keyValue(const Line &L, size_t &Idx, const std::string &Key,
+                std::string &Value) {
+    if (Idx + 2 >= L.Tokens.size() || L.Tokens[Idx] != Key ||
+        L.Tokens[Idx + 1] != "=")
+      return fail(L.Number, "expected '" + Key + "=<value>'");
+    Value = L.Tokens[Idx + 2];
+    Idx += 3;
+    return true;
+  }
+
+  bool parseUint(const Line &L, const std::string &Tok, uint32_t &Out) {
+    for (char C : Tok)
+      if (!std::isdigit(static_cast<unsigned char>(C)))
+        return fail(L.Number, "expected a number, found '" + Tok + "'");
+    Out = static_cast<uint32_t>(std::stoul(Tok));
+    return true;
+  }
+
+  bool parseInt(const Line &L, const std::string &Tok, int32_t &Out) {
+    size_t Start = Tok.size() > 1 && Tok[0] == '-' ? 1 : 0;
+    if (Tok.size() == Start)
+      return fail(L.Number, "expected a number, found '" + Tok + "'");
+    for (size_t I = Start; I < Tok.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Tok[I])))
+        return fail(L.Number, "expected a number, found '" + Tok + "'");
+    Out = static_cast<int32_t>(std::stol(Tok));
+    return true;
+  }
+
+  bool parseReturns(const Line &L, const std::string &Tok, bool &Returns) {
+    if (Tok == "int") {
+      Returns = true;
+      return true;
+    }
+    if (Tok == "void") {
+      Returns = false;
+      return true;
+    }
+    return fail(L.Number, "returns must be 'int' or 'void', found '" + Tok +
+                              "'");
+  }
+
+  /// Pass 1: register every .slot, .class and .method so bodies may refer
+  /// to them in any order.
+  bool declarePass() {
+    for (const Line &L : Lines) {
+      const std::string &Head = L.head();
+      if (Head == ".slot") {
+        if (L.Tokens.size() < 2)
+          return fail(L.Number, ".slot needs a name");
+        size_t Idx = 2;
+        std::string ArgsV, RetV;
+        uint32_t Args = 0;
+        bool Returns = false;
+        if (!keyValue(L, Idx, "args", ArgsV) || !parseUint(L, ArgsV, Args) ||
+            !keyValue(L, Idx, "returns", RetV) ||
+            !parseReturns(L, RetV, Returns))
+          return false;
+        if (Slots.count(L.Tokens[1]))
+          return fail(L.Number, "duplicate slot '" + L.Tokens[1] + "'");
+        Slots[L.Tokens[1]] = Asm.declareSlot(L.Tokens[1], Args, Returns);
+      } else if (Head == ".class") {
+        if (L.Tokens.size() < 2)
+          return fail(L.Number, ".class needs a name");
+        size_t Idx = 2;
+        std::string FieldsV;
+        uint32_t Fields = 0;
+        if (!keyValue(L, Idx, "fields", FieldsV) ||
+            !parseUint(L, FieldsV, Fields))
+          return false;
+        if (Classes.count(L.Tokens[1]))
+          return fail(L.Number, "duplicate class '" + L.Tokens[1] + "'");
+        Classes[L.Tokens[1]] = Asm.declareClass(L.Tokens[1], Fields);
+      } else if (Head == ".method") {
+        if (L.Tokens.size() < 2)
+          return fail(L.Number, ".method needs a name");
+        size_t Idx = 2;
+        std::string ArgsV, LocalsV, RetV;
+        uint32_t Args = 0, Locals = 0;
+        bool Returns = false;
+        if (!keyValue(L, Idx, "args", ArgsV) || !parseUint(L, ArgsV, Args) ||
+            !keyValue(L, Idx, "locals", LocalsV) ||
+            !parseUint(L, LocalsV, Locals) ||
+            !keyValue(L, Idx, "returns", RetV) ||
+            !parseReturns(L, RetV, Returns))
+          return false;
+        if (Locals < Args)
+          return fail(L.Number, "locals must be >= args");
+        if (Methods.count(L.Tokens[1]))
+          return fail(L.Number, "duplicate method '" + L.Tokens[1] + "'");
+        Methods[L.Tokens[1]] =
+            Asm.declareMethod(L.Tokens[1], Args, Locals, Returns);
+      }
+    }
+    return true;
+  }
+
+  /// Pass 2: vtables, entry, and method bodies.
+  bool definePass() {
+    bool SawEntry = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      const Line &L = Lines[I];
+      const std::string &Head = L.head();
+      if (Head == ".slot" || Head == ".class")
+        continue;
+      if (Head == ".vtable") {
+        if (L.Tokens.size() != 4)
+          return fail(L.Number, ".vtable needs <class> <slot> <method>");
+        auto C = Classes.find(L.Tokens[1]);
+        auto S = Slots.find(L.Tokens[2]);
+        auto M = Methods.find(L.Tokens[3]);
+        if (C == Classes.end())
+          return fail(L.Number, "unknown class '" + L.Tokens[1] + "'");
+        if (S == Slots.end())
+          return fail(L.Number, "unknown slot '" + L.Tokens[2] + "'");
+        if (M == Methods.end())
+          return fail(L.Number, "unknown method '" + L.Tokens[3] + "'");
+        Asm.setVtableEntry(C->second, S->second, M->second);
+        continue;
+      }
+      if (Head == ".entry") {
+        if (L.Tokens.size() != 2)
+          return fail(L.Number, ".entry needs a method name");
+        auto M = Methods.find(L.Tokens[1]);
+        if (M == Methods.end())
+          return fail(L.Number, "unknown method '" + L.Tokens[1] + "'");
+        Asm.setEntry(M->second);
+        SawEntry = true;
+        continue;
+      }
+      if (Head == ".method") {
+        if (!parseBody(I))
+          return false;
+        continue;
+      }
+      return fail(L.Number, "unexpected '" + Head + "' outside a method");
+    }
+    if (!SawEntry)
+      return fail(Lines.empty() ? 1 : Lines.back().Number,
+                  "missing .entry directive");
+    return true;
+  }
+
+  /// Parses one method body; \p I indexes the .method line on entry and
+  /// the .end line on exit.
+  bool parseBody(size_t &I) {
+    const Line &HeaderLine = Lines[I];
+    MethodBuilder B = Asm.beginMethod(Methods[HeaderLine.Tokens[1]]);
+    std::map<std::string, Label> LabelsByName;
+    auto GetLabel = [&](const std::string &Name) {
+      auto It = LabelsByName.find(Name);
+      if (It == LabelsByName.end())
+        It = LabelsByName.emplace(Name, B.newLabel()).first;
+      return It->second;
+    };
+    std::map<std::string, bool> Bound;
+
+    for (++I;; ++I) {
+      if (I >= Lines.size())
+        return fail(HeaderLine.Number, "method '" + HeaderLine.Tokens[1] +
+                                           "' missing .end");
+      const Line &L = Lines[I];
+      const std::string &Head = L.head();
+      if (Head == ".end")
+        break;
+      if (Head[0] == '.')
+        return fail(L.Number, "unexpected directive '" + Head +
+                                  "' inside a method body (missing .end?)");
+
+      // Label definition?
+      if (Head.size() > 1 && Head.back() == ':') {
+        std::string Name = Head.substr(0, Head.size() - 1);
+        if (Bound[Name])
+          return fail(L.Number, "label '" + Name + "' bound twice");
+        Bound[Name] = true;
+        B.bind(GetLabel(Name));
+        if (L.Tokens.size() > 1)
+          return fail(L.Number, "labels must be on their own line");
+        continue;
+      }
+
+      auto OpIt = mnemonicMap().find(Head);
+      if (OpIt == mnemonicMap().end())
+        return fail(L.Number, "unknown instruction '" + Head + "'");
+      Opcode Op = OpIt->second;
+      if (!parseInstruction(B, L, Op, GetLabel))
+        return false;
+    }
+
+    for (const auto &[Name, Lbl] : LabelsByName)
+      if (!Bound[Name])
+        return fail(HeaderLine.Number, "label '" + Name + "' used but never "
+                                                          "bound");
+    B.finish();
+    return true;
+  }
+
+  template <typename GetLabelT>
+  bool parseInstruction(MethodBuilder &B, const Line &L, Opcode Op,
+                        GetLabelT &GetLabel) {
+    auto NeedOperands = [&](size_t N) {
+      if (L.Tokens.size() == N + 1)
+        return true;
+      return fail(L.Number, "'" + L.head() + "' expects " +
+                                std::to_string(N) + " operand(s)");
+    };
+
+    switch (Op) {
+    case Opcode::Iconst:
+    case Opcode::Iload:
+    case Opcode::Istore:
+    case Opcode::GetField:
+    case Opcode::PutField: {
+      int32_t A = 0;
+      if (!NeedOperands(1) || !parseInt(L, L.Tokens[1], A))
+        return false;
+      B.emit(Op, A);
+      return true;
+    }
+    case Opcode::Iinc: {
+      int32_t A = 0, Delta = 0;
+      if (!NeedOperands(2) || !parseInt(L, L.Tokens[1], A) ||
+          !parseInt(L, L.Tokens[2], Delta))
+        return false;
+      B.emit(Op, A, Delta);
+      return true;
+    }
+    case Opcode::Goto:
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfGe:
+    case Opcode::IfGt:
+    case Opcode::IfLe:
+    case Opcode::IfIcmpEq:
+    case Opcode::IfIcmpNe:
+    case Opcode::IfIcmpLt:
+    case Opcode::IfIcmpGe:
+    case Opcode::IfIcmpGt:
+    case Opcode::IfIcmpLe:
+      if (!NeedOperands(1))
+        return false;
+      B.branch(Op, GetLabel(L.Tokens[1]));
+      return true;
+    case Opcode::Tableswitch:
+      return parseTableswitch(B, L, GetLabel);
+    case Opcode::InvokeStatic: {
+      if (!NeedOperands(1))
+        return false;
+      auto M = Methods.find(L.Tokens[1]);
+      if (M == Methods.end())
+        return fail(L.Number, "unknown method '" + L.Tokens[1] + "'");
+      B.invokestatic(M->second);
+      return true;
+    }
+    case Opcode::InvokeVirtual: {
+      if (!NeedOperands(1))
+        return false;
+      auto S = Slots.find(L.Tokens[1]);
+      if (S == Slots.end())
+        return fail(L.Number, "unknown slot '" + L.Tokens[1] + "'");
+      B.invokevirtual(S->second);
+      return true;
+    }
+    case Opcode::New: {
+      if (!NeedOperands(1))
+        return false;
+      auto C = Classes.find(L.Tokens[1]);
+      if (C == Classes.end())
+        return fail(L.Number, "unknown class '" + L.Tokens[1] + "'");
+      B.newobj(C->second);
+      return true;
+    }
+    default:
+      if (!NeedOperands(0))
+        return false;
+      B.emit(Op);
+      return true;
+    }
+  }
+
+  template <typename GetLabelT>
+  bool parseTableswitch(MethodBuilder &B, const Line &L, GetLabelT &GetLabel) {
+    // tableswitch low=N targets= [ a b c ] default=d
+    size_t Idx = 1;
+    std::string LowV;
+    int32_t Low = 0;
+    if (!keyValue(L, Idx, "low", LowV) || !parseInt(L, LowV, Low))
+      return false;
+    if (Idx + 2 >= L.Tokens.size() || L.Tokens[Idx] != "targets" ||
+        L.Tokens[Idx + 1] != "=" || L.Tokens[Idx + 2] != "[")
+      return fail(L.Number, "expected 'targets=[...]'");
+    Idx += 3;
+    std::vector<Label> Targets;
+    while (Idx < L.Tokens.size() && L.Tokens[Idx] != "]")
+      Targets.push_back(GetLabel(L.Tokens[Idx++]));
+    if (Idx >= L.Tokens.size())
+      return fail(L.Number, "unterminated target list");
+    ++Idx; // ']'
+    std::string DefV;
+    if (!keyValue(L, Idx, "default", DefV))
+      return false;
+    B.tableswitch(Low, Targets, GetLabel(DefV));
+    return true;
+  }
+
+  std::vector<Line> Lines;
+  std::string &Error;
+  Assembler Asm;
+  std::map<std::string, uint32_t> Slots;
+  std::map<std::string, uint32_t> Classes;
+  std::map<std::string, uint32_t> Methods;
+};
+
+} // namespace
+
+std::optional<Module> jtc::parseModule(std::string_view Text,
+                                       std::string &Error) {
+  return Parser(Text, Error).run();
+}
+
+std::optional<Module> jtc::parseModuleFile(const std::string &Path,
+                                           std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseModule(SS.str(), Error);
+}

@@ -1,0 +1,34 @@
+//===- text/AsmParser.h - Textual assembly parser ---------------*- C++ -*-===//
+///
+/// \file
+/// Parses the jtc textual assembly format produced by text/AsmWriter.h
+/// (see that header for the grammar). Parsing is two-pass -- declarations
+/// first, bodies second -- so methods, slots and classes may be
+/// referenced before they are defined. Errors carry 1-based line numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_TEXT_ASMPARSER_H
+#define JTC_TEXT_ASMPARSER_H
+
+#include "bytecode/Program.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jtc {
+
+/// Parses \p Text into a Module. On failure returns std::nullopt and sets
+/// \p Error to a "line N: message" diagnostic. The parsed module is
+/// *structurally* checked only; run the verifier for full validation.
+std::optional<Module> parseModule(std::string_view Text, std::string &Error);
+
+/// Reads and parses the file at \p Path. I/O failures are reported
+/// through \p Error like parse errors.
+std::optional<Module> parseModuleFile(const std::string &Path,
+                                      std::string &Error);
+
+} // namespace jtc
+
+#endif // JTC_TEXT_ASMPARSER_H

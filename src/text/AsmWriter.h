@@ -1,0 +1,49 @@
+//===- text/AsmWriter.h - Textual assembly output ---------------*- C++ -*-===//
+///
+/// \file
+/// Serializes a Module to the jtc textual assembly format (".jasm"),
+/// the inverse of text/AsmParser.h. The format is line-oriented:
+///
+///   ; comment
+///   .slot eval args=2 returns=int
+///   .class Literal fields=1
+///   .vtable Literal eval evalLiteral
+///   .method main args=0 locals=2 returns=void
+///     iconst 0
+///     istore 0
+///   loop:
+///     iload 0
+///     iconst 10
+///     if_icmpge done
+///     iinc 0 1
+///     goto loop
+///   done:
+///     halt
+///   .end
+///   .entry main
+///
+/// Branch targets are emitted as generated labels (`L<pc>`); call and
+/// class operands are emitted by name. writeModule() output always parses
+/// back to a structurally identical module (see the round-trip tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_TEXT_ASMWRITER_H
+#define JTC_TEXT_ASMWRITER_H
+
+#include "bytecode/Program.h"
+
+#include <ostream>
+#include <string>
+
+namespace jtc {
+
+/// Writes \p M as textual assembly to \p OS.
+void writeModule(std::ostream &OS, const Module &M);
+
+/// Convenience: writeModule() into a string.
+std::string moduleToString(const Module &M);
+
+} // namespace jtc
+
+#endif // JTC_TEXT_ASMWRITER_H

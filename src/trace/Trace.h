@@ -1,0 +1,54 @@
+//===- trace/Trace.h - Trace representation ---------------------*- C++ -*-===//
+///
+/// \file
+/// A trace: a sequence of basic blocks expected to execute to completion
+/// (paper section 3). A trace is entered when the interpreter performs the
+/// block transition (EntryFrom -> Blocks[0]); it then executes Blocks in
+/// order, exiting early if the program diverges. ExpectedCompletion is the
+/// product of the branch-correlation edge probabilities along the trace at
+/// construction time; the builder guarantees it is at least the completion
+/// threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_TRACE_TRACE_H
+#define JTC_TRACE_TRACE_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+
+using TraceId = uint32_t;
+constexpr TraceId InvalidTraceId = 0xffffffffu;
+
+struct Trace {
+  TraceId Id = InvalidTraceId;
+  BlockId EntryFrom = InvalidBlockId;  ///< Predecessor block P of the entry.
+  std::vector<BlockId> Blocks;         ///< B0..Bn; always >= 2 blocks.
+  double ExpectedCompletion = 1.0;
+  uint32_t InstrCount = 0; ///< Total instructions over Blocks.
+  bool Alive = true;       ///< False once replaced by a newer trace.
+
+  /// Runtime behaviour, maintained by the trace cache: how often the
+  /// trace was dispatched and how often it ran to completion. Used to
+  /// retire traces whose observed completion falls measurably below the
+  /// threshold (built from immature counters before the program's
+  /// behaviour was fully visible).
+  uint64_t Entered = 0;
+  uint64_t Completed = 0;
+
+  double observedCompletion() const {
+    return Entered == 0 ? 1.0
+                        : static_cast<double>(Completed) /
+                              static_cast<double>(Entered);
+  }
+
+  size_t length() const { return Blocks.size(); }
+};
+
+} // namespace jtc
+
+#endif // JTC_TRACE_TRACE_H

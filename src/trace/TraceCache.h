@@ -1,0 +1,102 @@
+//===- trace/TraceCache.h - The trace cache ---------------------*- C++ -*-===//
+///
+/// \file
+/// The trace cache of paper section 4.2. It listens for profiler
+/// state-change signals, runs the TraceBuilder over the affected region,
+/// and installs the resulting traces. Identical block sequences are
+/// hash-consed ("the trace cache hash table"), and installing a different
+/// trace at an occupied entry point replaces (kills) the old trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_TRACE_TRACECACHE_H
+#define JTC_TRACE_TRACECACHE_H
+
+#include "profile/BranchCorrelationGraph.h"
+#include "trace/Trace.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceConfig.h"
+
+#include <functional>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jtc {
+
+class TraceCache : public SignalSink {
+public:
+  /// \p BlockSize, when provided, maps a block id to its instruction
+  /// count so traces can carry their total instruction size (used by the
+  /// coverage metrics). \p Graph is non-const: handled signals are
+  /// acknowledged back into it. The caller must also register the cache
+  /// as the graph's sink: Graph.setSink(&Cache).
+  TraceCache(BranchCorrelationGraph &Graph, TraceConfig Config,
+             std::function<uint32_t(BlockId)> BlockSize = {});
+
+  /// SignalSink: rebuild the traces affected by \p Id's state change.
+  void onStateChange(NodeId Id) override;
+
+  /// Trace entered by the block transition (\p From -> \p To), or null.
+  /// This is the per-dispatch lookup the interpreter performs.
+  const Trace *findTrace(BlockId From, BlockId To) const {
+    auto It = EntryMap.find(pairKey(From, To));
+    return It == EntryMap.end() ? nullptr : &Traces[It->second];
+  }
+
+  /// Records one execution of trace \p Id (\p CompletedRun: it ran to
+  /// completion). Periodically compares the observed completion rate
+  /// against the threshold and retires persistent under-performers,
+  /// immediately rebuilding their region from current profile data. May
+  /// invalidate Trace pointers (rebuilds can grow the trace table).
+  void recordExecution(TraceId Id, bool CompletedRun);
+
+  struct CacheStats {
+    uint64_t SignalsHandled = 0;
+    uint64_t TracesConstructed = 0; ///< New traces materialized.
+    uint64_t TracesReused = 0;      ///< Candidates matching a cached trace.
+    uint64_t TracesReplaced = 0;    ///< Old traces killed by installs.
+    uint64_t TracesInvalidated = 0; ///< Stale fragments retired by rebuilds.
+    uint64_t TracesRetired = 0;     ///< Killed for poor observed completion.
+    uint64_t CandidatesSeen = 0;
+  };
+
+  const CacheStats &stats() const { return Stats; }
+
+  /// Live (dispatchable) traces.
+  size_t numLiveTraces() const;
+
+  /// Every trace ever constructed, including replaced ones.
+  const std::vector<Trace> &traces() const { return Traces; }
+
+  const TraceBuilder &builder() const { return Builder; }
+
+  /// Dumps live traces with their entries and completion estimates.
+  void dump(std::ostream &OS) const;
+
+private:
+  void install(const TraceCandidate &C);
+  static uint64_t contentHash(BlockId EntryFrom,
+                              const std::vector<BlockId> &Blocks);
+
+  BranchCorrelationGraph *Graph;
+  TraceConfig Config;
+  TraceBuilder Builder;
+  std::function<uint32_t(BlockId)> BlockSize;
+  std::vector<Trace> Traces;
+  /// (EntryFrom, Blocks[0]) pair key -> live trace id.
+  std::unordered_map<uint64_t, TraceId> EntryMap;
+  /// Content hash -> all trace ids ever built with that hash.
+  std::unordered_map<uint64_t, std::vector<TraceId>> ByContent;
+  /// Entry keys and trace ids installed or reused by the in-progress
+  /// rebuild; traces keyed at interior transitions of a fresh trace (and
+  /// not themselves fresh) are retired as stale fragments.
+  std::unordered_set<uint64_t> FreshEntryKeys;
+  std::vector<TraceId> FreshIds;
+  CacheStats Stats;
+};
+
+} // namespace jtc
+
+#endif // JTC_TRACE_TRACECACHE_H

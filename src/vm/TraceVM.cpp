@@ -1,0 +1,148 @@
+//===- vm/TraceVM.cpp -----------------------------------------------------===//
+
+#include "vm/TraceVM.h"
+
+using namespace jtc;
+
+TraceVM::TraceVM(const PreparedModule &PM, VmConfig Config)
+    : PM(&PM), Config(Config), Mach(PM.module()), Stepper(PM, Mach),
+      Graph(Config.profilerConfig()),
+      Cache(Graph, Config.traceConfig(),
+            [P = &PM](BlockId B) { return P->blockSize(B); }) {
+  // Trace construction is driven by profiler signals, so trace dispatch
+  // requires profiling.
+  if (Config.ProfilingEnabled && Config.TracesEnabled)
+    Graph.setSink(&Cache);
+}
+
+void TraceVM::onNonTraceTransition(BlockId Cur, BlockId Next) {
+  // The profiler hook runs first: it may emit signals that build (or
+  // rebuild) a trace starting exactly at this transition, which the entry
+  // lookup below will then see.
+  //
+  // The one transition never profiled is the divergence that exited a
+  // trace early: while a trace is stable its interior transitions carry
+  // no hooks, so the common outcomes of its branches are invisible to the
+  // profiler -- but every rare divergence would escape and be recorded.
+  // Counting those samples would systematically skew interior branch
+  // correlations toward their rare outcomes and make later rebuilds
+  // fragment perfectly good traces.
+  if (Config.ProfilingEnabled && !SkipHookOnce)
+    Graph.onBlockDispatch(Next);
+  SkipHookOnce = false;
+
+  if (Config.ProfilingEnabled && Config.TracesEnabled) {
+    if (const Trace *T = Cache.findTrace(Cur, Next)) {
+      Active = T;
+      TracePos = 0;
+      ++Stats.TraceDispatches;
+      return;
+    }
+  }
+  ++Stats.BlockDispatches;
+}
+
+void TraceVM::completeActiveTrace() {
+  ++Stats.TracesCompleted;
+  Stats.BlocksInCompletedTraces += Active->Blocks.size();
+  Stats.InstructionsInCompletedTraces += Active->InstrCount;
+  // The inlined blocks carried no profiling hooks; resynchronize the
+  // context from the trace's final block pair.
+  if (Config.ProfilingEnabled) {
+    size_t N = Active->Blocks.size();
+    Graph.forceContext(Active->Blocks[N - 2], Active->Blocks[N - 1]);
+  }
+  TraceId Id = Active->Id;
+  Active = nullptr;
+  TracePos = 0;
+  // After Active is cleared: the bookkeeping may retire the trace and
+  // rebuild its region, which can reallocate the trace table.
+  Cache.recordExecution(Id, /*CompletedRun=*/true);
+}
+
+void TraceVM::exitActiveTraceEarly(uint32_t BlocksRun) {
+  assert(BlocksRun >= 1 && "a dispatched trace executes at least one block");
+  if (Config.ProfilingEnabled) {
+    if (BlocksRun >= 2)
+      Graph.forceContext(Active->Blocks[BlocksRun - 2],
+                         Active->Blocks[BlocksRun - 1]);
+    else
+      Graph.forceContext(Active->EntryFrom, Active->Blocks[0]);
+  }
+  SkipHookOnce = true;
+  TraceId Id = Active->Id;
+  Active = nullptr;
+  TracePos = 0;
+  Cache.recordExecution(Id, /*CompletedRun=*/false);
+}
+
+RunResult TraceVM::run() {
+  assert(!Ran && "TraceVM::run is single-shot; construct a fresh VM");
+  Ran = true;
+
+  RunResult R;
+  Stepper.start();
+  BlockId Cur = Stepper.currentBlock();
+
+  // The entry block is an ordinary block dispatch.
+  ++Stats.BlockDispatches;
+  if (Config.ProfilingEnabled)
+    Graph.onBlockDispatch(Cur);
+
+  while (true) {
+    BlockStepper::StepStatus S = Stepper.step(); // executes Cur
+    ++Stats.BlocksExecuted;
+    if (Active) {
+      ++Stats.BlocksInTraces;
+      Stats.InstructionsInTraces += PM->blockSize(Cur);
+      if (TracePos + 1 == Active->Blocks.size())
+        completeActiveTrace(); // the trace's last block just ran
+    }
+
+    if (S != BlockStepper::StepStatus::Continue) {
+      if (Active)
+        exitActiveTraceEarly(TracePos + 1);
+      R.Status = S == BlockStepper::StepStatus::Finished ? RunStatus::Finished
+                                                         : RunStatus::Trapped;
+      R.Trap = Mach.trap();
+      break;
+    }
+    if (Stepper.instructions() >= Config.MaxInstructions) {
+      if (Active)
+        exitActiveTraceEarly(TracePos + 1);
+      R.Status = RunStatus::BudgetExhausted;
+      break;
+    }
+
+    BlockId Next = Stepper.currentBlock();
+    if (Active) {
+      if (Next == Active->Blocks[TracePos + 1]) {
+        ++TracePos; // matched; stay inside the trace, no hook, no dispatch
+      } else {
+        exitActiveTraceEarly(TracePos + 1);
+        onNonTraceTransition(Cur, Next);
+      }
+    } else {
+      onNonTraceTransition(Cur, Next);
+    }
+    Cur = Next;
+  }
+
+  Stats.Instructions = Stepper.instructions();
+  R.Instructions = Stats.Instructions;
+  R.Dispatches = Stats.totalDispatches();
+
+  const BranchCorrelationGraph::GraphStats &GS = Graph.stats();
+  Stats.Hooks = GS.Hooks;
+  Stats.InlineCacheHits = GS.InlineCacheHits;
+  Stats.DecayPasses = GS.DecayPasses;
+  Stats.Signals = GS.Signals;
+  const TraceCache::CacheStats &CS = Cache.stats();
+  Stats.TracesConstructed = CS.TracesConstructed;
+  Stats.TracesReused = CS.TracesReused;
+  Stats.TracesReplaced = CS.TracesReplaced;
+  Stats.TracesRetired = CS.TracesRetired;
+  Stats.LiveTraces = Cache.numLiveTraces();
+  Stats.GraphNodes = Graph.numNodes();
+  return R;
+}

@@ -1,0 +1,118 @@
+//===- vm/TraceVM.h - The trace-dispatching virtual machine -----*- C++ -*-===//
+///
+/// \file
+/// TraceVM glues the three mechanisms of paper section 4 together: the
+/// direct-threaded-inlining block interpreter, the branch correlation
+/// graph profiler, and the trace cache.
+///
+/// On every block transition outside a trace the profiler hook runs and
+/// the trace-cache entry table is consulted; a hit dispatches the whole
+/// trace. While a trace executes, per-block profiler hooks are suppressed
+/// (a trace dispatch costs a single profiling statement, paper section
+/// 4.1.2) and the actual successors are matched against the trace. A
+/// mismatch exits the trace early (a partial execution); matching through
+/// the last block completes it. On any exit the profiler context is
+/// resynchronized from the last executed block pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_VM_TRACEVM_H
+#define JTC_VM_TRACEVM_H
+
+#include "interp/BlockStepper.h"
+#include "profile/BranchCorrelationGraph.h"
+#include "trace/TraceCache.h"
+#include "vm/VmStats.h"
+
+#include <memory>
+
+namespace jtc {
+
+/// Configuration for one TraceVM run.
+struct VmConfig {
+  /// Start-state delay in branch executions (paper sweeps 1/64/4096).
+  uint32_t StartStateDelay = 64;
+  /// Trace completion threshold; also the strong-correlation threshold.
+  double CompletionThreshold = 0.97;
+  /// Branch executions between decay passes.
+  uint32_t DecayInterval = 256;
+  /// Trace construction caps.
+  uint32_t MaxTraceBlocks = 64;
+
+  /// Master switches, used by the overhead experiments: profiling off
+  /// yields the plain block interpreter; traces off yields the profiled
+  /// interpreter without trace dispatch.
+  bool ProfilingEnabled = true;
+  bool TracesEnabled = true;
+
+  /// Stop after this many executed instructions (safety and workload
+  /// scaling).
+  uint64_t MaxInstructions = ~0ull;
+
+  ProfilerConfig profilerConfig() const {
+    ProfilerConfig P;
+    P.StartStateDelay = StartStateDelay;
+    P.DecayInterval = DecayInterval;
+    P.CompletionThreshold = CompletionThreshold;
+    return P;
+  }
+
+  TraceConfig traceConfig() const {
+    TraceConfig T;
+    T.CompletionThreshold = CompletionThreshold;
+    T.MaxTraceBlocks = MaxTraceBlocks;
+    return T;
+  }
+};
+
+/// One virtual machine instance over a prepared module.
+class TraceVM {
+public:
+  /// \p PM must outlive the VM.
+  TraceVM(const PreparedModule &PM, VmConfig Config);
+
+  /// Runs the module's entry method to completion (or trap / instruction
+  /// budget) and returns the outcome. Single-shot: construct a fresh VM
+  /// for another run.
+  RunResult run();
+
+  const VmStats &stats() const { return Stats; }
+  const VmConfig &config() const { return Config; }
+  const PreparedModule &prepared() const { return *PM; }
+  const BranchCorrelationGraph &graph() const { return Graph; }
+  const TraceCache &traceCache() const { return Cache; }
+  Machine &machine() { return Mach; }
+  const Machine &machine() const { return Mach; }
+
+private:
+  /// Handles the transition (\p Cur -> \p Next) when not inside a trace:
+  /// profiler hook, then trace-entry lookup.
+  void onNonTraceTransition(BlockId Cur, BlockId Next);
+
+  /// Records completion of the active trace and leaves trace mode.
+  void completeActiveTrace();
+
+  /// Leaves trace mode after a divergence; \p BlocksRun blocks of the
+  /// trace actually executed.
+  void exitActiveTraceEarly(uint32_t BlocksRun);
+
+  const PreparedModule *PM;
+  VmConfig Config;
+  Machine Mach;
+  BlockStepper Stepper;
+  BranchCorrelationGraph Graph;
+  TraceCache Cache;
+  VmStats Stats;
+
+  // Active-trace state.
+  const Trace *Active = nullptr;
+  uint32_t TracePos = 0; ///< Index in Active->Blocks of the current block.
+  /// Set after an early trace exit: the divergent transition is not
+  /// profiled (see onNonTraceTransition).
+  bool SkipHookOnce = false;
+  bool Ran = false;
+};
+
+} // namespace jtc
+
+#endif // JTC_VM_TRACEVM_H

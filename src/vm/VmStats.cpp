@@ -1,0 +1,30 @@
+//===- vm/VmStats.cpp -----------------------------------------------------===//
+
+#include "vm/VmStats.h"
+
+using namespace jtc;
+
+void VmStats::print(std::ostream &OS) const {
+  OS << "instructions:                  " << Instructions << "\n"
+     << "blocks executed:               " << BlocksExecuted << "\n"
+     << "block dispatches:              " << BlockDispatches << "\n"
+     << "trace dispatches:              " << TraceDispatches << "\n"
+     << "traces completed:              " << TracesCompleted << "\n"
+     << "avg completed trace length:    " << avgCompletedTraceLength()
+     << " blocks\n"
+     << "completed-trace coverage:      " << completedCoverage() * 100 << "%\n"
+     << "any-trace coverage:            " << traceCoverage() * 100 << "%\n"
+     << "trace completion rate:         " << completionRate() * 100 << "%\n"
+     << "profiler hooks:                " << Hooks << "\n"
+     << "inline cache hits:             " << InlineCacheHits << "\n"
+     << "decay passes:                  " << DecayPasses << "\n"
+     << "state change signals:          " << Signals << "\n"
+     << "traces constructed:            " << TracesConstructed << "\n"
+     << "traces reused:                 " << TracesReused << "\n"
+     << "traces replaced:               " << TracesReplaced << "\n"
+     << "traces retired (completion):   " << TracesRetired << "\n"
+     << "live traces:                   " << LiveTraces << "\n"
+     << "branch graph nodes:            " << GraphNodes << "\n"
+     << "dispatches per signal:         " << dispatchesPerSignal() << "\n"
+     << "dispatches per trace event:    " << dispatchesPerTraceEvent() << "\n";
+}

@@ -1,0 +1,107 @@
+//===- vm/VmStats.h - Run metrics -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Counters collected during a TraceVM run, plus the derived quantities
+/// the paper's evaluation reports (section 5.2): average executed trace
+/// length, instruction stream coverage, dynamic trace completion rate,
+/// state signal rate and trace event interval.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_VM_VMSTATS_H
+#define JTC_VM_VMSTATS_H
+
+#include <cstdint>
+#include <ostream>
+
+namespace jtc {
+
+struct VmStats {
+  //===--- Raw execution counters -------------------------------------===//
+  uint64_t Instructions = 0;   ///< Every instruction executed.
+  uint64_t BlocksExecuted = 0; ///< Every block executed, in or out of traces.
+  uint64_t BlockDispatches = 0; ///< Dispatches of single blocks.
+  uint64_t TraceDispatches = 0; ///< Dispatches of whole traces (entries).
+
+  //===--- Trace behaviour --------------------------------------------===//
+  uint64_t TracesCompleted = 0;
+  uint64_t BlocksInTraces = 0;
+  uint64_t BlocksInCompletedTraces = 0;
+  uint64_t InstructionsInTraces = 0;
+  uint64_t InstructionsInCompletedTraces = 0;
+
+  //===--- Profiler / cache activity (copied at end of run) -----------===//
+  uint64_t Hooks = 0;
+  uint64_t InlineCacheHits = 0;
+  uint64_t DecayPasses = 0;
+  uint64_t Signals = 0;
+  uint64_t TracesConstructed = 0;
+  uint64_t TracesReused = 0;
+  uint64_t TracesReplaced = 0;
+  uint64_t TracesRetired = 0;
+  uint64_t LiveTraces = 0;
+  uint64_t GraphNodes = 0;
+
+  //===--- Derived values (paper section 5.2) -------------------------===//
+
+  /// Dispatches the trace-dispatching model performs (block + trace).
+  uint64_t totalDispatches() const { return BlockDispatches + TraceDispatches; }
+
+  /// Average executed trace length in basic blocks, over traces that ran
+  /// to completion (Table I).
+  double avgCompletedTraceLength() const {
+    return TracesCompleted == 0
+               ? 0.0
+               : static_cast<double>(BlocksInCompletedTraces) /
+                     static_cast<double>(TracesCompleted);
+  }
+
+  /// Fraction of all executed instructions executed by completed traces
+  /// (Table II).
+  double completedCoverage() const {
+    return Instructions == 0
+               ? 0.0
+               : static_cast<double>(InstructionsInCompletedTraces) /
+                     static_cast<double>(Instructions);
+  }
+
+  /// Fraction of all executed instructions executed inside the trace
+  /// cache, including partially executed traces.
+  double traceCoverage() const {
+    return Instructions == 0 ? 0.0
+                             : static_cast<double>(InstructionsInTraces) /
+                                   static_cast<double>(Instructions);
+  }
+
+  /// Completed traces over entered traces (Table III).
+  double completionRate() const {
+    return TraceDispatches == 0 ? 0.0
+                                : static_cast<double>(TracesCompleted) /
+                                      static_cast<double>(TraceDispatches);
+  }
+
+  /// Block executions per profiler state-change signal (Table IV reports
+  /// this in thousands). Block executions are the dispatches a plain
+  /// direct-threaded-inlining interpreter would make.
+  double dispatchesPerSignal() const {
+    return Signals == 0 ? 0.0
+                        : static_cast<double>(BlocksExecuted) /
+                              static_cast<double>(Signals);
+  }
+
+  /// Block executions per trace event, where an event is a signal or a
+  /// constructed trace (Table V reports this in thousands).
+  double dispatchesPerTraceEvent() const {
+    uint64_t Events = Signals + TracesConstructed;
+    return Events == 0 ? 0.0
+                       : static_cast<double>(BlocksExecuted) /
+                             static_cast<double>(Events);
+  }
+
+  /// One-per-line human-readable dump.
+  void print(std::ostream &OS) const;
+};
+
+} // namespace jtc
+
+#endif // JTC_VM_VMSTATS_H

@@ -1,0 +1,148 @@
+//===- workloads/Common.cpp -----------------------------------------------===//
+
+#include "workloads/Common.h"
+
+#include <string>
+
+using namespace jtc;
+
+uint32_t jtc::addLcgMethod(Assembler &Asm) {
+  uint32_t Id = Asm.declareMethod("lcg", /*NumArgs=*/1, /*NumLocals=*/1,
+                                  /*ReturnsValue=*/true);
+  MethodBuilder B = Asm.beginMethod(Id);
+  B.iload(0);
+  B.iconst(1103515245);
+  B.emit(Opcode::Imul);
+  B.iconst(12345);
+  B.emit(Opcode::Iadd);
+  B.iconst(2147483647);
+  B.emit(Opcode::Iand);
+  B.iret();
+  B.finish();
+  return Id;
+}
+
+void jtc::emitLcgFill(MethodBuilder &B, uint32_t LcgMethod, uint32_t ArrLocal,
+                      uint32_t SeedLocal, uint32_t IdxLocal, int32_t Len,
+                      int32_t Mask) {
+  Label Loop = B.newLabel();
+  Label Done = B.newLabel();
+  B.iconst(0);
+  B.istore(IdxLocal);
+  B.bind(Loop);
+  B.iload(IdxLocal);
+  B.iconst(Len);
+  B.branch(Opcode::IfIcmpGe, Done);
+  B.iload(SeedLocal);
+  B.invokestatic(LcgMethod);
+  B.istore(SeedLocal);
+  B.iload(ArrLocal);
+  B.iload(IdxLocal);
+  B.iload(SeedLocal);
+  B.iconst(Mask);
+  B.emit(Opcode::Iand);
+  B.emit(Opcode::Iastore);
+  B.iinc(IdxLocal, 1);
+  B.branch(Opcode::Goto, Loop);
+  B.bind(Done);
+}
+
+std::vector<uint32_t> jtc::addColdTail(Assembler &Asm, const char *Prefix,
+                                       unsigned Count, unsigned Beef,
+                                       uint64_t Seed, unsigned Branches) {
+  Prng Rng(Seed);
+  std::vector<uint32_t> Ids;
+  Ids.reserve(Count);
+
+  for (unsigned K = 0; K < Count; ++K) {
+    uint32_t Id = Asm.declareMethod(std::string(Prefix) + std::to_string(K),
+                                    /*NumArgs=*/1, /*NumLocals=*/2,
+                                    /*ReturnsValue=*/true);
+    MethodBuilder B = Asm.beginMethod(Id);
+
+    // t = x, then a method-specific mix of arithmetic steps.
+    B.iload(0);
+    B.istore(1);
+    unsigned Steps = Beef / 4 + Rng.nextBelow(3);
+    unsigned Stride = Steps / (Branches + 1) == 0 ? 1 : Steps / (Branches + 1);
+    for (unsigned S = 0; S < Steps; ++S) {
+      if (S % Stride == Stride - 1 && S / Stride <= Branches && S / Stride >= 1) {
+        // A data-dependent branch.
+        Label Alt = B.newLabel(), Join = B.newLabel();
+        B.iload(0);
+        B.iconst(1 << Rng.nextBelow(4));
+        B.emit(Opcode::Iand);
+        B.branch(Opcode::IfEq, Alt);
+        B.iload(1);
+        B.iconst(static_cast<int32_t>(Rng.nextBelow(97) + 1));
+        B.emit(Opcode::Iadd);
+        B.istore(1);
+        B.branch(Opcode::Goto, Join);
+        B.bind(Alt);
+        B.iload(1);
+        B.iconst(3);
+        B.emit(Opcode::Imul);
+        B.iconst(0xffffff);
+        B.emit(Opcode::Iand);
+        B.istore(1);
+        B.bind(Join);
+        continue;
+      }
+      B.iload(1);
+      switch (Rng.nextBelow(5)) {
+      case 0:
+        B.iconst(static_cast<int32_t>(Rng.nextBelow(251) + 3));
+        B.emit(Opcode::Imul);
+        B.iconst(0xffffff);
+        B.emit(Opcode::Iand);
+        break;
+      case 1:
+        B.iload(0);
+        B.iconst(static_cast<int32_t>(Rng.nextBelow(5) + 1));
+        B.emit(Opcode::Ishr);
+        B.emit(Opcode::Iadd);
+        break;
+      case 2:
+        B.iconst(static_cast<int32_t>(Rng.nextBelow(0xffff)));
+        B.emit(Opcode::Ixor);
+        break;
+      case 3:
+        B.iconst(static_cast<int32_t>(Rng.nextBelow(1023) + 1));
+        B.emit(Opcode::Iadd);
+        break;
+      case 4:
+        B.iconst(static_cast<int32_t>(Rng.nextBelow(3) + 1));
+        B.emit(Opcode::Ishl);
+        B.iconst(0xffffff);
+        B.emit(Opcode::Iand);
+        break;
+      }
+      B.istore(1);
+    }
+    B.iload(1);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+    Ids.push_back(Id);
+  }
+  return Ids;
+}
+
+void jtc::emitTailDispatch(MethodBuilder &B,
+                           const std::vector<uint32_t> &Tails) {
+  assert(!Tails.empty() && "tail dispatch over an empty population");
+  std::vector<Label> Sites(Tails.size());
+  for (auto &L : Sites)
+    L = B.newLabel();
+  Label Join = B.newLabel();
+
+  // Stack: [arg, selector]; the switch consumes the selector.
+  B.tableswitch(0, Sites, /*Default=*/Sites[0]);
+  for (size_t K = 0; K < Tails.size(); ++K) {
+    B.bind(Sites[K]);
+    B.invokestatic(Tails[K]);
+    B.branch(Opcode::Goto, Join);
+  }
+  B.bind(Join);
+}

@@ -1,0 +1,57 @@
+//===- workloads/Common.h - Shared workload emitters ------------*- C++ -*-===//
+///
+/// \file
+/// Emitter helpers shared by the workload generators: the LCG data
+/// source, array-fill loops, and "cold tail" method populations.
+///
+/// Cold tails model the long tail of a real Java application's static
+/// code footprint (library code, startup, rarely taken utility paths):
+/// many distinct methods each executed only tens-to-hundreds of times.
+/// Sites executed fewer times than the start-state delay never enter
+/// traces at all, and sites just above it spend most of their executions
+/// cold -- this is the dominant source of uncovered instruction stream in
+/// the paper's less regular benchmarks (javac, soot, raytrace).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_WORKLOADS_COMMON_H
+#define JTC_WORKLOADS_COMMON_H
+
+#include "bytecode/Assembler.h"
+#include "support/Prng.h"
+
+#include <vector>
+
+namespace jtc {
+
+/// Adds the deterministic pseudo-random step `lcg(seed) -> seed'`
+/// (a classic 31-bit linear congruential generator) and returns its
+/// method id. All workload data derives from it.
+uint32_t addLcgMethod(Assembler &Asm);
+
+/// Emits, into \p B, a loop filling array local \p ArrLocal (already
+/// holding an array reference of length \p Len) with successive LCG
+/// values masked by \p Mask. Uses \p SeedLocal as the evolving seed and
+/// \p IdxLocal as scratch.
+void emitLcgFill(MethodBuilder &B, uint32_t LcgMethod, uint32_t ArrLocal,
+                 uint32_t SeedLocal, uint32_t IdxLocal, int32_t Len,
+                 int32_t Mask);
+
+/// Adds \p Count generated static methods (one int argument, int result)
+/// of roughly \p Beef arithmetic instructions each, with \p Branches
+/// internal data-dependent branches for structural realism. Operation mixes vary per
+/// method, driven deterministically by \p Seed. Returns the method ids.
+std::vector<uint32_t> addColdTail(Assembler &Asm, const char *Prefix,
+                                  unsigned Count, unsigned Beef,
+                                  uint64_t Seed, unsigned Branches = 1);
+
+/// Emits a dispatch into a cold-tail population. On entry the operand
+/// stack holds [arg, selector] with selector already reduced to
+/// [0, Tails.size()); on exit it holds the callee's int result. Compiled
+/// as a tableswitch over one invokestatic call site per tail method,
+/// mirroring a compiler's dispatch into many small routines.
+void emitTailDispatch(MethodBuilder &B, const std::vector<uint32_t> &Tails);
+
+} // namespace jtc
+
+#endif // JTC_WORKLOADS_COMMON_H

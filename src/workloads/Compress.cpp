@@ -1,0 +1,156 @@
+//===- workloads/Compress.cpp - LZW-style compressor stand-in -------------===//
+///
+/// Emulates SPECjvm compress: a hot encode loop with one ~99.5%-biased
+/// data-dependent branch per iteration (hash hit vs. literal emission).
+/// Multi-iteration traces survive thresholds of 99% and below, but the
+/// branch's misses stay resident in the decayed counters, so at the 100%
+/// threshold it is never strong and trace length collapses. A per-block
+/// "output flush" phase dispatches into a population of small buffer
+/// routines executed ~100 times each -- the near-delay code that keeps
+/// coverage around the paper's 90% rather than total.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace jtc;
+
+Module jtc::buildCompress(uint32_t Scale) {
+  Assembler Asm;
+  uint32_t Lcg = addLcgMethod(Asm);
+
+  // emitCode(v): one straight-line code-emission step in the hot loop.
+  uint32_t EmitCode = Asm.declareMethod("emitCode", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(EmitCode);
+    B.iload(0);
+    B.iconst(31);
+    B.emit(Opcode::Imul);
+    B.iload(0);
+    B.iconst(3);
+    B.emit(Opcode::Ishr);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+  }
+
+  // Output-buffer routines: a near-delay population whose width scales
+  // with the run length so the cold fraction of the stream is
+  // run-length invariant (longer compress runs touch more table state).
+  unsigned TailWidth = 96 * ((Scale + 19) / 20);
+  std::vector<uint32_t> Tail = addColdTail(Asm, "outbuf", TailWidth, 24, 0xc0ffee);
+
+  // Locals: 0 seed, 1 total, 2 i, 3 j, 4 v, 5 f.
+  uint32_t Main = Asm.declareMethod("main", 0, 6, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Outer = B.newLabel(), OuterEnd = B.newLabel();
+    Label Inner = B.newLabel(), InnerEnd = B.newLabel();
+    Label Rare = B.newLabel(), Join = B.newLabel();
+    Label Flush = B.newLabel(), FlushEnd = B.newLabel();
+
+    B.iconst(12345);
+    B.istore(0); // seed
+    B.iconst(0);
+    B.istore(1); // total
+    B.iconst(0);
+    B.istore(3); // j
+
+    B.bind(Outer);
+    B.iload(3);
+    B.iconst(static_cast<int32_t>(Scale));
+    B.branch(Opcode::IfIcmpGe, OuterEnd);
+    B.iconst(0);
+    B.istore(2); // i
+
+    // Hot encode loop: 4096 symbols.
+    B.bind(Inner);
+    B.iload(2);
+    B.iconst(4096);
+    B.branch(Opcode::IfIcmpGe, InnerEnd);
+
+    // seed = lcg(seed); v = seed & 2047
+    B.iload(0);
+    B.invokestatic(Lcg);
+    B.istore(0);
+    B.iload(0);
+    B.iconst(7);
+    B.emit(Opcode::Ishr);
+    B.iconst(2047);
+    B.emit(Opcode::Iand);
+    B.istore(4);
+
+    // Hash hit (~99.5%, one biased branch per iteration): total +=
+    // emitCode(v). The bias is high enough that a once-unrolled
+    // two-iteration trace survives the 97% threshold and a one-iteration
+    // trace survives 99%, yet misses stay resident in the decayed
+    // counters, so at the 100% threshold the branch is never strong and
+    // trace length collapses to unique chains (paper Table I).
+    B.iload(4);
+    B.iconst(2038);
+    B.branch(Opcode::IfIcmpGe, Rare);
+    B.iload(4);
+    B.invokestatic(EmitCode);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.istore(1);
+    B.branch(Opcode::Goto, Join);
+    B.bind(Rare);
+    // Miss: emit a literal and reset part of the code table.
+    B.iload(1);
+    B.iload(4);
+    B.emit(Opcode::Isub);
+    B.iload(0);
+    B.emit(Opcode::Ixor);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.istore(1);
+    B.bind(Join);
+    B.iinc(2, 1);
+    B.branch(Opcode::Goto, Inner);
+    B.bind(InnerEnd);
+
+    // Output flush: 384 dispatches into the buffer-routine population.
+    B.iconst(0);
+    B.istore(5);
+    B.bind(Flush);
+    B.iload(5);
+    B.iconst(384);
+    B.branch(Opcode::IfIcmpGe, FlushEnd);
+    B.iload(0);
+    B.invokestatic(Lcg);
+    B.istore(0);
+    // arg = total + f; selector = seed % 96
+    B.iload(1);
+    B.iload(5);
+    B.emit(Opcode::Iadd);
+    B.iload(0);
+    B.iconst(static_cast<int32_t>(TailWidth));
+    B.emit(Opcode::Irem);
+    emitTailDispatch(B, Tail);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.istore(1);
+    B.iinc(5, 1);
+    B.branch(Opcode::Goto, Flush);
+    B.bind(FlushEnd);
+
+    B.iload(1);
+    B.emit(Opcode::Iprint);
+    B.iinc(3, 1);
+    B.branch(Opcode::Goto, Outer);
+
+    B.bind(OuterEnd);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}

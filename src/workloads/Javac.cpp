@@ -1,0 +1,217 @@
+//===- workloads/Javac.cpp - Compiler front-end stand-in ------------------===//
+///
+/// Emulates SPECjvm javac: a token-driven parser over a large static code
+/// footprint. Each iteration switches over a pseudo-random token kind (a
+/// uniform 8-way tableswitch whose maximally correlated successor keeps
+/// flapping -- the profiler's hardest case), dispatches into one of 192
+/// generated "production" methods executed only a couple of hundred times
+/// each (so a large slice of the stream stays at or near the start-state
+/// delay), and visits one of four AST node classes through a megamorphic
+/// virtual call. A one-shot "library loading" phase adds purely cold
+/// stream. The result: short traces, the lowest coverage of the suite,
+/// and a high signal rate, as in the paper's javac rows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace jtc;
+
+Module jtc::buildJavac(uint32_t Scale) {
+  Assembler Asm;
+  uint32_t Lcg = addLcgMethod(Asm);
+
+  uint32_t EvalSlot = Asm.declareSlot("eval", /*ArgCount=*/2,
+                                      /*ReturnsValue=*/true);
+
+  struct NodeSpec {
+    const char *ClassName;
+    const char *MethodName;
+  };
+  const NodeSpec Specs[4] = {{"Literal", "evalLiteral"},
+                             {"BinaryOp", "evalBinary"},
+                             {"FieldRef", "evalField"},
+                             {"CallExpr", "evalCall"}};
+
+  uint32_t Classes[4];
+  for (int K = 0; K < 4; ++K) {
+    Classes[K] = Asm.declareClass(Specs[K].ClassName, /*NumFields=*/1);
+    uint32_t M = Asm.declareMethod(Specs[K].MethodName, 2, 2, true);
+    MethodBuilder B = Asm.beginMethod(M);
+    B.iload(0);
+    B.getfield(0);
+    B.iload(1);
+    switch (K) {
+    case 0:
+      B.emit(Opcode::Iadd);
+      break;
+    case 1:
+      B.emit(Opcode::Imul);
+      B.iconst(0xffff);
+      B.emit(Opcode::Iand);
+      break;
+    case 2:
+      B.emit(Opcode::Ixor);
+      break;
+    case 3:
+      B.emit(Opcode::Isub);
+      break;
+    }
+    B.iret();
+    B.finish();
+    Asm.setVtableEntry(Classes[K], EvalSlot, M);
+  }
+
+  // Grammar productions: Slice per token kind, sized so each executes
+  // roughly 500 times over a run -- mostly below two decay intervals,
+  // i.e. largely invisible to the trace cache.
+  unsigned Slice = Scale < 64 ? 8 : Scale / 8;
+  std::vector<uint32_t> Productions =
+      addColdTail(Asm, "production", 8 * Slice, 16, 0x7ac0, /*Branches=*/1);
+  // Library-loading routines: executed 16 times each, below any delay.
+  std::vector<uint32_t> Loader = addColdTail(Asm, "classload", 160, 24, 0x10ad);
+
+  // Locals: 0 seed, 1 i, 2 tok, 3 x, 4 tokens[], 5 nodes[], 6 acc, 7 idx.
+  uint32_t Main = Asm.declareMethod("main", 0, 8, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.iconst(31337);
+    B.istore(0);
+    B.iconst(256);
+    B.emit(Opcode::NewArray);
+    B.istore(4);
+    emitLcgFill(B, Lcg, 4, 0, 7, 256, 0x7fffffff);
+
+    // nodes[k] = new Specs[k] with field = k * 7 + 3.
+    B.iconst(4);
+    B.emit(Opcode::NewArray);
+    B.istore(5);
+    for (int K = 0; K < 4; ++K) {
+      B.iload(5);
+      B.iconst(K);
+      B.newobj(Classes[K]);
+      B.emit(Opcode::Dup);
+      B.iconst(K * 7 + 3);
+      B.putfield(0);
+      B.emit(Opcode::Iastore);
+    }
+
+    // Library loading: touch every loader routine 16 times.
+    {
+      Label Load = B.newLabel(), LoadEnd = B.newLabel();
+      B.iconst(0);
+      B.istore(7);
+      B.bind(Load);
+      B.iload(7);
+      B.iconst(static_cast<int32_t>(Loader.size() * 16));
+      B.branch(Opcode::IfIcmpGe, LoadEnd);
+      B.iload(7); // arg
+      B.iload(7);
+      B.iconst(static_cast<int32_t>(Loader.size()));
+      B.emit(Opcode::Irem); // selector
+      emitTailDispatch(B, Loader);
+      B.iload(6);
+      B.emit(Opcode::Iadd);
+      B.iconst(0xffffff);
+      B.emit(Opcode::Iand);
+      B.istore(6);
+      B.iinc(7, 1);
+      B.branch(Opcode::Goto, Load);
+      B.bind(LoadEnd);
+    }
+
+    Label Parse = B.newLabel(), Done = B.newLabel(), Poly = B.newLabel();
+    Label H[8];
+    for (auto &L : H)
+      L = B.newLabel();
+    Label Def = B.newLabel();
+
+    B.iconst(0);
+    B.istore(1);
+
+    B.bind(Parse);
+    B.iload(1);
+    B.iconst(static_cast<int32_t>(Scale * 1024));
+    B.branch(Opcode::IfIcmpGe, Done);
+
+    // Next token: a fresh LCG draw mixed with the lookahead window, so
+    // the stream never cycles.
+    B.iload(0);
+    B.invokestatic(Lcg);
+    B.istore(0);
+    B.iload(4);
+    B.iload(1);
+    B.iconst(255);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iaload);
+    B.iload(0);
+    B.iconst(9);
+    B.emit(Opcode::Ishr);
+    B.emit(Opcode::Ixor);
+    B.iconst(0x3ff);
+    B.emit(Opcode::Iand);
+    B.istore(2);
+
+    // 8-way dispatch on the token kind.
+    B.iload(2);
+    B.iconst(7);
+    B.emit(Opcode::Iand);
+    B.tableswitch(0, {H[0], H[1], H[2], H[3], H[4], H[5], H[6], H[7]}, Def);
+
+    // Each handler runs the production for (kind, tok detail): selector
+    // = kind * 24 + (tok >> 3) % 24 into the production population.
+    for (int K = 0; K < 8; ++K) {
+      B.bind(H[K]);
+      // arg = acc ^ (tok * (K + 3))
+      B.iload(6);
+      B.iload(2);
+      B.iconst(K + 3);
+      B.emit(Opcode::Imul);
+      B.emit(Opcode::Ixor);
+      // selector
+      B.iload(2);
+      B.iconst(3);
+      B.emit(Opcode::Ishr);
+      B.iconst(static_cast<int32_t>(Slice));
+      B.emit(Opcode::Irem);
+      B.iconst(static_cast<int32_t>(K * Slice));
+      B.emit(Opcode::Iadd);
+      emitTailDispatch(B, Productions);
+      B.istore(6);
+      B.branch(Opcode::Goto, Poly);
+    }
+    B.bind(Def); // unreachable: the kind is masked to [0, 8)
+    B.branch(Opcode::Goto, Poly);
+
+    B.bind(Poly);
+    // acc += nodes[tok & 3].eval(x) -- megamorphic visit.
+    B.iload(6);
+    B.iconst(1023);
+    B.emit(Opcode::Iand);
+    B.istore(3);
+    B.iload(5);
+    B.iload(2);
+    B.iconst(3);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iaload);
+    B.iload(3);
+    B.invokevirtual(EvalSlot);
+    B.iload(6);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.istore(6);
+
+    B.iinc(1, 1);
+    B.branch(Opcode::Goto, Parse);
+
+    B.bind(Done);
+    B.iload(6);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}

@@ -1,0 +1,260 @@
+//===- workloads/Raytrace.cpp - Ray tracer stand-in -----------------------===//
+///
+/// Emulates SPECjvm raytrace (mtrt's single-threaded core): per ray, a
+/// loop over scene objects runs a straight-line intersection and
+/// occlusion call chain (unique-successor blocks giving medium traces),
+/// glued by a data-dependent minimum update; rays occasionally recurse
+/// for reflection. Each ray also evaluates a handful of "material shader"
+/// routines drawn from a population of 256 -- with only tens of
+/// executions per routine they sit below the start-state delay, bounding
+/// coverage near the paper's ~80%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace jtc;
+
+Module jtc::buildRaytrace(uint32_t Scale) {
+  Assembler Asm;
+  uint32_t Lcg = addLcgMethod(Asm);
+
+  // intersect(x, c): distance-like value; one 99.6%-biased bounding-slab
+  // fast path.
+  uint32_t Intersect = Asm.declareMethod("intersect", 2, 3, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Intersect);
+    Label Slab = B.newLabel();
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Isub);
+    B.istore(2);
+    B.iload(2);
+    B.iload(2);
+    B.emit(Opcode::Imul);
+    B.iconst(0xfffff);
+    B.emit(Opcode::Iand);
+    B.istore(2);
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(255);
+    B.emit(Opcode::Iand);
+    B.branch(Opcode::IfEq, Slab);
+    B.iload(2);
+    B.iconst(3);
+    B.emit(Opcode::Ishr);
+    B.iload(2);
+    B.emit(Opcode::Iadd);
+    B.istore(2);
+    B.bind(Slab);
+    B.iload(2);
+    B.iret();
+    B.finish();
+  }
+
+  // occlude(x, d): straight-line shadow attenuation.
+  uint32_t Occlude = Asm.declareMethod("occlude", 2, 2, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Occlude);
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Ixor);
+    B.iconst(5);
+    B.emit(Opcode::Imul);
+    B.iload(1);
+    B.iconst(4);
+    B.emit(Opcode::Ishr);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+  }
+
+  // normal(x, d): straight-line surface-normal step.
+  uint32_t Normal = Asm.declareMethod("normal", 2, 2, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Normal);
+    B.iload(0);
+    B.iconst(11);
+    B.emit(Opcode::Imul);
+    B.iload(1);
+    B.iconst(2);
+    B.emit(Opcode::Ishl);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xfffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+  }
+
+  // shade(d): straight-line shading step.
+  uint32_t Shade = Asm.declareMethod("shade", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Shade);
+    B.iload(0);
+    B.iconst(13);
+    B.emit(Opcode::Imul);
+    B.iload(0);
+    B.iconst(7);
+    B.emit(Opcode::Ishr);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+  }
+
+  // Material shaders: a wide population each ray samples a few of.
+  unsigned MaterialWidth = 256 * ((Scale + 3999) / 4000);
+  std::vector<uint32_t> Materials =
+      addColdTail(Asm, "material", MaterialWidth, 44, 0x3a7e);
+
+  // traceRay(depth, x): loop over 12 objects; recurse on shiny hits.
+  // Locals: 0 depth, 1 x, 2 o, 3 best, 4 d, 5 c.
+  uint32_t TraceRay = Asm.declareMethod("traceRay", 2, 6, true);
+  {
+    MethodBuilder B = Asm.beginMethod(TraceRay);
+    Label Obj = B.newLabel(), ObjEnd = B.newLabel();
+    Label NoMin = B.newLabel(), NoRec = B.newLabel();
+
+    B.iconst(1 << 20);
+    B.istore(3); // best
+    B.iconst(0);
+    B.istore(2); // o
+
+    B.bind(Obj);
+    B.iload(2);
+    B.iconst(12);
+    B.branch(Opcode::IfIcmpGe, ObjEnd);
+    // c = (o * 83 + x) & 1023
+    B.iload(2);
+    B.iconst(83);
+    B.emit(Opcode::Imul);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(1023);
+    B.emit(Opcode::Iand);
+    B.istore(5);
+    // d = intersect(x, c) + occlude(x, d)
+    B.iload(1);
+    B.iload(5);
+    B.invokestatic(Intersect);
+    B.istore(4);
+    B.iload(1);
+    B.iload(4);
+    B.invokestatic(Occlude);
+    B.iload(4);
+    B.emit(Opcode::Iadd);
+    B.istore(4);
+    B.iload(1);
+    B.iload(4);
+    B.invokestatic(Normal);
+    B.iload(4);
+    B.emit(Opcode::Ixor);
+    B.iconst(0xfffff);
+    B.emit(Opcode::Iand);
+    B.istore(4);
+    // Min update: data-dependent, weakly biased.
+    B.iload(4);
+    B.iload(3);
+    B.branch(Opcode::IfIcmpGe, NoMin);
+    B.iload(4);
+    B.istore(3);
+    B.bind(NoMin);
+    B.iinc(2, 1);
+    B.branch(Opcode::Goto, Obj);
+    B.bind(ObjEnd);
+
+    B.iload(3);
+    B.invokestatic(Shade);
+    B.istore(3);
+
+    // Material shading: three samples from the shader population.
+    for (int S = 0; S < 3; ++S) {
+      B.iload(3); // arg
+      B.iload(1);
+      B.iload(3);
+      B.emit(Opcode::Ixor);
+      B.iconst(S * 5 + 3);
+      B.emit(Opcode::Ishr);
+      B.iconst(0x3fff);
+      B.emit(Opcode::Iand);
+      B.iconst(static_cast<int32_t>(MaterialWidth));
+      B.emit(Opcode::Irem);
+      emitTailDispatch(B, Materials);
+      B.iload(3);
+      B.emit(Opcode::Iadd);
+      B.iconst(0xfffff);
+      B.emit(Opcode::Iand);
+      B.istore(3);
+    }
+
+    // Reflective bounce: depth > 0 and (best & 7) == 0 (~12.5%).
+    B.iload(0);
+    B.branch(Opcode::IfLe, NoRec);
+    B.iload(3);
+    B.iconst(7);
+    B.emit(Opcode::Iand);
+    B.branch(Opcode::IfNe, NoRec);
+    B.iload(0);
+    B.iconst(1);
+    B.emit(Opcode::Isub);
+    B.iload(1);
+    B.iload(3);
+    B.emit(Opcode::Ixor);
+    B.iconst(1023);
+    B.emit(Opcode::Iand);
+    B.invokestatic(TraceRay);
+    B.iload(3);
+    B.emit(Opcode::Iadd);
+    B.istore(3);
+    B.bind(NoRec);
+    B.iload(3);
+    B.iret();
+    B.finish();
+  }
+
+  // Locals: 0 seed, 1 i, 2 acc.
+  uint32_t Main = Asm.declareMethod("main", 0, 3, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.iconst(424242);
+    B.istore(0);
+    B.iconst(0);
+    B.istore(1);
+    B.iconst(0);
+    B.istore(2);
+
+    B.bind(Loop);
+    B.iload(1);
+    B.iconst(static_cast<int32_t>(Scale));
+    B.branch(Opcode::IfIcmpGe, Done);
+    B.iload(0);
+    B.invokestatic(Lcg);
+    B.istore(0);
+    B.iconst(3); // depth
+    B.iload(0);
+    B.iconst(1023);
+    B.emit(Opcode::Iand);
+    B.invokestatic(TraceRay);
+    B.iload(2);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.istore(2);
+    B.iinc(1, 1);
+    B.branch(Opcode::Goto, Loop);
+
+    B.bind(Done);
+    B.iload(2);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}

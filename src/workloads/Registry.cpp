@@ -1,0 +1,27 @@
+//===- workloads/Registry.cpp ---------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace jtc;
+
+const std::vector<WorkloadInfo> &jtc::allWorkloads() {
+  // Default scales target runs of roughly 25-35 million instructions --
+  // long enough that one-time warm-up signals (hot promotions of the
+  // cold-tail code) amortize the way the paper's long SPEC runs do.
+  static const std::vector<WorkloadInfo> Infos = {
+      {"compress", &buildCompress, 140},
+      {"javac", &buildJavac, 280},
+      {"raytrace", &buildRaytrace, 24000},
+      {"mpegaudio", &buildMpegaudio, 12000},
+      {"soot", &buildSoot, 3800},
+      {"scimark", &buildScimark, 14000},
+  };
+  return Infos;
+}
+
+const WorkloadInfo *jtc::findWorkload(std::string_view Name) {
+  for (const WorkloadInfo &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,212 @@
+//===- workloads/Scimark.cpp - Regular numeric kernel stand-in ------------===//
+///
+/// Emulates scimark: SOR/matmul-style kernels whose loop bodies are long
+/// unique-successor chains (single-block helper calls and array updates)
+/// with no data-dependent branches at all. The only uncertain branches
+/// are the 16-iteration back edges (93.75% bias -- below every threshold
+/// the paper sweeps), so traces are the loop bodies themselves: their
+/// length and the near-total coverage are threshold-independent, matching
+/// the flat scimark rows of Tables I-III.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace jtc;
+
+namespace {
+
+/// Adds a single-block arithmetic helper f(a, b) built from \p Emit.
+uint32_t addKernelHelper(Assembler &Asm, const char *Name,
+                         void (*Emit)(MethodBuilder &)) {
+  uint32_t Id = Asm.declareMethod(Name, 2, 2, true);
+  MethodBuilder B = Asm.beginMethod(Id);
+  Emit(B);
+  B.iret();
+  B.finish();
+  return Id;
+}
+
+} // namespace
+
+Module jtc::buildScimark(uint32_t Scale) {
+  Assembler Asm;
+  uint32_t Lcg = addLcgMethod(Asm);
+
+  // Four straight-line kernels; each leaves one int on the stack.
+  uint32_t K1 = addKernelHelper(Asm, "sorStep", [](MethodBuilder &B) {
+    // (a + b) * 5 >> 1, masked
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(5);
+    B.emit(Opcode::Imul);
+    B.iconst(1);
+    B.emit(Opcode::Ishr);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+  });
+  uint32_t K2 = addKernelHelper(Asm, "fftTwiddle", [](MethodBuilder &B) {
+    // a * 3 ^ (b << 2), masked
+    B.iload(0);
+    B.iconst(3);
+    B.emit(Opcode::Imul);
+    B.iload(1);
+    B.iconst(2);
+    B.emit(Opcode::Ishl);
+    B.emit(Opcode::Ixor);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+  });
+  uint32_t K3 = addKernelHelper(Asm, "luScale", [](MethodBuilder &B) {
+    // (a - b) + (a >> 3)
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Isub);
+    B.iload(0);
+    B.iconst(3);
+    B.emit(Opcode::Ishr);
+    B.emit(Opcode::Iadd);
+  });
+  uint32_t K4 = addKernelHelper(Asm, "dotStep", [](MethodBuilder &B) {
+    // a * b masked plus b
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Imul);
+    B.iconst(0xffff);
+    B.emit(Opcode::Iand);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+  });
+
+  // Locals: 0 seed, 1 iter, 2 i, 3 a[], 4 b[], 5 x, 6 y, 7 scratch idx.
+  uint32_t Main = Asm.declareMethod("main", 0, 8, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.iconst(987);
+    B.istore(0);
+    B.iconst(32);
+    B.emit(Opcode::NewArray);
+    B.istore(3);
+    B.iconst(32);
+    B.emit(Opcode::NewArray);
+    B.istore(4);
+    emitLcgFill(B, Lcg, /*ArrLocal=*/3, /*SeedLocal=*/0, /*IdxLocal=*/7, 32,
+                0xffff);
+    emitLcgFill(B, Lcg, /*ArrLocal=*/4, /*SeedLocal=*/0, /*IdxLocal=*/7, 32,
+                0xffff);
+
+    Label Iter = B.newLabel(), IterEnd = B.newLabel();
+    Label Sor = B.newLabel(), SorEnd = B.newLabel();
+    Label Dot = B.newLabel(), DotEnd = B.newLabel();
+
+    B.iconst(0);
+    B.istore(1);
+    B.bind(Iter);
+    B.iload(1);
+    B.iconst(static_cast<int32_t>(Scale));
+    B.branch(Opcode::IfIcmpGe, IterEnd);
+
+    // SOR-like kernel: a[i&31] = k3(k2(k1(a[i&31], b[(i+1)&31]), i), x)
+    B.iconst(0);
+    B.istore(2);
+    B.bind(Sor);
+    B.iload(2);
+    B.iconst(16);
+    B.branch(Opcode::IfIcmpGe, SorEnd);
+    // x = k1(a[i&31], b[(i+1)&31])
+    B.iload(3);
+    B.iload(2);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iaload);
+    B.iload(4);
+    B.iload(2);
+    B.iconst(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iaload);
+    B.invokestatic(K1);
+    B.istore(5);
+    // y = k2(x, i)
+    B.iload(5);
+    B.iload(2);
+    B.invokestatic(K2);
+    B.istore(6);
+    // Two more pipeline stages: y = k2(k4(y, i), x).
+    B.iload(6);
+    B.iload(2);
+    B.invokestatic(K4);
+    B.istore(6);
+    B.iload(6);
+    B.iload(5);
+    B.invokestatic(K2);
+    B.istore(6);
+    // a[i&31] = k3(y, x) & 0xffffff
+    B.iload(3);
+    B.iload(2);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.iload(6);
+    B.iload(5);
+    B.invokestatic(K3);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iastore);
+    B.iinc(2, 1);
+    B.branch(Opcode::Goto, Sor);
+    B.bind(SorEnd);
+
+    // Dot-product-like kernel: b[i&31] = k4(a[(i*3)&31], b[i&31]) + i
+    B.iconst(0);
+    B.istore(2);
+    B.bind(Dot);
+    B.iload(2);
+    B.iconst(16);
+    B.branch(Opcode::IfIcmpGe, DotEnd);
+    B.iload(4);
+    B.iload(2);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.iload(3);
+    B.iload(2);
+    B.iconst(3);
+    B.emit(Opcode::Imul);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iaload);
+    B.iload(4);
+    B.iload(2);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iaload);
+    B.invokestatic(K4);
+    B.iload(2);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iastore);
+    B.iinc(2, 1);
+    B.branch(Opcode::Goto, Dot);
+    B.bind(DotEnd);
+
+    B.iinc(1, 1);
+    B.branch(Opcode::Goto, Iter);
+
+    B.bind(IterEnd);
+    B.iload(3);
+    B.iconst(0);
+    B.emit(Opcode::Iaload);
+    B.emit(Opcode::Iprint);
+    B.iload(4);
+    B.iconst(0);
+    B.emit(Opcode::Iaload);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}

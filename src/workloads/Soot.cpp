@@ -1,0 +1,291 @@
+//===- workloads/Soot.cpp - Bytecode analysis framework stand-in ----------===//
+///
+/// Emulates soot: a dataflow fixpoint sweep over a synthetic control-flow
+/// graph. Each node has a kind (5-way switch), two successors whose
+/// values are merged through a shared branchy helper, and a transfer
+/// function applied through a 5-receiver virtual dispatch. The switch and
+/// dispatch correlations depend on the (pseudo-random but fixed) graph
+/// shape, giving the irregular, low-trace-length, signal-heavy profile of
+/// the paper's soot rows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace jtc;
+
+Module jtc::buildSoot(uint32_t Scale) {
+  Assembler Asm;
+  uint32_t Lcg = addLcgMethod(Asm);
+
+  uint32_t ApplySlot = Asm.declareSlot("apply", 2, true);
+
+  const char *FlowNames[5] = {"CopyFlow", "AddFlow", "MaskFlow", "ShiftFlow",
+                              "XorFlow"};
+  uint32_t Classes[5];
+  for (int K = 0; K < 5; ++K) {
+    Classes[K] = Asm.declareClass(FlowNames[K], 1);
+    uint32_t M = Asm.declareMethod(std::string("apply") + FlowNames[K], 2, 2,
+                                   true);
+    MethodBuilder B = Asm.beginMethod(M);
+    B.iload(0);
+    B.getfield(0);
+    B.iload(1);
+    switch (K) {
+    case 0:
+      B.emit(Opcode::Iadd);
+      break;
+    case 1:
+      B.emit(Opcode::Iadd);
+      B.iconst(1);
+      B.emit(Opcode::Ishr);
+      break;
+    case 2:
+      B.emit(Opcode::Iand);
+      B.iconst(77);
+      B.emit(Opcode::Iadd);
+      break;
+    case 3:
+      B.emit(Opcode::Ishl);
+      B.iconst(0xffffff);
+      B.emit(Opcode::Iand);
+      break;
+    case 4:
+      B.emit(Opcode::Ixor);
+      break;
+    }
+    B.iret();
+    B.finish();
+    Asm.setVtableEntry(Classes[K], ApplySlot, M);
+  }
+
+  // merge(a, b): lattice join; shared, multi-block, data-dependent.
+  uint32_t Merge = Asm.declareMethod("merge", 2, 3, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Merge);
+    Label AGreater = B.newLabel(), Out = B.newLabel();
+    B.iload(0);
+    B.iload(1);
+    B.branch(Opcode::IfIcmpGt, AGreater);
+    B.iload(1);
+    B.iconst(2);
+    B.emit(Opcode::Imul);
+    B.iload(0);
+    B.emit(Opcode::Isub);
+    B.istore(2);
+    B.branch(Opcode::Goto, Out);
+    B.bind(AGreater);
+    B.iload(0);
+    B.iconst(2);
+    B.emit(Opcode::Imul);
+    B.iload(1);
+    B.emit(Opcode::Isub);
+    B.istore(2);
+    B.bind(Out);
+    B.iload(2);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+  }
+
+  // Transfer-function variants: 24 per node kind, each executed a few
+  // hundred times over a default run -- the near-delay code that holds
+  // coverage near the paper's ~83%.
+  unsigned Slice = Scale < 96 ? 8 : Scale / 12;
+  std::vector<uint32_t> Transfers =
+      addColdTail(Asm, "transfer", 5 * Slice, 28, 0x5007);
+
+  // Locals: 0 seed, 1 pass, 2 n, 3 kind[], 4 succ1[], 5 succ2[],
+  //         6 val[], 7 analyses[], 8 k, 9 v, 10 idx.
+  uint32_t Main = Asm.declareMethod("main", 0, 11, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.iconst(777);
+    B.istore(0);
+
+    for (uint32_t Arr = 3; Arr <= 6; ++Arr) {
+      B.iconst(64);
+      B.emit(Opcode::NewArray);
+      B.istore(Arr);
+    }
+    // kind[n] in [0, 5): fill with LCG mod 5.
+    {
+      Label Loop = B.newLabel(), Done = B.newLabel();
+      B.iconst(0);
+      B.istore(10);
+      B.bind(Loop);
+      B.iload(10);
+      B.iconst(64);
+      B.branch(Opcode::IfIcmpGe, Done);
+      B.iload(0);
+      B.invokestatic(Lcg);
+      B.istore(0);
+      B.iload(3);
+      B.iload(10);
+      B.iload(0);
+      B.iconst(5);
+      B.emit(Opcode::Irem);
+      B.emit(Opcode::Iastore);
+      B.iinc(10, 1);
+      B.branch(Opcode::Goto, Loop);
+      B.bind(Done);
+    }
+    emitLcgFill(B, Lcg, 4, 0, 10, 64, 63);     // succ1
+    emitLcgFill(B, Lcg, 5, 0, 10, 64, 63);     // succ2
+    emitLcgFill(B, Lcg, 6, 0, 10, 64, 0xffff); // initial values
+
+    // analyses[k] = new FlowNames[k] with field = k * 13 + 5.
+    B.iconst(5);
+    B.emit(Opcode::NewArray);
+    B.istore(7);
+    for (int K = 0; K < 5; ++K) {
+      B.iload(7);
+      B.iconst(K);
+      B.newobj(Classes[K]);
+      B.emit(Opcode::Dup);
+      B.iconst(K * 13 + 5);
+      B.putfield(0);
+      B.emit(Opcode::Iastore);
+    }
+
+    Label Pass = B.newLabel(), PassEnd = B.newLabel();
+    Label Node = B.newLabel(), NodeEnd = B.newLabel();
+    Label K0 = B.newLabel(), K1 = B.newLabel(), K2 = B.newLabel(),
+          K3 = B.newLabel(), K4 = B.newLabel(), KDef = B.newLabel(),
+          KJoin = B.newLabel(), NoWiden = B.newLabel();
+
+    B.iconst(0);
+    B.istore(1);
+    B.bind(Pass);
+    B.iload(1);
+    B.iconst(static_cast<int32_t>(Scale));
+    B.branch(Opcode::IfIcmpGe, PassEnd);
+
+    B.iconst(0);
+    B.istore(2);
+    B.bind(Node);
+    B.iload(2);
+    B.iconst(64);
+    B.branch(Opcode::IfIcmpGe, NodeEnd);
+
+    // k = kind[n]
+    B.iload(3);
+    B.iload(2);
+    B.emit(Opcode::Iaload);
+    B.istore(8);
+
+    // v = merge(val[succ1[n]], val[succ2[n]])
+    B.iload(6);
+    B.iload(4);
+    B.iload(2);
+    B.emit(Opcode::Iaload);
+    B.emit(Opcode::Iaload);
+    B.iload(6);
+    B.iload(5);
+    B.iload(2);
+    B.emit(Opcode::Iaload);
+    B.emit(Opcode::Iaload);
+    B.invokestatic(Merge);
+    B.iload(1);
+    B.iconst(7);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Ixor);
+    B.istore(9);
+
+    // Per-kind preprocessing: a 5-way switch whose outcome follows the
+    // (irregular) graph shape.
+    B.iload(8);
+    B.tableswitch(0, {K0, K1, K2, K3, K4}, KDef);
+    B.bind(K0);
+    B.iload(9);
+    B.iconst(1);
+    B.emit(Opcode::Iadd);
+    B.istore(9);
+    B.branch(Opcode::Goto, KJoin);
+    B.bind(K1);
+    B.iload(9);
+    B.iconst(3);
+    B.emit(Opcode::Imul);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.istore(9);
+    B.branch(Opcode::Goto, KJoin);
+    B.bind(K2);
+    B.iload(9);
+    B.iload(2);
+    B.emit(Opcode::Ixor);
+    B.istore(9);
+    B.branch(Opcode::Goto, KJoin);
+    B.bind(K3);
+    B.iload(9);
+    B.iconst(2);
+    B.emit(Opcode::Ishr);
+    B.istore(9);
+    B.branch(Opcode::Goto, KJoin);
+    B.bind(K4);
+    B.iinc(9, 5);
+    B.branch(Opcode::Goto, KJoin);
+    B.bind(KDef);
+    B.branch(Opcode::Goto, KJoin);
+    B.bind(KJoin);
+
+    // v = transfer_{k, v detail}(v): dispatch into the transfer-function
+    // population with selector kind * 24 + (v >> 2) % 24.
+    B.iload(9); // arg
+    B.iload(8);
+    B.iconst(static_cast<int32_t>(Slice));
+    B.emit(Opcode::Imul);
+    B.iload(9);
+    B.iconst(2);
+    B.emit(Opcode::Ishr);
+    B.iconst(static_cast<int32_t>(Slice));
+    B.emit(Opcode::Irem);
+    B.emit(Opcode::Iadd);
+    emitTailDispatch(B, Transfers);
+    B.istore(9);
+
+    // val[n] = analyses[k].apply(v) -- 5-receiver virtual dispatch.
+    B.iload(6);
+    B.iload(2);
+    B.iload(7);
+    B.iload(8);
+    B.emit(Opcode::Iaload);
+    B.iload(9);
+    B.invokevirtual(ApplySlot);
+    B.iconst(0xffffff);
+    B.emit(Opcode::Iand);
+    B.emit(Opcode::Iastore);
+
+    // Widening check (~96.9% skipped).
+    B.iload(9);
+    B.iconst(31);
+    B.emit(Opcode::Iand);
+    B.branch(Opcode::IfNe, NoWiden);
+    B.iload(6);
+    B.iload(2);
+    B.iload(9);
+    B.iconst(1);
+    B.emit(Opcode::Ishr);
+    B.emit(Opcode::Iastore);
+    B.bind(NoWiden);
+
+    B.iinc(2, 1);
+    B.branch(Opcode::Goto, Node);
+    B.bind(NodeEnd);
+
+    B.iinc(1, 1);
+    B.branch(Opcode::Goto, Pass);
+    B.bind(PassEnd);
+
+    B.iload(6);
+    B.iconst(0);
+    B.emit(Opcode::Iaload);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}

@@ -1,0 +1,436 @@
+//===- tests/TestPrograms.h - Shared program builders for tests -*- C++ -*-===//
+///
+/// \file
+/// Small hand-built modules used across the test suite, plus a
+/// constrained random-program generator for differential/property tests.
+/// Generated programs always verify and always terminate (loops have
+/// constant bounds and the call graph is acyclic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_TESTS_TESTPROGRAMS_H
+#define JTC_TESTS_TESTPROGRAMS_H
+
+#include "bytecode/Assembler.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+namespace testprog {
+
+/// main: prints the sum 0 + 1 + ... + (N-1), then halts.
+inline Module countingLoop(int32_t N) {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 2, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label Loop = B.newLabel(), Done = B.newLabel();
+  B.iconst(0);
+  B.istore(0); // i
+  B.iconst(0);
+  B.istore(1); // sum
+  B.bind(Loop);
+  B.iload(0);
+  B.iconst(N);
+  B.branch(Opcode::IfIcmpGe, Done);
+  B.iload(1);
+  B.iload(0);
+  B.emit(Opcode::Iadd);
+  B.istore(1);
+  B.iinc(0, 1);
+  B.branch(Opcode::Goto, Loop);
+  B.bind(Done);
+  B.iload(1);
+  B.emit(Opcode::Iprint);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: prints factorial(N) computed recursively.
+inline Module recursiveFactorial(int32_t N) {
+  Assembler Asm;
+  uint32_t Fact = Asm.declareMethod("fact", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Fact);
+    Label Base = B.newLabel();
+    B.iload(0);
+    B.iconst(1);
+    B.branch(Opcode::IfIcmpLe, Base);
+    B.iload(0);
+    B.iload(0);
+    B.iconst(1);
+    B.emit(Opcode::Isub);
+    B.invokestatic(Fact);
+    B.emit(Opcode::Imul);
+    B.iret();
+    B.bind(Base);
+    B.iconst(1);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Main = Asm.declareMethod("main", 0, 0, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.iconst(N);
+    B.invokestatic(Fact);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: two classes implementing slot "val"; prints both results.
+inline Module virtualDispatch() {
+  Assembler Asm;
+  uint32_t Slot = Asm.declareSlot("val", 1, true);
+  uint32_t CA = Asm.declareClass("A", 1);
+  uint32_t CB = Asm.declareClass("B", 1);
+  uint32_t MA = Asm.declareMethod("A.val", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(MA);
+    B.iload(0);
+    B.getfield(0);
+    B.iconst(10);
+    B.emit(Opcode::Iadd);
+    B.iret();
+    B.finish();
+  }
+  uint32_t MB = Asm.declareMethod("B.val", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(MB);
+    B.iload(0);
+    B.getfield(0);
+    B.iconst(2);
+    B.emit(Opcode::Imul);
+    B.iret();
+    B.finish();
+  }
+  Asm.setVtableEntry(CA, Slot, MA);
+  Asm.setVtableEntry(CB, Slot, MB);
+
+  uint32_t Main = Asm.declareMethod("main", 0, 2, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    // a = new A; a.field0 = 5; print a.val()
+    B.newobj(CA);
+    B.emit(Opcode::Dup);
+    B.iconst(5);
+    B.putfield(0);
+    B.istore(0);
+    B.iload(0);
+    B.invokevirtual(Slot);
+    B.emit(Opcode::Iprint);
+    // b = new B; b.field0 = 7; print b.val()
+    B.newobj(CB);
+    B.emit(Opcode::Dup);
+    B.iconst(7);
+    B.putfield(0);
+    B.istore(1);
+    B.iload(1);
+    B.invokevirtual(Slot);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: prints table-switch results for selectors 0..5.
+inline Module switchProgram() {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 1, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label Loop = B.newLabel(), Done = B.newLabel();
+  Label C0 = B.newLabel(), C1 = B.newLabel(), C2 = B.newLabel();
+  Label Def = B.newLabel(), Join = B.newLabel();
+  B.iconst(0);
+  B.istore(0);
+  B.bind(Loop);
+  B.iload(0);
+  B.iconst(6);
+  B.branch(Opcode::IfIcmpGe, Done);
+  B.iload(0);
+  B.tableswitch(0, {C0, C1, C2}, Def);
+  B.bind(C0);
+  B.iconst(100);
+  B.emit(Opcode::Iprint);
+  B.branch(Opcode::Goto, Join);
+  B.bind(C1);
+  B.iconst(101);
+  B.emit(Opcode::Iprint);
+  B.branch(Opcode::Goto, Join);
+  B.bind(C2);
+  B.iconst(102);
+  B.emit(Opcode::Iprint);
+  B.branch(Opcode::Goto, Join);
+  B.bind(Def);
+  B.iconst(999);
+  B.emit(Opcode::Iprint);
+  B.branch(Opcode::Goto, Join);
+  B.bind(Join);
+  B.iinc(0, 1);
+  B.branch(Opcode::Goto, Loop);
+  B.bind(Done);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: array of length N: a[i] = i * i; prints sum of elements.
+inline Module arraySquares(int32_t N) {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 3, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label L1 = B.newLabel(), D1 = B.newLabel();
+  Label L2 = B.newLabel(), D2 = B.newLabel();
+  B.iconst(N);
+  B.emit(Opcode::NewArray);
+  B.istore(0);
+  B.iconst(0);
+  B.istore(1);
+  B.bind(L1);
+  B.iload(1);
+  B.iconst(N);
+  B.branch(Opcode::IfIcmpGe, D1);
+  B.iload(0);
+  B.iload(1);
+  B.iload(1);
+  B.iload(1);
+  B.emit(Opcode::Imul);
+  B.emit(Opcode::Iastore);
+  B.iinc(1, 1);
+  B.branch(Opcode::Goto, L1);
+  B.bind(D1);
+  B.iconst(0);
+  B.istore(1);
+  B.iconst(0);
+  B.istore(2);
+  B.bind(L2);
+  B.iload(1);
+  B.iload(0);
+  B.emit(Opcode::ArrayLength);
+  B.branch(Opcode::IfIcmpGe, D2);
+  B.iload(2);
+  B.iload(0);
+  B.iload(1);
+  B.emit(Opcode::Iaload);
+  B.emit(Opcode::Iadd);
+  B.istore(2);
+  B.iinc(1, 1);
+  B.branch(Opcode::Goto, L2);
+  B.bind(D2);
+  B.iload(2);
+  B.emit(Opcode::Iprint);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: a hot loop of N iterations with a highly biased branch -- the
+/// smallest program on which the trace cache finds a loop trace.
+inline Module hotLoop(int32_t N) {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 2, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label Loop = B.newLabel(), Done = B.newLabel(), Rare = B.newLabel(),
+        Join = B.newLabel();
+  B.iconst(0);
+  B.istore(0);
+  B.iconst(0);
+  B.istore(1);
+  B.bind(Loop);
+  B.iload(0);
+  B.iconst(N);
+  B.branch(Opcode::IfIcmpGe, Done);
+  B.iload(0);
+  B.iconst(255);
+  B.emit(Opcode::Iand);
+  B.branch(Opcode::IfEq, Rare); // taken 1/256
+  B.iload(1);
+  B.iconst(3);
+  B.emit(Opcode::Iadd);
+  B.istore(1);
+  B.branch(Opcode::Goto, Join);
+  B.bind(Rare);
+  B.iload(1);
+  B.iconst(1);
+  B.emit(Opcode::Ishr);
+  B.istore(1);
+  B.bind(Join);
+  B.iinc(0, 1);
+  B.branch(Opcode::Goto, Loop);
+  B.bind(Done);
+  B.iload(1);
+  B.emit(Opcode::Iprint);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: divides 10 by 0 -- traps.
+inline Module divideByZero() {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 0, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  B.iconst(10);
+  B.iconst(0);
+  B.emit(Opcode::Idiv);
+  B.emit(Opcode::Iprint);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// Constrained random program generator. Programs verify and terminate:
+/// loop bounds are constants, the call graph is acyclic (methods only
+/// call higher-id methods), and all arithmetic is total (no Idiv/Irem).
+class RandomProgramBuilder {
+public:
+  explicit RandomProgramBuilder(uint64_t Seed) : Rng(Seed) {}
+
+  Module build() {
+    Assembler Asm;
+    unsigned NumMethods = 2 + static_cast<unsigned>(Rng.nextBelow(4));
+    std::vector<uint32_t> Methods;
+    // Declare all methods first: method I may call methods > I, so the
+    // call graph is acyclic and every run terminates.
+    for (unsigned I = 0; I < NumMethods; ++I) {
+      uint32_t NumArgs = I == 0 ? 0 : 1 + static_cast<uint32_t>(Rng.nextBelow(2));
+      uint32_t NumLocals = NumArgs + 3 + static_cast<uint32_t>(Rng.nextBelow(3));
+      Args.push_back(NumArgs);
+      Locals.push_back(NumLocals);
+      Methods.push_back(Asm.declareMethod("m" + std::to_string(I), NumArgs,
+                                          NumLocals, /*ReturnsValue=*/I != 0));
+    }
+    for (unsigned I = 0; I < NumMethods; ++I) {
+      MethodBuilder B = Asm.beginMethod(Methods[I]);
+      unsigned Statements = 2 + static_cast<unsigned>(Rng.nextBelow(5));
+      for (unsigned S = 0; S < Statements; ++S)
+        emitStatement(B, Methods, I, /*Depth=*/0, /*InLoop=*/false);
+      if (I == 0) {
+        B.iload(0);
+        B.emit(Opcode::Iprint);
+        B.halt();
+      } else {
+        B.iload(0);
+        B.iret();
+      }
+      B.finish();
+    }
+    Asm.setEntry(Methods[0]);
+    return Asm.build();
+  }
+
+private:
+  void emitExpr(MethodBuilder &B, unsigned Self) {
+    // Push one value: a constant or a local.
+    if (Rng.chancePercent(40))
+      B.iconst(static_cast<int32_t>(Rng.nextInRange(-100, 100)));
+    else
+      B.iload(static_cast<uint32_t>(Rng.nextBelow(Locals[Self])));
+  }
+
+  /// Locals[Self] - 1 is reserved for loop counters; statements never
+  /// store to it, which is what guarantees loop termination.
+  uint32_t storeTarget(unsigned Self) {
+    return static_cast<uint32_t>(Rng.nextBelow(Locals[Self] - 1));
+  }
+
+  void emitStatement(MethodBuilder &B, const std::vector<uint32_t> &Methods,
+                     unsigned Self, unsigned Depth, bool InLoop) {
+    // Calls and loops are only emitted outside loop bodies, which bounds
+    // every run: per-method work is constant and the call graph is
+    // acyclic with a statically bounded number of call sites.
+    unsigned NumChoices = 4;              // arith, print, shuffle, if
+    if (Depth >= 2)
+      NumChoices = 3;                     // no further nesting
+    else if (!InLoop)
+      NumChoices = 6;                     // + call, loop
+    switch (Rng.nextBelow(NumChoices)) {
+    case 0: { // arithmetic into a local
+      emitExpr(B, Self);
+      emitExpr(B, Self);
+      static const Opcode Ops[] = {Opcode::Iadd, Opcode::Isub, Opcode::Imul,
+                                   Opcode::Iand, Opcode::Ior,  Opcode::Ixor};
+      B.emit(Ops[Rng.nextBelow(6)]);
+      B.istore(storeTarget(Self));
+      break;
+    }
+    case 1: // print
+      emitExpr(B, Self);
+      B.emit(Opcode::Iprint);
+      break;
+    case 2: { // stack shuffle
+      emitExpr(B, Self);
+      emitExpr(B, Self);
+      B.emit(Opcode::Swap);
+      B.emit(Opcode::Dup);
+      B.emit(Opcode::Pop);
+      B.emit(Opcode::Isub);
+      B.istore(storeTarget(Self));
+      break;
+    }
+    case 3: { // if/else
+      Label Else = B.newLabel(), Join = B.newLabel();
+      emitExpr(B, Self);
+      static const Opcode Branches[] = {Opcode::IfEq, Opcode::IfNe,
+                                        Opcode::IfLt, Opcode::IfGe};
+      B.branch(Branches[Rng.nextBelow(4)], Else);
+      emitStatement(B, Methods, Self, Depth + 1, InLoop);
+      B.branch(Opcode::Goto, Join);
+      B.bind(Else);
+      emitStatement(B, Methods, Self, Depth + 1, InLoop);
+      B.bind(Join);
+      break;
+    }
+    case 4: { // call a later method, if any
+      if (Self + 1 >= Methods.size()) {
+        B.emit(Opcode::Nop);
+        break;
+      }
+      auto Callee = Self + 1 + static_cast<unsigned>(
+                                   Rng.nextBelow(Methods.size() - Self - 1));
+      for (uint32_t A = 0; A < Args[Callee]; ++A)
+        emitExpr(B, Self);
+      B.invokestatic(Methods[Callee]);
+      B.istore(storeTarget(Self));
+      break;
+    }
+    case 5: { // bounded loop over the dedicated last local
+      uint32_t Counter = Locals[Self] - 1;
+      auto Bound = static_cast<int32_t>(2 + Rng.nextBelow(14));
+      Label Loop = B.newLabel(), Done = B.newLabel();
+      B.iconst(0);
+      B.istore(Counter);
+      B.bind(Loop);
+      B.iload(Counter);
+      B.iconst(Bound);
+      B.branch(Opcode::IfIcmpGe, Done);
+      emitStatement(B, Methods, Self, Depth + 1, /*InLoop=*/true);
+      B.iinc(Counter, 1);
+      B.branch(Opcode::Goto, Loop);
+      B.bind(Done);
+      break;
+    }
+    }
+  }
+
+  Prng Rng;
+  std::vector<uint32_t> Args;
+  std::vector<uint32_t> Locals;
+};
+
+} // namespace testprog
+} // namespace jtc
+
+#endif // JTC_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,155 @@
+//===- tests/baseline_test.cpp - Dynamo-style NET baseline ----------------===//
+
+#include "baseline/NetTraceVm.h"
+
+#include "TestPrograms.h"
+#include "interp/InstructionInterpreter.h"
+#include "vm/TraceVM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+TEST(NetBaselineTest, SemanticsUnchanged) {
+  const Module Programs[] = {
+      testprog::countingLoop(5000), testprog::recursiveFactorial(10),
+      testprog::virtualDispatch(),  testprog::switchProgram(),
+      testprog::arraySquares(64),   testprog::hotLoop(50000),
+  };
+  for (const Module &M : Programs) {
+    Machine Plain(M);
+    RunResult R1 = runInstructions(Plain);
+    PreparedModule PM(M);
+    NetTraceVm VM(PM, NetConfig());
+    RunResult R2 = VM.run();
+    EXPECT_EQ(R1.Status, R2.Status);
+    EXPECT_EQ(Plain.output(), VM.machine().output());
+    EXPECT_EQ(R1.Instructions, R2.Instructions);
+  }
+}
+
+TEST(NetBaselineTest, HotLoopGetsTraced) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  NetTraceVm VM(PM, NetConfig());
+  VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_GT(S.TracesConstructed, 0u);
+  EXPECT_GT(S.TraceDispatches, 0u);
+  EXPECT_GT(S.completedCoverage(), 0.5)
+      << "NET covers a hot biased loop well (the paper concedes this)";
+}
+
+TEST(NetBaselineTest, StatsIdentitiesHold) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  NetTraceVm VM(PM, NetConfig());
+  RunResult R = VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_EQ(S.BlocksExecuted, S.BlockDispatches + S.BlocksInTraces);
+  EXPECT_LE(S.TracesCompleted, S.TraceDispatches);
+  EXPECT_LE(S.InstructionsInCompletedTraces, S.InstructionsInTraces);
+  EXPECT_LE(S.InstructionsInTraces, S.Instructions);
+  EXPECT_EQ(R.Dispatches, S.BlockDispatches + S.TraceDispatches);
+  EXPECT_EQ(S.Signals, 0u) << "NET has no correlation profiler";
+}
+
+TEST(NetBaselineTest, HotThresholdGatesRecording) {
+  Module M = testprog::hotLoop(20000);
+  PreparedModule PM(M);
+  NetConfig C;
+  C.HotThreshold = 1000000; // unreachable
+  NetTraceVm VM(PM, C);
+  VM.run();
+  EXPECT_EQ(VM.stats().TracesConstructed, 0u);
+  EXPECT_EQ(VM.stats().TraceDispatches, 0u);
+  EXPECT_GT(VM.netStats().HeadCandidates, 0u)
+      << "counters still accumulate on loop headers";
+}
+
+TEST(NetBaselineTest, TracesEndAtBackwardBranches) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  NetTraceVm VM(PM, NetConfig());
+  VM.run();
+  ASSERT_FALSE(VM.traces().empty());
+  for (const NetTrace &T : VM.traces()) {
+    EXPECT_GE(T.Blocks.size(), 2u);
+    EXPECT_LE(T.Blocks.size(), NetConfig().MaxTraceBlocks);
+  }
+}
+
+TEST(NetBaselineTest, CachePressureFlushes) {
+  // A phase-per-iteration program that keeps minting new hot heads: a
+  // tiny flush limit must trigger at least one whole-cache flush.
+  Module M = testprog::switchProgram();
+  // switchProgram is too small; use a workload with a wide footprint.
+  const WorkloadInfo &W = *findWorkload("javac");
+  Module M2 = W.Build(std::max(1u, W.DefaultScale / 20));
+  PreparedModule PM(M2);
+  NetConfig C;
+  C.HotThreshold = 8;
+  C.FlushWindow = 1 << 14;
+  C.FlushLimit = 4;
+  NetTraceVm VM(PM, C);
+  VM.run();
+  EXPECT_GT(VM.netStats().Flushes, 0u);
+  (void)M;
+}
+
+TEST(NetBaselineTest, RandomProgramsKeepSemantics) {
+  for (uint64_t Seed = 7000; Seed < 7030; ++Seed) {
+    testprog::RandomProgramBuilder Gen(Seed);
+    Module M = Gen.build();
+    Machine Plain(M);
+    RunResult R1 = runInstructions(Plain, 10000000);
+    PreparedModule PM(M);
+    NetConfig C;
+    C.HotThreshold = 4; // trace aggressively
+    C.MaxInstructions = 10000000;
+    NetTraceVm VM(PM, C);
+    RunResult R2 = VM.run();
+    EXPECT_EQ(R1.Status, R2.Status) << "seed " << Seed;
+    EXPECT_EQ(Plain.output(), VM.machine().output()) << "seed " << Seed;
+    EXPECT_EQ(R1.Instructions, R2.Instructions) << "seed " << Seed;
+  }
+}
+
+TEST(NetBaselineTest, WorkloadsKeepSemantics) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(std::max(1u, W.DefaultScale / 100));
+    Machine Plain(M);
+    RunResult R1 = runInstructions(Plain, 100000000);
+    PreparedModule PM(M);
+    NetTraceVm VM(PM, NetConfig());
+    RunResult R2 = VM.run();
+    EXPECT_EQ(Plain.output(), VM.machine().output()) << W.Name;
+    EXPECT_EQ(R1.Instructions, R2.Instructions) << W.Name;
+  }
+}
+
+TEST(NetBaselineTest, BcgCompletesMoreOftenOnIrregularCode) {
+  // The paper's core comparative claim (sections 2-3): BCG traces are
+  // verified to complete; NET's tails are assumed. On a benchmark with
+  // data-dependent branches the BCG completion rate must be at least as
+  // good.
+  const WorkloadInfo &W = *findWorkload("raytrace");
+  uint32_t Scale = std::max(1u, W.DefaultScale / 10);
+  Module M = W.Build(Scale);
+  PreparedModule PM(M);
+
+  NetTraceVm Net(PM, NetConfig());
+  Net.run();
+
+  VmConfig C;
+  C.CompletionThreshold = 0.97;
+  C.StartStateDelay = 64;
+  TraceVM Bcg(PM, C);
+  Bcg.run();
+
+  ASSERT_GT(Net.stats().TraceDispatches, 1000u);
+  ASSERT_GT(Bcg.stats().TraceDispatches, 1000u);
+  EXPECT_GE(Bcg.stats().completionRate() + 1e-9,
+            Net.stats().completionRate());
+}

@@ -1,0 +1,249 @@
+//===- tests/bytecode_test.cpp - Opcodes, assembler, disassembler ---------===//
+
+#include "bytecode/Assembler.h"
+#include "bytecode/Disassembler.h"
+#include "bytecode/Opcode.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace jtc;
+
+//===----------------------------------------------------------------------===//
+// Opcode metadata
+//===----------------------------------------------------------------------===//
+
+TEST(OpcodeTest, MnemonicsAreUniqueAndNonEmpty) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < numOpcodes(); ++I) {
+    std::string M = mnemonic(static_cast<Opcode>(I));
+    EXPECT_FALSE(M.empty());
+    EXPECT_TRUE(Seen.insert(M).second) << "duplicate mnemonic " << M;
+  }
+}
+
+TEST(OpcodeTest, StackEffectsResolvedExceptCalls) {
+  for (unsigned I = 0; I < numOpcodes(); ++I) {
+    auto Op = static_cast<Opcode>(I);
+    if (Op == Opcode::InvokeStatic || Op == Opcode::InvokeVirtual) {
+      EXPECT_EQ(opPops(Op), -1);
+      EXPECT_EQ(opPushes(Op), -1);
+    } else {
+      EXPECT_GE(opPops(Op), 0);
+      EXPECT_GE(opPushes(Op), 0);
+    }
+  }
+}
+
+TEST(OpcodeTest, ControlKindClassification) {
+  EXPECT_EQ(opKind(Opcode::Iadd), OpKind::Normal);
+  EXPECT_EQ(opKind(Opcode::Goto), OpKind::Jump);
+  EXPECT_EQ(opKind(Opcode::IfIcmpLt), OpKind::Branch);
+  EXPECT_EQ(opKind(Opcode::Tableswitch), OpKind::Switch);
+  EXPECT_EQ(opKind(Opcode::InvokeStatic), OpKind::Call);
+  EXPECT_EQ(opKind(Opcode::InvokeVirtual), OpKind::Call);
+  EXPECT_EQ(opKind(Opcode::Return), OpKind::Ret);
+  EXPECT_EQ(opKind(Opcode::Ireturn), OpKind::Ret);
+  EXPECT_EQ(opKind(Opcode::Halt), OpKind::End);
+}
+
+TEST(OpcodeTest, EndsBlockMatchesKind) {
+  EXPECT_FALSE(endsBlock(Opcode::Iconst));
+  EXPECT_FALSE(endsBlock(Opcode::Iaload));
+  EXPECT_TRUE(endsBlock(Opcode::Goto));
+  EXPECT_TRUE(endsBlock(Opcode::IfEq));
+  EXPECT_TRUE(endsBlock(Opcode::InvokeStatic));
+  EXPECT_TRUE(endsBlock(Opcode::Return));
+  EXPECT_TRUE(endsBlock(Opcode::Halt));
+}
+
+TEST(OpcodeTest, BranchOpcodesPopAsDocumented) {
+  EXPECT_EQ(opPops(Opcode::IfEq), 1);
+  EXPECT_EQ(opPops(Opcode::IfIcmpEq), 2);
+  EXPECT_EQ(opPops(Opcode::Tableswitch), 1);
+  EXPECT_EQ(opPops(Opcode::Iastore), 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Assembler
+//===----------------------------------------------------------------------===//
+
+TEST(AssemblerTest, BackwardBranchResolves) {
+  Assembler Asm;
+  uint32_t M = Asm.declareMethod("m", 0, 1, false);
+  MethodBuilder B = Asm.beginMethod(M);
+  Label Top = B.newLabel();
+  B.bind(Top);                 // marks the next emitted instruction: pc 0
+  B.emit(Opcode::Nop);         // pc 0
+  B.branch(Opcode::Goto, Top); // pc 1
+  B.finish();
+  Asm.setEntry(M);
+  Module Mod = Asm.build();
+  EXPECT_EQ(Mod.Methods[M].Code[1].Op, Opcode::Goto);
+  EXPECT_EQ(Mod.Methods[M].Code[1].A, 0);
+}
+
+TEST(AssemblerTest, ForwardBranchResolves) {
+  Assembler Asm;
+  uint32_t M = Asm.declareMethod("m", 0, 1, false);
+  MethodBuilder B = Asm.beginMethod(M);
+  Label End = B.newLabel();
+  B.iconst(1);                 // pc 0
+  B.branch(Opcode::IfEq, End); // pc 1
+  B.emit(Opcode::Nop);         // pc 2
+  B.bind(End);
+  B.halt(); // pc 3
+  B.finish();
+  Module Mod = Asm.build();
+  EXPECT_EQ(Mod.Methods[M].Code[1].A, 3);
+}
+
+TEST(AssemblerTest, TableswitchTargetsResolve) {
+  Assembler Asm;
+  uint32_t M = Asm.declareMethod("m", 0, 1, false);
+  MethodBuilder B = Asm.beginMethod(M);
+  Label C0 = B.newLabel(), C1 = B.newLabel(), Def = B.newLabel();
+  B.iconst(0);                     // pc 0
+  B.tableswitch(5, {C0, C1}, Def); // pc 1
+  B.bind(C0);
+  B.halt(); // pc 2
+  B.bind(C1);
+  B.halt(); // pc 3
+  B.bind(Def);
+  B.halt(); // pc 4
+  B.finish();
+  Module Mod = Asm.build();
+  const Method &Mth = Mod.Methods[M];
+  ASSERT_EQ(Mth.SwitchTables.size(), 1u);
+  const SwitchTable &T = Mth.SwitchTables[0];
+  EXPECT_EQ(T.Low, 5);
+  ASSERT_EQ(T.Targets.size(), 2u);
+  EXPECT_EQ(T.Targets[0], 2u);
+  EXPECT_EQ(T.Targets[1], 3u);
+  EXPECT_EQ(T.DefaultTarget, 4u);
+}
+
+TEST(AssemblerTest, NextPcTracksEmission) {
+  Assembler Asm;
+  uint32_t M = Asm.declareMethod("m", 0, 1, false);
+  MethodBuilder B = Asm.beginMethod(M);
+  EXPECT_EQ(B.nextPc(), 0u);
+  B.iconst(1);
+  EXPECT_EQ(B.nextPc(), 1u);
+  B.emit(Opcode::Pop);
+  B.halt();
+  EXPECT_EQ(B.nextPc(), 3u);
+  B.finish();
+}
+
+TEST(AssemblerTest, VtablePaddedToSlotCountAtBuild) {
+  Assembler Asm;
+  // Class declared before the slots exist.
+  uint32_t C = Asm.declareClass("Early", 0);
+  Asm.declareSlot("s0", 1, false);
+  Asm.declareSlot("s1", 1, false);
+  uint32_t M = Asm.declareMethod("m", 0, 0, false);
+  MethodBuilder B = Asm.beginMethod(M);
+  B.halt();
+  B.finish();
+  Module Mod = Asm.build();
+  ASSERT_EQ(Mod.Classes[C].Vtable.size(), 2u);
+  EXPECT_EQ(Mod.Classes[C].Vtable[0], InvalidMethod);
+  EXPECT_EQ(Mod.Classes[C].Vtable[1], InvalidMethod);
+}
+
+TEST(AssemblerTest, SetVtableEntryGrowsVtable) {
+  Assembler Asm;
+  uint32_t C = Asm.declareClass("C", 0);
+  uint32_t S = Asm.declareSlot("s", 1, true);
+  uint32_t M = Asm.declareMethod("impl", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(M);
+    B.iconst(0);
+    B.iret();
+    B.finish();
+  }
+  Asm.setVtableEntry(C, S, M);
+  Module Mod = Asm.build();
+  EXPECT_EQ(Mod.Classes[C].Vtable[S], M);
+}
+
+TEST(AssemblerTest, BuildLeavesAssemblerEmpty) {
+  Assembler Asm;
+  uint32_t M = Asm.declareMethod("m", 0, 0, false);
+  {
+    MethodBuilder B = Asm.beginMethod(M);
+    B.halt();
+    B.finish();
+  }
+  Module First = Asm.build();
+  EXPECT_EQ(First.Methods.size(), 1u);
+  Module Second = Asm.build();
+  EXPECT_TRUE(Second.Methods.empty());
+}
+
+TEST(AssemblerTest, DeclarationOrderAssignsIds) {
+  Assembler Asm;
+  EXPECT_EQ(Asm.declareMethod("a", 0, 0, false), 0u);
+  EXPECT_EQ(Asm.declareMethod("b", 0, 0, false), 1u);
+  EXPECT_EQ(Asm.declareClass("C", 1), 0u);
+  EXPECT_EQ(Asm.declareClass("D", 1), 1u);
+  EXPECT_EQ(Asm.declareSlot("s", 1, false), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+TEST(DisassemblerTest, SimpleOperands) {
+  EXPECT_EQ(disassemble(Instruction(Opcode::Iconst, 42)), "iconst 42");
+  EXPECT_EQ(disassemble(Instruction(Opcode::Iload, 3)), "iload 3");
+  EXPECT_EQ(disassemble(Instruction(Opcode::Iinc, 2, -1)), "iinc 2 by -1");
+  EXPECT_EQ(disassemble(Instruction(Opcode::Goto, 7)), "goto -> 7");
+  EXPECT_EQ(disassemble(Instruction(Opcode::Iadd)), "iadd");
+}
+
+TEST(DisassemblerTest, CallsNameTargetsWithModule) {
+  Assembler Asm;
+  uint32_t Callee = Asm.declareMethod("helper", 0, 0, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Callee);
+    B.ret();
+    B.finish();
+  }
+  uint32_t Main = Asm.declareMethod("main", 0, 0, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.invokestatic(Callee);
+    B.halt();
+    B.finish();
+  }
+  Module Mod = Asm.build();
+  std::string S =
+      disassemble(Mod.Methods[Main].Code[0], &Mod, &Mod.Methods[Main]);
+  EXPECT_NE(S.find("helper"), std::string::npos) << S;
+}
+
+TEST(DisassemblerTest, ModuleDumpMentionsEverything) {
+  Assembler Asm;
+  Asm.declareSlot("visit", 2, true);
+  Asm.declareClass("Node", 3);
+  uint32_t M = Asm.declareMethod("work", 0, 1, false);
+  {
+    MethodBuilder B = Asm.beginMethod(M);
+    B.iconst(9);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Module Mod = Asm.build();
+  std::ostringstream OS;
+  disassembleModule(OS, Mod);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("work"), std::string::npos);
+  EXPECT_NE(Out.find("Node"), std::string::npos);
+  EXPECT_NE(Out.find("visit"), std::string::npos);
+  EXPECT_NE(Out.find("iconst 9"), std::string::npos);
+}

@@ -1,0 +1,96 @@
+//===- tests/harness_test.cpp - Experiment harness and VmStats ------------===//
+
+#include "harness/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace jtc;
+
+//===----------------------------------------------------------------------===//
+// VmStats derived values
+//===----------------------------------------------------------------------===//
+
+TEST(VmStatsTest, DerivedValuesMatchDefinitions) {
+  VmStats S;
+  S.Instructions = 1000;
+  S.BlocksExecuted = 200;
+  S.BlockDispatches = 80;
+  S.TraceDispatches = 30;
+  S.TracesCompleted = 24;
+  S.BlocksInCompletedTraces = 120;
+  S.InstructionsInCompletedTraces = 600;
+  S.InstructionsInTraces = 700;
+  S.Signals = 4;
+  S.TracesConstructed = 6;
+
+  EXPECT_EQ(S.totalDispatches(), 110u);
+  EXPECT_DOUBLE_EQ(S.avgCompletedTraceLength(), 5.0);
+  EXPECT_DOUBLE_EQ(S.completedCoverage(), 0.6);
+  EXPECT_DOUBLE_EQ(S.traceCoverage(), 0.7);
+  EXPECT_DOUBLE_EQ(S.completionRate(), 0.8);
+  EXPECT_DOUBLE_EQ(S.dispatchesPerSignal(), 50.0);
+  EXPECT_DOUBLE_EQ(S.dispatchesPerTraceEvent(), 20.0);
+}
+
+TEST(VmStatsTest, ZeroDenominatorsAreSafe) {
+  VmStats S;
+  EXPECT_EQ(S.avgCompletedTraceLength(), 0.0);
+  EXPECT_EQ(S.completedCoverage(), 0.0);
+  EXPECT_EQ(S.traceCoverage(), 0.0);
+  EXPECT_EQ(S.completionRate(), 0.0);
+  EXPECT_EQ(S.dispatchesPerSignal(), 0.0);
+  EXPECT_EQ(S.dispatchesPerTraceEvent(), 0.0);
+}
+
+TEST(VmStatsTest, PrintMentionsEveryDependentValue) {
+  VmStats S;
+  S.Instructions = 42;
+  std::ostringstream OS;
+  S.print(OS);
+  std::string Out = OS.str();
+  for (const char *Key :
+       {"instructions", "trace dispatches", "avg completed trace length",
+        "completion rate", "state change signals", "dispatches per signal",
+        "dispatches per trace event"})
+    EXPECT_NE(Out.find(Key), std::string::npos) << Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Harness
+//===----------------------------------------------------------------------===//
+
+TEST(HarnessTest, StandardSweepsMatchThePaper) {
+  EXPECT_EQ(standardThresholds(),
+            (std::vector<double>{1.00, 0.99, 0.98, 0.97, 0.95}));
+  EXPECT_EQ(standardDelays(), (std::vector<uint32_t>{1, 64, 4096}));
+}
+
+TEST(HarnessTest, RunWorkloadProducesConsistentStats) {
+  const WorkloadInfo &W = *findWorkload("scimark");
+  VmConfig C;
+  VmStats S = runWorkload(W, C, std::max(1u, W.DefaultScale / 50));
+  EXPECT_GT(S.Instructions, 0u);
+  EXPECT_GT(S.BlocksExecuted, 0u);
+  EXPECT_EQ(S.BlocksExecuted, S.BlockDispatches + S.BlocksInTraces);
+  EXPECT_GT(S.GraphNodes, 0u);
+}
+
+TEST(HarnessTest, ScaleOverrideChangesRunLength) {
+  const WorkloadInfo &W = *findWorkload("compress");
+  VmConfig C;
+  VmStats Small = runWorkload(W, C, 1);
+  VmStats Large = runWorkload(W, C, 3);
+  EXPECT_GT(Large.Instructions, Small.Instructions);
+}
+
+TEST(HarnessTest, OverheadSampleArithmetic) {
+  OverheadSample S;
+  S.PlainSeconds = 1.0;
+  S.ProfiledSeconds = 1.5;
+  S.Dispatches = 2000000;
+  EXPECT_DOUBLE_EQ(S.overheadPerMillionDispatches(), 0.25);
+  OverheadSample Zero;
+  EXPECT_EQ(Zero.overheadPerMillionDispatches(), 0.0);
+}

@@ -1,0 +1,633 @@
+//===- tests/opt_test.cpp - Trace optimizer -------------------------------===//
+///
+/// The optimizer's contract is observational equivalence on the straight
+/// line: executed from any initial (locals, stack), an optimized segment
+/// must produce the same final locals, operand stack and Iprint output as
+/// the original. A small evaluator checks this on hand-built segments and
+/// on every segment of every trace the VM builds for the workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/TraceOptimizer.h"
+
+#include "TestPrograms.h"
+#include "vm/TraceVM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+namespace {
+
+/// Final state of a straight-line evaluation.
+struct EvalState {
+  std::vector<int64_t> Locals;
+  std::vector<int64_t> Stack;
+  std::vector<int64_t> Output;
+
+  bool operator==(const EvalState &O) const = default;
+};
+
+/// Executes \p Seg from the given initial state. Guards pop their
+/// operands and continue (pure assertions). Heap-touching segments are
+/// not evaluable here; returns false for those.
+bool evaluate(const LinearSegment &Seg, EvalState &S) {
+  auto Pop = [&S]() {
+    EXPECT_FALSE(S.Stack.empty()) << "segment consumed more than provided";
+    if (S.Stack.empty())
+      return static_cast<int64_t>(0);
+    int64_t V = S.Stack.back();
+    S.Stack.pop_back();
+    return V;
+  };
+  auto Push = [&S](int64_t V) { S.Stack.push_back(V); };
+  auto U = [](int64_t V) { return static_cast<uint64_t>(V); };
+
+  for (const LinearOp &Op : Seg.Ops) {
+    if (Op.K == LinearOp::Kind::Guard) {
+      for (int P = 0; P < opPops(Op.I.Op); ++P)
+        Pop();
+      continue;
+    }
+    const Instruction &I = Op.I;
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Iconst:
+      Push(I.A);
+      break;
+    case Opcode::Iload:
+      Push(S.Locals[static_cast<uint32_t>(I.A)]);
+      break;
+    case Opcode::Istore:
+      S.Locals[static_cast<uint32_t>(I.A)] = Pop();
+      break;
+    case Opcode::Iinc:
+      S.Locals[static_cast<uint32_t>(I.A)] += I.B;
+      break;
+    case Opcode::Pop:
+      Pop();
+      break;
+    case Opcode::Dup: {
+      int64_t V = Pop();
+      Push(V);
+      Push(V);
+      break;
+    }
+    case Opcode::Swap: {
+      int64_t B = Pop(), A = Pop();
+      Push(B);
+      Push(A);
+      break;
+    }
+    case Opcode::Iadd: {
+      int64_t B = Pop(), A = Pop();
+      Push(static_cast<int64_t>(U(A) + U(B)));
+      break;
+    }
+    case Opcode::Isub: {
+      int64_t B = Pop(), A = Pop();
+      Push(static_cast<int64_t>(U(A) - U(B)));
+      break;
+    }
+    case Opcode::Imul: {
+      int64_t B = Pop(), A = Pop();
+      Push(static_cast<int64_t>(U(A) * U(B)));
+      break;
+    }
+    case Opcode::Idiv: {
+      int64_t B = Pop(), A = Pop();
+      if (B == 0)
+        return false; // would trap; not comparable here
+      Push(A / B);
+      break;
+    }
+    case Opcode::Irem: {
+      int64_t B = Pop(), A = Pop();
+      if (B == 0)
+        return false;
+      Push(A % B);
+      break;
+    }
+    case Opcode::Ineg:
+      Push(static_cast<int64_t>(0 - U(Pop())));
+      break;
+    case Opcode::Ishl: {
+      int64_t B = Pop(), A = Pop();
+      Push(static_cast<int64_t>(U(A) << (B & 63)));
+      break;
+    }
+    case Opcode::Ishr: {
+      int64_t B = Pop(), A = Pop();
+      Push(A >> (B & 63));
+      break;
+    }
+    case Opcode::Iushr: {
+      int64_t B = Pop(), A = Pop();
+      Push(static_cast<int64_t>(U(A) >> (B & 63)));
+      break;
+    }
+    case Opcode::Iand: {
+      int64_t B = Pop(), A = Pop();
+      Push(A & B);
+      break;
+    }
+    case Opcode::Ior: {
+      int64_t B = Pop(), A = Pop();
+      Push(A | B);
+      break;
+    }
+    case Opcode::Ixor: {
+      int64_t B = Pop(), A = Pop();
+      Push(A ^ B);
+      break;
+    }
+    case Opcode::Iprint:
+      S.Output.push_back(Pop());
+      break;
+    default:
+      return false; // heap or control op: not evaluable
+    }
+  }
+  return true;
+}
+
+/// Checks equivalence of \p Before and \p After over several random
+/// initial states. Locals at or above the segments' ScratchBase are
+/// synthetic inlined-frame slots, dead outside the segment, and are not
+/// compared. Returns the number of states actually compared.
+unsigned expectEquivalent(const LinearSegment &Before,
+                          const LinearSegment &After, uint64_t Seed) {
+  EXPECT_EQ(Before.ScratchBase, After.ScratchBase);
+  uint32_t NumLocals = std::max(Before.NumLocals, After.NumLocals);
+  Prng Rng(Seed);
+  unsigned Compared = 0;
+  for (unsigned Round = 0; Round < 8; ++Round) {
+    EvalState S1;
+    S1.Locals.resize(NumLocals);
+    for (auto &L : S1.Locals)
+      L = Rng.nextInRange(-1000, 1000);
+    // Generous incoming stack for segments that consume prior operands.
+    for (int I = 0; I < 8; ++I)
+      S1.Stack.push_back(Rng.nextInRange(-1000, 1000));
+    EvalState S2 = S1;
+    if (!evaluate(Before, S1))
+      continue; // heap-touching or trapping: cannot compare
+    bool Ok = evaluate(After, S2);
+    EXPECT_TRUE(Ok) << "optimized segment must stay evaluable";
+    S1.Locals.resize(Before.ScratchBase);
+    S2.Locals.resize(Before.ScratchBase);
+    EXPECT_EQ(S1, S2);
+    ++Compared;
+  }
+  return Compared;
+}
+
+/// Builds a segment from raw ops (no guards).
+LinearSegment segment(std::vector<Instruction> Code, uint32_t Locals = 4) {
+  LinearSegment S;
+  S.NumLocals = Locals;
+  S.ScratchBase = Locals;
+  for (const Instruction &I : Code)
+    S.Ops.push_back(LinearOp::instr(I));
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Targeted transformations
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerTest, FoldsConstantArithmetic) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 6),
+      Instruction(Opcode::Iconst, 7),
+      Instruction(Opcode::Imul),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.ConstantsFolded, 1u);
+  EXPECT_EQ(Out.numInstructions(), 2u) << "iconst 42; iprint";
+  expectEquivalent(In, Out, 1);
+}
+
+TEST(OptimizerTest, ForwardsStoredConstantsThroughLocals) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 5),
+      Instruction(Opcode::Istore, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iadd),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_GT(St.LoadsForwarded, 0u);
+  // iconst 10; iprint; iconst 5; istore 0 (the store is still observable
+  // at segment end).
+  EXPECT_EQ(Out.numInstructions(), 4u);
+  expectEquivalent(In, Out, 2);
+}
+
+TEST(OptimizerTest, EliminatesDeadStores) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 1),
+      Instruction(Opcode::Istore, 2),
+      Instruction(Opcode::Iconst, 2),
+      Instruction(Opcode::Istore, 2), // kills the first store
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.DeadStores, 1u);
+  EXPECT_EQ(Out.numInstructions(), 2u) << "iconst 2; istore 2";
+  expectEquivalent(In, Out, 3);
+}
+
+TEST(OptimizerTest, CancelsLoadStoreOfSameLocal) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 1),
+      Instruction(Opcode::Istore, 1),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(Out.numInstructions(), 0u);
+  expectEquivalent(In, Out, 4);
+}
+
+TEST(OptimizerTest, DropsDeferredPushPopPairs) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 9),
+      Instruction(Opcode::Pop),
+      Instruction(Opcode::Nop),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(Out.numInstructions(), 0u);
+  expectEquivalent(In, Out, 5);
+}
+
+TEST(OptimizerTest, FoldsIincChains) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 10),
+      Instruction(Opcode::Istore, 0),
+      Instruction(Opcode::Iinc, 0, 5),
+      Instruction(Opcode::Iinc, 0, -2),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.ConstantsFolded, 2u);
+  // iconst 13; iprint; iconst 13; istore 0.
+  EXPECT_EQ(Out.numInstructions(), 4u);
+  expectEquivalent(In, Out, 6);
+}
+
+TEST(OptimizerTest, EliminatesStaticallyTrueGuards) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 0),
+  });
+  In.Ops.push_back(LinearOp::guard(Opcode::IfEq, /*Taken=*/true));
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.GuardsEliminated, 1u);
+  EXPECT_TRUE(Out.Ops.empty());
+}
+
+TEST(OptimizerTest, KeepsDataDependentGuardsAndFlushesState) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 3),
+      Instruction(Opcode::Istore, 0), // deferred store
+      Instruction(Opcode::Iload, 1),  // unknown value
+  });
+  In.Ops.push_back(LinearOp::guard(Opcode::IfNe, /*Taken=*/true));
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.GuardsAfter, 1u);
+  // The deferred store must be flushed before the guard.
+  bool StoreBeforeGuard = false;
+  for (const LinearOp &Op : Out.Ops) {
+    if (Op.K == LinearOp::Kind::Guard)
+      break;
+    StoreBeforeGuard |=
+        Op.I.Op == Opcode::Istore && Op.I.A == 0;
+  }
+  EXPECT_TRUE(StoreBeforeGuard);
+  expectEquivalent(In, Out, 7);
+}
+
+TEST(OptimizerTest, DoesNotFoldDivisionByZero) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 5),
+      Instruction(Opcode::Iconst, 0),
+      Instruction(Opcode::Idiv),
+      Instruction(Opcode::Pop),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.ConstantsFolded, 0u);
+  // The trapping division must survive.
+  bool HasDiv = false;
+  for (const LinearOp &Op : Out.Ops)
+    HasDiv |= Op.K == LinearOp::Kind::Instr && Op.I.Op == Opcode::Idiv;
+  EXPECT_TRUE(HasDiv);
+}
+
+TEST(OptimizerTest, DoesNotFoldOutOfImmediateRange) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 2000000000),
+      Instruction(Opcode::Iconst, 2000000000),
+      Instruction(Opcode::Imul),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(St.ConstantsFolded, 0u);
+  expectEquivalent(In, Out, 8);
+}
+
+TEST(OptimizerTest, HandlesIncomingStackOperands) {
+  // The segment consumes two values that were pushed before it began
+  // (e.g. call arguments staged across a block boundary).
+  LinearSegment In = segment({
+      Instruction(Opcode::Iadd),
+      Instruction(Opcode::Istore, 0),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  expectEquivalent(In, Out, 9);
+}
+
+//===----------------------------------------------------------------------===//
+// Linearization
+//===----------------------------------------------------------------------===//
+
+TEST(LinearizerTest, GuardsCarryTheRecordedDirection) {
+  Module M = testprog::hotLoop(100000);
+  PreparedModule PM(M);
+  VmConfig C;
+  TraceVM VM(PM, C);
+  VM.run();
+  bool SawGuard = false;
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive)
+      continue;
+    for (const LinearSegment &Seg : linearizeTrace(PM, T))
+      for (const LinearOp &Op : Seg.Ops)
+        if (Op.K == LinearOp::Kind::Guard) {
+          SawGuard = true;
+          EXPECT_TRUE(opKind(Op.I.Op) == OpKind::Branch ||
+                      opKind(Op.I.Op) == OpKind::Switch);
+        }
+  }
+  EXPECT_TRUE(SawGuard) << "hot-loop traces must contain guarded branches";
+}
+
+TEST(LinearizerTest, SegmentsBreakAtCalls) {
+  Module M = testprog::recursiveFactorial(10);
+  PreparedModule PM(M);
+  VmConfig C;
+  C.StartStateDelay = 1;
+  C.DecayInterval = 4;
+  TraceVM VM(PM, C);
+  VM.run();
+  for (const Trace &T : VM.traceCache().traces()) {
+    for (const LinearSegment &Seg : linearizeTrace(PM, T))
+      for (const LinearOp &Op : Seg.Ops)
+        if (Op.K == LinearOp::Kind::Instr)
+          EXPECT_TRUE(opKind(Op.I.Op) == OpKind::Normal)
+              << "calls/returns must not appear inside segments";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-trace equivalence over the real workloads
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerTest, AllWorkloadTraceSegmentsStayEquivalent) {
+  uint64_t Seed = 42;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(std::max(1u, W.DefaultScale / 50));
+    PreparedModule PM(M);
+    VmConfig C;
+    TraceVM VM(PM, C);
+    VM.run();
+    unsigned Segments = 0, Compared = 0;
+    for (const Trace &T : VM.traceCache().traces()) {
+      if (!T.Alive)
+        continue;
+      OptStats St;
+      for (const LinearSegment &Seg : linearizeTrace(PM, T)) {
+        LinearSegment Opt = optimizeSegment(Seg, St);
+        EXPECT_LE(Opt.numInstructions(), Seg.numInstructions() + 2)
+            << W.Name << ": optimization should not bloat code";
+        Compared += expectEquivalent(Seg, Opt, ++Seed);
+        ++Segments;
+      }
+    }
+    EXPECT_GT(Segments, 0u) << W.Name;
+    EXPECT_GT(Compared, 0u) << W.Name;
+  }
+}
+
+TEST(OptimizerTest, ReductionIsMeasurableOnRealTraces) {
+  Module M = testprog::hotLoop(100000);
+  PreparedModule PM(M);
+  VmConfig C;
+  TraceVM VM(PM, C);
+  VM.run();
+  OptStats St;
+  for (const Trace &T : VM.traceCache().traces())
+    if (T.Alive)
+      optimizeTrace(PM, T, St);
+  EXPECT_GT(St.InstructionsBefore, 0u);
+  EXPECT_LE(St.InstructionsAfter, St.InstructionsBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation and call inlining
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerTest, PropagatesCopiesThroughLocals) {
+  // x = y; print(x + x): both loads of x forward to y, and the store of
+  // x defers until the segment end.
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 1),
+      Instruction(Opcode::Istore, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iadd),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_GE(St.LoadsForwarded, 2u);
+  expectEquivalent(In, Out, 31);
+}
+
+TEST(OptimizerTest, PinsCopiesBeforeTheSourceChanges) {
+  // x = y; y = 7; print(x): x's deferred copy must be flushed before y
+  // is overwritten.
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 1),
+      Instruction(Opcode::Istore, 0),
+      Instruction(Opcode::Iconst, 7),
+      Instruction(Opcode::Istore, 1),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  expectEquivalent(In, Out, 32);
+}
+
+TEST(OptimizerTest, ScratchLocalsAreNeverFlushed) {
+  // A store to a scratch local (an inlined callee's frame) disappears if
+  // nothing inside the segment reads it back.
+  LinearSegment In = segment({
+      Instruction(Opcode::Iconst, 3),
+      Instruction(Opcode::Istore, 5), // scratch: >= ScratchBase (4)
+  },
+                             /*Locals=*/8);
+  In.ScratchBase = 4;
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_EQ(Out.numInstructions(), 0u);
+  expectEquivalent(In, Out, 33);
+}
+
+namespace {
+
+/// A program whose hot loop calls a small static helper -- the inlining
+/// showcase. helper(a, b) = (a + b) & 0xffff.
+Module loopWithHelper() {
+  Assembler Asm;
+  uint32_t Helper = Asm.declareMethod("helper", 2, 2, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Helper);
+    B.iload(0);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.iconst(0xffff);
+    B.emit(Opcode::Iand);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Main = Asm.declareMethod("main", 0, 3, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.iconst(0);
+    B.istore(0);
+    B.iconst(0);
+    B.istore(1);
+    B.bind(Loop);
+    B.iload(0);
+    B.iconst(60000);
+    B.branch(Opcode::IfIcmpGe, Done);
+    B.iload(1);
+    B.iload(0);
+    B.invokestatic(Helper);
+    B.istore(1);
+    B.iinc(0, 1);
+    B.branch(Opcode::Goto, Loop);
+    B.bind(Done);
+    B.iload(1);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+} // namespace
+
+TEST(OptimizerTest, InliningMergesCallBoundedSegments) {
+  Module M = loopWithHelper();
+  PreparedModule PM(M);
+  VmConfig C;
+  TraceVM VM(PM, C);
+  VM.run();
+
+  bool Checked = false;
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive || T.Blocks.size() < 4)
+      continue;
+    std::vector<LinearSegment> Plain = linearizeTrace(PM, T, false);
+    std::vector<LinearSegment> Inlined = linearizeTrace(PM, T, true);
+    // The call boundary disappears: fewer, larger segments.
+    EXPECT_LT(Inlined.size(), Plain.size());
+    for (const LinearSegment &Seg : Inlined)
+      EXPECT_GE(Seg.NumLocals, Seg.ScratchBase);
+    Checked = true;
+  }
+  EXPECT_TRUE(Checked) << "the helper loop must produce a >= 4 block trace";
+}
+
+TEST(OptimizerTest, InlinedSegmentsOptimizeEquivalently) {
+  // The optimizer contract holds on inlined segments too: compare the
+  // inlined-unoptimized and inlined-optimized forms.
+  uint64_t Seed = 4000;
+  Module M = loopWithHelper();
+  PreparedModule PM(M);
+  VmConfig C;
+  TraceVM VM(PM, C);
+  VM.run();
+  unsigned Compared = 0;
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive)
+      continue;
+    for (const LinearSegment &Seg : linearizeTrace(PM, T, true)) {
+      OptStats St;
+      LinearSegment Opt = optimizeSegment(Seg, St);
+      Compared += expectEquivalent(Seg, Opt, ++Seed);
+    }
+  }
+  EXPECT_GT(Compared, 0u);
+}
+
+TEST(OptimizerTest, InliningPlusOptimizationShrinksTheHelperLoop) {
+  Module M = loopWithHelper();
+  PreparedModule PM(M);
+  VmConfig C;
+  TraceVM VM(PM, C);
+  VM.run();
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive || T.Blocks.size() < 4)
+      continue;
+    uint64_t PlainCount = 0;
+    for (const LinearSegment &Seg : linearizeTrace(PM, T, false))
+      PlainCount += Seg.numInstructions();
+    OptStats St;
+    uint64_t InlinedOpt = 0;
+    for (const LinearSegment &Seg : optimizeTrace(PM, T, St, true))
+      InlinedOpt += Seg.numInstructions();
+    // Inlining + copy propagation must beat the uninlined baseline (the
+    // call/return instructions it eliminates are not even counted here).
+    EXPECT_LT(InlinedOpt, PlainCount);
+  }
+}
+
+TEST(OptimizerTest, WorkloadInlinedSegmentsStayEquivalent) {
+  uint64_t Seed = 5000;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(std::max(1u, W.DefaultScale / 100));
+    PreparedModule PM(M);
+    VmConfig C;
+    TraceVM VM(PM, C);
+    VM.run();
+    for (const Trace &T : VM.traceCache().traces()) {
+      if (!T.Alive)
+        continue;
+      for (const LinearSegment &Seg : linearizeTrace(PM, T, true)) {
+        OptStats St;
+        LinearSegment Opt = optimizeSegment(Seg, St);
+        expectEquivalent(Seg, Opt, ++Seed);
+      }
+    }
+  }
+}

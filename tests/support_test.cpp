@@ -1,0 +1,236 @@
+//===- tests/support_test.cpp - Unit tests for the support library --------===//
+
+#include "support/Ids.h"
+#include "support/Prng.h"
+#include "support/SaturatingCounter.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace jtc;
+
+//===----------------------------------------------------------------------===//
+// Prng
+//===----------------------------------------------------------------------===//
+
+TEST(PrngTest, DeterministicForEqualSeeds) {
+  Prng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng A(1), B(2);
+  int Different = 0;
+  for (int I = 0; I < 32; ++I)
+    if (A.next() != B.next())
+      ++Different;
+  EXPECT_GT(Different, 30);
+}
+
+TEST(PrngTest, ReseedRestartsSequence) {
+  Prng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(PrngTest, NextBelowStaysInBounds) {
+  Prng P(3);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(P.nextBelow(17), 17u);
+}
+
+TEST(PrngTest, NextBelowOneIsAlwaysZero) {
+  Prng P(9);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(P.nextBelow(1), 0u);
+}
+
+TEST(PrngTest, NextInRangeInclusive) {
+  Prng P(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = P.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all 7 values should appear in 2000 draws";
+}
+
+TEST(PrngTest, ChancePercentExtremes) {
+  Prng P(11);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(P.chancePercent(0));
+    EXPECT_TRUE(P.chancePercent(100));
+  }
+}
+
+TEST(PrngTest, ChancePercentRoughlyCalibrated) {
+  Prng P(13);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += P.chancePercent(25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.02);
+}
+
+TEST(PrngTest, NextUnitInHalfOpenInterval) {
+  Prng P(17);
+  for (int I = 0; I < 1000; ++I) {
+    double U = P.nextUnit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SaturatingCounter
+//===----------------------------------------------------------------------===//
+
+TEST(SaturatingCounterTest, StartsAtZero) {
+  SaturatingCounter C;
+  EXPECT_EQ(C.value(), 0);
+}
+
+TEST(SaturatingCounterTest, IncrementCounts) {
+  SaturatingCounter C;
+  for (int I = 0; I < 5; ++I)
+    C.increment();
+  EXPECT_EQ(C.value(), 5);
+}
+
+TEST(SaturatingCounterTest, SaturatesAtMax) {
+  SaturatingCounter C(SaturatingCounter::Max);
+  C.increment();
+  EXPECT_EQ(C.value(), SaturatingCounter::Max);
+}
+
+TEST(SaturatingCounterTest, DecayHalves) {
+  SaturatingCounter C(100);
+  C.decay();
+  EXPECT_EQ(C.value(), 50);
+  C.decay();
+  EXPECT_EQ(C.value(), 25);
+}
+
+TEST(SaturatingCounterTest, DecayOfOddValueRoundsDown) {
+  SaturatingCounter C(7);
+  C.decay();
+  EXPECT_EQ(C.value(), 3);
+}
+
+TEST(SaturatingCounterTest, DecayReachesZero) {
+  // The paper's footnote: a full history clears in log2(max) shifts.
+  SaturatingCounter C(SaturatingCounter::Max);
+  for (int I = 0; I < 16; ++I)
+    C.decay();
+  EXPECT_EQ(C.value(), 0);
+}
+
+TEST(SaturatingCounterTest, ResetSetsValue) {
+  SaturatingCounter C(9);
+  C.reset(2);
+  EXPECT_EQ(C.value(), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, MeanBasic) { EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5); }
+
+TEST(StatsTest, GeomeanBasic) { EXPECT_DOUBLE_EQ(geomean({2, 8}), 4.0); }
+
+TEST(StatsTest, GeomeanOfEmptyIsZero) { EXPECT_EQ(geomean({}), 0.0); }
+
+TEST(StatsTest, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+}
+
+TEST(StatsTest, StddevBasic) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, SafeDivByZero) { EXPECT_EQ(safeDiv(10, 0), 0.0); }
+
+TEST(StatsTest, SafeDivNormal) { EXPECT_DOUBLE_EQ(safeDiv(10, 4), 2.5); }
+
+TEST(StatsTest, RunningStatTracksMinMaxMean) {
+  RunningStat R;
+  R.add(3);
+  R.add(1);
+  R.add(8);
+  EXPECT_EQ(R.count(), 3u);
+  EXPECT_DOUBLE_EQ(R.min(), 1);
+  EXPECT_DOUBLE_EQ(R.max(), 8);
+  EXPECT_DOUBLE_EQ(R.mean(), 4);
+}
+
+TEST(StatsTest, RunningStatEmpty) {
+  RunningStat R;
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_EQ(R.mean(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"a", "long-header"});
+  T.addRow({"wide-cell", "x"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  // Header, separator, one row.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 3);
+  EXPECT_NE(Out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(Out.find("long-header"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtDecimals) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(5.0, 0), "5");
+}
+
+TEST(TablePrinterTest, FmtPercent) {
+  EXPECT_EQ(TablePrinter::fmtPercent(0.971, 1), "97.1%");
+  EXPECT_EQ(TablePrinter::fmtPercent(1.0, 0), "100%");
+}
+
+//===----------------------------------------------------------------------===//
+// Ids
+//===----------------------------------------------------------------------===//
+
+TEST(IdsTest, PairKeyIsInjective) {
+  EXPECT_NE(pairKey(1, 2), pairKey(2, 1));
+  EXPECT_EQ(pairKey(7, 9), pairKey(7, 9));
+  EXPECT_NE(pairKey(0, 1), pairKey(1, 0));
+}
+
+TEST(IdsTest, PairKeyPacksHighLow) {
+  EXPECT_EQ(pairKey(1, 0), 1ull << 32);
+  EXPECT_EQ(pairKey(0, 1), 1ull);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer
+//===----------------------------------------------------------------------===//
+
+TEST(TimerTest, NonNegativeAndMonotone) {
+  Timer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+}

@@ -1,0 +1,271 @@
+//===- tests/text_test.cpp - Assembly parser and writer -------------------===//
+
+#include "text/AsmParser.h"
+#include "text/AsmWriter.h"
+
+#include "TestPrograms.h"
+#include "bytecode/Verifier.h"
+#include "interp/InstructionInterpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+namespace {
+
+/// Structural module equality (names, signatures, code, tables, vtables).
+void expectModulesEqual(const Module &A, const Module &B) {
+  ASSERT_EQ(A.Methods.size(), B.Methods.size());
+  ASSERT_EQ(A.Classes.size(), B.Classes.size());
+  ASSERT_EQ(A.Slots.size(), B.Slots.size());
+  EXPECT_EQ(A.EntryMethod, B.EntryMethod);
+  for (size_t I = 0; I < A.Methods.size(); ++I) {
+    const Method &MA = A.Methods[I], &MB = B.Methods[I];
+    EXPECT_EQ(MA.Name, MB.Name);
+    EXPECT_EQ(MA.NumArgs, MB.NumArgs);
+    EXPECT_EQ(MA.NumLocals, MB.NumLocals);
+    EXPECT_EQ(MA.ReturnsValue, MB.ReturnsValue);
+    ASSERT_EQ(MA.Code.size(), MB.Code.size()) << MA.Name;
+    for (size_t Pc = 0; Pc < MA.Code.size(); ++Pc)
+      EXPECT_EQ(MA.Code[Pc], MB.Code[Pc]) << MA.Name << " @" << Pc;
+    ASSERT_EQ(MA.SwitchTables.size(), MB.SwitchTables.size());
+    for (size_t T = 0; T < MA.SwitchTables.size(); ++T) {
+      EXPECT_EQ(MA.SwitchTables[T].Low, MB.SwitchTables[T].Low);
+      EXPECT_EQ(MA.SwitchTables[T].Targets, MB.SwitchTables[T].Targets);
+      EXPECT_EQ(MA.SwitchTables[T].DefaultTarget,
+                MB.SwitchTables[T].DefaultTarget);
+    }
+  }
+  for (size_t I = 0; I < A.Classes.size(); ++I) {
+    EXPECT_EQ(A.Classes[I].Name, B.Classes[I].Name);
+    EXPECT_EQ(A.Classes[I].NumFields, B.Classes[I].NumFields);
+    EXPECT_EQ(A.Classes[I].Vtable, B.Classes[I].Vtable);
+  }
+  for (size_t I = 0; I < A.Slots.size(); ++I) {
+    EXPECT_EQ(A.Slots[I].Name, B.Slots[I].Name);
+    EXPECT_EQ(A.Slots[I].ArgCount, B.Slots[I].ArgCount);
+    EXPECT_EQ(A.Slots[I].ReturnsValue, B.Slots[I].ReturnsValue);
+  }
+}
+
+void expectRoundTrip(const Module &M) {
+  std::string Text = moduleToString(M);
+  std::string Error;
+  std::optional<Module> Parsed = parseModule(Text, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error << "\n--- text was:\n" << Text;
+  expectModulesEqual(M, *Parsed);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(TextRoundTrip, HandBuiltPrograms) {
+  expectRoundTrip(testprog::countingLoop(10));
+  expectRoundTrip(testprog::recursiveFactorial(5));
+  expectRoundTrip(testprog::virtualDispatch());
+  expectRoundTrip(testprog::switchProgram());
+  expectRoundTrip(testprog::arraySquares(8));
+  expectRoundTrip(testprog::hotLoop(100));
+}
+
+TEST(TextRoundTrip, RandomPrograms) {
+  for (uint64_t Seed = 900; Seed < 930; ++Seed) {
+    testprog::RandomProgramBuilder Gen(Seed);
+    Module M = Gen.build();
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    expectRoundTrip(M);
+  }
+}
+
+TEST(TextRoundTrip, WorkloadModules) {
+  // The full workloads are large (hundreds of generated methods); the
+  // round trip must still be exact.
+  for (const WorkloadInfo &W : allWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    expectRoundTrip(W.Build(std::max(1u, W.DefaultScale / 100)));
+  }
+}
+
+TEST(TextRoundTrip, ParsedProgramRunsIdentically) {
+  Module M = testprog::switchProgram();
+  std::string Error;
+  std::optional<Module> P = parseModule(moduleToString(M), Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  Machine M1(M), M2(*P);
+  runInstructions(M1);
+  runInstructions(M2);
+  EXPECT_EQ(M1.output(), M2.output());
+}
+
+//===----------------------------------------------------------------------===//
+// Direct parsing
+//===----------------------------------------------------------------------===//
+
+TEST(AsmParserTest, MinimalProgram) {
+  std::string Error;
+  std::optional<Module> M = parseModule(R"(
+; smallest valid program
+.method main args=0 locals=0 returns=void
+  iconst 42
+  iprint
+  halt
+.end
+.entry main
+)",
+                                        Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_TRUE(isValid(*M));
+  Machine Mach(*M);
+  runInstructions(Mach);
+  EXPECT_EQ(Mach.output(), (std::vector<int64_t>{42}));
+}
+
+TEST(AsmParserTest, ForwardMethodReference) {
+  std::string Error;
+  std::optional<Module> M = parseModule(R"(
+.method main args=0 locals=0 returns=void
+  invokestatic late
+  iprint
+  halt
+.end
+.method late args=0 locals=0 returns=int
+  iconst 7
+  ireturn
+.end
+.entry main
+)",
+                                        Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  Machine Mach(*M);
+  runInstructions(Mach);
+  EXPECT_EQ(Mach.output(), (std::vector<int64_t>{7}));
+}
+
+TEST(AsmParserTest, CommentsAndBlankLinesIgnored) {
+  std::string Error;
+  std::optional<Module> M = parseModule(R"(
+; leading comment
+
+.method main args=0 locals=1 returns=void   ; trailing comment
+  iconst 1   ; push
+  iprint
+
+  halt
+.end
+.entry main
+)",
+                                        Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Error diagnostics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string errorFor(const std::string &Text) {
+  std::string Error;
+  std::optional<Module> M = parseModule(Text, Error);
+  EXPECT_FALSE(M.has_value()) << "expected a parse error";
+  return Error;
+}
+
+} // namespace
+
+TEST(AsmParserTest, UnknownInstructionDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=void\n"
+                           "  frobnicate\n.end\n.entry m\n");
+  EXPECT_NE(E.find("line 2"), std::string::npos) << E;
+  EXPECT_NE(E.find("frobnicate"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, UnboundLabelDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=void\n"
+                           "  goto nowhere\n  halt\n.end\n.entry m\n");
+  EXPECT_NE(E.find("nowhere"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, DuplicateLabelDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=void\n"
+                           "x:\n  halt\nx:\n  halt\n.end\n.entry m\n");
+  EXPECT_NE(E.find("bound twice"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, MissingEntryDiagnosed) {
+  std::string E =
+      errorFor(".method m args=0 locals=0 returns=void\n  halt\n.end\n");
+  EXPECT_NE(E.find(".entry"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, UnknownCalleeDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=void\n"
+                           "  invokestatic ghost\n  halt\n.end\n.entry m\n");
+  EXPECT_NE(E.find("ghost"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, MissingEndDiagnosed) {
+  std::string E =
+      errorFor(".method m args=0 locals=0 returns=void\n  halt\n.entry m\n");
+  EXPECT_NE(E.find(".end"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, BadOperandCountDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=void\n"
+                           "  iconst\n  halt\n.end\n.entry m\n");
+  EXPECT_NE(E.find("operand"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, WrongReturnKindDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=float\n"
+                           "  halt\n.end\n.entry m\n");
+  EXPECT_NE(E.find("'int' or 'void'"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, DuplicateMethodDiagnosed) {
+  std::string E = errorFor(".method m args=0 locals=0 returns=void\n"
+                           "  halt\n.end\n"
+                           ".method m args=0 locals=0 returns=void\n"
+                           "  halt\n.end\n.entry m\n");
+  EXPECT_NE(E.find("duplicate method"), std::string::npos) << E;
+}
+
+TEST(AsmParserTest, MissingFileDiagnosed) {
+  std::string Error;
+  std::optional<Module> M =
+      parseModuleFile("/nonexistent/path/x.jasm", Error);
+  EXPECT_FALSE(M.has_value());
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+}
+
+TEST(AsmParserTest, TableswitchParses) {
+  std::string Error;
+  std::optional<Module> M = parseModule(R"(
+.method main args=0 locals=1 returns=void
+  iconst 1
+  tableswitch low=0 targets=[a, b] default=c
+a:
+  iconst 10
+  iprint
+  halt
+b:
+  iconst 11
+  iprint
+  halt
+c:
+  iconst 12
+  iprint
+  halt
+.end
+.entry main
+)",
+                                        Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  Machine Mach(*M);
+  runInstructions(Mach);
+  EXPECT_EQ(Mach.output(), (std::vector<int64_t>{11}));
+}

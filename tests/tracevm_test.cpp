@@ -1,0 +1,224 @@
+//===- tests/tracevm_test.cpp - The trace-dispatching VM ------------------===//
+
+#include "vm/TraceVM.h"
+
+#include "TestPrograms.h"
+#include "interp/InstructionInterpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+namespace {
+
+VmConfig defaultConfig() {
+  VmConfig C;
+  C.StartStateDelay = 64;
+  C.CompletionThreshold = 0.97;
+  return C;
+}
+
+} // namespace
+
+TEST(TraceVmTest, SemanticsUnchangedByTraceDispatch) {
+  // The trace cache is an execution accelerator; observable behaviour
+  // must be identical to the plain interpreter.
+  const Module Programs[] = {
+      testprog::countingLoop(5000), testprog::recursiveFactorial(10),
+      testprog::virtualDispatch(),  testprog::switchProgram(),
+      testprog::arraySquares(64),   testprog::hotLoop(20000),
+  };
+  for (const Module &M : Programs) {
+    Machine Plain(M);
+    RunResult R1 = runInstructions(Plain);
+    PreparedModule PM(M);
+    TraceVM VM(PM, defaultConfig());
+    RunResult R2 = VM.run();
+    EXPECT_EQ(R1.Status, R2.Status);
+    EXPECT_EQ(Plain.output(), VM.machine().output());
+    EXPECT_EQ(R1.Instructions, R2.Instructions);
+  }
+}
+
+TEST(TraceVmTest, HotLoopGetsTraced) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, defaultConfig());
+  VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_GT(S.TraceDispatches, 0u);
+  EXPECT_GT(S.TracesCompleted, 0u);
+  EXPECT_GT(S.completedCoverage(), 0.5)
+      << "a hot biased loop should mostly run from the trace cache";
+  EXPECT_GT(S.avgCompletedTraceLength(), 2.0);
+}
+
+TEST(TraceVmTest, StatsIdentitiesHold) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, defaultConfig());
+  RunResult R = VM.run();
+  const VmStats &S = VM.stats();
+
+  EXPECT_EQ(R.Instructions, S.Instructions);
+  EXPECT_LE(S.TracesCompleted, S.TraceDispatches);
+  EXPECT_LE(S.BlocksInCompletedTraces, S.BlocksInTraces);
+  EXPECT_LE(S.InstructionsInCompletedTraces, S.InstructionsInTraces);
+  EXPECT_LE(S.InstructionsInTraces, S.Instructions);
+  EXPECT_LE(S.BlocksInTraces, S.BlocksExecuted);
+  EXPECT_LE(S.completedCoverage(), 1.0);
+  EXPECT_LE(S.traceCoverage(), 1.0);
+  EXPECT_GE(S.completionRate(), 0.0);
+  EXPECT_LE(S.completionRate(), 1.0);
+  // Every executed block was either dispatched individually or ran under
+  // a trace dispatch.
+  EXPECT_EQ(S.BlocksExecuted, S.BlockDispatches + S.BlocksInTraces);
+  EXPECT_EQ(R.Dispatches, S.BlockDispatches + S.TraceDispatches);
+}
+
+TEST(TraceVmTest, TraceDispatchReducesDispatchCount) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+
+  VmConfig Plain = defaultConfig();
+  Plain.TracesEnabled = false;
+  TraceVM V1(PM, Plain);
+  RunResult R1 = V1.run();
+
+  TraceVM V2(PM, defaultConfig());
+  RunResult R2 = V2.run();
+
+  EXPECT_EQ(R1.Instructions, R2.Instructions);
+  EXPECT_LT(R2.Dispatches, R1.Dispatches)
+      << "dispatching whole traces must reduce the dispatch count";
+}
+
+TEST(TraceVmTest, ProfilingDisabledMeansNoGraphNoTraces) {
+  Module M = testprog::hotLoop(20000);
+  PreparedModule PM(M);
+  VmConfig C = defaultConfig();
+  C.ProfilingEnabled = false;
+  TraceVM VM(PM, C);
+  VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_EQ(S.Hooks, 0u);
+  EXPECT_EQ(S.Signals, 0u);
+  EXPECT_EQ(S.TraceDispatches, 0u);
+  EXPECT_EQ(S.GraphNodes, 0u);
+}
+
+TEST(TraceVmTest, TracesDisabledStillProfiles) {
+  Module M = testprog::hotLoop(20000);
+  PreparedModule PM(M);
+  VmConfig C = defaultConfig();
+  C.TracesEnabled = false;
+  TraceVM VM(PM, C);
+  VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_GT(S.Hooks, 0u);
+  EXPECT_GT(S.GraphNodes, 0u);
+  EXPECT_EQ(S.TraceDispatches, 0u);
+  EXPECT_EQ(S.TracesConstructed, 0u);
+}
+
+TEST(TraceVmTest, HooksOncePerDispatchNotPerBlock) {
+  // Paper section 4.1.2: trace dispatch executes a single profiling
+  // statement; inlined blocks carry none.
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, defaultConfig());
+  VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_LT(S.Hooks, S.BlocksExecuted)
+      << "in-trace blocks must not run profiler hooks";
+  EXPECT_LE(S.Hooks, S.BlockDispatches + S.TraceDispatches);
+}
+
+TEST(TraceVmTest, PartialTraceExecutionsAreCounted) {
+  // The hot loop's rare path (1/256) diverges from the loop trace, so
+  // some trace executions must end early.
+  Module M = testprog::hotLoop(200000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, defaultConfig());
+  VM.run();
+  const VmStats &S = VM.stats();
+  EXPECT_GT(S.TraceDispatches, S.TracesCompleted)
+      << "rare paths should cause some partial executions";
+  EXPECT_GE(S.completionRate(), 0.9);
+}
+
+TEST(TraceVmTest, InstructionBudgetStopsRun) {
+  Module M = testprog::countingLoop(1000000000);
+  PreparedModule PM(M);
+  VmConfig C = defaultConfig();
+  C.MaxInstructions = 50000;
+  TraceVM VM(PM, C);
+  RunResult R = VM.run();
+  EXPECT_EQ(R.Status, RunStatus::BudgetExhausted);
+  EXPECT_GE(R.Instructions, 50000u);
+  EXPECT_LT(R.Instructions, 51000u);
+}
+
+TEST(TraceVmTest, TrapInsideTraceSurfaces) {
+  // A loop that eventually divides by zero: i counts down to 0 and the
+  // program divides by i each iteration.
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 2, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label Loop = B.newLabel(), Done = B.newLabel();
+  B.iconst(30000);
+  B.istore(0);
+  B.bind(Loop);
+  B.iload(0);
+  B.branch(Opcode::IfLt, Done); // loops until i < 0, but traps at i == 0
+  B.iconst(1000);
+  B.iload(0);
+  B.emit(Opcode::Idiv);
+  B.istore(1);
+  B.iinc(0, -1);
+  B.branch(Opcode::Goto, Loop);
+  B.bind(Done);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  Module M = Asm.build();
+
+  PreparedModule PM(M);
+  TraceVM VM(PM, defaultConfig());
+  RunResult R = VM.run();
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::DivideByZero);
+}
+
+TEST(TraceVmTest, DeterministicAcrossRuns) {
+  Module M = testprog::hotLoop(80000);
+  PreparedModule PM(M);
+  TraceVM V1(PM, defaultConfig());
+  V1.run();
+  TraceVM V2(PM, defaultConfig());
+  V2.run();
+  const VmStats &A = V1.stats(), &B = V2.stats();
+  EXPECT_EQ(A.Instructions, B.Instructions);
+  EXPECT_EQ(A.TraceDispatches, B.TraceDispatches);
+  EXPECT_EQ(A.TracesCompleted, B.TracesCompleted);
+  EXPECT_EQ(A.Signals, B.Signals);
+  EXPECT_EQ(A.TracesConstructed, B.TracesConstructed);
+}
+
+TEST(TraceVmTest, RandomProgramsKeepSemanticsUnderTracing) {
+  for (uint64_t Seed = 500; Seed < 540; ++Seed) {
+    testprog::RandomProgramBuilder Gen(Seed);
+    Module M = Gen.build();
+    Machine Plain(M);
+    RunResult R1 = runInstructions(Plain, 10000000);
+    PreparedModule PM(M);
+    VmConfig C = defaultConfig();
+    C.StartStateDelay = 1; // trace aggressively
+    C.MaxInstructions = 10000000;
+    TraceVM VM(PM, C);
+    RunResult R2 = VM.run();
+    EXPECT_EQ(R1.Status, R2.Status) << "seed " << Seed;
+    EXPECT_EQ(Plain.output(), VM.machine().output()) << "seed " << Seed;
+    EXPECT_EQ(R1.Instructions, R2.Instructions) << "seed " << Seed;
+  }
+}

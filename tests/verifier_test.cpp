@@ -1,0 +1,236 @@
+//===- tests/verifier_test.cpp - Static verifier ---------------------------===//
+
+#include "bytecode/Verifier.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+namespace {
+
+/// Builds a single-method module around \p Code (0 args, \p Locals
+/// locals, void) without going through the assembler, so malformed code
+/// can be expressed.
+Module rawModule(std::vector<Instruction> Code, uint32_t Locals = 2) {
+  Module M;
+  Method Main;
+  Main.Name = "main";
+  Main.NumLocals = Locals;
+  Main.Code = std::move(Code);
+  M.Methods.push_back(std::move(Main));
+  M.EntryMethod = 0;
+  return M;
+}
+
+bool hasErrorContaining(const Module &M, const std::string &Needle) {
+  for (const VerifyError &E : verifyModule(M))
+    if (E.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(VerifierTest, AcceptsHandBuiltPrograms) {
+  EXPECT_TRUE(isValid(testprog::countingLoop(10)));
+  EXPECT_TRUE(isValid(testprog::recursiveFactorial(5)));
+  EXPECT_TRUE(isValid(testprog::virtualDispatch()));
+  EXPECT_TRUE(isValid(testprog::switchProgram()));
+  EXPECT_TRUE(isValid(testprog::arraySquares(8)));
+  EXPECT_TRUE(isValid(testprog::hotLoop(100)));
+  EXPECT_TRUE(isValid(testprog::divideByZero()));
+}
+
+TEST(VerifierTest, RejectsMissingEntryMethod) {
+  Module M;
+  M.EntryMethod = 3;
+  EXPECT_TRUE(hasErrorContaining(M, "entry method does not exist"));
+}
+
+TEST(VerifierTest, RejectsEntryWithArguments) {
+  Module M = rawModule({Instruction(Opcode::Halt)});
+  M.Methods[0].NumArgs = 1;
+  M.Methods[0].NumLocals = 1;
+  EXPECT_TRUE(hasErrorContaining(M, "entry method must take no arguments"));
+}
+
+TEST(VerifierTest, RejectsEmptyMethod) {
+  Module M = rawModule({});
+  EXPECT_TRUE(hasErrorContaining(M, "no code"));
+}
+
+TEST(VerifierTest, RejectsLocalOutOfRange) {
+  Module M = rawModule({Instruction(Opcode::Iload, 5),
+                        Instruction(Opcode::Pop), Instruction(Opcode::Halt)},
+                       /*Locals=*/2);
+  EXPECT_TRUE(hasErrorContaining(M, "local index out of range"));
+}
+
+TEST(VerifierTest, RejectsFewerLocalsThanArgs) {
+  Module M = rawModule({Instruction(Opcode::Halt)});
+  Method Extra;
+  Extra.Name = "f";
+  Extra.NumArgs = 3;
+  Extra.NumLocals = 1;
+  Extra.Code = {Instruction(Opcode::Return)};
+  M.Methods.push_back(std::move(Extra));
+  EXPECT_TRUE(hasErrorContaining(M, "fewer locals than arguments"));
+}
+
+TEST(VerifierTest, RejectsBranchTargetOutOfRange) {
+  Module M = rawModule({Instruction(Opcode::Goto, 99)});
+  EXPECT_TRUE(hasErrorContaining(M, "branch target out of range"));
+}
+
+TEST(VerifierTest, RejectsSwitchTableIndexOutOfRange) {
+  Module M = rawModule({Instruction(Opcode::Iconst, 0),
+                        Instruction(Opcode::Tableswitch, 2)});
+  EXPECT_TRUE(hasErrorContaining(M, "switch table index out of range"));
+}
+
+TEST(VerifierTest, RejectsSwitchCaseTargetOutOfRange) {
+  Module M = rawModule({Instruction(Opcode::Iconst, 0),
+                        Instruction(Opcode::Tableswitch, 0),
+                        Instruction(Opcode::Halt)});
+  SwitchTable T;
+  T.Low = 0;
+  T.Targets = {77};
+  T.DefaultTarget = 2;
+  M.Methods[0].SwitchTables.push_back(T);
+  EXPECT_TRUE(hasErrorContaining(M, "switch case target out of range"));
+}
+
+TEST(VerifierTest, RejectsUnknownInvokeStaticTarget) {
+  Module M = rawModule({Instruction(Opcode::InvokeStatic, 9),
+                        Instruction(Opcode::Halt)});
+  EXPECT_TRUE(hasErrorContaining(M, "unknown method"));
+}
+
+TEST(VerifierTest, RejectsUnknownVirtualSlot) {
+  Module M = rawModule({Instruction(Opcode::Iconst, 0),
+                        Instruction(Opcode::InvokeVirtual, 4),
+                        Instruction(Opcode::Halt)});
+  EXPECT_TRUE(hasErrorContaining(M, "unknown slot"));
+}
+
+TEST(VerifierTest, RejectsUnknownClassInNew) {
+  Module M = rawModule({Instruction(Opcode::New, 0),
+                        Instruction(Opcode::Pop), Instruction(Opcode::Halt)});
+  EXPECT_TRUE(hasErrorContaining(M, "unknown class"));
+}
+
+TEST(VerifierTest, RejectsStackUnderflow) {
+  Module M = rawModule({Instruction(Opcode::Iadd), Instruction(Opcode::Halt)});
+  EXPECT_TRUE(hasErrorContaining(M, "underflow"));
+}
+
+TEST(VerifierTest, RejectsCallSiteUnderflow) {
+  Module M = rawModule({Instruction(Opcode::Halt)});
+  Method F;
+  F.Name = "f";
+  F.NumArgs = 2;
+  F.NumLocals = 2;
+  F.ReturnsValue = true;
+  F.Code = {Instruction(Opcode::Iconst, 0), Instruction(Opcode::Ireturn)};
+  M.Methods.push_back(std::move(F));
+  // main calls f with only one argument on the stack.
+  M.Methods[0].Code = {Instruction(Opcode::Iconst, 1),
+                       Instruction(Opcode::InvokeStatic, 1),
+                       Instruction(Opcode::Pop), Instruction(Opcode::Halt)};
+  EXPECT_TRUE(hasErrorContaining(M, "underflow"));
+}
+
+TEST(VerifierTest, RejectsInconsistentMergeHeights) {
+  // Branch: one path pushes a value, the other does not, then they merge.
+  Module M = rawModule({
+      Instruction(Opcode::Iconst, 1), // 0: height 0 -> 1
+      Instruction(Opcode::IfEq, 3),   // 1: height 1 -> 0; to 3 or fall to 2
+      Instruction(Opcode::Iconst, 7), // 2: height 0 -> 1; falls into 3
+      Instruction(Opcode::Halt),      // 3: reached with height 0 and 1
+  });
+  EXPECT_TRUE(hasErrorContaining(M, "inconsistent stack height"));
+}
+
+TEST(VerifierTest, RejectsFallingOffTheEnd) {
+  Module M = rawModule({Instruction(Opcode::Nop)});
+  EXPECT_TRUE(hasErrorContaining(M, "falls off the end"));
+}
+
+TEST(VerifierTest, RejectsIreturnInVoidMethod) {
+  Module M = rawModule({Instruction(Opcode::Iconst, 1),
+                        Instruction(Opcode::Ireturn)});
+  EXPECT_TRUE(hasErrorContaining(M, "ireturn in a void method"));
+}
+
+TEST(VerifierTest, RejectsReturnInValueMethod) {
+  Module M = rawModule({Instruction(Opcode::Halt)});
+  Method F;
+  F.Name = "f";
+  F.NumArgs = 0;
+  F.NumLocals = 0;
+  F.ReturnsValue = true;
+  F.Code = {Instruction(Opcode::Return)};
+  M.Methods.push_back(std::move(F));
+  EXPECT_TRUE(hasErrorContaining(M, "return in a value-returning method"));
+}
+
+TEST(VerifierTest, AllowsLeftoverStackAtReturn) {
+  // JVM-style: residue on the operand stack at return is fine.
+  Module M = rawModule({Instruction(Opcode::Iconst, 1),
+                        Instruction(Opcode::Iconst, 2),
+                        Instruction(Opcode::Halt)});
+  EXPECT_TRUE(isValid(M));
+}
+
+TEST(VerifierTest, RejectsVtableSignatureMismatch) {
+  Module M = rawModule({Instruction(Opcode::Halt)});
+  Method Impl;
+  Impl.Name = "impl";
+  Impl.NumArgs = 1;
+  Impl.NumLocals = 1;
+  Impl.ReturnsValue = false;
+  Impl.Code = {Instruction(Opcode::Return)};
+  M.Methods.push_back(std::move(Impl));
+  M.Slots.push_back({"s", /*ArgCount=*/2, /*ReturnsValue=*/true});
+  Class C;
+  C.Name = "C";
+  C.Vtable = {1};
+  M.Classes.push_back(std::move(C));
+  EXPECT_TRUE(hasErrorContaining(M, "does not match slot"));
+}
+
+TEST(VerifierTest, RejectsMisSizedVtable) {
+  Module M = rawModule({Instruction(Opcode::Halt)});
+  M.Slots.push_back({"s", 1, false});
+  Class C;
+  C.Name = "C";
+  // Vtable left empty while one slot exists.
+  M.Classes.push_back(std::move(C));
+  EXPECT_TRUE(hasErrorContaining(M, "mis-sized vtable"));
+}
+
+TEST(VerifierTest, UnreachableGarbageIsIgnored) {
+  // Dead code after a halt is never flow-analyzed, matching the JVM
+  // verifier's treatment of unreachable code regions.
+  Module M = rawModule({Instruction(Opcode::Halt),
+                        Instruction(Opcode::Iadd)});
+  EXPECT_TRUE(isValid(M));
+}
+
+TEST(VerifierTest, FormatErrorsIsReadable) {
+  Module M = rawModule({Instruction(Opcode::Goto, 99)});
+  std::string S = formatErrors(verifyModule(M));
+  EXPECT_NE(S.find("method 0"), std::string::npos);
+  EXPECT_NE(S.find("branch target"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsRandomGeneratedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    testprog::RandomProgramBuilder Gen(Seed);
+    Module M = Gen.build();
+    EXPECT_TRUE(isValid(M)) << "seed " << Seed << ":\n"
+                            << formatErrors(verifyModule(M));
+  }
+}

@@ -1,0 +1,113 @@
+//===- tests/workloads_test.cpp - The six benchmark programs --------------===//
+
+#include "workloads/Workloads.h"
+
+#include "bytecode/Verifier.h"
+#include "interp/BlockStepper.h"
+#include "interp/InstructionInterpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+namespace {
+
+/// Small scales keep each differential run under a few hundred thousand
+/// instructions.
+uint32_t smallScale(const WorkloadInfo &W) {
+  return std::max(1u, W.DefaultScale / 100);
+}
+
+} // namespace
+
+TEST(WorkloadsTest, RegistryHasThePaperSuite) {
+  const std::vector<WorkloadInfo> &All = allWorkloads();
+  ASSERT_EQ(All.size(), 6u);
+  EXPECT_STREQ(All[0].Name, "compress");
+  EXPECT_STREQ(All[1].Name, "javac");
+  EXPECT_STREQ(All[2].Name, "raytrace");
+  EXPECT_STREQ(All[3].Name, "mpegaudio");
+  EXPECT_STREQ(All[4].Name, "soot");
+  EXPECT_STREQ(All[5].Name, "scimark");
+}
+
+TEST(WorkloadsTest, FindWorkloadByName) {
+  EXPECT_NE(findWorkload("soot"), nullptr);
+  EXPECT_EQ(findWorkload("fortran"), nullptr);
+  EXPECT_STREQ(findWorkload("compress")->Name, "compress");
+}
+
+TEST(WorkloadsTest, AllVerify) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(smallScale(W));
+    std::vector<VerifyError> Errors = verifyModule(M);
+    EXPECT_TRUE(Errors.empty())
+        << W.Name << ":\n"
+        << formatErrors(Errors);
+  }
+}
+
+TEST(WorkloadsTest, AllRunToCompletion) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(smallScale(W));
+    Machine Mach(M);
+    RunResult R = runInstructions(Mach, 100000000);
+    EXPECT_EQ(R.Status, RunStatus::Finished) << W.Name;
+    EXPECT_FALSE(Mach.output().empty())
+        << W.Name << " must produce observable output";
+  }
+}
+
+TEST(WorkloadsTest, DeterministicAcrossBuilds) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M1 = W.Build(smallScale(W));
+    Module M2 = W.Build(smallScale(W));
+    Machine A(M1), B(M2);
+    runInstructions(A, 100000000);
+    runInstructions(B, 100000000);
+    EXPECT_EQ(A.output(), B.output()) << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, DispatchModelsAgree) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(smallScale(W));
+    Machine M1(M);
+    RunResult R1 = runInstructions(M1, 100000000);
+    PreparedModule PM(M);
+    Machine M2(M);
+    BlockStepper Stepper(PM, M2);
+    RunResult R2 = runBlocks(Stepper, 100000000);
+    EXPECT_EQ(M1.output(), M2.output()) << W.Name;
+    EXPECT_EQ(R1.Instructions, R2.Instructions) << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, ScaleGrowsTheRun) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module MS = W.Build(smallScale(W));
+    Module ML = W.Build(smallScale(W) * 3);
+    Machine Small(MS);
+    Machine Large(ML);
+    RunResult RS = runInstructions(Small, 100000000);
+    RunResult RL = runInstructions(Large, 100000000);
+    EXPECT_GT(RL.Instructions, RS.Instructions) << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, SuiteHasPolymorphicAndMonomorphicMembers) {
+  // javac and soot carry virtual slots; compress and scimark are purely
+  // static -- the structural difference behind their table rows.
+  EXPECT_FALSE(buildJavac(1).Slots.empty());
+  EXPECT_FALSE(buildSoot(1).Slots.empty());
+  EXPECT_TRUE(buildCompress(1).Slots.empty());
+  EXPECT_TRUE(buildScimark(1).Slots.empty());
+}
+
+TEST(WorkloadsTest, FootprintsDifferAsDesigned) {
+  // javac's static code footprint (the production tail) dwarfs
+  // scimark's; this is what drives their coverage difference.
+  Module Javac = buildJavac(280);
+  Module Scimark = buildScimark(14000);
+  EXPECT_GT(Javac.Methods.size(), 10 * Scimark.Methods.size());
+}

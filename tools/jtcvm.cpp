@@ -1,0 +1,230 @@
+//===- tools/jtcvm.cpp - Command-line driver ------------------------------===//
+///
+/// The command-line front end for the jtc virtual machine:
+///
+///   jtcvm run <program> [options]     run under the trace-dispatching VM
+///   jtcvm interp <program>            run under the plain interpreters
+///   jtcvm verify <program>            run the static verifier
+///   jtcvm disasm <program>            print the decoded program
+///   jtcvm emit <program>              print the program as .jasm text
+///
+/// <program> is either a path to a .jasm file or "workload:<name>" for
+/// one of the built-in benchmarks (workload:compress etc.).
+///
+/// Options for `run`:
+///   --threshold=<0..1>   trace completion threshold   (default 0.97)
+///   --delay=<n>          start-state delay            (default 64)
+///   --decay=<n>          decay interval               (default 256)
+///   --scale=<n>          workload scale               (default: builtin)
+///   --max-instr=<n>      instruction budget
+///   --no-traces          profile only, no trace dispatch
+///   --no-profile         plain block interpreter
+///   --stats              print the full statistics block
+///   --dump-traces        print the live trace cache
+///   --dump-graph        print the branch correlation graph (large!)
+///   --quiet              suppress program output
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+#include "bytecode/Verifier.h"
+#include "interp/InstructionInterpreter.h"
+#include "text/AsmParser.h"
+#include "text/AsmWriter.h"
+#include "vm/TraceVM.h"
+#include "workloads/Workloads.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace jtc;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string Program;
+  double Threshold = 0.97;
+  uint32_t Delay = 64;
+  uint32_t Decay = 256;
+  uint32_t Scale = 0;
+  uint64_t MaxInstructions = ~0ull;
+  bool NoTraces = false;
+  bool NoProfile = false;
+  bool Stats = false;
+  bool DumpTraces = false;
+  bool DumpGraph = false;
+  bool Quiet = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: jtcvm <run|interp|verify|disasm|emit> <program> [options]\n"
+         "  <program>: a .jasm file, or workload:<name> where name is one "
+         "of:\n   ";
+  for (const WorkloadInfo &W : allWorkloads())
+    std::cerr << " " << W.Name;
+  std::cerr << "\n  run options: --threshold=X --delay=N --decay=N "
+               "--scale=N --max-instr=N\n"
+               "               --no-traces --no-profile --stats "
+               "--dump-traces --dump-graph --quiet\n";
+  return 2;
+}
+
+bool parseOptions(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.Program = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&A]() { return A.substr(A.find('=') + 1); };
+    if (A.rfind("--threshold=", 0) == 0)
+      Opts.Threshold = std::atof(Value().c_str());
+    else if (A.rfind("--delay=", 0) == 0)
+      Opts.Delay = static_cast<uint32_t>(std::atoi(Value().c_str()));
+    else if (A.rfind("--decay=", 0) == 0)
+      Opts.Decay = static_cast<uint32_t>(std::atoi(Value().c_str()));
+    else if (A.rfind("--scale=", 0) == 0)
+      Opts.Scale = static_cast<uint32_t>(std::atoi(Value().c_str()));
+    else if (A.rfind("--max-instr=", 0) == 0)
+      Opts.MaxInstructions =
+          static_cast<uint64_t>(std::atoll(Value().c_str()));
+    else if (A == "--no-traces")
+      Opts.NoTraces = true;
+    else if (A == "--no-profile")
+      Opts.NoProfile = true;
+    else if (A == "--stats")
+      Opts.Stats = true;
+    else if (A == "--dump-traces")
+      Opts.DumpTraces = true;
+    else if (A == "--dump-graph")
+      Opts.DumpGraph = true;
+    else if (A == "--quiet")
+      Opts.Quiet = true;
+    else {
+      std::cerr << "unknown option '" << A << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Loads the program named by \p Opts: a workload or a .jasm file.
+std::optional<Module> loadProgram(const Options &Opts) {
+  if (Opts.Program.rfind("workload:", 0) == 0) {
+    std::string Name = Opts.Program.substr(9);
+    const WorkloadInfo *W = findWorkload(Name);
+    if (!W) {
+      std::cerr << "unknown workload '" << Name << "'\n";
+      return std::nullopt;
+    }
+    return W->Build(Opts.Scale ? Opts.Scale : W->DefaultScale);
+  }
+  std::string Error;
+  std::optional<Module> M = parseModuleFile(Opts.Program, Error);
+  if (!M)
+    std::cerr << "error: " << Error << "\n";
+  return M;
+}
+
+void printOutput(const Machine &Mach, bool Quiet) {
+  if (Quiet)
+    return;
+  for (int64_t V : Mach.output())
+    std::cout << V << "\n";
+}
+
+int reportEnd(const RunResult &R) {
+  switch (R.Status) {
+  case RunStatus::Finished:
+    return 0;
+  case RunStatus::Trapped:
+    std::cerr << "trap: " << trapName(R.Trap) << "\n";
+    return 1;
+  case RunStatus::BudgetExhausted:
+    std::cerr << "instruction budget exhausted after " << R.Instructions
+              << " instructions\n";
+    return 1;
+  }
+  return 1;
+}
+
+int cmdRun(const Options &Opts, const Module &M) {
+  std::vector<VerifyError> Errors = verifyModule(M);
+  if (!Errors.empty()) {
+    std::cerr << "verification failed:\n" << formatErrors(Errors);
+    return 1;
+  }
+  PreparedModule PM(M);
+  VmConfig Config;
+  Config.CompletionThreshold = Opts.Threshold;
+  Config.StartStateDelay = Opts.Delay;
+  Config.DecayInterval = Opts.Decay;
+  Config.MaxInstructions = Opts.MaxInstructions;
+  Config.TracesEnabled = !Opts.NoTraces;
+  Config.ProfilingEnabled = !Opts.NoProfile;
+  TraceVM VM(PM, Config);
+  RunResult R = VM.run();
+  printOutput(VM.machine(), Opts.Quiet);
+  if (Opts.DumpTraces)
+    VM.traceCache().dump(std::cerr);
+  if (Opts.DumpGraph)
+    VM.graph().dump(std::cerr);
+  if (Opts.Stats)
+    VM.stats().print(std::cerr);
+  return reportEnd(R);
+}
+
+int cmdInterp(const Options &Opts, const Module &M) {
+  std::vector<VerifyError> Errors = verifyModule(M);
+  if (!Errors.empty()) {
+    std::cerr << "verification failed:\n" << formatErrors(Errors);
+    return 1;
+  }
+  Machine Mach(M);
+  RunResult R = runInstructions(Mach, Opts.MaxInstructions);
+  printOutput(Mach, Opts.Quiet);
+  if (Opts.Stats)
+    std::cerr << "instructions: " << R.Instructions
+              << "\ndispatches:   " << R.Dispatches << "\n";
+  return reportEnd(R);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseOptions(Argc, Argv, Opts))
+    return usage();
+
+  std::optional<Module> M = loadProgram(Opts);
+  if (!M)
+    return 1;
+
+  if (Opts.Command == "run")
+    return cmdRun(Opts, *M);
+  if (Opts.Command == "interp")
+    return cmdInterp(Opts, *M);
+  if (Opts.Command == "verify") {
+    std::vector<VerifyError> Errors = verifyModule(*M);
+    if (Errors.empty()) {
+      std::cout << "ok: " << M->Methods.size() << " methods, "
+                << M->Classes.size() << " classes verify\n";
+      return 0;
+    }
+    std::cerr << formatErrors(Errors);
+    return 1;
+  }
+  if (Opts.Command == "disasm") {
+    disassembleModule(std::cout, *M);
+    return 0;
+  }
+  if (Opts.Command == "emit") {
+    writeModule(std::cout, *M);
+    return 0;
+  }
+  return usage();
+}
