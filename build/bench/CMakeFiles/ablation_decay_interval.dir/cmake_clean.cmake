@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decay_interval.dir/ablation_decay_interval.cpp.o"
+  "CMakeFiles/ablation_decay_interval.dir/ablation_decay_interval.cpp.o.d"
+  "ablation_decay_interval"
+  "ablation_decay_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decay_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

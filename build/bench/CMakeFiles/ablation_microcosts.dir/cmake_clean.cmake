@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_microcosts.dir/ablation_microcosts.cpp.o"
+  "CMakeFiles/ablation_microcosts.dir/ablation_microcosts.cpp.o.d"
+  "ablation_microcosts"
+  "ablation_microcosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_microcosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

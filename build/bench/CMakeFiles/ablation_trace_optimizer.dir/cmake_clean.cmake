@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_optimizer.dir/ablation_trace_optimizer.cpp.o"
+  "CMakeFiles/ablation_trace_optimizer.dir/ablation_trace_optimizer.cpp.o.d"
+  "ablation_trace_optimizer"
+  "ablation_trace_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

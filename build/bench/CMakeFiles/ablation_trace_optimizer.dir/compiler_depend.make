@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_trace_optimizer.
+# This may be replaced when dependencies are built.

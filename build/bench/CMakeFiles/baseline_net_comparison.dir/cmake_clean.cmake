@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_net_comparison.dir/baseline_net_comparison.cpp.o"
+  "CMakeFiles/baseline_net_comparison.dir/baseline_net_comparison.cpp.o.d"
+  "baseline_net_comparison"
+  "baseline_net_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_net_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fig2_dispatch_models.dir/fig1_fig2_dispatch_models.cpp.o"
+  "CMakeFiles/fig1_fig2_dispatch_models.dir/fig1_fig2_dispatch_models.cpp.o.d"
+  "fig1_fig2_dispatch_models"
+  "fig1_fig2_dispatch_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fig2_dispatch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

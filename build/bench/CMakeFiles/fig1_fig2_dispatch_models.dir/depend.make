@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_fig2_dispatch_models.
+# This may be replaced when dependencies are built.

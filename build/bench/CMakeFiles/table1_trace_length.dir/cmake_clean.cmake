@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trace_length.dir/table1_trace_length.cpp.o"
+  "CMakeFiles/table1_trace_length.dir/table1_trace_length.cpp.o.d"
+  "table1_trace_length"
+  "table1_trace_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trace_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_coverage.cpp" "bench/CMakeFiles/table2_coverage.dir/table2_coverage.cpp.o" "gcc" "bench/CMakeFiles/table2_coverage.dir/table2_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/jtc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/jtc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jtc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jtc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/jtc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/jtc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/jtc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/jtc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jtc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/jtc_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

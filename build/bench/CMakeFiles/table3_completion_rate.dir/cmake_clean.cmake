@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_completion_rate.dir/table3_completion_rate.cpp.o"
+  "CMakeFiles/table3_completion_rate.dir/table3_completion_rate.cpp.o.d"
+  "table3_completion_rate"
+  "table3_completion_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_completion_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

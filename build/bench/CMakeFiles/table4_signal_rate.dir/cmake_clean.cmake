@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_signal_rate.dir/table4_signal_rate.cpp.o"
+  "CMakeFiles/table4_signal_rate.dir/table4_signal_rate.cpp.o.d"
+  "table4_signal_rate"
+  "table4_signal_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_signal_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_event_interval.dir/table5_event_interval.cpp.o"
+  "CMakeFiles/table5_event_interval.dir/table5_event_interval.cpp.o.d"
+  "table5_event_interval"
+  "table5_event_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_event_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

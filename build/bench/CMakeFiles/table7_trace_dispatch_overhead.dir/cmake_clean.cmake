@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_trace_dispatch_overhead.dir/table7_trace_dispatch_overhead.cpp.o"
+  "CMakeFiles/table7_trace_dispatch_overhead.dir/table7_trace_dispatch_overhead.cpp.o.d"
+  "table7_trace_dispatch_overhead"
+  "table7_trace_dispatch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_trace_dispatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

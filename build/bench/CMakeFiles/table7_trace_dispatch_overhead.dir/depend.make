@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_trace_dispatch_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_models.dir/dispatch_models.cpp.o"
+  "CMakeFiles/dispatch_models.dir/dispatch_models.cpp.o.d"
+  "dispatch_models"
+  "dispatch_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

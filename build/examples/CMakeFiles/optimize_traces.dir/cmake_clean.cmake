@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_traces.dir/optimize_traces.cpp.o"
+  "CMakeFiles/optimize_traces.dir/optimize_traces.cpp.o.d"
+  "optimize_traces"
+  "optimize_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

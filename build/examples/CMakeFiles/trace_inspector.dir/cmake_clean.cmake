@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_inspector.dir/trace_inspector.cpp.o"
+  "CMakeFiles/trace_inspector.dir/trace_inspector.cpp.o.d"
+  "trace_inspector"
+  "trace_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

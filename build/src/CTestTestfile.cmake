@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("bytecode")
+subdirs("runtime")
+subdirs("text")
+subdirs("interp")
+subdirs("profile")
+subdirs("trace")
+subdirs("opt")
+subdirs("vm")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_baseline.dir/NetTraceVm.cpp.o"
+  "CMakeFiles/jtc_baseline.dir/NetTraceVm.cpp.o.d"
+  "libjtc_baseline.a"
+  "libjtc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/Assembler.cpp" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Assembler.cpp.o" "gcc" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Assembler.cpp.o.d"
+  "/root/repo/src/bytecode/Disassembler.cpp" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Disassembler.cpp.o" "gcc" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/bytecode/Opcode.cpp" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Opcode.cpp.o" "gcc" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Opcode.cpp.o.d"
+  "/root/repo/src/bytecode/Verifier.cpp" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Verifier.cpp.o" "gcc" "src/bytecode/CMakeFiles/jtc_bytecode.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

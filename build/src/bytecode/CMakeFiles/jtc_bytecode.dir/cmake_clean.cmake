@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_bytecode.dir/Assembler.cpp.o"
+  "CMakeFiles/jtc_bytecode.dir/Assembler.cpp.o.d"
+  "CMakeFiles/jtc_bytecode.dir/Disassembler.cpp.o"
+  "CMakeFiles/jtc_bytecode.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/jtc_bytecode.dir/Opcode.cpp.o"
+  "CMakeFiles/jtc_bytecode.dir/Opcode.cpp.o.d"
+  "CMakeFiles/jtc_bytecode.dir/Verifier.cpp.o"
+  "CMakeFiles/jtc_bytecode.dir/Verifier.cpp.o.d"
+  "libjtc_bytecode.a"
+  "libjtc_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/jtc_harness.dir/Experiment.cpp.o.d"
+  "libjtc_harness.a"
+  "libjtc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjtc_harness.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_interp.dir/BlockStepper.cpp.o"
+  "CMakeFiles/jtc_interp.dir/BlockStepper.cpp.o.d"
+  "CMakeFiles/jtc_interp.dir/InstructionInterpreter.cpp.o"
+  "CMakeFiles/jtc_interp.dir/InstructionInterpreter.cpp.o.d"
+  "CMakeFiles/jtc_interp.dir/PreparedModule.cpp.o"
+  "CMakeFiles/jtc_interp.dir/PreparedModule.cpp.o.d"
+  "CMakeFiles/jtc_interp.dir/ThreadedInterpreter.cpp.o"
+  "CMakeFiles/jtc_interp.dir/ThreadedInterpreter.cpp.o.d"
+  "libjtc_interp.a"
+  "libjtc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_opt.dir/TraceOptimizer.cpp.o"
+  "CMakeFiles/jtc_opt.dir/TraceOptimizer.cpp.o.d"
+  "libjtc_opt.a"
+  "libjtc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_profile.dir/BranchCorrelationGraph.cpp.o"
+  "CMakeFiles/jtc_profile.dir/BranchCorrelationGraph.cpp.o.d"
+  "libjtc_profile.a"
+  "libjtc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

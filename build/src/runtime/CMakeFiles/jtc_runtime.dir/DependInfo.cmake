@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Heap.cpp" "src/runtime/CMakeFiles/jtc_runtime.dir/Heap.cpp.o" "gcc" "src/runtime/CMakeFiles/jtc_runtime.dir/Heap.cpp.o.d"
+  "/root/repo/src/runtime/Machine.cpp" "src/runtime/CMakeFiles/jtc_runtime.dir/Machine.cpp.o" "gcc" "src/runtime/CMakeFiles/jtc_runtime.dir/Machine.cpp.o.d"
+  "/root/repo/src/runtime/Trap.cpp" "src/runtime/CMakeFiles/jtc_runtime.dir/Trap.cpp.o" "gcc" "src/runtime/CMakeFiles/jtc_runtime.dir/Trap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/jtc_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/jtc_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/jtc_runtime.dir/Machine.cpp.o"
+  "CMakeFiles/jtc_runtime.dir/Machine.cpp.o.d"
+  "CMakeFiles/jtc_runtime.dir/Trap.cpp.o"
+  "CMakeFiles/jtc_runtime.dir/Trap.cpp.o.d"
+  "libjtc_runtime.a"
+  "libjtc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

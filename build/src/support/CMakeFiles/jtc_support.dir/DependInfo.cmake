@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Prng.cpp" "src/support/CMakeFiles/jtc_support.dir/Prng.cpp.o" "gcc" "src/support/CMakeFiles/jtc_support.dir/Prng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/jtc_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/jtc_support.dir/Stats.cpp.o.d"
+  "/root/repo/src/support/TablePrinter.cpp" "src/support/CMakeFiles/jtc_support.dir/TablePrinter.cpp.o" "gcc" "src/support/CMakeFiles/jtc_support.dir/TablePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_support.dir/Prng.cpp.o"
+  "CMakeFiles/jtc_support.dir/Prng.cpp.o.d"
+  "CMakeFiles/jtc_support.dir/Stats.cpp.o"
+  "CMakeFiles/jtc_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/jtc_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/jtc_support.dir/TablePrinter.cpp.o.d"
+  "libjtc_support.a"
+  "libjtc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

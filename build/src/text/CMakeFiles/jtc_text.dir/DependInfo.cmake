@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/AsmParser.cpp" "src/text/CMakeFiles/jtc_text.dir/AsmParser.cpp.o" "gcc" "src/text/CMakeFiles/jtc_text.dir/AsmParser.cpp.o.d"
+  "/root/repo/src/text/AsmWriter.cpp" "src/text/CMakeFiles/jtc_text.dir/AsmWriter.cpp.o" "gcc" "src/text/CMakeFiles/jtc_text.dir/AsmWriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/jtc_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_text.dir/AsmParser.cpp.o"
+  "CMakeFiles/jtc_text.dir/AsmParser.cpp.o.d"
+  "CMakeFiles/jtc_text.dir/AsmWriter.cpp.o"
+  "CMakeFiles/jtc_text.dir/AsmWriter.cpp.o.d"
+  "libjtc_text.a"
+  "libjtc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

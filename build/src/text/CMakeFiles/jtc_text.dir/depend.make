@@ -1,0 +1,2 @@
+# Empty dependencies file for jtc_text.
+# This may be replaced when dependencies are built.

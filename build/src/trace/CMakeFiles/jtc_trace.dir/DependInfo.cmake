@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/TraceBuilder.cpp" "src/trace/CMakeFiles/jtc_trace.dir/TraceBuilder.cpp.o" "gcc" "src/trace/CMakeFiles/jtc_trace.dir/TraceBuilder.cpp.o.d"
+  "/root/repo/src/trace/TraceCache.cpp" "src/trace/CMakeFiles/jtc_trace.dir/TraceCache.cpp.o" "gcc" "src/trace/CMakeFiles/jtc_trace.dir/TraceCache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/jtc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

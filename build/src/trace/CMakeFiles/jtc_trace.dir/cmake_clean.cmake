@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_trace.dir/TraceBuilder.cpp.o"
+  "CMakeFiles/jtc_trace.dir/TraceBuilder.cpp.o.d"
+  "CMakeFiles/jtc_trace.dir/TraceCache.cpp.o"
+  "CMakeFiles/jtc_trace.dir/TraceCache.cpp.o.d"
+  "libjtc_trace.a"
+  "libjtc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_vm.dir/TraceVM.cpp.o"
+  "CMakeFiles/jtc_vm.dir/TraceVM.cpp.o.d"
+  "CMakeFiles/jtc_vm.dir/VmStats.cpp.o"
+  "CMakeFiles/jtc_vm.dir/VmStats.cpp.o.d"
+  "libjtc_vm.a"
+  "libjtc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Common.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Common.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Common.cpp.o.d"
+  "/root/repo/src/workloads/Compress.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Compress.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Compress.cpp.o.d"
+  "/root/repo/src/workloads/Javac.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Javac.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Javac.cpp.o.d"
+  "/root/repo/src/workloads/Mpegaudio.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Mpegaudio.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Mpegaudio.cpp.o.d"
+  "/root/repo/src/workloads/Raytrace.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Raytrace.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Raytrace.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Scimark.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Scimark.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Scimark.cpp.o.d"
+  "/root/repo/src/workloads/Soot.cpp" "src/workloads/CMakeFiles/jtc_workloads.dir/Soot.cpp.o" "gcc" "src/workloads/CMakeFiles/jtc_workloads.dir/Soot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/jtc_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtc_workloads.dir/Common.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Common.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Compress.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Compress.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Javac.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Javac.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Mpegaudio.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Mpegaudio.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Raytrace.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Raytrace.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Scimark.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Scimark.cpp.o.d"
+  "CMakeFiles/jtc_workloads.dir/Soot.cpp.o"
+  "CMakeFiles/jtc_workloads.dir/Soot.cpp.o.d"
+  "libjtc_workloads.a"
+  "libjtc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockdiscovery_test.dir/blockdiscovery_test.cpp.o"
+  "CMakeFiles/blockdiscovery_test.dir/blockdiscovery_test.cpp.o.d"
+  "blockdiscovery_test"
+  "blockdiscovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockdiscovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bytecode_test.dir/bytecode_test.cpp.o"
+  "CMakeFiles/bytecode_test.dir/bytecode_test.cpp.o.d"
+  "bytecode_test"
+  "bytecode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bytecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracebuilder_test.dir/tracebuilder_test.cpp.o"
+  "CMakeFiles/tracebuilder_test.dir/tracebuilder_test.cpp.o.d"
+  "tracebuilder_test"
+  "tracebuilder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracebuilder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

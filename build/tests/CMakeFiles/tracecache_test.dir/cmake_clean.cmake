@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracecache_test.dir/tracecache_test.cpp.o"
+  "CMakeFiles/tracecache_test.dir/tracecache_test.cpp.o.d"
+  "tracecache_test"
+  "tracecache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracecache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracevm_test.dir/tracevm_test.cpp.o"
+  "CMakeFiles/tracevm_test.dir/tracevm_test.cpp.o.d"
+  "tracevm_test"
+  "tracevm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracevm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

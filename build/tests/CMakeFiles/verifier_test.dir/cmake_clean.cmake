@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_test.dir/verifier_test.cpp.o"
+  "CMakeFiles/verifier_test.dir/verifier_test.cpp.o.d"
+  "verifier_test"
+  "verifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

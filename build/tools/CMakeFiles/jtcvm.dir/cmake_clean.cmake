@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtcvm.dir/jtcvm.cpp.o"
+  "CMakeFiles/jtcvm.dir/jtcvm.cpp.o.d"
+  "jtcvm"
+  "jtcvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtcvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
