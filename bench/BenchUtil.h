@@ -49,6 +49,17 @@ inline ThresholdSweep runThresholdSweep(uint32_t Delay = 64) {
   return S;
 }
 
+/// Flattens a sweep into the BenchRecord form writeBenchJson expects.
+inline std::vector<BenchRecord> sweepRecords(const ThresholdSweep &S,
+                                             uint32_t Delay = 64) {
+  std::vector<BenchRecord> Records;
+  for (size_t R = 0; R < S.Thresholds.size(); ++R)
+    for (size_t C = 0; C < S.Workloads.size(); ++C)
+      Records.push_back(BenchRecord::forStats(S.Workloads[C], S.Thresholds[R],
+                                              Delay, S.Cell[R][C]));
+  return Records;
+}
+
 /// Prints a paper-style table: one row per threshold, one column per
 /// benchmark, plus the benchmark average, using \p Extract to pull the
 /// reported value and \p Format to render it.

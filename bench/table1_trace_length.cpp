@@ -12,7 +12,8 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "table1_trace_length");
   std::cout << "Table I: Trace Length (basic blocks) vs. Threshold\n"
             << "(paper: compress 5.0->12.1, javac 2.9->5.9, scimark flat "
                "10.8; average 4.7->7.8)\n\n";
@@ -21,5 +22,6 @@ int main() {
       S, "threshold",
       [](const VmStats &V) { return V.avgCompletedTraceLength(); },
       [](double V) { return TablePrinter::fmt(V, 1); });
+  maybeWriteBenchJson(JsonOut, "table1_trace_length", bench::sweepRecords(S));
   return 0;
 }

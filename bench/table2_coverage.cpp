@@ -12,7 +12,8 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "table2_coverage");
   std::cout << "Table II: Instruction Stream Coverage vs. Threshold\n"
             << "(paper: javac 72-79%, scimark 98%, average 82.1-87.1%)\n\n";
   bench::ThresholdSweep S = bench::runThresholdSweep();
@@ -26,5 +27,6 @@ int main() {
   bench::printThresholdTable(
       S, "threshold", [](const VmStats &V) { return V.traceCoverage(); },
       [](double V) { return TablePrinter::fmtPercent(V, 1); });
+  maybeWriteBenchJson(JsonOut, "table2_coverage", bench::sweepRecords(S));
   return 0;
 }

@@ -11,12 +11,15 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "table3_completion_rate");
   std::cout << "Table III: Trace Completion Rate vs. Threshold\n"
             << "(paper: >= ~95.5% everywhere, mostly 99%+)\n\n";
   bench::ThresholdSweep S = bench::runThresholdSweep();
   bench::printThresholdTable(
       S, "threshold", [](const VmStats &V) { return V.completionRate(); },
       [](double V) { return TablePrinter::fmtPercent(V, 2); });
+  maybeWriteBenchJson(JsonOut, "table3_completion_rate",
+                      bench::sweepRecords(S));
   return 0;
 }

@@ -12,7 +12,8 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "table4_signal_rate");
   std::cout << "Table IV: Thousands of Dispatches per State Change Signal\n"
             << "(paper: javac/soot ~10-11K, compress/raytrace ~37-43K, "
                "scimark up to 554K)\n\n";
@@ -21,5 +22,6 @@ int main() {
       S, "threshold",
       [](const VmStats &V) { return V.dispatchesPerSignal() / 1000.0; },
       [](double V) { return TablePrinter::fmt(V, 1); });
+  maybeWriteBenchJson(JsonOut, "table4_signal_rate", bench::sweepRecords(S));
   return 0;
 }

@@ -12,7 +12,8 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "table5_event_interval");
   std::cout << "Table V: Thousands of Dispatches per Trace Event at 97% "
                "threshold\n"
             << "(paper: rising from 1.3-129.9 at delay 1 to 35.6-3216 at "
@@ -24,6 +25,7 @@ int main() {
   Header.push_back("average");
   TablePrinter T(Header);
 
+  std::vector<BenchRecord> Records;
   for (uint32_t Delay : standardDelays()) {
     std::vector<std::string> Row = {std::to_string(Delay)};
     double Sum = 0;
@@ -33,6 +35,7 @@ int main() {
       C.StartStateDelay = Delay;
       std::cerr << "  running " << W.Name << " @ delay " << Delay << "...\n";
       VmStats S = runWorkload(W, C);
+      Records.push_back(BenchRecord::forStats(W.Name, 0.97, Delay, S));
       double V = S.dispatchesPerTraceEvent() / 1000.0;
       Sum += V;
       Row.push_back(TablePrinter::fmt(V, 1));
@@ -42,5 +45,6 @@ int main() {
     T.addRow(std::move(Row));
   }
   T.print(std::cout);
+  maybeWriteBenchJson(JsonOut, "table5_event_interval", Records);
   return 0;
 }

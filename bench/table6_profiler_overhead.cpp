@@ -21,7 +21,9 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut =
+      parseBenchJsonArg(argc, argv, "table6_profiler_overhead");
   std::cout << "Table VI: Profiler overhead per basic block dispatch\n"
             << "(paper: 0.018-0.075 s per million dispatches; profiling "
                "~28.6% of block execution cost)\n\n";
@@ -31,10 +33,16 @@ int main() {
                   "overhead (%)"});
   double TotalOverheadSec = 0, TotalPlainSec = 0;
   uint64_t TotalDispatches = 0;
+  std::vector<BenchRecord> Records;
   for (const WorkloadInfo &W : allWorkloads()) {
     std::cerr << "  timing " << W.Name << "...\n";
     OverheadSample S = measureProfilerOverhead(W, /*ScaleOverride=*/0,
                                                /*Repeats=*/3);
+    BenchRecord R;
+    R.Workload = W.Name;
+    R.HasOverhead = true;
+    R.Overhead = S;
+    Records.push_back(std::move(R));
     T.addRow({W.Name, TablePrinter::fmt(S.PlainSeconds, 3),
               TablePrinter::fmt(static_cast<double>(S.Dispatches) / 1e6, 1),
               TablePrinter::fmt(S.ProfiledSeconds, 3),
@@ -54,5 +62,6 @@ int main() {
             << " s per million dispatches; profiling adds "
             << TablePrinter::fmtPercent(TotalOverheadSec / TotalPlainSec, 1)
             << " to plain block execution (paper: 28.6%)\n";
+  maybeWriteBenchJson(JsonOut, "table6_profiler_overhead", Records);
   return 0;
 }

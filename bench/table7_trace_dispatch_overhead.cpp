@@ -18,7 +18,9 @@
 
 using namespace jtc;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonOut =
+      parseBenchJsonArg(argc, argv, "table7_trace_dispatch_overhead");
   std::cout << "Table VII: Profiler dispatch overhead under trace "
                "dispatching\n"
             << "(paper: expected overhead 1.7%-6.8%, average 4.5%)\n\n";
@@ -27,6 +29,7 @@ int main() {
                   "overhead per 1e6 dispatches (s)", "expected overhead (s)",
                   "% overhead"});
   double PctSum = 0;
+  std::vector<BenchRecord> Records;
   for (const WorkloadInfo &W : allWorkloads()) {
     std::cerr << "  timing " << W.Name << "...\n";
     OverheadSample S = measureProfilerOverhead(W, /*ScaleOverride=*/0,
@@ -37,6 +40,10 @@ int main() {
     C.CompletionThreshold = 0.97;
     C.StartStateDelay = 64;
     VmStats V = runWorkload(W, C);
+    BenchRecord R = BenchRecord::forStats(W.Name, 0.97, 64, V);
+    R.HasOverhead = true;
+    R.Overhead = S;
+    Records.push_back(std::move(R));
     double PerDispatchSec = S.overheadPerMillionDispatches() / 1e6;
     double ExpectedSec =
         static_cast<double>(V.totalDispatches()) * PerDispatchSec;
@@ -54,5 +61,6 @@ int main() {
             << TablePrinter::fmtPercent(
                    PctSum / static_cast<double>(allWorkloads().size()), 1)
             << " (paper: 4.5%)\n";
+  maybeWriteBenchJson(JsonOut, "table7_trace_dispatch_overhead", Records);
   return 0;
 }

@@ -4,10 +4,13 @@
 
 #include "bytecode/Verifier.h"
 #include "interp/ThreadedInterpreter.h"
+#include "support/Json.h"
 #include "support/Timer.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 using namespace jtc;
 
@@ -84,4 +87,68 @@ OverheadSample jtc::measureProfilerOverhead(const WorkloadInfo &W,
     }
   }
   return S;
+}
+
+void jtc::writeBenchJson(std::ostream &OS, const std::string &Table,
+                         const std::vector<BenchRecord> &Records) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("table", Table);
+  W.key("records").beginArray();
+  for (const BenchRecord &R : Records) {
+    W.beginObject();
+    W.field("workload", R.Workload);
+    if (R.Threshold > 0)
+      W.fieldReal("threshold", R.Threshold);
+    if (R.Delay > 0)
+      W.fieldUInt("delay", R.Delay);
+    if (R.HasStats) {
+      W.key("stats").beginObject();
+      R.Stats.writeJsonFields(W);
+      W.endObject();
+    }
+    if (R.HasOverhead) {
+      W.key("overhead")
+          .beginObject()
+          .fieldReal("plain_seconds", R.Overhead.PlainSeconds)
+          .fieldReal("profiled_seconds", R.Overhead.ProfiledSeconds)
+          .fieldUInt("dispatches", R.Overhead.Dispatches)
+          .fieldUInt("instructions", R.Overhead.Instructions)
+          .fieldReal("overhead_per_million_dispatches",
+                     R.Overhead.overheadPerMillionDispatches())
+          .endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << "\n";
+}
+
+std::string jtc::parseBenchJsonArg(int Argc, char **Argv, const char *Tool) {
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0 && Argv[I][7] != '\0') {
+      Path = Argv[I] + 7;
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown option '%s'\nusage: %s [--json=<file>]\n",
+                 Tool, Argv[I], Tool);
+    std::exit(2);
+  }
+  return Path;
+}
+
+void jtc::maybeWriteBenchJson(const std::string &Path, const std::string &Table,
+                              const std::vector<BenchRecord> &Records) {
+  if (Path.empty())
+    return;
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", Path.c_str());
+    std::exit(1);
+  }
+  writeBenchJson(OS, Table, Records);
+  std::fprintf(stderr, "wrote %zu records to %s\n", Records.size(),
+               Path.c_str());
 }

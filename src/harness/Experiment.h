@@ -15,6 +15,8 @@
 #include "vm/TraceVM.h"
 #include "workloads/Workloads.h"
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 namespace jtc {
@@ -55,6 +57,49 @@ struct OverheadSample {
 OverheadSample measureProfilerOverhead(const WorkloadInfo &W,
                                        uint32_t ScaleOverride = 0,
                                        int Repeats = 3);
+
+/// One measured cell of a table experiment: a workload run at a
+/// particular parameter point, carrying the full statistics block and/or
+/// a wall-clock overhead sample. The table binaries accumulate these and
+/// emit them with writeBenchJson so the human-readable tables and the
+/// machine-readable artifacts come from the same measurements.
+struct BenchRecord {
+  std::string Workload;
+  double Threshold = 0;
+  uint32_t Delay = 0;
+  bool HasStats = false;
+  VmStats Stats;
+  bool HasOverhead = false;
+  OverheadSample Overhead;
+
+  static BenchRecord forStats(std::string Workload, double Threshold,
+                              uint32_t Delay, const VmStats &Stats) {
+    BenchRecord R;
+    R.Workload = std::move(Workload);
+    R.Threshold = Threshold;
+    R.Delay = Delay;
+    R.HasStats = true;
+    R.Stats = Stats;
+    return R;
+  }
+};
+
+/// Writes a bench artifact: {"table": ..., "records": [{"workload", ...,
+/// "stats": {...}, "overhead": {...}}]}. Every VmStats field (counters
+/// and derived metrics) appears under "stats".
+void writeBenchJson(std::ostream &OS, const std::string &Table,
+                    const std::vector<BenchRecord> &Records);
+
+/// Command-line front end shared by the table binaries: recognises
+/// --json=<file> and returns the path ("" when absent). Any other
+/// argument prints usage for \p Tool and exits with status 2.
+std::string parseBenchJsonArg(int Argc, char **Argv, const char *Tool);
+
+/// Writes \p Records to \p Path when non-empty (no-op otherwise) and
+/// reports the artifact on stderr. Exits non-zero if the file cannot be
+/// written.
+void maybeWriteBenchJson(const std::string &Path, const std::string &Table,
+                         const std::vector<BenchRecord> &Records);
 
 } // namespace jtc
 

@@ -2,6 +2,8 @@
 
 #include "profile/BranchCorrelationGraph.h"
 
+#include "telemetry/EventRing.h"
+
 using namespace jtc;
 
 SignalSink::~SignalSink() = default;
@@ -170,6 +172,7 @@ void BranchCorrelationGraph::onBlockDispatch(BlockId Next) {
 
 void BranchCorrelationGraph::decay(NodeId Id) {
   ++Stats.DecayPasses;
+  JTC_RECORD_EVENT(Telem, EventKind::DecayPass, Id);
   BranchNode &N = Nodes[Id];
   uint32_t Total = 0;
   for (Correlation &C : N.Corrs) {
@@ -229,6 +232,8 @@ void BranchCorrelationGraph::evaluate(NodeId Id) {
   N.AckState = State;
   N.AckMaxSucc = MaxSucc;
   ++Stats.Signals;
+  JTC_RECORD_EVENT(Telem, EventKind::ProfilerSignal, Id,
+                   static_cast<uint32_t>(State));
   if (Sink)
     Sink->onStateChange(Id);
 }

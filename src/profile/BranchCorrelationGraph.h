@@ -34,6 +34,8 @@
 
 namespace jtc {
 
+class EventRing;
+
 /// Identifies a node (branch context) in the graph.
 using NodeId = uint32_t;
 constexpr NodeId InvalidNodeId = 0xffffffffu;
@@ -135,6 +137,10 @@ public:
   /// Installs the signal receiver (the trace cache). May be null.
   void setSink(SignalSink *S) { Sink = S; }
 
+  /// Attaches the telemetry event ring; signals and decay passes are
+  /// recorded into it. Null (the default) disables recording.
+  void setTelemetry(EventRing *R) { Telem = R; }
+
   const ProfilerConfig &config() const { return Config; }
 
   //===--- Hot path --------------------------------------------------===//
@@ -201,6 +207,7 @@ private:
 
   ProfilerConfig Config;
   SignalSink *Sink;
+  EventRing *Telem = nullptr;
   std::vector<BranchNode> Nodes;
   std::unordered_map<uint64_t, NodeId> PairToNode;
   NodeId Ctx = InvalidNodeId;

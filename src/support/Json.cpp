@@ -1,0 +1,145 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace jtc;
+
+void JsonWriter::writeEscaped(std::ostream &OS, std::string_view S) {
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\b':
+      OS << "\\b";
+      break;
+    case '\f':
+      OS << "\\f";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        OS << Buf;
+      } else {
+        OS << Ch;
+      }
+    }
+  }
+}
+
+void JsonWriter::preValue() {
+  if (KeyPending) {
+    KeyPending = false;
+    return;
+  }
+  if (!Scopes.empty()) {
+    assert(Scopes.back().Close == ']' &&
+           "object members need a key() before the value");
+    if (Scopes.back().HasElems)
+      OS << ',';
+    Scopes.back().HasElems = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  preValue();
+  Scopes.push_back({'}'});
+  OS << '{';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Scopes.empty() && Scopes.back().Close == '}' && "scope mismatch");
+  Scopes.pop_back();
+  OS << '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  preValue();
+  Scopes.push_back({']'});
+  OS << '[';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Scopes.empty() && Scopes.back().Close == ']' && "scope mismatch");
+  Scopes.pop_back();
+  OS << ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Scopes.empty() && Scopes.back().Close == '}' &&
+         "key() outside an object");
+  assert(!KeyPending && "two keys in a row");
+  if (Scopes.back().HasElems)
+    OS << ',';
+  Scopes.back().HasElems = true;
+  OS << '"';
+  writeEscaped(OS, K);
+  OS << "\":";
+  KeyPending = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  preValue();
+  OS << '"';
+  writeEscaped(OS, V);
+  OS << '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::valueUInt(uint64_t V) {
+  preValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::valueInt(int64_t V) {
+  preValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::valueReal(double V) {
+  preValue();
+  if (!std::isfinite(V)) {
+    OS << "null";
+    return *this;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", V);
+  OS << Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::valueBool(bool V) {
+  preValue();
+  OS << (V ? "true" : "false");
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  preValue();
+  OS << "null";
+  return *this;
+}

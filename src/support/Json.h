@@ -1,0 +1,87 @@
+//===- support/Json.h - Minimal JSON emission -------------------*- C++ -*-===//
+///
+/// \file
+/// A small streaming JSON writer used by every machine-readable output in
+/// the system: VmStats::toJson, the telemetry exporters (Chrome trace and
+/// JSONL event dumps) and the benchmark --json artifacts. Emission is
+/// compact (no whitespace) and deterministic -- doubles are formatted with
+/// "%.12g" so golden-output tests are stable across platforms -- which
+/// keeps every consumer byte-reproducible for a given input.
+///
+/// Commas are inserted automatically from a scope stack; the caller only
+/// sequences begin/end, key and value calls. Misuse (a value where a key
+/// is required, unbalanced scopes) is caught by assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_JSON_H
+#define JTC_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace jtc {
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; must be inside an object and followed by
+  /// exactly one value or container.
+  JsonWriter &key(std::string_view K);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &valueUInt(uint64_t V);
+  JsonWriter &valueInt(int64_t V);
+  /// Non-finite doubles (which JSON cannot represent) are emitted as null.
+  JsonWriter &valueReal(double V);
+  JsonWriter &valueBool(bool V);
+  JsonWriter &null();
+
+  //===--- key + value in one call ------------------------------------===//
+  JsonWriter &field(std::string_view K, std::string_view V) {
+    return key(K).value(V);
+  }
+  JsonWriter &fieldUInt(std::string_view K, uint64_t V) {
+    return key(K).valueUInt(V);
+  }
+  JsonWriter &fieldInt(std::string_view K, int64_t V) {
+    return key(K).valueInt(V);
+  }
+  JsonWriter &fieldReal(std::string_view K, double V) {
+    return key(K).valueReal(V);
+  }
+  JsonWriter &fieldBool(std::string_view K, bool V) {
+    return key(K).valueBool(V);
+  }
+
+  /// Writes \p S with JSON string escaping but no surrounding machinery;
+  /// exposed for code assembling JSON by hand (the JSONL exporter).
+  static void writeEscaped(std::ostream &OS, std::string_view S);
+
+private:
+  /// Called before any value/container: writes the separating comma and
+  /// consumes a pending key.
+  void preValue();
+
+  struct Scope {
+    char Close;      ///< '}' or ']'
+    bool HasElems = false;
+  };
+
+  std::ostream &OS;
+  std::vector<Scope> Scopes;
+  bool KeyPending = false;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_JSON_H

@@ -1,0 +1,31 @@
+//===- telemetry/Event.cpp ------------------------------------------------===//
+
+#include "telemetry/Event.h"
+
+using namespace jtc;
+
+const char *jtc::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::TraceConstructed:
+    return "trace-constructed";
+  case EventKind::TraceReused:
+    return "trace-reused";
+  case EventKind::TraceReplaced:
+    return "trace-replaced";
+  case EventKind::TraceInvalidated:
+    return "trace-invalidated";
+  case EventKind::TraceRetired:
+    return "trace-retired";
+  case EventKind::TraceDispatched:
+    return "trace-dispatched";
+  case EventKind::TraceCompleted:
+    return "trace-completed";
+  case EventKind::TraceEarlyExit:
+    return "trace-early-exit";
+  case EventKind::ProfilerSignal:
+    return "profiler-signal";
+  case EventKind::DecayPass:
+    return "decay-pass";
+  }
+  return "unknown";
+}

@@ -1,0 +1,123 @@
+//===- telemetry/Export.cpp -----------------------------------------------===//
+
+#include "telemetry/Export.h"
+
+using namespace jtc;
+
+void jtc::writeEventsJsonl(std::ostream &OS, const EventRing &Ring) {
+  Ring.forEach([&OS](const Event &E) {
+    JsonWriter W(OS);
+    W.beginObject()
+        .fieldUInt("clock", E.Clock)
+        .field("kind", eventKindName(E.Kind))
+        .fieldUInt("id", E.Id)
+        .fieldUInt("arg", E.Arg)
+        .endObject();
+    OS << "\n";
+  });
+}
+
+void jtc::telemetry_detail::writeChromeHeader(JsonWriter &W,
+                                              const EventRing &Ring) {
+  W.field("displayTimeUnit", "ms");
+  W.key("otherData")
+      .beginObject()
+      .field("clock", "blocks_executed")
+      .fieldUInt("events_recorded", Ring.totalRecorded())
+      .fieldUInt("events_dropped", Ring.dropped())
+      .endObject();
+}
+
+namespace {
+
+/// Common prefix of every emitted trace event.
+void eventPrelude(JsonWriter &W, const char *Name, const char *Cat,
+                  const char *Ph, uint64_t Ts) {
+  W.beginObject()
+      .field("name", Name)
+      .field("cat", Cat)
+      .field("ph", Ph)
+      .fieldUInt("ts", Ts)
+      .fieldUInt("pid", 1)
+      .fieldUInt("tid", 1);
+}
+
+} // namespace
+
+void jtc::telemetry_detail::writeChromeEvents(JsonWriter &W,
+                                              const EventRing &Ring) {
+  Ring.forEach([&W](const Event &E) {
+    const char *Kind = eventKindName(E.Kind);
+    switch (E.Kind) {
+    case EventKind::TraceConstructed:
+    case EventKind::TraceReused:
+      // Birth (or re-install) of a trace: an async span begins, keyed by
+      // the trace id so every later event of this trace lands on it.
+      eventPrelude(W, "trace", "trace", "b", E.Clock);
+      W.fieldUInt("id", E.Id)
+          .key("args")
+          .beginObject()
+          .field("event", Kind)
+          .fieldUInt("blocks", E.Arg)
+          .endObject()
+          .endObject();
+      break;
+    case EventKind::TraceReplaced:
+    case EventKind::TraceInvalidated:
+    case EventKind::TraceRetired:
+      // Death of a trace: the async span ends, with the reason attached.
+      eventPrelude(W, "trace", "trace", "e", E.Clock);
+      W.fieldUInt("id", E.Id)
+          .key("args")
+          .beginObject()
+          .field("event", Kind)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
+    case EventKind::TraceDispatched:
+    case EventKind::TraceCompleted:
+    case EventKind::TraceEarlyExit:
+      // Execution activity: async instants on the trace's span.
+      eventPrelude(W, "trace", "trace", "n", E.Clock);
+      W.fieldUInt("id", E.Id)
+          .key("args")
+          .beginObject()
+          .field("event", Kind)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
+    case EventKind::ProfilerSignal:
+    case EventKind::DecayPass:
+      // Profiler activity: thread-scoped instants.
+      eventPrelude(W, Kind, "profiler", "i", E.Clock);
+      W.field("s", "t")
+          .key("args")
+          .beginObject()
+          .fieldUInt("node", E.Id)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
+    }
+  });
+}
+
+void jtc::telemetry_detail::writeCounterEvent(JsonWriter &W,
+                                              const char *Series,
+                                              uint64_t Clock, double Value) {
+  eventPrelude(W, Series, "phase", "C", Clock);
+  W.key("args").beginObject().fieldReal("value", Value).endObject().endObject();
+}
+
+void jtc::writeChromeTrace(std::ostream &OS, const EventRing &Ring) {
+  JsonWriter W(OS);
+  W.beginObject();
+  telemetry_detail::writeChromeHeader(W, Ring);
+  W.key("traceEvents").beginArray();
+  telemetry_detail::writeChromeEvents(W, Ring);
+  W.endArray();
+  W.endObject();
+  OS << "\n";
+}

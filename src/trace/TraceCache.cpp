@@ -2,6 +2,8 @@
 
 #include "trace/TraceCache.h"
 
+#include "telemetry/EventRing.h"
+
 using namespace jtc;
 
 TraceCache::TraceCache(BranchCorrelationGraph &Graph, TraceConfig Config,
@@ -56,6 +58,7 @@ void TraceCache::onStateChange(NodeId Id) {
       auto It = EntryMap.find(Key);
       if (It == EntryMap.end() || It->second == Fresh)
         continue;
+      JTC_RECORD_EVENT(Telem, EventKind::TraceInvalidated, It->second, Fresh);
       Traces[It->second].Alive = false;
       EntryMap.erase(It);
       ++Stats.TracesInvalidated;
@@ -86,12 +89,15 @@ void TraceCache::install(const TraceCandidate &C) {
         continue;
       auto [It, Inserted] = EntryMap.try_emplace(EntryKey, Id);
       if (!Inserted && It->second != Id) {
+        JTC_RECORD_EVENT(Telem, EventKind::TraceReplaced, It->second, Id);
         Traces[It->second].Alive = false;
         ++Stats.TracesReplaced;
         It->second = Id;
       }
       T.Alive = true;
       ++Stats.TracesReused;
+      JTC_RECORD_EVENT(Telem, EventKind::TraceReused, Id,
+                       static_cast<uint32_t>(T.Blocks.size()));
       FreshEntryKeys.insert(EntryKey);
       FreshIds.push_back(Id);
       return;
@@ -109,6 +115,7 @@ void TraceCache::install(const TraceCandidate &C) {
 
   auto [It, Inserted] = EntryMap.try_emplace(EntryKey, T.Id);
   if (!Inserted) {
+    JTC_RECORD_EVENT(Telem, EventKind::TraceReplaced, It->second, T.Id);
     Traces[It->second].Alive = false;
     ++Stats.TracesReplaced;
     It->second = T.Id;
@@ -116,6 +123,8 @@ void TraceCache::install(const TraceCandidate &C) {
   ByContent[Hash].push_back(T.Id);
   FreshEntryKeys.insert(EntryKey);
   FreshIds.push_back(T.Id);
+  JTC_RECORD_EVENT(Telem, EventKind::TraceConstructed, T.Id,
+                   static_cast<uint32_t>(T.Blocks.size()));
   Traces.push_back(std::move(T));
   ++Stats.TracesConstructed;
 }
@@ -135,6 +144,8 @@ void TraceCache::recordExecution(TraceId Id, bool CompletedRun) {
     // The trace persistently under-performs its design threshold: it was
     // built from counters that had not yet seen the branch's real
     // behaviour. Retire it and rebuild the region from today's data.
+    JTC_RECORD_EVENT(Telem, EventKind::TraceRetired, Id,
+                     static_cast<uint32_t>(T.observedCompletion() * 10000));
     T.Alive = false;
     auto It = EntryMap.find(pairKey(T.EntryFrom, T.Blocks[0]));
     if (It != EntryMap.end() && It->second == Id)

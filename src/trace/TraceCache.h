@@ -38,6 +38,11 @@ public:
   /// SignalSink: rebuild the traces affected by \p Id's state change.
   void onStateChange(NodeId Id) override;
 
+  /// Attaches the telemetry event ring; trace construction, reuse,
+  /// replacement, invalidation and retirement are recorded into it. Null
+  /// (the default) disables recording.
+  void setTelemetry(EventRing *R) { Telem = R; }
+
   /// Trace entered by the block transition (\p From -> \p To), or null.
   /// This is the per-dispatch lookup the interpreter performs.
   const Trace *findTrace(BlockId From, BlockId To) const {
@@ -83,6 +88,7 @@ private:
   BranchCorrelationGraph *Graph;
   TraceConfig Config;
   TraceBuilder Builder;
+  EventRing *Telem = nullptr;
   std::function<uint32_t(BlockId)> BlockSize;
   std::vector<Trace> Traces;
   /// (EntryFrom, Blocks[0]) pair key -> live trace id.

@@ -13,6 +13,15 @@ TraceVM::TraceVM(const PreparedModule &PM, VmConfig Config)
   // requires profiling.
   if (Config.ProfilingEnabled && Config.TracesEnabled)
     Graph.setSink(&Cache);
+#ifdef JTC_TELEMETRY
+  if (Config.TelemetryEnabled) {
+    Ring = EventRing(Config.TelemetryCapacity, &Stats.BlocksExecuted);
+    Telem = &Ring;
+    Graph.setTelemetry(&Ring);
+    Cache.setTelemetry(&Ring);
+    Sampler = PhaseSampler<VmStats>(Config.SampleInterval);
+  }
+#endif
 }
 
 void TraceVM::onNonTraceTransition(BlockId Cur, BlockId Next) {
@@ -36,6 +45,7 @@ void TraceVM::onNonTraceTransition(BlockId Cur, BlockId Next) {
       Active = T;
       TracePos = 0;
       ++Stats.TraceDispatches;
+      JTC_RECORD_EVENT(Telem, EventKind::TraceDispatched, T->Id);
       return;
     }
   }
@@ -46,6 +56,8 @@ void TraceVM::completeActiveTrace() {
   ++Stats.TracesCompleted;
   Stats.BlocksInCompletedTraces += Active->Blocks.size();
   Stats.InstructionsInCompletedTraces += Active->InstrCount;
+  JTC_RECORD_EVENT(Telem, EventKind::TraceCompleted, Active->Id,
+                   static_cast<uint32_t>(Active->Blocks.size()));
   // The inlined blocks carried no profiling hooks; resynchronize the
   // context from the trace's final block pair.
   if (Config.ProfilingEnabled) {
@@ -62,6 +74,7 @@ void TraceVM::completeActiveTrace() {
 
 void TraceVM::exitActiveTraceEarly(uint32_t BlocksRun) {
   assert(BlocksRun >= 1 && "a dispatched trace executes at least one block");
+  JTC_RECORD_EVENT(Telem, EventKind::TraceEarlyExit, Active->Id, BlocksRun);
   if (Config.ProfilingEnabled) {
     if (BlocksRun >= 2)
       Graph.forceContext(Active->Blocks[BlocksRun - 2],
@@ -92,6 +105,10 @@ RunResult TraceVM::run() {
   while (true) {
     BlockStepper::StepStatus S = Stepper.step(); // executes Cur
     ++Stats.BlocksExecuted;
+#ifdef JTC_TELEMETRY
+    if (Sampler.enabled() && Stats.BlocksExecuted >= Sampler.nextSampleAt())
+      Sampler.sample(Stats.BlocksExecuted, currentStats());
+#endif
     if (Active) {
       ++Stats.BlocksInTraces;
       Stats.InstructionsInTraces += PM->blockSize(Cur);
@@ -128,21 +145,26 @@ RunResult TraceVM::run() {
     Cur = Next;
   }
 
-  Stats.Instructions = Stepper.instructions();
+  Stats = currentStats();
   R.Instructions = Stats.Instructions;
   R.Dispatches = Stats.totalDispatches();
-
-  const BranchCorrelationGraph::GraphStats &GS = Graph.stats();
-  Stats.Hooks = GS.Hooks;
-  Stats.InlineCacheHits = GS.InlineCacheHits;
-  Stats.DecayPasses = GS.DecayPasses;
-  Stats.Signals = GS.Signals;
-  const TraceCache::CacheStats &CS = Cache.stats();
-  Stats.TracesConstructed = CS.TracesConstructed;
-  Stats.TracesReused = CS.TracesReused;
-  Stats.TracesReplaced = CS.TracesReplaced;
-  Stats.TracesRetired = CS.TracesRetired;
-  Stats.LiveTraces = Cache.numLiveTraces();
-  Stats.GraphNodes = Graph.numNodes();
   return R;
+}
+
+VmStats TraceVM::currentStats() const {
+  VmStats S = Stats;
+  S.Instructions = Stepper.instructions();
+  const BranchCorrelationGraph::GraphStats &GS = Graph.stats();
+  S.Hooks = GS.Hooks;
+  S.InlineCacheHits = GS.InlineCacheHits;
+  S.DecayPasses = GS.DecayPasses;
+  S.Signals = GS.Signals;
+  const TraceCache::CacheStats &CS = Cache.stats();
+  S.TracesConstructed = CS.TracesConstructed;
+  S.TracesReused = CS.TracesReused;
+  S.TracesReplaced = CS.TracesReplaced;
+  S.TracesRetired = CS.TracesRetired;
+  S.LiveTraces = Cache.numLiveTraces();
+  S.GraphNodes = Graph.numNodes();
+  return S;
 }

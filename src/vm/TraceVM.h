@@ -21,6 +21,8 @@
 
 #include "interp/BlockStepper.h"
 #include "profile/BranchCorrelationGraph.h"
+#include "telemetry/EventRing.h"
+#include "telemetry/PhaseSampler.h"
 #include "trace/TraceCache.h"
 #include "vm/VmStats.h"
 
@@ -48,6 +50,18 @@ struct VmConfig {
   /// Stop after this many executed instructions (safety and workload
   /// scaling).
   uint64_t MaxInstructions = ~0ull;
+
+  /// Telemetry (no effect when compiled out with -DJTC_TELEMETRY=OFF).
+  /// When enabled, trace lifecycle events, profiler signals and decay
+  /// passes are recorded into a fixed-capacity ring, stamped with
+  /// BlocksExecuted as a logical clock. When disabled (the default) the
+  /// hot dispatch path pays one predictable null-pointer branch per
+  /// instrumentation site.
+  bool TelemetryEnabled = false;
+  uint32_t TelemetryCapacity = 1u << 16;
+  /// Phase sampling: snapshot VmStats deltas every this many executed
+  /// blocks (0 = off). Requires TelemetryEnabled.
+  uint64_t SampleInterval = 0;
 
   ProfilerConfig profilerConfig() const {
     ProfilerConfig P;
@@ -77,6 +91,19 @@ public:
   RunResult run();
 
   const VmStats &stats() const { return Stats; }
+
+  /// A complete statistics snapshot at this instant, with the live
+  /// profiler and cache counters folded in; usable mid-run (stats() is
+  /// only complete after run() returns).
+  VmStats currentStats() const;
+
+  /// The telemetry event ring (empty unless Config.TelemetryEnabled and
+  /// compiled in).
+  const EventRing &events() const { return Ring; }
+
+  /// The phase-sample time series (empty unless Config.SampleInterval).
+  const PhaseSampler<VmStats> &sampler() const { return Sampler; }
+
   const VmConfig &config() const { return Config; }
   const PreparedModule &prepared() const { return *PM; }
   const BranchCorrelationGraph &graph() const { return Graph; }
@@ -103,6 +130,12 @@ private:
   BranchCorrelationGraph Graph;
   TraceCache Cache;
   VmStats Stats;
+
+  // Telemetry. Telem is &Ring when enabled, null otherwise -- the null
+  // check is the instrumentation sites' only cost when telemetry is off.
+  EventRing Ring;
+  PhaseSampler<VmStats> Sampler;
+  EventRing *Telem = nullptr;
 
   // Active-trace state.
   const Trace *Active = nullptr;

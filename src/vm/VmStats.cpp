@@ -2,29 +2,113 @@
 
 #include "vm/VmStats.h"
 
+#include "support/Json.h"
+
+#include <string>
+
 using namespace jtc;
 
+const std::vector<VmStats::FieldInfo> &VmStats::fields() {
+  // Print order. Entries with InPrint=false are JSON-only: the four
+  // trace-attribution counters print() never showed (kept out to preserve
+  // its historical byte-exact output) and the derived dispatch total.
+  auto Counter = [](const char *Label, const char *Key,
+                    uint64_t VmStats::*M, bool InPrint = true) {
+    return FieldInfo{Label, Key, FieldFormat::Count, M, nullptr, nullptr, "",
+                     InPrint};
+  };
+  auto Derived = [](const char *Label, const char *Key, FieldFormat Fmt,
+                    double (VmStats::*M)() const, const char *Suffix = "") {
+    return FieldInfo{Label, Key, Fmt, nullptr, M, nullptr, Suffix, true};
+  };
+  static const std::vector<FieldInfo> Fields = {
+      Counter("instructions", "instructions", &VmStats::Instructions),
+      Counter("blocks executed", "blocks_executed", &VmStats::BlocksExecuted),
+      Counter("block dispatches", "block_dispatches",
+              &VmStats::BlockDispatches),
+      Counter("trace dispatches", "trace_dispatches",
+              &VmStats::TraceDispatches),
+      Counter("traces completed", "traces_completed",
+              &VmStats::TracesCompleted),
+      Counter("blocks in traces", "blocks_in_traces", &VmStats::BlocksInTraces,
+              /*InPrint=*/false),
+      Counter("blocks in completed traces", "blocks_in_completed_traces",
+              &VmStats::BlocksInCompletedTraces, /*InPrint=*/false),
+      Counter("instructions in traces", "instructions_in_traces",
+              &VmStats::InstructionsInTraces, /*InPrint=*/false),
+      Counter("instructions in completed traces",
+              "instructions_in_completed_traces",
+              &VmStats::InstructionsInCompletedTraces, /*InPrint=*/false),
+      Derived("avg completed trace length", "avg_completed_trace_length",
+              FieldFormat::Real, &VmStats::avgCompletedTraceLength, " blocks"),
+      Derived("completed-trace coverage", "completed_coverage",
+              FieldFormat::Percent, &VmStats::completedCoverage),
+      Derived("any-trace coverage", "trace_coverage", FieldFormat::Percent,
+              &VmStats::traceCoverage),
+      Derived("trace completion rate", "completion_rate", FieldFormat::Percent,
+              &VmStats::completionRate),
+      Counter("profiler hooks", "hooks", &VmStats::Hooks),
+      Counter("inline cache hits", "inline_cache_hits",
+              &VmStats::InlineCacheHits),
+      Counter("decay passes", "decay_passes", &VmStats::DecayPasses),
+      Counter("state change signals", "signals", &VmStats::Signals),
+      Counter("traces constructed", "traces_constructed",
+              &VmStats::TracesConstructed),
+      Counter("traces reused", "traces_reused", &VmStats::TracesReused),
+      Counter("traces replaced", "traces_replaced", &VmStats::TracesReplaced),
+      Counter("traces retired (completion)", "traces_retired",
+              &VmStats::TracesRetired),
+      Counter("live traces", "live_traces", &VmStats::LiveTraces),
+      Counter("branch graph nodes", "graph_nodes", &VmStats::GraphNodes),
+      Derived("dispatches per signal", "dispatches_per_signal",
+              FieldFormat::Real, &VmStats::dispatchesPerSignal),
+      Derived("dispatches per trace event", "dispatches_per_trace_event",
+              FieldFormat::Real, &VmStats::dispatchesPerTraceEvent),
+      FieldInfo{"total dispatches", "total_dispatches", FieldFormat::Count,
+                nullptr, nullptr, &VmStats::totalDispatches, "",
+                /*InPrint=*/false},
+  };
+  return Fields;
+}
+
 void VmStats::print(std::ostream &OS) const {
-  OS << "instructions:                  " << Instructions << "\n"
-     << "blocks executed:               " << BlocksExecuted << "\n"
-     << "block dispatches:              " << BlockDispatches << "\n"
-     << "trace dispatches:              " << TraceDispatches << "\n"
-     << "traces completed:              " << TracesCompleted << "\n"
-     << "avg completed trace length:    " << avgCompletedTraceLength()
-     << " blocks\n"
-     << "completed-trace coverage:      " << completedCoverage() * 100 << "%\n"
-     << "any-trace coverage:            " << traceCoverage() * 100 << "%\n"
-     << "trace completion rate:         " << completionRate() * 100 << "%\n"
-     << "profiler hooks:                " << Hooks << "\n"
-     << "inline cache hits:             " << InlineCacheHits << "\n"
-     << "decay passes:                  " << DecayPasses << "\n"
-     << "state change signals:          " << Signals << "\n"
-     << "traces constructed:            " << TracesConstructed << "\n"
-     << "traces reused:                 " << TracesReused << "\n"
-     << "traces replaced:               " << TracesReplaced << "\n"
-     << "traces retired (completion):   " << TracesRetired << "\n"
-     << "live traces:                   " << LiveTraces << "\n"
-     << "branch graph nodes:            " << GraphNodes << "\n"
-     << "dispatches per signal:         " << dispatchesPerSignal() << "\n"
-     << "dispatches per trace event:    " << dispatchesPerTraceEvent() << "\n";
+  // Values start at column 31, matching the historical hand-aligned dump.
+  constexpr size_t ValueColumn = 31;
+  for (const FieldInfo &F : fields()) {
+    if (!F.InPrint)
+      continue;
+    std::string Label = std::string(F.Label) + ":";
+    Label.resize(ValueColumn, ' ');
+    OS << Label;
+    switch (F.Format) {
+    case FieldFormat::Count:
+      OS << (F.Counter ? this->*F.Counter : (this->*F.DerivedCount)());
+      break;
+    case FieldFormat::Percent:
+      OS << fieldValue(F) * 100 << "%";
+      break;
+    case FieldFormat::Real:
+      OS << fieldValue(F);
+      break;
+    }
+    OS << F.Suffix << "\n";
+  }
+}
+
+void VmStats::writeJsonFields(JsonWriter &W) const {
+  for (const FieldInfo &F : fields()) {
+    if (F.Counter)
+      W.fieldUInt(F.Key, this->*F.Counter);
+    else if (F.DerivedCount)
+      W.fieldUInt(F.Key, (this->*F.DerivedCount)());
+    else
+      W.fieldReal(F.Key, (this->*F.Derived)());
+  }
+}
+
+void VmStats::toJson(std::ostream &OS) const {
+  JsonWriter W(OS);
+  W.beginObject();
+  writeJsonFields(W);
+  W.endObject();
 }

@@ -13,8 +13,11 @@
 
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 namespace jtc {
+
+class JsonWriter;
 
 struct VmStats {
   //===--- Raw execution counters -------------------------------------===//
@@ -98,8 +101,56 @@ struct VmStats {
                              static_cast<double>(Events);
   }
 
+  //===--- The field table --------------------------------------------===//
+  //
+  // One entry per reported quantity, raw counter or derived metric. Both
+  // print() and the JSON serialization iterate this table, so the
+  // human-readable and machine-readable outputs can never drift apart;
+  // the telemetry PhaseSampler also uses the Counter pointers to compute
+  // per-interval deltas.
+
+  /// How a value is rendered by print(). JSON always gets the raw value
+  /// (a ratio stays a 0..1 ratio).
+  enum class FieldFormat : uint8_t {
+    Count,   ///< Integer counter.
+    Percent, ///< Ratio, printed scaled by 100 with a "%" suffix.
+    Real,    ///< Plain double.
+  };
+
+  /// One reported quantity. Exactly one of Counter / Derived /
+  /// DerivedCount is set.
+  struct FieldInfo {
+    const char *Label; ///< Human-readable print() label.
+    const char *Key;   ///< Machine-readable JSON key (snake_case).
+    FieldFormat Format;
+    uint64_t VmStats::*Counter;
+    double (VmStats::*Derived)() const;
+    uint64_t (VmStats::*DerivedCount)() const;
+    const char *Suffix; ///< Unit suffix in print() (e.g. " blocks").
+    bool InPrint;       ///< print() shows it; JSON always includes it.
+  };
+
+  /// All fields, in print() order.
+  static const std::vector<FieldInfo> &fields();
+
+  /// The raw (counter or derived) value of one field, as a double.
+  double fieldValue(const FieldInfo &F) const {
+    if (F.Counter)
+      return static_cast<double>(this->*F.Counter);
+    if (F.Derived)
+      return (this->*F.Derived)();
+    return static_cast<double>((this->*F.DerivedCount)());
+  }
+
   /// One-per-line human-readable dump.
   void print(std::ostream &OS) const;
+
+  /// Every counter and derived metric as key/value pairs, written into an
+  /// already-open JSON object (for embedding in larger documents).
+  void writeJsonFields(JsonWriter &W) const;
+
+  /// Standalone JSON object with every counter and derived metric.
+  void toJson(std::ostream &OS) const;
 };
 
 } // namespace jtc

@@ -1,0 +1,368 @@
+//===- tests/telemetry_test.cpp - Telemetry subsystem tests ---------------===//
+///
+/// Covers the event ring (overwrite-at-capacity, ordering), the
+/// exporters (JSONL and Chrome trace golden output), the phase sampler's
+/// delta arithmetic, the VmStats field table shared by print()/toJson(),
+/// and -- when telemetry is compiled in -- the end-to-end lifecycle
+/// events a real TraceVM run produces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Export.h"
+#include "telemetry/EventRing.h"
+#include "telemetry/PhaseSampler.h"
+#include "vm/TraceVM.h"
+
+#include "TestPrograms.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace jtc;
+
+namespace {
+
+//===--- EventRing --------------------------------------------------------===//
+
+TEST(EventRingTest, DefaultConstructedIsDisabled) {
+  EventRing R;
+  EXPECT_FALSE(R.enabled());
+  EXPECT_EQ(R.capacity(), 0u);
+  R.record(EventKind::TraceConstructed, 1); // must not crash
+  EXPECT_EQ(R.size(), 0u);
+  EXPECT_EQ(R.totalRecorded(), 0u);
+}
+
+TEST(EventRingTest, RecordsUpToCapacityWithoutDropping) {
+  EventRing R(4);
+  for (uint32_t I = 0; I < 4; ++I)
+    R.recordAt(I, EventKind::TraceDispatched, I);
+  EXPECT_EQ(R.size(), 4u);
+  EXPECT_EQ(R.totalRecorded(), 4u);
+  EXPECT_EQ(R.dropped(), 0u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(R.event(I).Id, I);
+}
+
+TEST(EventRingTest, OverwritesOldestAtCapacity) {
+  EventRing R(4);
+  for (uint32_t I = 0; I < 10; ++I)
+    R.recordAt(I, EventKind::TraceDispatched, I);
+  EXPECT_EQ(R.size(), 4u);
+  EXPECT_EQ(R.totalRecorded(), 10u);
+  EXPECT_EQ(R.dropped(), 6u);
+  // The four retained events are the newest four, oldest first.
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(R.event(I).Id, 6u + I);
+    EXPECT_EQ(R.event(I).Clock, 6u + I);
+  }
+}
+
+TEST(EventRingTest, ClockIsReadThroughPointer) {
+  uint64_t Clock = 0;
+  EventRing R(8, &Clock);
+  Clock = 41;
+  R.record(EventKind::ProfilerSignal, 7, 2);
+  Clock = 99;
+  R.record(EventKind::DecayPass, 3);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R.event(0).Clock, 41u);
+  EXPECT_EQ(R.event(1).Clock, 99u);
+}
+
+TEST(EventRingTest, EventsStayClockOrderedAfterWraparound) {
+  uint64_t Clock = 0;
+  EventRing R(16, &Clock);
+  for (uint32_t I = 0; I < 100; ++I) {
+    Clock += 3;
+    R.record(EventKind::TraceDispatched, I % 5);
+  }
+  uint64_t Prev = 0;
+  R.forEach([&Prev](const Event &E) {
+    EXPECT_GE(E.Clock, Prev);
+    Prev = E.Clock;
+  });
+  std::vector<Event> Snap = R.snapshot();
+  EXPECT_EQ(Snap.size(), R.size());
+  for (size_t I = 0; I < Snap.size(); ++I)
+    EXPECT_EQ(Snap[I].Clock, R.event(I).Clock);
+}
+
+TEST(EventRingTest, ClearForgetsEventsButKeepsCapacity) {
+  EventRing R(4);
+  R.recordAt(1, EventKind::TraceRetired, 1);
+  R.clear();
+  EXPECT_TRUE(R.enabled());
+  EXPECT_EQ(R.size(), 0u);
+  R.recordAt(2, EventKind::TraceRetired, 2);
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(EventKindTest, NamesAreDistinctAndLifecycleSplitIsRight) {
+  for (unsigned I = 0; I < NumEventKinds; ++I)
+    for (unsigned J = I + 1; J < NumEventKinds; ++J)
+      EXPECT_STRNE(eventKindName(static_cast<EventKind>(I)),
+                   eventKindName(static_cast<EventKind>(J)));
+  Event E{};
+  E.Kind = EventKind::TraceRetired;
+  EXPECT_TRUE(E.isTraceLifecycle());
+  E.Kind = EventKind::ProfilerSignal;
+  EXPECT_FALSE(E.isTraceLifecycle());
+  E.Kind = EventKind::DecayPass;
+  EXPECT_FALSE(E.isTraceLifecycle());
+}
+
+//===--- Exporters --------------------------------------------------------===//
+
+TEST(ExportTest, JsonlGoldenOutput) {
+  EventRing R(8);
+  R.recordAt(10, EventKind::TraceConstructed, 3, 9);
+  R.recordAt(12, EventKind::TraceDispatched, 3);
+  R.recordAt(21, EventKind::TraceCompleted, 3, 9);
+  std::ostringstream OS;
+  writeEventsJsonl(OS, R);
+  EXPECT_EQ(OS.str(),
+            "{\"clock\":10,\"kind\":\"trace-constructed\",\"id\":3,\"arg\":9}\n"
+            "{\"clock\":12,\"kind\":\"trace-dispatched\",\"id\":3,\"arg\":0}\n"
+            "{\"clock\":21,\"kind\":\"trace-completed\",\"id\":3,\"arg\":9}\n");
+}
+
+TEST(ExportTest, ChromeTraceShapesEventsByKind) {
+  EventRing R(8);
+  R.recordAt(10, EventKind::TraceConstructed, 3, 9);
+  R.recordAt(12, EventKind::TraceDispatched, 3);
+  R.recordAt(15, EventKind::ProfilerSignal, 44, 2);
+  R.recordAt(30, EventKind::TraceReplaced, 3, 5);
+  std::ostringstream OS;
+  writeChromeTrace(OS, R);
+  std::string S = OS.str();
+  // Header bookkeeping.
+  EXPECT_NE(S.find("\"clock\":\"blocks_executed\""), std::string::npos);
+  EXPECT_NE(S.find("\"events_recorded\":4"), std::string::npos);
+  EXPECT_NE(S.find("\"events_dropped\":0"), std::string::npos);
+  // Construction opens an async span; dispatch is an instant on it;
+  // replacement closes it; the profiler signal is a thread instant.
+  EXPECT_NE(S.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(S.find("\"ph\":\"n\""), std::string::npos);
+  EXPECT_NE(S.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(S.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(S.find("\"cat\":\"profiler\""), std::string::npos);
+  EXPECT_NE(S.find("\"ts\":10"), std::string::npos);
+  // Balanced document (cheap well-formedness check).
+  EXPECT_EQ(std::count(S.begin(), S.end(), '{'),
+            std::count(S.begin(), S.end(), '}'));
+  EXPECT_EQ(std::count(S.begin(), S.end(), '['),
+            std::count(S.begin(), S.end(), ']'));
+}
+
+TEST(ExportTest, ChromeTraceEmitsCounterTracksFromSampler) {
+  EventRing R(4);
+  PhaseSampler<VmStats> Sampler(100);
+  VmStats A;
+  A.BlocksExecuted = 100;
+  A.TraceDispatches = 7;
+  Sampler.sample(100, A);
+  std::ostringstream OS;
+  writeChromeTrace(OS, R, Sampler);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\":\"trace_dispatches\""), std::string::npos);
+  EXPECT_NE(S.find("\"value\":7"), std::string::npos);
+}
+
+//===--- PhaseSampler -----------------------------------------------------===//
+
+TEST(PhaseSamplerTest, DisabledByDefault) {
+  PhaseSampler<VmStats> S;
+  EXPECT_FALSE(S.enabled());
+  PhaseSampler<VmStats> Zero(0);
+  EXPECT_FALSE(Zero.enabled());
+}
+
+TEST(PhaseSamplerTest, DeltasAreDifferencesOfConsecutiveSamples) {
+  PhaseSampler<VmStats> S(1000);
+  EXPECT_EQ(S.nextSampleAt(), 1000u);
+
+  VmStats First;
+  First.BlocksExecuted = 1000;
+  First.TraceDispatches = 40;
+  First.Signals = 5;
+  S.sample(1000, First);
+
+  VmStats Second = First;
+  Second.BlocksExecuted = 2000;
+  Second.TraceDispatches = 90;
+  Second.Signals = 5; // no new signals this window
+  S.sample(2000, Second);
+
+  ASSERT_EQ(S.samples().size(), 2u);
+  // First delta is measured against the zero state.
+  EXPECT_EQ(S.samples()[0].Delta.TraceDispatches, 40u);
+  EXPECT_EQ(S.samples()[0].Cumulative.TraceDispatches, 40u);
+  // Second delta only covers the second window.
+  EXPECT_EQ(S.samples()[1].Delta.BlocksExecuted, 1000u);
+  EXPECT_EQ(S.samples()[1].Delta.TraceDispatches, 50u);
+  EXPECT_EQ(S.samples()[1].Delta.Signals, 0u);
+  EXPECT_EQ(S.samples()[1].Cumulative.TraceDispatches, 90u);
+  EXPECT_EQ(S.nextSampleAt(), 3000u);
+}
+
+//===--- VmStats field table ----------------------------------------------===//
+
+TEST(VmStatsJsonTest, ToJsonContainsEveryField) {
+  VmStats S;
+  S.Instructions = 123;
+  S.BlocksExecuted = 45;
+  std::ostringstream OS;
+  S.toJson(OS);
+  std::string J = OS.str();
+  for (const VmStats::FieldInfo &F : VmStats::fields())
+    EXPECT_NE(J.find("\"" + std::string(F.Key) + "\":"), std::string::npos)
+        << "missing JSON key " << F.Key;
+  EXPECT_NE(J.find("\"instructions\":123"), std::string::npos);
+  EXPECT_NE(J.find("\"blocks_executed\":45"), std::string::npos);
+}
+
+TEST(VmStatsJsonTest, PrintAndJsonShareTheFieldTable) {
+  VmStats S;
+  std::ostringstream Print;
+  S.print(Print);
+  std::string P = Print.str();
+  // Every printed field's label comes from the same table as its JSON
+  // key, so a renamed or removed stat cannot drift between the two.
+  for (const VmStats::FieldInfo &F : VmStats::fields()) {
+    if (F.InPrint)
+      EXPECT_NE(P.find(F.Label), std::string::npos)
+          << "missing print label " << F.Label;
+    else
+      EXPECT_EQ(P.find(F.Label), std::string::npos)
+          << "JSON-only field leaked into print(): " << F.Label;
+  }
+}
+
+//===--- TraceVM integration ----------------------------------------------===//
+
+#ifdef JTC_TELEMETRY
+
+VmConfig telemetryConfig() {
+  VmConfig C;
+  C.StartStateDelay = 64;
+  C.CompletionThreshold = 0.97;
+  C.TelemetryEnabled = true;
+  // Large enough that hotLoop(50000)'s full event stream is retained --
+  // the integration tests compare event counts against stats counters.
+  C.TelemetryCapacity = 1u << 17;
+  return C;
+}
+
+TEST(TelemetryVmTest, HotLoopEmitsLifecycleInOrder) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, telemetryConfig());
+  RunResult R = VM.run();
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+
+  const EventRing &Ring = VM.events();
+  ASSERT_TRUE(Ring.enabled());
+  ASSERT_GT(Ring.size(), 0u);
+
+  // Clocks never decrease across the retained stream.
+  uint64_t Prev = 0;
+  Ring.forEach([&Prev](const Event &E) {
+    EXPECT_GE(E.Clock, Prev);
+    Prev = E.Clock;
+  });
+
+  // Some trace must run the canonical lifecycle: constructed, then
+  // dispatched, then completed -- in that clock order. (Not necessarily
+  // the first constructed trace; early traces can be replaced before
+  // they ever complete.)
+  struct Lifecycle {
+    uint64_t ConstructedAt = 0, DispatchedAt = 0, CompletedAt = 0;
+  };
+  std::map<uint32_t, Lifecycle> ById;
+  Ring.forEach([&](const Event &E) {
+    Lifecycle &L = ById[E.Id];
+    if (E.Kind == EventKind::TraceConstructed && !L.ConstructedAt) {
+      L.ConstructedAt = E.Clock;
+      EXPECT_GT(E.Arg, 1u) << "constructed trace must span >1 block";
+    } else if (E.Kind == EventKind::TraceDispatched && !L.DispatchedAt) {
+      L.DispatchedAt = E.Clock;
+    } else if (E.Kind == EventKind::TraceCompleted && !L.CompletedAt) {
+      L.CompletedAt = E.Clock;
+    }
+  });
+  bool FoundFullLifecycle = false;
+  for (const auto &[Id, L] : ById) {
+    if (!L.ConstructedAt || !L.DispatchedAt || !L.CompletedAt)
+      continue;
+    FoundFullLifecycle = true;
+    EXPECT_LE(L.ConstructedAt, L.DispatchedAt) << "trace " << Id;
+    EXPECT_LE(L.DispatchedAt, L.CompletedAt) << "trace " << Id;
+  }
+  EXPECT_TRUE(FoundFullLifecycle)
+      << "no trace was constructed, dispatched and completed";
+
+  // Event counts agree with the statistics counters (ring is large
+  // enough for this workload that nothing was dropped).
+  ASSERT_EQ(Ring.dropped(), 0u);
+  uint64_t Dispatches = 0, Signals = 0;
+  Ring.forEach([&](const Event &E) {
+    if (E.Kind == EventKind::TraceDispatched)
+      ++Dispatches;
+    else if (E.Kind == EventKind::ProfilerSignal)
+      ++Signals;
+  });
+  EXPECT_EQ(Dispatches, VM.stats().TraceDispatches);
+  EXPECT_EQ(Signals, VM.stats().Signals);
+}
+
+TEST(TelemetryVmTest, DisabledByDefaultAndStatsUnchanged) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+
+  VmConfig Plain;
+  Plain.StartStateDelay = 64;
+  Plain.CompletionThreshold = 0.97;
+  TraceVM Off(PM, Plain);
+  Off.run();
+  EXPECT_FALSE(Off.events().enabled());
+  EXPECT_EQ(Off.events().size(), 0u);
+
+  TraceVM On(PM, telemetryConfig());
+  On.run();
+  // Telemetry must observe, not perturb: every statistic matches.
+  for (const VmStats::FieldInfo &F : VmStats::fields())
+    if (F.Counter)
+      EXPECT_EQ(Off.stats().*(F.Counter), On.stats().*(F.Counter))
+          << "telemetry changed counter " << F.Key;
+}
+
+TEST(TelemetryVmTest, SamplerProducesTimeline) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  VmConfig C = telemetryConfig();
+  C.SampleInterval = 10000;
+  TraceVM VM(PM, C);
+  VM.run();
+
+  const PhaseSampler<VmStats> &S = VM.sampler();
+  ASSERT_FALSE(S.empty());
+  uint64_t TotalBlocks = 0;
+  uint64_t PrevClock = 0;
+  for (const PhaseSample<VmStats> &P : S.samples()) {
+    EXPECT_GT(P.Clock, PrevClock);
+    PrevClock = P.Clock;
+    TotalBlocks += P.Delta.BlocksExecuted;
+  }
+  // The per-window deltas tile the run (up to the tail after the last
+  // sample point).
+  EXPECT_LE(TotalBlocks, VM.stats().BlocksExecuted);
+  EXPECT_GE(TotalBlocks, VM.stats().BlocksExecuted - C.SampleInterval);
+}
+
+#endif // JTC_TELEMETRY
+
+} // namespace

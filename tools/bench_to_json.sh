@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Runs every table benchmark and collects the machine-readable artifacts
+# as BENCH_table*.json in the output directory.
+#
+# usage: tools/bench_to_json.sh [build-dir] [out-dir]
+#   build-dir  where the bench binaries live (default: build)
+#   out-dir    where to write BENCH_*.json   (default: .)
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-.}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR/bench' not found; build the project first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+TABLES="table1_trace_length table2_coverage table3_completion_rate \
+table4_signal_rate table5_event_interval table6_profiler_overhead \
+table7_trace_dispatch_overhead"
+
+for TABLE in $TABLES; do
+  BIN="$BUILD_DIR/bench/$TABLE"
+  if [ ! -x "$BIN" ]; then
+    echo "skipping $TABLE (binary not built)" >&2
+    continue
+  fi
+  # Short names: table1_trace_length -> BENCH_table1.json.
+  SHORT=$(echo "$TABLE" | sed 's/^\(table[0-9]*\)_.*/\1/')
+  OUT="$OUT_DIR/BENCH_$SHORT.json"
+  echo "== $TABLE -> $OUT" >&2
+  "$BIN" --json="$OUT"
+done

@@ -21,14 +21,23 @@
 ///   --no-profile         plain block interpreter
 ///   --stats              print the full statistics block
 ///   --dump-traces        print the live trace cache
-///   --dump-graph        print the branch correlation graph (large!)
+///   --dump-graph         print the branch correlation graph (large!)
 ///   --quiet              suppress program output
+///   --json[=<file>]      stats + run outcome as JSON (stdout if no file;
+///                        implies --quiet on stdout)
+///   --trace-out=<file>   telemetry as Chrome trace_event JSON (open in
+///                        Perfetto / chrome://tracing)
+///   --events-out=<file>  telemetry as JSONL, one event per line
+///   --sample-interval=<n> snapshot stats deltas every n executed blocks
+///   --telemetry-cap=<n>  event ring capacity (default 65536)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Disassembler.h"
 #include "bytecode/Verifier.h"
 #include "interp/InstructionInterpreter.h"
+#include "support/Json.h"
+#include "telemetry/Export.h"
 #include "text/AsmParser.h"
 #include "text/AsmWriter.h"
 #include "vm/TraceVM.h"
@@ -36,6 +45,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -57,6 +67,17 @@ struct Options {
   bool DumpTraces = false;
   bool DumpGraph = false;
   bool Quiet = false;
+  bool Json = false;
+  std::string JsonOut;   ///< Empty with Json=true means stdout.
+  std::string TraceOut;  ///< Chrome trace_event output file.
+  std::string EventsOut; ///< JSONL event dump file.
+  uint64_t SampleInterval = 0;
+  uint32_t TelemetryCap = 1u << 16;
+
+  /// Any flag that needs the event ring or phase sampler.
+  bool wantsTelemetry() const {
+    return !TraceOut.empty() || !EventsOut.empty() || SampleInterval > 0;
+  }
 };
 
 int usage() {
@@ -69,7 +90,10 @@ int usage() {
   std::cerr << "\n  run options: --threshold=X --delay=N --decay=N "
                "--scale=N --max-instr=N\n"
                "               --no-traces --no-profile --stats "
-               "--dump-traces --dump-graph --quiet\n";
+               "--dump-traces --dump-graph --quiet\n"
+               "               --json[=FILE] --trace-out=FILE "
+               "--events-out=FILE\n"
+               "               --sample-interval=N --telemetry-cap=N\n";
   return 2;
 }
 
@@ -104,7 +128,26 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       Opts.DumpGraph = true;
     else if (A == "--quiet")
       Opts.Quiet = true;
-    else {
+    else if (A == "--json")
+      Opts.Json = true;
+    else if (A.rfind("--json=", 0) == 0) {
+      Opts.Json = true;
+      Opts.JsonOut = Value();
+    } else if (A.rfind("--trace-out=", 0) == 0)
+      Opts.TraceOut = Value();
+    else if (A.rfind("--events-out=", 0) == 0)
+      Opts.EventsOut = Value();
+    else if (A.rfind("--sample-interval=", 0) == 0)
+      Opts.SampleInterval = static_cast<uint64_t>(std::atoll(Value().c_str()));
+    else if (A.rfind("--telemetry-cap=", 0) == 0) {
+      Opts.TelemetryCap = static_cast<uint32_t>(std::atoi(Value().c_str()));
+      // Capacity 0 would silently disable the ring while --events-out /
+      // --trace-out still look like they worked (empty files).
+      if (Opts.TelemetryCap == 0) {
+        std::cerr << "invalid --telemetry-cap '" << Value() << "'\n";
+        return false;
+      }
+    } else {
       std::cerr << "unknown option '" << A << "'\n";
       return false;
     }
@@ -152,11 +195,75 @@ int reportEnd(const RunResult &R) {
   return 1;
 }
 
+const char *statusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Finished:
+    return "finished";
+  case RunStatus::Trapped:
+    return "trapped";
+  case RunStatus::BudgetExhausted:
+    return "budget-exhausted";
+  }
+  return "unknown";
+}
+
+/// The `--json` document: run outcome, configuration, the full stats
+/// block, and the phase time-series when sampling was on.
+void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
+                  const RunResult &R) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("program", Opts.Program);
+  W.field("status", statusName(R.Status));
+  W.key("config")
+      .beginObject()
+      .fieldReal("threshold", Opts.Threshold)
+      .fieldUInt("delay", Opts.Delay)
+      .fieldUInt("decay", Opts.Decay)
+      .fieldBool("traces", !Opts.NoTraces)
+      .fieldBool("profiling", !Opts.NoProfile)
+      .endObject();
+  W.key("stats").beginObject();
+  VM.stats().writeJsonFields(W);
+  W.endObject();
+  if (!VM.sampler().empty()) {
+    W.key("phases").beginArray();
+    for (const PhaseSample<VmStats> &S : VM.sampler().samples()) {
+      W.beginObject().fieldUInt("clock", S.Clock);
+      W.key("delta").beginObject();
+      S.Delta.writeJsonFields(W);
+      W.endObject();
+      W.key("cumulative").beginObject();
+      S.Cumulative.writeJsonFields(W);
+      W.endObject().endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+  OS << "\n";
+}
+
+/// Opens \p Path and writes with \p Fn; reports and fails on I/O errors.
+template <typename Fn>
+bool writeFileOr(const std::string &Path, Fn &&Write) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "cannot open '" << Path << "' for writing\n";
+    return false;
+  }
+  Write(OS);
+  return true;
+}
+
 int cmdRun(const Options &Opts, const Module &M) {
   std::vector<VerifyError> Errors = verifyModule(M);
   if (!Errors.empty()) {
     std::cerr << "verification failed:\n" << formatErrors(Errors);
     return 1;
+  }
+  if (Opts.wantsTelemetry() && !TelemetryCompiledIn) {
+    std::cerr << "telemetry options require a build with -DJTC_TELEMETRY=ON\n";
+    return 2;
   }
   PreparedModule PM(M);
   VmConfig Config;
@@ -166,15 +273,39 @@ int cmdRun(const Options &Opts, const Module &M) {
   Config.MaxInstructions = Opts.MaxInstructions;
   Config.TracesEnabled = !Opts.NoTraces;
   Config.ProfilingEnabled = !Opts.NoProfile;
+  Config.TelemetryEnabled = Opts.wantsTelemetry();
+  Config.TelemetryCapacity = Opts.TelemetryCap;
+  Config.SampleInterval = Opts.SampleInterval;
   TraceVM VM(PM, Config);
   RunResult R = VM.run();
-  printOutput(VM.machine(), Opts.Quiet);
+  // --json to stdout owns the stream: program output is suppressed there
+  // so the document stays parseable.
+  bool JsonToStdout = Opts.Json && Opts.JsonOut.empty();
+  printOutput(VM.machine(), Opts.Quiet || JsonToStdout);
   if (Opts.DumpTraces)
     VM.traceCache().dump(std::cerr);
   if (Opts.DumpGraph)
     VM.graph().dump(std::cerr);
   if (Opts.Stats)
     VM.stats().print(std::cerr);
+  if (Opts.Json) {
+    if (JsonToStdout)
+      writeRunJson(std::cout, Opts, VM, R);
+    else if (!writeFileOr(Opts.JsonOut, [&](std::ostream &OS) {
+               writeRunJson(OS, Opts, VM, R);
+             }))
+      return 1;
+  }
+  if (!Opts.TraceOut.empty() &&
+      !writeFileOr(Opts.TraceOut, [&](std::ostream &OS) {
+        writeChromeTrace(OS, VM.events(), VM.sampler());
+      }))
+    return 1;
+  if (!Opts.EventsOut.empty() &&
+      !writeFileOr(Opts.EventsOut, [&](std::ostream &OS) {
+        writeEventsJsonl(OS, VM.events());
+      }))
+    return 1;
   return reportEnd(R);
 }
 
@@ -226,5 +357,6 @@ int main(int Argc, char **Argv) {
     writeModule(std::cout, *M);
     return 0;
   }
+  std::cerr << "unknown command '" << Opts.Command << "'\n";
   return usage();
 }
