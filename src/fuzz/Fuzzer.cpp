@@ -1,0 +1,116 @@
+//===- fuzz/Fuzzer.cpp ----------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Minimizer.h"
+#include "support/Timer.h"
+#include "text/AsmParser.h"
+#include "text/AsmWriter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jtc;
+using namespace jtc::fuzz;
+
+namespace {
+
+/// First line of \p S (finding details can be multi-line).
+std::string firstLine(const std::string &S) {
+  size_t N = S.find('\n');
+  return N == std::string::npos ? S : S.substr(0, N);
+}
+
+/// Renders the reproducer: a comment header identifying the failure,
+/// then the module itself (parseable as-is; comments are skipped).
+std::string renderRepro(const Module &M, const FuzzFailure &F) {
+  std::ostringstream OS;
+  OS << "; jtc-fuzz reproducer\n";
+  OS << "; seed=" << F.Seed << " iteration=" << F.Iteration << "\n";
+  for (const OracleFinding &Fd : F.Findings)
+    OS << "; " << Fd.Engine << ": " << Fd.Rule << ": " << firstLine(Fd.Detail)
+       << "\n";
+  OS << "\n" << moduleToString(M);
+  return OS.str();
+}
+
+} // namespace
+
+FuzzReport fuzz::runFuzzer(const FuzzOptions &Options) {
+  Timer Clock;
+  FuzzReport Report;
+
+  for (uint64_t It = 0; It < Options.Iterations; ++It) {
+    if (Options.TimeLimitSeconds > 0 &&
+        Clock.seconds() >= Options.TimeLimitSeconds)
+      break;
+
+    uint64_t Seed = Options.Seed + It;
+    RandomProgramBuilder Gen(Seed, Options.Gen, &Report.Coverage);
+    Module M = Gen.build();
+    ++Report.Iterations;
+
+    OracleResult R = runOracle(M, Options.Oracle);
+    if (R.Skipped) {
+      ++Report.SkippedRuns;
+      continue;
+    }
+    if (R.Ok) {
+      ++Report.CleanRuns;
+      continue;
+    }
+
+    FuzzFailure F;
+    F.Seed = Seed;
+    F.Iteration = It;
+    F.Findings = R.Findings;
+
+    Module Repro = M;
+    if (Options.Minimize) {
+      auto StillFails = [&Options](const Module &Cand) {
+        OracleResult RR = runOracle(Cand, Options.Oracle);
+        return !RR.Ok;
+      };
+      Repro = minimizeModule(M, StillFails);
+      // Report the findings of the minimized case, not the original's.
+      F.Findings = runOracle(Repro, Options.Oracle).Findings;
+    }
+    F.ModuleText = renderRepro(Repro, F);
+
+    if (!Options.ReproDir.empty()) {
+      std::error_code EC;
+      std::filesystem::create_directories(Options.ReproDir, EC);
+      std::ostringstream Name;
+      Name << "repro-seed" << Seed << ".jasm";
+      std::filesystem::path P =
+          std::filesystem::path(Options.ReproDir) / Name.str();
+      std::ofstream Out(P);
+      if (Out) {
+        Out << F.ModuleText;
+        F.ReproPath = P.string();
+      }
+    }
+
+    Report.Failures.push_back(std::move(F));
+    if (Options.MaxFailures != 0 &&
+        Report.Failures.size() >= Options.MaxFailures)
+      break;
+  }
+
+  Report.Seconds = Clock.seconds();
+  return Report;
+}
+
+OracleResult fuzz::replayFile(const std::string &Path,
+                              const OracleConfig &Config) {
+  std::string Error;
+  std::optional<Module> M = parseModuleFile(Path, Error);
+  if (!M) {
+    OracleResult R;
+    R.Ok = false;
+    R.Findings.push_back({"parser", "parse-error", Error});
+    return R;
+  }
+  return runOracle(*M, Config);
+}

@@ -1,0 +1,73 @@
+//===- fuzz/Fuzzer.h - The differential fuzzing campaign loop ---*- C++ -*-===//
+///
+/// \file
+/// Ties the subsystem together: generate a program (coverage-directed,
+/// campaign-wide), run it through the cross-engine oracle, and on a
+/// failure minimize the module and emit a self-contained .jasm
+/// reproducer. Deterministic: iteration I of a campaign seeded S always
+/// generates from seed S + I, so any failure is reproducible from the
+/// (seed, iteration) pair alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_FUZZ_FUZZER_H
+#define JTC_FUZZ_FUZZER_H
+
+#include "fuzz/Oracle.h"
+#include "fuzz/ProgramGen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t Iterations = 1000;
+  /// Wall-clock bound in seconds; 0 = unbounded (iterations only).
+  double TimeLimitSeconds = 0;
+  /// Stop after this many failing cases (0 = never stop early).
+  unsigned MaxFailures = 1;
+  bool Minimize = true;
+  /// Directory to write reproducer .jasm files into; empty = don't write.
+  std::string ReproDir;
+
+  OracleConfig Oracle;
+  GenConfig Gen;
+};
+
+/// One failing case: everything needed to reproduce and report it.
+struct FuzzFailure {
+  uint64_t Seed = 0;      ///< Generator seed of the failing program.
+  uint64_t Iteration = 0; ///< Campaign iteration that produced it.
+  std::vector<OracleFinding> Findings;
+  /// The (minimized, when enabled) failing module as textual assembly.
+  std::string ModuleText;
+  /// Path of the written reproducer, when ReproDir was set.
+  std::string ReproPath;
+};
+
+struct FuzzReport {
+  uint64_t Iterations = 0; ///< Programs actually generated and run.
+  uint64_t CleanRuns = 0;  ///< Runs with full agreement and no violations.
+  uint64_t SkippedRuns = 0; ///< Reference exhausted the budget.
+  std::vector<FuzzFailure> Failures;
+  FeatureCoverage Coverage; ///< Campaign-wide statement-kind histogram.
+  double Seconds = 0;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Runs one fuzzing campaign.
+FuzzReport runFuzzer(const FuzzOptions &Options);
+
+/// Re-runs the oracle over one parsed module (corpus replay). Returns the
+/// oracle result; parsing/verification failures surface as findings.
+OracleResult replayFile(const std::string &Path, const OracleConfig &Config);
+
+} // namespace fuzz
+} // namespace jtc
+
+#endif // JTC_FUZZ_FUZZER_H

@@ -1,0 +1,217 @@
+//===- fuzz/Oracle.cpp ----------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "baseline/NetTraceVm.h"
+#include "bytecode/Verifier.h"
+#include "fuzz/Invariants.h"
+#include "interp/InstructionInterpreter.h"
+#include "interp/PreparedModule.h"
+#include "interp/ThreadedInterpreter.h"
+#include "runtime/Machine.h"
+#include "vm/TraceVM.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace jtc;
+using namespace jtc::fuzz;
+
+std::vector<GridPoint> fuzz::defaultGrid() {
+  return {
+      {1.0, 1, 32},    // Degenerate threshold: only sure-thing traces.
+      {0.97, 1, 32},   // Paper default threshold, eager profiler.
+      {0.97, 64, 256}, // Paper default threshold, default pacing.
+      {0.9, 1, 64},    // Permissive: speculative traces, early exits.
+  };
+}
+
+uint64_t fuzz::heapDigest(const Heap &H) {
+  uint64_t D = 14695981039346656037ull;
+  auto Mix = [&D](uint64_t V) {
+    D = (D ^ V) * 1099511628211ull;
+  };
+  Mix(H.size());
+  // References are dense handles 1..size and cells are never freed, so
+  // this walks every cell in allocation order.
+  for (size_t Ref = 1; Ref <= H.size(); ++Ref) {
+    Mix(H.classOf(Ref));
+    size_t N = H.slotCount(Ref);
+    Mix(N);
+    for (size_t I = 0; I < N; ++I)
+      Mix(static_cast<uint64_t>(H.load(Ref, I)));
+  }
+  return D;
+}
+
+namespace {
+
+const char *statusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Finished:
+    return "finished";
+  case RunStatus::Trapped:
+    return "trapped";
+  case RunStatus::BudgetExhausted:
+    return "budget-exhausted";
+  }
+  return "?";
+}
+
+/// Collects comparisons against the fixed reference outcome.
+class Comparer {
+public:
+  Comparer(OracleResult &Result, std::string Engine)
+      : Result(Result), Engine(std::move(Engine)) {}
+
+  void finding(const char *Rule, std::string Detail) {
+    Result.Findings.push_back({Engine, Rule, std::move(Detail)});
+  }
+
+  void outcome(RunStatus Status, TrapKind Trap) {
+    if (Status != Result.RefStatus)
+      finding("status-mismatch",
+              std::string("got ") + statusName(Status) + ", reference " +
+                  statusName(Result.RefStatus));
+    if (Trap != Result.RefTrap)
+      finding("trap-mismatch", std::string("got ") + trapName(Trap) +
+                                   ", reference " + trapName(Result.RefTrap));
+  }
+
+  void instructions(uint64_t N) {
+    if (N != Result.RefInstructions) {
+      std::ostringstream OS;
+      OS << "executed " << N << ", reference " << Result.RefInstructions;
+      finding("instruction-mismatch", OS.str());
+    }
+  }
+
+  void output(const std::vector<int64_t> &Out) {
+    if (Out == Result.RefOutput)
+      return;
+    std::ostringstream OS;
+    OS << Out.size() << " values, reference " << Result.RefOutput.size();
+    size_t N = std::min(Out.size(), Result.RefOutput.size());
+    for (size_t I = 0; I < N; ++I)
+      if (Out[I] != Result.RefOutput[I]) {
+        OS << "; first divergence at [" << I << "]: " << Out[I] << " vs "
+           << Result.RefOutput[I];
+        break;
+      }
+    finding("output-mismatch", OS.str());
+  }
+
+  void heap(uint64_t Digest, uint64_t RefDigest) {
+    if (Digest != RefDigest) {
+      std::ostringstream OS;
+      OS << "digest " << std::hex << Digest << ", reference " << RefDigest;
+      finding("heap-mismatch", OS.str());
+    }
+  }
+
+  void violations(std::vector<Violation> Vs) {
+    for (Violation &V : Vs)
+      Result.Findings.push_back(
+          {Engine, std::move(V.Rule), std::move(V.Detail)});
+  }
+
+private:
+  OracleResult &Result;
+  std::string Engine;
+};
+
+} // namespace
+
+OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
+  OracleResult Result;
+
+  std::vector<VerifyError> Errors = verifyModule(M);
+  if (!Errors.empty()) {
+    Result.Findings.push_back(
+        {"verifier", "invalid-module", formatErrors(Errors)});
+    Result.Ok = false;
+    return Result;
+  }
+
+  // Reference: the per-instruction interpreter.
+  Machine Ref(M);
+  RunResult RR = runInstructions(Ref, Config.MaxInstructions);
+  Result.RefStatus = RR.Status;
+  Result.RefTrap = Ref.trap();
+  Result.RefInstructions = RR.Instructions;
+  Result.RefOutput = Ref.output();
+  uint64_t RefDigest = heapDigest(Ref.heap());
+
+  // A budget cut lands mid-run at an engine-specific point; nothing
+  // meaningful can be compared.
+  if (RR.Status == RunStatus::BudgetExhausted) {
+    Result.Skipped = true;
+    return Result;
+  }
+
+  PreparedModule PM(M);
+
+  if (Config.IncludeThreaded) {
+    Comparer C(Result, "threaded");
+    ThreadedProgram TP(PM);
+    ThreadedResult TR = TP.run(Config.MaxInstructions);
+    C.outcome(TR.Status, TR.Trap);
+    // The threaded engine checks its budget at block granularity, so a
+    // trapped run's count can legitimately differ by the trap position
+    // inside a block; compare counts only for clean completion.
+    if (Result.RefStatus == RunStatus::Finished)
+      C.instructions(TR.Instructions);
+    C.output(TR.Output);
+  }
+
+  const std::vector<GridPoint> Grid =
+      Config.Grid.empty() ? defaultGrid() : Config.Grid;
+  for (const GridPoint &G : Grid) {
+    std::ostringstream Name;
+    Name << "tracevm[t=" << G.Threshold << " delay=" << G.Delay
+         << " decay=" << G.Decay << "]";
+    Comparer C(Result, Name.str());
+
+    VmConfig VC;
+    VC.CompletionThreshold = G.Threshold;
+    VC.StartStateDelay = G.Delay;
+    VC.DecayInterval = G.Decay;
+    VC.MaxInstructions = Config.MaxInstructions;
+    VC.TelemetryEnabled = Config.Telemetry;
+    VC.TelemetryCapacity = Config.TelemetryCapacity;
+    VC.Fault = Config.Fault;
+
+    TraceVM VM(PM, VC);
+    RunResult R = VM.run();
+    C.outcome(R.Status, VM.machine().trap());
+    C.instructions(R.Instructions);
+    C.output(VM.machine().output());
+    C.heap(heapDigest(VM.machine().heap()), RefDigest);
+    if (Config.CheckInvariants)
+      C.violations(checkTraceVm(VM, R.Status));
+  }
+
+  if (Config.IncludeNet) {
+    Comparer C(Result, "net");
+    NetConfig NC;
+    NC.MaxInstructions = Config.MaxInstructions;
+    NetTraceVm VM(PM, NC);
+    RunResult R = VM.run();
+    C.outcome(R.Status, VM.machine().trap());
+    C.instructions(R.Instructions);
+    C.output(VM.machine().output());
+    C.heap(heapDigest(VM.machine().heap()), RefDigest);
+    if (Config.CheckInvariants)
+      C.violations(checkNetVm(VM));
+  }
+
+  Result.Ok = Result.Findings.empty();
+  return Result;
+}
+
+std::string fuzz::formatFindings(const std::vector<OracleFinding> &Fs) {
+  std::ostringstream OS;
+  for (const OracleFinding &F : Fs)
+    OS << F.Engine << ": " << F.Rule << ": " << F.Detail << "\n";
+  return OS.str();
+}

@@ -32,6 +32,10 @@ uint64_t Prng::next() {
 
 uint64_t Prng::nextBelow(uint64_t Bound) {
   assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // A bound of one admits a single value; skip the draw so degenerate
+  // ranges cost nothing.
+  if (Bound == 1)
+    return 0;
   // Multiply-shift bounded generation; the tiny modulo bias is irrelevant
   // for workload synthesis.
   return static_cast<uint64_t>(
@@ -40,8 +44,12 @@ uint64_t Prng::nextBelow(uint64_t Bound) {
 
 int64_t Prng::nextInRange(int64_t Lo, int64_t Hi) {
   assert(Lo <= Hi && "empty range");
-  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
-  return Lo + static_cast<int64_t>(nextBelow(Span));
+  // Compute the span in unsigned arithmetic: Hi - Lo overflows int64_t for
+  // wide ranges, and the full-width range [INT64_MIN, INT64_MAX] wraps the
+  // span itself to zero -- meaning "all 2^64 values", i.e. a raw draw.
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  uint64_t Draw = Span == 0 ? next() : nextBelow(Span);
+  return static_cast<int64_t>(static_cast<uint64_t>(Lo) + Draw);
 }
 
 bool Prng::chancePercent(unsigned Percent) {

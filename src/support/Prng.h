@@ -31,9 +31,11 @@ public:
   uint64_t next();
 
   /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  /// A bound of one returns 0 without consuming generator state.
   uint64_t nextBelow(uint64_t Bound);
 
-  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  /// Returns a uniform integer in [Lo, Hi] inclusive. Handles ranges wider
+  /// than int64_t, including the full-width [INT64_MIN, INT64_MAX].
   int64_t nextInRange(int64_t Lo, int64_t Hi);
 
   /// Returns true with probability \p Percent / 100.

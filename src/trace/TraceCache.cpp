@@ -60,7 +60,10 @@ void TraceCache::onStateChange(NodeId Id) {
         continue;
       JTC_RECORD_EVENT(Telem, EventKind::TraceInvalidated, It->second, Fresh);
       Traces[It->second].Alive = false;
-      EntryMap.erase(It);
+      // Injected bug (fuzzer self-test): leave the stale entry key behind,
+      // so findTrace() keeps returning the dead fragment.
+      if (Config.Fault != CacheFault::SkipInvalidation)
+        EntryMap.erase(It);
       ++Stats.TracesInvalidated;
     }
   }
@@ -140,6 +143,10 @@ void TraceCache::recordExecution(TraceId Id, bool CompletedRun) {
       return;
     if (T.observedCompletion() + Config.RetirementMargin >=
         Config.CompletionThreshold)
+      return;
+    // Injected bug (fuzzer self-test): the under-performer survives the
+    // evaluation pass it should have been retired by.
+    if (Config.Fault == CacheFault::SkipRetirement)
       return;
     // The trace persistently under-performs its design threshold: it was
     // built from counters that had not yet seen the branch's real

@@ -15,6 +15,21 @@
 
 namespace jtc {
 
+/// Deliberate cache-bookkeeping bugs, injectable for fuzzer self-tests:
+/// the differential-fuzzing oracle must be able to catch a broken trace
+/// cache, and these faults are the controlled way to prove it does
+/// (src/fuzz/). Production configurations always use None.
+enum class CacheFault : uint8_t {
+  /// Correct behaviour.
+  None,
+  /// Rebuilds mark stale fragments dead but "forget" to remove their
+  /// entry-map keys, so findTrace() can hand out a dead trace.
+  SkipInvalidation,
+  /// Observed-completion retirement never fires: persistently
+  /// under-performing traces survive every evaluation pass.
+  SkipRetirement,
+};
+
 struct TraceConfig {
   /// Minimum expected completion probability of an installed trace.
   double CompletionThreshold = 0.97;
@@ -44,6 +59,9 @@ struct TraceConfig {
   /// against traces built from immature counters early in a run.
   uint64_t RetirementCheckEntries = 64;
   double RetirementMargin = 0.02;
+
+  /// Injected bookkeeping bug (fuzzer self-tests only).
+  CacheFault Fault = CacheFault::None;
 };
 
 } // namespace jtc

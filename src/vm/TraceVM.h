@@ -63,6 +63,10 @@ struct VmConfig {
   /// blocks (0 = off). Requires TelemetryEnabled.
   uint64_t SampleInterval = 0;
 
+  /// Deliberate trace-cache bug injection (fuzzer self-tests only; see
+  /// trace/TraceConfig.h). Always None in real configurations.
+  CacheFault Fault = CacheFault::None;
+
   ProfilerConfig profilerConfig() const {
     ProfilerConfig P;
     P.StartStateDelay = StartStateDelay;
@@ -75,6 +79,7 @@ struct VmConfig {
     TraceConfig T;
     T.CompletionThreshold = CompletionThreshold;
     T.MaxTraceBlocks = MaxTraceBlocks;
+    T.Fault = Fault;
     return T;
   }
 };

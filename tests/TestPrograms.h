@@ -1,10 +1,10 @@
 //===- tests/TestPrograms.h - Shared program builders for tests -*- C++ -*-===//
 ///
 /// \file
-/// Small hand-built modules used across the test suite, plus a
-/// constrained random-program generator for differential/property tests.
-/// Generated programs always verify and always terminate (loops have
-/// constant bounds and the call graph is acyclic).
+/// Small hand-built modules used across the test suite. The constrained
+/// random-program generator that used to live here was promoted into the
+/// fuzzing subsystem (src/fuzz/ProgramGen.h); it is re-exported below so
+/// existing tests keep their spelling.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,7 +12,7 @@
 #define JTC_TESTS_TESTPROGRAMS_H
 
 #include "bytecode/Assembler.h"
-#include "support/Prng.h"
+#include "fuzz/ProgramGen.h"
 
 #include <cstdint>
 #include <vector>
@@ -291,144 +291,8 @@ inline Module divideByZero() {
   return Asm.build();
 }
 
-/// Constrained random program generator. Programs verify and terminate:
-/// loop bounds are constants, the call graph is acyclic (methods only
-/// call higher-id methods), and all arithmetic is total (no Idiv/Irem).
-class RandomProgramBuilder {
-public:
-  explicit RandomProgramBuilder(uint64_t Seed) : Rng(Seed) {}
-
-  Module build() {
-    Assembler Asm;
-    unsigned NumMethods = 2 + static_cast<unsigned>(Rng.nextBelow(4));
-    std::vector<uint32_t> Methods;
-    // Declare all methods first: method I may call methods > I, so the
-    // call graph is acyclic and every run terminates.
-    for (unsigned I = 0; I < NumMethods; ++I) {
-      uint32_t NumArgs = I == 0 ? 0 : 1 + static_cast<uint32_t>(Rng.nextBelow(2));
-      uint32_t NumLocals = NumArgs + 3 + static_cast<uint32_t>(Rng.nextBelow(3));
-      Args.push_back(NumArgs);
-      Locals.push_back(NumLocals);
-      Methods.push_back(Asm.declareMethod("m" + std::to_string(I), NumArgs,
-                                          NumLocals, /*ReturnsValue=*/I != 0));
-    }
-    for (unsigned I = 0; I < NumMethods; ++I) {
-      MethodBuilder B = Asm.beginMethod(Methods[I]);
-      unsigned Statements = 2 + static_cast<unsigned>(Rng.nextBelow(5));
-      for (unsigned S = 0; S < Statements; ++S)
-        emitStatement(B, Methods, I, /*Depth=*/0, /*InLoop=*/false);
-      if (I == 0) {
-        B.iload(0);
-        B.emit(Opcode::Iprint);
-        B.halt();
-      } else {
-        B.iload(0);
-        B.iret();
-      }
-      B.finish();
-    }
-    Asm.setEntry(Methods[0]);
-    return Asm.build();
-  }
-
-private:
-  void emitExpr(MethodBuilder &B, unsigned Self) {
-    // Push one value: a constant or a local.
-    if (Rng.chancePercent(40))
-      B.iconst(static_cast<int32_t>(Rng.nextInRange(-100, 100)));
-    else
-      B.iload(static_cast<uint32_t>(Rng.nextBelow(Locals[Self])));
-  }
-
-  /// Locals[Self] - 1 is reserved for loop counters; statements never
-  /// store to it, which is what guarantees loop termination.
-  uint32_t storeTarget(unsigned Self) {
-    return static_cast<uint32_t>(Rng.nextBelow(Locals[Self] - 1));
-  }
-
-  void emitStatement(MethodBuilder &B, const std::vector<uint32_t> &Methods,
-                     unsigned Self, unsigned Depth, bool InLoop) {
-    // Calls and loops are only emitted outside loop bodies, which bounds
-    // every run: per-method work is constant and the call graph is
-    // acyclic with a statically bounded number of call sites.
-    unsigned NumChoices = 4;              // arith, print, shuffle, if
-    if (Depth >= 2)
-      NumChoices = 3;                     // no further nesting
-    else if (!InLoop)
-      NumChoices = 6;                     // + call, loop
-    switch (Rng.nextBelow(NumChoices)) {
-    case 0: { // arithmetic into a local
-      emitExpr(B, Self);
-      emitExpr(B, Self);
-      static const Opcode Ops[] = {Opcode::Iadd, Opcode::Isub, Opcode::Imul,
-                                   Opcode::Iand, Opcode::Ior,  Opcode::Ixor};
-      B.emit(Ops[Rng.nextBelow(6)]);
-      B.istore(storeTarget(Self));
-      break;
-    }
-    case 1: // print
-      emitExpr(B, Self);
-      B.emit(Opcode::Iprint);
-      break;
-    case 2: { // stack shuffle
-      emitExpr(B, Self);
-      emitExpr(B, Self);
-      B.emit(Opcode::Swap);
-      B.emit(Opcode::Dup);
-      B.emit(Opcode::Pop);
-      B.emit(Opcode::Isub);
-      B.istore(storeTarget(Self));
-      break;
-    }
-    case 3: { // if/else
-      Label Else = B.newLabel(), Join = B.newLabel();
-      emitExpr(B, Self);
-      static const Opcode Branches[] = {Opcode::IfEq, Opcode::IfNe,
-                                        Opcode::IfLt, Opcode::IfGe};
-      B.branch(Branches[Rng.nextBelow(4)], Else);
-      emitStatement(B, Methods, Self, Depth + 1, InLoop);
-      B.branch(Opcode::Goto, Join);
-      B.bind(Else);
-      emitStatement(B, Methods, Self, Depth + 1, InLoop);
-      B.bind(Join);
-      break;
-    }
-    case 4: { // call a later method, if any
-      if (Self + 1 >= Methods.size()) {
-        B.emit(Opcode::Nop);
-        break;
-      }
-      auto Callee = Self + 1 + static_cast<unsigned>(
-                                   Rng.nextBelow(Methods.size() - Self - 1));
-      for (uint32_t A = 0; A < Args[Callee]; ++A)
-        emitExpr(B, Self);
-      B.invokestatic(Methods[Callee]);
-      B.istore(storeTarget(Self));
-      break;
-    }
-    case 5: { // bounded loop over the dedicated last local
-      uint32_t Counter = Locals[Self] - 1;
-      auto Bound = static_cast<int32_t>(2 + Rng.nextBelow(14));
-      Label Loop = B.newLabel(), Done = B.newLabel();
-      B.iconst(0);
-      B.istore(Counter);
-      B.bind(Loop);
-      B.iload(Counter);
-      B.iconst(Bound);
-      B.branch(Opcode::IfIcmpGe, Done);
-      emitStatement(B, Methods, Self, Depth + 1, /*InLoop=*/true);
-      B.iinc(Counter, 1);
-      B.branch(Opcode::Goto, Loop);
-      B.bind(Done);
-      break;
-    }
-    }
-  }
-
-  Prng Rng;
-  std::vector<uint32_t> Args;
-  std::vector<uint32_t> Locals;
-};
+/// The random program generator, now owned by the fuzzing subsystem.
+using fuzz::RandomProgramBuilder;
 
 } // namespace testprog
 } // namespace jtc

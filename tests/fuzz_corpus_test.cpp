@@ -1,0 +1,65 @@
+//===- tests/fuzz_corpus_test.cpp - Regression corpus replay --------------===//
+///
+/// Replays every checked-in .jasm program under tests/corpus/ through the
+/// full cross-engine oracle. The corpus holds programs that once
+/// exercised interesting behaviour (fuzz-found shapes, trap paths, deep
+/// dispatch); each must parse, verify and run with full agreement across
+/// all engines and no invariant violations.
+///
+/// JTC_CORPUS_DIR is injected by the build (tests/CMakeLists.txt).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace jtc;
+using namespace jtc::fuzz;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(JTC_CORPUS_DIR)) {
+    if (Entry.path().extension() == ".jasm")
+      Files.push_back(Entry.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+} // namespace
+
+TEST(FuzzCorpusTest, CorpusIsNotEmpty) {
+  EXPECT_GE(corpusFiles().size(), 5u)
+      << "the regression corpus under " << JTC_CORPUS_DIR
+      << " should hold the checked-in fuzz programs";
+}
+
+TEST(FuzzCorpusTest, EveryCorpusProgramReplaysClean) {
+  OracleConfig Config;
+  for (const std::string &Path : corpusFiles()) {
+    OracleResult R = replayFile(Path, Config);
+    EXPECT_TRUE(R.Ok) << Path << ":\n" << formatFindings(R.Findings);
+    EXPECT_FALSE(R.Skipped) << Path << ": corpus programs must fit the budget";
+  }
+}
+
+TEST(FuzzCorpusTest, CorpusSurvivesTheConfigGrid) {
+  // Replay under a deliberately hostile grid point on top of the default
+  // grid: immediate tracing, fast decay.
+  OracleConfig Config;
+  Config.Grid = {{1.0, 1, 32}, {0.9, 1, 32}, {0.97, 1, 64}};
+  for (const std::string &Path : corpusFiles()) {
+    OracleResult R = replayFile(Path, Config);
+    EXPECT_TRUE(R.Ok) << Path << ":\n" << formatFindings(R.Findings);
+  }
+}

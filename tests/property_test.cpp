@@ -4,8 +4,9 @@
 /// TEST_P / INSTANTIATE_TEST_SUITE_P:
 ///
 ///  - semantic transparency: for random programs, instruction dispatch,
-///    block dispatch and trace dispatch all produce identical observable
-///    behaviour under every (threshold, delay) combination;
+///    direct-threaded dispatch, trace dispatch and the NET baseline all
+///    produce identical observable behaviour under every (threshold,
+///    delay) combination;
 ///  - metric sanity: coverage/completion stay within [0, 1], counters
 ///    stay consistent;
 ///  - BCG probability laws: per-node successor probabilities sum to 1.
@@ -15,8 +16,12 @@
 #include "vm/TraceVM.h"
 
 #include "TestPrograms.h"
+#include "baseline/NetTraceVm.h"
 #include "bytecode/Verifier.h"
+#include "fuzz/Invariants.h"
+#include "fuzz/Oracle.h"
 #include "interp/InstructionInterpreter.h"
+#include "interp/ThreadedInterpreter.h"
 
 #include <gtest/gtest.h>
 
@@ -54,11 +59,35 @@ TEST_P(RandomProgramProperty, TraceDispatchIsSemanticallyTransparent) {
   EXPECT_EQ(R1.Status, R2.Status);
   EXPECT_EQ(R1.Instructions, R2.Instructions);
   EXPECT_EQ(Plain.output(), VM.machine().output());
+  EXPECT_EQ(fuzz::heapDigest(Plain.heap()),
+            fuzz::heapDigest(VM.machine().heap()));
 
   const VmStats &S = VM.stats();
   EXPECT_EQ(S.BlocksExecuted, S.BlockDispatches + S.BlocksInTraces);
   EXPECT_LE(S.completedCoverage(), 1.0 + 1e-12);
   EXPECT_LE(S.completionRate(), 1.0 + 1e-12);
+  EXPECT_TRUE(fuzz::checkTraceVm(VM, R2.Status).empty())
+      << fuzz::formatViolations(fuzz::checkTraceVm(VM, R2.Status));
+
+  // The direct-threaded engine agrees with the reference as well.
+  ThreadedProgram TP(PM);
+  ThreadedResult TR = TP.run(5000000);
+  EXPECT_EQ(R1.Status, TR.Status);
+  EXPECT_EQ(R1.Instructions, TR.Instructions);
+  EXPECT_EQ(Plain.output(), TR.Output);
+
+  // And so does the Dynamo-NET baseline.
+  NetConfig NC;
+  NC.MaxInstructions = 5000000;
+  NetTraceVm Net(PM, NC);
+  RunResult R3 = Net.run();
+  EXPECT_EQ(R1.Status, R3.Status);
+  EXPECT_EQ(R1.Instructions, R3.Instructions);
+  EXPECT_EQ(Plain.output(), Net.machine().output());
+  EXPECT_EQ(fuzz::heapDigest(Plain.heap()),
+            fuzz::heapDigest(Net.machine().heap()));
+  EXPECT_TRUE(fuzz::checkNetVm(Net).empty())
+      << fuzz::formatViolations(fuzz::checkNetVm(Net));
 }
 
 INSTANTIATE_TEST_SUITE_P(

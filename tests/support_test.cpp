@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <sstream>
 
@@ -63,6 +64,60 @@ TEST(PrngTest, NextInRangeInclusive) {
     Seen.insert(V);
   }
   EXPECT_EQ(Seen.size(), 7u) << "all 7 values should appear in 2000 draws";
+}
+
+// Fuzz-found edge cases: the full-width range used to compute its span as
+// Hi - Lo + 1 in signed arithmetic (undefined overflow), and nextBelow's
+// multiply-shift reduction is only defined for a nonzero bound.
+
+TEST(PrngTest, NextInRangeFullWidth) {
+  Prng P(21);
+  // [INT64_MIN, INT64_MAX]: the span (2^64) is unrepresentable; the draw
+  // must degenerate to a raw 64-bit value, and every value is in range by
+  // definition. Exercise enough draws to cross the sign boundary.
+  bool SawNegative = false, SawPositive = false;
+  for (int I = 0; I < 200; ++I) {
+    int64_t V = P.nextInRange(INT64_MIN, INT64_MAX);
+    SawNegative |= V < 0;
+    SawPositive |= V > 0;
+  }
+  EXPECT_TRUE(SawNegative);
+  EXPECT_TRUE(SawPositive);
+}
+
+TEST(PrngTest, NextInRangeSignedBoundaries) {
+  Prng P(23);
+  for (int I = 0; I < 500; ++I) {
+    // A span that crosses zero and touches INT64_MIN exactly.
+    int64_t V = P.nextInRange(INT64_MIN, INT64_MIN + 1);
+    EXPECT_TRUE(V == INT64_MIN || V == INT64_MIN + 1);
+    // Degenerate one-value ranges at both extremes.
+    EXPECT_EQ(P.nextInRange(INT64_MAX, INT64_MAX), INT64_MAX);
+    EXPECT_EQ(P.nextInRange(INT64_MIN, INT64_MIN), INT64_MIN);
+  }
+}
+
+TEST(PrngTest, NextBelowBoundOneConsumesNoState) {
+  // Bound == 1 has a single possible outcome; skipping the draw keeps
+  // generator streams aligned across code paths that differ only in
+  // degenerate choices.
+  Prng A(27), B(27);
+  EXPECT_EQ(A.nextBelow(1), 0u);
+  EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(PrngTest, NextBelowLargeBoundCoversHighValues) {
+  Prng P(29);
+  // A bound just below 2^63: the multiply-shift reduction must reach the
+  // top half of the range (a naive modulo of a 32-bit draw would not).
+  uint64_t Bound = (1ull << 63) - 3;
+  bool SawHigh = false;
+  for (int I = 0; I < 200; ++I) {
+    uint64_t V = P.nextBelow(Bound);
+    EXPECT_LT(V, Bound);
+    SawHigh |= V > Bound / 2;
+  }
+  EXPECT_TRUE(SawHigh);
 }
 
 TEST(PrngTest, ChancePercentExtremes) {

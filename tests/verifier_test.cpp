@@ -234,3 +234,112 @@ TEST(VerifierTest, AcceptsRandomGeneratedPrograms) {
                             << formatErrors(verifyModule(M));
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Fuzz-found regressions
+//
+// Malformed shapes the minimizer and generator can produce while
+// mutating control flow. The contract under test is the fuzzer's safety
+// net: the verifier must *reject* each of these (so the oracle never
+// executes them), and must do so by returning errors -- not by
+// crashing or asserting.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Single-method module whose Tableswitch at pc 1 uses \p Table.
+Module switchModule(SwitchTable Table) {
+  Module M = rawModule({Instruction(Opcode::Iconst, 0),
+                        Instruction(Opcode::Tableswitch, 0),
+                        Instruction(Opcode::Halt)});
+  M.Methods[0].SwitchTables.push_back(std::move(Table));
+  return M;
+}
+
+} // namespace
+
+TEST(VerifierFuzzRegression, RejectsSwitchTableIndexOutOfRange) {
+  // A deleted statement can orphan a Tableswitch from its table.
+  Module M = rawModule({Instruction(Opcode::Iconst, 0),
+                        Instruction(Opcode::Tableswitch, 3),
+                        Instruction(Opcode::Halt)});
+  EXPECT_TRUE(hasErrorContaining(M, "switch table index out of range"));
+}
+
+TEST(VerifierFuzzRegression, RejectsSwitchCaseTargetOutOfRange) {
+  SwitchTable T;
+  T.Targets = {2, 57}; // Second case points past the code.
+  T.DefaultTarget = 2;
+  EXPECT_TRUE(
+      hasErrorContaining(switchModule(T), "switch case target out of range"));
+}
+
+TEST(VerifierFuzzRegression, RejectsSwitchDefaultTargetOutOfRange) {
+  SwitchTable T;
+  T.Targets = {2};
+  T.DefaultTarget = 33;
+  EXPECT_TRUE(hasErrorContaining(switchModule(T),
+                                 "switch default target out of range"));
+}
+
+TEST(VerifierFuzzRegression, AcceptsEmptySwitchTargetListWithValidDefault) {
+  // An empty case list is legal: every selector takes the default.
+  SwitchTable T;
+  T.Targets = {};
+  T.DefaultTarget = 2;
+  EXPECT_TRUE(isValid(switchModule(T)));
+}
+
+TEST(VerifierFuzzRegression, RejectsFallthroughPastLastInstruction) {
+  // Truncating a method mid-block leaves a Normal instruction last;
+  // execution would run off the code array.
+  Module M = rawModule({Instruction(Opcode::Iconst, 1),
+                        Instruction(Opcode::Iconst, 2),
+                        Instruction(Opcode::Iadd)});
+  EXPECT_TRUE(hasErrorContaining(M, "falls off the end"));
+}
+
+TEST(VerifierFuzzRegression, RejectsBranchFallthroughPastEnd) {
+  // A not-taken conditional as the final instruction also falls off.
+  Module M = rawModule({Instruction(Opcode::Iconst, 0),
+                        Instruction(Opcode::IfEq, 0)});
+  EXPECT_TRUE(hasErrorContaining(M, "falls off the end"));
+}
+
+TEST(VerifierFuzzRegression, RejectsStoreToOutOfRangeLocal) {
+  // Locals shrink when a method is re-declared smaller; stale istore
+  // indices must be caught, not scribble past the frame.
+  Module M = rawModule({Instruction(Opcode::Iconst, 7),
+                        Instruction(Opcode::Istore, 2),
+                        Instruction(Opcode::Halt)},
+                       /*Locals=*/2);
+  EXPECT_TRUE(hasErrorContaining(M, "local index out of range"));
+}
+
+TEST(VerifierFuzzRegression, RejectsIincOfOutOfRangeLocal) {
+  Module M = rawModule({Instruction(Opcode::Iinc, 9, 1),
+                        Instruction(Opcode::Halt)},
+                       /*Locals=*/2);
+  EXPECT_TRUE(hasErrorContaining(M, "local index out of range"));
+}
+
+TEST(VerifierFuzzRegression, MalformedModulesNeverCrashTheVerifier) {
+  // Belt and braces: throw every malformed shape above (and a few
+  // combinations) through verifyModule and only require that it returns.
+  std::vector<Module> Cases;
+  Cases.push_back(rawModule({Instruction(Opcode::Tableswitch, 0)}));
+  Cases.push_back(rawModule({Instruction(Opcode::Iconst, 0),
+                             Instruction(Opcode::Tableswitch, -1),
+                             Instruction(Opcode::Halt)}));
+  SwitchTable Wild;
+  Wild.Low = INT32_MIN;
+  Wild.Targets = {0xffffffffu};
+  Wild.DefaultTarget = 0xffffffffu;
+  Cases.push_back(switchModule(Wild));
+  Cases.push_back(rawModule({Instruction(Opcode::Iload, -1),
+                             Instruction(Opcode::Pop),
+                             Instruction(Opcode::Halt)}));
+  Cases.push_back(rawModule({Instruction(Opcode::Goto, -5)}));
+  for (size_t I = 0; I < Cases.size(); ++I)
+    EXPECT_FALSE(verifyModule(Cases[I]).empty()) << "case " << I;
+}

@@ -1,0 +1,240 @@
+//===- tools/jtc_fuzz.cpp - Differential fuzzing driver -------------------===//
+///
+/// The command-line front end for the differential fuzzing subsystem:
+///
+///   jtc-fuzz run [options]            run a fuzzing campaign
+///   jtc-fuzz replay <file>... [options]  re-run the oracle on .jasm cases
+///
+/// Options:
+///   --seed=<n|ci>        campaign seed; "ci" is a fixed well-known seed
+///   --iterations=<n>     programs to generate            (default 1000)
+///   --time=<seconds>     wall-clock bound (0 = none)
+///   --max-failures=<n>   stop after n failures (0 = never; default 1)
+///   --max-instr=<n>      per-engine instruction budget
+///   --no-minimize        keep failing programs unreduced
+///   --no-traps           generate total programs only
+///   --no-net             skip the NET baseline engine
+///   --no-threaded        skip the direct-threaded engine
+///   --inject=<fault>     deliberately break the trace cache and expect
+///                        the oracle to notice: skip-invalidation or
+///                        skip-retirement (self-test mode)
+///   --repro-dir=<dir>    write failing cases as .jasm reproducers
+///   --json[=<file>]      campaign report as JSON (stdout if no file)
+///
+/// Exit status: 0 clean, 1 failures found (or, under --inject, no
+/// failure found), 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace jtc;
+using namespace jtc::fuzz;
+
+namespace {
+
+/// The well-known seed CI smoke runs use, so failures seen in CI
+/// reproduce locally with --seed=ci.
+constexpr uint64_t CiSeed = 0x6A7463; // "jtc"
+
+struct ToolOptions {
+  std::string Command;
+  std::vector<std::string> Files;
+  FuzzOptions Fuzz;
+  bool Json = false;
+  std::string JsonOut;
+  bool Inject = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: jtc-fuzz <run|replay> [files...] [options]\n"
+         "  run options: --seed=N|ci --iterations=N --time=SECONDS\n"
+         "               --max-failures=N --max-instr=N --no-minimize\n"
+         "               --no-traps --no-net --no-threaded\n"
+         "               --inject=skip-invalidation|skip-retirement\n"
+         "               --repro-dir=DIR --json[=FILE]\n"
+         "  replay options: --max-instr=N --no-net --no-threaded\n";
+  return 2;
+}
+
+bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  // Traps are part of normal fuzzing coverage; tests that need total
+  // programs opt out with --no-traps.
+  Opts.Fuzz.Gen.Features.Traps = true;
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&A]() { return A.substr(A.find('=') + 1); };
+    if (A.rfind("--", 0) != 0) {
+      Opts.Files.push_back(A);
+    } else if (A.rfind("--seed=", 0) == 0) {
+      Opts.Fuzz.Seed = Value() == "ci"
+                           ? CiSeed
+                           : static_cast<uint64_t>(std::atoll(Value().c_str()));
+    } else if (A.rfind("--iterations=", 0) == 0) {
+      Opts.Fuzz.Iterations = static_cast<uint64_t>(std::atoll(Value().c_str()));
+    } else if (A.rfind("--time=", 0) == 0) {
+      Opts.Fuzz.TimeLimitSeconds = std::atof(Value().c_str());
+    } else if (A.rfind("--max-failures=", 0) == 0) {
+      Opts.Fuzz.MaxFailures =
+          static_cast<unsigned>(std::atoi(Value().c_str()));
+    } else if (A.rfind("--max-instr=", 0) == 0) {
+      Opts.Fuzz.Oracle.MaxInstructions =
+          static_cast<uint64_t>(std::atoll(Value().c_str()));
+    } else if (A == "--no-minimize") {
+      Opts.Fuzz.Minimize = false;
+    } else if (A == "--no-traps") {
+      Opts.Fuzz.Gen.Features.Traps = false;
+    } else if (A == "--no-net") {
+      Opts.Fuzz.Oracle.IncludeNet = false;
+    } else if (A == "--no-threaded") {
+      Opts.Fuzz.Oracle.IncludeThreaded = false;
+    } else if (A.rfind("--inject=", 0) == 0) {
+      std::string F = Value();
+      if (F == "skip-invalidation")
+        Opts.Fuzz.Oracle.Fault = CacheFault::SkipInvalidation;
+      else if (F == "skip-retirement")
+        Opts.Fuzz.Oracle.Fault = CacheFault::SkipRetirement;
+      else {
+        std::cerr << "unknown fault '" << F << "'\n";
+        return false;
+      }
+      Opts.Inject = true;
+    } else if (A.rfind("--repro-dir=", 0) == 0) {
+      Opts.Fuzz.ReproDir = Value();
+    } else if (A == "--json") {
+      Opts.Json = true;
+    } else if (A.rfind("--json=", 0) == 0) {
+      Opts.Json = true;
+      Opts.JsonOut = Value();
+    } else {
+      std::cerr << "unknown option '" << A << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void writeFindings(JsonWriter &W, const std::vector<OracleFinding> &Fs) {
+  W.beginArray();
+  for (const OracleFinding &F : Fs)
+    W.beginObject()
+        .field("engine", F.Engine)
+        .field("rule", F.Rule)
+        .field("detail", F.Detail)
+        .endObject();
+  W.endArray();
+}
+
+void writeReportJson(std::ostream &OS, const ToolOptions &Opts,
+                     const FuzzReport &R) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.fieldUInt("seed", Opts.Fuzz.Seed);
+  W.fieldUInt("iterations", R.Iterations);
+  W.fieldUInt("clean", R.CleanRuns);
+  W.fieldUInt("skipped", R.SkippedRuns);
+  W.fieldBool("ok", R.ok());
+  W.fieldReal("seconds", R.Seconds);
+  W.key("coverage").beginObject();
+  for (unsigned I = 0; I < NumStmtKinds; ++I)
+    W.fieldUInt(stmtKindName(static_cast<StmtKind>(I)), R.Coverage.Counts[I]);
+  W.endObject();
+  W.key("failures").beginArray();
+  for (const FuzzFailure &F : R.Failures) {
+    W.beginObject()
+        .fieldUInt("seed", F.Seed)
+        .fieldUInt("iteration", F.Iteration);
+    if (!F.ReproPath.empty())
+      W.field("repro", F.ReproPath);
+    W.key("findings");
+    writeFindings(W, F.Findings);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << "\n";
+}
+
+int cmdRun(const ToolOptions &Opts) {
+  FuzzReport R = runFuzzer(Opts.Fuzz);
+
+  bool JsonToStdout = Opts.Json && Opts.JsonOut.empty();
+  if (!JsonToStdout) {
+    std::cerr << "jtc-fuzz: " << R.Iterations << " iterations, "
+              << R.CleanRuns << " clean, " << R.SkippedRuns << " skipped, "
+              << R.Failures.size() << " failing in " << R.Seconds << "s\n";
+    for (const FuzzFailure &F : R.Failures) {
+      std::cerr << "failure at iteration " << F.Iteration << " (seed "
+                << F.Seed << ")";
+      if (!F.ReproPath.empty())
+        std::cerr << ", reproducer " << F.ReproPath;
+      std::cerr << ":\n" << formatFindings(F.Findings);
+    }
+  }
+  if (Opts.Json) {
+    if (JsonToStdout) {
+      writeReportJson(std::cout, Opts, R);
+    } else {
+      std::ofstream OS(Opts.JsonOut);
+      if (!OS) {
+        std::cerr << "cannot open '" << Opts.JsonOut << "' for writing\n";
+        return 1;
+      }
+      writeReportJson(OS, Opts, R);
+    }
+  }
+
+  // Self-test mode inverts the verdict: the injected bug MUST be caught.
+  if (Opts.Inject) {
+    if (R.ok()) {
+      std::cerr << "jtc-fuzz: injected fault was NOT detected\n";
+      return 1;
+    }
+    std::cerr << "jtc-fuzz: injected fault detected as expected\n";
+    return 0;
+  }
+  return R.ok() ? 0 : 1;
+}
+
+int cmdReplay(const ToolOptions &Opts) {
+  if (Opts.Files.empty()) {
+    std::cerr << "replay requires at least one .jasm file\n";
+    return 2;
+  }
+  int Failures = 0;
+  for (const std::string &Path : Opts.Files) {
+    OracleResult R = replayFile(Path, Opts.Fuzz.Oracle);
+    if (R.Ok) {
+      std::cout << Path << ": " << (R.Skipped ? "skipped" : "ok") << "\n";
+    } else {
+      ++Failures;
+      std::cout << Path << ": FAIL\n" << formatFindings(R.Findings);
+    }
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseOptions(Argc, Argv, Opts))
+    return usage();
+  if (Opts.Command == "run")
+    return cmdRun(Opts);
+  if (Opts.Command == "replay")
+    return cmdReplay(Opts);
+  std::cerr << "unknown command '" << Opts.Command << "'\n";
+  return usage();
+}
