@@ -38,11 +38,9 @@ inline ThresholdSweep runThresholdSweep(uint32_t Delay = 64) {
   for (double T : S.Thresholds) {
     std::vector<VmStats> Row;
     for (const WorkloadInfo &W : allWorkloads()) {
-      VmConfig C;
-      C.CompletionThreshold = T;
-      C.StartStateDelay = Delay;
       std::cerr << "  running " << W.Name << " @ threshold " << T << "...\n";
-      Row.push_back(runWorkload(W, C));
+      Row.push_back(runWorkload(
+          W, VmOptions().completionThreshold(T).startStateDelay(Delay)));
     }
     S.Cell.push_back(std::move(Row));
   }

@@ -27,11 +27,12 @@ int main() {
     for (uint32_t Interval : Intervals) {
       std::cerr << "  running " << Name << " @ interval " << Interval
                 << "...\n";
-      VmConfig C;
-      C.CompletionThreshold = 0.97;
-      C.StartStateDelay = 64;
-      C.DecayInterval = Interval;
-      VmStats S = runWorkload(W, C, W.DefaultScale / 2);
+      VmStats S = runWorkload(W,
+                              VmOptions()
+                                  .completionThreshold(0.97)
+                                  .startStateDelay(64)
+                                  .decayInterval(Interval),
+                              W.DefaultScale / 2);
       T.addRow({std::to_string(Interval),
                 TablePrinter::fmt(S.avgCompletedTraceLength(), 1),
                 TablePrinter::fmtPercent(S.completedCoverage(), 1),

@@ -33,10 +33,7 @@ void reportMode(TablePrinter &T, const WorkloadInfo &W, bool Inline) {
             << "...\n";
   Module M = W.Build(W.DefaultScale / 2);
   PreparedModule PM(M);
-  VmConfig C;
-  C.CompletionThreshold = 0.97;
-  C.StartStateDelay = 64;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions().completionThreshold(0.97).startStateDelay(64));
   VM.run();
 
   OptStats Total;

@@ -35,10 +35,8 @@ int main() {
     Module M = W.Build(W.DefaultScale / 2);
     PreparedModule PM(M);
 
-    VmConfig BC;
-    BC.CompletionThreshold = 0.97;
-    BC.StartStateDelay = 64;
-    TraceVM Bcg(PM, BC);
+    TraceVM Bcg(PM,
+                VmOptions().completionThreshold(0.97).startStateDelay(64));
     Bcg.run();
     const VmStats &B = Bcg.stats();
 

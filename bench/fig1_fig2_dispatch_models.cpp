@@ -41,10 +41,8 @@ int main() {
     BlockStepper Stepper(PM, M2);
     RunResult R2 = runBlocks(Stepper);
 
-    VmConfig C;
-    C.CompletionThreshold = 0.97;
-    C.StartStateDelay = 64;
-    TraceVM VM(PM, C);
+    TraceVM VM(PM,
+               VmOptions().completionThreshold(0.97).startStateDelay(64));
     RunResult R3 = VM.run();
 
     auto InM = [](uint64_t V) {

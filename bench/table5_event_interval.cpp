@@ -30,11 +30,9 @@ int main(int argc, char **argv) {
     std::vector<std::string> Row = {std::to_string(Delay)};
     double Sum = 0;
     for (const WorkloadInfo &W : allWorkloads()) {
-      VmConfig C;
-      C.CompletionThreshold = 0.97;
-      C.StartStateDelay = Delay;
       std::cerr << "  running " << W.Name << " @ delay " << Delay << "...\n";
-      VmStats S = runWorkload(W, C);
+      VmStats S = runWorkload(
+          W, VmOptions().completionThreshold(0.97).startStateDelay(Delay));
       Records.push_back(BenchRecord::forStats(W.Name, 0.97, Delay, S));
       double V = S.dispatchesPerTraceEvent() / 1000.0;
       Sum += V;

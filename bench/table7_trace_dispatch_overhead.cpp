@@ -36,10 +36,8 @@ int main(int argc, char **argv) {
                                                /*Repeats=*/3);
     // Count the trace-dispatching model's dispatches at the recommended
     // configuration (97% threshold, delay 64).
-    VmConfig C;
-    C.CompletionThreshold = 0.97;
-    C.StartStateDelay = 64;
-    VmStats V = runWorkload(W, C);
+    VmStats V = runWorkload(
+        W, VmOptions().completionThreshold(0.97).startStateDelay(64));
     BenchRecord R = BenchRecord::forStats(W.Name, 0.97, 64, V);
     R.HasOverhead = true;
     R.Overhead = S;

@@ -1,0 +1,254 @@
+//===- bench/throughput_scaling.cpp - Service scaling experiment ----------===//
+///
+/// The serving-layer experiment the paper never ran: requests/sec as the
+/// VmService worker pool grows, and the warm-handoff effect -- what a
+/// session costs when it starts from a published ProfileSnapshot instead
+/// of cold counters (the start-state delay and trace-construction warmup
+/// of Tables IV-VI, amortized across sessions).
+///
+/// Two tables:
+///   1. Throughput scaling: wall time and requests/sec for the same
+///      request batch at 1/2/4/8 workers, with speedup vs 1 worker. On a
+///      multi-core host the 8-worker row is expected to clear 3x; sessions
+///      share nothing on the hot path, so scaling is limited only by
+///      memory bandwidth and the queue.
+///   2. Warm vs cold sessions, per workload: profiler signals, trace
+///      dispatches and mean latency for cold sessions (every session pays
+///      warmup) against warm sessions (all but the donor seeded).
+///
+/// Usage: throughput_scaling [--json=FILE] [--requests=N] [--scale=N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/VmService.h"
+#include "support/ArgParse.h"
+#include "support/Json.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+using namespace jtc;
+
+namespace {
+
+struct ScalingRow {
+  unsigned Workers = 0;
+  double WallSeconds = 0;
+  double RequestsPerSecond = 0;
+  double Speedup = 0;
+};
+
+struct WarmRow {
+  std::string Workload;
+  // Mean per-session values over the batch, donor/cold sessions and
+  // seeded sessions reported separately.
+  double ColdSignals = 0, WarmSignals = 0;
+  double ColdConstructed = 0, WarmSeeded = 0;
+  double ColdDispatchRate = 0, WarmDispatchRate = 0; ///< TraceDispatches/1k blocks.
+  double ColdSeconds = 0, WarmSeconds = 0;
+  uint64_t WarmSessions = 0, ColdSessions = 0;
+};
+
+double wallRun(VmService &Svc, const std::string &Name, uint32_t Requests) {
+  std::vector<std::future<SessionResult>> Fs;
+  Fs.reserve(Requests);
+  auto T0 = std::chrono::steady_clock::now();
+  for (uint32_t I = 0; I < Requests; ++I)
+    Fs.push_back(Svc.submit({Name}));
+  for (std::future<SessionResult> &F : Fs)
+    F.get();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+/// Table 1: the same batch at growing pool sizes.
+std::vector<ScalingRow> runScaling(uint32_t Requests, uint32_t Scale) {
+  const WorkloadInfo *W = findWorkload("compress");
+  std::vector<ScalingRow> Rows;
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    std::cerr << "  scaling: " << Workers << " workers, " << Requests
+              << " requests...\n";
+    VmService Svc(ServiceOptions().workers(Workers));
+    Svc.registerWorkload(*W, Scale);
+    // One throwaway request publishes the snapshot so every measured
+    // session is warm and the batches are comparable across pool sizes.
+    Svc.run({W->Name});
+    ScalingRow R;
+    R.Workers = Workers;
+    R.WallSeconds = wallRun(Svc, W->Name, Requests);
+    R.RequestsPerSecond =
+        R.WallSeconds > 0 ? static_cast<double>(Requests) / R.WallSeconds : 0;
+    Rows.push_back(R);
+  }
+  for (ScalingRow &R : Rows)
+    R.Speedup = Rows[0].RequestsPerSecond > 0
+                    ? R.RequestsPerSecond / Rows[0].RequestsPerSecond
+                    : 0;
+  return Rows;
+}
+
+/// Mean of \p Member over the sessions of \p Rs selected by \p Warm.
+template <typename Fn>
+double meanOver(const std::vector<SessionResult> &Rs, bool Warm, Fn &&Get) {
+  double Sum = 0;
+  uint64_t N = 0;
+  for (const SessionResult &R : Rs)
+    if (R.WarmStart == Warm) {
+      Sum += Get(R);
+      ++N;
+    }
+  return N == 0 ? 0 : Sum / static_cast<double>(N);
+}
+
+/// Table 2: one service per (workload, warm/cold) cell, a small batch
+/// each; per-session means of the warmup-sensitive statistics.
+std::vector<WarmRow> runWarmVsCold(uint32_t Requests, uint32_t Scale) {
+  std::vector<WarmRow> Rows;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::cerr << "  warm-vs-cold: " << W.Name << "...\n";
+    WarmRow Row;
+    Row.Workload = W.Name;
+    for (bool Warm : {false, true}) {
+      VmService Svc(ServiceOptions().workers(1).warmHandoff(Warm));
+      Svc.registerWorkload(W, Scale);
+      // The first session is always cold (it is the donor when warm
+      // handoff is on); it is excluded from both columns so each column
+      // is a steady-state per-session cost.
+      Svc.run({W.Name});
+      std::vector<SessionResult> Sessions;
+      for (uint32_t I = 0; I < Requests; ++I)
+        Sessions.push_back(Svc.run({W.Name}));
+      auto Signals = [](const SessionResult &R) {
+        return static_cast<double>(R.Stats.Signals);
+      };
+      auto DispatchRate = [](const SessionResult &R) {
+        return R.Stats.BlocksExecuted == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(R.Stats.TraceDispatches) /
+                         static_cast<double>(R.Stats.BlocksExecuted);
+      };
+      auto Seconds = [](const SessionResult &R) { return R.Seconds; };
+      if (Warm) {
+        Row.WarmSignals = meanOver(Sessions, true, Signals);
+        Row.WarmSeeded = meanOver(Sessions, true, [](const SessionResult &R) {
+          return static_cast<double>(R.Stats.TracesSeeded);
+        });
+        Row.WarmDispatchRate = meanOver(Sessions, true, DispatchRate);
+        Row.WarmSeconds = meanOver(Sessions, true, Seconds);
+        for (const SessionResult &R : Sessions)
+          Row.WarmSessions += R.WarmStart;
+      } else {
+        Row.ColdSignals = meanOver(Sessions, false, Signals);
+        Row.ColdConstructed =
+            meanOver(Sessions, false, [](const SessionResult &R) {
+              return static_cast<double>(R.Stats.TracesConstructed);
+            });
+        Row.ColdDispatchRate = meanOver(Sessions, false, DispatchRate);
+        Row.ColdSeconds = meanOver(Sessions, false, Seconds);
+        Row.ColdSessions = Sessions.size();
+      }
+    }
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+void printTables(const std::vector<ScalingRow> &Scaling,
+                 const std::vector<WarmRow> &WarmCold) {
+  std::cout << "\nThroughput scaling (warm sessions, compress):\n";
+  TablePrinter T({"workers", "wall s", "req/s", "speedup"});
+  for (const ScalingRow &R : Scaling)
+    T.addRow({std::to_string(R.Workers), TablePrinter::fmt(R.WallSeconds, 3),
+              TablePrinter::fmt(R.RequestsPerSecond, 1),
+              TablePrinter::fmt(R.Speedup, 2) + "x"});
+  T.print(std::cout);
+  std::cout << "(hardware concurrency: " << std::thread::hardware_concurrency()
+            << ")\n";
+
+  std::cout << "\nWarm handoff vs cold start (per-session means, donor "
+               "excluded):\n";
+  TablePrinter U({"benchmark", "signals cold", "signals warm", "built cold",
+                  "seeded warm", "disp/1k cold", "disp/1k warm", "ms cold",
+                  "ms warm"});
+  for (const WarmRow &R : WarmCold)
+    U.addRow({R.Workload, TablePrinter::fmt(R.ColdSignals, 1),
+              TablePrinter::fmt(R.WarmSignals, 1),
+              TablePrinter::fmt(R.ColdConstructed, 1),
+              TablePrinter::fmt(R.WarmSeeded, 1),
+              TablePrinter::fmt(R.ColdDispatchRate, 2),
+              TablePrinter::fmt(R.WarmDispatchRate, 2),
+              TablePrinter::fmt(R.ColdSeconds * 1e3, 2),
+              TablePrinter::fmt(R.WarmSeconds * 1e3, 2)});
+  U.print(std::cout);
+}
+
+void writeJson(std::ostream &OS, const std::vector<ScalingRow> &Scaling,
+               const std::vector<WarmRow> &WarmCold) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.field("table", "throughput_scaling");
+  W.key("scaling").beginArray();
+  for (const ScalingRow &R : Scaling)
+    W.beginObject()
+        .fieldUInt("workers", R.Workers)
+        .fieldReal("wall_seconds", R.WallSeconds)
+        .fieldReal("requests_per_second", R.RequestsPerSecond)
+        .fieldReal("speedup", R.Speedup)
+        .endObject();
+  W.endArray();
+  W.key("warm_vs_cold").beginArray();
+  for (const WarmRow &R : WarmCold)
+    W.beginObject()
+        .field("workload", R.Workload)
+        .fieldReal("cold_signals", R.ColdSignals)
+        .fieldReal("warm_signals", R.WarmSignals)
+        .fieldReal("cold_traces_constructed", R.ColdConstructed)
+        .fieldReal("warm_traces_seeded", R.WarmSeeded)
+        .fieldReal("cold_dispatches_per_1k_blocks", R.ColdDispatchRate)
+        .fieldReal("warm_dispatches_per_1k_blocks", R.WarmDispatchRate)
+        .fieldReal("cold_seconds", R.ColdSeconds)
+        .fieldReal("warm_seconds", R.WarmSeconds)
+        .fieldUInt("warm_sessions", R.WarmSessions)
+        .fieldUInt("cold_sessions", R.ColdSessions)
+        .endObject();
+  W.endArray();
+  W.endObject();
+  OS << "\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  uint32_t Requests = 32;
+  uint32_t Scale = 0;
+  ArgParser P;
+  P.strOpt("json", &JsonPath)
+      .u32Opt("requests", &Requests)
+      .u32Opt("scale", &Scale);
+  if (!P.parse(Argc, Argv)) {
+    std::cerr << "usage: throughput_scaling [--json=FILE] [--requests=N] "
+                 "[--scale=N]\n";
+    return 2;
+  }
+
+  std::cerr << "throughput_scaling: service scaling + warm handoff\n";
+  std::vector<ScalingRow> Scaling = runScaling(Requests, Scale);
+  std::vector<WarmRow> WarmCold = runWarmVsCold(std::min(Requests, 8u), Scale);
+  printTables(Scaling, WarmCold);
+
+  if (!JsonPath.empty()) {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::cerr << "cannot open '" << JsonPath << "' for writing\n";
+      return 1;
+    }
+    writeJson(OS, Scaling, WarmCold);
+    std::cerr << "wrote " << JsonPath << "\n";
+  }
+  return 0;
+}

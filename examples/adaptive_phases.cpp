@@ -111,10 +111,7 @@ int main() {
             << "Decay lets the profiler follow each flip and rebuild the "
                "loop trace.\n\n";
 
-  VmConfig Config;
-  Config.CompletionThreshold = 0.97;
-  Config.StartStateDelay = 64;
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, VmOptions().completionThreshold(0.97).startStateDelay(64));
   VM.run();
 
   const VmStats &S = VM.stats();

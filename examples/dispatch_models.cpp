@@ -37,10 +37,7 @@ int main(int argc, char **argv) {
   BlockStepper Stepper(PM, M2);
   RunResult PerBlock = runBlocks(Stepper);
 
-  VmConfig Config;
-  Config.CompletionThreshold = 0.97;
-  Config.StartStateDelay = 64;
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, VmOptions().completionThreshold(0.97).startStateDelay(64));
   RunResult PerTrace = VM.run();
 
   std::cout << "workload: " << Name << " (" << PerInstr.Instructions

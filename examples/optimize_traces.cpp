@@ -56,8 +56,7 @@ int main(int argc, char **argv) {
   }
   Module M = W->Build(std::max(1u, W->DefaultScale / 10));
   PreparedModule PM(M);
-  VmConfig Config;
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, VmOptions());
   VM.run();
 
   // Pick the trace that completed most often.

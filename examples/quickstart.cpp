@@ -87,10 +87,7 @@ int main() {
 
   // -- 4. Run under the trace-dispatching VM: profiler + trace cache at
   //       the paper's recommended parameters (97% threshold, delay 64).
-  VmConfig Config;
-  Config.CompletionThreshold = 0.97;
-  Config.StartStateDelay = 64;
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, VmOptions().completionThreshold(0.97).startStateDelay(64));
   RunResult R = VM.run();
   std::cout << "\n== run ==\nprogram output:";
   for (int64_t V : VM.machine().output())

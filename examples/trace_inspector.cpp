@@ -28,18 +28,18 @@ int main(int argc, char **argv) {
   }
   uint32_t Scale = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2]))
                             : std::max(1u, W->DefaultScale / 10);
-  VmConfig Config;
-  Config.CompletionThreshold = argc > 3 ? std::atof(argv[3]) : 0.97;
-  Config.StartStateDelay =
-      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 64;
+  VmOptions Options;
+  Options.completionThreshold(argc > 3 ? std::atof(argv[3]) : 0.97)
+      .startStateDelay(argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4]))
+                                : 64);
 
   std::cout << "workload " << Name << " scale " << Scale << " threshold "
-            << Config.CompletionThreshold << " delay "
-            << Config.StartStateDelay << "\n\n";
+            << Options.completionThreshold() << " delay "
+            << Options.startStateDelay() << "\n\n";
 
   Module M = W->Build(Scale);
   PreparedModule PM(M);
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, Options);
   VM.run();
 
   // Hot nodes of the branch correlation graph (top of the profile).

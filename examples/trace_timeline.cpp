@@ -59,14 +59,14 @@ int main(int argc, char **argv) {
   uint32_t Scale = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2]))
                             : std::max(1u, W->DefaultScale / 10);
 
-  VmConfig Config;
-  Config.TelemetryEnabled = true;
+  VmOptions Options;
+  Options.telemetry(true);
   if (argc > 3)
-    Config.TelemetryCapacity = static_cast<uint32_t>(std::atoi(argv[3]));
+    Options.telemetryCapacity(static_cast<uint32_t>(std::atoi(argv[3])));
 
   Module M = W->Build(Scale);
   PreparedModule PM(M);
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, Options);
   VM.run();
 
   const EventRing &Ring = VM.events();

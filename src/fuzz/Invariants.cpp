@@ -105,7 +105,7 @@ std::vector<Violation> fuzz::checkTraceVm(const TraceVM &VM,
                                           RunStatus Status) {
   Auditor A;
   const VmStats &S = VM.stats();
-  const VmConfig &C = VM.config();
+  const VmOptions &C = VM.options();
   const TraceCache &Cache = VM.traceCache();
   const TraceConfig TC = C.traceConfig();
 
@@ -133,7 +133,7 @@ std::vector<Violation> fuzz::checkTraceVm(const TraceVM &VM,
   // Hook law: outside traces every dispatch is preceded by one hook, and
   // each early exit suppresses exactly one hook -- except a final early
   // exit at the very end of the run, whose suppression never happens.
-  if (C.ProfilingEnabled) {
+  if (C.profiling()) {
     uint64_t Floor = S.BlockDispatches + S.TracesCompleted;
     A.check(S.Hooks >= Floor && S.Hooks <= Floor + 1, "hook-law", "hooks ",
             S.Hooks, " outside [", Floor, ", ", Floor + 1, "]");
@@ -180,7 +180,7 @@ std::vector<Violation> fuzz::checkTraceVm(const TraceVM &VM,
 
   // Telemetry reconciliation and the retirement law both need the full
   // event stream; skip them when the ring is off or overflowed.
-  bool HaveEvents = TelemetryCompiledIn && C.TelemetryEnabled &&
+  bool HaveEvents = TelemetryCompiledIn && C.telemetry() &&
                     VM.events().dropped() == 0;
   if (HaveEvents) {
     uint64_t Counts[NumEventKinds] = {};
@@ -236,7 +236,7 @@ std::vector<Violation> fuzz::checkTraceVm(const TraceVM &VM,
     }
   }
 
-  if (C.ProfilingEnabled)
+  if (C.profiling())
     for (Violation &V : checkGraph(VM.graph()))
       A.Violations.push_back(std::move(V));
   return std::move(A.Violations);

@@ -26,23 +26,7 @@ std::vector<GridPoint> fuzz::defaultGrid() {
   };
 }
 
-uint64_t fuzz::heapDigest(const Heap &H) {
-  uint64_t D = 14695981039346656037ull;
-  auto Mix = [&D](uint64_t V) {
-    D = (D ^ V) * 1099511628211ull;
-  };
-  Mix(H.size());
-  // References are dense handles 1..size and cells are never freed, so
-  // this walks every cell in allocation order.
-  for (size_t Ref = 1; Ref <= H.size(); ++Ref) {
-    Mix(H.classOf(Ref));
-    size_t N = H.slotCount(Ref);
-    Mix(N);
-    for (size_t I = 0; I < N; ++I)
-      Mix(static_cast<uint64_t>(H.load(Ref, I)));
-  }
-  return D;
-}
+uint64_t fuzz::heapDigest(const Heap &H) { return jtc::heapDigest(H); }
 
 namespace {
 
@@ -140,7 +124,7 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
   Result.RefTrap = Ref.trap();
   Result.RefInstructions = RR.Instructions;
   Result.RefOutput = Ref.output();
-  uint64_t RefDigest = heapDigest(Ref.heap());
+  uint64_t RefDigest = fuzz::heapDigest(Ref.heap());
 
   // A budget cut lands mid-run at an engine-specific point; nothing
   // meaningful can be compared.
@@ -172,21 +156,19 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
          << " decay=" << G.Decay << "]";
     Comparer C(Result, Name.str());
 
-    VmConfig VC;
-    VC.CompletionThreshold = G.Threshold;
-    VC.StartStateDelay = G.Delay;
-    VC.DecayInterval = G.Decay;
-    VC.MaxInstructions = Config.MaxInstructions;
-    VC.TelemetryEnabled = Config.Telemetry;
-    VC.TelemetryCapacity = Config.TelemetryCapacity;
-    VC.Fault = Config.Fault;
-
-    TraceVM VM(PM, VC);
+    TraceVM VM(PM, VmOptions()
+                       .completionThreshold(G.Threshold)
+                       .startStateDelay(G.Delay)
+                       .decayInterval(G.Decay)
+                       .maxInstructions(Config.MaxInstructions)
+                       .telemetry(Config.Telemetry)
+                       .telemetryCapacity(Config.TelemetryCapacity)
+                       .cacheFault(Config.Fault));
     RunResult R = VM.run();
     C.outcome(R.Status, VM.machine().trap());
     C.instructions(R.Instructions);
     C.output(VM.machine().output());
-    C.heap(heapDigest(VM.machine().heap()), RefDigest);
+    C.heap(fuzz::heapDigest(VM.machine().heap()), RefDigest);
     if (Config.CheckInvariants)
       C.violations(checkTraceVm(VM, R.Status));
   }
@@ -200,7 +182,7 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
     C.outcome(R.Status, VM.machine().trap());
     C.instructions(R.Instructions);
     C.output(VM.machine().output());
-    C.heap(heapDigest(VM.machine().heap()), RefDigest);
+    C.heap(fuzz::heapDigest(VM.machine().heap()), RefDigest);
     if (Config.CheckInvariants)
       C.violations(checkNetVm(VM));
   }

@@ -97,6 +97,7 @@ struct OracleResult {
 /// Order-sensitive digest of a heap's final state (cell classes, sizes
 /// and slot contents). The allocation order of all engines sharing
 /// Machine semantics is identical, so equal digests mean equal heaps.
+/// Alias for jtc::heapDigest (runtime/Heap.h), kept for fuzz callers.
 uint64_t heapDigest(const Heap &H);
 
 /// Runs \p M through every configured engine and cross-checks. \p M must

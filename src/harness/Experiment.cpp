@@ -4,6 +4,7 @@
 
 #include "bytecode/Verifier.h"
 #include "interp/ThreadedInterpreter.h"
+#include "support/ArgParse.h"
 #include "support/Json.h"
 #include "support/Timer.h"
 
@@ -24,7 +25,7 @@ const std::vector<uint32_t> &jtc::standardDelays() {
   return Ds;
 }
 
-VmStats jtc::runWorkload(const WorkloadInfo &W, const VmConfig &Config,
+VmStats jtc::runWorkload(const WorkloadInfo &W, const VmOptions &Options,
                          uint32_t ScaleOverride) {
   uint32_t Scale = ScaleOverride ? ScaleOverride : W.DefaultScale;
   Module M = W.Build(Scale);
@@ -35,7 +36,7 @@ VmStats jtc::runWorkload(const WorkloadInfo &W, const VmConfig &Config,
     std::abort();
   }
   PreparedModule PM(M);
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, Options);
   RunResult R = VM.run();
   if (R.Status == RunStatus::Trapped) {
     std::fprintf(stderr, "workload '%s' trapped: %s\n", W.Name,
@@ -127,13 +128,10 @@ void jtc::writeBenchJson(std::ostream &OS, const std::string &Table,
 
 std::string jtc::parseBenchJsonArg(int Argc, char **Argv, const char *Tool) {
   std::string Path;
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strncmp(Argv[I], "--json=", 7) == 0 && Argv[I][7] != '\0') {
-      Path = Argv[I] + 7;
-      continue;
-    }
-    std::fprintf(stderr, "%s: unknown option '%s'\nusage: %s [--json=<file>]\n",
-                 Tool, Argv[I], Tool);
+  ArgParser P;
+  P.strOpt("json", &Path);
+  if (!P.parse(Argc, Argv)) {
+    std::fprintf(stderr, "usage: %s [--json=<file>]\n", Tool);
     std::exit(2);
   }
   return Path;

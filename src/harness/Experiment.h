@@ -29,9 +29,9 @@ const std::vector<uint32_t> &standardDelays();
 
 /// Builds \p W (verifying the module -- aborts on verifier errors, which
 /// would be a workload-generator bug), prepares it, runs it under
-/// \p Config, and returns the collected statistics. \p ScaleOverride of 0
-/// uses the workload's default scale.
-VmStats runWorkload(const WorkloadInfo &W, const VmConfig &Config,
+/// \p Options, and returns the collected statistics. \p ScaleOverride of
+/// 0 uses the workload's default scale.
+VmStats runWorkload(const WorkloadInfo &W, const VmOptions &Options,
                     uint32_t ScaleOverride = 0);
 
 /// One wall-clock overhead measurement (Table VI): the same block

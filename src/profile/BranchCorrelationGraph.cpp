@@ -183,9 +183,7 @@ void BranchCorrelationGraph::decay(NodeId Id) {
   evaluate(Id);
 }
 
-void BranchCorrelationGraph::evaluate(NodeId Id) {
-  BranchNode &N = Nodes[Id];
-
+void BranchCorrelationGraph::deriveState(BranchNode &N) const {
   // Re-derive the maximally correlated successor.
   uint32_t MaxIdx = BranchNode::InvalidIdx;
   uint32_t MaxCount = 0;
@@ -216,6 +214,11 @@ void BranchCorrelationGraph::evaluate(NodeId Id) {
     State = NodeState::WeaklyCorrelated;
   }
   N.State = State;
+}
+
+void BranchCorrelationGraph::evaluate(NodeId Id) {
+  BranchNode &N = Nodes[Id];
+  deriveState(N);
 
   if (!N.hot())
     return;
@@ -226,16 +229,79 @@ void BranchCorrelationGraph::evaluate(NodeId Id) {
   // signalling it would swamp the signal budget (uniform switches flap on
   // nearly every decay).
   BlockId MaxSucc = N.maxSucc();
-  if (State == N.AckState &&
-      (MaxSucc == N.AckMaxSucc || State == NodeState::WeaklyCorrelated))
+  if (N.State == N.AckState &&
+      (MaxSucc == N.AckMaxSucc || N.State == NodeState::WeaklyCorrelated))
     return;
-  N.AckState = State;
+  N.AckState = N.State;
   N.AckMaxSucc = MaxSucc;
   ++Stats.Signals;
   JTC_RECORD_EVENT(Telem, EventKind::ProfilerSignal, Id,
-                   static_cast<uint32_t>(State));
+                   static_cast<uint32_t>(N.State));
   if (Sink)
     Sink->onStateChange(Id);
+}
+
+std::vector<BcgNodeSnapshot> BranchCorrelationGraph::exportNodes() const {
+  std::vector<BcgNodeSnapshot> Out;
+  Out.reserve(Nodes.size());
+  for (const BranchNode &N : Nodes) {
+    BcgNodeSnapshot S;
+    S.From = N.From;
+    S.To = N.To;
+    S.StartDelayLeft = N.StartDelayLeft;
+    S.SinceDecay = N.SinceDecay;
+    S.Execs = N.Execs;
+    S.Corrs.reserve(N.Corrs.size());
+    for (const Correlation &C : N.Corrs)
+      S.Corrs.emplace_back(C.Succ, C.Count.value());
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+void BranchCorrelationGraph::importNodes(
+    const std::vector<BcgNodeSnapshot> &Snapshot) {
+  assert(Nodes.empty() && Ctx == InvalidNodeId &&
+         "importNodes requires a fresh graph");
+  Nodes.reserve(Snapshot.size());
+  for (const BcgNodeSnapshot &S : Snapshot) {
+    auto Id = static_cast<NodeId>(Nodes.size());
+    BranchNode N;
+    N.From = S.From;
+    N.To = S.To;
+    N.StartDelayLeft = S.StartDelayLeft;
+    N.SinceDecay = S.SinceDecay;
+    N.Execs = S.Execs;
+    uint32_t Total = 0;
+    N.Corrs.reserve(S.Corrs.size());
+    for (const auto &[Succ, Count] : S.Corrs) {
+      Correlation C;
+      C.Succ = Succ;
+      C.Count.reset(Count);
+      Total += Count;
+      N.Corrs.push_back(C);
+    }
+    N.Total = Total;
+    Nodes.push_back(std::move(N));
+    PairToNode.emplace(pairKey(S.From, S.To), Id);
+  }
+  // Resolve correlation targets and predecessor links (the snapshot's
+  // node set is closed under "has a correlation", but a target context
+  // the donor never entered may legitimately be absent -- it stays
+  // lazily resolvable, exactly as after a fresh edge creation). Then
+  // re-derive and acknowledge each node's state so seeding emits no
+  // signals.
+  for (NodeId Id = 0; Id < Nodes.size(); ++Id) {
+    BranchNode &N = Nodes[Id];
+    for (Correlation &C : N.Corrs) {
+      C.Target = findNode(N.To, C.Succ);
+      if (C.Target != InvalidNodeId)
+        Nodes[C.Target].Preds.push_back(Id);
+    }
+    deriveState(N);
+    N.AckState = N.State;
+    N.AckMaxSucc = N.maxSucc();
+  }
 }
 
 void BranchCorrelationGraph::acknowledge(NodeId Id) {

@@ -119,6 +119,22 @@ private:
   std::vector<NodeId> Preds;
 };
 
+/// Portable snapshot of one branch context, captured by
+/// BranchCorrelationGraph::exportNodes() and restored by importNodes().
+/// Carries exactly the state a warm-started session needs: the decayed
+/// correlation counters, the remaining start-state delay and the decay
+/// phase. Correlation targets and predecessor links are re-resolved on
+/// import; derived state (tag, max successor) is re-derived.
+struct BcgNodeSnapshot {
+  BlockId From = InvalidBlockId;
+  BlockId To = InvalidBlockId;
+  uint32_t StartDelayLeft = 0;
+  uint32_t SinceDecay = 0;
+  uint64_t Execs = 0;
+  /// (successor block, decayed 16-bit count), in correlation-list order.
+  std::vector<std::pair<BlockId, uint16_t>> Corrs;
+};
+
 /// Receives state-change signals (paper section 4.2); implemented by the
 /// trace cache.
 class SignalSink {
@@ -179,6 +195,20 @@ public:
   /// prevents signal cascades (paper section 4.2).
   void acknowledge(NodeId Id);
 
+  //===--- Warm handoff ----------------------------------------------===//
+
+  /// Captures every node's counters for seeding another graph over the
+  /// same block id space (server-layer profile snapshot).
+  std::vector<BcgNodeSnapshot> exportNodes() const;
+
+  /// Restores a node set captured by exportNodes() into this graph, which
+  /// must be fresh (no nodes, no recorded context). Each node's state and
+  /// max successor are re-derived from the imported counters and
+  /// acknowledged immediately, so importing emits no signals -- a seeded
+  /// session starts from the donor's steady state, not from a burst of
+  /// rebuild work.
+  void importNodes(const std::vector<BcgNodeSnapshot> &Snapshot);
+
   struct GraphStats {
     uint64_t Hooks = 0;           ///< onBlockDispatch calls.
     uint64_t InlineCacheHits = 0; ///< Predictions that matched.
@@ -198,8 +228,11 @@ public:
 private:
   NodeId getOrCreateNode(BlockId X, BlockId Y);
 
-  /// Re-derives (State, MaxIdx) from the counters; emits a signal if the
-  /// acknowledged (state, max successor) no longer matches.
+  /// Re-derives (State, MaxIdx) from \p N's counters, without signalling.
+  void deriveState(BranchNode &N) const;
+
+  /// deriveState, then emits a signal if the acknowledged (state, max
+  /// successor) no longer matches.
   void evaluate(NodeId Id);
 
   /// Shifts every correlation of \p Id right one bit and re-evaluates.

@@ -58,3 +58,19 @@ void Heap::store(int64_t Ref, size_t Idx, int64_t Value) {
   assert(Idx < C.Slots.size() && "slot index out of range");
   C.Slots[Idx] = Value;
 }
+
+uint64_t jtc::heapDigest(const Heap &H) {
+  uint64_t D = 14695981039346656037ull;
+  auto Mix = [&D](uint64_t V) { D = (D ^ V) * 1099511628211ull; };
+  Mix(H.size());
+  // References are dense handles 1..size and cells are never freed, so
+  // this walks every cell in allocation order.
+  for (size_t Ref = 1; Ref <= H.size(); ++Ref) {
+    Mix(H.classOf(Ref));
+    size_t N = H.slotCount(Ref);
+    Mix(N);
+    for (size_t I = 0; I < N; ++I)
+      Mix(static_cast<uint64_t>(H.load(Ref, I)));
+  }
+  return D;
+}

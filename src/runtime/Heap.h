@@ -69,6 +69,12 @@ private:
   size_t MaxCells;
 };
 
+/// Order-sensitive FNV-1a digest of the whole heap: cell count, then each
+/// cell's class id and slots in allocation order. Two digests are equal
+/// iff the heaps are observably identical, so engines and sessions can be
+/// compared without shipping heap contents around.
+uint64_t heapDigest(const Heap &H);
+
 } // namespace jtc
 
 #endif // JTC_RUNTIME_HEAP_H

@@ -24,6 +24,8 @@ const char *jtc::trapName(TrapKind Kind) {
     return "heap exhausted";
   case TrapKind::BadVirtualDispatch:
     return "no implementation for virtual slot";
+  case TrapKind::VmReuse:
+    return "single-shot vm reused";
   }
   return "unknown trap";
 }

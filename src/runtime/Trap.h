@@ -25,6 +25,7 @@ enum class TrapKind : uint8_t {
   StackOverflow,
   OutOfMemory,
   BadVirtualDispatch, ///< Receiver's class has no implementation for the slot.
+  VmReuse,            ///< TraceVM::run() called twice; sessions are single-shot.
 };
 
 /// Human-readable trap name for diagnostics.

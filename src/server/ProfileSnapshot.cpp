@@ -1,0 +1,51 @@
+//===- server/ProfileSnapshot.cpp -----------------------------------------===//
+
+#include "server/ProfileSnapshot.h"
+
+#include "support/Json.h"
+
+#include <cassert>
+
+using namespace jtc;
+
+uint64_t jtc::moduleFingerprint(const PreparedModule &PM) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis.
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(PM.module().EntryMethod);
+  Mix(PM.numBlocks());
+  for (BlockId B = 0; B < PM.numBlocks(); ++B) {
+    const BasicBlock &BB = PM.block(B);
+    Mix(BB.MethodId);
+    Mix(BB.StartPc);
+    Mix(BB.EndPc);
+  }
+  // 0 is the "no snapshot" sentinel; remap the (vanishingly unlikely)
+  // collision rather than special-casing it everywhere.
+  return H == 0 ? 1 : H;
+}
+
+ProfileSnapshot ProfileSnapshot::capture(const TraceVM &VM) {
+  ProfileSnapshot S;
+  S.Seed = VM.exportSeed();
+  S.Fingerprint = moduleFingerprint(VM.prepared());
+  S.DonorBlocks = VM.currentStats().BlocksExecuted;
+  return S;
+}
+
+void ProfileSnapshot::seed(TraceVM &VM) const {
+  assert(compatibleWith(VM.prepared()) &&
+         "seeding a session over a structurally different module");
+  VM.importSeed(Seed);
+}
+
+void ProfileSnapshot::writeJsonFields(JsonWriter &W) const {
+  W.fieldUInt("fingerprint", Fingerprint);
+  W.fieldUInt("nodes", numNodes());
+  W.fieldUInt("traces", numTraces());
+  W.fieldUInt("donor_blocks", DonorBlocks);
+}

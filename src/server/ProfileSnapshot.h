@@ -1,0 +1,81 @@
+//===- server/ProfileSnapshot.h - Warm-handoff profile capture --*- C++ -*-===//
+///
+/// \file
+/// The serialized form of a mature session's adaptive state: the branch
+/// correlation graph's decayed counters and the trace cache's live
+/// traces, tagged with a structural fingerprint of the module they were
+/// collected over. A snapshot captured from one TraceVM session seeds a
+/// fresh session over the same PreparedModule, so the new session starts
+/// with the donor's traces installed and its profiler already warmed --
+/// skipping the start-state delay and trace-construction warmup the paper
+/// measures (Tables IV-VI) for every session after the first.
+///
+/// Block ids are module-relative, so a snapshot is only meaningful for an
+/// identically prepared module; compatibleWith() enforces that with the
+/// fingerprint rather than trusting the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SERVER_PROFILESNAPSHOT_H
+#define JTC_SERVER_PROFILESNAPSHOT_H
+
+#include "vm/TraceVM.h"
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace jtc {
+
+class JsonWriter;
+
+/// Structural FNV-1a fingerprint of a prepared module: entry method, block
+/// count and every block's (method, pc-range) triple. Two prepared modules
+/// with equal fingerprints have identical block-id spaces, which is the
+/// property seeding relies on.
+uint64_t moduleFingerprint(const PreparedModule &PM);
+
+class ProfileSnapshot {
+public:
+  ProfileSnapshot() = default;
+
+  /// Captures \p VM's current profiler counters and live traces. Usable
+  /// after (or during) the donor's run; the donor is not modified.
+  static ProfileSnapshot capture(const TraceVM &VM);
+
+  /// True when \p PM 's block structure matches the donor module's, so
+  /// this snapshot may seed sessions over \p PM.
+  bool compatibleWith(const PreparedModule &PM) const {
+    return Fingerprint != 0 && Fingerprint == moduleFingerprint(PM);
+  }
+
+  /// Seeds \p VM (which must not have run yet) with the captured state.
+  /// Asserts compatibility in checked builds; callers gate on
+  /// compatibleWith() first.
+  void seed(TraceVM &VM) const;
+
+  bool empty() const { return Seed.empty(); }
+
+  /// Number of live traces the snapshot carries.
+  size_t numTraces() const { return Seed.Traces.size(); }
+
+  /// Number of profiled branch pairs the snapshot carries.
+  size_t numNodes() const { return Seed.Nodes.size(); }
+
+  uint64_t fingerprint() const { return Fingerprint; }
+
+  /// Donor maturity: blocks the donor had executed at capture time.
+  uint64_t donorBlocks() const { return DonorBlocks; }
+
+  /// Summary fields ("fingerprint", "nodes", "traces", "donor_blocks")
+  /// into an already-open JSON object.
+  void writeJsonFields(JsonWriter &W) const;
+
+private:
+  VmSeed Seed;
+  uint64_t Fingerprint = 0;
+  uint64_t DonorBlocks = 0;
+};
+
+} // namespace jtc
+
+#endif // JTC_SERVER_PROFILESNAPSHOT_H

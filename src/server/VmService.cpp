@@ -1,0 +1,219 @@
+//===- server/VmService.cpp -----------------------------------------------===//
+
+#include "server/VmService.h"
+
+#include "runtime/Heap.h"
+#include "support/Json.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace jtc;
+
+void ServiceStats::writeJsonFields(JsonWriter &W) const {
+  W.fieldUInt("submitted", Submitted)
+      .fieldUInt("completed", Completed)
+      .fieldUInt("rejected", Rejected)
+      .fieldUInt("warm_starts", WarmStarts)
+      .fieldUInt("cold_starts", ColdStarts)
+      .fieldUInt("snapshots_published", SnapshotsPublished)
+      .fieldReal("busy_seconds", BusySeconds);
+  W.key("events").beginObject();
+  for (unsigned K = 0; K < NumEventKinds; ++K)
+    W.fieldUInt(eventKindName(static_cast<EventKind>(K)), EventsByKind[K]);
+  W.endObject();
+  W.key("aggregate").beginObject();
+  Aggregate.writeJsonFields(W);
+  W.endObject();
+}
+
+VmService::VmService(ServiceOptions Opts) : Options(Opts) {
+  Workers.reserve(Options.workers());
+  for (unsigned I = 0; I < Options.workers(); ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+VmService::~VmService() { shutdown(); }
+
+void VmService::registerModule(const std::string &Name, Module M) {
+  auto Entry = std::make_unique<ModuleEntry>(std::move(M));
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  std::unique_ptr<ModuleEntry> &Slot = Modules[Name];
+  if (Slot) // Keep the replaced entry alive for sessions already using it.
+    Retired.push_back(std::move(Slot));
+  Slot = std::move(Entry);
+}
+
+void VmService::registerWorkload(const WorkloadInfo &W, uint32_t Scale) {
+  registerModule(W.Name, W.Build(Scale ? Scale : W.DefaultScale));
+}
+
+bool VmService::hasModule(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  return Modules.count(Name) != 0;
+}
+
+std::future<SessionResult> VmService::submit(RunRequest R) {
+  PendingRun P;
+  P.Request = std::move(R);
+  std::future<SessionResult> F = P.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping) {
+      // The pool is gone; resolve rather than leave the future hanging.
+      SessionResult Dead;
+      Dead.Module = P.Request.Module;
+      Dead.Rejected = true;
+      P.Promise.set_value(std::move(Dead));
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Stats.Submitted;
+      ++Stats.Rejected;
+      return F;
+    }
+    Queue.push_back(std::move(P));
+  }
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Stats.Submitted;
+  }
+  QueueCv.notify_one();
+  return F;
+}
+
+SessionResult VmService::run(RunRequest R) { return submit(std::move(R)).get(); }
+
+void VmService::drain() {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+void VmService::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+}
+
+void VmService::workerLoop(unsigned WorkerId) {
+  for (;;) {
+    PendingRun P;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping with a drained queue.
+      P = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+    }
+    SessionResult R = runOne(P.Request, WorkerId);
+    P.Promise.set_value(std::move(R));
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        IdleCv.notify_all();
+    }
+  }
+}
+
+SessionResult VmService::runOne(const RunRequest &R, unsigned WorkerId) {
+  SessionResult Out;
+  Out.Module = R.Module;
+  Out.Worker = WorkerId;
+
+  ModuleEntry *Entry = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    auto It = Modules.find(R.Module);
+    if (It != Modules.end())
+      Entry = It->second.get();
+  }
+  if (!Entry) {
+    Out.Rejected = true;
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Rejected;
+    return Out;
+  }
+
+  VmOptions VO = Options.vm();
+  if (R.MaxInstructions)
+    VO.maxInstructions(R.MaxInstructions);
+
+  // The session itself: thread-private VM over the shared immutable
+  // PreparedModule. No locks are held while it runs.
+  TraceVM VM(Entry->PM, VO);
+
+  if (Options.warmHandoff()) {
+    std::shared_ptr<const ProfileSnapshot> Snap;
+    {
+      std::lock_guard<std::mutex> Lock(SnapMutex);
+      Snap = Entry->Snap;
+    }
+    if (Snap && Snap->compatibleWith(Entry->PM)) {
+      Snap->seed(VM);
+      Out.WarmStart = true;
+    }
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  Out.Run = VM.run();
+  auto T1 = std::chrono::steady_clock::now();
+  Out.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Out.Stats = VM.stats();
+  Out.Output = VM.machine().output();
+  Out.HeapDigest = heapDigest(VM.machine().heap());
+
+  // First mature cold session over the module becomes the donor. The
+  // maturity bar keeps trivially short runs from publishing unrepresentative
+  // profiles.
+  bool Published = false;
+  if (Options.warmHandoff() && !Out.WarmStart && Out.Stats.LiveTraces > 0 &&
+      Out.Stats.BlocksExecuted >= Options.snapshotMinBlocks()) {
+    std::lock_guard<std::mutex> Lock(SnapMutex);
+    if (!Entry->Snap) {
+      Entry->Snap = std::make_shared<const ProfileSnapshot>(
+          ProfileSnapshot::capture(VM));
+      Published = true;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Completed;
+    if (Out.WarmStart)
+      ++Stats.WarmStarts;
+    else
+      ++Stats.ColdStarts;
+    if (Published)
+      ++Stats.SnapshotsPublished;
+    Stats.BusySeconds += Out.Seconds;
+    Stats.Aggregate.merge(Out.Stats);
+    VM.events().forEach([this](const Event &E) {
+      ++Stats.EventsByKind[static_cast<unsigned>(E.Kind)];
+    });
+  }
+  return Out;
+}
+
+ServiceStats VmService::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
+}
+
+ProfileSnapshot VmService::snapshotFor(const std::string &Name) const {
+  std::shared_ptr<const ProfileSnapshot> Snap;
+  {
+    std::lock_guard<std::mutex> RLock(RegistryMutex);
+    auto It = Modules.find(Name);
+    if (It != Modules.end()) {
+      std::lock_guard<std::mutex> SLock(SnapMutex);
+      Snap = It->second->Snap;
+    }
+  }
+  return Snap ? *Snap : ProfileSnapshot();
+}

@@ -1,0 +1,141 @@
+//===- support/ArgParse.cpp -----------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jtc;
+
+ArgParser &ArgParser::add(const char *Name, bool TakesValue,
+                          bool ValueRequired, Handler Fn) {
+  Options.push_back({Name, TakesValue, ValueRequired, std::move(Fn)});
+  return *this;
+}
+
+ArgParser &ArgParser::flag(const char *Name, bool *Out) {
+  return add(Name, /*TakesValue=*/false, /*ValueRequired=*/false,
+             [Out](const std::string &) {
+               *Out = true;
+               return true;
+             });
+}
+
+namespace {
+
+/// Parses the full string as an unsigned integer; false on trailing
+/// garbage, a sign, or overflow.
+bool parseUInt(const char *Name, const std::string &V, uint64_t &Out) {
+  if (V.empty() || V[0] == '-' || V[0] == '+') {
+    std::fprintf(stderr, "invalid value '%s' for --%s\n", V.c_str(), Name);
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(V.c_str(), &End, 10);
+  if (errno != 0 || End != V.c_str() + V.size()) {
+    std::fprintf(stderr, "invalid value '%s' for --%s\n", V.c_str(), Name);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ArgParser &ArgParser::u32Opt(const char *Name, uint32_t *Out) {
+  return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
+             [Name, Out](const std::string &V) {
+               uint64_t N = 0;
+               if (!parseUInt(Name, V, N))
+                 return false;
+               if (N > 0xffffffffull) {
+                 std::fprintf(stderr, "value '%s' for --%s out of range\n",
+                              V.c_str(), Name);
+                 return false;
+               }
+               *Out = static_cast<uint32_t>(N);
+               return true;
+             });
+}
+
+ArgParser &ArgParser::uintOpt(const char *Name, uint64_t *Out) {
+  return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
+             [Name, Out](const std::string &V) {
+               return parseUInt(Name, V, *Out);
+             });
+}
+
+ArgParser &ArgParser::realOpt(const char *Name, double *Out) {
+  return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
+             [Name, Out](const std::string &V) {
+               errno = 0;
+               char *End = nullptr;
+               double X = std::strtod(V.c_str(), &End);
+               if (V.empty() || errno != 0 || End != V.c_str() + V.size()) {
+                 std::fprintf(stderr, "invalid value '%s' for --%s\n",
+                              V.c_str(), Name);
+                 return false;
+               }
+               *Out = X;
+               return true;
+             });
+}
+
+ArgParser &ArgParser::strOpt(const char *Name, std::string *Out) {
+  return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
+             [Out](const std::string &V) {
+               *Out = V;
+               return true;
+             });
+}
+
+ArgParser &ArgParser::custom(const char *Name, Handler Fn,
+                             bool ValueRequired) {
+  return add(Name, /*TakesValue=*/true, ValueRequired, std::move(Fn));
+}
+
+ArgParser &ArgParser::positionals(std::vector<std::string> *Out) {
+  Positionals = Out;
+  return *this;
+}
+
+bool ArgParser::parse(int Argc, char **Argv, int Start) {
+  for (int I = Start; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--", 0) != 0) {
+      if (!Positionals) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", A.c_str());
+        return false;
+      }
+      Positionals->push_back(std::move(A));
+      continue;
+    }
+    size_t Eq = A.find('=');
+    bool HasValue = Eq != std::string::npos;
+    std::string Name = A.substr(2, HasValue ? Eq - 2 : std::string::npos);
+    std::string Value = HasValue ? A.substr(Eq + 1) : std::string();
+
+    const Option *Found = nullptr;
+    for (const Option &O : Options)
+      if (O.Name == Name) {
+        Found = &O;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return false;
+    }
+    if (HasValue && !Found->TakesValue) {
+      std::fprintf(stderr, "option --%s takes no value\n", Name.c_str());
+      return false;
+    }
+    if (!HasValue && Found->ValueRequired) {
+      std::fprintf(stderr, "option --%s requires =<value>\n", Name.c_str());
+      return false;
+    }
+    if (!Found->Fn(Value))
+      return false;
+  }
+  return true;
+}

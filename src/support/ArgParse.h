@@ -1,0 +1,75 @@
+//===- support/ArgParse.h - Declarative CLI flag parsing --------*- C++ -*-===//
+///
+/// \file
+/// The --flag / --name=value parser shared by the command-line tools
+/// (jtcvm, jtc-fuzz, jtc-serve) and the bench binaries. Each tool
+/// declares its options once against an ArgParser; parsing, value
+/// conversion, "unknown option" diagnostics and the usage exit path are
+/// identical everywhere, so flag spellings cannot drift between tools.
+///
+/// Conventions: every option is spelled --kebab-case; value options take
+/// --name=value (never a separate argv slot); bare arguments are
+/// positionals (rejected unless the tool asks for them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_ARGPARSE_H
+#define JTC_SUPPORT_ARGPARSE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jtc {
+
+class ArgParser {
+public:
+  /// Handler for custom(): receives the value ("" for a bare --name) and
+  /// returns false to reject it (the handler prints its own diagnostic).
+  using Handler = std::function<bool(const std::string &Value)>;
+
+  /// Boolean switch: --name sets *Out to true. Rejects --name=value.
+  ArgParser &flag(const char *Name, bool *Out);
+
+  /// --name=<n>, a 32-bit unsigned integer.
+  ArgParser &u32Opt(const char *Name, uint32_t *Out);
+
+  /// --name=<n>, a 64-bit unsigned integer.
+  ArgParser &uintOpt(const char *Name, uint64_t *Out);
+
+  /// --name=<x>, a real number.
+  ArgParser &realOpt(const char *Name, double *Out);
+
+  /// --name=<text>; the value may be empty only via --name= explicitly.
+  ArgParser &strOpt(const char *Name, std::string *Out);
+
+  /// --name or --name=value, interpreted by \p Fn. With \p ValueRequired
+  /// a bare --name is rejected before \p Fn runs.
+  ArgParser &custom(const char *Name, Handler Fn, bool ValueRequired = false);
+
+  /// Collect non-option arguments into \p Out instead of rejecting them.
+  ArgParser &positionals(std::vector<std::string> *Out);
+
+  /// Parses Argv[Start..Argc). On any error a one-line diagnostic goes to
+  /// stderr and false is returned (callers print usage and exit 2).
+  bool parse(int Argc, char **Argv, int Start = 1);
+
+private:
+  struct Option {
+    std::string Name;    ///< Without the leading "--".
+    bool TakesValue;     ///< Accepts --name=value.
+    bool ValueRequired;  ///< Rejects a bare --name.
+    Handler Fn;
+  };
+
+  ArgParser &add(const char *Name, bool TakesValue, bool ValueRequired,
+                 Handler Fn);
+
+  std::vector<Option> Options;
+  std::vector<std::string> *Positionals = nullptr;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_ARGPARSE_H

@@ -167,6 +167,45 @@ void TraceCache::recordExecution(TraceId Id, bool CompletedRun) {
     onStateChange(Entry);
 }
 
+std::vector<TraceCache::TraceSeed> TraceCache::exportLiveTraces() const {
+  std::vector<TraceSeed> Out;
+  for (const Trace &T : Traces) {
+    if (!T.Alive)
+      continue;
+    TraceSeed S;
+    S.EntryFrom = T.EntryFrom;
+    S.Blocks = T.Blocks;
+    S.ExpectedCompletion = T.ExpectedCompletion;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+void TraceCache::seedTraces(const std::vector<TraceSeed> &Seeds) {
+  assert(Traces.empty() && "seedTraces requires a fresh cache");
+  for (const TraceSeed &S : Seeds) {
+    assert(S.Blocks.size() >= 2 && "degenerate seeded trace");
+    uint64_t EntryKey = pairKey(S.EntryFrom, S.Blocks[0]);
+    Trace T;
+    T.Id = static_cast<TraceId>(Traces.size());
+    T.EntryFrom = S.EntryFrom;
+    T.Blocks = S.Blocks;
+    T.ExpectedCompletion = S.ExpectedCompletion;
+    if (BlockSize)
+      for (BlockId B : T.Blocks)
+        T.InstrCount += BlockSize(B);
+    // Live traces have unique entry pairs, so a colliding seed means the
+    // donor list itself is malformed; keep the first and drop the rest.
+    auto [It, Inserted] = EntryMap.try_emplace(EntryKey, T.Id);
+    (void)It;
+    if (!Inserted)
+      continue;
+    ByContent[contentHash(T.EntryFrom, T.Blocks)].push_back(T.Id);
+    Traces.push_back(std::move(T));
+    ++Stats.TracesSeeded;
+  }
+}
+
 size_t TraceCache::numLiveTraces() const {
   size_t N = 0;
   for (const Trace &T : Traces)

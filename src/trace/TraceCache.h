@@ -64,8 +64,29 @@ public:
     uint64_t TracesReplaced = 0;    ///< Old traces killed by installs.
     uint64_t TracesInvalidated = 0; ///< Stale fragments retired by rebuilds.
     uint64_t TracesRetired = 0;     ///< Killed for poor observed completion.
+    uint64_t TracesSeeded = 0;      ///< Installed from a donor snapshot.
     uint64_t CandidatesSeen = 0;
   };
+
+  /// One live trace in portable form, captured by exportLiveTraces() and
+  /// installed into a fresh cache by seedTraces() (the server layer's
+  /// warm handoff).
+  struct TraceSeed {
+    BlockId EntryFrom = InvalidBlockId;
+    std::vector<BlockId> Blocks;
+    double ExpectedCompletion = 1.0;
+  };
+
+  /// Captures every live (dispatchable) trace.
+  std::vector<TraceSeed> exportLiveTraces() const;
+
+  /// Installs donor traces into this cache, which must be fresh (no
+  /// traces). Seeded traces are dispatchable immediately -- no profiler
+  /// signal is consumed or emitted -- and are counted under
+  /// CacheStats::TracesSeeded, not TracesConstructed. Their execution
+  /// history starts at zero, so observed-completion retirement judges
+  /// them against this session's behaviour alone.
+  void seedTraces(const std::vector<TraceSeed> &Seeds);
 
   const CacheStats &stats() const { return Stats; }
 

@@ -4,24 +4,40 @@
 
 using namespace jtc;
 
-TraceVM::TraceVM(const PreparedModule &PM, VmConfig Config)
-    : PM(&PM), Config(Config), Mach(PM.module()), Stepper(PM, Mach),
-      Graph(Config.profilerConfig()),
-      Cache(Graph, Config.traceConfig(),
+TraceVM::TraceVM(const PreparedModule &PM, VmOptions Options)
+    : PM(&PM), Options(Options), Mach(PM.module()), Stepper(PM, Mach),
+      Graph(Options.profilerConfig()),
+      Cache(Graph, Options.traceConfig(),
             [P = &PM](BlockId B) { return P->blockSize(B); }) {
   // Trace construction is driven by profiler signals, so trace dispatch
   // requires profiling.
-  if (Config.ProfilingEnabled && Config.TracesEnabled)
+  if (Options.profiling() && Options.traces())
     Graph.setSink(&Cache);
 #ifdef JTC_TELEMETRY
-  if (Config.TelemetryEnabled) {
-    Ring = EventRing(Config.TelemetryCapacity, &Stats.BlocksExecuted);
+  if (Options.telemetry()) {
+    Ring = EventRing(Options.telemetryCapacity(), &Stats.BlocksExecuted);
     Telem = &Ring;
     Graph.setTelemetry(&Ring);
     Cache.setTelemetry(&Ring);
-    Sampler = PhaseSampler<VmStats>(Config.SampleInterval);
+    Sampler = PhaseSampler<VmStats>(Options.sampleInterval());
   }
 #endif
+}
+
+VmSeed TraceVM::exportSeed() const {
+  VmSeed S;
+  S.Nodes = Graph.exportNodes();
+  S.Traces = Cache.exportLiveTraces();
+  return S;
+}
+
+void TraceVM::importSeed(const VmSeed &Seed) {
+  assert(!Ran && "importSeed must precede run()");
+  if (!Options.profiling())
+    return;
+  Graph.importNodes(Seed.Nodes);
+  if (Options.traces())
+    Cache.seedTraces(Seed.Traces);
 }
 
 void TraceVM::onNonTraceTransition(BlockId Cur, BlockId Next) {
@@ -36,11 +52,11 @@ void TraceVM::onNonTraceTransition(BlockId Cur, BlockId Next) {
   // Counting those samples would systematically skew interior branch
   // correlations toward their rare outcomes and make later rebuilds
   // fragment perfectly good traces.
-  if (Config.ProfilingEnabled && !SkipHookOnce)
+  if (Options.profiling() && !SkipHookOnce)
     Graph.onBlockDispatch(Next);
   SkipHookOnce = false;
 
-  if (Config.ProfilingEnabled && Config.TracesEnabled) {
+  if (Options.profiling() && Options.traces()) {
     if (const Trace *T = Cache.findTrace(Cur, Next)) {
       Active = T;
       TracePos = 0;
@@ -60,7 +76,7 @@ void TraceVM::completeActiveTrace() {
                    static_cast<uint32_t>(Active->Blocks.size()));
   // The inlined blocks carried no profiling hooks; resynchronize the
   // context from the trace's final block pair.
-  if (Config.ProfilingEnabled) {
+  if (Options.profiling()) {
     size_t N = Active->Blocks.size();
     Graph.forceContext(Active->Blocks[N - 2], Active->Blocks[N - 1]);
   }
@@ -75,7 +91,7 @@ void TraceVM::completeActiveTrace() {
 void TraceVM::exitActiveTraceEarly(uint32_t BlocksRun) {
   assert(BlocksRun >= 1 && "a dispatched trace executes at least one block");
   JTC_RECORD_EVENT(Telem, EventKind::TraceEarlyExit, Active->Id, BlocksRun);
-  if (Config.ProfilingEnabled) {
+  if (Options.profiling()) {
     if (BlocksRun >= 2)
       Graph.forceContext(Active->Blocks[BlocksRun - 2],
                          Active->Blocks[BlocksRun - 1]);
@@ -90,7 +106,16 @@ void TraceVM::exitActiveTraceEarly(uint32_t BlocksRun) {
 }
 
 RunResult TraceVM::run() {
-  assert(!Ran && "TraceVM::run is single-shot; construct a fresh VM");
+  // Single-shot contract: executing again over the dirty machine, graph
+  // and cache state would silently produce garbage, so a reuse surfaces
+  // as a distinct trap (and an assertion failure in checked builds).
+  if (Ran) {
+    assert(!Ran && "TraceVM::run is single-shot; construct a fresh VM");
+    RunResult R;
+    R.Status = RunStatus::Trapped;
+    R.Trap = TrapKind::VmReuse;
+    return R;
+  }
   Ran = true;
 
   RunResult R;
@@ -99,7 +124,7 @@ RunResult TraceVM::run() {
 
   // The entry block is an ordinary block dispatch.
   ++Stats.BlockDispatches;
-  if (Config.ProfilingEnabled)
+  if (Options.profiling())
     Graph.onBlockDispatch(Cur);
 
   while (true) {
@@ -124,7 +149,7 @@ RunResult TraceVM::run() {
       R.Trap = Mach.trap();
       break;
     }
-    if (Stepper.instructions() >= Config.MaxInstructions) {
+    if (Stepper.instructions() >= Options.maxInstructions()) {
       if (Active)
         exitActiveTraceEarly(TracePos + 1);
       R.Status = RunStatus::BudgetExhausted;
@@ -164,6 +189,7 @@ VmStats TraceVM::currentStats() const {
   S.TracesReused = CS.TracesReused;
   S.TracesReplaced = CS.TracesReplaced;
   S.TracesRetired = CS.TracesRetired;
+  S.TracesSeeded = CS.TracesSeeded;
   S.LiveTraces = Cache.numLiveTraces();
   S.GraphNodes = Graph.numNodes();
   return S;

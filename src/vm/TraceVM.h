@@ -14,6 +14,11 @@
 /// the last block completes it. On any exit the profiler context is
 /// resynchronized from the last executed block pair.
 ///
+/// A TraceVM is one *session*: it is configured once through VmOptions,
+/// runs once, and is then discarded. Profile state can be carried between
+/// sessions over the same PreparedModule with exportSeed()/importSeed()
+/// (the server layer's warm handoff).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JTC_VM_TRACEVM_H
@@ -24,76 +29,53 @@
 #include "telemetry/EventRing.h"
 #include "telemetry/PhaseSampler.h"
 #include "trace/TraceCache.h"
+#include "vm/VmOptions.h"
 #include "vm/VmStats.h"
 
 #include <memory>
 
 namespace jtc {
 
-/// Configuration for one TraceVM run.
-struct VmConfig {
-  /// Start-state delay in branch executions (paper sweeps 1/64/4096).
-  uint32_t StartStateDelay = 64;
-  /// Trace completion threshold; also the strong-correlation threshold.
-  double CompletionThreshold = 0.97;
-  /// Branch executions between decay passes.
-  uint32_t DecayInterval = 256;
-  /// Trace construction caps.
-  uint32_t MaxTraceBlocks = 64;
+/// Portable profiler + trace-cache state captured from a mature session
+/// (the donor) and imported into a fresh session over the same
+/// PreparedModule, so the new session skips the start-state delay and the
+/// trace-construction warmup the paper measures. Block ids are module-
+/// relative, so a seed is only meaningful for an identically prepared
+/// module.
+struct VmSeed {
+  std::vector<BcgNodeSnapshot> Nodes;
+  std::vector<TraceCache::TraceSeed> Traces;
 
-  /// Master switches, used by the overhead experiments: profiling off
-  /// yields the plain block interpreter; traces off yields the profiled
-  /// interpreter without trace dispatch.
-  bool ProfilingEnabled = true;
-  bool TracesEnabled = true;
-
-  /// Stop after this many executed instructions (safety and workload
-  /// scaling).
-  uint64_t MaxInstructions = ~0ull;
-
-  /// Telemetry (no effect when compiled out with -DJTC_TELEMETRY=OFF).
-  /// When enabled, trace lifecycle events, profiler signals and decay
-  /// passes are recorded into a fixed-capacity ring, stamped with
-  /// BlocksExecuted as a logical clock. When disabled (the default) the
-  /// hot dispatch path pays one predictable null-pointer branch per
-  /// instrumentation site.
-  bool TelemetryEnabled = false;
-  uint32_t TelemetryCapacity = 1u << 16;
-  /// Phase sampling: snapshot VmStats deltas every this many executed
-  /// blocks (0 = off). Requires TelemetryEnabled.
-  uint64_t SampleInterval = 0;
-
-  /// Deliberate trace-cache bug injection (fuzzer self-tests only; see
-  /// trace/TraceConfig.h). Always None in real configurations.
-  CacheFault Fault = CacheFault::None;
-
-  ProfilerConfig profilerConfig() const {
-    ProfilerConfig P;
-    P.StartStateDelay = StartStateDelay;
-    P.DecayInterval = DecayInterval;
-    P.CompletionThreshold = CompletionThreshold;
-    return P;
-  }
-
-  TraceConfig traceConfig() const {
-    TraceConfig T;
-    T.CompletionThreshold = CompletionThreshold;
-    T.MaxTraceBlocks = MaxTraceBlocks;
-    T.Fault = Fault;
-    return T;
-  }
+  bool empty() const { return Nodes.empty() && Traces.empty(); }
 };
 
 /// One virtual machine instance over a prepared module.
+///
+/// Single-shot: run() may be called exactly once per instance. A second
+/// call executes nothing -- it asserts in checked builds and returns a
+/// TrapKind::VmReuse trap in release builds. Construct a fresh TraceVM
+/// (optionally seeded from the old one) for another run.
 class TraceVM {
 public:
   /// \p PM must outlive the VM.
-  TraceVM(const PreparedModule &PM, VmConfig Config);
+  explicit TraceVM(const PreparedModule &PM, VmOptions Options = VmOptions());
 
   /// Runs the module's entry method to completion (or trap / instruction
-  /// budget) and returns the outcome. Single-shot: construct a fresh VM
-  /// for another run.
+  /// budget) and returns the outcome. See the class comment for the
+  /// single-shot contract.
   RunResult run();
+
+  /// Captures the session's profiler counters and live traces for warm
+  /// handoff into a fresh session over the same PreparedModule.
+  VmSeed exportSeed() const;
+
+  /// Adopts a donor session's profile: the branch correlation graph is
+  /// restored with its decayed counters and the donor's live traces are
+  /// installed, dispatchable immediately and without consuming profiler
+  /// signals. Must be called before run() on an unseeded session.
+  /// Components disabled by the options (profiling / traces) are left
+  /// empty.
+  void importSeed(const VmSeed &Seed);
 
   const VmStats &stats() const { return Stats; }
 
@@ -102,14 +84,14 @@ public:
   /// only complete after run() returns).
   VmStats currentStats() const;
 
-  /// The telemetry event ring (empty unless Config.TelemetryEnabled and
+  /// The telemetry event ring (empty unless Options.telemetry() and
   /// compiled in).
   const EventRing &events() const { return Ring; }
 
-  /// The phase-sample time series (empty unless Config.SampleInterval).
+  /// The phase-sample time series (empty unless Options.sampleInterval()).
   const PhaseSampler<VmStats> &sampler() const { return Sampler; }
 
-  const VmConfig &config() const { return Config; }
+  const VmOptions &options() const { return Options; }
   const PreparedModule &prepared() const { return *PM; }
   const BranchCorrelationGraph &graph() const { return Graph; }
   const TraceCache &traceCache() const { return Cache; }
@@ -129,7 +111,7 @@ private:
   void exitActiveTraceEarly(uint32_t BlocksRun);
 
   const PreparedModule *PM;
-  VmConfig Config;
+  VmOptions Options;
   Machine Mach;
   BlockStepper Stepper;
   BranchCorrelationGraph Graph;

@@ -1,0 +1,161 @@
+//===- vm/VmOptions.h - VM configuration builder ----------------*- C++ -*-===//
+///
+/// \file
+/// The single source of truth for configuring a TraceVM. Parameters that
+/// several subsystems consume -- most importantly the completion
+/// threshold, which the profiler uses as its strong-correlation bound and
+/// the trace cache as its construction / retirement bound -- are stored
+/// exactly once here, and the ProfilerConfig / TraceConfig
+/// sub-configurations are derived in one place (profilerConfig() /
+/// traceConfig()), so they can never silently diverge.
+///
+/// Setters return *this, so embedders configure fluently:
+///
+///   TraceVM VM(PM, VmOptions().completionThreshold(0.95).startStateDelay(1));
+///
+/// A default-constructed VmOptions reproduces the paper's recommended
+/// operating point (threshold 0.97, delay 64, decay 256).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_VM_VMOPTIONS_H
+#define JTC_VM_VMOPTIONS_H
+
+#include "profile/ProfilerConfig.h"
+#include "trace/TraceConfig.h"
+
+#include <cstdint>
+
+namespace jtc {
+
+class VmOptions {
+public:
+  VmOptions() = default;
+
+  //===--- Fluent setters ----------------------------------------------===//
+
+  /// Trace completion threshold; also the strong-correlation threshold.
+  /// The paper sweeps {1.00, 0.99, 0.98, 0.97, 0.95} and recommends 0.97.
+  VmOptions &completionThreshold(double V) {
+    Threshold = V;
+    return *this;
+  }
+
+  /// Start-state delay in branch executions (paper sweeps 1/64/4096).
+  VmOptions &startStateDelay(uint32_t V) {
+    Delay = V;
+    return *this;
+  }
+
+  /// Branch executions between decay passes.
+  VmOptions &decayInterval(uint32_t V) {
+    Decay = V;
+    return *this;
+  }
+
+  /// Trace construction cap: maximum blocks per trace.
+  VmOptions &maxTraceBlocks(uint32_t V) {
+    TraceBlocks = V;
+    return *this;
+  }
+
+  /// Master switches, used by the overhead experiments: profiling off
+  /// yields the plain block interpreter; traces off yields the profiled
+  /// interpreter without trace dispatch.
+  VmOptions &profiling(bool On) {
+    Profiling = On;
+    return *this;
+  }
+  VmOptions &traces(bool On) {
+    Traces = On;
+    return *this;
+  }
+
+  /// Stop after this many executed instructions (safety and workload
+  /// scaling).
+  VmOptions &maxInstructions(uint64_t N) {
+    Budget = N;
+    return *this;
+  }
+
+  /// Telemetry (no effect when compiled out with -DJTC_TELEMETRY=OFF).
+  /// When enabled, trace lifecycle events, profiler signals and decay
+  /// passes are recorded into a fixed-capacity ring, stamped with
+  /// BlocksExecuted as a logical clock. When disabled (the default) the
+  /// hot dispatch path pays one predictable null-pointer branch per
+  /// instrumentation site.
+  VmOptions &telemetry(bool On) {
+    Telemetry = On;
+    return *this;
+  }
+  VmOptions &telemetryCapacity(uint32_t N) {
+    TelemetryCap = N;
+    return *this;
+  }
+
+  /// Phase sampling: snapshot VmStats deltas every this many executed
+  /// blocks (0 = off). Requires telemetry(true).
+  VmOptions &sampleInterval(uint64_t N) {
+    Sampling = N;
+    return *this;
+  }
+
+  /// Deliberate trace-cache bug injection (fuzzer self-tests only; see
+  /// trace/TraceConfig.h). Always None in real configurations.
+  VmOptions &cacheFault(CacheFault F) {
+    Fault = F;
+    return *this;
+  }
+
+  //===--- Getters -----------------------------------------------------===//
+
+  double completionThreshold() const { return Threshold; }
+  uint32_t startStateDelay() const { return Delay; }
+  uint32_t decayInterval() const { return Decay; }
+  uint32_t maxTraceBlocks() const { return TraceBlocks; }
+  bool profiling() const { return Profiling; }
+  bool traces() const { return Traces; }
+  uint64_t maxInstructions() const { return Budget; }
+  bool telemetry() const { return Telemetry; }
+  uint32_t telemetryCapacity() const { return TelemetryCap; }
+  uint64_t sampleInterval() const { return Sampling; }
+  CacheFault cacheFault() const { return Fault; }
+
+  //===--- Derived sub-configurations ----------------------------------===//
+  //
+  // The only place the profiler and trace-cache views of the shared
+  // parameters are produced.
+
+  ProfilerConfig profilerConfig() const {
+    ProfilerConfig P;
+    P.StartStateDelay = Delay;
+    P.DecayInterval = Decay;
+    P.CompletionThreshold = Threshold;
+    return P;
+  }
+
+  TraceConfig traceConfig() const {
+    TraceConfig T;
+    T.CompletionThreshold = Threshold;
+    T.MaxTraceBlocks = TraceBlocks;
+    T.Fault = Fault;
+    return T;
+  }
+
+private:
+  double Threshold = 0.97;
+  uint32_t Delay = 64;
+  uint32_t Decay = 256;
+  uint32_t TraceBlocks = 64;
+  bool Profiling = true;
+  bool Traces = true;
+  uint64_t Budget = ~0ull;
+  bool Telemetry = false;
+  uint32_t TelemetryCap = 1u << 16;
+  uint64_t Sampling = 0;
+  CacheFault Fault = CacheFault::None;
+};
+
+} // namespace jtc
+
+#endif // JTC_VM_VMOPTIONS_H

@@ -58,6 +58,8 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
       Counter("traces replaced", "traces_replaced", &VmStats::TracesReplaced),
       Counter("traces retired (completion)", "traces_retired",
               &VmStats::TracesRetired),
+      Counter("traces seeded", "traces_seeded", &VmStats::TracesSeeded,
+              /*InPrint=*/false),
       Counter("live traces", "live_traces", &VmStats::LiveTraces),
       Counter("branch graph nodes", "graph_nodes", &VmStats::GraphNodes),
       Derived("dispatches per signal", "dispatches_per_signal",
@@ -69,6 +71,14 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
                 /*InPrint=*/false},
   };
   return Fields;
+}
+
+void VmStats::merge(const VmStats &Other) {
+  // Every raw counter is in the field table; derived metrics recompute
+  // from the summed counters, so the table drives merging too.
+  for (const FieldInfo &F : fields())
+    if (F.Counter)
+      this->*F.Counter += Other.*F.Counter;
 }
 
 void VmStats::print(std::ostream &OS) const {

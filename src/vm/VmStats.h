@@ -42,6 +42,7 @@ struct VmStats {
   uint64_t TracesReused = 0;
   uint64_t TracesReplaced = 0;
   uint64_t TracesRetired = 0;
+  uint64_t TracesSeeded = 0; ///< Installed from a donor snapshot (warm start).
   uint64_t LiveTraces = 0;
   uint64_t GraphNodes = 0;
 
@@ -141,6 +142,11 @@ struct VmStats {
       return (this->*F.Derived)();
     return static_cast<double>((this->*F.DerivedCount)());
   }
+
+  /// Accumulates \p Other's raw counters into this object (derived
+  /// metrics are recomputed from the sums). Used by the service layer to
+  /// fold per-session stats into fleet-wide aggregates.
+  void merge(const VmStats &Other);
 
   /// One-per-line human-readable dump.
   void print(std::ostream &OS) const;

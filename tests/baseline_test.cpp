@@ -142,10 +142,7 @@ TEST(NetBaselineTest, BcgCompletesMoreOftenOnIrregularCode) {
   NetTraceVm Net(PM, NetConfig());
   Net.run();
 
-  VmConfig C;
-  C.CompletionThreshold = 0.97;
-  C.StartStateDelay = 64;
-  TraceVM Bcg(PM, C);
+  TraceVM Bcg(PM, VmOptions().completionThreshold(0.97).startStateDelay(64));
   Bcg.run();
 
   ASSERT_GT(Net.stats().TraceDispatches, 1000u);

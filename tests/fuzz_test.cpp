@@ -107,8 +107,8 @@ TEST(HeapDigestTest, EqualRunsProduceEqualDigests) {
   Machine A(M), B(M);
   runInstructions(A);
   runInstructions(B);
-  EXPECT_EQ(heapDigest(A.heap()), heapDigest(B.heap()));
-  EXPECT_NE(heapDigest(A.heap()), heapDigest(Machine(M).heap()));
+  EXPECT_EQ(fuzz::heapDigest(A.heap()), fuzz::heapDigest(B.heap()));
+  EXPECT_NE(fuzz::heapDigest(A.heap()), fuzz::heapDigest(Machine(M).heap()));
 }
 
 TEST(HeapDigestTest, DistinguishesDifferentFinalHeaps) {
@@ -116,7 +116,7 @@ TEST(HeapDigestTest, DistinguishesDifferentFinalHeaps) {
   Machine A(M4), B(M5);
   runInstructions(A);
   runInstructions(B);
-  EXPECT_NE(heapDigest(A.heap()), heapDigest(B.heap()));
+  EXPECT_NE(fuzz::heapDigest(A.heap()), fuzz::heapDigest(B.heap()));
 }
 
 //===----------------------------------------------------------------------===//
@@ -262,14 +262,13 @@ Module retirementProbe(int32_t Calls, int32_t Trip) {
 
 /// Runs \p M under an aggressive trace config with \p Fault injected.
 TraceVM runProbe(const PreparedModule &PM, CacheFault Fault, RunStatus *S) {
-  VmConfig C;
-  C.CompletionThreshold = 1.0;
-  C.StartStateDelay = 1;
-  C.DecayInterval = 32;
-  C.TelemetryEnabled = true;
-  C.TelemetryCapacity = 1u << 18;
-  C.Fault = Fault;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions()
+                     .completionThreshold(1.0)
+                     .startStateDelay(1)
+                     .decayInterval(32)
+                     .telemetry(true)
+                     .telemetryCapacity(1u << 18)
+                     .cacheFault(Fault));
   *S = VM.run().Status;
   return VM;
 }

@@ -69,8 +69,7 @@ TEST(HarnessTest, StandardSweepsMatchThePaper) {
 
 TEST(HarnessTest, RunWorkloadProducesConsistentStats) {
   const WorkloadInfo &W = *findWorkload("scimark");
-  VmConfig C;
-  VmStats S = runWorkload(W, C, std::max(1u, W.DefaultScale / 50));
+  VmStats S = runWorkload(W, VmOptions(), std::max(1u, W.DefaultScale / 50));
   EXPECT_GT(S.Instructions, 0u);
   EXPECT_GT(S.BlocksExecuted, 0u);
   EXPECT_EQ(S.BlocksExecuted, S.BlockDispatches + S.BlocksInTraces);
@@ -79,9 +78,8 @@ TEST(HarnessTest, RunWorkloadProducesConsistentStats) {
 
 TEST(HarnessTest, ScaleOverrideChangesRunLength) {
   const WorkloadInfo &W = *findWorkload("compress");
-  VmConfig C;
-  VmStats Small = runWorkload(W, C, 1);
-  VmStats Large = runWorkload(W, C, 3);
+  VmStats Small = runWorkload(W, VmOptions(), 1);
+  VmStats Large = runWorkload(W, VmOptions(), 3);
   EXPECT_GT(Large.Instructions, Small.Instructions);
 }
 

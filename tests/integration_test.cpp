@@ -21,11 +21,8 @@ uint32_t integrationScale(const WorkloadInfo &W) {
   return std::max(1u, W.DefaultScale / 20);
 }
 
-VmConfig configWith(double Threshold, uint32_t Delay = 64) {
-  VmConfig C;
-  C.CompletionThreshold = Threshold;
-  C.StartStateDelay = Delay;
-  return C;
+VmOptions optionsWith(double Threshold, uint32_t Delay = 64) {
+  return VmOptions().completionThreshold(Threshold).startStateDelay(Delay);
 }
 
 } // namespace
@@ -33,7 +30,7 @@ VmConfig configWith(double Threshold, uint32_t Delay = 64) {
 TEST(IntegrationTest, AllWorkloadsAllThresholdsSatisfyInvariants) {
   for (const WorkloadInfo &W : allWorkloads()) {
     for (double T : standardThresholds()) {
-      VmStats S = runWorkload(W, configWith(T), integrationScale(W));
+      VmStats S = runWorkload(W, optionsWith(T), integrationScale(W));
       SCOPED_TRACE(std::string(W.Name) + " @ " + std::to_string(T));
       EXPECT_GT(S.Instructions, 0u);
       EXPECT_EQ(S.BlocksExecuted, S.BlockDispatches + S.BlocksInTraces);
@@ -57,7 +54,7 @@ TEST(IntegrationTest, TraceDispatchPreservesWorkloadSemantics) {
     Machine Plain(M);
     RunResult R1 = runInstructions(Plain, 100000000);
     PreparedModule PM(M);
-    TraceVM VM(PM, configWith(0.97));
+    TraceVM VM(PM, optionsWith(0.97));
     RunResult R2 = VM.run();
     EXPECT_EQ(R1.Status, R2.Status) << W.Name;
     EXPECT_EQ(Plain.output(), VM.machine().output()) << W.Name;
@@ -67,8 +64,8 @@ TEST(IntegrationTest, TraceDispatchPreservesWorkloadSemantics) {
 
 TEST(IntegrationTest, RunsAreReproducible) {
   for (const WorkloadInfo &W : allWorkloads()) {
-    VmStats A = runWorkload(W, configWith(0.97), integrationScale(W));
-    VmStats B = runWorkload(W, configWith(0.97), integrationScale(W));
+    VmStats A = runWorkload(W, optionsWith(0.97), integrationScale(W));
+    VmStats B = runWorkload(W, optionsWith(0.97), integrationScale(W));
     EXPECT_EQ(A.Instructions, B.Instructions) << W.Name;
     EXPECT_EQ(A.Signals, B.Signals) << W.Name;
     EXPECT_EQ(A.TracesConstructed, B.TracesConstructed) << W.Name;
@@ -79,9 +76,9 @@ TEST(IntegrationTest, RunsAreReproducible) {
 TEST(IntegrationTest, ScimarkIsTheMostRegularMember) {
   // The paper's headline ordering: scimark's regular kernels give the
   // highest coverage; javac's parser gives the lowest.
-  VmStats Sci = runWorkload(*findWorkload("scimark"), configWith(0.97),
+  VmStats Sci = runWorkload(*findWorkload("scimark"), optionsWith(0.97),
                             integrationScale(*findWorkload("scimark")));
-  VmStats Jav = runWorkload(*findWorkload("javac"), configWith(0.97),
+  VmStats Jav = runWorkload(*findWorkload("javac"), optionsWith(0.97),
                             integrationScale(*findWorkload("javac")));
   EXPECT_GT(Sci.completedCoverage(), Jav.completedCoverage());
   EXPECT_GT(Jav.Signals, Sci.Signals)
@@ -92,9 +89,9 @@ TEST(IntegrationTest, LargerDelayFiltersTraceEvents) {
   // Table V's trend on one workload: raising the start-state delay
   // lengthens the interval between trace events.
   const WorkloadInfo &W = *findWorkload("compress");
-  VmStats D1 = runWorkload(W, configWith(0.97, 1), integrationScale(W));
+  VmStats D1 = runWorkload(W, optionsWith(0.97, 1), integrationScale(W));
   VmStats D4096 =
-      runWorkload(W, configWith(0.97, 4096), integrationScale(W));
+      runWorkload(W, optionsWith(0.97, 4096), integrationScale(W));
   EXPECT_GT(D4096.dispatchesPerTraceEvent(), D1.dispatchesPerTraceEvent());
 }
 

@@ -368,8 +368,7 @@ TEST(OptimizerTest, HandlesIncomingStackOperands) {
 TEST(LinearizerTest, GuardsCarryTheRecordedDirection) {
   Module M = testprog::hotLoop(100000);
   PreparedModule PM(M);
-  VmConfig C;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions());
   VM.run();
   bool SawGuard = false;
   for (const Trace &T : VM.traceCache().traces()) {
@@ -389,10 +388,7 @@ TEST(LinearizerTest, GuardsCarryTheRecordedDirection) {
 TEST(LinearizerTest, SegmentsBreakAtCalls) {
   Module M = testprog::recursiveFactorial(10);
   PreparedModule PM(M);
-  VmConfig C;
-  C.StartStateDelay = 1;
-  C.DecayInterval = 4;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions().startStateDelay(1).decayInterval(4));
   VM.run();
   for (const Trace &T : VM.traceCache().traces()) {
     for (const LinearSegment &Seg : linearizeTrace(PM, T))
@@ -412,8 +408,7 @@ TEST(OptimizerTest, AllWorkloadTraceSegmentsStayEquivalent) {
   for (const WorkloadInfo &W : allWorkloads()) {
     Module M = W.Build(std::max(1u, W.DefaultScale / 50));
     PreparedModule PM(M);
-    VmConfig C;
-    TraceVM VM(PM, C);
+    TraceVM VM(PM, VmOptions());
     VM.run();
     unsigned Segments = 0, Compared = 0;
     for (const Trace &T : VM.traceCache().traces()) {
@@ -436,8 +431,7 @@ TEST(OptimizerTest, AllWorkloadTraceSegmentsStayEquivalent) {
 TEST(OptimizerTest, ReductionIsMeasurableOnRealTraces) {
   Module M = testprog::hotLoop(100000);
   PreparedModule PM(M);
-  VmConfig C;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions());
   VM.run();
   OptStats St;
   for (const Trace &T : VM.traceCache().traces())
@@ -549,8 +543,7 @@ Module loopWithHelper() {
 TEST(OptimizerTest, InliningMergesCallBoundedSegments) {
   Module M = loopWithHelper();
   PreparedModule PM(M);
-  VmConfig C;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions());
   VM.run();
 
   bool Checked = false;
@@ -574,8 +567,7 @@ TEST(OptimizerTest, InlinedSegmentsOptimizeEquivalently) {
   uint64_t Seed = 4000;
   Module M = loopWithHelper();
   PreparedModule PM(M);
-  VmConfig C;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions());
   VM.run();
   unsigned Compared = 0;
   for (const Trace &T : VM.traceCache().traces()) {
@@ -593,8 +585,7 @@ TEST(OptimizerTest, InlinedSegmentsOptimizeEquivalently) {
 TEST(OptimizerTest, InliningPlusOptimizationShrinksTheHelperLoop) {
   Module M = loopWithHelper();
   PreparedModule PM(M);
-  VmConfig C;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions());
   VM.run();
   for (const Trace &T : VM.traceCache().traces()) {
     if (!T.Alive || T.Blocks.size() < 4)
@@ -617,8 +608,7 @@ TEST(OptimizerTest, WorkloadInlinedSegmentsStayEquivalent) {
   for (const WorkloadInfo &W : allWorkloads()) {
     Module M = W.Build(std::max(1u, W.DefaultScale / 100));
     PreparedModule PM(M);
-    VmConfig C;
-    TraceVM VM(PM, C);
+    TraceVM VM(PM, VmOptions());
     VM.run();
     for (const Trace &T : VM.traceCache().traces()) {
       if (!T.Alive)

@@ -48,12 +48,11 @@ TEST_P(RandomProgramProperty, TraceDispatchIsSemanticallyTransparent) {
   RunResult R1 = runInstructions(Plain, 5000000);
 
   PreparedModule PM(M);
-  VmConfig C;
-  C.CompletionThreshold = Threshold;
-  C.StartStateDelay = Delay;
-  C.DecayInterval = 32; // small interval: evaluate aggressively
-  C.MaxInstructions = 5000000;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions()
+                     .completionThreshold(Threshold)
+                     .startStateDelay(Delay)
+                     .decayInterval(32) // small interval: evaluate aggressively
+                     .maxInstructions(5000000));
   RunResult R2 = VM.run();
 
   EXPECT_EQ(R1.Status, R2.Status);
@@ -107,9 +106,7 @@ TEST_P(ThresholdProperty, InstalledTracesHonourTheThreshold) {
   double T = GetParam();
   Module M = testprog::hotLoop(200000);
   PreparedModule PM(M);
-  VmConfig C;
-  C.CompletionThreshold = T;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions().completionThreshold(T));
   VM.run();
   for (const Trace &Tr : VM.traceCache().traces())
     EXPECT_GE(Tr.ExpectedCompletion, T - 1e-9)
@@ -120,9 +117,7 @@ TEST_P(ThresholdProperty, ActualCompletionTracksExpectation) {
   double T = GetParam();
   Module M = testprog::hotLoop(200000);
   PreparedModule PM(M);
-  VmConfig C;
-  C.CompletionThreshold = T;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions().completionThreshold(T));
   VM.run();
   const VmStats &S = VM.stats();
   if (S.TraceDispatches > 1000) {
@@ -146,9 +141,7 @@ TEST_P(DelayProperty, DelayNeverBreaksSemantics) {
   Machine Plain(M);
   runInstructions(Plain);
   PreparedModule PM(M);
-  VmConfig C;
-  C.StartStateDelay = Delay;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions().startStateDelay(Delay));
   VM.run();
   EXPECT_EQ(Plain.output(), VM.machine().output());
 }
@@ -158,9 +151,7 @@ TEST_P(DelayProperty, ColdCodeNeverEntersTraces) {
   uint32_t Delay = GetParam();
   Module M = testprog::hotLoop(200);
   PreparedModule PM(M);
-  VmConfig C;
-  C.StartStateDelay = Delay;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, VmOptions().startStateDelay(Delay));
   VM.run();
   if (Delay >= 4096) {
     EXPECT_EQ(VM.stats().TraceDispatches, 0u);

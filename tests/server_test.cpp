@@ -1,0 +1,291 @@
+//===- tests/server_test.cpp - Concurrent VM service ----------------------===//
+///
+/// The serving layer's contract: concurrent sessions are bit-identical to
+/// a single-threaded reference run, warm handoff installs the donor's
+/// traces without re-signaling, and the service-level aggregates
+/// reconcile with the per-session results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/VmService.h"
+
+#include "TestPrograms.h"
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace jtc;
+
+namespace {
+
+/// The single-threaded reference: one cold TraceVM session.
+struct Reference {
+  RunResult Run;
+  VmStats Stats;
+  std::vector<int64_t> Output;
+  uint64_t HeapDigest = 0;
+};
+
+Reference referenceRun(const Module &M, const VmOptions &VO = VmOptions()) {
+  PreparedModule PM(M);
+  TraceVM VM(PM, VO);
+  Reference R;
+  R.Run = VM.run();
+  R.Stats = VM.stats();
+  R.Output = VM.machine().output();
+  R.HeapDigest = heapDigest(VM.machine().heap());
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Determinism under concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(VmServiceTest, ConcurrentSessionsMatchSingleThreadedReference) {
+  // With warm handoff off, every session is a cold run: all of them --
+  // and the single-threaded reference -- must agree bit for bit, down to
+  // the dispatch counts.
+  Module M = testprog::hotLoop(20000);
+  Reference Ref = referenceRun(M);
+
+  VmService Svc(ServiceOptions().workers(8).warmHandoff(false));
+  Svc.registerModule("hot", testprog::hotLoop(20000));
+
+  std::vector<std::future<SessionResult>> Fs;
+  for (int I = 0; I < 32; ++I)
+    Fs.push_back(Svc.submit({"hot"}));
+  for (std::future<SessionResult> &F : Fs) {
+    SessionResult R = F.get();
+    ASSERT_FALSE(R.Rejected);
+    EXPECT_EQ(R.Run.Status, Ref.Run.Status);
+    EXPECT_EQ(R.Run.Trap, Ref.Run.Trap);
+    EXPECT_EQ(R.Run.Instructions, Ref.Run.Instructions);
+    EXPECT_EQ(R.Run.Dispatches, Ref.Run.Dispatches);
+    EXPECT_EQ(R.Output, Ref.Output);
+    EXPECT_EQ(R.HeapDigest, Ref.HeapDigest);
+    EXPECT_EQ(R.Stats.Signals, Ref.Stats.Signals);
+    EXPECT_EQ(R.Stats.TracesConstructed, Ref.Stats.TracesConstructed);
+    EXPECT_FALSE(R.WarmStart);
+  }
+}
+
+TEST(VmServiceTest, WarmSessionsPreserveSemantics) {
+  // Warm handoff changes how the work is executed (traces from the
+  // first transition), never what it computes: output, heap and
+  // instruction count stay identical to the reference.
+  Module M = testprog::hotLoop(20000);
+  Reference Ref = referenceRun(M);
+
+  VmService Svc(ServiceOptions().workers(4));
+  Svc.registerModule("hot", testprog::hotLoop(20000));
+
+  std::vector<std::future<SessionResult>> Fs;
+  for (int I = 0; I < 24; ++I)
+    Fs.push_back(Svc.submit({"hot"}));
+  unsigned WarmSeen = 0;
+  for (std::future<SessionResult> &F : Fs) {
+    SessionResult R = F.get();
+    ASSERT_FALSE(R.Rejected);
+    EXPECT_EQ(R.Run.Status, Ref.Run.Status);
+    EXPECT_EQ(R.Run.Instructions, Ref.Run.Instructions);
+    EXPECT_EQ(R.Output, Ref.Output);
+    EXPECT_EQ(R.HeapDigest, Ref.HeapDigest);
+    WarmSeen += R.WarmStart;
+  }
+  // The donor publishes early in the batch; most of it runs warm.
+  EXPECT_GT(WarmSeen, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm handoff
+//===----------------------------------------------------------------------===//
+
+TEST(VmServiceTest, WarmHandoffSeedsWithoutResignaling) {
+  VmService Svc(ServiceOptions().workers(1));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+
+  SessionResult Cold = Svc.run({"hot"});
+  ASSERT_FALSE(Cold.WarmStart);
+  ASSERT_GT(Cold.Stats.TracesConstructed, 0u);
+  ASSERT_GT(Cold.Stats.Signals, 0u);
+
+  SessionResult Warm = Svc.run({"hot"});
+  ASSERT_TRUE(Warm.WarmStart);
+  // The donor's traces arrive installed, not re-derived from signals.
+  EXPECT_GT(Warm.Stats.TracesSeeded, 0u);
+  EXPECT_EQ(Warm.Stats.TracesConstructed, 0u);
+  EXPECT_GT(Warm.Stats.TraceDispatches, 0u);
+  EXPECT_LT(Warm.Stats.Signals, Cold.Stats.Signals);
+  // Steady-state coverage from the first session: at least what the cold
+  // session reached while also paying the warmup.
+  EXPECT_GE(Warm.Stats.traceCoverage(), Cold.Stats.traceCoverage());
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.WarmStarts, 1u);
+  EXPECT_EQ(S.ColdStarts, 1u);
+  EXPECT_EQ(S.SnapshotsPublished, 1u);
+}
+
+TEST(VmServiceTest, SnapshotRequiresMaturity) {
+  // A session below the maturity bar must not publish its profile.
+  VmService Svc(ServiceOptions().workers(1).snapshotMinBlocks(1ull << 40));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+  Svc.run({"hot"});
+  Svc.run({"hot"});
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.SnapshotsPublished, 0u);
+  EXPECT_EQ(S.WarmStarts, 0u);
+  EXPECT_EQ(S.ColdStarts, 2u);
+  EXPECT_TRUE(Svc.snapshotFor("hot").empty());
+}
+
+TEST(VmServiceTest, WarmHandoffDisabledNeverSeeds) {
+  VmService Svc(ServiceOptions().workers(2).warmHandoff(false));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+  for (int I = 0; I < 4; ++I) {
+    SessionResult R = Svc.run({"hot"});
+    EXPECT_FALSE(R.WarmStart);
+    EXPECT_EQ(R.Stats.TracesSeeded, 0u);
+  }
+  EXPECT_EQ(Svc.stats().SnapshotsPublished, 0u);
+}
+
+TEST(VmServiceTest, SnapshotFingerprintGatesSeeding) {
+  // A snapshot is tied to the module's block structure; a structurally
+  // different module must not accept it.
+  Module Hot = testprog::hotLoop(50000);
+  PreparedModule HotPM(Hot);
+  TraceVM Donor(HotPM);
+  Donor.run();
+  ProfileSnapshot Snap = ProfileSnapshot::capture(Donor);
+  ASSERT_FALSE(Snap.empty());
+  EXPECT_TRUE(Snap.compatibleWith(HotPM));
+
+  Module Other = testprog::virtualDispatch();
+  PreparedModule OtherPM(Other);
+  EXPECT_FALSE(Snap.compatibleWith(OtherPM));
+
+  // An identically built module has the same fingerprint.
+  Module Twin = testprog::hotLoop(50000);
+  PreparedModule TwinPM(Twin);
+  EXPECT_TRUE(Snap.compatibleWith(TwinPM));
+  EXPECT_EQ(moduleFingerprint(HotPM), moduleFingerprint(TwinPM));
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregates
+//===----------------------------------------------------------------------===//
+
+TEST(VmServiceTest, AggregatesReconcileWithSessions) {
+  VmService Svc(ServiceOptions().workers(4));
+  Svc.registerModule("hot", testprog::hotLoop(20000));
+  Svc.registerModule("disp", testprog::virtualDispatch());
+
+  std::vector<std::future<SessionResult>> Fs;
+  for (int I = 0; I < 10; ++I)
+    Fs.push_back(Svc.submit({I % 2 ? "hot" : "disp"}));
+  uint64_t Instructions = 0, Blocks = 0, Seeded = 0;
+  for (std::future<SessionResult> &F : Fs) {
+    SessionResult R = F.get();
+    ASSERT_FALSE(R.Rejected);
+    Instructions += R.Stats.Instructions;
+    Blocks += R.Stats.BlocksExecuted;
+    Seeded += R.Stats.TracesSeeded;
+  }
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, 10u);
+  EXPECT_EQ(S.Completed, 10u);
+  EXPECT_EQ(S.Rejected, 0u);
+  EXPECT_EQ(S.WarmStarts + S.ColdStarts, S.Completed);
+  EXPECT_EQ(S.Aggregate.Instructions, Instructions);
+  EXPECT_EQ(S.Aggregate.BlocksExecuted, Blocks);
+  EXPECT_EQ(S.Aggregate.TracesSeeded, Seeded);
+  EXPECT_GE(S.BusySeconds, 0.0);
+}
+
+#ifdef JTC_TELEMETRY
+TEST(VmServiceTest, TelemetryRingsFoldIntoServiceEvents) {
+  VmService Svc(
+      ServiceOptions().workers(2).vm(VmOptions().telemetry(true)));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+  for (int I = 0; I < 4; ++I)
+    Svc.run({"hot"});
+  ServiceStats S = Svc.stats();
+  uint64_t Total = 0;
+  for (unsigned K = 0; K < NumEventKinds; ++K)
+    Total += S.EventsByKind[K];
+  EXPECT_GT(Total, 0u);
+  // The cold donor constructed traces; events saw them too.
+  EXPECT_GT(
+      S.EventsByKind[static_cast<unsigned>(EventKind::TraceConstructed)], 0u);
+  EXPECT_GT(
+      S.EventsByKind[static_cast<unsigned>(EventKind::TraceDispatched)], 0u);
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Service mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(VmServiceTest, UnknownModuleIsRejectedNotThrown) {
+  VmService Svc(ServiceOptions().workers(2));
+  SessionResult R = Svc.run({"no-such-module"});
+  EXPECT_TRUE(R.Rejected);
+  EXPECT_EQ(Svc.stats().Rejected, 1u);
+}
+
+TEST(VmServiceTest, PerRequestBudgetOverridesServiceBudget) {
+  VmService Svc(ServiceOptions().workers(1));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+  SessionResult R = Svc.run({"hot", /*MaxInstructions=*/1000});
+  EXPECT_EQ(R.Run.Status, RunStatus::BudgetExhausted);
+  EXPECT_LE(R.Run.Instructions, 1000u);
+}
+
+TEST(VmServiceTest, DrainWaitsForAllSubmitted) {
+  VmService Svc(ServiceOptions().workers(4));
+  Svc.registerModule("hot", testprog::hotLoop(20000));
+  std::vector<std::future<SessionResult>> Fs;
+  for (int I = 0; I < 16; ++I)
+    Fs.push_back(Svc.submit({"hot"}));
+  Svc.drain();
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Completed + S.Rejected, 16u);
+  for (std::future<SessionResult> &F : Fs)
+    EXPECT_TRUE(F.valid());
+}
+
+TEST(VmServiceTest, ShutdownDrainsQueueAndRejectsLateSubmits) {
+  VmService Svc(ServiceOptions().workers(2));
+  Svc.registerModule("hot", testprog::hotLoop(20000));
+  std::vector<std::future<SessionResult>> Fs;
+  for (int I = 0; I < 8; ++I)
+    Fs.push_back(Svc.submit({"hot"}));
+  Svc.shutdown();
+  // Everything queued before shutdown still completed.
+  for (std::future<SessionResult> &F : Fs)
+    EXPECT_FALSE(F.get().Rejected);
+  // A submit after shutdown resolves as rejected instead of hanging.
+  SessionResult Late = Svc.submit({"hot"}).get();
+  EXPECT_TRUE(Late.Rejected);
+}
+
+TEST(VmServiceTest, ReregisteringReplacesModuleAndDropsSnapshot) {
+  VmService Svc(ServiceOptions().workers(1));
+  Svc.registerModule("m", testprog::hotLoop(50000));
+  Svc.run({"m"});
+  ASSERT_FALSE(Svc.snapshotFor("m").empty());
+
+  // A different program under the same name: the old snapshot must not
+  // leak into sessions over the new module.
+  Svc.registerModule("m", testprog::virtualDispatch());
+  EXPECT_TRUE(Svc.snapshotFor("m").empty());
+  SessionResult R = Svc.run({"m"});
+  EXPECT_FALSE(R.WarmStart);
+  EXPECT_EQ(R.Run.Status, RunStatus::Finished);
+}

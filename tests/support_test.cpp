@@ -1,5 +1,6 @@
 //===- tests/support_test.cpp - Unit tests for the support library --------===//
 
+#include "support/ArgParse.h"
 #include "support/Ids.h"
 #include "support/Prng.h"
 #include "support/SaturatingCounter.h"
@@ -288,4 +289,102 @@ TEST(TimerTest, NonNegativeAndMonotone) {
   double B = T.seconds();
   EXPECT_GE(A, 0.0);
   EXPECT_GE(B, A);
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParse
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p P over \p Args as if they were argv[1..]; argv[0] is a dummy
+/// program name.
+bool parseArgs(ArgParser &P, std::vector<std::string> Args) {
+  std::vector<std::string> Storage = std::move(Args);
+  std::vector<char *> Argv = {const_cast<char *>("test")};
+  for (std::string &A : Storage)
+    Argv.push_back(A.data());
+  return P.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(ArgParseTest, TypedOptionsAndFlags) {
+  bool Flag = false;
+  uint32_t U32 = 0;
+  uint64_t U64 = 0;
+  double Real = 0;
+  std::string Str;
+  ArgParser P;
+  P.flag("verbose", &Flag)
+      .u32Opt("delay", &U32)
+      .uintOpt("max-instr", &U64)
+      .realOpt("threshold", &Real)
+      .strOpt("out", &Str);
+  EXPECT_TRUE(parseArgs(P, {"--verbose", "--delay=64", "--max-instr=123456789",
+                            "--threshold=0.97", "--out=file.json"}));
+  EXPECT_TRUE(Flag);
+  EXPECT_EQ(U32, 64u);
+  EXPECT_EQ(U64, 123456789ull);
+  EXPECT_DOUBLE_EQ(Real, 0.97);
+  EXPECT_EQ(Str, "file.json");
+}
+
+TEST(ArgParseTest, UnknownOptionRejected) {
+  bool Flag = false;
+  ArgParser P;
+  P.flag("verbose", &Flag);
+  EXPECT_FALSE(parseArgs(P, {"--nope"}));
+}
+
+TEST(ArgParseTest, FlagRejectsValue) {
+  bool Flag = false;
+  ArgParser P;
+  P.flag("verbose", &Flag);
+  EXPECT_FALSE(parseArgs(P, {"--verbose=1"}));
+}
+
+TEST(ArgParseTest, ValueOptionRejectsBareName) {
+  uint32_t U32 = 0;
+  ArgParser P;
+  P.u32Opt("delay", &U32);
+  EXPECT_FALSE(parseArgs(P, {"--delay"}));
+}
+
+TEST(ArgParseTest, MalformedNumbersRejected) {
+  uint32_t U32 = 0;
+  double Real = 0;
+  ArgParser P;
+  P.u32Opt("delay", &U32).realOpt("threshold", &Real);
+  EXPECT_FALSE(parseArgs(P, {"--delay=abc"}));
+  EXPECT_FALSE(parseArgs(P, {"--threshold=x"}));
+}
+
+TEST(ArgParseTest, CustomHandlerSeesEmptyAndExplicitValue) {
+  std::vector<std::string> Seen;
+  ArgParser P;
+  P.custom("json", [&Seen](const std::string &V) {
+    Seen.push_back(V);
+    return true;
+  });
+  EXPECT_TRUE(parseArgs(P, {"--json"}));
+  EXPECT_TRUE(parseArgs(P, {"--json=out.json"}));
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], "");
+  EXPECT_EQ(Seen[1], "out.json");
+}
+
+TEST(ArgParseTest, PositionalsCollectedOnlyWhenRequested) {
+  ArgParser Strict;
+  bool Flag = false;
+  Strict.flag("verbose", &Flag);
+  EXPECT_FALSE(parseArgs(Strict, {"input.jasm"}));
+
+  std::vector<std::string> Pos;
+  ArgParser Loose;
+  Loose.flag("verbose", &Flag).positionals(&Pos);
+  EXPECT_TRUE(parseArgs(Loose, {"a.jasm", "--verbose", "b.jasm"}));
+  ASSERT_EQ(Pos.size(), 2u);
+  EXPECT_EQ(Pos[0], "a.jasm");
+  EXPECT_EQ(Pos[1], "b.jasm");
 }

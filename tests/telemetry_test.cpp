@@ -246,21 +246,21 @@ TEST(VmStatsJsonTest, PrintAndJsonShareTheFieldTable) {
 
 #ifdef JTC_TELEMETRY
 
-VmConfig telemetryConfig() {
-  VmConfig C;
-  C.StartStateDelay = 64;
-  C.CompletionThreshold = 0.97;
-  C.TelemetryEnabled = true;
-  // Large enough that hotLoop(50000)'s full event stream is retained --
-  // the integration tests compare event counts against stats counters.
-  C.TelemetryCapacity = 1u << 17;
-  return C;
+VmOptions telemetryOptions() {
+  // Capacity large enough that hotLoop(50000)'s full event stream is
+  // retained -- the integration tests compare event counts against stats
+  // counters.
+  return VmOptions()
+      .startStateDelay(64)
+      .completionThreshold(0.97)
+      .telemetry(true)
+      .telemetryCapacity(1u << 17);
 }
 
 TEST(TelemetryVmTest, HotLoopEmitsLifecycleInOrder) {
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
-  TraceVM VM(PM, telemetryConfig());
+  TraceVM VM(PM, telemetryOptions());
   RunResult R = VM.run();
   EXPECT_EQ(R.Status, RunStatus::Finished);
 
@@ -323,15 +323,12 @@ TEST(TelemetryVmTest, DisabledByDefaultAndStatsUnchanged) {
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
 
-  VmConfig Plain;
-  Plain.StartStateDelay = 64;
-  Plain.CompletionThreshold = 0.97;
-  TraceVM Off(PM, Plain);
+  TraceVM Off(PM, VmOptions().startStateDelay(64).completionThreshold(0.97));
   Off.run();
   EXPECT_FALSE(Off.events().enabled());
   EXPECT_EQ(Off.events().size(), 0u);
 
-  TraceVM On(PM, telemetryConfig());
+  TraceVM On(PM, telemetryOptions());
   On.run();
   // Telemetry must observe, not perturb: every statistic matches.
   for (const VmStats::FieldInfo &F : VmStats::fields())
@@ -343,9 +340,7 @@ TEST(TelemetryVmTest, DisabledByDefaultAndStatsUnchanged) {
 TEST(TelemetryVmTest, SamplerProducesTimeline) {
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
-  VmConfig C = telemetryConfig();
-  C.SampleInterval = 10000;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, telemetryOptions().sampleInterval(10000));
   VM.run();
 
   const PhaseSampler<VmStats> &S = VM.sampler();
@@ -360,7 +355,7 @@ TEST(TelemetryVmTest, SamplerProducesTimeline) {
   // The per-window deltas tile the run (up to the tail after the last
   // sample point).
   EXPECT_LE(TotalBlocks, VM.stats().BlocksExecuted);
-  EXPECT_GE(TotalBlocks, VM.stats().BlocksExecuted - C.SampleInterval);
+  EXPECT_GE(TotalBlocks, VM.stats().BlocksExecuted - VM.options().sampleInterval());
 }
 
 #endif // JTC_TELEMETRY

@@ -11,11 +11,8 @@ using namespace jtc;
 
 namespace {
 
-VmConfig defaultConfig() {
-  VmConfig C;
-  C.StartStateDelay = 64;
-  C.CompletionThreshold = 0.97;
-  return C;
+VmOptions defaultOptions() {
+  return VmOptions().startStateDelay(64).completionThreshold(0.97);
 }
 
 } // namespace
@@ -32,7 +29,7 @@ TEST(TraceVmTest, SemanticsUnchangedByTraceDispatch) {
     Machine Plain(M);
     RunResult R1 = runInstructions(Plain);
     PreparedModule PM(M);
-    TraceVM VM(PM, defaultConfig());
+    TraceVM VM(PM, defaultOptions());
     RunResult R2 = VM.run();
     EXPECT_EQ(R1.Status, R2.Status);
     EXPECT_EQ(Plain.output(), VM.machine().output());
@@ -43,7 +40,7 @@ TEST(TraceVmTest, SemanticsUnchangedByTraceDispatch) {
 TEST(TraceVmTest, HotLoopGetsTraced) {
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
-  TraceVM VM(PM, defaultConfig());
+  TraceVM VM(PM, defaultOptions());
   VM.run();
   const VmStats &S = VM.stats();
   EXPECT_GT(S.TraceDispatches, 0u);
@@ -56,7 +53,7 @@ TEST(TraceVmTest, HotLoopGetsTraced) {
 TEST(TraceVmTest, StatsIdentitiesHold) {
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
-  TraceVM VM(PM, defaultConfig());
+  TraceVM VM(PM, defaultOptions());
   RunResult R = VM.run();
   const VmStats &S = VM.stats();
 
@@ -80,12 +77,10 @@ TEST(TraceVmTest, TraceDispatchReducesDispatchCount) {
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
 
-  VmConfig Plain = defaultConfig();
-  Plain.TracesEnabled = false;
-  TraceVM V1(PM, Plain);
+  TraceVM V1(PM, defaultOptions().traces(false));
   RunResult R1 = V1.run();
 
-  TraceVM V2(PM, defaultConfig());
+  TraceVM V2(PM, defaultOptions());
   RunResult R2 = V2.run();
 
   EXPECT_EQ(R1.Instructions, R2.Instructions);
@@ -96,9 +91,7 @@ TEST(TraceVmTest, TraceDispatchReducesDispatchCount) {
 TEST(TraceVmTest, ProfilingDisabledMeansNoGraphNoTraces) {
   Module M = testprog::hotLoop(20000);
   PreparedModule PM(M);
-  VmConfig C = defaultConfig();
-  C.ProfilingEnabled = false;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, defaultOptions().profiling(false));
   VM.run();
   const VmStats &S = VM.stats();
   EXPECT_EQ(S.Hooks, 0u);
@@ -110,9 +103,7 @@ TEST(TraceVmTest, ProfilingDisabledMeansNoGraphNoTraces) {
 TEST(TraceVmTest, TracesDisabledStillProfiles) {
   Module M = testprog::hotLoop(20000);
   PreparedModule PM(M);
-  VmConfig C = defaultConfig();
-  C.TracesEnabled = false;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, defaultOptions().traces(false));
   VM.run();
   const VmStats &S = VM.stats();
   EXPECT_GT(S.Hooks, 0u);
@@ -126,7 +117,7 @@ TEST(TraceVmTest, HooksOncePerDispatchNotPerBlock) {
   // statement; inlined blocks carry none.
   Module M = testprog::hotLoop(50000);
   PreparedModule PM(M);
-  TraceVM VM(PM, defaultConfig());
+  TraceVM VM(PM, defaultOptions());
   VM.run();
   const VmStats &S = VM.stats();
   EXPECT_LT(S.Hooks, S.BlocksExecuted)
@@ -139,7 +130,7 @@ TEST(TraceVmTest, PartialTraceExecutionsAreCounted) {
   // some trace executions must end early.
   Module M = testprog::hotLoop(200000);
   PreparedModule PM(M);
-  TraceVM VM(PM, defaultConfig());
+  TraceVM VM(PM, defaultOptions());
   VM.run();
   const VmStats &S = VM.stats();
   EXPECT_GT(S.TraceDispatches, S.TracesCompleted)
@@ -150,9 +141,7 @@ TEST(TraceVmTest, PartialTraceExecutionsAreCounted) {
 TEST(TraceVmTest, InstructionBudgetStopsRun) {
   Module M = testprog::countingLoop(1000000000);
   PreparedModule PM(M);
-  VmConfig C = defaultConfig();
-  C.MaxInstructions = 50000;
-  TraceVM VM(PM, C);
+  TraceVM VM(PM, defaultOptions().maxInstructions(50000));
   RunResult R = VM.run();
   EXPECT_EQ(R.Status, RunStatus::BudgetExhausted);
   EXPECT_GE(R.Instructions, 50000u);
@@ -184,7 +173,7 @@ TEST(TraceVmTest, TrapInsideTraceSurfaces) {
   Module M = Asm.build();
 
   PreparedModule PM(M);
-  TraceVM VM(PM, defaultConfig());
+  TraceVM VM(PM, defaultOptions());
   RunResult R = VM.run();
   EXPECT_EQ(R.Status, RunStatus::Trapped);
   EXPECT_EQ(R.Trap, TrapKind::DivideByZero);
@@ -193,9 +182,9 @@ TEST(TraceVmTest, TrapInsideTraceSurfaces) {
 TEST(TraceVmTest, DeterministicAcrossRuns) {
   Module M = testprog::hotLoop(80000);
   PreparedModule PM(M);
-  TraceVM V1(PM, defaultConfig());
+  TraceVM V1(PM, defaultOptions());
   V1.run();
-  TraceVM V2(PM, defaultConfig());
+  TraceVM V2(PM, defaultOptions());
   V2.run();
   const VmStats &A = V1.stats(), &B = V2.stats();
   EXPECT_EQ(A.Instructions, B.Instructions);
@@ -212,13 +201,93 @@ TEST(TraceVmTest, RandomProgramsKeepSemanticsUnderTracing) {
     Machine Plain(M);
     RunResult R1 = runInstructions(Plain, 10000000);
     PreparedModule PM(M);
-    VmConfig C = defaultConfig();
-    C.StartStateDelay = 1; // trace aggressively
-    C.MaxInstructions = 10000000;
-    TraceVM VM(PM, C);
+    TraceVM VM(PM, defaultOptions()
+                       .startStateDelay(1) // trace aggressively
+                       .maxInstructions(10000000));
     RunResult R2 = VM.run();
     EXPECT_EQ(R1.Status, R2.Status) << "seed " << Seed;
     EXPECT_EQ(Plain.output(), VM.machine().output()) << "seed " << Seed;
     EXPECT_EQ(R1.Instructions, R2.Instructions) << "seed " << Seed;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Single-shot contract
+//===----------------------------------------------------------------------===//
+
+TEST(TraceVmTest, RunIsSingleShot) {
+  Module M = testprog::countingLoop(100);
+  PreparedModule PM(M);
+  TraceVM VM(PM, defaultOptions());
+  RunResult First = VM.run();
+  EXPECT_EQ(First.Status, RunStatus::Finished);
+#ifdef NDEBUG
+  // Release builds turn reuse into a trap instead of executing anything.
+  RunResult Again = VM.run();
+  EXPECT_EQ(Again.Status, RunStatus::Trapped);
+  EXPECT_EQ(Again.Trap, TrapKind::VmReuse);
+  EXPECT_EQ(Again.Instructions, 0u);
+  // The first run's results are untouched.
+  EXPECT_EQ(VM.stats().Instructions, First.Instructions);
+#else
+  EXPECT_DEATH(VM.run(), "single-shot");
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Warm handoff seeds
+//===----------------------------------------------------------------------===//
+
+TEST(TraceVmTest, SeedRoundTripPreservesSemanticsAndSkipsWarmup) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+
+  TraceVM Donor(PM, defaultOptions());
+  RunResult DonorRun = Donor.run();
+  ASSERT_EQ(DonorRun.Status, RunStatus::Finished);
+  ASSERT_GT(Donor.stats().LiveTraces, 0u);
+  VmSeed Seed = Donor.exportSeed();
+  EXPECT_FALSE(Seed.empty());
+  EXPECT_EQ(Seed.Traces.size(), Donor.stats().LiveTraces);
+
+  TraceVM Warm(PM, defaultOptions());
+  Warm.importSeed(Seed);
+  RunResult WarmRun = Warm.run();
+
+  // Semantics are untouched by seeding.
+  EXPECT_EQ(WarmRun.Status, DonorRun.Status);
+  EXPECT_EQ(WarmRun.Instructions, DonorRun.Instructions);
+  EXPECT_EQ(Warm.machine().output(), Donor.machine().output());
+
+  // The warmup is gone: the donor's traces are installed (not rebuilt),
+  // dispatched from the start, and the already-acknowledged profile
+  // emits no state-change signals on this stationary workload.
+  EXPECT_EQ(Warm.stats().TracesSeeded, Donor.stats().LiveTraces);
+  EXPECT_EQ(Warm.stats().TracesConstructed, 0u);
+  EXPECT_GT(Warm.stats().TraceDispatches, 0u);
+  EXPECT_LT(Warm.stats().Signals, Donor.stats().Signals);
+  // More of the run executes inside traces than the cold session managed.
+  EXPECT_GE(Warm.stats().traceCoverage(), Donor.stats().traceCoverage());
+}
+
+TEST(TraceVmTest, SeedIgnoredWhenComponentsDisabled) {
+  Module M = testprog::hotLoop(20000);
+  PreparedModule PM(M);
+  TraceVM Donor(PM, defaultOptions());
+  Donor.run();
+  VmSeed Seed = Donor.exportSeed();
+
+  TraceVM NoProfile(PM, defaultOptions().profiling(false));
+  NoProfile.importSeed(Seed);
+  RunResult R = NoProfile.run();
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(NoProfile.stats().TracesSeeded, 0u);
+  EXPECT_EQ(NoProfile.stats().GraphNodes, 0u);
+
+  TraceVM NoTraces(PM, defaultOptions().traces(false));
+  NoTraces.importSeed(Seed);
+  RunResult R2 = NoTraces.run();
+  EXPECT_EQ(R2.Status, RunStatus::Finished);
+  EXPECT_EQ(NoTraces.stats().TracesSeeded, 0u);
+  EXPECT_GT(NoTraces.stats().GraphNodes, 0u);
 }

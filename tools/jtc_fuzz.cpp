@@ -27,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "support/ArgParse.h"
 #include "support/Json.h"
 
 #include <cstdlib>
@@ -72,56 +73,64 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
   // Traps are part of normal fuzzing coverage; tests that need total
   // programs opt out with --no-traps.
   Opts.Fuzz.Gen.Features.Traps = true;
-  for (int I = 2; I < Argc; ++I) {
-    std::string A = Argv[I];
-    auto Value = [&A]() { return A.substr(A.find('=') + 1); };
-    if (A.rfind("--", 0) != 0) {
-      Opts.Files.push_back(A);
-    } else if (A.rfind("--seed=", 0) == 0) {
-      Opts.Fuzz.Seed = Value() == "ci"
-                           ? CiSeed
-                           : static_cast<uint64_t>(std::atoll(Value().c_str()));
-    } else if (A.rfind("--iterations=", 0) == 0) {
-      Opts.Fuzz.Iterations = static_cast<uint64_t>(std::atoll(Value().c_str()));
-    } else if (A.rfind("--time=", 0) == 0) {
-      Opts.Fuzz.TimeLimitSeconds = std::atof(Value().c_str());
-    } else if (A.rfind("--max-failures=", 0) == 0) {
-      Opts.Fuzz.MaxFailures =
-          static_cast<unsigned>(std::atoi(Value().c_str()));
-    } else if (A.rfind("--max-instr=", 0) == 0) {
-      Opts.Fuzz.Oracle.MaxInstructions =
-          static_cast<uint64_t>(std::atoll(Value().c_str()));
-    } else if (A == "--no-minimize") {
-      Opts.Fuzz.Minimize = false;
-    } else if (A == "--no-traps") {
-      Opts.Fuzz.Gen.Features.Traps = false;
-    } else if (A == "--no-net") {
-      Opts.Fuzz.Oracle.IncludeNet = false;
-    } else if (A == "--no-threaded") {
-      Opts.Fuzz.Oracle.IncludeThreaded = false;
-    } else if (A.rfind("--inject=", 0) == 0) {
-      std::string F = Value();
-      if (F == "skip-invalidation")
-        Opts.Fuzz.Oracle.Fault = CacheFault::SkipInvalidation;
-      else if (F == "skip-retirement")
-        Opts.Fuzz.Oracle.Fault = CacheFault::SkipRetirement;
-      else {
-        std::cerr << "unknown fault '" << F << "'\n";
-        return false;
-      }
-      Opts.Inject = true;
-    } else if (A.rfind("--repro-dir=", 0) == 0) {
-      Opts.Fuzz.ReproDir = Value();
-    } else if (A == "--json") {
-      Opts.Json = true;
-    } else if (A.rfind("--json=", 0) == 0) {
-      Opts.Json = true;
-      Opts.JsonOut = Value();
-    } else {
-      std::cerr << "unknown option '" << A << "'\n";
-      return false;
-    }
-  }
+  bool NoMinimize = false, NoTraps = false, NoNet = false, NoThreaded = false;
+  ArgParser P;
+  P.positionals(&Opts.Files)
+      .custom(
+          "seed",
+          [&Opts](const std::string &V) {
+            Opts.Fuzz.Seed =
+                V == "ci" ? CiSeed
+                          : static_cast<uint64_t>(std::atoll(V.c_str()));
+            return true;
+          },
+          /*ValueRequired=*/true)
+      .uintOpt("iterations", &Opts.Fuzz.Iterations)
+      .realOpt("time", &Opts.Fuzz.TimeLimitSeconds)
+      .custom(
+          "max-failures",
+          [&Opts](const std::string &V) {
+            Opts.Fuzz.MaxFailures =
+                static_cast<unsigned>(std::atoi(V.c_str()));
+            return true;
+          },
+          /*ValueRequired=*/true)
+      .uintOpt("max-instr", &Opts.Fuzz.Oracle.MaxInstructions)
+      .flag("no-minimize", &NoMinimize)
+      .flag("no-traps", &NoTraps)
+      .flag("no-net", &NoNet)
+      .flag("no-threaded", &NoThreaded)
+      .custom(
+          "inject",
+          [&Opts](const std::string &F) {
+            if (F == "skip-invalidation")
+              Opts.Fuzz.Oracle.Fault = CacheFault::SkipInvalidation;
+            else if (F == "skip-retirement")
+              Opts.Fuzz.Oracle.Fault = CacheFault::SkipRetirement;
+            else {
+              std::cerr << "unknown fault '" << F << "'\n";
+              return false;
+            }
+            Opts.Inject = true;
+            return true;
+          },
+          /*ValueRequired=*/true)
+      .strOpt("repro-dir", &Opts.Fuzz.ReproDir)
+      .custom("json", [&Opts](const std::string &V) {
+        Opts.Json = true;
+        Opts.JsonOut = V;
+        return true;
+      });
+  if (!P.parse(Argc, Argv, 2))
+    return false;
+  if (NoMinimize)
+    Opts.Fuzz.Minimize = false;
+  if (NoTraps)
+    Opts.Fuzz.Gen.Features.Traps = false;
+  if (NoNet)
+    Opts.Fuzz.Oracle.IncludeNet = false;
+  if (NoThreaded)
+    Opts.Fuzz.Oracle.IncludeThreaded = false;
   return true;
 }
 

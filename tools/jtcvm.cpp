@@ -36,6 +36,7 @@
 #include "bytecode/Disassembler.h"
 #include "bytecode/Verifier.h"
 #include "interp/InstructionInterpreter.h"
+#include "support/ArgParse.h"
 #include "support/Json.h"
 #include "telemetry/Export.h"
 #include "text/AsmParser.h"
@@ -102,57 +103,42 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
     return false;
   Opts.Command = Argv[1];
   Opts.Program = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
-    std::string A = Argv[I];
-    auto Value = [&A]() { return A.substr(A.find('=') + 1); };
-    if (A.rfind("--threshold=", 0) == 0)
-      Opts.Threshold = std::atof(Value().c_str());
-    else if (A.rfind("--delay=", 0) == 0)
-      Opts.Delay = static_cast<uint32_t>(std::atoi(Value().c_str()));
-    else if (A.rfind("--decay=", 0) == 0)
-      Opts.Decay = static_cast<uint32_t>(std::atoi(Value().c_str()));
-    else if (A.rfind("--scale=", 0) == 0)
-      Opts.Scale = static_cast<uint32_t>(std::atoi(Value().c_str()));
-    else if (A.rfind("--max-instr=", 0) == 0)
-      Opts.MaxInstructions =
-          static_cast<uint64_t>(std::atoll(Value().c_str()));
-    else if (A == "--no-traces")
-      Opts.NoTraces = true;
-    else if (A == "--no-profile")
-      Opts.NoProfile = true;
-    else if (A == "--stats")
-      Opts.Stats = true;
-    else if (A == "--dump-traces")
-      Opts.DumpTraces = true;
-    else if (A == "--dump-graph")
-      Opts.DumpGraph = true;
-    else if (A == "--quiet")
-      Opts.Quiet = true;
-    else if (A == "--json")
-      Opts.Json = true;
-    else if (A.rfind("--json=", 0) == 0) {
-      Opts.Json = true;
-      Opts.JsonOut = Value();
-    } else if (A.rfind("--trace-out=", 0) == 0)
-      Opts.TraceOut = Value();
-    else if (A.rfind("--events-out=", 0) == 0)
-      Opts.EventsOut = Value();
-    else if (A.rfind("--sample-interval=", 0) == 0)
-      Opts.SampleInterval = static_cast<uint64_t>(std::atoll(Value().c_str()));
-    else if (A.rfind("--telemetry-cap=", 0) == 0) {
-      Opts.TelemetryCap = static_cast<uint32_t>(std::atoi(Value().c_str()));
-      // Capacity 0 would silently disable the ring while --events-out /
-      // --trace-out still look like they worked (empty files).
-      if (Opts.TelemetryCap == 0) {
-        std::cerr << "invalid --telemetry-cap '" << Value() << "'\n";
-        return false;
-      }
-    } else {
-      std::cerr << "unknown option '" << A << "'\n";
-      return false;
-    }
-  }
-  return true;
+  ArgParser P;
+  P.realOpt("threshold", &Opts.Threshold)
+      .u32Opt("delay", &Opts.Delay)
+      .u32Opt("decay", &Opts.Decay)
+      .u32Opt("scale", &Opts.Scale)
+      .uintOpt("max-instr", &Opts.MaxInstructions)
+      .flag("no-traces", &Opts.NoTraces)
+      .flag("no-profile", &Opts.NoProfile)
+      .flag("stats", &Opts.Stats)
+      .flag("dump-traces", &Opts.DumpTraces)
+      .flag("dump-graph", &Opts.DumpGraph)
+      .flag("quiet", &Opts.Quiet)
+      .custom("json",
+              [&Opts](const std::string &V) {
+                Opts.Json = true;
+                Opts.JsonOut = V;
+                return true;
+              })
+      .strOpt("trace-out", &Opts.TraceOut)
+      .strOpt("events-out", &Opts.EventsOut)
+      .uintOpt("sample-interval", &Opts.SampleInterval)
+      .custom(
+          "telemetry-cap",
+          [&Opts](const std::string &V) {
+            Opts.TelemetryCap = static_cast<uint32_t>(std::atoi(V.c_str()));
+            // Capacity 0 would silently disable the ring while
+            // --events-out / --trace-out still look like they worked
+            // (empty files).
+            if (Opts.TelemetryCap == 0) {
+              std::cerr << "invalid --telemetry-cap '" << V << "'\n";
+              return false;
+            }
+            return true;
+          },
+          /*ValueRequired=*/true);
+  return P.parse(Argc, Argv, 3);
 }
 
 /// Loads the program named by \p Opts: a workload or a .jasm file.
@@ -266,17 +252,16 @@ int cmdRun(const Options &Opts, const Module &M) {
     return 2;
   }
   PreparedModule PM(M);
-  VmConfig Config;
-  Config.CompletionThreshold = Opts.Threshold;
-  Config.StartStateDelay = Opts.Delay;
-  Config.DecayInterval = Opts.Decay;
-  Config.MaxInstructions = Opts.MaxInstructions;
-  Config.TracesEnabled = !Opts.NoTraces;
-  Config.ProfilingEnabled = !Opts.NoProfile;
-  Config.TelemetryEnabled = Opts.wantsTelemetry();
-  Config.TelemetryCapacity = Opts.TelemetryCap;
-  Config.SampleInterval = Opts.SampleInterval;
-  TraceVM VM(PM, Config);
+  TraceVM VM(PM, VmOptions()
+                     .completionThreshold(Opts.Threshold)
+                     .startStateDelay(Opts.Delay)
+                     .decayInterval(Opts.Decay)
+                     .maxInstructions(Opts.MaxInstructions)
+                     .traces(!Opts.NoTraces)
+                     .profiling(!Opts.NoProfile)
+                     .telemetry(Opts.wantsTelemetry())
+                     .telemetryCapacity(Opts.TelemetryCap)
+                     .sampleInterval(Opts.SampleInterval));
   RunResult R = VM.run();
   // --json to stdout owns the stream: program output is suppressed there
   // so the document stays parseable.
