@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "harness/Experiment.h"
 #include "opt/TraceOptimizer.h"
 #include "support/TablePrinter.h"
@@ -27,16 +28,20 @@ namespace {
 /// adds a row to \p T. The baseline "before" is always the *uninlined,
 /// unoptimized* linearization, so the inlined mode's reduction includes
 /// what inlining itself exposes (call overhead becomes foldable data
-/// flow).
+/// flow). Every trace is optimized twice -- without and with static
+/// analysis facts -- so the table shows what liveness buys at side
+/// exits (guard materialization size, "exit locals/guard") and what
+/// constant seeding buys in folds.
 void reportMode(TablePrinter &T, const WorkloadInfo &W, bool Inline) {
   std::cerr << "  running " << W.Name << (Inline ? " (inlined)" : "")
             << "...\n";
   Module M = W.Build(W.DefaultScale / 2);
   PreparedModule PM(M);
+  analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
   TraceVM VM(PM, VmOptions().completionThreshold(0.97).startStateDelay(64));
   VM.run();
 
-  OptStats Total;
+  OptStats NoFacts, WithFacts;
   uint64_t WeightedBefore = 0, WeightedAfter = 0;
   size_t Live = 0;
   for (const Trace &Tr : VM.traceCache().traces()) {
@@ -47,32 +52,38 @@ void reportMode(TablePrinter &T, const WorkloadInfo &W, bool Inline) {
     uint64_t Before = 0;
     for (const LinearSegment &Seg : linearizeTrace(PM, Tr, false))
       Before += Seg.numInstructions();
+    optimizeTrace(PM, Tr, NoFacts, /*InlineStaticCalls=*/Inline);
     OptStats St;
     uint64_t After = 0;
     for (const LinearSegment &Seg :
-         optimizeTrace(PM, Tr, St, /*InlineStaticCalls=*/Inline))
+         optimizeTrace(PM, Tr, St, /*InlineStaticCalls=*/Inline, &Facts))
       After += Seg.numInstructions();
     WeightedBefore += Before * Tr.Completed;
     WeightedAfter += After * Tr.Completed;
-    Total.InstructionsBefore += Before;
-    Total.InstructionsAfter += After;
-    Total.GuardsAfter += St.GuardsAfter;
-    Total.GuardsEliminated += St.GuardsEliminated;
-    Total.ConstantsFolded += St.ConstantsFolded;
-    Total.DeadStores += St.DeadStores;
+    WithFacts.InstructionsBefore += Before;
+    WithFacts.InstructionsAfter += After;
+    WithFacts.GuardsAfter += St.GuardsAfter;
+    WithFacts.GuardsEliminated += St.GuardsEliminated;
+    WithFacts.ConstantsFolded += St.ConstantsFolded;
+    WithFacts.DeadStores += St.DeadStores;
+    WithFacts.GuardExitLocalsFlushed += St.GuardExitLocalsFlushed;
+    WithFacts.GuardExitLocalsSkipped += St.GuardExitLocalsSkipped;
   }
   double WeightedReduction =
       WeightedBefore == 0 ? 0.0
                           : 1.0 - static_cast<double>(WeightedAfter) /
                                       static_cast<double>(WeightedBefore);
   T.addRow({W.Name, Inline ? "inline" : "plain", std::to_string(Live),
-            std::to_string(Total.InstructionsBefore),
-            std::to_string(Total.InstructionsAfter),
+            std::to_string(WithFacts.InstructionsBefore),
+            std::to_string(WithFacts.InstructionsAfter),
             TablePrinter::fmtPercent(WeightedReduction, 1),
-            std::to_string(Total.GuardsAfter),
-            std::to_string(Total.GuardsEliminated),
-            std::to_string(Total.ConstantsFolded),
-            std::to_string(Total.DeadStores)});
+            std::to_string(WithFacts.GuardsAfter),
+            std::to_string(WithFacts.GuardsEliminated),
+            std::to_string(WithFacts.ConstantsFolded),
+            std::to_string(WithFacts.DeadStores),
+            TablePrinter::fmt(NoFacts.localsPerSideExit(), 2),
+            TablePrinter::fmt(WithFacts.localsPerSideExit(), 2),
+            std::to_string(WithFacts.GuardExitLocalsSkipped)});
 }
 
 } // namespace
@@ -82,7 +93,9 @@ int main() {
                "work)\n\n";
   TablePrinter T({"benchmark", "mode", "live traces", "instrs before",
                   "instrs after", "weighted reduction", "guards kept",
-                  "guards eliminated", "const folds", "dead stores"});
+                  "guards eliminated", "const folds", "dead stores",
+                  "exit locals/guard", "exit locals/guard (live)",
+                  "exit stores skipped"});
   for (const WorkloadInfo &W : allWorkloads()) {
     reportMode(T, W, /*Inline=*/false);
     reportMode(T, W, /*Inline=*/true);
@@ -91,6 +104,8 @@ int main() {
   std::cout << "\n(weighted reduction = instruction savings relative to "
                "the uninlined, unoptimized trace,\n weighted by how often "
                "each trace completed; \"inline\" flattens static calls "
-               "into the segment first)\n";
+               "into the segment first;\n \"exit locals/guard\" = deferred "
+               "stores materialized per surviving side exit, without and\n "
+               "with liveness facts -- dead-at-exit locals are left stale)\n";
   return 0;
 }

@@ -1,0 +1,75 @@
+//===- analysis/Analysis.h - Umbrella + per-module bundle -------*- C++ -*-===//
+///
+/// \file
+/// Convenience entry point: ModuleAnalysis computes and owns the CFG,
+/// value facts and liveness for every method of a module plus the
+/// call-graph effect summaries. Requires a module that already passed
+/// the structural + height verifier pass (see bytecode/Verifier.h);
+/// building analyses over malformed code is undefined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_ANALYSIS_ANALYSIS_H
+#define JTC_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Lint.h"
+#include "analysis/Liveness.h"
+#include "analysis/Summaries.h"
+#include "analysis/TypeCheck.h"
+#include "analysis/Value.h"
+#include "analysis/ValueAnalysis.h"
+
+#include <memory>
+#include <vector>
+
+namespace jtc {
+namespace analysis {
+
+/// All facts for one method. Owns the CFG the fact objects point into.
+struct MethodAnalysis {
+  explicit MethodAnalysis(const Module &M, uint32_t MethodId)
+      : Cfg(M, MethodId), Values(MethodValueFacts::compute(Cfg)),
+        Liveness(LivenessFacts::compute(Cfg)) {}
+
+  MethodCfg Cfg;
+  MethodValueFacts Values;
+  LivenessFacts Liveness;
+};
+
+/// Facts for every method of a module.
+class ModuleAnalysis {
+public:
+  /// \p M must outlive the result and must be structurally verified.
+  static ModuleAnalysis compute(const Module &M) {
+    ModuleAnalysis A;
+    A.PerMethod.reserve(M.Methods.size());
+    for (uint32_t F = 0; F < M.Methods.size(); ++F)
+      A.PerMethod.push_back(M.Methods[F].Code.empty()
+                                ? nullptr
+                                : std::make_unique<MethodAnalysis>(M, F));
+    A.Effects = ModuleSummaries::compute(M);
+    return A;
+  }
+
+  /// Null for (malformed) empty methods.
+  const MethodAnalysis *method(uint32_t Id) const {
+    return PerMethod[Id].get();
+  }
+  uint32_t numMethods() const {
+    return static_cast<uint32_t>(PerMethod.size());
+  }
+  const ModuleSummaries &summaries() const { return Effects; }
+
+private:
+  // unique_ptr keeps each MethodAnalysis at a stable address; the fact
+  // objects hold pointers into their sibling Cfg.
+  std::vector<std::unique_ptr<MethodAnalysis>> PerMethod;
+  ModuleSummaries Effects;
+};
+
+} // namespace analysis
+} // namespace jtc
+
+#endif // JTC_ANALYSIS_ANALYSIS_H

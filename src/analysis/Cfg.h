@@ -1,0 +1,72 @@
+//===- analysis/Cfg.h - Per-method control-flow graph -----------*- C++ -*-===//
+///
+/// \file
+/// Basic-block control-flow graph for a single method, plus the
+/// reverse-post-order schedule the dataflow solver iterates in. Block
+/// discovery mirrors the interpreter's preparation pass (leaders at
+/// branch/switch targets and after any block-ending instruction) but adds
+/// explicit successor/predecessor edges; calls are fallthrough edges here
+/// because the callee's effects are interprocedural.
+///
+/// Construction requires a structurally valid method (all branch targets
+/// in range) -- run the structural verifier pass first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_ANALYSIS_CFG_H
+#define JTC_ANALYSIS_CFG_H
+
+#include "bytecode/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+namespace analysis {
+
+struct CfgBlock {
+  uint32_t Start = 0; ///< First instruction index.
+  uint32_t End = 0;   ///< One past the last instruction index.
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+class MethodCfg {
+public:
+  MethodCfg(const Module &M, uint32_t MethodId);
+
+  uint32_t methodId() const { return MethodIdx; }
+  const Method &method() const { return Mod->Methods[MethodIdx]; }
+  const Module &module() const { return *Mod; }
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+  const CfgBlock &block(uint32_t Id) const { return Blocks[Id]; }
+
+  /// Id of the block containing instruction \p Pc.
+  uint32_t blockAt(uint32_t Pc) const { return BlockOfPc[Pc]; }
+
+  /// True when \p Pc is the first instruction of its block.
+  bool isLeader(uint32_t Pc) const { return Blocks[BlockOfPc[Pc]].Start == Pc; }
+
+  /// Reverse post-order over blocks reachable from the entry by raw edges
+  /// (before any constant-based pruning). Blocks not listed here are
+  /// structurally unreachable.
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+
+  /// Position of each block in rpo(), or UINT32_MAX for structurally
+  /// unreachable blocks. Used as the solver's worklist priority.
+  uint32_t rpoIndex(uint32_t Block) const { return RpoIndex[Block]; }
+
+private:
+  const Module *Mod;
+  uint32_t MethodIdx;
+  std::vector<CfgBlock> Blocks;
+  std::vector<uint32_t> BlockOfPc;
+  std::vector<uint32_t> Rpo;
+  std::vector<uint32_t> RpoIndex;
+};
+
+} // namespace analysis
+} // namespace jtc
+
+#endif // JTC_ANALYSIS_CFG_H

@@ -1,0 +1,49 @@
+//===- analysis/Lint.h - Advisory bytecode lints ----------------*- C++ -*-===//
+///
+/// \file
+/// Advisory findings derived from the dataflow facts: code that is legal
+/// (it verifies and runs) but probably not what the author meant. These
+/// back the `jtc-analyze` CLI; none of them are verification errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_ANALYSIS_LINT_H
+#define JTC_ANALYSIS_LINT_H
+
+#include "analysis/Liveness.h"
+#include "analysis/ValueAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace analysis {
+
+struct LintFinding {
+  enum class Kind : uint8_t {
+    UnreachableBlock, ///< No path from entry (structurally or by constants).
+    DeadBranch,       ///< Conditional branch/switch with a provable outcome.
+    DeadStore,        ///< istore/iinc whose value is never read afterwards.
+    UnusedLocal,      ///< Non-argument local never read in the method.
+    StackNeutralLoop, ///< Loop whose body cannot change any state that
+                      ///< could affect its exit condition.
+  };
+
+  Kind K = Kind::UnreachableBlock;
+  uint32_t MethodId = 0;
+  uint32_t Block = 0; ///< Block id (or the loop header for loops).
+  uint32_t Pc = 0;    ///< Anchor instruction.
+  std::string Message;
+};
+
+/// Stable lowercase identifier for JSON output, e.g. "dead-store".
+const char *lintKindName(LintFinding::Kind K);
+
+/// Lints one method given its analysis facts.
+std::vector<LintFinding> lintMethod(const MethodValueFacts &Values,
+                                    const LivenessFacts &Liveness);
+
+} // namespace analysis
+} // namespace jtc
+
+#endif // JTC_ANALYSIS_LINT_H

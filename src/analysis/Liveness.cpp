@@ -1,0 +1,78 @@
+//===- analysis/Liveness.cpp - Backward liveness of locals ----------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/Dataflow.h"
+
+namespace jtc {
+namespace analysis {
+
+namespace {
+
+/// Applies one instruction's backward effect: live = (live \ defs) u uses.
+void stepBackward(const Instruction &I, LocalSet &Live) {
+  switch (I.Op) {
+  case Opcode::Iload:
+    Live.set(static_cast<uint32_t>(I.A));
+    break;
+  case Opcode::Istore:
+    Live.clear(static_cast<uint32_t>(I.A));
+    break;
+  case Opcode::Iinc:
+    // Reads and writes the local; the read keeps it live.
+    Live.set(static_cast<uint32_t>(I.A));
+    break;
+  default:
+    break; // Everything else only touches the operand stack / heap.
+  }
+}
+
+class LivenessProblem {
+public:
+  using State = LocalSet;
+  static constexpr bool Forward = false;
+
+  explicit LivenessProblem(const MethodCfg &Cfg) : Cfg(Cfg) {}
+
+  State boundary() const { return LocalSet(Cfg.method().NumLocals); }
+  State initial() const { return LocalSet(Cfg.method().NumLocals); }
+
+  void transfer(uint32_t Block, State &S) {
+    const CfgBlock &B = Cfg.block(Block);
+    const Method &Fn = Cfg.method();
+    for (uint32_t Pc = B.End; Pc > B.Start; --Pc)
+      stepBackward(Fn.Code[Pc - 1], S);
+  }
+
+  bool join(State &Into, const State &From, bool /*Widen*/) {
+    return Into.unionWith(From);
+  }
+
+private:
+  const MethodCfg &Cfg;
+};
+
+} // namespace
+
+LivenessFacts LivenessFacts::compute(const MethodCfg &Cfg) {
+  LivenessProblem P(Cfg);
+  // For a backward problem the solver returns the live-out set of every
+  // block; replay each block backward to recover per-pc live-in sets.
+  std::vector<LocalSet> Out = solve(Cfg, P);
+
+  LivenessFacts Facts;
+  const Method &Fn = Cfg.method();
+  Facts.Empty = LocalSet(Fn.NumLocals);
+  Facts.PerPc.assign(Fn.Code.size(), LocalSet(Fn.NumLocals));
+  for (uint32_t B = 0; B < Cfg.numBlocks(); ++B) {
+    const CfgBlock &Blk = Cfg.block(B);
+    LocalSet Live = Out[B];
+    for (uint32_t Pc = Blk.End; Pc > Blk.Start; --Pc) {
+      stepBackward(Fn.Code[Pc - 1], Live);
+      Facts.PerPc[Pc - 1] = Live;
+    }
+  }
+  return Facts;
+}
+
+} // namespace analysis
+} // namespace jtc

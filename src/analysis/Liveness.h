@@ -1,0 +1,88 @@
+//===- analysis/Liveness.h - Backward liveness of locals --------*- C++ -*-===//
+///
+/// \file
+/// Classic backward may-liveness of method locals: a local is live at a
+/// program point when some path from that point reads it before writing
+/// it. Only Iload/Istore/Iinc touch locals in this instruction set
+/// (calls communicate through the operand stack), so the transfer
+/// function is tiny. The trace optimizer uses the per-pc live-in sets to
+/// avoid materializing dead locals at side exits, and the lint pass uses
+/// them to flag dead stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_ANALYSIS_LIVENESS_H
+#define JTC_ANALYSIS_LIVENESS_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+namespace analysis {
+
+/// A set of local indices as a flat bitset.
+class LocalSet {
+public:
+  LocalSet() = default;
+  explicit LocalSet(uint32_t NumLocals)
+      : Words((NumLocals + 63) / 64, 0) {}
+
+  void set(uint32_t L) { Words[L / 64] |= uint64_t{1} << (L % 64); }
+  void clear(uint32_t L) { Words[L / 64] &= ~(uint64_t{1} << (L % 64)); }
+  bool test(uint32_t L) const {
+    return L / 64 < Words.size() &&
+           (Words[L / 64] >> (L % 64)) & 1;
+  }
+
+  /// Into |= From; returns true when anything changed.
+  bool unionWith(const LocalSet &From) {
+    if (Words.size() < From.Words.size())
+      Words.resize(From.Words.size(), 0);
+    bool Changed = false;
+    for (uint32_t W = 0; W < From.Words.size(); ++W) {
+      uint64_t Next = Words[W] | From.Words[W];
+      Changed |= Next != Words[W];
+      Words[W] = Next;
+    }
+    return Changed;
+  }
+
+  uint32_t count() const {
+    uint32_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<uint32_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const LocalSet &O) const = default;
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// Per-pc live-in sets for one method.
+class LivenessFacts {
+public:
+  static LivenessFacts compute(const MethodCfg &Cfg);
+
+  /// Locals live immediately before the instruction at \p Pc. A \p Pc of
+  /// Code.size() (a fallthrough exit) yields the empty set.
+  const LocalSet &liveIn(uint32_t Pc) const {
+    return Pc < PerPc.size() ? PerPc[Pc] : Empty;
+  }
+
+  bool isLiveIn(uint32_t Pc, uint32_t Local) const {
+    return liveIn(Pc).test(Local);
+  }
+
+private:
+  std::vector<LocalSet> PerPc;
+  LocalSet Empty;
+};
+
+} // namespace analysis
+} // namespace jtc
+
+#endif // JTC_ANALYSIS_LIVENESS_H

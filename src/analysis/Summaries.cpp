@@ -1,0 +1,150 @@
+//===- analysis/Summaries.cpp - Per-method effect summaries ---------------===//
+
+#include "analysis/Summaries.h"
+
+#include <sstream>
+
+namespace jtc {
+namespace analysis {
+
+std::string EffectSummary::str() const {
+  if (pure())
+    return "pure";
+  std::ostringstream OS;
+  const char *Sep = "";
+  auto emit = [&](bool Flag, const char *Name) {
+    if (Flag) {
+      OS << Sep << Name;
+      Sep = ",";
+    }
+  };
+  emit(ReadsHeap, "reads");
+  emit(WritesHeap, "writes");
+  emit(Allocates, "allocates");
+  emit(MayTrap, "traps");
+  emit(Prints, "prints");
+  emit(MayHalt, "halts");
+  return OS.str();
+}
+
+namespace {
+
+/// Direct effects of one method's own instructions, ignoring callees.
+EffectSummary localEffects(const Method &Fn) {
+  EffectSummary E;
+  for (const Instruction &I : Fn.Code) {
+    switch (I.Op) {
+    case Opcode::GetField:
+    case Opcode::Iaload:
+    case Opcode::ArrayLength:
+      E.ReadsHeap = true;
+      E.MayTrap = true; // Null receiver / bad index.
+      break;
+    case Opcode::PutField:
+    case Opcode::Iastore:
+      E.WritesHeap = true;
+      E.MayTrap = true;
+      break;
+    case Opcode::New:
+    case Opcode::NewArray:
+      E.Allocates = true;
+      E.MayTrap = true; // Out of memory / negative length.
+      break;
+    case Opcode::Idiv:
+    case Opcode::Irem:
+      E.MayTrap = true; // Divide by zero.
+      break;
+    case Opcode::InvokeVirtual:
+      E.MayTrap = true; // Null / non-object receiver, missing impl.
+      break;
+    case Opcode::Iprint:
+      E.Prints = true;
+      break;
+    case Opcode::Halt:
+      E.MayHalt = true;
+      break;
+    default:
+      break;
+    }
+  }
+  return E;
+}
+
+/// Appends every possible direct callee of \p Fn.
+void appendCallees(const Module &M, const Method &Fn,
+                   std::vector<uint32_t> &Out) {
+  for (const Instruction &I : Fn.Code) {
+    if (I.Op == Opcode::InvokeStatic) {
+      Out.push_back(static_cast<uint32_t>(I.A));
+    } else if (I.Op == Opcode::InvokeVirtual) {
+      uint32_t Slot = static_cast<uint32_t>(I.A);
+      for (const Class &C : M.Classes)
+        if (Slot < C.Vtable.size() && C.Vtable[Slot] != InvalidMethod)
+          Out.push_back(C.Vtable[Slot]);
+    }
+  }
+}
+
+} // namespace
+
+ModuleSummaries ModuleSummaries::compute(const Module &M) {
+  const uint32_t N = static_cast<uint32_t>(M.Methods.size());
+  ModuleSummaries S;
+  S.Summaries.resize(N);
+  S.Recursive.assign(N, false);
+
+  std::vector<std::vector<uint32_t>> Callees(N);
+  for (uint32_t F = 0; F < N; ++F) {
+    S.Summaries[F] = localEffects(M.Methods[F]);
+    appendCallees(M, M.Methods[F], Callees[F]);
+  }
+
+  // Cycle detection (iterative DFS, colors: 0 unseen, 1 on stack, 2 done).
+  // A back edge to an on-stack method marks every method on the stack from
+  // that point as recursive; recursion can overflow the frame stack, so
+  // those methods may trap regardless of their bodies.
+  std::vector<uint8_t> Color(N, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Color[Root] != 0)
+      continue;
+    Stack.emplace_back(Root, 0);
+    Color[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[F, Next] = Stack.back();
+      if (Next < Callees[F].size()) {
+        uint32_t C = Callees[F][Next++];
+        if (Color[C] == 0) {
+          Color[C] = 1;
+          Stack.emplace_back(C, 0);
+        } else if (Color[C] == 1) {
+          for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+            S.Recursive[It->first] = true;
+            if (It->first == C)
+              break;
+          }
+        }
+      } else {
+        Color[F] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+  for (uint32_t F = 0; F < N; ++F)
+    if (S.Recursive[F])
+      S.Summaries[F].MayTrap = true; // Potential stack overflow.
+
+  // Propagate callee effects to callers until stable. Effects only grow
+  // and the lattice is finite, so this terminates quickly.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t F = 0; F < N; ++F)
+      for (uint32_t C : Callees[F])
+        Changed |= S.Summaries[F].merge(S.Summaries[C]);
+  }
+  return S;
+}
+
+} // namespace analysis
+} // namespace jtc

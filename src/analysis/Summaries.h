@@ -1,0 +1,81 @@
+//===- analysis/Summaries.h - Per-method effect summaries -------*- C++ -*-===//
+///
+/// \file
+/// Conservative per-method effect summaries propagated over the call
+/// graph: does a method read or write the heap, allocate, possibly trap,
+/// print, or halt the VM? Virtual calls merge the summaries of every
+/// implementation of the slot; methods involved in call-graph cycles are
+/// marked may-trap because unbounded recursion can exhaust the frame
+/// stack. A method with no effect bits set is pure: executing it can only
+/// consume time and produce a return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_ANALYSIS_SUMMARIES_H
+#define JTC_ANALYSIS_SUMMARIES_H
+
+#include "bytecode/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace analysis {
+
+struct EffectSummary {
+  bool ReadsHeap = false;
+  bool WritesHeap = false;
+  bool Allocates = false;
+  bool MayTrap = false;
+  bool Prints = false;
+  bool MayHalt = false;
+
+  /// No observable effect besides the returned value.
+  bool pure() const {
+    return !ReadsHeap && !WritesHeap && !Allocates && !MayTrap && !Prints &&
+           !MayHalt;
+  }
+
+  /// Into |= From; returns true when anything changed.
+  bool merge(const EffectSummary &O) {
+    bool Changed =
+        (O.ReadsHeap && !ReadsHeap) || (O.WritesHeap && !WritesHeap) ||
+        (O.Allocates && !Allocates) || (O.MayTrap && !MayTrap) ||
+        (O.Prints && !Prints) || (O.MayHalt && !MayHalt);
+    ReadsHeap |= O.ReadsHeap;
+    WritesHeap |= O.WritesHeap;
+    Allocates |= O.Allocates;
+    MayTrap |= O.MayTrap;
+    Prints |= O.Prints;
+    MayHalt |= O.MayHalt;
+    return Changed;
+  }
+
+  /// Compact rendering like "pure" or "reads,traps".
+  std::string str() const;
+};
+
+/// Summaries for every method of a module.
+class ModuleSummaries {
+public:
+  static ModuleSummaries compute(const Module &M);
+
+  const EffectSummary &method(uint32_t Id) const { return Summaries[Id]; }
+  uint32_t numMethods() const {
+    return static_cast<uint32_t>(Summaries.size());
+  }
+
+  /// True when the method participates in a call-graph cycle (directly or
+  /// mutually recursive).
+  bool isRecursive(uint32_t Id) const { return Recursive[Id]; }
+
+private:
+  std::vector<EffectSummary> Summaries;
+  std::vector<bool> Recursive;
+};
+
+} // namespace analysis
+} // namespace jtc
+
+#endif // JTC_ANALYSIS_SUMMARIES_H

@@ -1,0 +1,162 @@
+//===- analysis/TypeCheck.cpp - Typed verification pass -------------------===//
+
+#include "analysis/TypeCheck.h"
+
+#include <sstream>
+
+namespace jtc {
+namespace analysis {
+
+namespace {
+
+class Checker {
+public:
+  Checker(const MethodValueFacts &Facts, std::vector<TypeError> &Errors)
+      : Facts(Facts), Errors(Errors) {}
+
+  void checkAll() {
+    const MethodCfg &Cfg = Facts.cfg();
+    for (uint32_t B = 0; B < Cfg.numBlocks(); ++B)
+      Facts.forEachInstruction(B, [&](uint32_t Pc, const FrameState &S) {
+        check(Pc, S);
+      });
+  }
+
+private:
+  const MethodValueFacts &Facts;
+  std::vector<TypeError> &Errors;
+
+  void error(uint32_t Pc, const std::string &Msg) {
+    Errors.push_back(TypeError{Pc, Msg});
+  }
+
+  const AbstractValue &fromTop(const FrameState &S, uint32_t Depth) const {
+    return S.Stack[S.Stack.size() - 1 - Depth];
+  }
+
+  /// A position that consumes an integer: definite references and
+  /// conflicting merges are rejected; Top and any Int (including 0) pass.
+  void demandInt(uint32_t Pc, const AbstractValue &V, const char *What) {
+    if (V.isRef()) {
+      std::ostringstream OS;
+      OS << "reference value " << V.str() << " used as " << What;
+      error(Pc, OS.str());
+    } else if (V.isConflict()) {
+      std::ostringstream OS;
+      OS << "type-inconsistent merge consumed as " << What;
+      error(Pc, OS.str());
+    }
+  }
+
+  /// A position that dereferences: the constant 0 (always null) and
+  /// definite non-zero integers are rejected, as are conflicting merges.
+  void demandReceiver(uint32_t Pc, const AbstractValue &V, const char *What) {
+    if (V.isZero()) {
+      std::ostringstream OS;
+      OS << What << " receiver is always null";
+      error(Pc, OS.str());
+    } else if (V.isInt()) {
+      std::ostringstream OS;
+      OS << "integer value " << V.str() << " used as " << What
+         << " receiver";
+      error(Pc, OS.str());
+    } else if (V.isConflict()) {
+      std::ostringstream OS;
+      OS << "type-inconsistent merge used as " << What << " receiver";
+      error(Pc, OS.str());
+    }
+  }
+
+  void check(uint32_t Pc, const FrameState &S) {
+    const Method &Fn = Facts.cfg().method();
+    const Module &M = Facts.cfg().module();
+    const Instruction &I = Fn.Code[Pc];
+    switch (I.Op) {
+    case Opcode::Iadd:
+    case Opcode::Isub:
+    case Opcode::Imul:
+    case Opcode::Idiv:
+    case Opcode::Irem:
+    case Opcode::Ishl:
+    case Opcode::Ishr:
+    case Opcode::Iushr:
+    case Opcode::Iand:
+    case Opcode::Ior:
+    case Opcode::Ixor:
+      demandInt(Pc, fromTop(S, 1), "arithmetic operand");
+      demandInt(Pc, fromTop(S, 0), "arithmetic operand");
+      break;
+    case Opcode::Ineg:
+      demandInt(Pc, fromTop(S, 0), "arithmetic operand");
+      break;
+    case Opcode::Iinc:
+      demandInt(Pc, S.Locals[static_cast<uint32_t>(I.A)], "iinc target");
+      break;
+    case Opcode::Tableswitch:
+      demandInt(Pc, fromTop(S, 0), "switch selector");
+      break;
+    case Opcode::NewArray:
+      demandInt(Pc, fromTop(S, 0), "array length");
+      break;
+    case Opcode::GetField:
+      demandReceiver(Pc, fromTop(S, 0), "getfield");
+      break;
+    case Opcode::PutField:
+      demandReceiver(Pc, fromTop(S, 1), "putfield");
+      break;
+    case Opcode::Iaload:
+      demandReceiver(Pc, fromTop(S, 1), "iaload");
+      break;
+    case Opcode::Iastore:
+      demandReceiver(Pc, fromTop(S, 2), "iastore");
+      break;
+    case Opcode::ArrayLength:
+      demandReceiver(Pc, fromTop(S, 0), "arraylength");
+      break;
+    case Opcode::InvokeVirtual: {
+      const SlotInfo &Slot = M.Slots[static_cast<uint32_t>(I.A)];
+      if (S.Stack.size() >= Slot.ArgCount)
+        demandReceiver(Pc, fromTop(S, Slot.ArgCount - 1), "invokevirtual");
+      break;
+    }
+    case Opcode::Ireturn: {
+      const AbstractValue &V = fromTop(S, 0);
+      if (Fn.RetType == TypeTag::Int) {
+        if (V.isRef()) {
+          std::ostringstream OS;
+          OS << "return type mismatch: returns reference " << V.str()
+             << " from a method declared returns=int";
+          error(Pc, OS.str());
+        } else if (V.isConflict()) {
+          error(Pc, "return type mismatch: type-inconsistent merge returned "
+                    "from a method declared returns=int");
+        }
+      } else {
+        // returns=ref is a strong promise: callers type the result as a
+        // reference-or-null, so the operand must provably be one.
+        if (!V.isRef() && !V.isZero()) {
+          std::ostringstream OS;
+          OS << "return type mismatch: value " << V.str()
+             << " not provably a reference from a method declared "
+                "returns=ref";
+          error(Pc, OS.str());
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+};
+
+} // namespace
+
+std::vector<TypeError> checkMethodTypes(const MethodValueFacts &Facts) {
+  std::vector<TypeError> Errors;
+  Checker(Facts, Errors).checkAll();
+  return Errors;
+}
+
+} // namespace analysis
+} // namespace jtc

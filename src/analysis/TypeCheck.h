@@ -1,0 +1,50 @@
+//===- analysis/TypeCheck.h - Typed verification pass -----------*- C++ -*-===//
+///
+/// \file
+/// The typed verification rules layered on top of the value analysis.
+/// The VM's execution is total (every misuse is a defined trap), so these
+/// are static *discipline* rules in the spirit of the JVM verifier: code
+/// that provably confuses references and integers is rejected before it
+/// runs, rather than trapping at runtime.
+///
+/// Rejected (each with a distinct diagnostic):
+///  - a definitely-reference value used as an arithmetic/shift/logic
+///    operand, switch selector, array length or iinc target;
+///  - a definitely-integer (non-zero) value used as a field/array/virtual
+///    receiver;
+///  - a receiver that is the constant 0, i.e. provably always null;
+///  - a value of conflicting merged types (reference on one path, non-zero
+///    integer on another) consumed by any type-demanding position;
+///  - an Ireturn whose operand contradicts the method's declared return
+///    type (a definite reference under `returns=int`, or anything not
+///    provably a reference-or-null under `returns=ref`).
+///
+/// Permissive positions -- conditional branches (idiomatic null tests),
+/// istore/iload, iprint, putfield/iastore values -- accept any type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_ANALYSIS_TYPECHECK_H
+#define JTC_ANALYSIS_TYPECHECK_H
+
+#include "analysis/ValueAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace analysis {
+
+struct TypeError {
+  uint32_t Pc = 0;
+  std::string Message;
+};
+
+/// Checks one method's typed discipline given its value-analysis fixpoint.
+/// Unreachable code is not checked (it cannot execute).
+std::vector<TypeError> checkMethodTypes(const MethodValueFacts &Facts);
+
+} // namespace analysis
+} // namespace jtc
+
+#endif // JTC_ANALYSIS_TYPECHECK_H

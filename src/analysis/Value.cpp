@@ -1,0 +1,65 @@
+//===- analysis/Value.cpp - Abstract value rendering ----------------------===//
+
+#include "analysis/Value.h"
+
+#include <sstream>
+
+namespace jtc {
+namespace analysis {
+
+std::string AbstractValue::str() const {
+  switch (K) {
+  case Kind::Bot:
+    return "bot";
+  case Kind::Top:
+    return "top";
+  case Kind::Conflict:
+    return "conflict";
+  case Kind::Int: {
+    std::ostringstream OS;
+    if (Lo == Hi) {
+      OS << "int " << Lo;
+    } else if (Lo == MinInt && Hi == MaxInt) {
+      OS << "int";
+    } else {
+      OS << "int[";
+      if (Lo == MinInt)
+        OS << "min";
+      else
+        OS << Lo;
+      OS << ",";
+      if (Hi == MaxInt)
+        OS << "max";
+      else
+        OS << Hi;
+      OS << "]";
+    }
+    return OS.str();
+  }
+  case Kind::Ref: {
+    std::ostringstream OS;
+    OS << "ref{";
+    if (Classes.any()) {
+      OS << "*";
+    } else {
+      bool First = true;
+      Classes.forEach([&](uint32_t C) {
+        if (!First)
+          OS << ",";
+        OS << C;
+        First = false;
+      });
+    }
+    OS << "}";
+    if (MayBeArray)
+      OS << "[]";
+    if (MayBeNull)
+      OS << "?";
+    return OS.str();
+  }
+  }
+  return "?";
+}
+
+} // namespace analysis
+} // namespace jtc

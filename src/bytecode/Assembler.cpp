@@ -97,10 +97,10 @@ void MethodBuilder::finish() {
 //===----------------------------------------------------------------------===//
 
 uint32_t Assembler::declareSlot(const std::string &Name, uint32_t ArgCount,
-                                bool ReturnsValue) {
+                                bool ReturnsValue, TypeTag RetType) {
   assert(ArgCount >= 1 && "virtual slots include the receiver argument");
   auto Id = static_cast<uint32_t>(M.Slots.size());
-  M.Slots.push_back({Name, ArgCount, ReturnsValue});
+  M.Slots.push_back({Name, ArgCount, ReturnsValue, RetType});
   return Id;
 }
 
@@ -126,7 +126,8 @@ void Assembler::setVtableEntry(uint32_t ClassId, uint32_t Slot,
 }
 
 uint32_t Assembler::declareMethod(const std::string &Name, uint32_t NumArgs,
-                                  uint32_t NumLocals, bool ReturnsValue) {
+                                  uint32_t NumLocals, bool ReturnsValue,
+                                  TypeTag RetType) {
   assert(NumLocals >= NumArgs && "locals must cover the arguments");
   auto Id = static_cast<uint32_t>(M.Methods.size());
   Method Mth;
@@ -134,6 +135,7 @@ uint32_t Assembler::declareMethod(const std::string &Name, uint32_t NumArgs,
   Mth.NumArgs = NumArgs;
   Mth.NumLocals = NumLocals;
   Mth.ReturnsValue = ReturnsValue;
+  Mth.RetType = RetType;
   M.Methods.push_back(std::move(Mth));
   return Id;
 }

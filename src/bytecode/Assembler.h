@@ -108,9 +108,10 @@ public:
   Assembler() = default;
 
   /// Declares a virtual-call slot shared by all classes. \p ArgCount
-  /// includes the receiver.
+  /// includes the receiver. \p RetType is the declared result type
+  /// (meaningful only when \p ReturnsValue); implementations must match.
   uint32_t declareSlot(const std::string &Name, uint32_t ArgCount,
-                       bool ReturnsValue);
+                       bool ReturnsValue, TypeTag RetType = TypeTag::Int);
 
   /// Declares a class with \p NumFields instance fields; its vtable is
   /// sized to the current slot count (grown automatically on build()).
@@ -120,9 +121,12 @@ public:
   void setVtableEntry(uint32_t ClassId, uint32_t Slot, uint32_t MethodId);
 
   /// Reserves a method id so other methods can call it before it is
-  /// defined. NumLocals must be >= NumArgs.
+  /// defined. NumLocals must be >= NumArgs. \p RetType declares the
+  /// result type (only meaningful when \p ReturnsValue); `returns=ref`
+  /// methods must provably return a reference or null.
   uint32_t declareMethod(const std::string &Name, uint32_t NumArgs,
-                         uint32_t NumLocals, bool ReturnsValue);
+                         uint32_t NumLocals, bool ReturnsValue,
+                         TypeTag RetType = TypeTag::Int);
 
   /// Starts defining a previously declared method. Only one builder may be
   /// live at a time.

@@ -33,25 +33,58 @@ enum class Opcode : uint8_t {
 #include "bytecode/Opcodes.def"
 };
 
+namespace detail {
+
+struct OpInfo {
+  const char *Mnemonic;
+  int8_t Pops;
+  int8_t Pushes;
+  OpKind Kind;
+};
+
+inline constexpr OpInfo OpInfos[] = {
+#define JTC_OPCODE(Name, Mnemonic, Pops, Pushes, Kind)                         \
+  {Mnemonic, Pops, Pushes, OpKind::Kind},
+#include "bytecode/Opcodes.def"
+};
+
+} // namespace detail
+
+// The metadata accessors are constexpr so both the interpreters' dispatch
+// loops and the static-analysis library can fold them; keeping them in the
+// header also lets jtc_analysis depend on bytecode *headers* only (no link
+// dependency, so jtc_bytecode may in turn link jtc_analysis for the typed
+// verifier without a cycle).
+
 /// Number of defined opcodes.
-unsigned numOpcodes();
+constexpr unsigned numOpcodes() {
+  return sizeof(detail::OpInfos) / sizeof(detail::OpInfos[0]);
+}
 
 /// Human-readable mnemonic, e.g. "if_icmplt".
-const char *mnemonic(Opcode Op);
+constexpr const char *mnemonic(Opcode Op) {
+  return detail::OpInfos[static_cast<unsigned>(Op)].Mnemonic;
+}
 
 /// Control-flow classification of \p Op.
-OpKind opKind(Opcode Op);
+constexpr OpKind opKind(Opcode Op) {
+  return detail::OpInfos[static_cast<unsigned>(Op)].Kind;
+}
 
 /// Operand-stack pop count; -1 when it depends on a callee signature.
-int opPops(Opcode Op);
+constexpr int opPops(Opcode Op) {
+  return detail::OpInfos[static_cast<unsigned>(Op)].Pops;
+}
 
 /// Operand-stack push count; -1 when it depends on a callee signature.
-int opPushes(Opcode Op);
+constexpr int opPushes(Opcode Op) {
+  return detail::OpInfos[static_cast<unsigned>(Op)].Pushes;
+}
 
 /// True for opcodes that terminate a basic block in the
 /// direct-threaded-inlining preparation: branches, jumps, switches, calls,
 /// returns and halt. A dispatch occurs after every such instruction.
-bool endsBlock(Opcode Op);
+constexpr bool endsBlock(Opcode Op) { return opKind(Op) != OpKind::Normal; }
 
 } // namespace jtc
 

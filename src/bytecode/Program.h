@@ -33,6 +33,14 @@ struct SwitchTable {
   uint32_t DefaultTarget = 0;
 };
 
+/// Declared type of a value-returning method's result. The instruction set
+/// carries no argument types (locals are untyped int64 slots), but return
+/// types are declared so the typed verifier can reject a method that
+/// returns a reference where callers were promised an integer. `Int` is
+/// the default and what the textual form's historic `returns=int` means;
+/// `ref` is spelled explicitly.
+enum class TypeTag : uint8_t { Int, Ref };
+
 /// One method: a name, a signature, and pre-decoded code.
 ///
 /// For virtual methods the receiver reference is argument 0, so NumArgs
@@ -43,6 +51,8 @@ struct Method {
   uint32_t NumArgs = 0;
   uint32_t NumLocals = 0;
   bool ReturnsValue = false;
+  /// Declared result type; meaningful only when ReturnsValue.
+  TypeTag RetType = TypeTag::Int;
   std::vector<Instruction> Code;
   std::vector<SwitchTable> SwitchTables;
 };
@@ -53,6 +63,9 @@ struct SlotInfo {
   std::string Name;
   uint32_t ArgCount = 1;
   bool ReturnsValue = false;
+  /// Declared result type; meaningful only when ReturnsValue. Every
+  /// implementation's RetType must agree with the slot's.
+  TypeTag RetType = TypeTag::Int;
 };
 
 /// One class: instance field count and a vtable with one entry per module

@@ -2,6 +2,8 @@
 
 #include "bytecode/Verifier.h"
 
+#include "analysis/Analysis.h"
+
 #include <cassert>
 #include <deque>
 #include <sstream>
@@ -43,6 +45,7 @@ private:
 
   static constexpr int Unreached = -1;
   std::vector<int> HeightAt; // stack height on entry, or Unreached
+  std::vector<bool> StaticOk; // per-pc result of the structural sweep
   std::deque<uint32_t> Worklist;
 };
 
@@ -177,6 +180,33 @@ void MethodVerifier::run() {
     return;
   }
 
+  // Layer 1: structural sweep over every instruction, reachable or not.
+  // Unreachable code with wild operands used to be silently accepted; the
+  // dataflow passes (and any tool that builds a CFG) need all targets and
+  // indices to be in range, so it is rejected outright now.
+  StaticOk.assign(Mth.Code.size(), true);
+  for (uint32_t Pc = 0; Pc < Mth.Code.size(); ++Pc)
+    StaticOk[Pc] = checkStatic(Pc);
+
+  // A method must end in a terminator (goto/switch/return/halt). Height
+  // flow reports reachable fall-offs; this rule also covers fall-offs
+  // only reachable through paths the height pass cannot see.
+  switch (opKind(Mth.Code.back().Op)) {
+  case OpKind::Normal:
+  case OpKind::Branch:
+  case OpKind::Call:
+    error(static_cast<uint32_t>(Mth.Code.size()) - 1,
+          "method may fall off the end (last instruction is not a "
+          "terminator)");
+    break;
+  case OpKind::Jump:
+  case OpKind::Switch:
+  case OpKind::Ret:
+  case OpKind::End:
+    break;
+  }
+
+  // Layer 2: abstract stack-height interpretation over reachable code.
   HeightAt.assign(Mth.Code.size(), Unreached);
   HeightAt[0] = 0;
   Worklist.push_back(0);
@@ -185,7 +215,7 @@ void MethodVerifier::run() {
     uint32_t Pc = Worklist.front();
     Worklist.pop_front();
     const Instruction &I = Mth.Code[Pc];
-    if (!checkStatic(Pc))
+    if (!StaticOk[Pc])
       continue;
 
     int Pops = 0, Pushes = 0;
@@ -225,6 +255,47 @@ void MethodVerifier::run() {
   }
 }
 
+/// Block index of \p Pc: the number of basic-block leaders at or before
+/// it. Tolerant of malformed methods (out-of-range targets are ignored),
+/// since errors are exactly where malformed code shows up.
+uint32_t blockIndexOf(const Method &Mth, uint32_t Pc) {
+  auto N = static_cast<uint32_t>(Mth.Code.size());
+  if (Pc >= N)
+    return 0;
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  auto mark = [&](uint32_t T) {
+    if (T < N)
+      Leader[T] = true;
+  };
+  for (uint32_t P = 0; P < N; ++P) {
+    const Instruction &I = Mth.Code[P];
+    switch (opKind(I.Op)) {
+    case OpKind::Branch:
+    case OpKind::Jump:
+      mark(static_cast<uint32_t>(I.A));
+      break;
+    case OpKind::Switch:
+      if (I.A >= 0 && static_cast<size_t>(I.A) < Mth.SwitchTables.size()) {
+        const SwitchTable &T = Mth.SwitchTables[I.A];
+        mark(T.DefaultTarget);
+        for (uint32_t Tgt : T.Targets)
+          mark(Tgt);
+      }
+      break;
+    default:
+      break;
+    }
+    if (endsBlock(I.Op))
+      mark(P + 1);
+  }
+  uint32_t Block = 0;
+  for (uint32_t P = 1; P <= Pc; ++P)
+    if (Leader[P])
+      ++Block;
+  return Block;
+}
+
 } // namespace
 
 std::vector<VerifyError> jtc::verifyModule(const Module &M) {
@@ -237,8 +308,19 @@ std::vector<VerifyError> jtc::verifyModule(const Module &M) {
   if (M.Methods[M.EntryMethod].NumArgs != 0)
     Errors.push_back({M.EntryMethod, 0, "entry method must take no arguments"});
 
-  for (uint32_t Id = 0; Id < M.Methods.size(); ++Id)
+  for (uint32_t Id = 0; Id < M.Methods.size(); ++Id) {
+    size_t Before = Errors.size();
     MethodVerifier(M, Id, Errors).run();
+
+    // Layer 3: typed abstract interpretation, only over methods that are
+    // structurally and height-clean (the analyses assume both).
+    if (Errors.size() == Before) {
+      analysis::MethodCfg Cfg(M, Id);
+      analysis::MethodValueFacts Facts = analysis::MethodValueFacts::compute(Cfg);
+      for (const analysis::TypeError &E : analysis::checkMethodTypes(Facts))
+        Errors.push_back({Id, E.Pc, E.Message});
+    }
+  }
 
   for (uint32_t C = 0; C < M.Classes.size(); ++C) {
     const Class &Cls = M.Classes[C];
@@ -257,12 +339,20 @@ std::vector<VerifyError> jtc::verifyModule(const Module &M) {
       }
       const Method &Impl = M.Methods[Target];
       const SlotInfo &Slot = M.Slots[S];
-      if (Impl.NumArgs != Slot.ArgCount || Impl.ReturnsValue != Slot.ReturnsValue)
+      if (Impl.NumArgs != Slot.ArgCount ||
+          Impl.ReturnsValue != Slot.ReturnsValue ||
+          (Impl.ReturnsValue && Impl.RetType != Slot.RetType))
         Errors.push_back({Target, 0,
                           "method '" + Impl.Name + "' does not match slot '" +
                               Slot.Name + "' signature"});
     }
   }
+
+  // Annotate each error with the basic block containing its pc, so the
+  // diagnostics line up with CFG-level tooling (jtc-analyze, traces).
+  for (VerifyError &E : Errors)
+    if (E.MethodId < M.Methods.size())
+      E.Block = blockIndexOf(M.Methods[E.MethodId], E.Pc);
   return Errors;
 }
 
@@ -271,6 +361,7 @@ bool jtc::isValid(const Module &M) { return verifyModule(M).empty(); }
 std::string jtc::formatErrors(const std::vector<VerifyError> &Errors) {
   std::ostringstream OS;
   for (const VerifyError &E : Errors)
-    OS << "method " << E.MethodId << " @" << E.Pc << ": " << E.Message << "\n";
+    OS << "method " << E.MethodId << " block " << E.Block << " @" << E.Pc
+       << ": " << E.Message << "\n";
   return OS.str();
 }

@@ -20,27 +20,40 @@
 namespace jtc {
 
 /// One verification failure, with enough location info to act on it.
+/// Block is the index of the basic block containing Pc (0 when the
+/// method is too malformed for block discovery); it is filled in by
+/// verifyModule so diagnostics can be correlated with CFG-level tools.
 struct VerifyError {
   uint32_t MethodId = 0;
   uint32_t Pc = 0;
   std::string Message;
+  uint32_t Block = 0;
 };
 
 /// Verifies \p M and returns all errors found (empty = valid).
 ///
-/// Checks, per method: local indices in range; branch/switch targets in
-/// range; call targets and slot indices valid; call-site stack depth
-/// sufficient; Ireturn only in value-returning methods (and vice versa);
-/// no path falls off the end of the code; operand stack heights consistent
-/// at merge points and never negative. Checks, per class: vtable entries
-/// match their slot signature. Checks that the entry method exists and
-/// takes no arguments.
+/// Runs in three layers, cheapest first:
+///  1. Structural: every instruction's operands in range (including
+///     unreachable ones), Ireturn/Return matching the signature, and the
+///     method's last instruction being a terminator so control cannot
+///     fall off the end through any path, reachable or not.
+///  2. Stack heights: abstract interpretation of operand-stack depth
+///     (underflow, merge consistency) -- the fast pass the interpreters
+///     rely on to skip dynamic underflow checks.
+///  3. Types: for methods clean under 1-2, the analysis library's typed
+///     abstract interpretation (see analysis/TypeCheck.h) rejects
+///     reference/integer confusion, provably-null receivers,
+///     type-inconsistent merges and wrong-typed returns.
+/// Checks, per class: vtable entries match their slot signature
+/// (including the declared return type). Checks that the entry method
+/// exists and takes no arguments.
 std::vector<VerifyError> verifyModule(const Module &M);
 
 /// Convenience wrapper: true when verifyModule() reports no errors.
 bool isValid(const Module &M);
 
-/// Renders errors as "method 3 @12: message" lines for diagnostics.
+/// Renders errors as "method 3 block 1 @12: message" lines for
+/// diagnostics.
 std::string formatErrors(const std::vector<VerifyError> &Errors);
 
 } // namespace jtc

@@ -5,6 +5,7 @@
 #include "baseline/NetTraceVm.h"
 #include "bytecode/Verifier.h"
 #include "fuzz/Invariants.h"
+#include "fuzz/Refinement.h"
 #include "interp/InstructionInterpreter.h"
 #include "interp/PreparedModule.h"
 #include "interp/ThreadedInterpreter.h"
@@ -131,6 +132,15 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
   if (RR.Status == RunStatus::BudgetExhausted) {
     Result.Skipped = true;
     return Result;
+  }
+
+  // Dynamic-refines-static audit: a second reference-speed replay that
+  // checks every executed block leader against the static analysis.
+  // Output comparison cannot catch analysis soundness bugs (the analysis
+  // is off the execution path), so this is its only oracle.
+  if (Config.CheckRefinement) {
+    Comparer C(Result, "static-analysis");
+    C.violations(checkRefinement(M, Config.MaxInstructions));
   }
 
   PreparedModule PM(M);

@@ -64,6 +64,11 @@ struct OracleConfig {
   /// Audit profiler/cache invariants after every profiled run.
   bool CheckInvariants = true;
 
+  /// Audit that dynamic facts refine the static analysis' may-sets
+  /// (Refinement.h): replays the reference run with per-block-leader
+  /// checks against a computed ModuleAnalysis.
+  bool CheckRefinement = true;
+
   /// Injected trace-cache bug, for oracle self-tests (see TraceConfig.h).
   CacheFault Fault = CacheFault::None;
 };

@@ -2,6 +2,7 @@
 
 #include "fuzz/ProgramGen.h"
 
+#include <algorithm>
 #include <string>
 
 using namespace jtc;
@@ -133,11 +134,23 @@ Module RandomProgramBuilder::build() {
 }
 
 void RandomProgramBuilder::emitExpr(MethodBuilder &B, unsigned Self) {
-  // Push one value: a constant or a local.
-  if (Rng.chancePercent(40))
+  // Push one integer value: a constant or an integer-typed local. The
+  // reserved object/array locals hold references and never feed
+  // arithmetic -- the typed verifier rejects reference/integer confusion,
+  // so generated programs stay verified-by-construction.
+  if (Rng.chancePercent(40)) {
     B.iconst(static_cast<int32_t>(Rng.nextInRange(-100, 100)));
-  else
-    B.iload(static_cast<uint32_t>(Rng.nextBelow(Locals[Self])));
+    return;
+  }
+  // Integer locals are [0, RefBase) plus the loop counter (the last
+  // local); the reference band sits between them.
+  uint32_t RefBase = Locals[Self] - 1;
+  if (ObjLocal[Self] != NoLocal)
+    RefBase = std::min(RefBase, ObjLocal[Self]);
+  if (ArrLocal[Self] != NoLocal)
+    RefBase = std::min(RefBase, ArrLocal[Self]);
+  uint32_t Pick = static_cast<uint32_t>(Rng.nextBelow(RefBase + 1));
+  B.iload(Pick == RefBase ? Locals[Self] - 1 : Pick);
 }
 
 uint32_t RandomProgramBuilder::storeTarget(unsigned Self) {
@@ -340,7 +353,22 @@ void RandomProgramBuilder::emitStatement(MethodBuilder &B,
       B.emit(Opcode::Iaload);
       B.istore(storeTarget(Self));
     } else {
+      // Nullable receiver: a runtime condition picks between null and the
+      // live object local, so the typed verifier sees a *nullable*
+      // reference (accepted) while the trap still fires whenever the
+      // condition selects the null arm. The condition must not be
+      // constant-foldable or branch pruning would leave an always-null
+      // receiver (rejected); the object's field value is opaque to the
+      // analysis.
+      Label NonNull = B.newLabel(), Merge = B.newLabel();
+      B.iload(ObjLocal[Self]);
+      B.getfield(0);
+      B.branch(Opcode::IfNe, NonNull);
       B.iconst(0); // the null reference
+      B.branch(Opcode::Goto, Merge);
+      B.bind(NonNull);
+      B.iload(ObjLocal[Self]);
+      B.bind(Merge);
       B.getfield(0);
       B.istore(storeTarget(Self));
     }

@@ -1,0 +1,58 @@
+//===- fuzz/Refinement.h - Dynamic-refines-static audit ---------*- C++ -*-===//
+///
+/// \file
+/// The bridge between the fuzzer and the static analysis framework: a
+/// sound may-analysis promises that every dynamically observable fact is
+/// inside its static may-sets. This audit replays a module under the
+/// reference interpreter and checks that promise at every block leader:
+///
+///  - every executed block is statically reachable (including blocks the
+///    constant-propagation edge pruning claims are dead);
+///  - every local refines its abstract value: static Int[Lo,Hi] contains
+///    the dynamic value (constants compare equal), a static non-null Ref
+///    is dynamically a live heap handle whose class is in the may-set,
+///    and a reachable point never carries a static Bot.
+///
+/// A violation here is an analysis soundness bug (or an interpreter
+/// divergence from the transfer function) -- exactly the class of defect
+/// differential output comparison cannot see, because the analysis is
+/// not on any execution path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_FUZZ_REFINEMENT_H
+#define JTC_FUZZ_REFINEMENT_H
+
+#include "fuzz/Invariants.h"
+
+#include <cstdint>
+
+namespace jtc {
+
+struct Module;
+
+namespace analysis {
+class ModuleAnalysis;
+} // namespace analysis
+
+namespace fuzz {
+
+/// Runs \p M (which must be verifier-valid) under the reference
+/// interpreter for at most \p MaxInstructions and audits every block
+/// leader against a freshly computed analysis::ModuleAnalysis. Reports
+/// at most a handful of violations (the first one is the interesting
+/// one; the rest are usually its cascade).
+std::vector<Violation> checkRefinement(const Module &M,
+                                       uint64_t MaxInstructions);
+
+/// Same audit against caller-supplied facts. Exposed so tests can prove
+/// the audit *fires*: facts computed over a structurally identical but
+/// semantically different module stand in for an unsound analysis.
+std::vector<Violation> checkRefinement(const Module &M,
+                                       const analysis::ModuleAnalysis &Facts,
+                                       uint64_t MaxInstructions);
+
+} // namespace fuzz
+} // namespace jtc
+
+#endif // JTC_FUZZ_REFINEMENT_H

@@ -2,6 +2,8 @@
 
 #include "opt/TraceOptimizer.h"
 
+#include "analysis/Analysis.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -20,9 +22,20 @@ size_t LinearSegment::numInstructions() const {
 // Linearization
 //===----------------------------------------------------------------------===//
 
-std::vector<LinearSegment> jtc::linearizeTrace(const PreparedModule &PM,
-                                               const Trace &T,
-                                               bool InlineStaticCalls) {
+namespace {
+
+/// True when \p V can be re-emitted as an Iconst immediate.
+bool fitsImm(int64_t V) {
+  return V >= std::numeric_limits<int32_t>::min() &&
+         V <= std::numeric_limits<int32_t>::max();
+}
+
+} // namespace
+
+std::vector<LinearSegment>
+jtc::linearizeTrace(const PreparedModule &PM, const Trace &T,
+                    bool InlineStaticCalls,
+                    const analysis::ModuleAnalysis *Facts) {
   std::vector<LinearSegment> Segments;
   const Module &M = PM.module();
   constexpr unsigned MaxInlineDepth = 8;
@@ -39,13 +52,22 @@ std::vector<LinearSegment> jtc::linearizeTrace(const PreparedModule &PM,
   };
   std::vector<FrameCtx> Inline;
 
-  auto Begin = [&](uint32_t MethodId) {
+  auto Begin = [&](uint32_t MethodId, uint32_t StartPc) {
     Cur = LinearSegment();
     Cur.MethodId = MethodId;
     Cur.NumLocals = M.Methods[MethodId].NumLocals;
     Cur.ScratchBase = Cur.NumLocals;
     Inline.assign(1, {MethodId, 0});
     Open = true;
+    // Seed the optimizer with locals proved constant at the entry pc.
+    if (const analysis::MethodAnalysis *MA =
+            Facts ? Facts->method(MethodId) : nullptr) {
+      analysis::FrameState S = MA->Values.stateBefore(StartPc);
+      if (S.Reachable)
+        for (uint32_t L = 0; L < S.Locals.size(); ++L)
+          if (S.Locals[L].isConst() && fitsImm(S.Locals[L].Lo))
+            Cur.EntryConsts.emplace_back(L, S.Locals[L].Lo);
+    }
   };
   auto End = [&] {
     if (Open && !Cur.Ops.empty())
@@ -62,7 +84,7 @@ std::vector<LinearSegment> jtc::linearizeTrace(const PreparedModule &PM,
     // trace start).
     if (!Open || Inline.back().MethodId != BB.MethodId) {
       End();
-      Begin(BB.MethodId);
+      Begin(BB.MethodId, BB.StartPc);
     }
     uint32_t Base = Inline.back().LocalBase;
 
@@ -92,7 +114,19 @@ std::vector<LinearSegment> jtc::linearizeTrace(const PreparedModule &PM,
         const BasicBlock &NextBB = PM.block(T.Blocks[Bi + 1]);
         bool Taken = NextBB.MethodId == BB.MethodId &&
                      NextBB.StartPc == static_cast<uint32_t>(I.A);
-        Cur.Ops.push_back(LinearOp::guard(I.Op, Taken));
+        LinearOp G = LinearOp::guard(I.Op, Taken);
+        // The side exit resumes at the direction the trace did not take.
+        G.ExitPc = Taken ? Pc + 1 : static_cast<uint32_t>(I.A);
+        // Liveness at the exit is only meaningful for root-frame guards:
+        // inside an inlined frame the caller's locals escape through the
+        // (unmodeled) frame reconstruction, so stay conservative there.
+        if (Facts && Inline.size() == 1) {
+          if (const analysis::MethodAnalysis *MA = Facts->method(BB.MethodId)) {
+            G.HasLiveAtExit = true;
+            G.LiveAtExit = MA->Liveness.liveIn(G.ExitPc);
+          }
+        }
+        Cur.Ops.push_back(std::move(G));
         break;
       }
       case OpKind::Switch:
@@ -170,12 +204,6 @@ std::vector<LinearSegment> jtc::linearizeTrace(const PreparedModule &PM,
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// True when \p V can be re-emitted as an Iconst immediate.
-bool fitsImm(int64_t V) {
-  return V >= std::numeric_limits<int32_t>::min() &&
-         V <= std::numeric_limits<int32_t>::max();
-}
 
 /// Folds A op B with the Machine's wrap-around semantics. Returns false
 /// when the operation cannot be folded safely (division that would trap)
@@ -309,8 +337,13 @@ public:
     Out.MethodId = In.MethodId;
     Out.NumLocals = In.NumLocals;
     Out.ScratchBase = In.ScratchBase;
+    Out.EntryConsts = In.EntryConsts;
     Vals.assign(In.NumLocals, LocalVal());
     Dirty.assign(In.NumLocals, false);
+    // Statically proved entry constants: known but clean (the real local
+    // already holds the value, so nothing is owed at exits).
+    for (const auto &[L, C] : In.EntryConsts)
+      Vals[L] = {LocalVal::Kind::Const, C, 0};
     // Local access positions, for the liveness queries that decide
     // whether a displaced copy must be pinned or is simply dead.
     Reads.assign(In.NumLocals, {});
@@ -416,6 +449,23 @@ private:
     for (uint32_t X = 0; X < Dirty.size(); ++X)
       if (X < In.ScratchBase)
         flushDirtyLocal(X);
+  }
+
+  /// Guard-point flush: like flushDirtyLocals, but when the guard knows
+  /// which locals are live at its exit pc, locals that are dead there may
+  /// keep their deferred (stale) value -- no path from the exit reads
+  /// them before writing them.
+  void flushDirtyLocalsAtGuard(const LinearOp &G) {
+    for (uint32_t X = 0; X < Dirty.size(); ++X) {
+      if (X >= In.ScratchBase || !Dirty[X])
+        continue;
+      if (G.HasLiveAtExit && !G.LiveAtExit.test(X)) {
+        ++Stats.GuardExitLocalsSkipped;
+        continue;
+      }
+      flushDirtyLocal(X);
+      ++Stats.GuardExitLocalsFlushed;
+    }
   }
 
   /// True when local \p X's current value can still be observed after
@@ -703,9 +753,10 @@ void SegmentOptimizer::handleGuard(const LinearOp &Op) {
   }
 
   // A live guard is a potential exit: the real machine state must be
-  // complete before it runs.
+  // complete before it runs -- restricted to the exit's live locals when
+  // the guard carries liveness facts.
   materializeAll();
-  flushDirtyLocals();
+  flushDirtyLocalsAtGuard(Op);
   Out.Ops.push_back(Op);
   for (int P = 0; P < Pops; ++P)
     pop();
@@ -738,12 +789,13 @@ LinearSegment jtc::optimizeSegment(const LinearSegment &In, OptStats &Stats) {
   return SegmentOptimizer(In, Stats).run();
 }
 
-std::vector<LinearSegment> jtc::optimizeTrace(const PreparedModule &PM,
-                                              const Trace &T,
-                                              OptStats &Stats,
-                                              bool InlineStaticCalls) {
+std::vector<LinearSegment>
+jtc::optimizeTrace(const PreparedModule &PM, const Trace &T, OptStats &Stats,
+                   bool InlineStaticCalls,
+                   const analysis::ModuleAnalysis *Facts) {
   std::vector<LinearSegment> Out;
-  for (const LinearSegment &Seg : linearizeTrace(PM, T, InlineStaticCalls))
+  for (const LinearSegment &Seg :
+       linearizeTrace(PM, T, InlineStaticCalls, Facts))
     Out.push_back(optimizeSegment(Seg, Stats));
   return Out;
 }

@@ -15,9 +15,13 @@
 ///
 ///  - optimizeSegment() runs a stack-caching optimizer over one segment:
 ///    constant folding, deferred loads and constants, store forwarding,
-///    dead store elimination and guard elimination. State is fully
-///    materialized at every guard, so an early exit observes exactly the
-///    unoptimized machine state.
+///    dead store elimination and guard elimination. State is materialized
+///    at every guard, so an early exit observes the unoptimized machine
+///    state. When linearization was given static analysis facts
+///    (analysis::ModuleAnalysis), each guard carries the set of locals
+///    *live* at its exit pc and the optimizer flushes only those: dead
+///    locals may hold stale values at a side exit because no path from
+///    the exit reads them before writing them.
 ///
 /// The optimizer is measured (bench/ablation_trace_optimizer) rather than
 /// wired into the dispatch loop; its correctness contract -- identical
@@ -29,6 +33,7 @@
 #ifndef JTC_OPT_TRACEOPTIMIZER_H
 #define JTC_OPT_TRACEOPTIMIZER_H
 
+#include "analysis/Liveness.h"
 #include "interp/PreparedModule.h"
 #include "trace/Trace.h"
 
@@ -36,6 +41,10 @@
 #include <vector>
 
 namespace jtc {
+
+namespace analysis {
+class ModuleAnalysis;
+} // namespace analysis
 
 /// One element of a linearized trace segment.
 struct LinearOp {
@@ -50,6 +59,16 @@ struct LinearOp {
   Instruction I;
   /// For Guard: true when the trace follows the branch's taken edge.
   bool GuardTaken = false;
+  /// For Guard: the pc interpretation resumes at when the guard fires
+  /// (the direction the trace did NOT record). Switch guards can exit to
+  /// several pcs and leave this 0.
+  uint32_t ExitPc = 0;
+  /// For Guard: when true, LiveAtExit holds the root-frame locals live at
+  /// ExitPc and the optimizer may leave dead locals stale at this exit.
+  /// When false (no analysis facts, switch guard, or guard inside an
+  /// inlined frame) every local must be intact.
+  bool HasLiveAtExit = false;
+  analysis::LocalSet LiveAtExit;
 
   static LinearOp instr(Instruction In) {
     LinearOp Op;
@@ -74,6 +93,12 @@ struct LinearSegment {
   /// frames): they are dead outside the segment, so the optimizer never
   /// materializes deferred stores to them at exits.
   uint32_t ScratchBase = 0;
+  /// (local, value) pairs proved constant at the segment's entry pc by
+  /// static value analysis. The optimizer seeds its local-value map with
+  /// them, enabling folding and guard elimination across the segment
+  /// boundary; the real local already holds the value, so no flush is
+  /// ever owed for an unmodified seeded local.
+  std::vector<std::pair<uint32_t, int64_t>> EntryConsts;
   std::vector<LinearOp> Ops;
 
   /// Ordinary instructions (guards excluded).
@@ -94,9 +119,15 @@ struct LinearSegment {
 /// guard exits inside inlined code; this implementation measures the
 /// headroom.) Virtual calls still break segments: they would need
 /// receiver-class guards.
-std::vector<LinearSegment> linearizeTrace(const PreparedModule &PM,
-                                          const Trace &T,
-                                          bool InlineStaticCalls = false);
+///
+/// With \p Facts (a ModuleAnalysis over PM's module), every conditional
+/// guard in a root (non-inlined) frame is annotated with the locals live
+/// at its exit pc, which lets the optimizer skip dead locals when it
+/// flushes deferred stores at that guard.
+std::vector<LinearSegment>
+linearizeTrace(const PreparedModule &PM, const Trace &T,
+               bool InlineStaticCalls = false,
+               const analysis::ModuleAnalysis *Facts = nullptr);
 
 /// Optimization statistics, accumulated across segments.
 struct OptStats {
@@ -108,6 +139,20 @@ struct OptStats {
   uint64_t DeadStores = 0;
   uint64_t LoadsForwarded = 0;
   uint64_t GuardsEliminated = 0;
+  /// Deferred local stores emitted because a surviving guard (side exit)
+  /// must be able to observe the local's value.
+  uint64_t GuardExitLocalsFlushed = 0;
+  /// Deferred local stores a guard skipped because liveness proved the
+  /// local dead at the exit pc.
+  uint64_t GuardExitLocalsSkipped = 0;
+
+  /// Average number of locals materialized per surviving side exit -- the
+  /// guard materialization cost liveness is meant to shrink.
+  double localsPerSideExit() const {
+    return GuardsAfter == 0 ? 0.0
+                            : static_cast<double>(GuardExitLocalsFlushed) /
+                                  static_cast<double>(GuardsAfter);
+  }
 
   double reduction() const {
     return InstructionsBefore == 0
@@ -119,15 +164,17 @@ struct OptStats {
 
 /// Optimizes one segment. The result is observably equivalent: executed
 /// from any initial (locals, stack), it produces the same final locals,
-/// stack, and Iprint output, and at every remaining guard the live
-/// machine state equals the unoptimized state.
+/// stack, and Iprint output, and at every remaining guard the machine
+/// state equals the unoptimized state -- restricted, for guards that
+/// carry a LiveAtExit set, to the locals live at the exit.
 LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats);
 
 /// Convenience: linearize + optimize every segment of \p T, accumulating
 /// into \p Stats; returns the optimized segments.
-std::vector<LinearSegment> optimizeTrace(const PreparedModule &PM,
-                                         const Trace &T, OptStats &Stats,
-                                         bool InlineStaticCalls = false);
+std::vector<LinearSegment>
+optimizeTrace(const PreparedModule &PM, const Trace &T, OptStats &Stats,
+              bool InlineStaticCalls = false,
+              const analysis::ModuleAnalysis *Facts = nullptr);
 
 } // namespace jtc
 

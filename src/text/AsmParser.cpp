@@ -132,17 +132,24 @@ private:
     return true;
   }
 
-  bool parseReturns(const Line &L, const std::string &Tok, bool &Returns) {
+  bool parseReturns(const Line &L, const std::string &Tok, bool &Returns,
+                    TypeTag &RetType) {
+    RetType = TypeTag::Int;
     if (Tok == "int") {
       Returns = true;
+      return true;
+    }
+    if (Tok == "ref") {
+      Returns = true;
+      RetType = TypeTag::Ref;
       return true;
     }
     if (Tok == "void") {
       Returns = false;
       return true;
     }
-    return fail(L.Number, "returns must be 'int' or 'void', found '" + Tok +
-                              "'");
+    return fail(L.Number, "returns must be 'int', 'ref' or 'void', found '" +
+                              Tok + "'");
   }
 
   /// Pass 1: register every .slot, .class and .method so bodies may refer
@@ -157,13 +164,15 @@ private:
         std::string ArgsV, RetV;
         uint32_t Args = 0;
         bool Returns = false;
+        TypeTag RetType = TypeTag::Int;
         if (!keyValue(L, Idx, "args", ArgsV) || !parseUint(L, ArgsV, Args) ||
             !keyValue(L, Idx, "returns", RetV) ||
-            !parseReturns(L, RetV, Returns))
+            !parseReturns(L, RetV, Returns, RetType))
           return false;
         if (Slots.count(L.Tokens[1]))
           return fail(L.Number, "duplicate slot '" + L.Tokens[1] + "'");
-        Slots[L.Tokens[1]] = Asm.declareSlot(L.Tokens[1], Args, Returns);
+        Slots[L.Tokens[1]] =
+            Asm.declareSlot(L.Tokens[1], Args, Returns, RetType);
       } else if (Head == ".class") {
         if (L.Tokens.size() < 2)
           return fail(L.Number, ".class needs a name");
@@ -183,18 +192,19 @@ private:
         std::string ArgsV, LocalsV, RetV;
         uint32_t Args = 0, Locals = 0;
         bool Returns = false;
+        TypeTag RetType = TypeTag::Int;
         if (!keyValue(L, Idx, "args", ArgsV) || !parseUint(L, ArgsV, Args) ||
             !keyValue(L, Idx, "locals", LocalsV) ||
             !parseUint(L, LocalsV, Locals) ||
             !keyValue(L, Idx, "returns", RetV) ||
-            !parseReturns(L, RetV, Returns))
+            !parseReturns(L, RetV, Returns, RetType))
           return false;
         if (Locals < Args)
           return fail(L.Number, "locals must be >= args");
         if (Methods.count(L.Tokens[1]))
           return fail(L.Number, "duplicate method '" + L.Tokens[1] + "'");
         Methods[L.Tokens[1]] =
-            Asm.declareMethod(L.Tokens[1], Args, Locals, Returns);
+            Asm.declareMethod(L.Tokens[1], Args, Locals, Returns, RetType);
       }
     }
     return true;

@@ -36,10 +36,16 @@ std::set<uint32_t> labelTargets(const Method &Mth) {
 
 std::string labelName(uint32_t Pc) { return "L" + std::to_string(Pc); }
 
+const char *returnsSpelling(bool ReturnsValue, jtc::TypeTag RetType) {
+  if (!ReturnsValue)
+    return "void";
+  return RetType == jtc::TypeTag::Ref ? "ref" : "int";
+}
+
 void writeMethod(std::ostream &OS, const Module &M, const Method &Mth) {
   OS << ".method " << Mth.Name << " args=" << Mth.NumArgs
      << " locals=" << Mth.NumLocals
-     << " returns=" << (Mth.ReturnsValue ? "int" : "void") << "\n";
+     << " returns=" << returnsSpelling(Mth.ReturnsValue, Mth.RetType) << "\n";
 
   std::set<uint32_t> Labels = labelTargets(Mth);
   for (uint32_t Pc = 0; Pc < Mth.Code.size(); ++Pc) {
@@ -104,7 +110,7 @@ void jtc::writeModule(std::ostream &OS, const Module &M) {
   OS << "; jtc textual assembly\n";
   for (const SlotInfo &S : M.Slots)
     OS << ".slot " << S.Name << " args=" << S.ArgCount
-       << " returns=" << (S.ReturnsValue ? "int" : "void") << "\n";
+       << " returns=" << returnsSpelling(S.ReturnsValue, S.RetType) << "\n";
   for (const Class &C : M.Classes)
     OS << ".class " << C.Name << " fields=" << C.NumFields << "\n";
   for (const Class &C : M.Classes)

@@ -11,6 +11,7 @@
 #include "opt/TraceOptimizer.h"
 
 #include "TestPrograms.h"
+#include "analysis/Analysis.h"
 #include "vm/TraceVM.h"
 #include "workloads/Workloads.h"
 
@@ -32,7 +33,12 @@ struct EvalState {
 /// Executes \p Seg from the given initial state. Guards pop their
 /// operands and continue (pure assertions). Heap-touching segments are
 /// not evaluable here; returns false for those.
-bool evaluate(const LinearSegment &Seg, EvalState &S) {
+///
+/// With \p StopAtGuard >= 0, execution halts right after the operands of
+/// the StopAtGuard-th guard are popped -- the state an interpreter would
+/// resume from if that guard fired. Returns false when the segment has
+/// fewer guards.
+bool evaluate(const LinearSegment &Seg, EvalState &S, int StopAtGuard = -1) {
   auto Pop = [&S]() {
     EXPECT_FALSE(S.Stack.empty()) << "segment consumed more than provided";
     if (S.Stack.empty())
@@ -44,10 +50,13 @@ bool evaluate(const LinearSegment &Seg, EvalState &S) {
   auto Push = [&S](int64_t V) { S.Stack.push_back(V); };
   auto U = [](int64_t V) { return static_cast<uint64_t>(V); };
 
+  int GuardIndex = -1;
   for (const LinearOp &Op : Seg.Ops) {
     if (Op.K == LinearOp::Kind::Guard) {
       for (int P = 0; P < opPops(Op.I.Op); ++P)
         Pop();
+      if (++GuardIndex == StopAtGuard)
+        return true;
       continue;
     }
     const Instruction &I = Op.I;
@@ -150,7 +159,24 @@ bool evaluate(const LinearSegment &Seg, EvalState &S) {
       return false; // heap or control op: not evaluable
     }
   }
-  return true;
+  return StopAtGuard < 0; // requested guard must exist
+}
+
+/// A random initial state for \p Seg. Locals the segment declares as
+/// statically constant at entry (EntryConsts) are pinned to those values
+/// -- the optimizer is entitled to assume them.
+EvalState initialState(const LinearSegment &Seg, uint32_t NumLocals,
+                       Prng &Rng) {
+  EvalState S;
+  S.Locals.resize(NumLocals);
+  for (auto &L : S.Locals)
+    L = Rng.nextInRange(-1000, 1000);
+  for (const auto &[L, C] : Seg.EntryConsts)
+    S.Locals[L] = C;
+  // Generous incoming stack for segments that consume prior operands.
+  for (int I = 0; I < 8; ++I)
+    S.Stack.push_back(Rng.nextInRange(-1000, 1000));
+  return S;
 }
 
 /// Checks equivalence of \p Before and \p After over several random
@@ -164,13 +190,7 @@ unsigned expectEquivalent(const LinearSegment &Before,
   Prng Rng(Seed);
   unsigned Compared = 0;
   for (unsigned Round = 0; Round < 8; ++Round) {
-    EvalState S1;
-    S1.Locals.resize(NumLocals);
-    for (auto &L : S1.Locals)
-      L = Rng.nextInRange(-1000, 1000);
-    // Generous incoming stack for segments that consume prior operands.
-    for (int I = 0; I < 8; ++I)
-      S1.Stack.push_back(Rng.nextInRange(-1000, 1000));
+    EvalState S1 = initialState(Before, NumLocals, Rng);
     EvalState S2 = S1;
     if (!evaluate(Before, S1))
       continue; // heap-touching or trapping: cannot compare
@@ -180,6 +200,51 @@ unsigned expectEquivalent(const LinearSegment &Before,
     S2.Locals.resize(Before.ScratchBase);
     EXPECT_EQ(S1, S2);
     ++Compared;
+  }
+  return Compared;
+}
+
+/// Simulates every guard of \p After firing and checks the state an
+/// interpreter would resume from against the unoptimized \p Before: the
+/// stack, output, and every live local must agree; locals the guard's
+/// LiveAtExit set declares dead may differ. Only comparable when no
+/// guard was eliminated (guard k of After is then guard k of Before).
+/// Returns the number of (state, guard) pairs compared.
+unsigned expectExitEquivalent(const LinearSegment &Before,
+                              const LinearSegment &After, uint64_t Seed) {
+  std::vector<const LinearOp *> GuardsB, GuardsA;
+  for (const LinearOp &Op : Before.Ops)
+    if (Op.K == LinearOp::Kind::Guard)
+      GuardsB.push_back(&Op);
+  for (const LinearOp &Op : After.Ops)
+    if (Op.K == LinearOp::Kind::Guard)
+      GuardsA.push_back(&Op);
+  if (GuardsB.size() != GuardsA.size())
+    return 0; // eliminated guards: indices no longer correspond
+  uint32_t NumLocals = std::max(Before.NumLocals, After.NumLocals);
+  Prng Rng(Seed);
+  unsigned Compared = 0;
+  for (unsigned G = 0; G < GuardsA.size(); ++G) {
+    for (unsigned Round = 0; Round < 4; ++Round) {
+      EvalState S1 = initialState(Before, NumLocals, Rng);
+      EvalState S2 = S1;
+      if (!evaluate(Before, S1, static_cast<int>(G)))
+        continue;
+      bool Ok = evaluate(After, S2, static_cast<int>(G));
+      EXPECT_TRUE(Ok) << "optimized segment lost a guard";
+      if (!Ok)
+        continue;
+      EXPECT_EQ(S1.Stack, S2.Stack);
+      EXPECT_EQ(S1.Output, S2.Output);
+      const LinearOp *Op = GuardsA[G];
+      for (uint32_t L = 0; L < Before.ScratchBase; ++L) {
+        if (Op->HasLiveAtExit && !Op->LiveAtExit.test(L))
+          continue; // dead at this exit: allowed to be stale
+        EXPECT_EQ(S1.Locals[L], S2.Locals[L])
+            << "live local " << L << " diverges at guard " << G;
+      }
+      ++Compared;
+    }
   }
   return Compared;
 }
@@ -393,9 +458,10 @@ TEST(LinearizerTest, SegmentsBreakAtCalls) {
   for (const Trace &T : VM.traceCache().traces()) {
     for (const LinearSegment &Seg : linearizeTrace(PM, T))
       for (const LinearOp &Op : Seg.Ops)
-        if (Op.K == LinearOp::Kind::Instr)
+        if (Op.K == LinearOp::Kind::Instr) {
           EXPECT_TRUE(opKind(Op.I.Op) == OpKind::Normal)
               << "calls/returns must not appear inside segments";
+        }
   }
 }
 
@@ -620,4 +686,194 @@ TEST(OptimizerTest, WorkloadInlinedSegmentsStayEquivalent) {
       }
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness-aware side exits and static constant seeding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A hot loop with a data-dependent side exit at which local 1 (`t`) is
+/// dead: the exit path overwrites it before any read. Locals: 0=i, 1=t,
+/// 2=acc.
+Module loopWithDeadExitLocal() {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 3, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Loop = B.newLabel(), Done = B.newLabel(), Bail = B.newLabel();
+    B.iconst(0);
+    B.istore(0);
+    B.iconst(0);
+    B.istore(2);
+    B.bind(Loop);
+    B.iload(0);
+    B.iconst(60000);
+    B.branch(Opcode::IfIcmpGe, Done);
+    B.iconst(7);
+    B.istore(1); // t = 7; deferred inside the segment
+    B.iload(2);
+    B.branch(Opcode::IfLt, Bail); // data-dependent side exit
+    B.iload(2);
+    B.iload(1);
+    B.emit(Opcode::Iadd);
+    B.istore(2); // acc += t
+    B.iinc(0, 1);
+    B.branch(Opcode::Goto, Loop);
+    B.bind(Bail);
+    B.iconst(0);
+    B.istore(1); // t overwritten before any read: dead at Bail
+    B.iload(2);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.bind(Done);
+    B.iload(2);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// A hot loop over a single-assignment local `k` whose value is a known
+/// constant at the loop head, so analysis facts can seed it. Locals:
+/// 0=i, 1=k, 2=acc.
+Module loopWithConstantLocal() {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 3, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.iconst(5);
+    B.istore(1); // k = 5, the only assignment
+    B.iconst(0);
+    B.istore(0);
+    B.bind(Loop);
+    B.iload(0);
+    B.iconst(60000);
+    B.branch(Opcode::IfIcmpGe, Done);
+    B.iload(2);
+    B.iload(1);
+    B.iconst(3);
+    B.emit(Opcode::Iadd); // k + 3: foldable once k is seeded
+    B.emit(Opcode::Iadd);
+    B.istore(2);
+    B.iinc(0, 1);
+    B.branch(Opcode::Goto, Loop);
+    B.bind(Done);
+    B.iload(2);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// Optimizes every live-trace segment of \p M with \p Facts, checking
+/// straight-line and exit-state equivalence; accumulates stats.
+void sweepWithFacts(const Module &M, OptStats &St, unsigned &ExitCompared,
+                    uint64_t Seed) {
+  PreparedModule PM(M);
+  analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
+  TraceVM VM(PM, VmOptions());
+  VM.run();
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive)
+      continue;
+    for (const LinearSegment &Seg : linearizeTrace(PM, T, false, &Facts)) {
+      LinearSegment Opt = optimizeSegment(Seg, St);
+      expectEquivalent(Seg, Opt, ++Seed);
+      ExitCompared += expectExitEquivalent(Seg, Opt, ++Seed);
+    }
+  }
+}
+
+} // namespace
+
+TEST(OptimizerTest, GuardsCarryLivenessAtTheirExitPc) {
+  Module M = loopWithDeadExitLocal();
+  PreparedModule PM(M);
+  analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
+  TraceVM VM(PM, VmOptions());
+  VM.run();
+  bool SawAnnotated = false;
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive)
+      continue;
+    for (const LinearSegment &Seg : linearizeTrace(PM, T, false, &Facts))
+      for (const LinearOp &Op : Seg.Ops)
+        if (Op.K == LinearOp::Kind::Guard &&
+            opKind(Op.I.Op) == OpKind::Branch) {
+          EXPECT_TRUE(Op.HasLiveAtExit);
+          SawAnnotated = true;
+        }
+  }
+  EXPECT_TRUE(SawAnnotated);
+}
+
+TEST(OptimizerTest, LivenessSkipsDeadLocalsAtSideExits) {
+  OptStats St;
+  unsigned ExitCompared = 0;
+  sweepWithFacts(loopWithDeadExitLocal(), St, ExitCompared, 7000);
+  EXPECT_GT(ExitCompared, 0u)
+      << "exit-state equivalence must actually be exercised";
+  EXPECT_GT(St.GuardExitLocalsSkipped, 0u)
+      << "the dead-at-exit local must not be materialized at the guard";
+}
+
+TEST(OptimizerTest, LivenessReducesGuardMaterialization) {
+  Module M = loopWithDeadExitLocal();
+  PreparedModule PM(M);
+  analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
+  TraceVM VM(PM, VmOptions());
+  VM.run();
+  OptStats NoFacts, WithFacts;
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive)
+      continue;
+    optimizeTrace(PM, T, NoFacts, false);
+    optimizeTrace(PM, T, WithFacts, false, &Facts);
+  }
+  ASSERT_GT(NoFacts.GuardsAfter, 0u);
+  EXPECT_LT(WithFacts.GuardExitLocalsFlushed, NoFacts.GuardExitLocalsFlushed);
+  EXPECT_LT(WithFacts.localsPerSideExit(), NoFacts.localsPerSideExit());
+}
+
+TEST(OptimizerTest, EntryConstantsSeedFolding) {
+  Module M = loopWithConstantLocal();
+  PreparedModule PM(M);
+  analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
+  TraceVM VM(PM, VmOptions());
+  VM.run();
+  OptStats NoFacts, WithFacts;
+  bool SawSeeded = false;
+  uint64_t Seed = 8000;
+  for (const Trace &T : VM.traceCache().traces()) {
+    if (!T.Alive)
+      continue;
+    optimizeTrace(PM, T, NoFacts, false);
+    for (const LinearSegment &Seg : linearizeTrace(PM, T, false, &Facts)) {
+      for (const auto &[L, C] : Seg.EntryConsts)
+        SawSeeded |= L == 1 && C == 5;
+      LinearSegment Opt = optimizeSegment(Seg, WithFacts);
+      expectEquivalent(Seg, Opt, ++Seed);
+    }
+  }
+  EXPECT_TRUE(SawSeeded) << "k=5 must be proved constant at the trace head";
+  EXPECT_GT(WithFacts.ConstantsFolded, NoFacts.ConstantsFolded)
+      << "seeded constants must enable folds the bare optimizer cannot see";
+}
+
+TEST(OptimizerTest, WorkloadSegmentsWithFactsStayEquivalentAtExits) {
+  uint64_t Seed = 9000;
+  unsigned ExitCompared = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    OptStats St;
+    sweepWithFacts(W.Build(std::max(1u, W.DefaultScale / 100)), St,
+                   ExitCompared, Seed += 500);
+  }
+  EXPECT_GT(ExitCompared, 0u);
 }

@@ -223,7 +223,7 @@ TEST(AsmParserTest, BadOperandCountDiagnosed) {
 TEST(AsmParserTest, WrongReturnKindDiagnosed) {
   std::string E = errorFor(".method m args=0 locals=0 returns=float\n"
                            "  halt\n.end\n.entry m\n");
-  EXPECT_NE(E.find("'int' or 'void'"), std::string::npos) << E;
+  EXPECT_NE(E.find("'int', 'ref' or 'void'"), std::string::npos) << E;
 }
 
 TEST(AsmParserTest, DuplicateMethodDiagnosed) {

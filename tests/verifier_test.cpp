@@ -211,12 +211,22 @@ TEST(VerifierTest, RejectsMisSizedVtable) {
   EXPECT_TRUE(hasErrorContaining(M, "mis-sized vtable"));
 }
 
-TEST(VerifierTest, UnreachableGarbageIsIgnored) {
-  // Dead code after a halt is never flow-analyzed, matching the JVM
-  // verifier's treatment of unreachable code regions.
-  Module M = rawModule({Instruction(Opcode::Halt),
-                        Instruction(Opcode::Iadd)});
+TEST(VerifierTest, UnreachableGarbageIsIgnoredWhenTerminated) {
+  // Dead code after a halt is never flow-analyzed (no height or type
+  // checks), matching the JVM verifier's treatment of unreachable code
+  // regions -- as long as the method still ends in a terminator.
+  Module M = rawModule({Instruction(Opcode::Halt), Instruction(Opcode::Iadd),
+                        Instruction(Opcode::Halt)});
   EXPECT_TRUE(isValid(M));
+}
+
+TEST(VerifierTest, RejectsDeadFalloffViaUnreachablePath) {
+  // The last instruction is unreachable, but a method whose final
+  // instruction is not a terminator is rejected structurally: no path,
+  // reachable or not, may fall off the end of the code.
+  Module M = rawModule({Instruction(Opcode::Halt), Instruction(Opcode::Iadd)});
+  std::string S = formatErrors(verifyModule(M));
+  EXPECT_NE(S.find("fall off the end"), std::string::npos) << S;
 }
 
 TEST(VerifierTest, FormatErrorsIsReadable) {

@@ -1,0 +1,180 @@
+//===- tools/jtc_analyze.cpp - Static-analysis lint driver ----------------===//
+///
+/// Runs the dataflow-analysis framework over programs and reports
+/// advisory findings: code that verifies and runs but is probably not
+/// what the author meant (unreachable blocks, dead branches, dead
+/// stores, unused locals, stack-neutral loops).
+///
+///   jtc-analyze <program>... [options]
+///
+/// <program> is either a path to a .jasm file or "workload:<name>" for
+/// one of the built-in benchmarks. Programs that fail verification are
+/// reported as errors (exit 1); lint findings are advisory and do not
+/// affect the exit status unless --strict is given.
+///
+/// Options:
+///   --json        emit findings as one JSON document on stdout
+///   --strict      exit 1 when any finding is reported
+///   --scale=<n>   workload scale override (workload inputs only)
+///   --quiet       suppress the per-input "ok" lines (human mode)
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "bytecode/Verifier.h"
+#include "support/ArgParse.h"
+#include "support/Json.h"
+#include "text/AsmParser.h"
+#include "workloads/Workloads.h"
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace jtc;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> Inputs;
+  bool Json = false;
+  bool Strict = false;
+  bool Quiet = false;
+  uint32_t Scale = 0;
+};
+
+int usage() {
+  std::cerr << "usage: jtc-analyze <program>... [--json] [--strict] "
+               "[--scale=N] [--quiet]\n"
+               "  <program>: a .jasm file, or workload:<name> where name is "
+               "one of:\n   ";
+  for (const WorkloadInfo &W : allWorkloads())
+    std::cerr << " " << W.Name;
+  std::cerr << "\n";
+  return 2;
+}
+
+bool parseOptions(int Argc, char **Argv, Options &Opts) {
+  ArgParser P;
+  P.positionals(&Opts.Inputs)
+      .flag("json", &Opts.Json)
+      .flag("strict", &Opts.Strict)
+      .flag("quiet", &Opts.Quiet)
+      .u32Opt("scale", &Opts.Scale);
+  return P.parse(Argc, Argv, 1) && !Opts.Inputs.empty();
+}
+
+std::optional<Module> loadProgram(const std::string &Input,
+                                  const Options &Opts) {
+  if (Input.rfind("workload:", 0) == 0) {
+    std::string Name = Input.substr(9);
+    const WorkloadInfo *W = findWorkload(Name);
+    if (!W) {
+      std::cerr << "unknown workload '" << Name << "'\n";
+      return std::nullopt;
+    }
+    return W->Build(Opts.Scale ? Opts.Scale : W->DefaultScale);
+  }
+  std::string Error;
+  std::optional<Module> M = parseModuleFile(Input, Error);
+  if (!M)
+    std::cerr << "error: " << Error << "\n";
+  return M;
+}
+
+/// All findings for one input, in method order.
+std::vector<analysis::LintFinding> lintModule(const Module &M) {
+  analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
+  std::vector<analysis::LintFinding> All;
+  for (uint32_t F = 0; F < Facts.numMethods(); ++F) {
+    const analysis::MethodAnalysis *MA = Facts.method(F);
+    if (!MA)
+      continue;
+    std::vector<analysis::LintFinding> Fs =
+        analysis::lintMethod(MA->Values, MA->Liveness);
+    All.insert(All.end(), Fs.begin(), Fs.end());
+  }
+  return All;
+}
+
+void printHuman(const std::string &Input, const Module &M,
+                const std::vector<analysis::LintFinding> &Findings,
+                bool Quiet) {
+  for (const analysis::LintFinding &F : Findings)
+    std::cout << Input << ": method " << M.Methods[F.MethodId].Name
+              << " block " << F.Block << " @" << F.Pc << ": "
+              << analysis::lintKindName(F.K) << ": " << F.Message << "\n";
+  if (!Quiet || !Findings.empty())
+    std::cout << Input << ": " << M.Methods.size() << " methods, "
+              << Findings.size() << " finding"
+              << (Findings.size() == 1 ? "" : "s") << "\n";
+}
+
+void writeInputJson(JsonWriter &W, const std::string &Input, const Module &M,
+                    const std::vector<analysis::LintFinding> &Findings) {
+  W.beginObject();
+  W.field("input", Input);
+  W.fieldUInt("methods", M.Methods.size());
+  W.key("findings").beginArray();
+  for (const analysis::LintFinding &F : Findings) {
+    W.beginObject()
+        .field("kind", analysis::lintKindName(F.K))
+        .field("method", M.Methods[F.MethodId].Name)
+        .fieldUInt("methodId", F.MethodId)
+        .fieldUInt("block", F.Block)
+        .fieldUInt("pc", F.Pc)
+        .field("message", F.Message)
+        .endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseOptions(Argc, Argv, Opts))
+    return usage();
+
+  JsonWriter W(std::cout);
+  if (Opts.Json)
+    W.beginObject().key("inputs").beginArray();
+
+  size_t TotalFindings = 0;
+  bool LoadFailed = false;
+  for (const std::string &Input : Opts.Inputs) {
+    std::optional<Module> M = loadProgram(Input, Opts);
+    if (!M) {
+      LoadFailed = true;
+      continue;
+    }
+    // The analyses assume verified code; a program that fails the typed
+    // verifier is an error here, not a lint.
+    std::vector<VerifyError> Errors = verifyModule(*M);
+    if (!Errors.empty()) {
+      std::cerr << Input << ": verification failed:\n" << formatErrors(Errors);
+      LoadFailed = true;
+      continue;
+    }
+    std::vector<analysis::LintFinding> Findings = lintModule(*M);
+    TotalFindings += Findings.size();
+    if (Opts.Json)
+      writeInputJson(W, Input, *M, Findings);
+    else
+      printHuman(Input, *M, Findings, Opts.Quiet);
+  }
+
+  if (Opts.Json) {
+    W.endArray()
+        .fieldUInt("totalFindings", TotalFindings)
+        .fieldBool("strict", Opts.Strict)
+        .endObject();
+    std::cout << "\n";
+  }
+
+  if (LoadFailed)
+    return 1;
+  return Opts.Strict && TotalFindings > 0 ? 1 : 0;
+}

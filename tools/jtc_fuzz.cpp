@@ -4,6 +4,8 @@
 ///
 ///   jtc-fuzz run [options]            run a fuzzing campaign
 ///   jtc-fuzz replay <file>... [options]  re-run the oracle on .jasm cases
+///   jtc-fuzz gen [options]            emit one generated program as .jasm
+///                                     (how the tests/corpus files are made)
 ///
 /// Options:
 ///   --seed=<n|ci>        campaign seed; "ci" is a fixed well-known seed
@@ -20,15 +22,21 @@
 ///                        skip-retirement (self-test mode)
 ///   --repro-dir=<dir>    write failing cases as .jasm reproducers
 ///   --json[=<file>]      campaign report as JSON (stdout if no file)
+///   --features=<csv>     (gen) enable only the listed statement features:
+///                        loops,calls,switches,virtual,fields,arrays,traps
+///   --out=<file>         (gen) output path (stdout if omitted)
+///   --comment=<text>     (gen) first-line "; <text>" header comment
 ///
 /// Exit status: 0 clean, 1 failures found (or, under --inject, no
 /// failure found), 2 usage error.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/Verifier.h"
 #include "fuzz/Fuzzer.h"
 #include "support/ArgParse.h"
 #include "support/Json.h"
+#include "text/AsmWriter.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -52,6 +60,8 @@ struct ToolOptions {
   bool Json = false;
   std::string JsonOut;
   bool Inject = false;
+  std::string GenOut;
+  std::string GenComment;
 };
 
 int usage() {
@@ -59,10 +69,12 @@ int usage() {
       << "usage: jtc-fuzz <run|replay> [files...] [options]\n"
          "  run options: --seed=N|ci --iterations=N --time=SECONDS\n"
          "               --max-failures=N --max-instr=N --no-minimize\n"
-         "               --no-traps --no-net --no-threaded\n"
+         "               --no-traps --no-net --no-threaded --no-refinement\n"
          "               --inject=skip-invalidation|skip-retirement\n"
          "               --repro-dir=DIR --json[=FILE]\n"
-         "  replay options: --max-instr=N --no-net --no-threaded\n";
+         "  replay options: --max-instr=N --no-net --no-threaded\n"
+         "  gen options: --seed=N --features=loops,calls,switches,virtual,\n"
+         "               fields,arrays,traps --out=FILE --comment=TEXT\n";
   return 2;
 }
 
@@ -74,6 +86,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
   // programs opt out with --no-traps.
   Opts.Fuzz.Gen.Features.Traps = true;
   bool NoMinimize = false, NoTraps = false, NoNet = false, NoThreaded = false;
+  bool NoRefinement = false;
   ArgParser P;
   P.positionals(&Opts.Files)
       .custom(
@@ -100,6 +113,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
       .flag("no-traps", &NoTraps)
       .flag("no-net", &NoNet)
       .flag("no-threaded", &NoThreaded)
+      .flag("no-refinement", &NoRefinement)
       .custom(
           "inject",
           [&Opts](const std::string &F) {
@@ -116,6 +130,45 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
           },
           /*ValueRequired=*/true)
       .strOpt("repro-dir", &Opts.Fuzz.ReproDir)
+      .custom(
+          "features",
+          [&Opts](const std::string &V) {
+            GenFeatures F;
+            F.Loops = F.Calls = F.Switches = F.VirtualCalls = F.Fields =
+                F.Arrays = F.Traps = false;
+            size_t Pos = 0;
+            while (Pos <= V.size()) {
+              size_t Comma = V.find(',', Pos);
+              std::string Name = V.substr(
+                  Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+              if (Name == "loops")
+                F.Loops = true;
+              else if (Name == "calls")
+                F.Calls = true;
+              else if (Name == "switches")
+                F.Switches = true;
+              else if (Name == "virtual")
+                F.VirtualCalls = true;
+              else if (Name == "fields")
+                F.Fields = true;
+              else if (Name == "arrays")
+                F.Arrays = true;
+              else if (Name == "traps")
+                F.Traps = true;
+              else {
+                std::cerr << "unknown feature '" << Name << "'\n";
+                return false;
+              }
+              if (Comma == std::string::npos)
+                break;
+              Pos = Comma + 1;
+            }
+            Opts.Fuzz.Gen.Features = F;
+            return true;
+          },
+          /*ValueRequired=*/true)
+      .strOpt("out", &Opts.GenOut)
+      .strOpt("comment", &Opts.GenComment)
       .custom("json", [&Opts](const std::string &V) {
         Opts.Json = true;
         Opts.JsonOut = V;
@@ -131,6 +184,8 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
     Opts.Fuzz.Oracle.IncludeNet = false;
   if (NoThreaded)
     Opts.Fuzz.Oracle.IncludeThreaded = false;
+  if (NoRefinement)
+    Opts.Fuzz.Oracle.CheckRefinement = false;
   return true;
 }
 
@@ -234,6 +289,35 @@ int cmdReplay(const ToolOptions &Opts) {
   return Failures == 0 ? 0 : 1;
 }
 
+/// Emits one generated program as textual assembly. This is the
+/// reproducible path the checked-in tests/corpus files come from: the
+/// header comment records seed and intent, and the module is verified
+/// (including the typed pass) before it is written.
+int cmdGen(const ToolOptions &Opts) {
+  RandomProgramBuilder Gen(Opts.Fuzz.Seed, Opts.Fuzz.Gen);
+  Module M = Gen.build();
+  std::vector<VerifyError> Errors = verifyModule(M);
+  if (!Errors.empty()) {
+    std::cerr << "jtc-fuzz gen: generated module fails verification:\n"
+              << formatErrors(Errors);
+    return 1;
+  }
+  std::ofstream File;
+  std::ostream *OS = &std::cout;
+  if (!Opts.GenOut.empty()) {
+    File.open(Opts.GenOut);
+    if (!File) {
+      std::cerr << "cannot open '" << Opts.GenOut << "' for writing\n";
+      return 1;
+    }
+    OS = &File;
+  }
+  if (!Opts.GenComment.empty())
+    *OS << "; " << Opts.GenComment << "\n\n";
+  writeModule(*OS, M);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -244,6 +328,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(Opts);
   if (Opts.Command == "replay")
     return cmdReplay(Opts);
+  if (Opts.Command == "gen")
+    return cmdGen(Opts);
   std::cerr << "unknown command '" << Opts.Command << "'\n";
   return usage();
 }
