@@ -1,0 +1,180 @@
+//===- bench/warm_start.cpp - Disk-warm vs cold time-to-coverage ----------===//
+///
+/// Quantifies what persistent checkpointing buys: for each workload, a
+/// cold session is sampled every few thousand blocks to find how long it
+/// takes trace coverage to reach 90% of its own steady-state value; its
+/// profile is then checkpointed to a .jtcp file, reloaded into a fresh
+/// session (the full disk round trip, decode + fingerprint gate +
+/// re-validation included), and the warm session's time to the same
+/// coverage target is measured the same way.
+///
+///   warm_start [--json=FILE]
+///
+/// The JSON artifact records, per workload: the coverage target, blocks
+/// to target cold and disk-warm, traces seeded from disk, the snapshot
+/// file size, and the cold/warm speedup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "persist/Snapshot.h"
+#include "support/Json.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+using namespace jtc;
+
+namespace {
+
+/// Sampling grain for the time-to-coverage scan.
+constexpr uint64_t SampleInterval = 5000;
+
+struct WarmStartResult {
+  std::string Workload;
+  double TargetCoverage = 0;    ///< 90% of the cold steady-state coverage.
+  uint64_t ColdBlocks = 0;      ///< Blocks to reach the target, cold.
+  uint64_t WarmBlocks = 0;      ///< Blocks to reach the target, disk-warm.
+  uint64_t TracesSeeded = 0;    ///< Traces installed from the .jtcp file.
+  uint64_t SnapshotBytes = 0;   ///< On-disk snapshot size.
+};
+
+/// First sampled clock at which cumulative trace coverage reaches
+/// \p Target; 0 when no sample does (the run never got there).
+uint64_t blocksToCoverage(const PhaseSampler<VmStats> &Sampler,
+                          double Target) {
+  for (const PhaseSample<VmStats> &S : Sampler.samples())
+    if (S.Cumulative.traceCoverage() >= Target)
+      return S.Clock;
+  return 0;
+}
+
+VmOptions sampledOptions() {
+  return VmOptions().telemetry(true).sampleInterval(SampleInterval);
+}
+
+bool measureWorkload(const WorkloadInfo &W,
+                     const std::filesystem::path &Scratch,
+                     WarmStartResult &Out) {
+  Out.Workload = W.Name;
+  Module M = W.Build(W.DefaultScale);
+  PreparedModule PM(M);
+
+  // Cold: pay the full warmup; the steady-state coverage it eventually
+  // reaches defines this workload's target.
+  TraceVM Cold(PM, sampledOptions());
+  if (Cold.run().Status != RunStatus::Finished)
+    return false;
+  double FinalCoverage = Cold.stats().traceCoverage();
+  if (FinalCoverage <= 0)
+    return false;
+  Out.TargetCoverage = 0.9 * FinalCoverage;
+  Out.ColdBlocks = blocksToCoverage(Cold.sampler(), Out.TargetCoverage);
+
+  // Checkpoint to disk and warm-start a fresh session through the real
+  // load pipeline.
+  std::string Path = (Scratch / (std::string(W.Name) + ".jtcp")).string();
+  persist::PersistError Err;
+  if (!persist::saveProfile(Cold, Path, Err)) {
+    std::cerr << "  save failed: " << Err.message() << "\n";
+    return false;
+  }
+  std::error_code Ec;
+  Out.SnapshotBytes = std::filesystem::file_size(Path, Ec);
+
+  TraceVM Warm(PM, sampledOptions());
+  persist::LoadReport Report;
+  if (!persist::loadProfile(Warm, Path, Report, Err)) {
+    std::cerr << "  load failed: " << Err.message() << "\n";
+    return false;
+  }
+  Out.TracesSeeded = Report.Traces;
+  if (Warm.run().Status != RunStatus::Finished)
+    return false;
+  Out.WarmBlocks = blocksToCoverage(Warm.sampler(), Out.TargetCoverage);
+  return Out.ColdBlocks > 0 && Out.WarmBlocks > 0;
+}
+
+double speedup(const WarmStartResult &R) {
+  return R.WarmBlocks == 0 ? 0.0
+                           : static_cast<double>(R.ColdBlocks) /
+                                 static_cast<double>(R.WarmBlocks);
+}
+
+void writeArtifact(const std::string &Path,
+                   const std::vector<WarmStartResult> &Results) {
+  if (Path.empty())
+    return;
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "cannot open '" << Path << "' for writing\n";
+    exit(1);
+  }
+  JsonWriter W(OS);
+  W.beginObject().field("table", "warm_start");
+  W.fieldUInt("sample_interval", SampleInterval);
+  W.key("records").beginArray();
+  for (const WarmStartResult &R : Results) {
+    W.beginObject()
+        .field("workload", R.Workload)
+        .fieldReal("target_coverage", R.TargetCoverage)
+        .fieldUInt("cold_blocks_to_target", R.ColdBlocks)
+        .fieldUInt("warm_blocks_to_target", R.WarmBlocks)
+        .fieldUInt("traces_seeded", R.TracesSeeded)
+        .fieldUInt("snapshot_bytes", R.SnapshotBytes)
+        .fieldReal("speedup", speedup(R))
+        .endObject();
+  }
+  W.endArray().endObject();
+  OS << "\n";
+  std::cerr << "wrote " << Path << "\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = parseBenchJsonArg(Argc, Argv, "warm_start");
+  if (!TelemetryCompiledIn) {
+    std::cerr << "warm_start needs the phase sampler; rebuild with "
+                 "-DJTC_TELEMETRY=ON\n";
+    return 0; // Not a failure: the experiment just cannot run here.
+  }
+
+  std::filesystem::path Scratch =
+      std::filesystem::temp_directory_path() / "jtc-warm-start-bench";
+  std::filesystem::create_directories(Scratch);
+
+  std::vector<WarmStartResult> Results;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::cerr << "  measuring " << W.Name << "...\n";
+    WarmStartResult R;
+    if (measureWorkload(W, Scratch, R))
+      Results.push_back(R);
+    else
+      std::cerr << "  " << W.Name << ": skipped (no usable coverage)\n";
+  }
+
+  TablePrinter T({"benchmark", "target cov", "cold blocks", "warm blocks",
+                  "seeded", "snapshot KB", "speedup"});
+  size_t WarmWins = 0;
+  for (const WarmStartResult &R : Results) {
+    if (R.WarmBlocks < R.ColdBlocks)
+      ++WarmWins;
+    T.addRow({R.Workload, TablePrinter::fmtPercent(R.TargetCoverage, 1),
+              std::to_string(R.ColdBlocks), std::to_string(R.WarmBlocks),
+              std::to_string(R.TracesSeeded),
+              std::to_string(R.SnapshotBytes / 1024),
+              TablePrinter::fmt(speedup(R), 2) + "x"});
+  }
+  std::cout << "\nWarm start from disk: blocks to reach 90% of steady-state "
+               "trace coverage\n\n";
+  T.print(std::cout);
+  std::cout << "\ndisk-warm reached target first on " << WarmWins << " of "
+            << Results.size() << " workloads\n";
+
+  writeArtifact(JsonPath, Results);
+  return 0;
+}

@@ -192,9 +192,11 @@ MethodValueFacts::feasibleSwitchTargets(const Method &Fn, uint32_t Pc,
     return std::nullopt;
   const SwitchTable &T = Fn.SwitchTables[static_cast<uint32_t>(I.A)];
   const int64_t TableLen = static_cast<int64_t>(T.Targets.size());
-  // Only enumerate usefully small selector ranges.
-  constexpr int64_t MaxEnum = 1024;
-  if (Sel.Hi - Sel.Lo < 0 || Sel.Hi - Sel.Lo > MaxEnum)
+  // Only enumerate usefully small selector ranges. Width is computed in
+  // unsigned arithmetic: Hi - Lo overflows int64 for wide intervals.
+  constexpr uint64_t MaxEnum = 1024;
+  if (Sel.Hi < Sel.Lo ||
+      static_cast<uint64_t>(Sel.Hi) - static_cast<uint64_t>(Sel.Lo) > MaxEnum)
     return std::nullopt;
   std::vector<uint32_t> Out;
   auto add = [&](uint32_t Target) {

@@ -3,6 +3,7 @@
 #include "fuzz/Invariants.h"
 
 #include "baseline/NetTraceVm.h"
+#include "persist/Snapshot.h"
 #include "profile/BranchCorrelationGraph.h"
 #include "support/SaturatingCounter.h"
 #include "vm/TraceVM.h"
@@ -271,6 +272,58 @@ std::vector<Violation> fuzz::checkNetVm(const NetTraceVm &VM) {
           S.TracesCompleted);
   A.check(VM.numLiveTraces() <= VM.traces().size(), "net-live-bound",
           VM.numLiveTraces(), " live of ", VM.traces().size());
+  return std::move(A.Violations);
+}
+
+std::vector<Violation> fuzz::checkPersistRoundTrip(const TraceVM &VM) {
+  // Nothing to persist when the adaptive machinery is off; captureSnapshot
+  // would just hand back an empty seed.
+  if (!VM.options().profiling())
+    return {};
+
+  Auditor A;
+
+  persist::SnapshotData Donor = persist::captureSnapshot(VM);
+  uint64_t DonorDigest = persist::seedDigest(Donor.Seed);
+
+  std::vector<uint8_t> Bytes = persist::encodeSnapshot(Donor);
+  persist::SnapshotData Decoded;
+  persist::PersistError Err;
+  if (!persist::decodeSnapshot(Bytes.data(), Bytes.size(), Decoded, Err)) {
+    A.fail("persist-decode", "own encoding refused: ", Err.message());
+    return std::move(A.Violations);
+  }
+
+  A.check(Decoded.Fingerprint == Donor.Fingerprint, "persist-fingerprint",
+          "fingerprint changed across encode/decode: ", Donor.Fingerprint,
+          " -> ", Decoded.Fingerprint);
+  A.check(Decoded.DonorBlocks == Donor.DonorBlocks, "persist-donor-blocks",
+          "donor maturity changed across encode/decode: ", Donor.DonorBlocks,
+          " -> ", Decoded.DonorBlocks);
+  if (!persist::validateSeed(Decoded.Seed, VM.prepared(), Err))
+    A.fail("persist-revalidate", "decoded seed refused by validateSeed: ",
+           Err.message());
+
+  uint64_t DecodedDigest = persist::seedDigest(Decoded.Seed);
+  A.check(DecodedDigest == DonorDigest, "persist-digest",
+          "decoded seed digest ", DecodedDigest, " != donor digest ",
+          DonorDigest);
+  if (!A.Violations.empty())
+    return std::move(A.Violations);
+
+  // Reinstall into a fresh session over the same module and re-export: the
+  // restored BCG + trace-cache state must digest-match the donor exactly.
+  // Profile paths are cleared so the audit never touches the filesystem;
+  // telemetry is off because this session never runs (and its ring would
+  // dominate the audit's cost).
+  VmOptions FreshOpts = VM.options();
+  FreshOpts.loadProfilePath("").saveProfilePath("").telemetry(false);
+  TraceVM Fresh(VM.prepared(), FreshOpts);
+  Fresh.importSeed(Decoded.Seed);
+  uint64_t Reinstalled = persist::seedDigest(Fresh.exportSeed());
+  A.check(Reinstalled == DonorDigest, "persist-reinstall-digest",
+          "seed re-exported after importSeed digests to ", Reinstalled,
+          ", donor was ", DonorDigest);
   return std::move(A.Violations);
 }
 

@@ -58,6 +58,13 @@ std::vector<Violation> checkTraceVm(const TraceVM &VM, RunStatus Status);
 /// Audits a finished NetTraceVm run (the subset of laws NET shares).
 std::vector<Violation> checkNetVm(const NetTraceVm &VM);
 
+/// Audits the persist layer against \p VM as donor: capture -> encode ->
+/// decode -> re-validate -> reinstall into a fresh session over the same
+/// module, asserting at each hop that the restored BCG counters and trace
+/// set digest-match the donor exactly. Skipped (returns empty) when the
+/// session has profiling or traces disabled (nothing to persist).
+std::vector<Violation> checkPersistRoundTrip(const TraceVM &VM);
+
 /// Renders violations one per line for diagnostics.
 std::string formatViolations(const std::vector<Violation> &Vs);
 

@@ -181,6 +181,8 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
     C.heap(fuzz::heapDigest(VM.machine().heap()), RefDigest);
     if (Config.CheckInvariants)
       C.violations(checkTraceVm(VM, R.Status));
+    if (Config.CheckPersist)
+      C.violations(checkPersistRoundTrip(VM));
   }
 
   if (Config.IncludeNet) {

@@ -64,6 +64,12 @@ struct OracleConfig {
   /// Audit profiler/cache invariants after every profiled run.
   bool CheckInvariants = true;
 
+  /// Audit the persist layer after every profiled run: capture the VM's
+  /// snapshot, encode, decode, re-validate and reinstall it into a fresh
+  /// session, asserting the restored BCG + trace-cache digest matches the
+  /// donor exactly (checkPersistRoundTrip in Invariants.h).
+  bool CheckPersist = true;
+
   /// Audit that dynamic facts refine the static analysis' may-sets
   /// (Refinement.h): replays the reference run with per-block-leader
   /// checks against a computed ModuleAnalysis.

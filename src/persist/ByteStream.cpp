@@ -1,0 +1,118 @@
+//===- persist/ByteStream.cpp ---------------------------------------------===//
+
+#include "persist/ByteStream.h"
+
+#include <cassert>
+
+using namespace jtc;
+using namespace jtc::persist;
+
+void ByteWriter::u16(uint16_t V) {
+  u8(static_cast<uint8_t>(V));
+  u8(static_cast<uint8_t>(V >> 8));
+}
+
+void ByteWriter::u32(uint32_t V) {
+  u16(static_cast<uint16_t>(V));
+  u16(static_cast<uint16_t>(V >> 16));
+}
+
+void ByteWriter::u64(uint64_t V) {
+  u32(static_cast<uint32_t>(V));
+  u32(static_cast<uint32_t>(V >> 32));
+}
+
+void ByteWriter::varint(uint64_t V) {
+  while (V >= 0x80) {
+    u8(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  u8(static_cast<uint8_t>(V));
+}
+
+void ByteWriter::svarint(int64_t V) {
+  // Zigzag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+  varint((static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63));
+}
+
+void ByteWriter::patchU32(size_t At, uint32_t V) {
+  assert(At + 4 <= Buf.size() && "patch out of range");
+  for (int I = 0; I < 4; ++I)
+    Buf[At + I] = static_cast<uint8_t>(V >> (I * 8));
+}
+
+bool ByteReader::u8(uint8_t &V) {
+  if (Failed || Cur == End) {
+    Failed = true;
+    return false;
+  }
+  V = *Cur++;
+  return true;
+}
+
+bool ByteReader::u16(uint16_t &V) {
+  const uint8_t *P;
+  if (!span(2, P))
+    return false;
+  V = static_cast<uint16_t>(P[0] | (P[1] << 8));
+  return true;
+}
+
+bool ByteReader::u32(uint32_t &V) {
+  const uint8_t *P;
+  if (!span(4, P))
+    return false;
+  V = static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+      (static_cast<uint32_t>(P[2]) << 16) |
+      (static_cast<uint32_t>(P[3]) << 24);
+  return true;
+}
+
+bool ByteReader::u64(uint64_t &V) {
+  uint32_t Lo, Hi;
+  if (!u32(Lo) || !u32(Hi))
+    return false;
+  V = static_cast<uint64_t>(Lo) | (static_cast<uint64_t>(Hi) << 32);
+  return true;
+}
+
+bool ByteReader::varint(uint64_t &V) {
+  uint64_t Out = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    uint8_t B;
+    if (!u8(B))
+      return false;
+    Out |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if (!(B & 0x80)) {
+      // Reject non-canonical overlong final groups that would shift bits
+      // off the top (only possible in the 10th byte, shift 63).
+      if (Shift == 63 && (B >> 1) != 0) {
+        Failed = true;
+        return false;
+      }
+      V = Out;
+      return true;
+    }
+  }
+  Failed = true; // 10 continuation bytes: not a 64-bit varint.
+  return false;
+}
+
+bool ByteReader::svarint(int64_t &V) {
+  uint64_t Z;
+  if (!varint(Z))
+    return false;
+  V = static_cast<int64_t>(Z >> 1) ^ -static_cast<int64_t>(Z & 1);
+  return true;
+}
+
+bool ByteReader::span(size_t Size, const uint8_t *&Data) {
+  if (Failed || static_cast<size_t>(End - Cur) < Size) {
+    Failed = true;
+    return false;
+  }
+  Data = Cur;
+  Cur += Size;
+  return true;
+}

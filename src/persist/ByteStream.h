@@ -1,0 +1,94 @@
+//===- persist/ByteStream.h - Bounds-checked binary I/O ---------*- C++ -*-===//
+///
+/// \file
+/// The primitive encoding layer of the .jtcp format: little-endian fixed
+/// integers, LEB128 varints, and zigzag signed deltas (the compact
+/// branch-stream idiom: consecutive block ids in profiles and traces are
+/// close together, so their signed differences varint-encode into one or
+/// two bytes). The writer appends to a growable buffer; the reader walks a
+/// read-only span and *never* reads past its end -- every primitive read
+/// reports failure instead, which the snapshot decoder turns into a typed
+/// Truncated / Malformed PersistError. Corrupt input must land in the
+/// error path, not in undefined behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_PERSIST_BYTESTREAM_H
+#define JTC_PERSIST_BYTESTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jtc {
+namespace persist {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V);
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+
+  /// Unsigned LEB128.
+  void varint(uint64_t V);
+
+  /// Zigzag-mapped signed LEB128 (small magnitudes of either sign encode
+  /// short).
+  void svarint(int64_t V);
+
+  /// Raw bytes, verbatim.
+  void bytes(const uint8_t *Data, size_t Size) {
+    Buf.insert(Buf.end(), Data, Data + Size);
+  }
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+  /// Overwrites 4 bytes at \p At (little-endian), for back-patching
+  /// length fields. \p At + 4 must be within the current buffer.
+  void patchU32(size_t At, uint32_t V);
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian decoder over a read-only span. Every
+/// read returns false (leaving the output untouched) instead of reading
+/// past End; once a read fails the reader stays failed.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size)
+      : Cur(Data), End(Data + Size) {}
+
+  bool u8(uint8_t &V);
+  bool u16(uint16_t &V);
+  bool u32(uint32_t &V);
+  bool u64(uint64_t &V);
+
+  /// Unsigned LEB128; rejects encodings wider than 64 bits.
+  bool varint(uint64_t &V);
+
+  /// Zigzag-mapped signed LEB128.
+  bool svarint(int64_t &V);
+
+  /// Exposes \p Size raw bytes in place (no copy); fails when fewer
+  /// remain.
+  bool span(size_t Size, const uint8_t *&Data);
+
+  size_t remaining() const { return Failed ? 0 : static_cast<size_t>(End - Cur); }
+  bool exhausted() const { return remaining() == 0; }
+  bool failed() const { return Failed; }
+
+private:
+  const uint8_t *Cur;
+  const uint8_t *End;
+  bool Failed = false;
+};
+
+} // namespace persist
+} // namespace jtc
+
+#endif // JTC_PERSIST_BYTESTREAM_H

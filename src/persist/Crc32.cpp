@@ -1,0 +1,34 @@
+//===- persist/Crc32.cpp --------------------------------------------------===//
+
+#include "persist/Crc32.h"
+
+#include <array>
+
+using namespace jtc;
+
+namespace {
+
+/// The 256-entry table for the reflected 0xEDB88320 polynomial, computed
+/// once at static-initialization time (constexpr, so actually at compile
+/// time).
+constexpr std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> T{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    T[I] = C;
+  }
+  return T;
+}
+
+constexpr std::array<uint32_t, 256> Table = makeTable();
+
+} // namespace
+
+uint32_t persist::crc32(const uint8_t *Data, size_t Size) {
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    C = Table[(C ^ Data[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

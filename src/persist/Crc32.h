@@ -1,0 +1,27 @@
+//===- persist/Crc32.h - CRC-32 (IEEE 802.3) --------------------*- C++ -*-===//
+///
+/// \file
+/// The per-section checksum of the .jtcp format: reflected CRC-32 with the
+/// 0xEDB88320 polynomial (the zlib/PNG/Ethernet CRC), table-driven. A
+/// section whose stored CRC disagrees with its payload is rejected before
+/// any of its contents are decoded, so a flipped bit can never smuggle a
+/// structurally plausible but wrong value into the profiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_PERSIST_CRC32_H
+#define JTC_PERSIST_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jtc {
+namespace persist {
+
+/// CRC-32 of \p Size bytes at \p Data (init 0xFFFFFFFF, final xor-out).
+uint32_t crc32(const uint8_t *Data, size_t Size);
+
+} // namespace persist
+} // namespace jtc
+
+#endif // JTC_PERSIST_CRC32_H

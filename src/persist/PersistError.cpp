@@ -1,0 +1,41 @@
+//===- persist/PersistError.cpp -------------------------------------------===//
+
+#include "persist/PersistError.h"
+
+using namespace jtc;
+using namespace jtc::persist;
+
+const char *persist::persistErrorKindName(PersistErrorKind K) {
+  switch (K) {
+  case PersistErrorKind::None:
+    return "ok";
+  case PersistErrorKind::Io:
+    return "io";
+  case PersistErrorKind::BadMagic:
+    return "bad-magic";
+  case PersistErrorKind::VersionSkew:
+    return "version-skew";
+  case PersistErrorKind::LayoutUnsupported:
+    return "layout-unsupported";
+  case PersistErrorKind::Truncated:
+    return "truncated";
+  case PersistErrorKind::ChecksumMismatch:
+    return "checksum-mismatch";
+  case PersistErrorKind::Malformed:
+    return "malformed";
+  case PersistErrorKind::FingerprintMismatch:
+    return "fingerprint-mismatch";
+  case PersistErrorKind::IncompatibleSeed:
+    return "incompatible-seed";
+  }
+  return "unknown";
+}
+
+std::string PersistError::message() const {
+  std::string M = persistErrorKindName(Kind);
+  if (!Detail.empty()) {
+    M += ": ";
+    M += Detail;
+  }
+  return M;
+}

@@ -1,0 +1,59 @@
+//===- persist/PersistError.h - Typed snapshot diagnostics ------*- C++ -*-===//
+///
+/// \file
+/// The error vocabulary of the persist subsystem. Every way a durable
+/// .jtcp snapshot can fail to load -- I/O, a foreign file, version or
+/// layout skew, truncation, corruption, a structurally invalid seed, or a
+/// snapshot from a different module -- maps to exactly one kind, so
+/// callers (CLI diagnostics, service counters, adversarial tests) can
+/// dispatch on the failure class instead of parsing message strings. A
+/// strict loader plus this taxonomy is the whole safety story: malformed
+/// input is rejected with a kind, never undefined behaviour and never a
+/// partial install.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_PERSIST_PERSISTERROR_H
+#define JTC_PERSIST_PERSISTERROR_H
+
+#include <string>
+
+namespace jtc {
+namespace persist {
+
+enum class PersistErrorKind : unsigned char {
+  None,                ///< Success.
+  Io,                  ///< File could not be opened / read / written.
+  BadMagic,            ///< Not a .jtcp file.
+  VersionSkew,         ///< Format version this build does not speak.
+  LayoutUnsupported,   ///< Header layout flags this build does not speak.
+  Truncated,           ///< Data ends before the declared structure does.
+  ChecksumMismatch,    ///< A section's CRC32 does not match its payload.
+  Malformed,           ///< Structure decodes but violates the format spec.
+  FingerprintMismatch, ///< Snapshot was captured over a different module.
+  IncompatibleSeed,    ///< Decoded state fails re-validation vs the module.
+};
+
+/// Stable machine-readable kind name ("bad-magic", "version-skew", ...).
+const char *persistErrorKindName(PersistErrorKind K);
+
+/// One load/save failure. Default-constructed means success; ok() is the
+/// polarity every persist API reports through its out-parameter.
+struct PersistError {
+  PersistErrorKind Kind = PersistErrorKind::None;
+  std::string Detail;
+
+  bool ok() const { return Kind == PersistErrorKind::None; }
+
+  /// "kind: detail" (or "ok"), for diagnostics.
+  std::string message() const;
+
+  static PersistError make(PersistErrorKind K, std::string Detail) {
+    return PersistError{K, std::move(Detail)};
+  }
+};
+
+} // namespace persist
+} // namespace jtc
+
+#endif // JTC_PERSIST_PERSISTERROR_H

@@ -1,0 +1,163 @@
+//===- persist/ProfileIO.cpp - Snapshot file I/O and VM wiring ------------===//
+///
+/// The file-level half of the persist subsystem: atomic .jtcp writes,
+/// whole-file reads, and the load pipeline against a live (not yet run)
+/// TraceVM -- decode, fingerprint gate, seed re-validation, the donor
+/// completion filter, and finally installation through the ordinary
+/// VmSeed import path. Telemetry snapshot events are recorded here, at
+/// the boundary where persistence actually happens.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/Snapshot.h"
+#include "persist/SnapshotFormat.h"
+
+#include "vm/ModuleFingerprint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jtc;
+using namespace jtc::persist;
+
+namespace {
+
+bool fail(PersistError &Err, PersistErrorKind K, std::string Detail) {
+  Err = PersistError::make(K, std::move(Detail));
+  return false;
+}
+
+void recordRejected(TraceVM &VM, const PersistError &Err) {
+  JTC_RECORD_EVENT(VM.telemetry(), EventKind::SnapshotRejected, 0,
+                   static_cast<uint32_t>(Err.Kind));
+  (void)VM;
+  (void)Err;
+}
+
+} // namespace
+
+SnapshotData persist::captureSnapshot(const TraceVM &VM) {
+  SnapshotData S;
+  S.Fingerprint = moduleFingerprint(VM.prepared());
+  S.DonorBlocks = VM.currentStats().BlocksExecuted;
+  S.Seed = VM.exportSeed();
+  return S;
+}
+
+bool persist::saveSnapshotFile(const SnapshotData &S, const std::string &Path,
+                               PersistError &Err) {
+  std::vector<uint8_t> Bytes = encodeSnapshot(S);
+  // Write-to-temp + rename: a reader (or a crash) can only ever observe
+  // the old complete file or the new complete file.
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return fail(Err, PersistErrorKind::Io,
+                  "cannot open '" + Tmp + "' for writing");
+    OS.write(reinterpret_cast<const char *>(Bytes.data()),
+             static_cast<std::streamsize>(Bytes.size()));
+    OS.flush();
+    if (!OS)
+      return fail(Err, PersistErrorKind::Io, "short write to '" + Tmp + "'");
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return fail(Err, PersistErrorKind::Io,
+                "cannot rename '" + Tmp + "' to '" + Path + "'");
+  }
+  return true;
+}
+
+bool persist::loadSnapshotFile(const std::string &Path, SnapshotData &Out,
+                               PersistError &Err) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return fail(Err, PersistErrorKind::Io, "cannot open '" + Path + "'");
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(IS)),
+                             std::istreambuf_iterator<char>());
+  if (IS.bad())
+    return fail(Err, PersistErrorKind::Io, "read error on '" + Path + "'");
+  return decodeSnapshot(Bytes.data(), Bytes.size(), Out, Err);
+}
+
+bool persist::loadProfile(TraceVM &VM, const std::string &Path,
+                          LoadReport &Report, PersistError &Err) {
+  SnapshotData S;
+  if (!loadSnapshotFile(Path, S, Err)) {
+    recordRejected(VM, Err);
+    return false;
+  }
+
+  uint64_t Want = moduleFingerprint(VM.prepared());
+  if (S.Fingerprint != Want) {
+    std::ostringstream OS;
+    OS << "snapshot fingerprint " << std::hex << S.Fingerprint
+       << " does not match module fingerprint " << Want;
+    fail(Err, PersistErrorKind::FingerprintMismatch, OS.str());
+    recordRejected(VM, Err);
+    return false;
+  }
+
+  if (!validateSeed(S.Seed, VM.prepared(), Err)) {
+    recordRejected(VM, Err);
+    return false;
+  }
+
+  // Donor completion filter: a trace the donor had already measured as a
+  // retirement candidate (enough entries, observed completion below the
+  // bar) is not re-installed -- re-running a retirement the donor already
+  // performed would only waste dispatches on a known under-performer.
+  const TraceConfig TC = VM.options().traceConfig();
+  const double Bar = TC.CompletionThreshold - TC.RetirementMargin;
+  VmSeed Installed;
+  Installed.Nodes = std::move(S.Seed.Nodes);
+  Installed.Traces.reserve(S.Seed.Traces.size());
+  for (TraceCache::TraceSeed &T : S.Seed.Traces) {
+    double Observed =
+        T.Entered == 0 ? 1.0
+                       : static_cast<double>(T.Completed) /
+                             static_cast<double>(T.Entered);
+    if (T.Entered >= TC.RetirementCheckEntries && Observed < Bar) {
+      ++Report.TracesDroppedByCompletion;
+      continue;
+    }
+    Installed.Traces.push_back(std::move(T));
+  }
+
+  VM.importSeed(Installed);
+  Report.Nodes = Installed.Nodes.size();
+  Report.Traces = Installed.Traces.size();
+  Report.DonorBlocks = S.DonorBlocks;
+  JTC_RECORD_EVENT(VM.telemetry(), EventKind::SnapshotLoaded,
+                   static_cast<uint32_t>(Report.Traces),
+                   static_cast<uint32_t>(Report.Nodes));
+  return true;
+}
+
+bool persist::saveProfile(TraceVM &VM, const std::string &Path,
+                          PersistError &Err) {
+  SnapshotData S = captureSnapshot(VM);
+  if (!saveSnapshotFile(S, Path, Err))
+    return false;
+  JTC_RECORD_EVENT(VM.telemetry(), EventKind::SnapshotSaved,
+                   static_cast<uint32_t>(S.Seed.Traces.size()),
+                   static_cast<uint32_t>(S.Seed.Nodes.size()));
+  return true;
+}
+
+bool persist::applyProfileOptions(TraceVM &VM, LoadReport &Report,
+                                  PersistError &Err) {
+  if (VM.options().loadProfilePath().empty())
+    return true;
+  return loadProfile(VM, VM.options().loadProfilePath(), Report, Err);
+}
+
+bool persist::finishProfileOptions(TraceVM &VM, PersistError &Err) {
+  if (VM.options().saveProfilePath().empty())
+    return true;
+  return saveProfile(VM, VM.options().saveProfilePath(), Err);
+}

@@ -1,0 +1,81 @@
+//===- persist/SnapshotFormat.h - .jtcp wire-format constants ---*- C++ -*-===//
+///
+/// \file
+/// The on-disk layout of a .jtcp durable profile snapshot, version 1:
+///
+///   header (12 bytes):
+///     u8[4]  magic        "JTCP"
+///     u16    version      FormatVersion (little-endian, like all ints)
+///     u16    layout       layout-capability flags; a loader rejects any
+///                         flag it does not implement (LayoutUnsupported)
+///     u32    sections     section count (v1: exactly 3)
+///   then each section, in the fixed order Meta, Nodes, Traces:
+///     u8     tag          'M' / 'N' / 'T'
+///     u32    length       payload byte count
+///     u8[length] payload
+///     u32    crc32        CRC-32 (0xEDB88320, reflected) of the payload
+///   nothing may follow the last section.
+///
+/// Section payloads (all varints are LEB128; all signed values zigzag):
+///
+///   Meta:   u64 module fingerprint, u64 donor blocks executed,
+///           varint node count, varint trace count. The counts are
+///           deliberately redundant with the Nodes/Traces sections and
+///           cross-checked on load.
+///   Nodes:  per node: svarint dFrom (delta vs. previous node's From),
+///           svarint dTo (delta vs. this node's From), varint start-delay
+///           left, varint since-decay, varint executions, varint
+///           correlation count; per correlation: svarint dSucc (delta vs.
+///           the previous successor, starting from To), varint count
+///           (<= 0xffff).
+///   Traces: per trace: svarint dEntryFrom (delta vs. previous trace's
+///           EntryFrom), varint block count (>= 2); per block: svarint
+///           delta vs. the previous block (starting from EntryFrom); then
+///           u64 expected-completion IEEE-754 bits, varint entered,
+///           varint completed (<= entered).
+///
+/// Block ids cluster (a trace is a path through neighbouring blocks; the
+/// node table is sorted by creation order, which follows execution
+/// locality), so the zigzag deltas keep hot-path ids to one or two bytes
+/// -- the same trick hardware branch-trace formats use for address
+/// streams.
+///
+/// Versioning policy: Version is bumped for any change a v-old loader
+/// cannot safely ignore; there are no optional backward-compatible
+/// extensions in the header itself -- new capabilities get a layout flag,
+/// and a loader that sees an unknown flag refuses rather than guessing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_PERSIST_SNAPSHOTFORMAT_H
+#define JTC_PERSIST_SNAPSHOTFORMAT_H
+
+#include <cstdint>
+
+namespace jtc {
+namespace persist {
+
+/// "JTCP", as the first four file bytes.
+inline constexpr uint8_t Magic[4] = {'J', 'T', 'C', 'P'};
+
+/// The (single) format version this build reads and writes.
+inline constexpr uint16_t FormatVersion = 1;
+
+/// Layout flags. v1 always sets LayoutVarintDelta; any other bit is
+/// from a future writer and makes this loader refuse.
+inline constexpr uint16_t LayoutVarintDelta = 0x0001;
+inline constexpr uint16_t SupportedLayoutMask = LayoutVarintDelta;
+
+/// Section tags, in required file order.
+inline constexpr uint8_t SectionMeta = 'M';
+inline constexpr uint8_t SectionNodes = 'N';
+inline constexpr uint8_t SectionTraces = 'T';
+inline constexpr uint32_t NumSections = 3;
+
+/// Fixed header size (magic + version + layout + section count).
+inline constexpr size_t HeaderSize = 12;
+
+} // namespace persist
+} // namespace jtc
+
+#endif // JTC_PERSIST_SNAPSHOTFORMAT_H

@@ -8,32 +8,20 @@
 
 using namespace jtc;
 
-uint64_t jtc::moduleFingerprint(const PreparedModule &PM) {
-  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis.
-  auto Mix = [&H](uint64_t V) {
-    for (int I = 0; I < 8; ++I) {
-      H ^= (V >> (I * 8)) & 0xff;
-      H *= 1099511628211ull;
-    }
-  };
-  Mix(PM.module().EntryMethod);
-  Mix(PM.numBlocks());
-  for (BlockId B = 0; B < PM.numBlocks(); ++B) {
-    const BasicBlock &BB = PM.block(B);
-    Mix(BB.MethodId);
-    Mix(BB.StartPc);
-    Mix(BB.EndPc);
-  }
-  // 0 is the "no snapshot" sentinel; remap the (vanishingly unlikely)
-  // collision rather than special-casing it everywhere.
-  return H == 0 ? 1 : H;
-}
-
 ProfileSnapshot ProfileSnapshot::capture(const TraceVM &VM) {
   ProfileSnapshot S;
   S.Seed = VM.exportSeed();
   S.Fingerprint = moduleFingerprint(VM.prepared());
   S.DonorBlocks = VM.currentStats().BlocksExecuted;
+  return S;
+}
+
+ProfileSnapshot ProfileSnapshot::fromParts(VmSeed Seed, uint64_t Fingerprint,
+                                           uint64_t DonorBlocks) {
+  ProfileSnapshot S;
+  S.Seed = std::move(Seed);
+  S.Fingerprint = Fingerprint;
+  S.DonorBlocks = DonorBlocks;
   return S;
 }
 

@@ -19,6 +19,7 @@
 #ifndef JTC_SERVER_PROFILESNAPSHOT_H
 #define JTC_SERVER_PROFILESNAPSHOT_H
 
+#include "vm/ModuleFingerprint.h"
 #include "vm/TraceVM.h"
 
 #include <cstdint>
@@ -28,12 +29,6 @@ namespace jtc {
 
 class JsonWriter;
 
-/// Structural FNV-1a fingerprint of a prepared module: entry method, block
-/// count and every block's (method, pc-range) triple. Two prepared modules
-/// with equal fingerprints have identical block-id spaces, which is the
-/// property seeding relies on.
-uint64_t moduleFingerprint(const PreparedModule &PM);
-
 class ProfileSnapshot {
 public:
   ProfileSnapshot() = default;
@@ -41,6 +36,12 @@ public:
   /// Captures \p VM's current profiler counters and live traces. Usable
   /// after (or during) the donor's run; the donor is not modified.
   static ProfileSnapshot capture(const TraceVM &VM);
+
+  /// Rebuilds a snapshot from externally restored parts (the persist
+  /// layer's disk load). The caller has already fingerprint-gated and
+  /// re-validated \p Seed against the module it will seed.
+  static ProfileSnapshot fromParts(VmSeed Seed, uint64_t Fingerprint,
+                                   uint64_t DonorBlocks);
 
   /// True when \p PM 's block structure matches the donor module's, so
   /// this snapshot may seed sessions over \p PM.
@@ -65,6 +66,9 @@ public:
 
   /// Donor maturity: blocks the donor had executed at capture time.
   uint64_t donorBlocks() const { return DonorBlocks; }
+
+  /// The portable state itself (the persist layer serializes it).
+  const VmSeed &seed() const { return Seed; }
 
   /// Summary fields ("fingerprint", "nodes", "traces", "donor_blocks")
   /// into an already-open JSON object.

@@ -2,11 +2,13 @@
 
 #include "server/VmService.h"
 
+#include "persist/Snapshot.h"
 #include "runtime/Heap.h"
 #include "support/Json.h"
 
 #include <cassert>
 #include <chrono>
+#include <filesystem>
 
 using namespace jtc;
 
@@ -17,6 +19,9 @@ void ServiceStats::writeJsonFields(JsonWriter &W) const {
       .fieldUInt("warm_starts", WarmStarts)
       .fieldUInt("cold_starts", ColdStarts)
       .fieldUInt("snapshots_published", SnapshotsPublished)
+      .fieldUInt("checkpoints_saved", CheckpointsSaved)
+      .fieldUInt("checkpoints_loaded", CheckpointsLoaded)
+      .fieldUInt("checkpoint_load_rejects", CheckpointLoadRejects)
       .fieldReal("busy_seconds", BusySeconds);
   W.key("events").beginObject();
   for (unsigned K = 0; K < NumEventKinds; ++K)
@@ -31,12 +36,18 @@ VmService::VmService(ServiceOptions Opts) : Options(Opts) {
   Workers.reserve(Options.workers());
   for (unsigned I = 0; I < Options.workers(); ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
+  if (!Options.checkpointDir().empty() &&
+      Options.checkpointIntervalSeconds() > 0)
+    CheckpointThread = std::thread([this] { checkpointLoop(); });
 }
 
 VmService::~VmService() { shutdown(); }
 
 void VmService::registerModule(const std::string &Name, Module M) {
   auto Entry = std::make_unique<ModuleEntry>(std::move(M));
+  // Durable warm start: adopt a previous process's checkpoint before the
+  // entry becomes visible to any worker.
+  maybeLoadCheckpoint(*Entry, Name);
   std::lock_guard<std::mutex> Lock(RegistryMutex);
   std::unique_ptr<ModuleEntry> &Slot = Modules[Name];
   if (Slot) // Keep the replaced entry alive for sessions already using it.
@@ -83,19 +94,118 @@ std::future<SessionResult> VmService::submit(RunRequest R) {
 SessionResult VmService::run(RunRequest R) { return submit(std::move(R)).get(); }
 
 void VmService::drain() {
-  std::unique_lock<std::mutex> Lock(QueueMutex);
-  IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+  {
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+  }
+  checkpointAll();
+}
+
+size_t VmService::checkpointAll() {
+  const std::string &Dir = Options.checkpointDir();
+  if (Dir.empty())
+    return 0;
+  // Snapshot pointers are immutable once published, so collect them under
+  // the locks and do the (slow) file writes with no locks held.
+  std::vector<std::pair<std::string, std::shared_ptr<const ProfileSnapshot>>>
+      Work;
+  {
+    std::lock_guard<std::mutex> RLock(RegistryMutex);
+    std::lock_guard<std::mutex> SLock(SnapMutex);
+    for (const auto &KV : Modules)
+      if (KV.second->Snap)
+        Work.emplace_back(KV.first, KV.second->Snap);
+  }
+  if (Work.empty())
+    return 0;
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  size_t Saved = 0;
+  for (const auto &[Name, Snap] : Work) {
+    persist::SnapshotData Data;
+    Data.Fingerprint = Snap->fingerprint();
+    Data.DonorBlocks = Snap->donorBlocks();
+    Data.Seed = Snap->seed();
+    persist::PersistError Err;
+    if (persist::saveSnapshotFile(Data, Dir + "/" + Name + ".jtcp", Err))
+      ++Saved;
+  }
+  if (Saved) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stats.CheckpointsSaved += Saved;
+  }
+  return Saved;
+}
+
+void VmService::maybeLoadCheckpoint(ModuleEntry &Entry,
+                                    const std::string &Name) {
+  const std::string &Dir = Options.loadDir();
+  if (Dir.empty())
+    return;
+  std::string Path = Dir + "/" + Name + ".jtcp";
+  std::error_code Ec;
+  if (!std::filesystem::exists(Path, Ec))
+    return; // No checkpoint for this module yet: cold start, not an error.
+  persist::SnapshotData Data;
+  persist::PersistError Err;
+  bool Ok = persist::loadSnapshotFile(Path, Data, Err);
+  if (Ok && Data.Fingerprint != moduleFingerprint(Entry.PM)) {
+    Err = persist::PersistError::make(
+        persist::PersistErrorKind::FingerprintMismatch,
+        "checkpoint was captured over a different module");
+    Ok = false;
+  }
+  if (Ok)
+    Ok = persist::validateSeed(Data.Seed, Entry.PM, Err);
+  if (Ok) {
+    // The entry is not yet visible to workers (registerModule publishes it
+    // after this returns), so the slot can be written without SnapMutex.
+    Entry.Snap =
+        std::make_shared<const ProfileSnapshot>(ProfileSnapshot::fromParts(
+            std::move(Data.Seed), Data.Fingerprint, Data.DonorBlocks));
+  }
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  if (Ok)
+    ++Stats.CheckpointsLoaded;
+  else
+    ++Stats.CheckpointLoadRejects;
+}
+
+void VmService::checkpointLoop() {
+  const auto Interval =
+      std::chrono::duration<double>(Options.checkpointIntervalSeconds());
+  std::unique_lock<std::mutex> Lock(CheckpointMutex);
+  for (;;) {
+    if (CheckpointCv.wait_for(Lock, Interval,
+                              [this] { return CheckpointStop; }))
+      return;
+    Lock.unlock();
+    checkpointAll();
+    Lock.lock();
+  }
 }
 
 void VmService::shutdown() {
   {
+    std::lock_guard<std::mutex> Lock(CheckpointMutex);
+    CheckpointStop = true;
+  }
+  CheckpointCv.notify_all();
+  if (CheckpointThread.joinable())
+    CheckpointThread.join();
+  bool WasRunning = false;
+  {
     std::lock_guard<std::mutex> Lock(QueueMutex);
+    WasRunning = !Stopping;
     Stopping = true;
   }
   QueueCv.notify_all();
   for (std::thread &T : Workers)
     T.join();
   Workers.clear();
+  // Final checkpoint exactly once, after every session has retired.
+  if (WasRunning)
+    checkpointAll();
 }
 
 void VmService::workerLoop(unsigned WorkerId) {

@@ -79,16 +79,46 @@ public:
     return *this;
   }
 
+  /// Durable checkpointing: published snapshots are written to
+  /// <dir>/<module>.jtcp on drain() and shutdown() (and periodically, see
+  /// checkpointIntervalSeconds). Empty = off.
+  ServiceOptions &checkpointDir(std::string Dir) {
+    CheckpointTo = std::move(Dir);
+    return *this;
+  }
+
+  /// Durable warm start: registerModule() looks for <dir>/<module>.jtcp
+  /// and, when it decodes, fingerprint-matches and re-validates cleanly,
+  /// pre-publishes it as the module's snapshot -- so the very first
+  /// session after a restart runs warm. Empty = off.
+  ServiceOptions &loadDir(std::string Dir) {
+    LoadFrom = std::move(Dir);
+    return *this;
+  }
+
+  /// Periodic checkpointing interval in seconds (0 = only on drain /
+  /// shutdown). Needs checkpointDir().
+  ServiceOptions &checkpointIntervalSeconds(double S) {
+    CheckpointInterval = S < 0 ? 0 : S;
+    return *this;
+  }
+
   unsigned workers() const { return NumWorkers; }
   const VmOptions &vm() const { return Vm; }
   bool warmHandoff() const { return Warm; }
   uint64_t snapshotMinBlocks() const { return SnapMinBlocks; }
+  const std::string &checkpointDir() const { return CheckpointTo; }
+  const std::string &loadDir() const { return LoadFrom; }
+  double checkpointIntervalSeconds() const { return CheckpointInterval; }
 
 private:
   unsigned NumWorkers = 1;
   VmOptions Vm;
   bool Warm = true;
   uint64_t SnapMinBlocks = 1024;
+  std::string CheckpointTo;
+  std::string LoadFrom;
+  double CheckpointInterval = 0;
 };
 
 /// One unit of serving work: run the named module's entry method.
@@ -121,6 +151,9 @@ struct ServiceStats {
   uint64_t WarmStarts = 0;
   uint64_t ColdStarts = 0;
   uint64_t SnapshotsPublished = 0;
+  uint64_t CheckpointsSaved = 0;   ///< .jtcp files written.
+  uint64_t CheckpointsLoaded = 0;  ///< .jtcp files pre-published at register.
+  uint64_t CheckpointLoadRejects = 0; ///< Present but refused (typed error).
   double BusySeconds = 0; ///< Sum of session wall-clock latencies.
 
   /// Every session's VmStats merged (see VmStats::merge).
@@ -166,8 +199,15 @@ public:
   /// Convenience: submit + wait.
   SessionResult run(RunRequest R);
 
-  /// Blocks until every submitted request has retired.
+  /// Blocks until every submitted request has retired; then, when a
+  /// checkpoint directory is configured, writes every published snapshot
+  /// to disk (checkpoint-on-drain).
   void drain();
+
+  /// Writes every published snapshot to <checkpointDir>/<module>.jtcp
+  /// now; returns how many files were written. No-op (0) without a
+  /// checkpoint directory.
+  size_t checkpointAll();
 
   /// Stops accepting work, drains the queue and joins the workers
   /// (idempotent; the destructor calls it).
@@ -207,6 +247,14 @@ private:
   /// Runs one request on \p WorkerId and returns the retired result.
   SessionResult runOne(const RunRequest &R, unsigned WorkerId);
 
+  /// Tries to pre-publish <loadDir>/<Name>.jtcp into \p Entry. A missing
+  /// file is silently fine; a present-but-refused one counts as a load
+  /// reject and the module starts cold.
+  void maybeLoadCheckpoint(ModuleEntry &Entry, const std::string &Name);
+
+  /// Body of the periodic checkpoint thread.
+  void checkpointLoop();
+
   ServiceOptions Options;
 
   mutable std::mutex RegistryMutex; ///< Guards Modules and Retired.
@@ -228,6 +276,13 @@ private:
   ServiceStats Stats; ///< Guarded by StatsMutex.
 
   std::vector<std::thread> Workers;
+
+  /// Periodic checkpointing (runs only with a checkpoint directory and a
+  /// positive interval).
+  std::mutex CheckpointMutex;
+  std::condition_variable CheckpointCv;
+  bool CheckpointStop = false; ///< Guarded by CheckpointMutex.
+  std::thread CheckpointThread;
 };
 
 } // namespace jtc

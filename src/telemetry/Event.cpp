@@ -26,6 +26,12 @@ const char *jtc::eventKindName(EventKind K) {
     return "profiler-signal";
   case EventKind::DecayPass:
     return "decay-pass";
+  case EventKind::SnapshotSaved:
+    return "snapshot-saved";
+  case EventKind::SnapshotLoaded:
+    return "snapshot-loaded";
+  case EventKind::SnapshotRejected:
+    return "snapshot-rejected";
   }
   return "unknown";
 }

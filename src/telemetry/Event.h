@@ -48,10 +48,13 @@ enum class EventKind : uint8_t {
   TraceEarlyExit,    ///< Divergence: Id = trace, Arg = blocks executed.
   ProfilerSignal,    ///< Id = BCG node, Arg = new NodeState.
   DecayPass,         ///< Id = BCG node whose counters were halved.
+  SnapshotSaved,     ///< Durable .jtcp written: Id = traces, Arg = nodes.
+  SnapshotLoaded,    ///< Durable .jtcp installed: Id = traces, Arg = nodes.
+  SnapshotRejected,  ///< Load refused: Arg = PersistErrorKind.
 };
 
 inline constexpr unsigned NumEventKinds =
-    static_cast<unsigned>(EventKind::DecayPass) + 1;
+    static_cast<unsigned>(EventKind::SnapshotRejected) + 1;
 
 /// Stable machine-readable name ("trace-constructed", "decay-pass", ...).
 const char *eventKindName(EventKind K);

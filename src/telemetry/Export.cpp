@@ -100,6 +100,19 @@ void jtc::telemetry_detail::writeChromeEvents(JsonWriter &W,
           .endObject()
           .endObject();
       break;
+    case EventKind::SnapshotSaved:
+    case EventKind::SnapshotLoaded:
+    case EventKind::SnapshotRejected:
+      // Durable-profile lifecycle: thread-scoped instants.
+      eventPrelude(W, Kind, "persist", "i", E.Clock);
+      W.field("s", "t")
+          .key("args")
+          .beginObject()
+          .fieldUInt("id", E.Id)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
     }
   });
 }

@@ -176,6 +176,8 @@ std::vector<TraceCache::TraceSeed> TraceCache::exportLiveTraces() const {
     S.EntryFrom = T.EntryFrom;
     S.Blocks = T.Blocks;
     S.ExpectedCompletion = T.ExpectedCompletion;
+    S.Entered = T.Entered;
+    S.Completed = T.Completed;
     Out.push_back(std::move(S));
   }
   return Out;

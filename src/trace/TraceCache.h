@@ -75,6 +75,13 @@ public:
     BlockId EntryFrom = InvalidBlockId;
     std::vector<BlockId> Blocks;
     double ExpectedCompletion = 1.0;
+    /// Donor-side execution history (entries / completed runs). seedTraces
+    /// deliberately does NOT install it -- a seeded trace is judged by this
+    /// session's behaviour alone -- but the persist layer uses it as a
+    /// load-time filter: a donor trace whose observed completion had
+    /// already fallen below the retirement bar is not worth re-installing.
+    uint64_t Entered = 0;
+    uint64_t Completed = 0;
   };
 
   /// Captures every live (dispatchable) trace.

@@ -1,0 +1,28 @@
+//===- vm/ModuleFingerprint.cpp -------------------------------------------===//
+
+#include "vm/ModuleFingerprint.h"
+
+#include "interp/PreparedModule.h"
+
+using namespace jtc;
+
+uint64_t jtc::moduleFingerprint(const PreparedModule &PM) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis.
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(PM.module().EntryMethod);
+  Mix(PM.numBlocks());
+  for (BlockId B = 0; B < PM.numBlocks(); ++B) {
+    const BasicBlock &BB = PM.block(B);
+    Mix(BB.MethodId);
+    Mix(BB.StartPc);
+    Mix(BB.EndPc);
+  }
+  // 0 is the "no snapshot" sentinel; remap the (vanishingly unlikely)
+  // collision rather than special-casing it everywhere.
+  return H == 0 ? 1 : H;
+}

@@ -1,0 +1,31 @@
+//===- vm/ModuleFingerprint.h - Structural module identity ------*- C++ -*-===//
+///
+/// \file
+/// The structural fingerprint every profile-carrying artifact is tagged
+/// with. Adaptive state (BCG counters, traces) names blocks by their
+/// module-relative BlockId, so it is only meaningful over an identically
+/// prepared module; the fingerprint is how the warm-handoff snapshot
+/// (server layer) and the durable .jtcp snapshot (persist layer) both
+/// detect that precondition instead of trusting their callers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_VM_MODULEFINGERPRINT_H
+#define JTC_VM_MODULEFINGERPRINT_H
+
+#include <cstdint>
+
+namespace jtc {
+
+class PreparedModule;
+
+/// Structural FNV-1a fingerprint of a prepared module: entry method, block
+/// count and every block's (method, pc-range) triple. Two prepared modules
+/// with equal fingerprints have identical block-id spaces, which is the
+/// property seeding relies on. Never returns 0 (the "no snapshot"
+/// sentinel).
+uint64_t moduleFingerprint(const PreparedModule &PM);
+
+} // namespace jtc
+
+#endif // JTC_VM_MODULEFINGERPRINT_H

@@ -88,6 +88,11 @@ public:
   /// compiled in).
   const EventRing &events() const { return Ring; }
 
+  /// The active ring for instrumentation sites outside the VM (the
+  /// persist layer's snapshot events), or null when telemetry is off.
+  /// Pass to JTC_RECORD_EVENT, which handles null.
+  EventRing *telemetry() { return Telem; }
+
   /// The phase-sample time series (empty unless Options.sampleInterval()).
   const PhaseSampler<VmStats> &sampler() const { return Sampler; }
 

@@ -25,6 +25,7 @@
 #include "trace/TraceConfig.h"
 
 #include <cstdint>
+#include <string>
 
 namespace jtc {
 
@@ -107,6 +108,18 @@ public:
     return *this;
   }
 
+  /// Durable-profile hooks, honoured by the persist layer (the VM itself
+  /// never touches the filesystem): load a .jtcp snapshot into the
+  /// session before it runs / save one after it finishes. Empty = off.
+  VmOptions &loadProfilePath(std::string Path) {
+    LoadProfile = std::move(Path);
+    return *this;
+  }
+  VmOptions &saveProfilePath(std::string Path) {
+    SaveProfile = std::move(Path);
+    return *this;
+  }
+
   //===--- Getters -----------------------------------------------------===//
 
   double completionThreshold() const { return Threshold; }
@@ -120,6 +133,8 @@ public:
   uint32_t telemetryCapacity() const { return TelemetryCap; }
   uint64_t sampleInterval() const { return Sampling; }
   CacheFault cacheFault() const { return Fault; }
+  const std::string &loadProfilePath() const { return LoadProfile; }
+  const std::string &saveProfilePath() const { return SaveProfile; }
 
   //===--- Derived sub-configurations ----------------------------------===//
   //
@@ -154,6 +169,8 @@ private:
   uint32_t TelemetryCap = 1u << 16;
   uint64_t Sampling = 0;
   CacheFault Fault = CacheFault::None;
+  std::string LoadProfile;
+  std::string SaveProfile;
 };
 
 } // namespace jtc

@@ -15,6 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <thread>
 
 using namespace jtc;
 
@@ -152,6 +155,104 @@ TEST(VmServiceTest, WarmHandoffDisabledNeverSeeds) {
     EXPECT_EQ(R.Stats.TracesSeeded, 0u);
   }
   EXPECT_EQ(Svc.stats().SnapshotsPublished, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Durable checkpointing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fresh scratch directory under the system temp dir.
+std::filesystem::path checkpointScratch(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "jtc-server-test" / Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+} // namespace
+
+TEST(VmServiceTest, CheckpointOnDrainThenColdRestartRunsWarm) {
+  // The cross-process mirror of WarmHandoffSeedsWithoutResignaling: the
+  // first service learns the profile and checkpoints it on drain; a
+  // brand-new service -- a restarted process, as far as the state is
+  // concerned -- loads it at registration and its very first session
+  // runs warm, traces installed instead of re-signaled.
+  std::filesystem::path Dir = checkpointScratch("drain-restart");
+
+  uint64_t ColdSignals = 0;
+  {
+    VmService Svc(ServiceOptions().workers(1).checkpointDir(Dir.string()));
+    Svc.registerModule("hot", testprog::hotLoop(50000));
+    SessionResult Cold = Svc.run({"hot"});
+    ASSERT_FALSE(Cold.WarmStart);
+    ASSERT_GT(Cold.Stats.Signals, 0u);
+    ColdSignals = Cold.Stats.Signals;
+    Svc.drain();
+    EXPECT_EQ(Svc.stats().CheckpointsSaved, 1u);
+    EXPECT_TRUE(std::filesystem::exists(Dir / "hot.jtcp"));
+  }
+
+  VmService Restarted(ServiceOptions().workers(1).loadDir(Dir.string()));
+  Restarted.registerModule("hot", testprog::hotLoop(50000));
+  SessionResult First = Restarted.run({"hot"});
+  EXPECT_TRUE(First.WarmStart);
+  EXPECT_GT(First.Stats.TracesSeeded, 0u);
+  EXPECT_EQ(First.Stats.TracesConstructed, 0u);
+  EXPECT_LT(First.Stats.Signals, ColdSignals);
+
+  ServiceStats S = Restarted.stats();
+  EXPECT_EQ(S.CheckpointsLoaded, 1u);
+  EXPECT_EQ(S.CheckpointLoadRejects, 0u);
+  EXPECT_EQ(S.WarmStarts, 1u);
+  EXPECT_EQ(S.ColdStarts, 0u);
+  // The pre-published snapshot means no session needed to publish one.
+  EXPECT_EQ(S.SnapshotsPublished, 0u);
+}
+
+TEST(VmServiceTest, ShutdownWritesFinalCheckpoint) {
+  std::filesystem::path Dir = checkpointScratch("shutdown");
+  {
+    VmService Svc(ServiceOptions().workers(2).checkpointDir(Dir.string()));
+    Svc.registerModule("hot", testprog::hotLoop(50000));
+    Svc.run({"hot"});
+    // No explicit drain: the destructor's shutdown must checkpoint.
+  }
+  EXPECT_TRUE(std::filesystem::exists(Dir / "hot.jtcp"));
+}
+
+TEST(VmServiceTest, CorruptCheckpointIsRejectedAndSessionRunsCold) {
+  std::filesystem::path Dir = checkpointScratch("corrupt");
+  {
+    std::ofstream OS(Dir / "hot.jtcp", std::ios::binary);
+    OS << "JTCPgarbage-that-is-not-a-snapshot";
+  }
+  VmService Svc(ServiceOptions().workers(1).loadDir(Dir.string()));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+  SessionResult R = Svc.run({"hot"});
+  EXPECT_FALSE(R.WarmStart);
+  EXPECT_EQ(R.Run.Status, RunStatus::Finished);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.CheckpointsLoaded, 0u);
+  EXPECT_EQ(S.CheckpointLoadRejects, 1u);
+  EXPECT_EQ(S.ColdStarts, 1u);
+}
+
+TEST(VmServiceTest, PeriodicCheckpointThreadWrites) {
+  std::filesystem::path Dir = checkpointScratch("periodic");
+  VmService Svc(ServiceOptions()
+                    .workers(1)
+                    .checkpointDir(Dir.string())
+                    .checkpointIntervalSeconds(0.02));
+  Svc.registerModule("hot", testprog::hotLoop(50000));
+  Svc.run({"hot"});
+  // Wait for at least one timer-driven checkpoint (generously bounded).
+  for (int I = 0; I < 500 && !std::filesystem::exists(Dir / "hot.jtcp"); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(std::filesystem::exists(Dir / "hot.jtcp"));
+  EXPECT_GE(Svc.stats().CheckpointsSaved, 1u);
 }
 
 TEST(VmServiceTest, SnapshotFingerprintGatesSeeding) {

@@ -1,11 +1,11 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Runs every table benchmark and collects the machine-readable artifacts
 # as BENCH_table*.json in the output directory.
 #
 # usage: tools/bench_to_json.sh [build-dir] [out-dir]
 #   build-dir  where the bench binaries live (default: build)
 #   out-dir    where to write BENCH_*.json   (default: .)
-set -eu
+set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-.}

@@ -70,6 +70,7 @@ int usage() {
          "  run options: --seed=N|ci --iterations=N --time=SECONDS\n"
          "               --max-failures=N --max-instr=N --no-minimize\n"
          "               --no-traps --no-net --no-threaded --no-refinement\n"
+         "               --no-persist-audit\n"
          "               --inject=skip-invalidation|skip-retirement\n"
          "               --repro-dir=DIR --json[=FILE]\n"
          "  replay options: --max-instr=N --no-net --no-threaded\n"
@@ -86,7 +87,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
   // programs opt out with --no-traps.
   Opts.Fuzz.Gen.Features.Traps = true;
   bool NoMinimize = false, NoTraps = false, NoNet = false, NoThreaded = false;
-  bool NoRefinement = false;
+  bool NoRefinement = false, NoPersistAudit = false;
   ArgParser P;
   P.positionals(&Opts.Files)
       .custom(
@@ -114,6 +115,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
       .flag("no-net", &NoNet)
       .flag("no-threaded", &NoThreaded)
       .flag("no-refinement", &NoRefinement)
+      .flag("no-persist-audit", &NoPersistAudit)
       .custom(
           "inject",
           [&Opts](const std::string &F) {
@@ -186,6 +188,8 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
     Opts.Fuzz.Oracle.IncludeThreaded = false;
   if (NoRefinement)
     Opts.Fuzz.Oracle.CheckRefinement = false;
+  if (NoPersistAudit)
+    Opts.Fuzz.Oracle.CheckPersist = false;
   return true;
 }
 

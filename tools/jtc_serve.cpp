@@ -16,6 +16,11 @@
 ///     --decay=<n>          decay interval                 (default 256)
 ///     --max-instr=<n>      per-session instruction budget
 ///     --snapshot-min-blocks=<n>  donor maturity bar       (default 1024)
+///     --save-profile=<dir> checkpoint published snapshots to
+///                          <dir>/<module>.jtcp on drain/shutdown
+///     --load-profile=<dir> pre-publish <dir>/<module>.jtcp at register
+///                          (cross-process warm start)
+///     --checkpoint-interval=<s>  also checkpoint every s seconds
 ///     --no-warm            disable trace-cache warm handoff
 ///     --no-traces          profile only, no trace dispatch
 ///     --no-profile         plain block interpreter sessions
@@ -49,6 +54,9 @@ struct Options {
   uint32_t Decay = 256;
   uint64_t MaxInstructions = ~0ull;
   uint64_t SnapshotMinBlocks = 1024;
+  std::string SaveProfileDir; ///< Checkpoint directory (empty = off).
+  std::string LoadProfileDir; ///< Startup-load directory (empty = off).
+  double CheckpointInterval = 0;
   bool NoWarm = false;
   bool NoTraces = false;
   bool NoProfile = false;
@@ -63,6 +71,8 @@ int usage() {
                "--scale=N\n"
                "  --threshold=X --delay=N --decay=N --max-instr=N\n"
                "  --snapshot-min-blocks=N --no-warm --no-traces --no-profile\n"
+               "  --save-profile=DIR --load-profile=DIR "
+               "--checkpoint-interval=SECONDS\n"
                "  --stats --json[=FILE]\n"
                "  workloads:";
   for (const WorkloadInfo &W : allWorkloads())
@@ -82,6 +92,9 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .u32Opt("decay", &Opts.Decay)
       .uintOpt("max-instr", &Opts.MaxInstructions)
       .uintOpt("snapshot-min-blocks", &Opts.SnapshotMinBlocks)
+      .strOpt("save-profile", &Opts.SaveProfileDir)
+      .strOpt("load-profile", &Opts.LoadProfileDir)
+      .realOpt("checkpoint-interval", &Opts.CheckpointInterval)
       .flag("no-warm", &Opts.NoWarm)
       .flag("no-traces", &Opts.NoTraces)
       .flag("no-profile", &Opts.NoProfile)
@@ -165,6 +178,9 @@ int main(int Argc, char **Argv) {
                     .workers(Opts.Workers)
                     .warmHandoff(!Opts.NoWarm)
                     .snapshotMinBlocks(Opts.SnapshotMinBlocks)
+                    .checkpointDir(Opts.SaveProfileDir)
+                    .loadDir(Opts.LoadProfileDir)
+                    .checkpointIntervalSeconds(Opts.CheckpointInterval)
                     .vm(VmOptions()
                             .completionThreshold(Opts.Threshold)
                             .startStateDelay(Opts.Delay)
@@ -193,6 +209,10 @@ int main(int Argc, char **Argv) {
   auto T1 = std::chrono::steady_clock::now();
   double Wall = std::chrono::duration<double>(T1 - T0).count();
 
+  // Every future has resolved, so this returns immediately -- but it also
+  // triggers checkpoint-on-drain, so the stats below see the saved files.
+  Svc.drain();
+
   ServiceStats S = Svc.stats();
   bool JsonToStdout = Opts.Json && Opts.JsonOut.empty();
   if (!JsonToStdout) {
@@ -203,6 +223,10 @@ int main(int Argc, char **Argv) {
               << " req/s)\n"
               << "sessions:  " << S.WarmStarts << " warm, " << S.ColdStarts
               << " cold, " << S.SnapshotsPublished << " snapshots published\n";
+    if (!Opts.SaveProfileDir.empty() || !Opts.LoadProfileDir.empty())
+      std::cout << "checkpoints: " << S.CheckpointsSaved << " saved, "
+                << S.CheckpointsLoaded << " loaded, "
+                << S.CheckpointLoadRejects << " rejected\n";
     for (const WorkloadInfo *Info : Ws) {
       ProfileSnapshot Snap = Svc.snapshotFor(Info->Name);
       if (!Snap.empty())

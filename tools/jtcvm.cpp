@@ -30,12 +30,17 @@
 ///   --events-out=<file>  telemetry as JSONL, one event per line
 ///   --sample-interval=<n> snapshot stats deltas every n executed blocks
 ///   --telemetry-cap=<n>  event ring capacity (default 65536)
+///   --load-profile=<f>   seed the session from a .jtcp snapshot (strictly
+///                        re-validated against this program first)
+///   --save-profile=<f>   write the session's profile + live traces as a
+///                        .jtcp snapshot after the run
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Disassembler.h"
 #include "bytecode/Verifier.h"
 #include "interp/InstructionInterpreter.h"
+#include "persist/Snapshot.h"
 #include "support/ArgParse.h"
 #include "support/Json.h"
 #include "telemetry/Export.h"
@@ -74,6 +79,8 @@ struct Options {
   std::string EventsOut; ///< JSONL event dump file.
   uint64_t SampleInterval = 0;
   uint32_t TelemetryCap = 1u << 16;
+  std::string LoadProfile; ///< .jtcp snapshot to seed the session from.
+  std::string SaveProfile; ///< .jtcp snapshot to write after the run.
 
   /// Any flag that needs the event ring or phase sampler.
   bool wantsTelemetry() const {
@@ -94,7 +101,8 @@ int usage() {
                "--dump-traces --dump-graph --quiet\n"
                "               --json[=FILE] --trace-out=FILE "
                "--events-out=FILE\n"
-               "               --sample-interval=N --telemetry-cap=N\n";
+               "               --sample-interval=N --telemetry-cap=N\n"
+               "               --load-profile=FILE --save-profile=FILE\n";
   return 2;
 }
 
@@ -123,6 +131,8 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
               })
       .strOpt("trace-out", &Opts.TraceOut)
       .strOpt("events-out", &Opts.EventsOut)
+      .strOpt("load-profile", &Opts.LoadProfile)
+      .strOpt("save-profile", &Opts.SaveProfile)
       .uintOpt("sample-interval", &Opts.SampleInterval)
       .custom(
           "telemetry-cap",
@@ -196,7 +206,7 @@ const char *statusName(RunStatus S) {
 /// The `--json` document: run outcome, configuration, the full stats
 /// block, and the phase time-series when sampling was on.
 void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
-                  const RunResult &R) {
+                  const RunResult &R, const persist::LoadReport &Loaded) {
   JsonWriter W(OS);
   W.beginObject();
   W.field("program", Opts.Program);
@@ -209,6 +219,15 @@ void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
       .fieldBool("traces", !Opts.NoTraces)
       .fieldBool("profiling", !Opts.NoProfile)
       .endObject();
+  if (!Opts.LoadProfile.empty()) {
+    W.key("profile")
+        .beginObject()
+        .fieldUInt("nodes", Loaded.Nodes)
+        .fieldUInt("traces", Loaded.Traces)
+        .fieldUInt("dropped_by_completion", Loaded.TracesDroppedByCompletion)
+        .fieldUInt("donor_blocks", Loaded.DonorBlocks)
+        .endObject();
+  }
   W.key("stats").beginObject();
   VM.stats().writeJsonFields(W);
   W.endObject();
@@ -261,8 +280,27 @@ int cmdRun(const Options &Opts, const Module &M) {
                      .profiling(!Opts.NoProfile)
                      .telemetry(Opts.wantsTelemetry())
                      .telemetryCapacity(Opts.TelemetryCap)
-                     .sampleInterval(Opts.SampleInterval));
+                     .sampleInterval(Opts.SampleInterval)
+                     .loadProfilePath(Opts.LoadProfile)
+                     .saveProfilePath(Opts.SaveProfile));
+  persist::LoadReport Loaded;
+  persist::PersistError PErr;
+  if (!persist::applyProfileOptions(VM, Loaded, PErr)) {
+    std::cerr << "cannot load profile '" << Opts.LoadProfile
+              << "': " << PErr.message() << "\n";
+    return 1;
+  }
+  if (!Opts.LoadProfile.empty() && !Opts.Quiet)
+    std::cerr << "profile loaded: " << Loaded.Nodes << " nodes, "
+              << Loaded.Traces << " traces ("
+              << Loaded.TracesDroppedByCompletion
+              << " dropped by completion history)\n";
   RunResult R = VM.run();
+  if (!persist::finishProfileOptions(VM, PErr)) {
+    std::cerr << "cannot save profile '" << Opts.SaveProfile
+              << "': " << PErr.message() << "\n";
+    return 1;
+  }
   // --json to stdout owns the stream: program output is suppressed there
   // so the document stays parseable.
   bool JsonToStdout = Opts.Json && Opts.JsonOut.empty();
@@ -275,9 +313,9 @@ int cmdRun(const Options &Opts, const Module &M) {
     VM.stats().print(std::cerr);
   if (Opts.Json) {
     if (JsonToStdout)
-      writeRunJson(std::cout, Opts, VM, R);
+      writeRunJson(std::cout, Opts, VM, R, Loaded);
     else if (!writeFileOr(Opts.JsonOut, [&](std::ostream &OS) {
-               writeRunJson(OS, Opts, VM, R);
+               writeRunJson(OS, Opts, VM, R, Loaded);
              }))
       return 1;
   }
