@@ -1,0 +1,164 @@
+//===- bench/btrace_overhead.cpp - Branch-trace encoder overhead ----------===//
+///
+/// Extends the Table VI methodology to the btrace pipeline: each paper
+/// workload runs under the default adaptive configuration twice -- once
+/// bare and once with the compressed branch-trace encoder attached to
+/// every block dispatch (writing to memory, so the measurement isolates
+/// encoding cost from disk I/O). Each flavour is timed as the fastest of
+/// N repeats to suppress scheduling noise, exactly as Table VI does.
+///
+/// Reported per workload: wall-clock overhead of tracing (%), stream
+/// bytes per executed block (the compression figure of merit; hardware
+/// branch tracing targets well under a byte per retired branch), and the
+/// packet mix. The artifact for CI is --json=<file>.
+///
+//===----------------------------------------------------------------------===//
+
+#include "btrace/BtraceEncoder.h"
+#include "harness/Experiment.h"
+#include "support/Json.h"
+#include "support/TablePrinter.h"
+#include "vm/ModuleFingerprint.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+using namespace jtc;
+
+namespace {
+
+struct Sample {
+  std::string Workload;
+  double PlainSeconds = 0;
+  double TracedSeconds = 0;
+  btrace::EncoderStats Enc;
+
+  double overheadPercent() const {
+    return PlainSeconds > 0
+               ? (TracedSeconds - PlainSeconds) / PlainSeconds * 100.0
+               : 0.0;
+  }
+  double bytesPerBlock() const {
+    return Enc.Blocks ? static_cast<double>(Enc.BytesWritten) /
+                            static_cast<double>(Enc.Blocks)
+                      : 0.0;
+  }
+};
+
+double secondsOf(TraceVM &VM) {
+  auto T0 = std::chrono::steady_clock::now();
+  VM.run();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+Sample measure(const WorkloadInfo &W, int Repeats) {
+  Sample S;
+  S.Workload = W.Name;
+  Module M = W.Build(W.DefaultScale);
+  PreparedModule PM(M);
+  VmOptions Opts; // Paper defaults, as in Table VI.
+
+  S.PlainSeconds = 1e100;
+  for (int I = 0; I < Repeats; ++I) {
+    TraceVM VM(PM, Opts);
+    S.PlainSeconds = std::min(S.PlainSeconds, secondsOf(VM));
+  }
+
+  S.TracedSeconds = 1e100;
+  std::vector<uint8_t> Stream;
+  for (int I = 0; I < Repeats; ++I) {
+    btrace::BtraceHeader H = btrace::BtraceHeader::fromOptions(Opts);
+    H.Fingerprint = moduleFingerprint(PM);
+    H.Spec = std::string("workload:") + std::string(W.Name);
+    H.Scale = W.DefaultScale;
+    btrace::SuccessorTable ST(PM);
+    Stream.clear();
+    btrace::BtraceEncoder Enc(PM, ST, std::move(H),
+                              [&Stream](const uint8_t *Data, size_t Size) {
+                                Stream.insert(Stream.end(), Data,
+                                              Data + Size);
+                                return true;
+                              });
+    TraceVM VM(PM, Opts);
+    VM.setTransitionSink(&Enc);
+    S.TracedSeconds = std::min(S.TracedSeconds, secondsOf(VM));
+    S.Enc = Enc.encoderStats();
+  }
+  return S;
+}
+
+void writeJson(std::ostream &OS, const std::vector<Sample> &Samples) {
+  JsonWriter W(OS);
+  W.beginObject().field("table", "btrace_overhead").key("records");
+  W.beginArray();
+  for (const Sample &S : Samples) {
+    W.beginObject()
+        .field("workload", S.Workload)
+        .fieldReal("plain_seconds", S.PlainSeconds)
+        .fieldReal("traced_seconds", S.TracedSeconds)
+        .fieldReal("overhead_pct", S.overheadPercent())
+        .fieldUInt("bytes", S.Enc.BytesWritten)
+        .fieldUInt("blocks", S.Enc.Blocks)
+        .fieldReal("bytes_per_block", S.bytesPerBlock())
+        .fieldUInt("tnt_packets", S.Enc.TntPackets)
+        .fieldUInt("tip_packets", S.Enc.TipPackets)
+        .fieldUInt("sync_packets", S.Enc.SyncPackets)
+        .endObject();
+  }
+  W.endArray().endObject();
+  OS << "\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "btrace_overhead");
+  std::cout << "Branch-trace encoder overhead (Table VI methodology)\n"
+            << "(every block dispatch also feeds the .btc encoder, "
+               "writing to memory)\n\n";
+
+  TablePrinter T({"benchmark", "plain (s)", "traced (s)", "overhead (%)",
+                  "blocks (M)", "stream (KB)", "bytes/block"});
+  std::vector<Sample> Samples;
+  double TotalPlain = 0, TotalTraced = 0;
+  uint64_t TotalBytes = 0, TotalBlocks = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::cerr << "  timing " << W.Name << "...\n";
+    Sample S = measure(W, /*Repeats=*/3);
+    T.addRow({S.Workload, TablePrinter::fmt(S.PlainSeconds, 3),
+              TablePrinter::fmt(S.TracedSeconds, 3),
+              TablePrinter::fmtPercent(
+                  (S.TracedSeconds - S.PlainSeconds) / S.PlainSeconds, 1),
+              TablePrinter::fmt(static_cast<double>(S.Enc.Blocks) / 1e6, 1),
+              TablePrinter::fmt(
+                  static_cast<double>(S.Enc.BytesWritten) / 1024.0, 1),
+              TablePrinter::fmt(S.bytesPerBlock(), 4)});
+    TotalPlain += S.PlainSeconds;
+    TotalTraced += S.TracedSeconds;
+    TotalBytes += S.Enc.BytesWritten;
+    TotalBlocks += S.Enc.Blocks;
+    Samples.push_back(std::move(S));
+  }
+  T.print(std::cout);
+  std::cout << "\nacross all benchmarks: tracing adds "
+            << TablePrinter::fmtPercent(
+                   (TotalTraced - TotalPlain) / TotalPlain, 1)
+            << " wall-clock at "
+            << TablePrinter::fmt(static_cast<double>(TotalBytes) /
+                                     static_cast<double>(TotalBlocks),
+                                 4)
+            << " bytes per executed block\n";
+
+  if (!JsonOut.empty()) {
+    std::ofstream OS(JsonOut);
+    if (!OS) {
+      std::cerr << "cannot open '" << JsonOut << "' for writing\n";
+      return 1;
+    }
+    writeJson(OS, Samples);
+    std::cerr << "wrote " << JsonOut << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- btrace/BtraceCapture.cpp -------------------------------------------===//
+
+#include "btrace/BtraceCapture.h"
+
+#include "persist/Snapshot.h"
+#include "vm/ModuleFingerprint.h"
+
+using namespace jtc;
+using namespace jtc::btrace;
+using persist::PersistError;
+using persist::PersistErrorKind;
+
+std::unique_ptr<BtraceFileCapture>
+BtraceFileCapture::start(TraceVM &VM, const std::string &Path,
+                         const std::string &Spec, uint32_t Scale,
+                         PersistError &Err) {
+  std::unique_ptr<BtraceFileCapture> C(new BtraceFileCapture());
+  C->Path = Path;
+  C->Out.open(Path, std::ios::binary | std::ios::trunc);
+  if (!C->Out) {
+    Err = PersistError::make(PersistErrorKind::Io,
+                             "cannot open btrace output '" + Path + "'");
+    return nullptr;
+  }
+
+  BtraceHeader H = BtraceHeader::fromOptions(VM.options());
+  H.Fingerprint = moduleFingerprint(VM.prepared());
+  H.Spec = Spec;
+  H.Scale = Scale;
+  // Capture the state the session will actually start from: anything a
+  // --load-profile installed is already in the VM here.
+  persist::SnapshotData SD = persist::captureSnapshot(VM);
+  if (!SD.empty()) {
+    H.Seed = persist::encodeSnapshot(SD);
+    H.Flags |= FlagHasSeed;
+  }
+
+  C->ST = std::make_unique<SuccessorTable>(VM.prepared());
+  std::ofstream *OutPtr = &C->Out;
+  C->Enc = std::make_unique<BtraceEncoder>(
+      VM.prepared(), *C->ST, std::move(H),
+      [OutPtr](const uint8_t *Data, size_t Size) {
+        OutPtr->write(reinterpret_cast<const char *>(Data),
+                      static_cast<std::streamsize>(Size));
+        return static_cast<bool>(*OutPtr);
+      });
+  C->Enc->setTelemetry(VM.telemetry());
+  VM.setTransitionSink(C->Enc.get());
+  Err = PersistError();
+  return C;
+}
+
+bool BtraceFileCapture::finish(PersistError &Err) {
+  Out.close();
+  if (!Enc->ok() || Out.fail()) {
+    Err = PersistError::make(PersistErrorKind::Io,
+                             "btrace capture to '" + Path + "' failed");
+    return false;
+  }
+  Err = PersistError();
+  return true;
+}

@@ -1,0 +1,60 @@
+//===- btrace/BtraceCapture.h - File-backed capture sessions ----*- C++ -*-===//
+///
+/// \file
+/// Convenience layer tying a BtraceEncoder to a TraceVM and a file:
+/// builds the header from the VM's options and module fingerprint,
+/// embeds the warm-start seed the VM actually holds (exported *after*
+/// any profile load, so replay starts from the same state), attaches the
+/// encoder as the VM's transition sink, and streams packets to disk.
+/// Used by jtcvm --btrace-out and by the service layer's per-session
+/// capture with rotation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BTRACE_BTRACECAPTURE_H
+#define JTC_BTRACE_BTRACECAPTURE_H
+
+#include "btrace/BtraceEncoder.h"
+#include "vm/TraceVM.h"
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+namespace jtc {
+namespace btrace {
+
+/// One file-backed capture. Lifecycle: start() before VM.run(), then run,
+/// then finish(). The capture object must outlive the run.
+class BtraceFileCapture {
+public:
+  /// Opens \p Path and attaches a capture to \p VM (which must not have
+  /// run). \p Spec and \p Scale are recorded as provenance. If the VM
+  /// holds a non-empty profile (e.g. --load-profile ran first), it is
+  /// embedded as the stream's seed. Returns null with \p Err on I/O
+  /// failure.
+  static std::unique_ptr<BtraceFileCapture>
+  start(TraceVM &VM, const std::string &Path, const std::string &Spec,
+        uint32_t Scale, persist::PersistError &Err);
+
+  /// Closes the stream after the run. False (with \p Err, kind Io) when
+  /// any write or the final flush failed -- the file then lacks an END
+  /// packet and only recoverTail() can read it.
+  bool finish(persist::PersistError &Err);
+
+  const EncoderStats &encoderStats() const { return Enc->encoderStats(); }
+  const std::string &path() const { return Path; }
+
+private:
+  BtraceFileCapture() = default;
+
+  std::string Path;
+  std::ofstream Out;
+  std::unique_ptr<SuccessorTable> ST;
+  std::unique_ptr<BtraceEncoder> Enc;
+};
+
+} // namespace btrace
+} // namespace jtc
+
+#endif // JTC_BTRACE_BTRACECAPTURE_H

@@ -1,0 +1,458 @@
+//===- btrace/BtraceDecoder.cpp -------------------------------------------===//
+
+#include "btrace/BtraceDecoder.h"
+
+#include "persist/ByteStream.h"
+#include "persist/Crc32.h"
+#include "vm/ModuleFingerprint.h"
+
+#include <cstring>
+
+using namespace jtc;
+using namespace jtc::btrace;
+using persist::PersistError;
+using persist::PersistErrorKind;
+
+namespace {
+
+/// Upper bound on a sync packet's recorded call depth; anything larger
+/// is corruption, not a program (the Machine traps StackOverflow far
+/// below this).
+constexpr uint64_t MaxSyncDepth = 1u << 20;
+
+/// The packet side of a stream, separated into the two logical
+/// sub-streams plus the bookkeeping packets.
+struct PacketSet {
+  std::vector<uint8_t> Bits; ///< TNT outcomes, one per entry, in order.
+  std::vector<int64_t> Deltas;
+  std::vector<SyncPoint> Syncs;
+  bool SawEnd = false;
+  BtraceEnd End;
+};
+
+PersistError malformed(std::string Detail) {
+  return PersistError::make(PersistErrorKind::Malformed, std::move(Detail));
+}
+
+/// Scans packets in [Start, Size). Strict mode reports the first defect
+/// (including the stream CRC and trailing-garbage checks, which need
+/// \p Data from byte 0); tolerant mode stops collecting at the first
+/// defect and reports success with what it has.
+bool scanPackets(const uint8_t *Data, size_t Size, size_t Start, bool Strict,
+                 PacketSet &Out, PersistError &Err) {
+  persist::ByteReader R(Data + Start, Size - Start);
+  auto Offset = [&]() { return Size - R.remaining(); };
+  while (!R.exhausted()) {
+    uint8_t Kind = 0;
+    R.u8(Kind);
+    switch (static_cast<PacketKind>(Kind)) {
+    case PacketKind::Tnt: {
+      uint8_t Count = 0;
+      const uint8_t *Payload = nullptr;
+      if (!R.u8(Count) || Count == 0 || Count > 64 ||
+          !R.span((Count + 7) / 8, Payload)) {
+        Err = Count > 64 || (Count == 0 && !R.failed())
+                  ? malformed("bad TNT bit count")
+                  : PersistError::make(PersistErrorKind::Truncated,
+                                       "stream ends inside a TNT packet");
+        return !Strict;
+      }
+      for (uint8_t I = 0; I < Count; ++I)
+        Out.Bits.push_back((Payload[I / 8] >> (I % 8)) & 1);
+      break;
+    }
+    case PacketKind::Tip: {
+      int64_t Delta = 0;
+      if (!R.svarint(Delta)) {
+        Err = PersistError::make(PersistErrorKind::Truncated,
+                                 "stream ends inside a TIP packet");
+        return !Strict;
+      }
+      Out.Deltas.push_back(Delta);
+      break;
+    }
+    case PacketKind::Sync: {
+      size_t MarkerAt = Offset() - 1;
+      const uint8_t *Tail = nullptr;
+      if (!R.span(sizeof(SyncMarker) - 1, Tail) ||
+          std::memcmp(Tail, SyncMarker + 1, sizeof(SyncMarker) - 1) != 0) {
+        Err = Tail ? malformed("bad sync marker")
+                   : PersistError::make(PersistErrorKind::Truncated,
+                                        "stream ends inside a sync marker");
+        return !Strict;
+      }
+      size_t PayloadAt = Offset();
+      SyncPoint S;
+      S.Offset = MarkerAt;
+      uint64_t Cur = 0, Depth = 0;
+      bool Ok = R.varint(S.BlocksExecuted) && R.varint(Cur) && R.varint(Depth);
+      if (Ok && Depth > MaxSyncDepth) {
+        Err = malformed("absurd sync stack depth");
+        return !Strict;
+      }
+      for (uint64_t I = 0; Ok && I < Depth; ++I) {
+        uint64_t B = 0;
+        Ok = R.varint(B) && B <= InvalidBlockId;
+        if (Ok)
+          S.Stack.push_back(static_cast<BlockId>(B));
+      }
+      size_t CrcAt = Offset();
+      uint32_t Crc = 0;
+      Ok = Ok && Cur <= InvalidBlockId && R.u32(Crc);
+      if (!Ok) {
+        Err = PersistError::make(PersistErrorKind::Truncated,
+                                 "stream ends inside a sync packet");
+        return !Strict;
+      }
+      if (persist::crc32(Data + PayloadAt, CrcAt - PayloadAt) != Crc) {
+        Err = PersistError::make(PersistErrorKind::ChecksumMismatch,
+                                 "sync packet CRC mismatch");
+        return !Strict;
+      }
+      S.Cur = static_cast<BlockId>(Cur);
+      S.AfterOffset = Offset();
+      Out.Syncs.push_back(std::move(S));
+      break;
+    }
+    case PacketKind::End: {
+      uint8_t Status = 0, Trap = 0;
+      BtraceEnd E;
+      bool Ok = R.u8(Status) && R.u8(Trap) && R.varint(E.BlocksExecuted) &&
+                R.varint(E.Instructions) && R.u64(E.StatsDigest);
+      size_t CrcAt = Offset();
+      uint32_t Crc = 0;
+      Ok = Ok && R.u32(Crc);
+      if (!Ok) {
+        Err = PersistError::make(PersistErrorKind::Truncated,
+                                 "stream ends inside the END packet");
+        return !Strict;
+      }
+      if (Status > static_cast<uint8_t>(RunStatus::BudgetExhausted) ||
+          Trap > static_cast<uint8_t>(TrapKind::VmReuse)) {
+        Err = malformed("END packet with unknown status or trap");
+        return !Strict;
+      }
+      E.Status = static_cast<RunStatus>(Status);
+      E.Trap = static_cast<TrapKind>(Trap);
+      if (Strict) {
+        if (persist::crc32(Data, CrcAt) != Crc) {
+          Err = PersistError::make(PersistErrorKind::ChecksumMismatch,
+                                   "stream CRC mismatch");
+          return false;
+        }
+        if (!R.exhausted()) {
+          Err = malformed("trailing data after the END packet");
+          return false;
+        }
+      }
+      Out.End = E;
+      Out.SawEnd = true;
+      return true;
+    }
+    default:
+      Err = malformed("unknown packet kind " + std::to_string(Kind));
+      return !Strict;
+    }
+  }
+  Err = PersistError::make(PersistErrorKind::Truncated,
+                           "stream has no END packet");
+  return !Strict;
+}
+
+} // namespace
+
+bool btrace::decodeBtrace(const uint8_t *Data, size_t Size,
+                          const PreparedModule &PM, const SuccessorTable &ST,
+                          BtraceHeader &H, BtraceEnd &E,
+                          const std::function<void(BlockId)> &OnBlock,
+                          PersistError &Err) {
+  size_t HeaderSize = 0;
+  if (!decodeHeader(Data, Size, H, HeaderSize, Err))
+    return false;
+  if (H.Fingerprint != moduleFingerprint(PM)) {
+    Err = PersistError::make(PersistErrorKind::FingerprintMismatch,
+                             "stream was captured over a different module");
+    return false;
+  }
+
+  PacketSet P;
+  if (!scanPackets(Data, Size, HeaderSize, /*Strict=*/true, P, Err))
+    return false;
+  E = P.End;
+
+  const size_t NumBlocks = ST.numBlocks();
+  const uint64_t N = E.BlocksExecuted;
+  if (N == 0) {
+    Err = malformed("END packet records zero executed blocks");
+    return false;
+  }
+  if (H.EntryBlock != PM.entryBlock()) {
+    Err = malformed("stream does not begin at the module entry block");
+    return false;
+  }
+
+  // The walk. Failure past this point is Malformed: the stream is
+  // structurally sound but tells an impossible story about the module.
+  size_t BitsAt = 0, DeltasAt = 0, SyncsAt = 0;
+  std::vector<BlockId> Stack;
+  BlockId Cur = H.EntryBlock;
+  uint64_t Count = 1;
+  uint64_t InstrSum = PM.blockSize(Cur);
+  uint64_t LastSize = InstrSum;
+  OnBlock(Cur);
+
+  auto CheckSyncs = [&]() -> bool {
+    while (SyncsAt < P.Syncs.size() &&
+           P.Syncs[SyncsAt].BlocksExecuted <= Count) {
+      const SyncPoint &S = P.Syncs[SyncsAt];
+      if (S.BlocksExecuted != Count || S.Cur != Cur || S.Stack != Stack)
+        return false;
+      ++SyncsAt;
+    }
+    return true;
+  };
+  if (!CheckSyncs()) {
+    Err = malformed("sync packet contradicts the walk");
+    return false;
+  }
+
+  while (Count < N) {
+    const SuccInfo &I = ST.info(Cur);
+    BlockId Next = InvalidBlockId;
+    switch (I.Kind) {
+    case SuccKind::FallThrough:
+      Next = I.Fall;
+      break;
+    case SuccKind::Jump:
+      Next = I.Taken;
+      break;
+    case SuccKind::CondBranch:
+      if (BitsAt >= P.Bits.size()) {
+        Err = malformed("TNT bit stream underrun");
+        return false;
+      }
+      Next = P.Bits[BitsAt++] ? I.Taken : I.Fall;
+      break;
+    case SuccKind::Indirect:
+    case SuccKind::IndirectCall: {
+      if (DeltasAt >= P.Deltas.size()) {
+        Err = malformed("TIP delta stream underrun");
+        return false;
+      }
+      int64_t Target = static_cast<int64_t>(Cur) + P.Deltas[DeltasAt++];
+      if (Target < 0 || Target >= static_cast<int64_t>(NumBlocks)) {
+        Err = malformed("TIP target out of range");
+        return false;
+      }
+      Next = static_cast<BlockId>(Target);
+      if (I.Kind == SuccKind::IndirectCall) {
+        if (!ST.isMethodEntry(Next)) {
+          Err = malformed("indirect call to a non-entry block");
+          return false;
+        }
+        Stack.push_back(I.Fall);
+      }
+      break;
+    }
+    case SuccKind::StaticCall:
+      Stack.push_back(I.Fall);
+      Next = I.Taken;
+      break;
+    case SuccKind::Ret:
+      if (Stack.empty()) {
+        // A bottom-frame return ends the run; it cannot have a
+        // successor mid-stream.
+        Err = malformed("return past the shadow stack bottom");
+        return false;
+      }
+      Next = Stack.back();
+      Stack.pop_back();
+      break;
+    case SuccKind::Halt:
+      Err = malformed("successor recorded for a halting block");
+      return false;
+    }
+    if (Next == InvalidBlockId) {
+      Err = malformed("walk reached a successor that is not a block");
+      return false;
+    }
+    Cur = Next;
+    ++Count;
+    LastSize = PM.blockSize(Cur);
+    InstrSum += LastSize;
+    OnBlock(Cur);
+    if (!CheckSyncs()) {
+      Err = malformed("sync packet contradicts the walk");
+      return false;
+    }
+  }
+
+  // Exact-consumption: a correct encoder leaves nothing over.
+  if (BitsAt != P.Bits.size()) {
+    Err = malformed("unconsumed TNT bits after the walk");
+    return false;
+  }
+  if (DeltasAt != P.Deltas.size()) {
+    Err = malformed("unconsumed TIP deltas after the walk");
+    return false;
+  }
+  if (SyncsAt != P.Syncs.size()) {
+    Err = malformed("sync packet beyond the recorded block count");
+    return false;
+  }
+
+  // End-condition consistency.
+  if (E.Status == RunStatus::Finished) {
+    SuccKind K = ST.info(Cur).Kind;
+    bool BottomRet = K == SuccKind::Ret && Stack.empty();
+    if (K != SuccKind::Halt && !BottomRet) {
+      Err = malformed("Finished stream does not end at a halt or return");
+      return false;
+    }
+  }
+
+  // Instruction-total consistency. Finished and budget-exhausted runs
+  // execute every walked block to its end; a trap may cut the last block
+  // short (but executes at least its first instruction).
+  bool InstrOk = E.Status == RunStatus::Trapped
+                     ? E.Instructions > InstrSum - LastSize &&
+                           E.Instructions <= InstrSum
+                     : E.Instructions == InstrSum;
+  if (!InstrOk) {
+    Err = malformed("recorded instruction total contradicts the blocks");
+    return false;
+  }
+
+  Err = PersistError();
+  return true;
+}
+
+std::vector<SyncPoint> btrace::scanSyncPoints(const uint8_t *Data,
+                                              size_t Size) {
+  std::vector<SyncPoint> Out;
+  if (Size < sizeof(SyncMarker))
+    return Out;
+  for (size_t I = 0; I + sizeof(SyncMarker) <= Size;) {
+    if (std::memcmp(Data + I, SyncMarker, sizeof(SyncMarker)) != 0) {
+      ++I;
+      continue;
+    }
+    size_t PayloadAt = I + sizeof(SyncMarker);
+    persist::ByteReader R(Data + PayloadAt, Size - PayloadAt);
+    SyncPoint S;
+    S.Offset = I;
+    uint64_t Cur = 0, Depth = 0;
+    bool Ok = R.varint(S.BlocksExecuted) && R.varint(Cur) && R.varint(Depth) &&
+              Depth <= MaxSyncDepth && Cur <= InvalidBlockId;
+    for (uint64_t J = 0; Ok && J < Depth; ++J) {
+      uint64_t B = 0;
+      Ok = R.varint(B) && B <= InvalidBlockId;
+      if (Ok)
+        S.Stack.push_back(static_cast<BlockId>(B));
+    }
+    size_t CrcAt = Ok ? Size - R.remaining() : 0;
+    uint32_t Crc = 0;
+    Ok = Ok && R.u32(Crc) &&
+         persist::crc32(Data + PayloadAt, CrcAt - PayloadAt) == Crc;
+    if (!Ok) {
+      ++I; // not a real sync; keep scanning inside it
+      continue;
+    }
+    S.Cur = static_cast<BlockId>(Cur);
+    S.AfterOffset = Size - R.remaining();
+    I = S.AfterOffset;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+TailRecovery btrace::recoverTail(const uint8_t *Data, size_t Size,
+                                 const PreparedModule & /*PM*/,
+                                 const SuccessorTable &ST,
+                                 uint64_t MaxBlocks) {
+  TailRecovery Out;
+  std::vector<SyncPoint> Syncs = scanSyncPoints(Data, Size);
+  const size_t NumBlocks = ST.numBlocks();
+
+  for (size_t Idx = Syncs.size(); Idx-- > 0;) {
+    const SyncPoint &S = Syncs[Idx];
+    if (S.Cur >= NumBlocks)
+      continue; // CRC-valid but nonsensical for this module
+    PacketSet P;
+    PersistError Ignored;
+    scanPackets(Data, Size, S.AfterOffset, /*Strict=*/false, P, Ignored);
+
+    Out.Found = true;
+    Out.From = S;
+    Out.SawEnd = P.SawEnd;
+    Out.End = P.End;
+    Out.Blocks.clear();
+    Out.Blocks.push_back(S.Cur);
+
+    size_t BitsAt = 0, DeltasAt = 0;
+    std::vector<BlockId> Stack = S.Stack;
+    BlockId Cur = S.Cur;
+    uint64_t Count = S.BlocksExecuted;
+    while (Out.Blocks.size() < MaxBlocks &&
+           !(P.SawEnd && Count >= P.End.BlocksExecuted)) {
+      const SuccInfo &I = ST.info(Cur);
+      BlockId Next = InvalidBlockId;
+      bool Stop = false;
+      switch (I.Kind) {
+      case SuccKind::FallThrough:
+        Next = I.Fall;
+        break;
+      case SuccKind::Jump:
+        Next = I.Taken;
+        break;
+      case SuccKind::CondBranch:
+        if (BitsAt >= P.Bits.size())
+          Stop = true; // the stream was cut here
+        else
+          Next = P.Bits[BitsAt++] ? I.Taken : I.Fall;
+        break;
+      case SuccKind::Indirect:
+      case SuccKind::IndirectCall:
+        if (DeltasAt >= P.Deltas.size()) {
+          Stop = true;
+        } else {
+          int64_t T = static_cast<int64_t>(Cur) + P.Deltas[DeltasAt++];
+          if (T < 0 || T >= static_cast<int64_t>(NumBlocks))
+            Stop = true;
+          else {
+            Next = static_cast<BlockId>(T);
+            if (I.Kind == SuccKind::IndirectCall) {
+              if (!ST.isMethodEntry(Next))
+                Stop = true;
+              else
+                Stack.push_back(I.Fall);
+            }
+          }
+        }
+        break;
+      case SuccKind::StaticCall:
+        Stack.push_back(I.Fall);
+        Next = I.Taken;
+        break;
+      case SuccKind::Ret:
+        if (Stack.empty())
+          Stop = true; // bottom-frame return: the run ended
+        else {
+          Next = Stack.back();
+          Stack.pop_back();
+        }
+        break;
+      case SuccKind::Halt:
+        Stop = true;
+        break;
+      }
+      if (Stop || Next == InvalidBlockId)
+        break;
+      Cur = Next;
+      ++Count;
+      Out.Blocks.push_back(Cur);
+    }
+    return Out;
+  }
+  return Out;
+}

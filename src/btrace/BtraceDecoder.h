@@ -1,0 +1,87 @@
+//===- btrace/BtraceDecoder.h - Strict branch-trace decoder -----*- C++ -*-===//
+///
+/// \file
+/// The reconstruction side of the btrace pipeline. Given a .btc stream
+/// and the module it was captured over, the strict decoder re-derives
+/// the *exact* block sequence of the original run: inferable transitions
+/// come from the SuccessorTable (returns via a shadow call stack),
+/// conditional outcomes from the TNT bit queue, indirect targets from
+/// the TIP delta queue. Strictness is the persist subsystem's contract
+/// applied to streams: every way the input can be wrong -- bad magic,
+/// version skew, truncation, checksum mismatch, structural nonsense,
+/// underrun or leftover packet data, sync points that contradict the
+/// walk, totals that contradict the blocks -- maps to one typed
+/// PersistError and never to undefined behaviour or a partial answer.
+///
+/// The sync packets additionally make damaged streams partially
+/// salvageable: recoverTail() scans for the last intact sync marker and
+/// replays the walk from its recorded state, so the freshest end of a
+/// torn capture survives (the PT PSB+ idiom).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BTRACE_BTRACEDECODER_H
+#define JTC_BTRACE_BTRACEDECODER_H
+
+#include "btrace/BtraceFormat.h"
+#include "btrace/SuccessorTable.h"
+
+#include <functional>
+
+namespace jtc {
+namespace btrace {
+
+/// One CRC-validated SYNC packet: where it sits in the stream and the
+/// walk state it asserts.
+struct SyncPoint {
+  size_t Offset = 0;      ///< Byte offset of the marker's first byte.
+  size_t AfterOffset = 0; ///< First byte past the packet.
+  uint64_t BlocksExecuted = 0;
+  BlockId Cur = InvalidBlockId;
+  std::vector<BlockId> Stack; ///< Shadow stack, bottom to top.
+};
+
+/// Strictly decodes a complete stream over \p PM, invoking \p OnBlock
+/// for every executed block in program order (the entry block first; a
+/// stream of N BlocksExecuted yields N calls). On success fills \p H and
+/// \p E and returns true; on any defect returns false with a typed
+/// \p Err, and \p OnBlock may have been called for a prefix.
+///
+/// Validation includes: header integrity and fingerprint against \p PM,
+/// packet structure, stream CRC, exact consumption of both packet
+/// queues, every sync point against the walk, end-status consistency
+/// (a Finished stream must end in a halt or a bottom return), and the
+/// recorded instruction total against the walked blocks.
+bool decodeBtrace(const uint8_t *Data, size_t Size, const PreparedModule &PM,
+                  const SuccessorTable &ST, BtraceHeader &H, BtraceEnd &E,
+                  const std::function<void(BlockId)> &OnBlock,
+                  persist::PersistError &Err);
+
+/// Scans \p Data for CRC-valid sync packets (marker match + payload
+/// CRC), in stream order. Works on damaged streams; structurally
+/// invalid candidates are skipped, not reported.
+std::vector<SyncPoint> scanSyncPoints(const uint8_t *Data, size_t Size);
+
+/// What recoverTail() salvaged from a damaged stream.
+struct TailRecovery {
+  bool Found = false;     ///< A usable sync point existed.
+  SyncPoint From;         ///< The sync point the walk resumed at.
+  /// The recovered block sequence; Blocks.front() == From.Cur (the block
+  /// the original walk was at when the sync was emitted).
+  std::vector<BlockId> Blocks;
+  bool SawEnd = false; ///< The stream's END packet was reached intact.
+  BtraceEnd End;       ///< Valid when SawEnd.
+};
+
+/// Best-effort loss-tolerant decode: resumes the walk from the last
+/// CRC-valid sync point and follows packets until the stream ends, the
+/// data turns invalid, or \p MaxBlocks is reached. Never fails -- an
+/// unusable stream just returns Found = false.
+TailRecovery recoverTail(const uint8_t *Data, size_t Size,
+                         const PreparedModule &PM, const SuccessorTable &ST,
+                         uint64_t MaxBlocks = 1ull << 26);
+
+} // namespace btrace
+} // namespace jtc
+
+#endif // JTC_BTRACE_BTRACEDECODER_H

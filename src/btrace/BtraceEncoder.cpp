@@ -1,0 +1,145 @@
+//===- btrace/BtraceEncoder.cpp -------------------------------------------===//
+
+#include "btrace/BtraceEncoder.h"
+
+#include "persist/Crc32.h"
+
+#include <cassert>
+
+using namespace jtc;
+using namespace jtc::btrace;
+
+namespace {
+/// Flush the output buffer once it holds this much.
+constexpr size_t FlushThreshold = 64 * 1024;
+} // namespace
+
+BtraceEncoder::BtraceEncoder(const PreparedModule &PM,
+                             const SuccessorTable &ST, BtraceHeader Header,
+                             WriteFn Write)
+    : PM(&PM), ST(&ST), Header(std::move(Header)), Write(std::move(Write)),
+      CrcState(persist::crc32Init()) {}
+
+void BtraceEncoder::onRunStart(BlockId Entry) {
+  Header.EntryBlock = Entry;
+  std::vector<uint8_t> H = encodeHeader(Header);
+  Buf.bytes(H.data(), H.size());
+  Stats.Blocks = 1; // the entry block executes before any transition
+  JTC_RECORD_EVENT(Telem, EventKind::BtraceStarted, 0, Header.SyncInterval);
+}
+
+void BtraceEncoder::onTransition(BlockId From, BlockId To) {
+  if (Stats.Dropped)
+    return;
+  const SuccInfo &I = ST->info(From);
+  switch (I.Kind) {
+  case SuccKind::FallThrough:
+  case SuccKind::Jump:
+    assert((To == I.Fall || To == I.Taken) && "inferable successor diverged");
+    break;
+  case SuccKind::CondBranch:
+    assert((To == I.Taken || To == I.Fall) && "branch to a third target");
+    TntBits |= static_cast<uint64_t>(To == I.Taken) << TntCount;
+    if (++TntCount == 64)
+      flushTnt();
+    break;
+  case SuccKind::Indirect:
+    Buf.u8(static_cast<uint8_t>(PacketKind::Tip));
+    Buf.svarint(static_cast<int64_t>(To) - static_cast<int64_t>(From));
+    ++Stats.TipPackets;
+    break;
+  case SuccKind::StaticCall:
+    assert(To == I.Taken && "static call to an unexpected callee");
+    Stack.push_back(I.Fall);
+    break;
+  case SuccKind::IndirectCall:
+    Buf.u8(static_cast<uint8_t>(PacketKind::Tip));
+    Buf.svarint(static_cast<int64_t>(To) - static_cast<int64_t>(From));
+    ++Stats.TipPackets;
+    Stack.push_back(I.Fall);
+    break;
+  case SuccKind::Ret:
+    assert(!Stack.empty() && "return past the shadow stack bottom");
+    assert(To == Stack.back() && "return to an unexpected continuation");
+    Stack.pop_back();
+    break;
+  case SuccKind::Halt:
+    assert(false && "transition out of a halting block");
+    break;
+  }
+
+  ++Stats.Blocks;
+  if (Header.SyncInterval != 0 && Stats.Blocks % Header.SyncInterval == 0)
+    emitSync(To);
+  if (Buf.size() >= FlushThreshold)
+    flush(/*Force=*/false);
+}
+
+void BtraceEncoder::onRunEnd(const RunResult &R, const VmStats &Final) {
+  if (Stats.Dropped)
+    return;
+  assert(Stats.Blocks == Final.BlocksExecuted &&
+         "sink block count diverged from the VM's");
+  flushTnt();
+  Buf.u8(static_cast<uint8_t>(PacketKind::End));
+  Buf.u8(static_cast<uint8_t>(R.Status));
+  Buf.u8(static_cast<uint8_t>(R.Trap));
+  Buf.varint(Final.BlocksExecuted);
+  Buf.varint(R.Instructions);
+  Buf.u64(Final.digest());
+  // The stream CRC covers everything up to (not including) itself.
+  CrcState = persist::crc32Update(CrcState, Buf.buffer().data() + CrcdInBuf,
+                                  Buf.size() - CrcdInBuf);
+  CrcdInBuf = Buf.size();
+  Buf.u32(persist::crc32Final(CrcState));
+  flush(/*Force=*/true);
+}
+
+void BtraceEncoder::flushTnt() {
+  if (TntCount == 0)
+    return;
+  Buf.u8(static_cast<uint8_t>(PacketKind::Tnt));
+  Buf.u8(static_cast<uint8_t>(TntCount));
+  for (uint32_t I = 0; I < TntCount; I += 8)
+    Buf.u8(static_cast<uint8_t>(TntBits >> I));
+  TntBits = 0;
+  TntCount = 0;
+  ++Stats.TntPackets;
+}
+
+void BtraceEncoder::emitSync(BlockId Cur) {
+  // Drain the TNT buffer so both logical sub-streams are empty here: a
+  // decoder resuming from this point starts with clean queues.
+  flushTnt();
+  Buf.bytes(SyncMarker, sizeof(SyncMarker));
+  persist::ByteWriter P;
+  P.varint(Stats.Blocks);
+  P.varint(Cur);
+  P.varint(Stack.size());
+  for (BlockId B : Stack)
+    P.varint(B);
+  Buf.bytes(P.buffer().data(), P.size());
+  Buf.u32(persist::crc32(P.buffer().data(), P.size()));
+  ++Stats.SyncPackets;
+}
+
+void BtraceEncoder::flush(bool Force) {
+  if (Stats.Dropped || (Buf.size() == 0 && !Force))
+    return;
+  CrcState = persist::crc32Update(CrcState, Buf.buffer().data() + CrcdInBuf,
+                                  Buf.size() - CrcdInBuf);
+  CrcdInBuf = Buf.size();
+  size_t N = Buf.size();
+  if (N != 0 && !Write(Buf.buffer().data(), N)) {
+    Stats.Dropped = true;
+    JTC_RECORD_EVENT(Telem, EventKind::BtraceDropped, 0,
+                     static_cast<uint32_t>(N));
+    return;
+  }
+  Stats.BytesWritten += N;
+  ++Stats.Flushes;
+  JTC_RECORD_EVENT(Telem, EventKind::BtraceFlushed, 0,
+                   static_cast<uint32_t>(N));
+  Buf = persist::ByteWriter();
+  CrcdInBuf = 0;
+}

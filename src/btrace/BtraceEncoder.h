@@ -1,0 +1,89 @@
+//===- btrace/BtraceEncoder.h - Compressed branch-trace encoder -*- C++ -*-===//
+///
+/// \file
+/// The capture side of the btrace pipeline: a BlockTransitionSink that
+/// compresses a TraceVM session's block stream into .btc packets
+/// (BtraceFormat.h) as it happens. Per transition the cost is a table
+/// lookup plus, for the non-inferable kinds, a bit in the TNT buffer or
+/// one short TIP packet; everything else is free. Output is buffered and
+/// handed to a caller-supplied write callback; a failing write abandons
+/// the capture (recording a BtraceDropped event) without disturbing the
+/// VM run -- observability must never turn into a VM fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BTRACE_BTRACEENCODER_H
+#define JTC_BTRACE_BTRACEENCODER_H
+
+#include "btrace/BtraceFormat.h"
+#include "btrace/SuccessorTable.h"
+#include "persist/ByteStream.h"
+#include "telemetry/EventRing.h"
+#include "vm/BlockTransitionSink.h"
+
+#include <functional>
+
+namespace jtc {
+namespace btrace {
+
+/// Sink for encoded bytes. Returns false on failure (disk full, closed
+/// pipe); the encoder then drops the capture permanently.
+using WriteFn = std::function<bool(const uint8_t *Data, size_t Size)>;
+
+/// Capture-side accounting, reported by tools and the service layer.
+struct EncoderStats {
+  uint64_t BytesWritten = 0; ///< Bytes successfully handed to the sink.
+  uint64_t TntPackets = 0;
+  uint64_t TipPackets = 0;
+  uint64_t SyncPackets = 0;
+  uint64_t Flushes = 0;
+  uint64_t Blocks = 0;  ///< Blocks observed (= stream BlocksExecuted).
+  bool Dropped = false; ///< The sink failed; the stream is abandoned.
+};
+
+class BtraceEncoder : public BlockTransitionSink {
+public:
+  /// \p Header must be fully populated except EntryBlock (stamped at
+  /// onRunStart). \p PM and \p ST must outlive the encoder.
+  BtraceEncoder(const PreparedModule &PM, const SuccessorTable &ST,
+                BtraceHeader Header, WriteFn Write);
+
+  /// Attaches the telemetry ring for Btrace* events (null detaches).
+  void setTelemetry(EventRing *R) { Telem = R; }
+
+  void onRunStart(BlockId Entry) override;
+  void onTransition(BlockId From, BlockId To) override;
+  void onRunEnd(const RunResult &R, const VmStats &Final) override;
+
+  const EncoderStats &encoderStats() const { return Stats; }
+
+  /// False once the sink has failed (the stream on disk is truncated and
+  /// carries no END packet).
+  bool ok() const { return !Stats.Dropped; }
+
+private:
+  void flushTnt();
+  void emitSync(BlockId Cur);
+  void flush(bool Force);
+
+  const PreparedModule *PM;
+  const SuccessorTable *ST;
+  BtraceHeader Header;
+  WriteFn Write;
+  EventRing *Telem = nullptr;
+
+  persist::ByteWriter Buf;
+  size_t CrcdInBuf = 0; ///< Buf prefix already folded into CrcState.
+  uint32_t CrcState = 0;
+
+  uint64_t TntBits = 0;
+  uint32_t TntCount = 0;
+  std::vector<BlockId> Stack; ///< Shadow call stack of continuations.
+
+  EncoderStats Stats;
+};
+
+} // namespace btrace
+} // namespace jtc
+
+#endif // JTC_BTRACE_BTRACEENCODER_H

@@ -1,0 +1,141 @@
+//===- btrace/BtraceFormat.cpp --------------------------------------------===//
+
+#include "btrace/BtraceFormat.h"
+
+#include "persist/ByteStream.h"
+#include "persist/Crc32.h"
+
+#include <cstring>
+
+using namespace jtc;
+using namespace jtc::btrace;
+using persist::PersistError;
+using persist::PersistErrorKind;
+
+VmOptions BtraceHeader::toOptions() const {
+  return VmOptions()
+      .completionThreshold(Threshold)
+      .startStateDelay(Delay)
+      .decayInterval(Decay)
+      .maxTraceBlocks(TraceBlocks)
+      .profiling(Profiling)
+      .traces(Traces)
+      .maxInstructions(Budget)
+      .btraceSyncInterval(SyncInterval);
+}
+
+BtraceHeader BtraceHeader::fromOptions(const VmOptions &O) {
+  BtraceHeader H;
+  H.Threshold = O.completionThreshold();
+  H.Delay = O.startStateDelay();
+  H.Decay = O.decayInterval();
+  H.TraceBlocks = O.maxTraceBlocks();
+  H.Profiling = O.profiling();
+  H.Traces = O.traces();
+  H.Budget = O.maxInstructions();
+  H.SyncInterval = O.btraceSyncInterval();
+  return H;
+}
+
+std::vector<uint8_t> btrace::encodeHeader(const BtraceHeader &H) {
+  persist::ByteWriter W;
+  W.bytes(Magic, sizeof(Magic));
+  W.u32(H.Version);
+  W.u32(H.Flags);
+  W.u64(H.Fingerprint);
+  uint64_t ThresholdBits;
+  static_assert(sizeof(ThresholdBits) == sizeof(H.Threshold));
+  std::memcpy(&ThresholdBits, &H.Threshold, sizeof(ThresholdBits));
+  W.u64(ThresholdBits);
+  W.u32(H.Delay);
+  W.u32(H.Decay);
+  W.u32(H.TraceBlocks);
+  W.u8(H.Profiling ? 1 : 0);
+  W.u8(H.Traces ? 1 : 0);
+  W.u64(H.Budget);
+  W.u32(H.SyncInterval);
+  W.u32(H.Scale);
+  W.varint(H.Spec.size());
+  W.bytes(reinterpret_cast<const uint8_t *>(H.Spec.data()), H.Spec.size());
+  W.varint(H.EntryBlock);
+  if (H.hasSeed()) {
+    W.varint(H.Seed.size());
+    W.bytes(H.Seed.data(), H.Seed.size());
+  }
+  W.u32(persist::crc32(W.buffer().data(), W.size()));
+  return W.take();
+}
+
+bool btrace::decodeHeader(const uint8_t *Data, size_t Size, BtraceHeader &H,
+                          size_t &HeaderSize, PersistError &Err) {
+  persist::ByteReader R(Data, Size);
+  const uint8_t *M = nullptr;
+  if (!R.span(sizeof(Magic), M)) {
+    Err = PersistError::make(PersistErrorKind::Truncated,
+                             "stream shorter than the magic");
+    return false;
+  }
+  if (std::memcmp(M, Magic, sizeof(Magic)) != 0) {
+    Err = PersistError::make(PersistErrorKind::BadMagic, "not a .btc stream");
+    return false;
+  }
+  BtraceHeader Out;
+  if (!R.u32(Out.Version)) {
+    Err = PersistError::make(PersistErrorKind::Truncated, "no version field");
+    return false;
+  }
+  if (Out.Version != FormatVersion) {
+    Err = PersistError::make(PersistErrorKind::VersionSkew,
+                             "btrace format version " +
+                                 std::to_string(Out.Version) +
+                                 " (this build speaks " +
+                                 std::to_string(FormatVersion) + ")");
+    return false;
+  }
+
+  uint64_t ThresholdBits = 0;
+  uint8_t Profiling = 0, Traces = 0;
+  uint64_t SpecLen = 0;
+  uint64_t Entry = 0;
+  bool Ok = R.u32(Out.Flags) && R.u64(Out.Fingerprint) &&
+            R.u64(ThresholdBits) && R.u32(Out.Delay) && R.u32(Out.Decay) &&
+            R.u32(Out.TraceBlocks) && R.u8(Profiling) && R.u8(Traces) &&
+            R.u64(Out.Budget) && R.u32(Out.SyncInterval) && R.u32(Out.Scale) &&
+            R.varint(SpecLen);
+  const uint8_t *Spec = nullptr;
+  Ok = Ok && R.span(SpecLen, Spec) && R.varint(Entry);
+  uint64_t SeedLen = 0;
+  const uint8_t *Seed = nullptr;
+  if (Ok && (Out.Flags & FlagHasSeed) != 0)
+    Ok = R.varint(SeedLen) && R.span(SeedLen, Seed);
+  uint32_t Crc = 0;
+  size_t CrcAt = Ok ? Size - R.remaining() : 0;
+  Ok = Ok && R.u32(Crc);
+  if (!Ok) {
+    Err = PersistError::make(PersistErrorKind::Truncated,
+                             "stream ends inside the header");
+    return false;
+  }
+  if (persist::crc32(Data, CrcAt) != Crc) {
+    Err = PersistError::make(PersistErrorKind::ChecksumMismatch,
+                             "header CRC mismatch");
+    return false;
+  }
+  if (Entry > 0xffffffffull - 1) {
+    Err = PersistError::make(PersistErrorKind::Malformed,
+                             "entry block id out of range");
+    return false;
+  }
+  std::memcpy(&Out.Threshold, &ThresholdBits, sizeof(Out.Threshold));
+  Out.Profiling = Profiling != 0;
+  Out.Traces = Traces != 0;
+  if (SpecLen != 0)
+    Out.Spec.assign(reinterpret_cast<const char *>(Spec), SpecLen);
+  Out.EntryBlock = static_cast<BlockId>(Entry);
+  if (SeedLen != 0)
+    Out.Seed.assign(Seed, Seed + SeedLen);
+  H = std::move(Out);
+  HeaderSize = Size - R.remaining();
+  Err = PersistError();
+  return true;
+}

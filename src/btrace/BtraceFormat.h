@@ -1,0 +1,142 @@
+//===- btrace/BtraceFormat.h - .btc branch-trace wire format ----*- C++ -*-===//
+///
+/// \file
+/// The compressed branch-trace (.btc) stream format, the hardware
+/// processor-trace idiom (Intel PT, RISC-V N-trace) applied to the VM's
+/// block dispatch stream: the encoder records only control flow the
+/// decoder cannot infer from the module itself. Transitions whose target
+/// is statically known -- fallthroughs, unconditional jumps, static
+/// calls, and returns (reconstructed by a decoder-side shadow call
+/// stack) -- cost zero bits; a conditional branch costs one bit in a
+/// taken/not-taken bitmap packet; only genuinely indirect transfers
+/// (tableswitch, virtual dispatch) carry a target, and then as a
+/// zigzag-varint block-id delta. Real workloads land well under a byte
+/// per executed block (bench/btrace_overhead measures this).
+///
+/// Stream layout:
+///
+///   header                                        (see BtraceHeader)
+///   packet*                                       TNT | TIP | SYNC
+///   END packet                                    exactly one, last
+///
+/// Packets:
+///
+///   TNT  0x01  u8 count(1..64), ceil(count/8) bytes   conditional
+///        outcomes, oldest in the lowest bit, 1 = taken.
+///   TIP  0x02  svarint(To - From)                     indirect target,
+///        resolved against the source block at consumption time.
+///   SYNC 0x03  + 7 fixed marker bytes, then varint BlocksExecuted,
+///        varint CurBlock, varint StackDepth, StackDepth varint block
+///        ids (bottom to top), u32 CRC32 of the payload varints. A
+///        self-delimiting resynchronization point: the 8-byte marker is
+///        scannable from arbitrary offsets (the PT PSB idiom), and the
+///        recorded walk state lets a decoder resume after upstream loss.
+///        The encoder drains its TNT buffer first, so both logical
+///        sub-streams are empty exactly at a sync.
+///   END  0x04  u8 RunStatus, u8 TrapKind, varint BlocksExecuted,
+///        varint Instructions, u64 VmStats digest, u32 CRC32 of the
+///        whole stream up to this field. Anything after it is an error.
+///
+/// All multi-byte fixed integers are little-endian; varints are LEB128
+/// and svarints zigzag-LEB128 (persist/ByteStream.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BTRACE_BTRACEFORMAT_H
+#define JTC_BTRACE_BTRACEFORMAT_H
+
+#include "interp/RunResult.h"
+#include "persist/PersistError.h"
+#include "support/Ids.h"
+#include "vm/VmOptions.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace btrace {
+
+inline constexpr uint8_t Magic[4] = {'J', 'T', 'C', 'B'};
+inline constexpr uint32_t FormatVersion = 1;
+
+/// Header flag: a persist-encoded warm-start seed blob is present.
+inline constexpr uint32_t FlagHasSeed = 1u << 0;
+
+enum class PacketKind : uint8_t {
+  Tnt = 0x01,
+  Tip = 0x02,
+  Sync = 0x03,
+  End = 0x04,
+};
+
+/// The full SYNC marker, beginning with the packet byte. Scanning for
+/// these 8 bytes finds resynchronization points in a damaged stream; a
+/// false positive is rejected by the payload CRC.
+inline constexpr uint8_t SyncMarker[8] = {0x03, 0x82, 'J', 'T',
+                                          'C',  'S',  0x99, 0x7d};
+
+/// Everything the stream header carries: the identity gate (module
+/// fingerprint), the complete adaptive configuration of the captured
+/// session (so replay reconstructs the profiler and trace cache with the
+/// exact same knobs), provenance (module spec string + workload scale,
+/// informational), the entry block, and the optional warm-start seed the
+/// session began from.
+struct BtraceHeader {
+  uint32_t Version = FormatVersion;
+  uint32_t Flags = 0;
+  uint64_t Fingerprint = 0; ///< moduleFingerprint of the captured module.
+
+  // The captured session's VmOptions (the adaptive subset).
+  double Threshold = 0.97;
+  uint32_t Delay = 64;
+  uint32_t Decay = 256;
+  uint32_t TraceBlocks = 64;
+  bool Profiling = true;
+  bool Traces = true;
+  uint64_t Budget = ~0ull;
+  uint32_t SyncInterval = 4096;
+
+  uint32_t Scale = 1;      ///< Workload scale (informational).
+  std::string Spec;        ///< Module spec, e.g. "workload:compress".
+  BlockId EntryBlock = 0;
+
+  /// persist::encodeSnapshot blob of the seed installed before the run
+  /// (empty for a cold session). Replay installs it verbatim.
+  std::vector<uint8_t> Seed;
+
+  bool hasSeed() const { return (Flags & FlagHasSeed) != 0; }
+
+  /// The VmOptions a replay engine must use to reproduce the run.
+  VmOptions toOptions() const;
+
+  /// Populates the adaptive fields from \p O (everything except
+  /// fingerprint, spec/scale, entry and seed).
+  static BtraceHeader fromOptions(const VmOptions &O);
+};
+
+/// The END packet: how the run stopped, the oracle totals, and the
+/// digest replay must reproduce.
+struct BtraceEnd {
+  RunStatus Status = RunStatus::Finished;
+  TrapKind Trap = TrapKind::None;
+  uint64_t BlocksExecuted = 0;
+  uint64_t Instructions = 0;
+  uint64_t StatsDigest = 0;
+};
+
+/// Serializes \p H (including its trailing header CRC32).
+std::vector<uint8_t> encodeHeader(const BtraceHeader &H);
+
+/// Strictly parses a stream header. On success fills \p H, sets
+/// \p HeaderSize to the number of bytes consumed (the first packet
+/// starts there) and returns true; otherwise returns false with a typed
+/// \p Err (BadMagic / VersionSkew / Truncated / ChecksumMismatch /
+/// Malformed) and leaves \p H unspecified.
+bool decodeHeader(const uint8_t *Data, size_t Size, BtraceHeader &H,
+                  size_t &HeaderSize, persist::PersistError &Err);
+
+} // namespace btrace
+} // namespace jtc
+
+#endif // JTC_BTRACE_BTRACEFORMAT_H

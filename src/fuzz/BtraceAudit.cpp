@@ -1,0 +1,126 @@
+//===- fuzz/BtraceAudit.cpp -----------------------------------------------===//
+
+#include "fuzz/BtraceAudit.h"
+
+#include "btrace/BtraceDecoder.h"
+#include "btrace/BtraceReplay.h"
+#include "vm/ModuleFingerprint.h"
+
+#include <sstream>
+
+using namespace jtc;
+using namespace jtc::fuzz;
+using namespace jtc::btrace;
+
+BtraceRecorder::BtraceRecorder(const PreparedModule &PM, const TraceVM &VM,
+                               uint32_t SyncInterval) {
+  BtraceHeader H = BtraceHeader::fromOptions(VM.options());
+  H.Fingerprint = moduleFingerprint(PM);
+  H.SyncInterval = SyncInterval;
+  H.Spec = "fuzz";
+  ST = std::make_unique<SuccessorTable>(PM);
+  Enc = std::make_unique<BtraceEncoder>(
+      PM, *ST, std::move(H), [this](const uint8_t *Data, size_t Size) {
+        Stream.insert(Stream.end(), Data, Data + Size);
+        return true;
+      });
+}
+
+BtraceRecorder::~BtraceRecorder() = default;
+
+void BtraceRecorder::onRunStart(BlockId Entry) {
+  Blocks.push_back(Entry);
+  Enc->onRunStart(Entry);
+}
+
+void BtraceRecorder::onTransition(BlockId From, BlockId To) {
+  Blocks.push_back(To);
+  Enc->onTransition(From, To);
+}
+
+void BtraceRecorder::onRunEnd(const RunResult &R, const VmStats &Final) {
+  Enc->onRunEnd(R, Final);
+}
+
+std::vector<Violation>
+fuzz::checkBtraceRoundTrip(const PreparedModule &PM,
+                           const BtraceRecorder &Rec) {
+  std::vector<Violation> Out;
+  auto Fail = [&Out](const char *Rule, std::string Detail) {
+    Out.push_back({Rule, std::move(Detail)});
+  };
+
+  if (!Rec.stream().size()) {
+    Fail("btrace-encode", "encoder produced an empty stream");
+    return Out;
+  }
+
+  // Strict decode must reproduce the ground-truth sequence exactly.
+  std::vector<BlockId> Decoded;
+  Decoded.reserve(Rec.blocks().size());
+  BtraceHeader H;
+  BtraceEnd E;
+  persist::PersistError Err;
+  if (!decodeBtrace(Rec.stream().data(), Rec.stream().size(), PM,
+                    Rec.successors(), H, E,
+                    [&Decoded](BlockId B) { Decoded.push_back(B); }, Err)) {
+    Fail("btrace-decode", Err.message());
+    return Out;
+  }
+  if (Decoded.size() != Rec.blocks().size()) {
+    std::ostringstream OS;
+    OS << "decoded " << Decoded.size() << " blocks, VM dispatched "
+       << Rec.blocks().size();
+    Fail("btrace-count-mismatch", OS.str());
+  } else if (Decoded != Rec.blocks()) {
+    for (size_t I = 0; I < Decoded.size(); ++I)
+      if (Decoded[I] != Rec.blocks()[I]) {
+        std::ostringstream OS;
+        OS << "first divergence at [" << I << "]: decoded " << Decoded[I]
+           << ", VM dispatched " << Rec.blocks()[I];
+        Fail("btrace-block-mismatch", OS.str());
+        break;
+      }
+  }
+
+  // Replay must rebuild the adaptive state bit-identically.
+  ReplayResult RR;
+  if (!replayBtrace(Rec.stream().data(), Rec.stream().size(), PM, RR, Err)) {
+    Fail("btrace-decode", "replay: " + Err.message());
+    return Out;
+  }
+  if (!RR.DigestMatch) {
+    std::ostringstream OS;
+    OS << "replayed stats digest " << std::hex << RR.ReplayDigest
+       << ", encoder recorded " << RR.End.StatsDigest;
+    Fail("btrace-digest-mismatch", OS.str());
+  }
+
+  // Loss-tolerant recovery over the *undamaged* stream must land on a
+  // suffix of the ground truth ending at the last block.
+  TailRecovery T = recoverTail(Rec.stream().data(), Rec.stream().size(), PM,
+                               Rec.successors());
+  if (T.Found) {
+    bool Ok = T.SawEnd && T.Blocks.size() <= Rec.blocks().size() &&
+              T.From.BlocksExecuted >= 1 &&
+              T.From.BlocksExecuted - 1 + T.Blocks.size() ==
+                  Rec.blocks().size();
+    if (Ok)
+      for (size_t I = 0; I < T.Blocks.size(); ++I)
+        if (T.Blocks[I] !=
+            Rec.blocks()[Rec.blocks().size() - T.Blocks.size() + I]) {
+          Ok = false;
+          break;
+        }
+    if (!Ok) {
+      std::ostringstream OS;
+      OS << "recovered " << T.Blocks.size() << " blocks from sync at "
+         << T.From.BlocksExecuted << " (sawEnd=" << T.SawEnd
+         << "), not a suffix of the " << Rec.blocks().size()
+         << " dispatched";
+      Fail("btrace-recover-mismatch", OS.str());
+    }
+  }
+
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- fuzz/BtraceAudit.h - Branch-trace round-trip auditing ----*- C++ -*-===//
+///
+/// \file
+/// The fuzzer's oracle for the btrace pipeline: every profiled run can be
+/// captured twice -- once as the literal block sequence the VM dispatched
+/// (the ground truth) and once through the compressed encoder into an
+/// in-memory stream. The audit then decodes the stream and demands the
+/// exact ground-truth sequence back, replays it through a fresh adaptive
+/// engine and demands the recorded stats digest, and (when the stream
+/// grew sync packets) re-runs the loss-tolerant tail recovery and demands
+/// a suffix of the ground truth. Any daylight between the three is a
+/// found bug in the encoder, the decoder, or the replay engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_FUZZ_BTRACEAUDIT_H
+#define JTC_FUZZ_BTRACEAUDIT_H
+
+#include "btrace/BtraceEncoder.h"
+#include "fuzz/Invariants.h"
+#include "vm/TraceVM.h"
+
+#include <memory>
+#include <vector>
+
+namespace jtc {
+namespace fuzz {
+
+/// A transition sink that records the dispatched block sequence verbatim
+/// while forwarding everything to a BtraceEncoder writing into memory.
+/// Attach with attach() before VM.run(); the VM holds a plain pointer, so
+/// the recorder must outlive the run.
+class BtraceRecorder : public BlockTransitionSink {
+public:
+  /// \p SyncInterval overrides the VM's configured interval so short
+  /// fuzz programs still exercise sync emission.
+  BtraceRecorder(const PreparedModule &PM, const TraceVM &VM,
+                 uint32_t SyncInterval = 64);
+  ~BtraceRecorder() override;
+
+  void attach(TraceVM &VM) { VM.setTransitionSink(this); }
+
+  void onRunStart(BlockId Entry) override;
+  void onTransition(BlockId From, BlockId To) override;
+  void onRunEnd(const RunResult &R, const VmStats &Final) override;
+
+  /// The ground truth: every dispatched block, in order.
+  const std::vector<BlockId> &blocks() const { return Blocks; }
+  /// The complete encoded stream (valid after the run ends).
+  const std::vector<uint8_t> &stream() const { return Stream; }
+  const btrace::SuccessorTable &successors() const { return *ST; }
+
+private:
+  std::vector<BlockId> Blocks;
+  std::vector<uint8_t> Stream;
+  std::unique_ptr<btrace::SuccessorTable> ST;
+  std::unique_ptr<btrace::BtraceEncoder> Enc;
+};
+
+/// Audits one recorded run: strict decode reproduces blocks() exactly,
+/// replay reproduces the stats digest, and tail recovery (when sync
+/// packets exist) reproduces a suffix. Rules: "btrace-encode",
+/// "btrace-decode", "btrace-block-mismatch", "btrace-count-mismatch",
+/// "btrace-digest-mismatch", "btrace-recover-mismatch".
+std::vector<Violation> checkBtraceRoundTrip(const PreparedModule &PM,
+                                            const BtraceRecorder &Rec);
+
+} // namespace fuzz
+} // namespace jtc
+
+#endif // JTC_FUZZ_BTRACEAUDIT_H

@@ -4,6 +4,7 @@
 
 #include "baseline/NetTraceVm.h"
 #include "bytecode/Verifier.h"
+#include "fuzz/BtraceAudit.h"
 #include "fuzz/Invariants.h"
 #include "fuzz/Refinement.h"
 #include "interp/InstructionInterpreter.h"
@@ -13,6 +14,7 @@
 #include "vm/TraceVM.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 using namespace jtc;
@@ -174,6 +176,13 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
                        .telemetry(Config.Telemetry)
                        .telemetryCapacity(Config.TelemetryCapacity)
                        .cacheFault(Config.Fault));
+    // The btrace recorder shadows the run: ground-truth block sequence
+    // plus an in-memory compressed stream, audited after the run.
+    std::unique_ptr<BtraceRecorder> Rec;
+    if (Config.CheckBtrace && Config.Fault == CacheFault::None) {
+      Rec = std::make_unique<BtraceRecorder>(PM, VM);
+      Rec->attach(VM);
+    }
     RunResult R = VM.run();
     C.outcome(R.Status, VM.machine().trap());
     C.instructions(R.Instructions);
@@ -183,6 +192,8 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
       C.violations(checkTraceVm(VM, R.Status));
     if (Config.CheckPersist)
       C.violations(checkPersistRoundTrip(VM));
+    if (Rec)
+      C.violations(checkBtraceRoundTrip(PM, *Rec));
   }
 
   if (Config.IncludeNet) {

@@ -75,6 +75,15 @@ struct OracleConfig {
   /// checks against a computed ModuleAnalysis.
   bool CheckRefinement = true;
 
+  /// Audit the btrace pipeline after every profiled run: record the
+  /// dispatched block sequence, encode it through the compressed branch
+  /// tracer, then demand that strict decode reproduces the sequence
+  /// exactly, that replay reproduces the stats digest, and that tail
+  /// recovery lands on a suffix (checkBtraceRoundTrip in BtraceAudit.h).
+  /// Skipped automatically under an injected cache fault (the replay
+  /// engine has no fault to mirror).
+  bool CheckBtrace = true;
+
   /// Injected trace-cache bug, for oracle self-tests (see TraceConfig.h).
   CacheFault Fault = CacheFault::None;
 };

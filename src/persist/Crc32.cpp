@@ -26,9 +26,13 @@ constexpr std::array<uint32_t, 256> Table = makeTable();
 
 } // namespace
 
-uint32_t persist::crc32(const uint8_t *Data, size_t Size) {
-  uint32_t C = 0xFFFFFFFFu;
+uint32_t persist::crc32Update(uint32_t State, const uint8_t *Data,
+                              size_t Size) {
   for (size_t I = 0; I < Size; ++I)
-    C = Table[(C ^ Data[I]) & 0xff] ^ (C >> 8);
-  return C ^ 0xFFFFFFFFu;
+    State = Table[(State ^ Data[I]) & 0xff] ^ (State >> 8);
+  return State;
+}
+
+uint32_t persist::crc32(const uint8_t *Data, size_t Size) {
+  return crc32Final(crc32Update(crc32Init(), Data, Size));
 }

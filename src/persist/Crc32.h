@@ -21,6 +21,22 @@ namespace persist {
 /// CRC-32 of \p Size bytes at \p Data (init 0xFFFFFFFF, final xor-out).
 uint32_t crc32(const uint8_t *Data, size_t Size);
 
+//===--- Incremental variant ----------------------------------------------===//
+//
+// The btrace encoder checksums a stream it never holds in one buffer
+// (chunks are flushed to their sink as they fill), so the CRC state is
+// threaded through explicitly: init, any number of updates, final.
+// crc32(d, n) == crc32Final(crc32Update(crc32Init(), d, n)).
+
+/// Initial CRC-32 state.
+inline uint32_t crc32Init() { return 0xFFFFFFFFu; }
+
+/// Folds \p Size bytes at \p Data into \p State.
+uint32_t crc32Update(uint32_t State, const uint8_t *Data, size_t Size);
+
+/// Final xor-out.
+inline uint32_t crc32Final(uint32_t State) { return State ^ 0xFFFFFFFFu; }
+
 } // namespace persist
 } // namespace jtc
 

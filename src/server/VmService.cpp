@@ -2,6 +2,7 @@
 
 #include "server/VmService.h"
 
+#include "btrace/BtraceCapture.h"
 #include "persist/Snapshot.h"
 #include "runtime/Heap.h"
 #include "support/Json.h"
@@ -22,6 +23,9 @@ void ServiceStats::writeJsonFields(JsonWriter &W) const {
       .fieldUInt("checkpoints_saved", CheckpointsSaved)
       .fieldUInt("checkpoints_loaded", CheckpointsLoaded)
       .fieldUInt("checkpoint_load_rejects", CheckpointLoadRejects)
+      .fieldUInt("btrace_streams", BtraceStreams)
+      .fieldUInt("btrace_bytes", BtraceBytes)
+      .fieldUInt("btrace_drops", BtraceDrops)
       .fieldReal("busy_seconds", BusySeconds);
   W.key("events").beginObject();
   for (unsigned K = 0; K < NumEventKinds; ++K)
@@ -43,8 +47,10 @@ VmService::VmService(ServiceOptions Opts) : Options(Opts) {
 
 VmService::~VmService() { shutdown(); }
 
-void VmService::registerModule(const std::string &Name, Module M) {
-  auto Entry = std::make_unique<ModuleEntry>(std::move(M));
+void VmService::registerModule(const std::string &Name, Module M,
+                               std::string Spec, uint32_t Scale) {
+  auto Entry = std::make_unique<ModuleEntry>(
+      std::move(M), Spec.empty() ? Name : std::move(Spec), Scale);
   // Durable warm start: adopt a previous process's checkpoint before the
   // entry becomes visible to any worker.
   maybeLoadCheckpoint(*Entry, Name);
@@ -56,7 +62,8 @@ void VmService::registerModule(const std::string &Name, Module M) {
 }
 
 void VmService::registerWorkload(const WorkloadInfo &W, uint32_t Scale) {
-  registerModule(W.Name, W.Build(Scale ? Scale : W.DefaultScale));
+  uint32_t S = Scale ? Scale : W.DefaultScale;
+  registerModule(W.Name, W.Build(S), "workload:" + std::string(W.Name), S);
 }
 
 bool VmService::hasModule(const std::string &Name) const {
@@ -270,6 +277,37 @@ SessionResult VmService::runOne(const RunRequest &R, unsigned WorkerId) {
     }
   }
 
+  // Per-session branch-trace capture. Attached after the warm seed so the
+  // stream embeds the exact state this session starts from; an I/O
+  // failure degrades to an uncaptured (but otherwise normal) session.
+  std::unique_ptr<btrace::BtraceFileCapture> Capture;
+  bool CaptureFailed = false;
+  if (!Options.btraceDir().empty()) {
+    uint64_t Seq;
+    {
+      std::lock_guard<std::mutex> Lock(BtraceMutex);
+      Seq = BtraceSeq[R.Module]++;
+    }
+    std::error_code Ec;
+    std::filesystem::create_directories(Options.btraceDir(), Ec);
+    std::string Path = Options.btraceDir() + "/" + R.Module + "-" +
+                       std::to_string(Seq) + ".btc";
+    persist::PersistError Err;
+    Capture = btrace::BtraceFileCapture::start(VM, Path, Entry->Spec,
+                                               Entry->Scale, Err);
+    if (Capture) {
+      Out.BtracePath = Path;
+      // Rotation: the stream Keep sessions back has aged out.
+      uint32_t Keep = Options.btraceKeepPerModule();
+      if (Keep && Seq >= Keep)
+        std::filesystem::remove(Options.btraceDir() + "/" + R.Module + "-" +
+                                    std::to_string(Seq - Keep) + ".btc",
+                                Ec);
+    } else {
+      CaptureFailed = true;
+    }
+  }
+
   auto T0 = std::chrono::steady_clock::now();
   Out.Run = VM.run();
   auto T1 = std::chrono::steady_clock::now();
@@ -277,6 +315,17 @@ SessionResult VmService::runOne(const RunRequest &R, unsigned WorkerId) {
   Out.Stats = VM.stats();
   Out.Output = VM.machine().output();
   Out.HeapDigest = heapDigest(VM.machine().heap());
+
+  uint64_t BtraceBytesOut = 0;
+  if (Capture) {
+    persist::PersistError Err;
+    if (Capture->finish(Err))
+      BtraceBytesOut = Capture->encoderStats().BytesWritten;
+    else {
+      CaptureFailed = true;
+      Out.BtracePath.clear();
+    }
+  }
 
   // First mature cold session over the module becomes the donor. The
   // maturity bar keeps trivially short runs from publishing unrepresentative
@@ -301,6 +350,12 @@ SessionResult VmService::runOne(const RunRequest &R, unsigned WorkerId) {
       ++Stats.ColdStarts;
     if (Published)
       ++Stats.SnapshotsPublished;
+    if (!Out.BtracePath.empty()) {
+      ++Stats.BtraceStreams;
+      Stats.BtraceBytes += BtraceBytesOut;
+    }
+    if (CaptureFailed)
+      ++Stats.BtraceDrops;
     Stats.BusySeconds += Out.Seconds;
     Stats.Aggregate.merge(Out.Stats);
     VM.events().forEach([this](const Event &E) {

@@ -103,6 +103,22 @@ public:
     return *this;
   }
 
+  /// Per-session branch-trace capture: every session writes a replayable
+  /// <dir>/<module>-<seq>.btc stream (seq counts sessions per module).
+  /// Empty = off. The sync interval comes from the vm() template's
+  /// btraceSyncInterval().
+  ServiceOptions &btraceDir(std::string Dir) {
+    BtraceTo = std::move(Dir);
+    return *this;
+  }
+
+  /// Capture rotation: keep at most this many .btc streams per module,
+  /// deleting the oldest as new sessions retire (0 = keep everything).
+  ServiceOptions &btraceKeepPerModule(uint32_t N) {
+    BtraceKeep = N;
+    return *this;
+  }
+
   unsigned workers() const { return NumWorkers; }
   const VmOptions &vm() const { return Vm; }
   bool warmHandoff() const { return Warm; }
@@ -110,6 +126,8 @@ public:
   const std::string &checkpointDir() const { return CheckpointTo; }
   const std::string &loadDir() const { return LoadFrom; }
   double checkpointIntervalSeconds() const { return CheckpointInterval; }
+  const std::string &btraceDir() const { return BtraceTo; }
+  uint32_t btraceKeepPerModule() const { return BtraceKeep; }
 
 private:
   unsigned NumWorkers = 1;
@@ -119,6 +137,8 @@ private:
   std::string CheckpointTo;
   std::string LoadFrom;
   double CheckpointInterval = 0;
+  std::string BtraceTo;
+  uint32_t BtraceKeep = 4;
 };
 
 /// One unit of serving work: run the named module's entry method.
@@ -137,6 +157,7 @@ struct SessionResult {
   bool WarmStart = false;      ///< Session was seeded from a snapshot.
   unsigned Worker = 0;         ///< Worker thread that ran it.
   double Seconds = 0;          ///< Wall-clock session latency.
+  std::string BtracePath;      ///< Captured .btc stream (empty: no capture).
 
   /// True when the request was rejected before a VM ran (unknown module);
   /// Run.Trap holds TrapKind::None and Stats is empty.
@@ -154,6 +175,9 @@ struct ServiceStats {
   uint64_t CheckpointsSaved = 0;   ///< .jtcp files written.
   uint64_t CheckpointsLoaded = 0;  ///< .jtcp files pre-published at register.
   uint64_t CheckpointLoadRejects = 0; ///< Present but refused (typed error).
+  uint64_t BtraceStreams = 0; ///< .btc captures completed cleanly.
+  uint64_t BtraceBytes = 0;   ///< Total compressed bytes across captures.
+  uint64_t BtraceDrops = 0;   ///< Captures lost to I/O failure.
   double BusySeconds = 0; ///< Sum of session wall-clock latencies.
 
   /// Every session's VmStats merged (see VmStats::merge).
@@ -180,8 +204,11 @@ public:
   /// Registers \p M under \p Name: verified callers only (preparation
   /// asserts on structural errors). The module is prepared once and
   /// shared, immutable, by every session over it. Re-registering a name
-  /// replaces the module and drops any published snapshot.
-  void registerModule(const std::string &Name, Module M);
+  /// replaces the module and drops any published snapshot. \p Spec and
+  /// \p Scale are provenance recorded in .btc captures (a spec jtc-replay
+  /// can resolve, e.g. "workload:compress"; empty = \p Name).
+  void registerModule(const std::string &Name, Module M,
+                      std::string Spec = "", uint32_t Scale = 0);
 
   /// Registers workload \p W (scale 0: the workload default) under its
   /// registry name.
@@ -227,10 +254,13 @@ private:
   /// service's lifetime (the registry stores unique_ptrs), so workers
   /// hold plain pointers while the registry mutex is released.
   struct ModuleEntry {
-    explicit ModuleEntry(Module Mod) : M(std::move(Mod)), PM(M) {}
+    ModuleEntry(Module Mod, std::string Spec, uint32_t Scale)
+        : M(std::move(Mod)), PM(M), Spec(std::move(Spec)), Scale(Scale) {}
 
     const Module M;
     const PreparedModule PM;
+    const std::string Spec; ///< Replayable provenance for .btc captures.
+    const uint32_t Scale;
 
     /// Warm-handoff slot: null until the first mature cold session over
     /// this module publishes. Guarded by SnapMutex.
@@ -274,6 +304,11 @@ private:
 
   mutable std::mutex StatsMutex;
   ServiceStats Stats; ///< Guarded by StatsMutex.
+
+  /// Per-module .btc sequence numbers (next to allocate). Guarded by
+  /// BtraceMutex; only touched when a btrace directory is configured.
+  std::mutex BtraceMutex;
+  std::map<std::string, uint64_t> BtraceSeq;
 
   std::vector<std::thread> Workers;
 

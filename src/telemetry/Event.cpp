@@ -32,6 +32,12 @@ const char *jtc::eventKindName(EventKind K) {
     return "snapshot-loaded";
   case EventKind::SnapshotRejected:
     return "snapshot-rejected";
+  case EventKind::BtraceStarted:
+    return "btrace-started";
+  case EventKind::BtraceFlushed:
+    return "btrace-flushed";
+  case EventKind::BtraceDropped:
+    return "btrace-dropped";
   }
   return "unknown";
 }

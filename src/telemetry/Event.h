@@ -51,10 +51,14 @@ enum class EventKind : uint8_t {
   SnapshotSaved,     ///< Durable .jtcp written: Id = traces, Arg = nodes.
   SnapshotLoaded,    ///< Durable .jtcp installed: Id = traces, Arg = nodes.
   SnapshotRejected,  ///< Load refused: Arg = PersistErrorKind.
+  BtraceStarted,     ///< Branch-trace capture began: Arg = sync interval.
+  BtraceFlushed,     ///< Encoder buffer flushed: Arg = bytes written.
+  BtraceDropped,     ///< Capture abandoned (sink write failed): Arg =
+                     ///< bytes lost in the unflushed buffer.
 };
 
 inline constexpr unsigned NumEventKinds =
-    static_cast<unsigned>(EventKind::SnapshotRejected) + 1;
+    static_cast<unsigned>(EventKind::BtraceDropped) + 1;
 
 /// Stable machine-readable name ("trace-constructed", "decay-pass", ...).
 const char *eventKindName(EventKind K);

@@ -113,6 +113,19 @@ void jtc::telemetry_detail::writeChromeEvents(JsonWriter &W,
           .endObject()
           .endObject();
       break;
+    case EventKind::BtraceStarted:
+    case EventKind::BtraceFlushed:
+    case EventKind::BtraceDropped:
+      // Branch-trace capture lifecycle: thread-scoped instants.
+      eventPrelude(W, Kind, "btrace", "i", E.Clock);
+      W.field("s", "t")
+          .key("args")
+          .beginObject()
+          .fieldUInt("id", E.Id)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
     }
   });
 }

@@ -1,0 +1,158 @@
+//===- vm/AdaptiveEngine.cpp ----------------------------------------------===//
+
+#include "vm/AdaptiveEngine.h"
+
+#include <cassert>
+
+using namespace jtc;
+
+AdaptiveEngine::AdaptiveEngine(const PreparedModule &PM,
+                               const VmOptions &Options)
+    : PM(&PM), Options(&Options), Graph(Options.profilerConfig()),
+      Cache(Graph, Options.traceConfig(),
+            [P = &PM](BlockId B) { return P->blockSize(B); }) {
+  // Trace construction is driven by profiler signals, so trace dispatch
+  // requires profiling.
+  if (Options.profiling() && Options.traces())
+    Graph.setSink(&Cache);
+}
+
+void AdaptiveEngine::setTelemetry(EventRing *R) {
+  Telem = R;
+  Graph.setTelemetry(R);
+  Cache.setTelemetry(R);
+}
+
+VmSeed AdaptiveEngine::exportSeed() const {
+  VmSeed S;
+  S.Nodes = Graph.exportNodes();
+  S.Traces = Cache.exportLiveTraces();
+  return S;
+}
+
+void AdaptiveEngine::importSeed(const VmSeed &Seed) {
+  if (!Options->profiling())
+    return;
+  Graph.importNodes(Seed.Nodes);
+  if (Options->traces())
+    Cache.seedTraces(Seed.Traces);
+}
+
+void AdaptiveEngine::begin(BlockId Entry) {
+  // The entry block is an ordinary block dispatch.
+  ++Stats.BlockDispatches;
+  if (Options->profiling())
+    Graph.onBlockDispatch(Entry);
+}
+
+void AdaptiveEngine::executed(BlockId Cur) {
+  ++Stats.BlocksExecuted;
+  if (Active) {
+    ++Stats.BlocksInTraces;
+    Stats.InstructionsInTraces += PM->blockSize(Cur);
+    if (TracePos + 1 == Active->Blocks.size())
+      completeActiveTrace(); // the trace's last block just ran
+  }
+}
+
+void AdaptiveEngine::transition(BlockId Cur, BlockId Next) {
+  if (Active) {
+    if (Next == Active->Blocks[TracePos + 1]) {
+      ++TracePos; // matched; stay inside the trace, no hook, no dispatch
+    } else {
+      exitActiveTraceEarly(TracePos + 1);
+      onNonTraceTransition(Cur, Next);
+    }
+  } else {
+    onNonTraceTransition(Cur, Next);
+  }
+}
+
+void AdaptiveEngine::endRun() {
+  if (Active)
+    exitActiveTraceEarly(TracePos + 1);
+}
+
+void AdaptiveEngine::onNonTraceTransition(BlockId Cur, BlockId Next) {
+  // The profiler hook runs first: it may emit signals that build (or
+  // rebuild) a trace starting exactly at this transition, which the entry
+  // lookup below will then see.
+  //
+  // The one transition never profiled is the divergence that exited a
+  // trace early: while a trace is stable its interior transitions carry
+  // no hooks, so the common outcomes of its branches are invisible to the
+  // profiler -- but every rare divergence would escape and be recorded.
+  // Counting those samples would systematically skew interior branch
+  // correlations toward their rare outcomes and make later rebuilds
+  // fragment perfectly good traces.
+  if (Options->profiling() && !SkipHookOnce)
+    Graph.onBlockDispatch(Next);
+  SkipHookOnce = false;
+
+  if (Options->profiling() && Options->traces()) {
+    if (const Trace *T = Cache.findTrace(Cur, Next)) {
+      Active = T;
+      TracePos = 0;
+      ++Stats.TraceDispatches;
+      JTC_RECORD_EVENT(Telem, EventKind::TraceDispatched, T->Id);
+      return;
+    }
+  }
+  ++Stats.BlockDispatches;
+}
+
+void AdaptiveEngine::completeActiveTrace() {
+  ++Stats.TracesCompleted;
+  Stats.BlocksInCompletedTraces += Active->Blocks.size();
+  Stats.InstructionsInCompletedTraces += Active->InstrCount;
+  JTC_RECORD_EVENT(Telem, EventKind::TraceCompleted, Active->Id,
+                   static_cast<uint32_t>(Active->Blocks.size()));
+  // The inlined blocks carried no profiling hooks; resynchronize the
+  // context from the trace's final block pair.
+  if (Options->profiling()) {
+    size_t N = Active->Blocks.size();
+    Graph.forceContext(Active->Blocks[N - 2], Active->Blocks[N - 1]);
+  }
+  TraceId Id = Active->Id;
+  Active = nullptr;
+  TracePos = 0;
+  // After Active is cleared: the bookkeeping may retire the trace and
+  // rebuild its region, which can reallocate the trace table.
+  Cache.recordExecution(Id, /*CompletedRun=*/true);
+}
+
+void AdaptiveEngine::exitActiveTraceEarly(uint32_t BlocksRun) {
+  assert(BlocksRun >= 1 && "a dispatched trace executes at least one block");
+  JTC_RECORD_EVENT(Telem, EventKind::TraceEarlyExit, Active->Id, BlocksRun);
+  if (Options->profiling()) {
+    if (BlocksRun >= 2)
+      Graph.forceContext(Active->Blocks[BlocksRun - 2],
+                         Active->Blocks[BlocksRun - 1]);
+    else
+      Graph.forceContext(Active->EntryFrom, Active->Blocks[0]);
+  }
+  SkipHookOnce = true;
+  TraceId Id = Active->Id;
+  Active = nullptr;
+  TracePos = 0;
+  Cache.recordExecution(Id, /*CompletedRun=*/false);
+}
+
+VmStats AdaptiveEngine::snapshotStats(uint64_t Instructions) const {
+  VmStats S = Stats;
+  S.Instructions = Instructions;
+  const BranchCorrelationGraph::GraphStats &GS = Graph.stats();
+  S.Hooks = GS.Hooks;
+  S.InlineCacheHits = GS.InlineCacheHits;
+  S.DecayPasses = GS.DecayPasses;
+  S.Signals = GS.Signals;
+  const TraceCache::CacheStats &CS = Cache.stats();
+  S.TracesConstructed = CS.TracesConstructed;
+  S.TracesReused = CS.TracesReused;
+  S.TracesReplaced = CS.TracesReplaced;
+  S.TracesRetired = CS.TracesRetired;
+  S.TracesSeeded = CS.TracesSeeded;
+  S.LiveTraces = Cache.numLiveTraces();
+  S.GraphNodes = Graph.numNodes();
+  return S;
+}

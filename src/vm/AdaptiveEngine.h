@@ -1,0 +1,116 @@
+//===- vm/AdaptiveEngine.h - The adaptive state machine ---------*- C++ -*-===//
+///
+/// \file
+/// The profiler + trace-cache state machine of TraceVM, factored out of
+/// the execution loop so it can be driven by *any* source of block
+/// transitions: the live BlockStepper (TraceVM::run) or a decoded btrace
+/// stream (btrace replay). Both drivers make the same calls in the same
+/// order -- begin(entry), then executed(block) / transition(from, to) per
+/// step, then endRun() -- so a replayed session recomputes bit-identical
+/// profiler, trace-cache and VmStats state from nothing but the recorded
+/// control flow. That determinism is what makes a captured production
+/// stream a reproducible benchmark.
+///
+/// The engine owns everything adaptive (branch correlation graph, trace
+/// cache, statistics, active-trace tracking); it knows nothing about the
+/// Machine, the Stepper, or instruction execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_VM_ADAPTIVEENGINE_H
+#define JTC_VM_ADAPTIVEENGINE_H
+
+#include "interp/PreparedModule.h"
+#include "profile/BranchCorrelationGraph.h"
+#include "telemetry/EventRing.h"
+#include "trace/TraceCache.h"
+#include "vm/VmOptions.h"
+#include "vm/VmStats.h"
+
+namespace jtc {
+
+/// Portable profiler + trace-cache state captured from a mature session
+/// (the donor) and imported into a fresh session over the same
+/// PreparedModule, so the new session skips the start-state delay and the
+/// trace-construction warmup the paper measures. Block ids are module-
+/// relative, so a seed is only meaningful for an identically prepared
+/// module.
+struct VmSeed {
+  std::vector<BcgNodeSnapshot> Nodes;
+  std::vector<TraceCache::TraceSeed> Traces;
+
+  bool empty() const { return Nodes.empty() && Traces.empty(); }
+};
+
+/// The adaptive half of one VM session, driven by a block-transition
+/// stream. See the file comment for the driver contract.
+class AdaptiveEngine {
+public:
+  /// \p PM and \p Options must outlive the engine.
+  AdaptiveEngine(const PreparedModule &PM, const VmOptions &Options);
+
+  /// Attaches the telemetry ring (propagated to the profiler and cache);
+  /// null detaches.
+  void setTelemetry(EventRing *R);
+
+  /// The entry block is about to execute: the initial block dispatch.
+  void begin(BlockId Entry);
+
+  /// \p Cur was just executed: trace accounting and completion detection.
+  void executed(BlockId Cur);
+
+  /// Control passed from \p Cur to \p Next: match against the active
+  /// trace or run the profiler hook + trace-entry lookup.
+  void transition(BlockId Cur, BlockId Next);
+
+  /// The run ended (finish, trap or budget); an active trace is exited
+  /// early.
+  void endRun();
+
+  /// The statistics with the live profiler and cache counters folded in;
+  /// \p Instructions is supplied by the driver (the stepper's count, or
+  /// the recorded count during replay).
+  VmStats snapshotStats(uint64_t Instructions) const;
+
+  /// Captures the session's profiler counters and live traces for warm
+  /// handoff into a fresh session over the same PreparedModule.
+  VmSeed exportSeed() const;
+
+  /// Adopts a donor session's profile (see TraceVM::importSeed).
+  void importSeed(const VmSeed &Seed);
+
+  VmStats &stats() { return Stats; }
+  const VmStats &stats() const { return Stats; }
+  const BranchCorrelationGraph &graph() const { return Graph; }
+  const TraceCache &traceCache() const { return Cache; }
+
+private:
+  /// Handles the transition (\p Cur -> \p Next) when not inside a trace:
+  /// profiler hook, then trace-entry lookup.
+  void onNonTraceTransition(BlockId Cur, BlockId Next);
+
+  /// Records completion of the active trace and leaves trace mode.
+  void completeActiveTrace();
+
+  /// Leaves trace mode after a divergence; \p BlocksRun blocks of the
+  /// trace actually executed.
+  void exitActiveTraceEarly(uint32_t BlocksRun);
+
+  const PreparedModule *PM;
+  const VmOptions *Options;
+  BranchCorrelationGraph Graph;
+  TraceCache Cache;
+  VmStats Stats;
+  EventRing *Telem = nullptr;
+
+  // Active-trace state.
+  const Trace *Active = nullptr;
+  uint32_t TracePos = 0; ///< Index in Active->Blocks of the current block.
+  /// Set after an early trace exit: the divergent transition is not
+  /// profiled (see onNonTraceTransition).
+  bool SkipHookOnce = false;
+};
+
+} // namespace jtc
+
+#endif // JTC_VM_ADAPTIVEENGINE_H

@@ -1,0 +1,48 @@
+//===- vm/BlockTransitionSink.h - Block-transition observer -----*- C++ -*-===//
+///
+/// \file
+/// The observation interface the btrace subsystem (and any other
+/// full-stream consumer) hooks into TraceVM. Unlike the telemetry ring,
+/// which records discrete adaptive *events*, a transition sink sees the
+/// complete control-flow history of a session: the entry dispatch, every
+/// block-to-block transition in program order (inside and outside
+/// traces), and the run's final outcome with its folded statistics.
+///
+/// The interface lives in the vm layer so TraceVM does not depend on any
+/// encoder; when no sink is attached the hot loop pays one predictable
+/// null-pointer branch per transition, exactly the telemetry pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_VM_BLOCKTRANSITIONSINK_H
+#define JTC_VM_BLOCKTRANSITIONSINK_H
+
+#include "interp/RunResult.h"
+#include "support/Ids.h"
+#include "vm/VmStats.h"
+
+namespace jtc {
+
+/// Observes a single TraceVM session's full block stream. Callback order
+/// is: one onRunStart, then onTransition once per executed transition
+/// (From was just executed, To is about to be), then exactly one
+/// onRunEnd. A run that finishes, traps, or exhausts its budget on block
+/// N makes N-1 onTransition calls: the final block has no successor.
+class BlockTransitionSink {
+public:
+  virtual ~BlockTransitionSink() = default;
+
+  /// The entry block is about to be executed.
+  virtual void onRunStart(BlockId Entry) = 0;
+
+  /// \p From was executed and control passed to \p To.
+  virtual void onTransition(BlockId From, BlockId To) = 0;
+
+  /// The session ended; \p Final is the complete folded statistics block
+  /// (what TraceVM::stats() will return).
+  virtual void onRunEnd(const RunResult &R, const VmStats &Final) = 0;
+};
+
+} // namespace jtc
+
+#endif // JTC_VM_BLOCKTRANSITIONSINK_H

@@ -2,107 +2,27 @@
 
 #include "vm/TraceVM.h"
 
+#include <cassert>
+
 using namespace jtc;
 
 TraceVM::TraceVM(const PreparedModule &PM, VmOptions Options)
     : PM(&PM), Options(Options), Mach(PM.module()), Stepper(PM, Mach),
-      Graph(Options.profilerConfig()),
-      Cache(Graph, Options.traceConfig(),
-            [P = &PM](BlockId B) { return P->blockSize(B); }) {
-  // Trace construction is driven by profiler signals, so trace dispatch
-  // requires profiling.
-  if (Options.profiling() && Options.traces())
-    Graph.setSink(&Cache);
+      Engine(PM, this->Options) {
 #ifdef JTC_TELEMETRY
-  if (Options.telemetry()) {
-    Ring = EventRing(Options.telemetryCapacity(), &Stats.BlocksExecuted);
+  if (this->Options.telemetry()) {
+    Ring = EventRing(this->Options.telemetryCapacity(),
+                     &Engine.stats().BlocksExecuted);
     Telem = &Ring;
-    Graph.setTelemetry(&Ring);
-    Cache.setTelemetry(&Ring);
-    Sampler = PhaseSampler<VmStats>(Options.sampleInterval());
+    Engine.setTelemetry(&Ring);
+    Sampler = PhaseSampler<VmStats>(this->Options.sampleInterval());
   }
 #endif
 }
 
-VmSeed TraceVM::exportSeed() const {
-  VmSeed S;
-  S.Nodes = Graph.exportNodes();
-  S.Traces = Cache.exportLiveTraces();
-  return S;
-}
-
 void TraceVM::importSeed(const VmSeed &Seed) {
   assert(!Ran && "importSeed must precede run()");
-  if (!Options.profiling())
-    return;
-  Graph.importNodes(Seed.Nodes);
-  if (Options.traces())
-    Cache.seedTraces(Seed.Traces);
-}
-
-void TraceVM::onNonTraceTransition(BlockId Cur, BlockId Next) {
-  // The profiler hook runs first: it may emit signals that build (or
-  // rebuild) a trace starting exactly at this transition, which the entry
-  // lookup below will then see.
-  //
-  // The one transition never profiled is the divergence that exited a
-  // trace early: while a trace is stable its interior transitions carry
-  // no hooks, so the common outcomes of its branches are invisible to the
-  // profiler -- but every rare divergence would escape and be recorded.
-  // Counting those samples would systematically skew interior branch
-  // correlations toward their rare outcomes and make later rebuilds
-  // fragment perfectly good traces.
-  if (Options.profiling() && !SkipHookOnce)
-    Graph.onBlockDispatch(Next);
-  SkipHookOnce = false;
-
-  if (Options.profiling() && Options.traces()) {
-    if (const Trace *T = Cache.findTrace(Cur, Next)) {
-      Active = T;
-      TracePos = 0;
-      ++Stats.TraceDispatches;
-      JTC_RECORD_EVENT(Telem, EventKind::TraceDispatched, T->Id);
-      return;
-    }
-  }
-  ++Stats.BlockDispatches;
-}
-
-void TraceVM::completeActiveTrace() {
-  ++Stats.TracesCompleted;
-  Stats.BlocksInCompletedTraces += Active->Blocks.size();
-  Stats.InstructionsInCompletedTraces += Active->InstrCount;
-  JTC_RECORD_EVENT(Telem, EventKind::TraceCompleted, Active->Id,
-                   static_cast<uint32_t>(Active->Blocks.size()));
-  // The inlined blocks carried no profiling hooks; resynchronize the
-  // context from the trace's final block pair.
-  if (Options.profiling()) {
-    size_t N = Active->Blocks.size();
-    Graph.forceContext(Active->Blocks[N - 2], Active->Blocks[N - 1]);
-  }
-  TraceId Id = Active->Id;
-  Active = nullptr;
-  TracePos = 0;
-  // After Active is cleared: the bookkeeping may retire the trace and
-  // rebuild its region, which can reallocate the trace table.
-  Cache.recordExecution(Id, /*CompletedRun=*/true);
-}
-
-void TraceVM::exitActiveTraceEarly(uint32_t BlocksRun) {
-  assert(BlocksRun >= 1 && "a dispatched trace executes at least one block");
-  JTC_RECORD_EVENT(Telem, EventKind::TraceEarlyExit, Active->Id, BlocksRun);
-  if (Options.profiling()) {
-    if (BlocksRun >= 2)
-      Graph.forceContext(Active->Blocks[BlocksRun - 2],
-                         Active->Blocks[BlocksRun - 1]);
-    else
-      Graph.forceContext(Active->EntryFrom, Active->Blocks[0]);
-  }
-  SkipHookOnce = true;
-  TraceId Id = Active->Id;
-  Active = nullptr;
-  TracePos = 0;
-  Cache.recordExecution(Id, /*CompletedRun=*/false);
+  Engine.importSeed(Seed);
 }
 
 RunResult TraceVM::run() {
@@ -122,75 +42,49 @@ RunResult TraceVM::run() {
   Stepper.start();
   BlockId Cur = Stepper.currentBlock();
 
-  // The entry block is an ordinary block dispatch.
-  ++Stats.BlockDispatches;
-  if (Options.profiling())
-    Graph.onBlockDispatch(Cur);
+  Engine.begin(Cur);
+  if (Sink)
+    Sink->onRunStart(Cur);
 
+  VmStats &Stats = Engine.stats();
   while (true) {
     BlockStepper::StepStatus S = Stepper.step(); // executes Cur
-    ++Stats.BlocksExecuted;
+    Engine.executed(Cur);
 #ifdef JTC_TELEMETRY
     if (Sampler.enabled() && Stats.BlocksExecuted >= Sampler.nextSampleAt())
       Sampler.sample(Stats.BlocksExecuted, currentStats());
 #endif
-    if (Active) {
-      ++Stats.BlocksInTraces;
-      Stats.InstructionsInTraces += PM->blockSize(Cur);
-      if (TracePos + 1 == Active->Blocks.size())
-        completeActiveTrace(); // the trace's last block just ran
-    }
 
     if (S != BlockStepper::StepStatus::Continue) {
-      if (Active)
-        exitActiveTraceEarly(TracePos + 1);
+      Engine.endRun();
       R.Status = S == BlockStepper::StepStatus::Finished ? RunStatus::Finished
                                                          : RunStatus::Trapped;
       R.Trap = Mach.trap();
       break;
     }
     if (Stepper.instructions() >= Options.maxInstructions()) {
-      if (Active)
-        exitActiveTraceEarly(TracePos + 1);
+      Engine.endRun();
       R.Status = RunStatus::BudgetExhausted;
       break;
     }
 
     BlockId Next = Stepper.currentBlock();
-    if (Active) {
-      if (Next == Active->Blocks[TracePos + 1]) {
-        ++TracePos; // matched; stay inside the trace, no hook, no dispatch
-      } else {
-        exitActiveTraceEarly(TracePos + 1);
-        onNonTraceTransition(Cur, Next);
-      }
-    } else {
-      onNonTraceTransition(Cur, Next);
-    }
+    if (Sink)
+      Sink->onTransition(Cur, Next);
+    Engine.transition(Cur, Next);
     Cur = Next;
   }
 
   Stats = currentStats();
   R.Instructions = Stats.Instructions;
   R.Dispatches = Stats.totalDispatches();
+  if (Sink)
+    Sink->onRunEnd(R, Stats);
   return R;
 }
 
 VmStats TraceVM::currentStats() const {
-  VmStats S = Stats;
-  S.Instructions = Stepper.instructions();
-  const BranchCorrelationGraph::GraphStats &GS = Graph.stats();
-  S.Hooks = GS.Hooks;
-  S.InlineCacheHits = GS.InlineCacheHits;
-  S.DecayPasses = GS.DecayPasses;
-  S.Signals = GS.Signals;
-  const TraceCache::CacheStats &CS = Cache.stats();
-  S.TracesConstructed = CS.TracesConstructed;
-  S.TracesReused = CS.TracesReused;
-  S.TracesReplaced = CS.TracesReplaced;
-  S.TracesRetired = CS.TracesRetired;
-  S.TracesSeeded = CS.TracesSeeded;
-  S.LiveTraces = Cache.numLiveTraces();
-  S.GraphNodes = Graph.numNodes();
+  VmStats S = Engine.snapshotStats(Stepper.instructions());
+  S.EventsDropped = Ring.dropped();
   return S;
 }

@@ -14,6 +14,13 @@
 /// the last block completes it. On any exit the profiler context is
 /// resynchronized from the last executed block pair.
 ///
+/// The adaptive half of this machinery (profiler, trace cache, active-
+/// trace matching, statistics) lives in AdaptiveEngine so it can also be
+/// driven by a decoded btrace stream; TraceVM contributes the execution
+/// half (Machine + BlockStepper) and feeds the engine the live transition
+/// stream. An optional BlockTransitionSink observes that same stream,
+/// which is how the btrace encoder captures a session.
+///
 /// A TraceVM is one *session*: it is configured once through VmOptions,
 /// runs once, and is then discarded. Profile state can be carried between
 /// sessions over the same PreparedModule with exportSeed()/importSeed()
@@ -25,29 +32,16 @@
 #define JTC_VM_TRACEVM_H
 
 #include "interp/BlockStepper.h"
-#include "profile/BranchCorrelationGraph.h"
 #include "telemetry/EventRing.h"
 #include "telemetry/PhaseSampler.h"
-#include "trace/TraceCache.h"
+#include "vm/AdaptiveEngine.h"
+#include "vm/BlockTransitionSink.h"
 #include "vm/VmOptions.h"
 #include "vm/VmStats.h"
 
 #include <memory>
 
 namespace jtc {
-
-/// Portable profiler + trace-cache state captured from a mature session
-/// (the donor) and imported into a fresh session over the same
-/// PreparedModule, so the new session skips the start-state delay and the
-/// trace-construction warmup the paper measures. Block ids are module-
-/// relative, so a seed is only meaningful for an identically prepared
-/// module.
-struct VmSeed {
-  std::vector<BcgNodeSnapshot> Nodes;
-  std::vector<TraceCache::TraceSeed> Traces;
-
-  bool empty() const { return Nodes.empty() && Traces.empty(); }
-};
 
 /// One virtual machine instance over a prepared module.
 ///
@@ -67,7 +61,7 @@ public:
 
   /// Captures the session's profiler counters and live traces for warm
   /// handoff into a fresh session over the same PreparedModule.
-  VmSeed exportSeed() const;
+  VmSeed exportSeed() const { return Engine.exportSeed(); }
 
   /// Adopts a donor session's profile: the branch correlation graph is
   /// restored with its decayed counters and the donor's live traces are
@@ -77,7 +71,12 @@ public:
   /// empty.
   void importSeed(const VmSeed &Seed);
 
-  const VmStats &stats() const { return Stats; }
+  /// Attaches an observer of the full block-transition stream (null
+  /// detaches). Must be set before run(); the unset case costs one
+  /// null-pointer branch per transition.
+  void setTransitionSink(BlockTransitionSink *S) { Sink = S; }
+
+  const VmStats &stats() const { return Engine.stats(); }
 
   /// A complete statistics snapshot at this instant, with the live
   /// profiler and cache counters folded in; usable mid-run (stats() is
@@ -98,30 +97,17 @@ public:
 
   const VmOptions &options() const { return Options; }
   const PreparedModule &prepared() const { return *PM; }
-  const BranchCorrelationGraph &graph() const { return Graph; }
-  const TraceCache &traceCache() const { return Cache; }
+  const BranchCorrelationGraph &graph() const { return Engine.graph(); }
+  const TraceCache &traceCache() const { return Engine.traceCache(); }
   Machine &machine() { return Mach; }
   const Machine &machine() const { return Mach; }
 
 private:
-  /// Handles the transition (\p Cur -> \p Next) when not inside a trace:
-  /// profiler hook, then trace-entry lookup.
-  void onNonTraceTransition(BlockId Cur, BlockId Next);
-
-  /// Records completion of the active trace and leaves trace mode.
-  void completeActiveTrace();
-
-  /// Leaves trace mode after a divergence; \p BlocksRun blocks of the
-  /// trace actually executed.
-  void exitActiveTraceEarly(uint32_t BlocksRun);
-
   const PreparedModule *PM;
   VmOptions Options;
   Machine Mach;
   BlockStepper Stepper;
-  BranchCorrelationGraph Graph;
-  TraceCache Cache;
-  VmStats Stats;
+  AdaptiveEngine Engine;
 
   // Telemetry. Telem is &Ring when enabled, null otherwise -- the null
   // check is the instrumentation sites' only cost when telemetry is off.
@@ -129,12 +115,7 @@ private:
   PhaseSampler<VmStats> Sampler;
   EventRing *Telem = nullptr;
 
-  // Active-trace state.
-  const Trace *Active = nullptr;
-  uint32_t TracePos = 0; ///< Index in Active->Blocks of the current block.
-  /// Set after an early trace exit: the divergent transition is not
-  /// profiled (see onNonTraceTransition).
-  bool SkipHookOnce = false;
+  BlockTransitionSink *Sink = nullptr;
   bool Ran = false;
 };
 

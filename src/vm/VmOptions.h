@@ -101,6 +101,15 @@ public:
     return *this;
   }
 
+  /// Branch-trace capture: blocks between sync packets in an encoded
+  /// .btc stream. Smaller intervals make streams more seekable and more
+  /// loss-tolerant at a small size cost; 0 disables sync packets (the
+  /// stream is then only decodable from the start).
+  VmOptions &btraceSyncInterval(uint32_t N) {
+    BtraceSync = N;
+    return *this;
+  }
+
   /// Deliberate trace-cache bug injection (fuzzer self-tests only; see
   /// trace/TraceConfig.h). Always None in real configurations.
   VmOptions &cacheFault(CacheFault F) {
@@ -132,6 +141,7 @@ public:
   bool telemetry() const { return Telemetry; }
   uint32_t telemetryCapacity() const { return TelemetryCap; }
   uint64_t sampleInterval() const { return Sampling; }
+  uint32_t btraceSyncInterval() const { return BtraceSync; }
   CacheFault cacheFault() const { return Fault; }
   const std::string &loadProfilePath() const { return LoadProfile; }
   const std::string &saveProfilePath() const { return SaveProfile; }
@@ -168,6 +178,7 @@ private:
   bool Telemetry = false;
   uint32_t TelemetryCap = 1u << 16;
   uint64_t Sampling = 0;
+  uint32_t BtraceSync = 4096;
   CacheFault Fault = CacheFault::None;
   std::string LoadProfile;
   std::string SaveProfile;

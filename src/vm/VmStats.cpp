@@ -62,6 +62,8 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
               /*InPrint=*/false),
       Counter("live traces", "live_traces", &VmStats::LiveTraces),
       Counter("branch graph nodes", "graph_nodes", &VmStats::GraphNodes),
+      Counter("telemetry events dropped", "events_dropped",
+              &VmStats::EventsDropped, /*InPrint=*/false),
       Derived("dispatches per signal", "dispatches_per_signal",
               FieldFormat::Real, &VmStats::dispatchesPerSignal),
       Derived("dispatches per trace event", "dispatches_per_trace_event",
@@ -71,6 +73,24 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
                 /*InPrint=*/false},
   };
   return Fields;
+}
+
+uint64_t VmStats::digest() const {
+  // FNV-1a over the raw counters in field-table order. EventsDropped is
+  // observability of the telemetry channel, not of the execution, and
+  // depends on ring capacity -- excluded so replay digests are
+  // configuration-independent.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  for (const FieldInfo &F : fields())
+    if (F.Counter && F.Counter != &VmStats::EventsDropped)
+      Mix(this->*F.Counter);
+  return H;
 }
 
 void VmStats::merge(const VmStats &Other) {

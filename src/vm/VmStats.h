@@ -46,6 +46,12 @@ struct VmStats {
   uint64_t LiveTraces = 0;
   uint64_t GraphNodes = 0;
 
+  //===--- Observability ----------------------------------------------===//
+  /// Telemetry events lost to ring overwriting (EventRing::dropped). Not
+  /// part of the execution semantics, so digest() excludes it: a replay
+  /// with a different ring capacity still matches the live run.
+  uint64_t EventsDropped = 0;
+
   //===--- Derived values (paper section 5.2) -------------------------===//
 
   /// Dispatches the trace-dispatching model performs (block + trace).
@@ -142,6 +148,13 @@ struct VmStats {
       return (this->*F.Derived)();
     return static_cast<double>((this->*F.DerivedCount)());
   }
+
+  /// A stable FNV-1a hash over every raw execution counter (in field-
+  /// table order, EventsDropped excluded). Two sessions with equal
+  /// digests made the same dispatches, built the same traces and saw the
+  /// same profiler activity; btrace replay verifies reconstruction
+  /// against the digest the encoder recorded at run end.
+  uint64_t digest() const;
 
   /// Accumulates \p Other's raw counters into this object (derived
   /// metrics are recomputed from the sums). Used by the service layer to

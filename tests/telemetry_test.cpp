@@ -8,21 +8,185 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "btrace/BtraceEncoder.h"
 #include "telemetry/Export.h"
 #include "telemetry/EventRing.h"
 #include "telemetry/PhaseSampler.h"
+#include "vm/ModuleFingerprint.h"
 #include "vm/TraceVM.h"
 
 #include "TestPrograms.h"
 #include "gtest/gtest.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstring>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 using namespace jtc;
 
 namespace {
+
+//===--- Minimal strict JSON validator ------------------------------------===//
+//
+// The exporters promise machine-readable output, so the tests validate it
+// with a real recursive-descent parse, not just brace counting. Accepts
+// exactly the JSON value grammar (RFC 8259); returns false on any excess
+// or malformed input.
+
+class JsonValidator {
+public:
+  explicit JsonValidator(std::string_view Text) : S(Text) {}
+
+  bool validate() {
+    skipWs();
+    return value() && (skipWs(), Pos == S.size());
+  }
+
+private:
+  std::string_view S;
+  size_t Pos = 0;
+
+  bool eof() const { return Pos >= S.size(); }
+  char peek() const { return S[Pos]; }
+  bool eat(char C) { return !eof() && S[Pos] == C && (++Pos, true); }
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view L) {
+    if (S.substr(Pos, L.size()) != L)
+      return false;
+    Pos += L.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\') {
+        ++Pos;
+        if (eof())
+          return false;
+        char E = peek();
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I)
+            if (++Pos, eof() || !isxdigit(static_cast<unsigned char>(peek())))
+              return false;
+        } else if (!strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(peek()) < 0x20) {
+        return false;
+      }
+      ++Pos;
+    }
+    return eat('"');
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    eat('-');
+    if (eof() || !isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    if (peek() == '0') // no leading zeros on multi-digit integers
+      ++Pos;
+    else
+      while (!eof() && isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    if (!eof() && isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    if (eat('.')) {
+      if (eof() || !isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (eof() || !isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool value() {
+    skipWs();
+    if (eof())
+      return false;
+    switch (peek()) {
+    case '{': {
+      ++Pos;
+      skipWs();
+      if (eat('}'))
+        return true;
+      do {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (!eat(':') || !value())
+          return false;
+        skipWs();
+      } while (eat(','));
+      return eat('}');
+    }
+    case '[': {
+      ++Pos;
+      skipWs();
+      if (eat(']'))
+        return true;
+      do {
+        if (!value())
+          return false;
+        skipWs();
+      } while (eat(','));
+      return eat(']');
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+bool isValidJson(std::string_view Text) {
+  return JsonValidator(Text).validate();
+}
+
+/// Every non-empty line must parse as a standalone JSON value.
+::testing::AssertionResult jsonlLinesParse(const std::string &Text) {
+  std::istringstream IS(Text);
+  std::string Line;
+  size_t N = 0;
+  while (std::getline(IS, Line)) {
+    ++N;
+    if (Line.empty())
+      continue;
+    if (!isValidJson(Line))
+      return ::testing::AssertionFailure()
+             << "line " << N << " is not valid JSON: " << Line;
+  }
+  if (N == 0)
+    return ::testing::AssertionFailure() << "no JSONL lines at all";
+  return ::testing::AssertionSuccess();
+}
 
 //===--- EventRing --------------------------------------------------------===//
 
@@ -170,6 +334,61 @@ TEST(ExportTest, ChromeTraceEmitsCounterTracksFromSampler) {
   EXPECT_NE(S.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(S.find("\"name\":\"trace_dispatches\""), std::string::npos);
   EXPECT_NE(S.find("\"value\":7"), std::string::npos);
+}
+
+TEST(ExportTest, BtraceEventsExportUnderBtraceCategory) {
+  EventRing R(8);
+  R.recordAt(5, EventKind::BtraceStarted, 0, 4096);
+  R.recordAt(900, EventKind::BtraceFlushed, 0, 512);
+  R.recordAt(1400, EventKind::BtraceDropped, 0, 64);
+
+  std::ostringstream Jsonl;
+  writeEventsJsonl(Jsonl, R);
+  std::string L = Jsonl.str();
+  EXPECT_NE(L.find("\"kind\":\"btrace-started\""), std::string::npos);
+  EXPECT_NE(L.find("\"kind\":\"btrace-flushed\""), std::string::npos);
+  EXPECT_NE(L.find("\"kind\":\"btrace-dropped\""), std::string::npos);
+  EXPECT_NE(L.find("\"arg\":4096"), std::string::npos);
+  EXPECT_TRUE(jsonlLinesParse(L));
+
+  std::ostringstream Chrome;
+  writeChromeTrace(Chrome, R);
+  std::string C = Chrome.str();
+  EXPECT_NE(C.find("\"cat\":\"btrace\""), std::string::npos);
+  EXPECT_NE(C.find("\"name\":\"btrace-started\""), std::string::npos);
+  EXPECT_TRUE(isValidJson(C)) << C;
+}
+
+TEST(ExportTest, ChromeTraceIsStrictlyValidJsonAcrossAllEventKinds) {
+  // One event of every kind: the exporter must produce a single valid
+  // JSON document no matter which switch arms fire.
+  EventRing R(NumEventKinds + 1);
+  for (unsigned I = 0; I < NumEventKinds; ++I)
+    R.recordAt(10 * (I + 1), static_cast<EventKind>(I), I, I + 100);
+  PhaseSampler<VmStats> Sampler(100);
+  VmStats A;
+  A.BlocksExecuted = 100;
+  Sampler.sample(100, A);
+
+  std::ostringstream Plain, WithSampler, Jsonl;
+  writeChromeTrace(Plain, R);
+  writeChromeTrace(WithSampler, R, Sampler);
+  writeEventsJsonl(Jsonl, R);
+  EXPECT_TRUE(isValidJson(Plain.str())) << Plain.str();
+  EXPECT_TRUE(isValidJson(WithSampler.str())) << WithSampler.str();
+  EXPECT_TRUE(jsonlLinesParse(Jsonl.str()));
+}
+
+TEST(ExportTest, ValidatorItselfRejectsMalformedJson) {
+  // Guard the guard: the validator must not pass garbage, or every
+  // well-formedness assertion above is vacuous.
+  EXPECT_TRUE(isValidJson("{\"a\":[1,2.5e-3,\"x\\n\",true,null]}"));
+  EXPECT_FALSE(isValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(isValidJson("{\"a\":01}"));
+  EXPECT_FALSE(isValidJson("{'a':1}"));
+  EXPECT_FALSE(isValidJson("{\"a\":1} trailing"));
+  EXPECT_FALSE(isValidJson("{\"a\":[1,2}"));
+  EXPECT_FALSE(isValidJson(""));
 }
 
 //===--- PhaseSampler -----------------------------------------------------===//
@@ -356,6 +575,60 @@ TEST(TelemetryVmTest, SamplerProducesTimeline) {
   // sample point).
   EXPECT_LE(TotalBlocks, VM.stats().BlocksExecuted);
   EXPECT_GE(TotalBlocks, VM.stats().BlocksExecuted - VM.options().sampleInterval());
+}
+
+TEST(TelemetryVmTest, BtraceCaptureEventsLandInRingAndExports) {
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, telemetryOptions());
+
+  btrace::BtraceHeader H = btrace::BtraceHeader::fromOptions(VM.options());
+  H.Fingerprint = moduleFingerprint(PM);
+  H.Spec = "telemetry-test";
+  btrace::SuccessorTable ST(PM);
+  std::vector<uint8_t> Stream;
+  btrace::BtraceEncoder Enc(PM, ST, std::move(H),
+                            [&Stream](const uint8_t *Data, size_t Size) {
+                              Stream.insert(Stream.end(), Data, Data + Size);
+                              return true;
+                            });
+  Enc.setTelemetry(VM.telemetry());
+  VM.setTransitionSink(&Enc);
+  RunResult R = VM.run();
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  ASSERT_TRUE(Enc.ok());
+
+  // The capture lifecycle shows up in the same ring as the VM's own
+  // events: one start (arg = sync interval), at least one flush whose
+  // byte args sum to the stream size, and no drop.
+  uint64_t Started = 0, Flushed = 0, Dropped = 0, FlushedBytes = 0;
+  VM.events().forEach([&](const Event &E) {
+    if (E.Kind == EventKind::BtraceStarted) {
+      ++Started;
+      EXPECT_EQ(E.Arg, VM.options().btraceSyncInterval());
+    } else if (E.Kind == EventKind::BtraceFlushed) {
+      ++Flushed;
+      FlushedBytes += E.Arg;
+    } else if (E.Kind == EventKind::BtraceDropped) {
+      ++Dropped;
+    }
+  });
+  EXPECT_EQ(Started, 1u);
+  EXPECT_GE(Flushed, 1u);
+  EXPECT_EQ(Dropped, 0u);
+  EXPECT_EQ(FlushedBytes, Stream.size());
+  EXPECT_EQ(FlushedBytes, Enc.encoderStats().BytesWritten);
+
+  // And the exporters carry them through as machine-readable output.
+  std::ostringstream Chrome, Jsonl;
+  writeChromeTrace(Chrome, VM.events(), VM.sampler());
+  writeEventsJsonl(Jsonl, VM.events());
+  EXPECT_TRUE(isValidJson(Chrome.str()));
+  EXPECT_TRUE(jsonlLinesParse(Jsonl.str()));
+  EXPECT_NE(Chrome.str().find("\"name\":\"btrace-started\""),
+            std::string::npos);
+  EXPECT_NE(Jsonl.str().find("\"kind\":\"btrace-flushed\""),
+            std::string::npos);
 }
 
 #endif // JTC_TELEMETRY

@@ -70,7 +70,7 @@ int usage() {
          "  run options: --seed=N|ci --iterations=N --time=SECONDS\n"
          "               --max-failures=N --max-instr=N --no-minimize\n"
          "               --no-traps --no-net --no-threaded --no-refinement\n"
-         "               --no-persist-audit\n"
+         "               --no-persist-audit --no-btrace-audit\n"
          "               --inject=skip-invalidation|skip-retirement\n"
          "               --repro-dir=DIR --json[=FILE]\n"
          "  replay options: --max-instr=N --no-net --no-threaded\n"
@@ -87,7 +87,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
   // programs opt out with --no-traps.
   Opts.Fuzz.Gen.Features.Traps = true;
   bool NoMinimize = false, NoTraps = false, NoNet = false, NoThreaded = false;
-  bool NoRefinement = false, NoPersistAudit = false;
+  bool NoRefinement = false, NoPersistAudit = false, NoBtraceAudit = false;
   ArgParser P;
   P.positionals(&Opts.Files)
       .custom(
@@ -116,6 +116,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
       .flag("no-threaded", &NoThreaded)
       .flag("no-refinement", &NoRefinement)
       .flag("no-persist-audit", &NoPersistAudit)
+      .flag("no-btrace-audit", &NoBtraceAudit)
       .custom(
           "inject",
           [&Opts](const std::string &F) {
@@ -190,6 +191,8 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
     Opts.Fuzz.Oracle.CheckRefinement = false;
   if (NoPersistAudit)
     Opts.Fuzz.Oracle.CheckPersist = false;
+  if (NoBtraceAudit)
+    Opts.Fuzz.Oracle.CheckBtrace = false;
   return true;
 }
 

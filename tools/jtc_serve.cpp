@@ -21,6 +21,12 @@
 ///     --load-profile=<dir> pre-publish <dir>/<module>.jtcp at register
 ///                          (cross-process warm start)
 ///     --checkpoint-interval=<s>  also checkpoint every s seconds
+///     --btrace-dir=<dir>   capture every session as a replayable
+///                          <dir>/<module>-<seq>.btc branch trace
+///     --btrace-sync-interval=<n>  blocks between .btc sync packets
+///                          (default 4096)
+///     --btrace-keep=<n>    keep at most n streams per module (default 4,
+///                          0 = keep everything)
 ///     --no-warm            disable trace-cache warm handoff
 ///     --no-traces          profile only, no trace dispatch
 ///     --no-profile         plain block interpreter sessions
@@ -57,6 +63,9 @@ struct Options {
   std::string SaveProfileDir; ///< Checkpoint directory (empty = off).
   std::string LoadProfileDir; ///< Startup-load directory (empty = off).
   double CheckpointInterval = 0;
+  std::string BtraceDir; ///< Per-session capture directory (empty = off).
+  uint32_t BtraceSyncInterval = 4096;
+  uint32_t BtraceKeep = 4;
   bool NoWarm = false;
   bool NoTraces = false;
   bool NoProfile = false;
@@ -73,6 +82,7 @@ int usage() {
                "  --snapshot-min-blocks=N --no-warm --no-traces --no-profile\n"
                "  --save-profile=DIR --load-profile=DIR "
                "--checkpoint-interval=SECONDS\n"
+               "  --btrace-dir=DIR --btrace-sync-interval=N --btrace-keep=N\n"
                "  --stats --json[=FILE]\n"
                "  workloads:";
   for (const WorkloadInfo &W : allWorkloads())
@@ -95,6 +105,9 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .strOpt("save-profile", &Opts.SaveProfileDir)
       .strOpt("load-profile", &Opts.LoadProfileDir)
       .realOpt("checkpoint-interval", &Opts.CheckpointInterval)
+      .strOpt("btrace-dir", &Opts.BtraceDir)
+      .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
+      .u32Opt("btrace-keep", &Opts.BtraceKeep)
       .flag("no-warm", &Opts.NoWarm)
       .flag("no-traces", &Opts.NoTraces)
       .flag("no-profile", &Opts.NoProfile)
@@ -181,13 +194,16 @@ int main(int Argc, char **Argv) {
                     .checkpointDir(Opts.SaveProfileDir)
                     .loadDir(Opts.LoadProfileDir)
                     .checkpointIntervalSeconds(Opts.CheckpointInterval)
+                    .btraceDir(Opts.BtraceDir)
+                    .btraceKeepPerModule(Opts.BtraceKeep)
                     .vm(VmOptions()
                             .completionThreshold(Opts.Threshold)
                             .startStateDelay(Opts.Delay)
                             .decayInterval(Opts.Decay)
                             .maxInstructions(Opts.MaxInstructions)
                             .traces(!Opts.NoTraces)
-                            .profiling(!Opts.NoProfile)));
+                            .profiling(!Opts.NoProfile)
+                            .btraceSyncInterval(Opts.BtraceSyncInterval)));
   for (const WorkloadInfo *W : Ws)
     Svc.registerWorkload(*W, Opts.Scale);
 
@@ -227,6 +243,10 @@ int main(int Argc, char **Argv) {
       std::cout << "checkpoints: " << S.CheckpointsSaved << " saved, "
                 << S.CheckpointsLoaded << " loaded, "
                 << S.CheckpointLoadRejects << " rejected\n";
+    if (!Opts.BtraceDir.empty())
+      std::cout << "btrace:    " << S.BtraceStreams << " streams, "
+                << S.BtraceBytes << " bytes, " << S.BtraceDrops
+                << " dropped -> " << Opts.BtraceDir << "\n";
     for (const WorkloadInfo *Info : Ws) {
       ProfileSnapshot Snap = Svc.snapshotFor(Info->Name);
       if (!Snap.empty())

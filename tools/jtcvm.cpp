@@ -34,9 +34,17 @@
 ///                        re-validated against this program first)
 ///   --save-profile=<f>   write the session's profile + live traces as a
 ///                        .jtcp snapshot after the run
+///   --btrace-out=<f>     capture the run as a compressed .btc branch
+///                        trace (replayable with jtc-replay)
+///   --btrace-sync-interval=<n>  blocks between .btc sync packets
+///                        (default 4096; 0 = none)
+///   --replay=<f>         do not execute: replay the .btc stream against
+///                        <program> and verify the stats digest
 ///
 //===----------------------------------------------------------------------===//
 
+#include "btrace/BtraceCapture.h"
+#include "btrace/BtraceReplay.h"
 #include "bytecode/Disassembler.h"
 #include "bytecode/Verifier.h"
 #include "interp/InstructionInterpreter.h"
@@ -53,7 +61,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace jtc;
 
@@ -81,6 +92,10 @@ struct Options {
   uint32_t TelemetryCap = 1u << 16;
   std::string LoadProfile; ///< .jtcp snapshot to seed the session from.
   std::string SaveProfile; ///< .jtcp snapshot to write after the run.
+  std::string BtraceOut;   ///< .btc branch-trace capture file.
+  uint32_t BtraceSyncInterval = 4096;
+  std::string Replay;       ///< .btc stream to replay instead of running.
+  uint32_t ResolvedScale = 1; ///< Actual workload scale (after defaults).
 
   /// Any flag that needs the event ring or phase sampler.
   bool wantsTelemetry() const {
@@ -102,7 +117,9 @@ int usage() {
                "               --json[=FILE] --trace-out=FILE "
                "--events-out=FILE\n"
                "               --sample-interval=N --telemetry-cap=N\n"
-               "               --load-profile=FILE --save-profile=FILE\n";
+               "               --load-profile=FILE --save-profile=FILE\n"
+               "               --btrace-out=FILE --btrace-sync-interval=N "
+               "--replay=FILE\n";
   return 2;
 }
 
@@ -133,6 +150,9 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .strOpt("events-out", &Opts.EventsOut)
       .strOpt("load-profile", &Opts.LoadProfile)
       .strOpt("save-profile", &Opts.SaveProfile)
+      .strOpt("btrace-out", &Opts.BtraceOut)
+      .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
+      .strOpt("replay", &Opts.Replay)
       .uintOpt("sample-interval", &Opts.SampleInterval)
       .custom(
           "telemetry-cap",
@@ -151,8 +171,9 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
   return P.parse(Argc, Argv, 3);
 }
 
-/// Loads the program named by \p Opts: a workload or a .jasm file.
-std::optional<Module> loadProgram(const Options &Opts) {
+/// Loads the program named by \p Opts: a workload or a .jasm file. Also
+/// resolves the effective workload scale into Opts (btrace provenance).
+std::optional<Module> loadProgram(Options &Opts) {
   if (Opts.Program.rfind("workload:", 0) == 0) {
     std::string Name = Opts.Program.substr(9);
     const WorkloadInfo *W = findWorkload(Name);
@@ -160,8 +181,10 @@ std::optional<Module> loadProgram(const Options &Opts) {
       std::cerr << "unknown workload '" << Name << "'\n";
       return std::nullopt;
     }
-    return W->Build(Opts.Scale ? Opts.Scale : W->DefaultScale);
+    Opts.ResolvedScale = Opts.Scale ? Opts.Scale : W->DefaultScale;
+    return W->Build(Opts.ResolvedScale);
   }
+  Opts.ResolvedScale = Opts.Scale ? Opts.Scale : 1;
   std::string Error;
   std::optional<Module> M = parseModuleFile(Opts.Program, Error);
   if (!M)
@@ -206,7 +229,8 @@ const char *statusName(RunStatus S) {
 /// The `--json` document: run outcome, configuration, the full stats
 /// block, and the phase time-series when sampling was on.
 void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
-                  const RunResult &R, const persist::LoadReport &Loaded) {
+                  const RunResult &R, const persist::LoadReport &Loaded,
+                  const btrace::BtraceFileCapture *Capture) {
   JsonWriter W(OS);
   W.beginObject();
   W.field("program", Opts.Program);
@@ -226,6 +250,23 @@ void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
         .fieldUInt("traces", Loaded.Traces)
         .fieldUInt("dropped_by_completion", Loaded.TracesDroppedByCompletion)
         .fieldUInt("donor_blocks", Loaded.DonorBlocks)
+        .endObject();
+  }
+  if (Capture) {
+    const btrace::EncoderStats &ES = Capture->encoderStats();
+    W.key("btrace")
+        .beginObject()
+        .field("path", Capture->path())
+        .fieldUInt("bytes", ES.BytesWritten)
+        .fieldUInt("blocks", ES.Blocks)
+        .fieldReal("bytes_per_block",
+                   ES.Blocks ? static_cast<double>(ES.BytesWritten) /
+                                   static_cast<double>(ES.Blocks)
+                             : 0.0)
+        .fieldUInt("tnt_packets", ES.TntPackets)
+        .fieldUInt("tip_packets", ES.TipPackets)
+        .fieldUInt("sync_packets", ES.SyncPackets)
+        .fieldBool("dropped", ES.Dropped)
         .endObject();
   }
   W.key("stats").beginObject();
@@ -260,12 +301,39 @@ bool writeFileOr(const std::string &Path, Fn &&Write) {
   return true;
 }
 
+/// `jtcvm run --replay=<f>`: replay a captured .btc stream against the
+/// program instead of executing it, and verify the recorded digest.
+int cmdReplay(const Options &Opts, const Module &M) {
+  std::ifstream In(Opts.Replay, std::ios::binary);
+  if (!In) {
+    std::cerr << "cannot open btrace stream '" << Opts.Replay << "'\n";
+    return 1;
+  }
+  std::vector<uint8_t> Data((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  PreparedModule PM(M);
+  btrace::ReplayResult RR;
+  persist::PersistError Err;
+  if (!btrace::replayBtrace(Data.data(), Data.size(), PM, RR, Err)) {
+    std::cerr << "replay failed: " << Err.message() << "\n";
+    return 1;
+  }
+  if (Opts.Stats)
+    RR.Stats.print(std::cerr);
+  std::cerr << "replayed " << RR.BlocksWalked << " blocks ("
+            << statusName(RR.End.Status) << "); stats digest "
+            << (RR.DigestMatch ? "matches" : "MISMATCH") << "\n";
+  return RR.DigestMatch ? 0 : 1;
+}
+
 int cmdRun(const Options &Opts, const Module &M) {
   std::vector<VerifyError> Errors = verifyModule(M);
   if (!Errors.empty()) {
     std::cerr << "verification failed:\n" << formatErrors(Errors);
     return 1;
   }
+  if (!Opts.Replay.empty())
+    return cmdReplay(Opts, M);
   if (Opts.wantsTelemetry() && !TelemetryCompiledIn) {
     std::cerr << "telemetry options require a build with -DJTC_TELEMETRY=ON\n";
     return 2;
@@ -282,7 +350,8 @@ int cmdRun(const Options &Opts, const Module &M) {
                      .telemetryCapacity(Opts.TelemetryCap)
                      .sampleInterval(Opts.SampleInterval)
                      .loadProfilePath(Opts.LoadProfile)
-                     .saveProfilePath(Opts.SaveProfile));
+                     .saveProfilePath(Opts.SaveProfile)
+                     .btraceSyncInterval(Opts.BtraceSyncInterval));
   persist::LoadReport Loaded;
   persist::PersistError PErr;
   if (!persist::applyProfileOptions(VM, Loaded, PErr)) {
@@ -295,7 +364,21 @@ int cmdRun(const Options &Opts, const Module &M) {
               << Loaded.Traces << " traces ("
               << Loaded.TracesDroppedByCompletion
               << " dropped by completion history)\n";
+  std::unique_ptr<btrace::BtraceFileCapture> Capture;
+  if (!Opts.BtraceOut.empty()) {
+    Capture = btrace::BtraceFileCapture::start(VM, Opts.BtraceOut,
+                                               Opts.Program,
+                                               Opts.ResolvedScale, PErr);
+    if (!Capture) {
+      std::cerr << "cannot capture btrace: " << PErr.message() << "\n";
+      return 1;
+    }
+  }
   RunResult R = VM.run();
+  if (Capture && !Capture->finish(PErr)) {
+    std::cerr << "btrace capture failed: " << PErr.message() << "\n";
+    return 1;
+  }
   if (!persist::finishProfileOptions(VM, PErr)) {
     std::cerr << "cannot save profile '" << Opts.SaveProfile
               << "': " << PErr.message() << "\n";
@@ -311,11 +394,16 @@ int cmdRun(const Options &Opts, const Module &M) {
     VM.graph().dump(std::cerr);
   if (Opts.Stats)
     VM.stats().print(std::cerr);
+  if (Capture && !Opts.Quiet) {
+    const btrace::EncoderStats &ES = Capture->encoderStats();
+    std::cerr << "btrace: " << ES.BytesWritten << " bytes for " << ES.Blocks
+              << " blocks -> " << Opts.BtraceOut << "\n";
+  }
   if (Opts.Json) {
     if (JsonToStdout)
-      writeRunJson(std::cout, Opts, VM, R, Loaded);
+      writeRunJson(std::cout, Opts, VM, R, Loaded, Capture.get());
     else if (!writeFileOr(Opts.JsonOut, [&](std::ostream &OS) {
-               writeRunJson(OS, Opts, VM, R, Loaded);
+               writeRunJson(OS, Opts, VM, R, Loaded, Capture.get());
              }))
       return 1;
   }
