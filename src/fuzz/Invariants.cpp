@@ -218,6 +218,15 @@ std::vector<Violation> fuzz::checkTraceVm(const TraceVM &VM,
               Cache.stats().TracesInvalidated);
     Reconcile("signals", Of(EventKind::ProfilerSignal), S.Signals);
     Reconcile("decay-passes", Of(EventKind::DecayPass), S.DecayPasses);
+    // Validation events: every validated trace emitted exactly one
+    // accepted-or-rejected event (hash-cons reuse keeps the original
+    // verdict and emits neither).
+    if (C.validate() != ValidateMode::Off) {
+      Reconcile("validated", Of(EventKind::TraceValidated),
+                S.TracesValidated - S.TraceValidationRejects);
+      Reconcile("validation-rejected", Of(EventKind::TraceValidationRejected),
+                S.TraceValidationRejects);
+    }
 
     // Retirement law: a live trace has passed every retirement checkpoint
     // it crossed, so at its most recent checkpoint E0 its observed

@@ -7,6 +7,7 @@
 #include "fuzz/BtraceAudit.h"
 #include "fuzz/Invariants.h"
 #include "fuzz/Refinement.h"
+#include "fuzz/ValidateAudit.h"
 #include "interp/InstructionInterpreter.h"
 #include "interp/PreparedModule.h"
 #include "interp/ThreadedInterpreter.h"
@@ -175,6 +176,7 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
                        .maxInstructions(Config.MaxInstructions)
                        .telemetry(Config.Telemetry)
                        .telemetryCapacity(Config.TelemetryCapacity)
+                       .validate(Config.Validate)
                        .cacheFault(Config.Fault));
     // The btrace recorder shadows the run: ground-truth block sequence
     // plus an in-memory compressed stream, audited after the run.
@@ -194,6 +196,8 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
       C.violations(checkPersistRoundTrip(VM));
     if (Rec)
       C.violations(checkBtraceRoundTrip(PM, *Rec));
+    if (Config.CheckValidate && Config.Fault == CacheFault::None)
+      C.violations(checkValidateAudit(PM, VM));
   }
 
   if (Config.IncludeNet) {

@@ -19,6 +19,7 @@
 
 #include "interp/RunResult.h"
 #include "trace/TraceConfig.h"
+#include "vm/VmOptions.h"
 
 #include <cstdint>
 #include <string>
@@ -83,6 +84,19 @@ struct OracleConfig {
   /// Skipped automatically under an injected cache fault (the replay
   /// engine has no fault to mirror).
   bool CheckBtrace = true;
+
+  /// Audit the translation validator against the execution oracle after
+  /// every profiled run: re-validate every trace the session built and
+  /// flag any rejection, since on a run whose output matched the
+  /// reference a rejection is a validator false positive
+  /// (checkValidateAudit in ValidateAudit.h). Skipped under an injected
+  /// cache fault, like the btrace audit.
+  bool CheckValidate = true;
+
+  /// Validation mode for the grid's TraceVM runs. On exercises the
+  /// construction-time hook on every generated program; Strict turns any
+  /// in-session rejection into an abort (CI smoke runs use this).
+  ValidateMode Validate = ValidateMode::On;
 
   /// Injected trace-cache bug, for oracle self-tests (see TraceConfig.h).
   CacheFault Fault = CacheFault::None;

@@ -1,0 +1,49 @@
+//===- fuzz/ValidateAudit.cpp ---------------------------------------------===//
+
+#include "fuzz/ValidateAudit.h"
+
+#include "analysis/Analysis.h"
+#include "validate/Validator.h"
+#include "vm/TraceVM.h"
+
+#include <sstream>
+
+using namespace jtc;
+using namespace jtc::fuzz;
+
+std::vector<Violation> fuzz::checkValidateAudit(const PreparedModule &PM,
+                                                const TraceVM &VM) {
+  std::vector<Violation> Violations;
+  const OptConfig &Cfg = VM.options().optConfig();
+  // Under a deliberate miscompile, rejections are the expected outcome;
+  // the audit only polices false rejects of sound optimizer output.
+  if (Cfg.Mutate != UnsoundPass::None)
+    return Violations;
+
+  const std::vector<Trace> &Traces = VM.traceCache().traces();
+  if (Traces.empty())
+    return Violations;
+
+  analysis::ModuleAnalysis Facts =
+      analysis::ModuleAnalysis::compute(PM.module());
+  for (const Trace &T : Traces) {
+    if (T.Validation == TraceValidation::Rejected) {
+      std::ostringstream OS;
+      OS << "trace " << T.Id << " (" << T.Blocks.size()
+         << " blocks) was rejected by the in-session validation hook on a "
+            "run the execution oracle accepted";
+      Violations.push_back({"validate-hook-reject", OS.str()});
+    }
+    validate::Result R = validate::validateTrace(PM, T, Cfg, &Facts);
+    if (!R.Ok) {
+      std::ostringstream OS;
+      OS << "trace " << T.Id << " (" << T.Blocks.size()
+         << " blocks): " << validate::reasonName(R.Why) << " in segment "
+         << R.SegmentIndex;
+      if (!R.Detail.empty())
+        OS << ": " << R.Detail;
+      Violations.push_back({"validate-false-reject", OS.str()});
+    }
+  }
+  return Violations;
+}

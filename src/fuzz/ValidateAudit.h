@@ -1,0 +1,46 @@
+//===- fuzz/ValidateAudit.h - Validator-vs-oracle audit ---------*- C++ -*-===//
+///
+/// \file
+/// The cross-check between the two independent soundness oracles this
+/// repository has for the trace optimizer: the differential execution
+/// oracle (Oracle.h, "did the optimized VM produce the reference
+/// output?") and the construction-time translation validator
+/// (validate/Validator.h, "is each optimized trace a provable refinement
+/// of its source?"). On a run the execution oracle accepted, the
+/// validator must accept every trace the session built: a rejection
+/// there is a false positive -- a completeness bug in the validator (or
+/// an optimizer bug the execution happened not to witness, which the
+/// oracle wants to know about even more).
+///
+/// The audit re-validates every constructed trace offline, with the
+/// session's own optimizer configuration and a freshly computed
+/// ModuleAnalysis, and also flags any trace the in-VM hook already
+/// rejected. It is meaningful only for stock optimizer configurations;
+/// under an UnsoundPass mutation rejections are the desired outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_FUZZ_VALIDATEAUDIT_H
+#define JTC_FUZZ_VALIDATEAUDIT_H
+
+#include "fuzz/Invariants.h"
+
+namespace jtc {
+
+class PreparedModule;
+class TraceVM;
+
+namespace fuzz {
+
+/// Re-validates every trace in \p VM's cache (live and dead; a trace
+/// that was later retired still had to be sound while it ran) and
+/// reports each rejection as a "validate-false-reject" violation, plus a
+/// "validate-hook-reject" for any trace the in-session hook rejected.
+/// Returns empty when the session built no traces.
+std::vector<Violation> checkValidateAudit(const PreparedModule &PM,
+                                          const TraceVM &VM);
+
+} // namespace fuzz
+} // namespace jtc
+
+#endif // JTC_FUZZ_VALIDATEAUDIT_H

@@ -332,8 +332,9 @@ struct LocalVal {
 
 class SegmentOptimizer {
 public:
-  SegmentOptimizer(const LinearSegment &In, OptStats &Stats)
-      : In(In), Stats(Stats) {
+  SegmentOptimizer(const LinearSegment &In, OptStats &Stats,
+                   const OptConfig &Cfg)
+      : In(In), Stats(Stats), Cfg(Cfg) {
     Out.MethodId = In.MethodId;
     Out.NumLocals = In.NumLocals;
     Out.ScratchBase = In.ScratchBase;
@@ -350,8 +351,10 @@ public:
     Writes.assign(In.NumLocals, {});
     for (size_t I = 0; I < In.Ops.size(); ++I) {
       const LinearOp &Op = In.Ops[I];
-      if (Op.K != LinearOp::Kind::Instr)
+      if (Op.K != LinearOp::Kind::Instr) {
+        Guards.push_back(I);
         continue;
+      }
       auto X = static_cast<uint32_t>(Op.I.A);
       switch (Op.I.Op) {
       case Opcode::Iload:
@@ -446,9 +449,17 @@ private:
   /// (required before any potential exit). Scratch locals (inlined-callee
   /// frames) are dead outside the segment and stay deferred.
   void flushDirtyLocals() {
-    for (uint32_t X = 0; X < Dirty.size(); ++X)
-      if (X < In.ScratchBase)
-        flushDirtyLocal(X);
+    for (uint32_t X = 0; X < Dirty.size(); ++X) {
+      if (X >= In.ScratchBase)
+        continue;
+      if (Dirty[X] && Cfg.Mutate == UnsoundPass::KillLiveOnExit && !Mutated) {
+        // Deliberate miscompile: the deferred store is simply discarded.
+        Mutated = true;
+        Dirty[X] = false;
+        continue;
+      }
+      flushDirtyLocal(X);
+    }
   }
 
   /// Guard-point flush: like flushDirtyLocals, but when the guard knows
@@ -459,8 +470,19 @@ private:
     for (uint32_t X = 0; X < Dirty.size(); ++X) {
       if (X >= In.ScratchBase || !Dirty[X])
         continue;
-      if (G.HasLiveAtExit && !G.LiveAtExit.test(X)) {
+      if (Cfg.LivenessAtExits && G.HasLiveAtExit && !G.LiveAtExit.test(X)) {
         ++Stats.GuardExitLocalsSkipped;
+        continue;
+      }
+      if (Cfg.Mutate == UnsoundPass::ReorderStorePastExit && !Mutated) {
+        // Deliberate miscompile: the store slides past this side exit
+        // (it still lands at a later exit point).
+        Mutated = true;
+        continue;
+      }
+      if (Cfg.Mutate == UnsoundPass::KillLiveOnExit && !Mutated) {
+        Mutated = true;
+        Dirty[X] = false;
         continue;
       }
       flushDirtyLocal(X);
@@ -469,8 +491,9 @@ private:
   }
 
   /// True when local \p X's current value can still be observed after
-  /// operation index \p I: it is read before its next write, or it
-  /// survives to the segment end as a non-scratch local.
+  /// operation index \p I: it is read before its next write, a side exit
+  /// between here and that write can observe it, or it survives to the
+  /// segment end as a non-scratch local.
   bool liveAfter(uint32_t X, size_t I) const {
     auto NextAbove = [I](const std::vector<size_t> &V) {
       auto It = std::upper_bound(V.begin(), V.end(), I);
@@ -480,6 +503,17 @@ private:
     size_t NextWrite = NextAbove(Writes[X]);
     if (NextRead < NextWrite)
       return true;
+    // Even when the trace path overwrites X before reading it, a guard
+    // in between is an exit whose off-trace continuation may read X --
+    // unless liveness facts prove it dead at that exit.
+    if (X < In.ScratchBase) {
+      for (auto It = std::upper_bound(Guards.begin(), Guards.end(), I);
+           It != Guards.end() && *It < NextWrite; ++It) {
+        const LinearOp &G = In.Ops[*It];
+        if (!(Cfg.LivenessAtExits && G.HasLiveAtExit && !G.LiveAtExit.test(X)))
+          return true;
+      }
+    }
     return NextWrite == ~size_t{0} && X < In.ScratchBase;
   }
 
@@ -529,13 +563,16 @@ private:
 
   const LinearSegment &In;
   OptStats &Stats;
+  const OptConfig Cfg;
   LinearSegment Out;
   std::vector<Entry> AbstractStack;
   std::vector<LocalVal> Vals; ///< Known local values.
   std::vector<bool> Dirty;    ///< Deferred (unemitted) stores.
   std::vector<std::vector<size_t>> Reads;  ///< Load positions per local.
   std::vector<std::vector<size_t>> Writes; ///< Store positions per local.
-  size_t CurIndex = 0; ///< Index of the op being processed.
+  std::vector<size_t> Guards; ///< Guard positions (side exits).
+  size_t CurIndex = 0;  ///< Index of the op being processed.
+  bool Mutated = false; ///< The UnsoundPass hook fired (at most once).
 };
 
 void SegmentOptimizer::handleInstr(const Instruction &I) {
@@ -549,6 +586,13 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
 
   case Opcode::Iload: {
     auto X = static_cast<uint32_t>(I.A);
+    if (!Cfg.ForwardLoads) {
+      // The deferred-load substrate still applies, but the value must
+      // come from the real slot: pin any deferred store to X first.
+      flushDirtyLocal(X);
+      push({Entry::Kind::Load, 0, X});
+      return;
+    }
     switch (Vals[X].K) {
     case LocalVal::Kind::Const:
       ++Stats.LoadsForwarded;
@@ -578,6 +622,26 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
     // changes.
     materializeLoadsOf(X);
     invalidateCopiesOf(X);
+    if (!Cfg.DeferStores) {
+      // Emit the store eagerly; constant knowledge survives (the real
+      // slot holds the value, so nothing is owed at exits).
+      switch (E.K) {
+      case Entry::Kind::Const:
+        emit(Instruction(Opcode::Iconst, static_cast<int32_t>(E.C)));
+        break;
+      case Entry::Kind::Load:
+        emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+        break;
+      case Entry::Kind::Materialized:
+        break;
+      }
+      emit(Instruction(Opcode::Istore, static_cast<int32_t>(X)));
+      Vals[X] = LocalVal();
+      Dirty[X] = false;
+      if (auto C = constOf(E); C && fitsImm(*C))
+        Vals[X] = {LocalVal::Kind::Const, *C, 0};
+      return;
+    }
     if (Dirty[X])
       ++Stats.DeadStores; // the previous deferred store is overwritten
     if (auto C = constOf(E); C && fitsImm(*C)) {
@@ -605,7 +669,8 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
     auto X = static_cast<uint32_t>(I.A);
     materializeLoadsOf(X);
     invalidateCopiesOf(X);
-    if (Vals[X].K == LocalVal::Kind::Const) {
+    if (Cfg.FoldConstants && Cfg.DeferStores &&
+        Vals[X].K == LocalVal::Kind::Const) {
       auto V = static_cast<int64_t>(static_cast<uint64_t>(Vals[X].C) +
                                     static_cast<uint64_t>(I.B));
       if (fitsImm(V)) {
@@ -664,7 +729,7 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
 
   case Opcode::Ineg: {
     Entry E = pop();
-    if (auto C = constOf(E)) {
+    if (auto C = Cfg.FoldConstants ? constOf(E) : std::optional<int64_t>()) {
       auto V = static_cast<int64_t>(0 - static_cast<uint64_t>(*C));
       if (fitsImm(V)) {
         ++Stats.ConstantsFolded;
@@ -699,7 +764,13 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
     Entry B = pop(), A = pop();
     auto CA = constOf(A), CB = constOf(B);
     int64_t Folded = 0;
-    if (CA && CB && foldBinaryImm(I.Op, *CA, *CB, Folded)) {
+    if (Cfg.FoldConstants && CA && CB &&
+        foldBinaryImm(I.Op, *CA, *CB, Folded)) {
+      if (Cfg.Mutate == UnsoundPass::WrongConstant && !Mutated) {
+        // Deliberate miscompile: off-by-one fold result.
+        Mutated = true;
+        ++Folded;
+      }
       ++Stats.ConstantsFolded;
       push({Entry::Kind::Const, Folded, 0});
       return;
@@ -728,9 +799,22 @@ void SegmentOptimizer::handleGuard(const LinearOp &Op) {
   int Pops = opPops(Op.I.Op);
   assert(Pops >= 1 && Pops <= 2);
 
+  if (Cfg.Mutate == UnsoundPass::DropGuard && !Mutated) {
+    // Deliberate miscompile: the guard vanishes without justification.
+    // Operands are disposed of properly (deferred ones cost nothing,
+    // materialized ones are popped), so only the side exit is lost.
+    Mutated = true;
+    for (int P = 0; P < Pops; ++P) {
+      Entry E = pop();
+      if (E.K == Entry::Kind::Materialized)
+        emit(Instruction(Opcode::Pop));
+    }
+    return;
+  }
+
   // A guard whose operands are statically known and agree with the
   // recorded direction can never fire; drop it with its operands.
-  if (Op.I.Op != Opcode::Tableswitch &&
+  if (Cfg.EliminateGuards && Op.I.Op != Opcode::Tableswitch &&
       AbstractStack.size() >= static_cast<size_t>(Pops)) {
     Entry Top = AbstractStack.back();
     Entry Below =
@@ -785,17 +869,23 @@ LinearSegment SegmentOptimizer::run() {
 
 } // namespace
 
+LinearSegment jtc::optimizeSegment(const LinearSegment &In, OptStats &Stats,
+                                   const OptConfig &Config) {
+  return SegmentOptimizer(In, Stats, Config).run();
+}
+
 LinearSegment jtc::optimizeSegment(const LinearSegment &In, OptStats &Stats) {
-  return SegmentOptimizer(In, Stats).run();
+  return optimizeSegment(In, Stats, OptConfig());
 }
 
 std::vector<LinearSegment>
 jtc::optimizeTrace(const PreparedModule &PM, const Trace &T, OptStats &Stats,
                    bool InlineStaticCalls,
-                   const analysis::ModuleAnalysis *Facts) {
+                   const analysis::ModuleAnalysis *Facts,
+                   const OptConfig &Config) {
   std::vector<LinearSegment> Out;
   for (const LinearSegment &Seg :
        linearizeTrace(PM, T, InlineStaticCalls, Facts))
-    Out.push_back(optimizeSegment(Seg, Stats));
+    Out.push_back(optimizeSegment(Seg, Stats, Config));
   return Out;
 }

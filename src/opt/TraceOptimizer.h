@@ -35,6 +35,7 @@
 
 #include "analysis/Liveness.h"
 #include "interp/PreparedModule.h"
+#include "opt/OptConfig.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
@@ -167,6 +168,13 @@ struct OptStats {
 /// stack, and Iprint output, and at every remaining guard the machine
 /// state equals the unoptimized state -- restricted, for guards that
 /// carry a LiveAtExit set, to the locals live at the exit.
+///
+/// \p Config selects which passes run (default: all) and carries the
+/// test-only UnsoundPass mutation hook; with a mutation set the
+/// equivalence contract is deliberately broken and the translation
+/// validator (src/validate) must reject the result.
+LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats,
+                              const OptConfig &Config);
 LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats);
 
 /// Convenience: linearize + optimize every segment of \p T, accumulating
@@ -174,7 +182,8 @@ LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats);
 std::vector<LinearSegment>
 optimizeTrace(const PreparedModule &PM, const Trace &T, OptStats &Stats,
               bool InlineStaticCalls = false,
-              const analysis::ModuleAnalysis *Facts = nullptr);
+              const analysis::ModuleAnalysis *Facts = nullptr,
+              const OptConfig &Config = OptConfig());
 
 } // namespace jtc
 

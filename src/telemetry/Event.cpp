@@ -38,6 +38,10 @@ const char *jtc::eventKindName(EventKind K) {
     return "btrace-flushed";
   case EventKind::BtraceDropped:
     return "btrace-dropped";
+  case EventKind::TraceValidated:
+    return "trace-validated";
+  case EventKind::TraceValidationRejected:
+    return "trace-validation-rejected";
   }
   return "unknown";
 }

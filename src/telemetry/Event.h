@@ -55,10 +55,15 @@ enum class EventKind : uint8_t {
   BtraceFlushed,     ///< Encoder buffer flushed: Arg = bytes written.
   BtraceDropped,     ///< Capture abandoned (sink write failed): Arg =
                      ///< bytes lost in the unflushed buffer.
+  TraceValidated,    ///< Translation validation accepted: Id = trace,
+                     ///< Arg = length in blocks.
+  TraceValidationRejected, ///< Validation proof failed (optimized form
+                           ///< discarded): Id = trace, Arg =
+                           ///< validate::Reason code.
 };
 
 inline constexpr unsigned NumEventKinds =
-    static_cast<unsigned>(EventKind::BtraceDropped) + 1;
+    static_cast<unsigned>(EventKind::TraceValidationRejected) + 1;
 
 /// Stable machine-readable name ("trace-constructed", "decay-pass", ...).
 const char *eventKindName(EventKind K);

@@ -126,6 +126,19 @@ void jtc::telemetry_detail::writeChromeEvents(JsonWriter &W,
           .endObject()
           .endObject();
       break;
+    case EventKind::TraceValidated:
+    case EventKind::TraceValidationRejected:
+      // Translation validation verdicts: async instants on the trace's
+      // span (they land between construction and first dispatch).
+      eventPrelude(W, "trace", "validate", "n", E.Clock);
+      W.fieldUInt("id", E.Id)
+          .key("args")
+          .beginObject()
+          .field("event", Kind)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
     }
   });
 }

@@ -24,6 +24,16 @@ namespace jtc {
 using TraceId = uint32_t;
 constexpr TraceId InvalidTraceId = 0xffffffffu;
 
+/// Outcome of construction-time translation validation (src/validate),
+/// recorded by the trace cache's validate hook. Rejected traces stay
+/// dispatchable -- dispatch always runs the unoptimized block sequence --
+/// but the optimized form proved unsound and must not be used.
+enum class TraceValidation : uint8_t {
+  Unchecked, ///< No validator installed (validation off).
+  Accepted,  ///< Optimized form proved a sound refinement.
+  Rejected,  ///< Proof failed; fall back to the unoptimized form.
+};
+
 struct Trace {
   TraceId Id = InvalidTraceId;
   BlockId EntryFrom = InvalidBlockId;  ///< Predecessor block P of the entry.
@@ -31,6 +41,7 @@ struct Trace {
   double ExpectedCompletion = 1.0;
   uint32_t InstrCount = 0; ///< Total instructions over Blocks.
   bool Alive = true;       ///< False once replaced by a newer trace.
+  TraceValidation Validation = TraceValidation::Unchecked;
 
   /// Runtime behaviour, maintained by the trace cache: how often the
   /// trace was dispatched and how often it ran to completion. Used to

@@ -128,8 +128,29 @@ void TraceCache::install(const TraceCandidate &C) {
   FreshIds.push_back(T.Id);
   JTC_RECORD_EVENT(Telem, EventKind::TraceConstructed, T.Id,
                    static_cast<uint32_t>(T.Blocks.size()));
+  applyValidation(T);
   Traces.push_back(std::move(T));
   ++Stats.TracesConstructed;
+}
+
+void TraceCache::applyValidation(Trace &T) {
+  if (!Validate)
+    return;
+  ValidationVerdict V = Validate(T);
+  ++Stats.TracesValidated;
+  if (V.Accepted) {
+    T.Validation = TraceValidation::Accepted;
+    JTC_RECORD_EVENT(Telem, EventKind::TraceValidated, T.Id,
+                     static_cast<uint32_t>(T.Blocks.size()));
+    return;
+  }
+  // Sound fallback: the trace stays dispatchable (dispatch interprets
+  // the unoptimized block sequence), but the optimized form is poisoned.
+  T.Validation = TraceValidation::Rejected;
+  ++Stats.ValidationRejects;
+  ++Stats.RejectsByReason[V.ReasonCode];
+  JTC_RECORD_EVENT(Telem, EventKind::TraceValidationRejected, T.Id,
+                   V.ReasonCode);
 }
 
 void TraceCache::recordExecution(TraceId Id, bool CompletedRun) {
@@ -203,6 +224,7 @@ void TraceCache::seedTraces(const std::vector<TraceSeed> &Seeds) {
     if (!Inserted)
       continue;
     ByContent[contentHash(T.EntryFrom, T.Blocks)].push_back(T.Id);
+    applyValidation(T);
     Traces.push_back(std::move(T));
     ++Stats.TracesSeeded;
   }

@@ -18,6 +18,7 @@
 #include "trace/TraceConfig.h"
 
 #include <functional>
+#include <map>
 #include <ostream>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +44,22 @@ public:
   /// (the default) disables recording.
   void setTelemetry(EventRing *R) { Telem = R; }
 
+  /// Verdict returned by the translation-validation hook. ReasonCode is a
+  /// validate::Reason, opaque to the cache (the trace layer sits below
+  /// the optimizer and validator in the link order).
+  struct ValidationVerdict {
+    bool Accepted = true;
+    uint32_t ReasonCode = 0;
+  };
+  using ValidateHook = std::function<ValidationVerdict(const Trace &)>;
+
+  /// Installs a construction-time validation hook. Every freshly
+  /// constructed or seeded trace is handed to it once (hash-cons reuse
+  /// keeps the original verdict: same content, same proof); the verdict
+  /// is recorded on the trace, tallied into CacheStats, and mirrored as a
+  /// TraceValidated / TraceValidationRejected telemetry event.
+  void setValidateHook(ValidateHook H) { Validate = std::move(H); }
+
   /// Trace entered by the block transition (\p From -> \p To), or null.
   /// This is the per-dispatch lookup the interpreter performs.
   const Trace *findTrace(BlockId From, BlockId To) const {
@@ -66,6 +83,11 @@ public:
     uint64_t TracesRetired = 0;     ///< Killed for poor observed completion.
     uint64_t TracesSeeded = 0;      ///< Installed from a donor snapshot.
     uint64_t CandidatesSeen = 0;
+    uint64_t TracesValidated = 0;   ///< Traces handed to the validate hook.
+    uint64_t ValidationRejects = 0; ///< Hook verdicts that rejected.
+    /// Rejections tallied by validate::Reason code (ordered so JSON
+    /// emission is deterministic).
+    std::map<uint32_t, uint64_t> RejectsByReason;
   };
 
   /// One live trace in portable form, captured by exportLiveTraces() and
@@ -110,6 +132,9 @@ public:
 
 private:
   void install(const TraceCandidate &C);
+  /// Runs the validate hook (if any) over a just-built trace, recording
+  /// the verdict on the trace, in stats and in telemetry.
+  void applyValidation(Trace &T);
   static uint64_t contentHash(BlockId EntryFrom,
                               const std::vector<BlockId> &Blocks);
 
@@ -117,6 +142,7 @@ private:
   TraceConfig Config;
   TraceBuilder Builder;
   EventRing *Telem = nullptr;
+  ValidateHook Validate;
   std::function<uint32_t(BlockId)> BlockSize;
   std::vector<Trace> Traces;
   /// (EntryFrom, Blocks[0]) pair key -> live trace id.

@@ -1,0 +1,593 @@
+//===- validate/Validator.cpp ---------------------------------------------===//
+
+#include "validate/Validator.h"
+
+#include "analysis/Analysis.h"
+
+#include <array>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+using namespace jtc;
+using namespace jtc::validate;
+
+const char *validate::reasonName(Reason R) {
+  switch (R) {
+  case Reason::None:
+    return "none";
+  case Reason::ShapeMismatch:
+    return "shape-mismatch";
+  case Reason::Unsupported:
+    return "unsupported";
+  case Reason::GuardDropped:
+    return "guard-dropped";
+  case Reason::GuardExtra:
+    return "guard-extra";
+  case Reason::GuardOperandMismatch:
+    return "guard-operand-mismatch";
+  case Reason::GuardExitMismatch:
+    return "guard-exit-mismatch";
+  case Reason::SideExitLocalMismatch:
+    return "side-exit-local-mismatch";
+  case Reason::SideExitStackMismatch:
+    return "side-exit-stack-mismatch";
+  case Reason::SideExitEffectMismatch:
+    return "side-exit-effect-mismatch";
+  case Reason::EffectMismatch:
+    return "effect-mismatch";
+  case Reason::FinalLocalMismatch:
+    return "final-local-mismatch";
+  case Reason::FinalStackMismatch:
+    return "final-stack-mismatch";
+  }
+  return "none";
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Hash-consed symbolic expressions
+//===----------------------------------------------------------------------===//
+
+/// One node of the shared expression DAG. Hash-consing makes node-id
+/// equality a sound (if incomplete) proof of value equality: both runs
+/// build their values in the same pool, so a computation the optimizer
+/// merely re-arranged syntactically converges to the same id as long as
+/// the validator's folder normalizes both spellings.
+struct Expr {
+  enum class Kind : uint8_t {
+    Init,    ///< Initial value of local C.
+    StackIn, ///< C-th value popped from the incoming operand stack.
+    Const,   ///< The constant C.
+    Unop,    ///< Op applied to A.
+    Binop,   ///< Op applied to (A, B).
+    Opaque,  ///< Result of the C-th observable effect (heap reads, ...).
+  };
+  Kind K;
+  Opcode Op = Opcode::Nop;
+  int64_t C = 0;
+  uint32_t A = 0, B = 0;
+};
+
+/// Folds A op B exactly as interp::Machine executes it (wrap-around
+/// arithmetic, masked shifts, the INT64_MIN/-1 special cases). Unlike the
+/// optimizer's folder there is no immediate-range restriction: the
+/// validator tracks real semantics, not re-emittability, and both runs
+/// fold under the same rules so optimized and unoptimized spellings of a
+/// constant computation reach the same node.
+bool foldBinary(Opcode Op, int64_t A, int64_t B, int64_t &Out) {
+  auto U = [](int64_t V) { return static_cast<uint64_t>(V); };
+  switch (Op) {
+  case Opcode::Iadd:
+    Out = static_cast<int64_t>(U(A) + U(B));
+    return true;
+  case Opcode::Isub:
+    Out = static_cast<int64_t>(U(A) - U(B));
+    return true;
+  case Opcode::Imul:
+    Out = static_cast<int64_t>(U(A) * U(B));
+    return true;
+  case Opcode::Idiv:
+    if (B == 0)
+      return false;
+    Out = (A == std::numeric_limits<int64_t>::min() && B == -1) ? A : A / B;
+    return true;
+  case Opcode::Irem:
+    if (B == 0)
+      return false;
+    Out = (A == std::numeric_limits<int64_t>::min() && B == -1) ? 0 : A % B;
+    return true;
+  case Opcode::Ishl:
+    Out = static_cast<int64_t>(U(A) << (B & 63));
+    return true;
+  case Opcode::Ishr:
+    Out = A >> (B & 63);
+    return true;
+  case Opcode::Iushr:
+    Out = static_cast<int64_t>(U(A) >> (B & 63));
+    return true;
+  case Opcode::Iand:
+    Out = A & B;
+    return true;
+  case Opcode::Ior:
+    Out = A | B;
+    return true;
+  case Opcode::Ixor:
+    Out = A ^ B;
+    return true;
+  default:
+    return false;
+  }
+}
+
+class ExprPool {
+public:
+  uint32_t init(uint32_t Local) {
+    return intern({Expr::Kind::Init, Opcode::Nop, Local, 0, 0});
+  }
+  uint32_t stackIn(uint32_t K) {
+    return intern({Expr::Kind::StackIn, Opcode::Nop, K, 0, 0});
+  }
+  uint32_t constant(int64_t V) {
+    return intern({Expr::Kind::Const, Opcode::Nop, V, 0, 0});
+  }
+  uint32_t opaque(uint64_t EffectIndex) {
+    return intern(
+        {Expr::Kind::Opaque, Opcode::Nop, static_cast<int64_t>(EffectIndex), 0,
+         0});
+  }
+  uint32_t unop(Opcode Op, uint32_t A) {
+    assert(Op == Opcode::Ineg);
+    if (auto C = constOf(A))
+      return constant(static_cast<int64_t>(0 - static_cast<uint64_t>(*C)));
+    return intern({Expr::Kind::Unop, Op, 0, A, 0});
+  }
+  uint32_t binop(Opcode Op, uint32_t A, uint32_t B) {
+    auto CA = constOf(A), CB = constOf(B);
+    int64_t Folded = 0;
+    if (CA && CB && foldBinary(Op, *CA, *CB, Folded))
+      return constant(Folded);
+    return intern({Expr::Kind::Binop, Op, 0, A, B});
+  }
+  std::optional<int64_t> constOf(uint32_t Id) const {
+    const Expr &E = Nodes[Id];
+    if (E.K == Expr::Kind::Const)
+      return E.C;
+    return std::nullopt;
+  }
+
+private:
+  uint32_t intern(Expr E) {
+    auto Key = std::make_tuple(static_cast<uint8_t>(E.K),
+                               static_cast<uint8_t>(E.Op), E.C, E.A, E.B);
+    auto [It, Inserted] =
+        Interned.try_emplace(Key, static_cast<uint32_t>(Nodes.size()));
+    if (Inserted)
+      Nodes.push_back(E);
+    return It->second;
+  }
+
+  std::vector<Expr> Nodes;
+  std::map<std::tuple<uint8_t, uint8_t, int64_t, uint32_t, uint32_t>, uint32_t>
+      Interned;
+};
+
+//===----------------------------------------------------------------------===//
+// Symbolic evaluation of one segment
+//===----------------------------------------------------------------------===//
+
+/// One observable effect, in program order. Two runs refine each other
+/// only if their effect lists agree element-wise: the optimizer may never
+/// add, drop, reorder or re-operand an observable operation.
+struct Effect {
+  enum class Kind : uint8_t {
+    Print,   ///< Iprint of Operands[0].
+    Heap,    ///< Allocation or heap/array access.
+    MayTrap, ///< Division whose divisor is not provably nonzero.
+  };
+  Kind K;
+  Opcode Op;
+  int32_t A = 0, B = 0;            ///< Instruction immediates (field ids...).
+  std::vector<uint32_t> Operands;  ///< Value ids, deepest first.
+
+  bool operator==(const Effect &O) const {
+    return K == O.K && Op == O.Op && A == O.A && B == O.B &&
+           Operands == O.Operands;
+  }
+};
+
+/// What was observed at one surviving guard: its identity, its exit
+/// metadata, and a full snapshot of the machine state just after the
+/// guard's operands were popped -- exactly the state the interpreter
+/// resumes from when the guard fires.
+struct GuardObs {
+  Opcode Op;
+  bool Taken;
+  uint32_t ExitPc;
+  bool HasLiveAtExit;
+  analysis::LocalSet LiveAtExit;
+  std::vector<uint32_t> Operands; ///< Condition values, deepest first.
+  std::vector<uint32_t> Locals;
+  std::vector<uint32_t> Stack; ///< Values pushed in-segment (deepest first).
+  uint32_t StackInCount;       ///< Incoming values consumed so far.
+  size_t Effects;              ///< Effects emitted before this guard.
+};
+
+struct SymState {
+  std::vector<uint32_t> Locals;
+  std::vector<uint32_t> Stack;
+  uint32_t StackInCount = 0;
+  std::vector<Effect> Effects;
+  std::vector<GuardObs> Guards;
+};
+
+/// A stack state modulo untouched incoming values: (values still
+/// consumed, values pushed on top of the remaining incoming stack). A
+/// popped-and-repushed incoming value is normalized away so a run that
+/// never touched the stack and one that popped a value and pushed it back
+/// compare equal -- they are.
+struct CanonStack {
+  uint32_t Consumed = 0;
+  std::vector<uint32_t> Values;
+
+  bool operator==(const CanonStack &O) const {
+    return Consumed == O.Consumed && Values == O.Values;
+  }
+};
+
+class SymEval {
+public:
+  SymEval(const LinearSegment &Seg, ExprPool &Pool) : Seg(Seg), Pool(Pool) {}
+
+  /// Evaluates the whole segment. Returns false (with \p Unsupported
+  /// detail) when an opcode outside the segment grammar shows up.
+  bool run(SymState &Out, std::string &UnsupportedDetail) {
+    S.Locals.resize(Seg.NumLocals);
+    for (uint32_t L = 0; L < Seg.NumLocals; ++L)
+      S.Locals[L] = Pool.init(L);
+    // Entry assumptions: locals proved constant at the segment entry.
+    // Seeding them identically in both runs is what makes facts-based
+    // folding and guard elimination validatable.
+    for (const auto &[L, C] : Seg.EntryConsts)
+      if (L < Seg.NumLocals)
+        S.Locals[L] = Pool.constant(C);
+
+    for (const LinearOp &Op : Seg.Ops) {
+      bool Ok = Op.K == LinearOp::Kind::Guard ? evalGuard(Op) : evalInstr(Op.I);
+      if (!Ok) {
+        UnsupportedDetail = Detail;
+        return false;
+      }
+    }
+    Out = std::move(S);
+    return true;
+  }
+
+  static CanonStack canonicalize(const std::vector<uint32_t> &Stack,
+                                 uint32_t Consumed, ExprPool &Pool) {
+    CanonStack C;
+    size_t Begin = 0;
+    // Strip pushed-back incoming values: if the deepest in-segment push
+    // is exactly the deepest incoming value consumed, the two cancel.
+    while (Consumed > 0 && Begin < Stack.size() &&
+           Stack[Begin] == Pool.stackIn(Consumed - 1)) {
+      ++Begin;
+      --Consumed;
+    }
+    C.Consumed = Consumed;
+    C.Values.assign(Stack.begin() + static_cast<ptrdiff_t>(Begin),
+                    Stack.end());
+    return C;
+  }
+
+private:
+  uint32_t pop() {
+    if (S.Stack.empty())
+      return Pool.stackIn(S.StackInCount++);
+    uint32_t V = S.Stack.back();
+    S.Stack.pop_back();
+    return V;
+  }
+  void push(uint32_t V) { S.Stack.push_back(V); }
+
+  /// Pops \p N operands, returning them deepest-first.
+  std::vector<uint32_t> popOperands(int N) {
+    std::vector<uint32_t> Ops(static_cast<size_t>(N));
+    for (int I = N; I-- > 0;)
+      Ops[static_cast<size_t>(I)] = pop();
+    return Ops;
+  }
+
+  bool evalInstr(const Instruction &I) {
+    switch (I.Op) {
+    case Opcode::Nop:
+      return true;
+    case Opcode::Iconst:
+      push(Pool.constant(I.A));
+      return true;
+    case Opcode::Iload:
+      push(S.Locals[static_cast<uint32_t>(I.A)]);
+      return true;
+    case Opcode::Istore:
+      S.Locals[static_cast<uint32_t>(I.A)] = pop();
+      return true;
+    case Opcode::Iinc: {
+      auto X = static_cast<uint32_t>(I.A);
+      S.Locals[X] = Pool.binop(Opcode::Iadd, S.Locals[X], Pool.constant(I.B));
+      return true;
+    }
+    case Opcode::Pop:
+      pop();
+      return true;
+    case Opcode::Dup: {
+      uint32_t V = pop();
+      push(V);
+      push(V);
+      return true;
+    }
+    case Opcode::Swap: {
+      uint32_t B = pop(), A = pop();
+      push(B);
+      push(A);
+      return true;
+    }
+    case Opcode::Ineg:
+      push(Pool.unop(Opcode::Ineg, pop()));
+      return true;
+    case Opcode::Iadd:
+    case Opcode::Isub:
+    case Opcode::Imul:
+    case Opcode::Ishl:
+    case Opcode::Ishr:
+    case Opcode::Iushr:
+    case Opcode::Iand:
+    case Opcode::Ior:
+    case Opcode::Ixor: {
+      uint32_t B = pop(), A = pop();
+      push(Pool.binop(I.Op, A, B));
+      return true;
+    }
+    case Opcode::Idiv:
+    case Opcode::Irem: {
+      uint32_t B = pop(), A = pop();
+      // A division whose divisor is not provably nonzero may trap: that
+      // is an observable event whose position must be preserved. When
+      // the divisor is a nonzero constant the operation is pure.
+      auto CB = Pool.constOf(B);
+      if (!CB || *CB == 0)
+        S.Effects.push_back({Effect::Kind::MayTrap, I.Op, 0, 0, {A, B}});
+      push(Pool.binop(I.Op, A, B));
+      return true;
+    }
+    case Opcode::Iprint:
+      S.Effects.push_back({Effect::Kind::Print, I.Op, 0, 0, {pop()}});
+      return true;
+    case Opcode::New:
+    case Opcode::GetField:
+    case Opcode::PutField:
+    case Opcode::NewArray:
+    case Opcode::Iaload:
+    case Opcode::Iastore:
+    case Opcode::ArrayLength: {
+      // Heap operations are ordered effects against a single abstract
+      // heap: reads included, since a read moved across a write would
+      // observe a different heap. The result (if any) is an opaque value
+      // keyed by the effect's position, so aligned effect lists also
+      // unify their results.
+      std::vector<uint32_t> Ops = popOperands(opPops(I.Op));
+      S.Effects.push_back({Effect::Kind::Heap, I.Op, I.A, I.B, Ops});
+      if (opPushes(I.Op) > 0)
+        push(Pool.opaque(S.Effects.size() - 1));
+      return true;
+    }
+    default: {
+      std::ostringstream OS;
+      OS << "opcode " << mnemonic(I.Op) << " in a linear segment";
+      Detail = OS.str();
+      return false;
+    }
+    }
+  }
+
+  bool evalGuard(const LinearOp &Op) {
+    GuardObs G;
+    G.Op = Op.I.Op;
+    G.Taken = Op.GuardTaken;
+    G.ExitPc = Op.ExitPc;
+    G.HasLiveAtExit = Op.HasLiveAtExit;
+    G.LiveAtExit = Op.LiveAtExit;
+    G.Operands = popOperands(opPops(Op.I.Op));
+    G.Locals = S.Locals;
+    G.Stack = S.Stack;
+    G.StackInCount = S.StackInCount;
+    G.Effects = S.Effects.size();
+    S.Guards.push_back(std::move(G));
+    return true;
+  }
+
+  const LinearSegment &Seg;
+  ExprPool &Pool;
+  SymState S;
+  std::string Detail;
+};
+
+/// Evaluates a one- or two-operand conditional branch (A is the deeper
+/// operand), mirroring interp::Machine.
+bool evalBranch(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::IfEq:
+    return A == 0;
+  case Opcode::IfNe:
+    return A != 0;
+  case Opcode::IfLt:
+    return A < 0;
+  case Opcode::IfGe:
+    return A >= 0;
+  case Opcode::IfGt:
+    return A > 0;
+  case Opcode::IfLe:
+    return A <= 0;
+  case Opcode::IfIcmpEq:
+    return A == B;
+  case Opcode::IfIcmpNe:
+    return A != B;
+  case Opcode::IfIcmpLt:
+    return A < B;
+  case Opcode::IfIcmpGe:
+    return A >= B;
+  case Opcode::IfIcmpGt:
+    return A > B;
+  case Opcode::IfIcmpLe:
+    return A <= B;
+  default:
+    return false;
+  }
+}
+
+std::string describeLocal(uint32_t L) {
+  return "local " + std::to_string(L);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The refinement check
+//===----------------------------------------------------------------------===//
+
+Result validate::validateSegment(const LinearSegment &Src,
+                                 const LinearSegment &Opt) {
+  if (Src.MethodId != Opt.MethodId || Src.NumLocals != Opt.NumLocals ||
+      Src.ScratchBase != Opt.ScratchBase || Src.EntryConsts != Opt.EntryConsts)
+    return Result::fail(Reason::ShapeMismatch,
+                        "frame metadata differs between source and optimized "
+                        "segments");
+
+  ExprPool Pool;
+  SymState A, B;
+  std::string Detail;
+  if (!SymEval(Src, Pool).run(A, Detail))
+    return Result::fail(Reason::Unsupported, "source: " + Detail);
+  if (!SymEval(Opt, Pool).run(B, Detail))
+    return Result::fail(Reason::Unsupported, "optimized: " + Detail);
+
+  // --- Guard alignment -------------------------------------------------
+  //
+  // Walk the source guards in order, holding a cursor into the optimized
+  // guards. Each source guard must either match the cursor's guard (same
+  // condition over the same value ids, same exit metadata, equivalent
+  // machine state) or be *justified*: provably redundant under the entry
+  // facts, or dominated by an identical check that already passed.
+  using GuardKey = std::tuple<Opcode, bool, std::vector<uint32_t>>;
+  std::set<GuardKey> Passed;
+  size_t J = 0;
+  for (size_t I = 0; I < A.Guards.size(); ++I) {
+    const GuardObs &G = A.Guards[I];
+    const GuardObs *H = J < B.Guards.size() ? &B.Guards[J] : nullptr;
+    bool Matches = H && H->Op == G.Op && H->Taken == G.Taken &&
+                   H->Operands == G.Operands;
+    if (Matches) {
+      if (H->ExitPc != G.ExitPc || H->HasLiveAtExit != G.HasLiveAtExit ||
+          !(H->LiveAtExit == G.LiveAtExit))
+        return Result::fail(Reason::GuardExitMismatch,
+                            "guard " + std::to_string(I) +
+                                ": exit metadata differs");
+      // Side-exit state: when the guard fires, the interpreter resumes
+      // at ExitPc from the *source* machine state. Every live root-frame
+      // local, the whole operand stack, and the effect prefix must
+      // therefore agree.
+      for (uint32_t L = 0; L < Src.ScratchBase; ++L) {
+        if (G.HasLiveAtExit && !G.LiveAtExit.test(L))
+          continue; // dead at the exit: stale values are unobservable
+        if (G.Locals[L] != H->Locals[L])
+          return Result::fail(Reason::SideExitLocalMismatch,
+                              "guard " + std::to_string(I) + ": " +
+                                  describeLocal(L) +
+                                  " differs at the side exit");
+      }
+      if (!(SymEval::canonicalize(G.Stack, G.StackInCount, Pool) ==
+            SymEval::canonicalize(H->Stack, H->StackInCount, Pool)))
+        return Result::fail(Reason::SideExitStackMismatch,
+                            "guard " + std::to_string(I) +
+                                ": operand stack differs at the side exit");
+      if (G.Effects != H->Effects)
+        return Result::fail(Reason::SideExitEffectMismatch,
+                            "guard " + std::to_string(I) +
+                                ": an observable effect crossed the exit");
+      Passed.insert({G.Op, G.Taken, G.Operands});
+      ++J;
+      continue;
+    }
+
+    // Not matched: justified elimination?
+    bool Justified = false;
+    if (G.Op != Opcode::Tableswitch) {
+      // Entry facts: all condition values constant and evaluating to the
+      // recorded direction -- the guard can never fire.
+      auto C0 = Pool.constOf(G.Operands[0]);
+      auto C1 = G.Operands.size() > 1 ? Pool.constOf(G.Operands[1])
+                                      : std::optional<int64_t>(0);
+      if (C0 && C1 && evalBranch(G.Op, *C0, *C1) == G.Taken)
+        Justified = true;
+      // Domination: an identical check over the same value ids already
+      // passed, so this one cannot fire either.
+      if (!Justified && Passed.count({G.Op, G.Taken, G.Operands}))
+        Justified = true;
+    }
+    if (Justified)
+      continue;
+    if (H && H->Op == G.Op && H->Taken == G.Taken)
+      return Result::fail(Reason::GuardOperandMismatch,
+                          "guard " + std::to_string(I) +
+                              ": condition tests different values");
+    return Result::fail(Reason::GuardDropped,
+                        "guard " + std::to_string(I) +
+                            " has no optimized counterpart and no "
+                            "justification");
+  }
+  if (J < B.Guards.size())
+    return Result::fail(Reason::GuardExtra,
+                        std::to_string(B.Guards.size() - J) +
+                            " unmatched guard(s) in the optimized segment");
+
+  // --- Final state ------------------------------------------------------
+  for (uint32_t L = 0; L < Src.ScratchBase; ++L)
+    if (A.Locals[L] != B.Locals[L])
+      return Result::fail(Reason::FinalLocalMismatch,
+                          describeLocal(L) + " differs at the segment end");
+  if (!(SymEval::canonicalize(A.Stack, A.StackInCount, Pool) ==
+        SymEval::canonicalize(B.Stack, B.StackInCount, Pool)))
+    return Result::fail(Reason::FinalStackMismatch,
+                        "operand stack differs at the segment end");
+  if (!(A.Effects == B.Effects)) {
+    size_t At = 0;
+    while (At < A.Effects.size() && At < B.Effects.size() &&
+           A.Effects[At] == B.Effects[At])
+      ++At;
+    return Result::fail(Reason::EffectMismatch,
+                        "observable effects diverge at index " +
+                            std::to_string(At));
+  }
+  return Result::pass();
+}
+
+Result validate::validateTrace(const PreparedModule &PM, const Trace &T,
+                               const OptConfig &Config,
+                               const analysis::ModuleAnalysis *Facts) {
+  OptStats Stats;
+  std::vector<LinearSegment> Segments =
+      linearizeTrace(PM, T, /*InlineStaticCalls=*/false, Facts);
+  for (size_t I = 0; I < Segments.size(); ++I) {
+    LinearSegment Opt = optimizeSegment(Segments[I], Stats, Config);
+    Result R = validateSegment(Segments[I], Opt);
+    if (!R.Ok) {
+      R.SegmentIndex = static_cast<uint32_t>(I);
+      return R;
+    }
+  }
+  return Result::pass();
+}

@@ -2,7 +2,12 @@
 
 #include "vm/AdaptiveEngine.h"
 
+#include "analysis/Analysis.h"
+#include "validate/Validator.h"
+
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace jtc;
 
@@ -13,8 +18,33 @@ AdaptiveEngine::AdaptiveEngine(const PreparedModule &PM,
             [P = &PM](BlockId B) { return P->blockSize(B); }) {
   // Trace construction is driven by profiler signals, so trace dispatch
   // requires profiling.
-  if (Options.profiling() && Options.traces())
+  if (Options.profiling() && Options.traces()) {
     Graph.setSink(&Cache);
+    if (Options.validate() != ValidateMode::Off)
+      Cache.setValidateHook(
+          [this](const Trace &T) { return validateCandidate(T); });
+  }
+}
+
+AdaptiveEngine::~AdaptiveEngine() = default;
+AdaptiveEngine::AdaptiveEngine(AdaptiveEngine &&) noexcept = default;
+AdaptiveEngine &AdaptiveEngine::operator=(AdaptiveEngine &&) noexcept = default;
+
+TraceCache::ValidationVerdict AdaptiveEngine::validateCandidate(const Trace &T) {
+  if (!Facts)
+    Facts = std::make_unique<analysis::ModuleAnalysis>(
+        analysis::ModuleAnalysis::compute(PM->module()));
+  validate::Result R =
+      validate::validateTrace(*PM, T, Options->optConfig(), Facts.get());
+  if (!R.Ok && Options->validate() == ValidateMode::Strict) {
+    std::fprintf(stderr,
+                 "jtc: --validate=strict: trace %u rejected by translation "
+                 "validation: %s (segment %u%s%s)\n",
+                 T.Id, validate::reasonName(R.Why), R.SegmentIndex,
+                 R.Detail.empty() ? "" : ": ", R.Detail.c_str());
+    std::abort();
+  }
+  return {R.Ok, static_cast<uint32_t>(R.Why)};
 }
 
 void AdaptiveEngine::setTelemetry(EventRing *R) {
@@ -152,6 +182,8 @@ VmStats AdaptiveEngine::snapshotStats(uint64_t Instructions) const {
   S.TracesReplaced = CS.TracesReplaced;
   S.TracesRetired = CS.TracesRetired;
   S.TracesSeeded = CS.TracesSeeded;
+  S.TracesValidated = CS.TracesValidated;
+  S.TraceValidationRejects = CS.ValidationRejects;
   S.LiveTraces = Cache.numLiveTraces();
   S.GraphNodes = Graph.numNodes();
   return S;

@@ -27,7 +27,13 @@
 #include "vm/VmOptions.h"
 #include "vm/VmStats.h"
 
+#include <memory>
+
 namespace jtc {
+
+namespace analysis {
+class ModuleAnalysis;
+} // namespace analysis
 
 /// Portable profiler + trace-cache state captured from a mature session
 /// (the donor) and imported into a fresh session over the same
@@ -48,6 +54,13 @@ class AdaptiveEngine {
 public:
   /// \p PM and \p Options must outlive the engine.
   AdaptiveEngine(const PreparedModule &PM, const VmOptions &Options);
+  ~AdaptiveEngine(); // out of line: ModuleAnalysis is incomplete here
+
+  // Movable so TraceVM factories can return by value (the move is elided
+  // in practice; like the Graph/Cache cross-references, the validation
+  // hook's self-pointer does not survive a genuine move).
+  AdaptiveEngine(AdaptiveEngine &&) noexcept;
+  AdaptiveEngine &operator=(AdaptiveEngine &&) noexcept;
 
   /// Attaches the telemetry ring (propagated to the profiler and cache);
   /// null detaches.
@@ -96,12 +109,21 @@ private:
   /// trace actually executed.
   void exitActiveTraceEarly(uint32_t BlocksRun);
 
+  /// The TraceCache validation hook (--validate != off): re-runs the
+  /// optimizer on \p T's linearized form and proves the result a sound
+  /// refinement of the source bytecode (validate::validateTrace). Under
+  /// --validate=strict a rejection aborts the process.
+  TraceCache::ValidationVerdict validateCandidate(const Trace &T);
+
   const PreparedModule *PM;
   const VmOptions *Options;
   BranchCorrelationGraph Graph;
   TraceCache Cache;
   VmStats Stats;
   EventRing *Telem = nullptr;
+  /// Dataflow facts for guard-justified validation, computed lazily on
+  /// the first trace validated (never on the dispatch path).
+  std::unique_ptr<analysis::ModuleAnalysis> Facts;
 
   // Active-trace state.
   const Trace *Active = nullptr;

@@ -21,6 +21,7 @@
 #ifndef JTC_VM_VMOPTIONS_H
 #define JTC_VM_VMOPTIONS_H
 
+#include "opt/OptConfig.h"
 #include "profile/ProfilerConfig.h"
 #include "trace/TraceConfig.h"
 
@@ -28,6 +29,42 @@
 #include <string>
 
 namespace jtc {
+
+/// Construction-time translation validation of optimized traces
+/// (src/validate).
+enum class ValidateMode : uint8_t {
+  Off,    ///< Traces install unchecked.
+  On,     ///< Validate every constructed/seeded trace; a rejected trace
+          ///< falls back to its unoptimized form (the default).
+  Strict, ///< Like On, but a rejection aborts the process -- for CI and
+          ///< fuzzing, where any rejection of stock optimizer output is
+          ///< a bug in either the optimizer or the validator.
+};
+
+inline const char *validateModeName(ValidateMode M) {
+  switch (M) {
+  case ValidateMode::Off:
+    return "off";
+  case ValidateMode::On:
+    return "on";
+  case ValidateMode::Strict:
+    return "strict";
+  }
+  return "on";
+}
+
+/// Parses "off" / "on" / "strict" (the CLI spelling of --validate=).
+inline bool parseValidateMode(const std::string &V, ValidateMode &Out) {
+  if (V == "off")
+    Out = ValidateMode::Off;
+  else if (V == "on")
+    Out = ValidateMode::On;
+  else if (V == "strict")
+    Out = ValidateMode::Strict;
+  else
+    return false;
+  return true;
+}
 
 class VmOptions {
 public:
@@ -129,6 +166,24 @@ public:
     return *this;
   }
 
+  /// Construction-time translation validation of every optimized trace.
+  /// On by default: validation runs off the dispatch path (once per
+  /// constructed trace) and is the safety net under the optimizer.
+  VmOptions &validate(ValidateMode M) {
+    Validate = M;
+    return *this;
+  }
+
+  /// Optimizer pass selection, threaded through to validation (the
+  /// validator re-optimizes under the same configuration it checks).
+  /// Also carries the test-only UnsoundPass mutation hook, which lets
+  /// the mutation tests drive a deliberate miscompile through the whole
+  /// VM and watch the validator catch it.
+  VmOptions &optConfig(const OptConfig &C) {
+    Opt = C;
+    return *this;
+  }
+
   //===--- Getters -----------------------------------------------------===//
 
   double completionThreshold() const { return Threshold; }
@@ -145,6 +200,8 @@ public:
   CacheFault cacheFault() const { return Fault; }
   const std::string &loadProfilePath() const { return LoadProfile; }
   const std::string &saveProfilePath() const { return SaveProfile; }
+  ValidateMode validate() const { return Validate; }
+  const OptConfig &optConfig() const { return Opt; }
 
   //===--- Derived sub-configurations ----------------------------------===//
   //
@@ -182,6 +239,8 @@ private:
   CacheFault Fault = CacheFault::None;
   std::string LoadProfile;
   std::string SaveProfile;
+  ValidateMode Validate = ValidateMode::On;
+  OptConfig Opt;
 };
 
 } // namespace jtc

@@ -60,6 +60,10 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
               &VmStats::TracesRetired),
       Counter("traces seeded", "traces_seeded", &VmStats::TracesSeeded,
               /*InPrint=*/false),
+      Counter("traces validated", "traces_validated", &VmStats::TracesValidated,
+              /*InPrint=*/false),
+      Counter("trace validation rejects", "trace_validation_rejects",
+              &VmStats::TraceValidationRejects, /*InPrint=*/false),
       Counter("live traces", "live_traces", &VmStats::LiveTraces),
       Counter("branch graph nodes", "graph_nodes", &VmStats::GraphNodes),
       Counter("telemetry events dropped", "events_dropped",
@@ -78,8 +82,10 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
 uint64_t VmStats::digest() const {
   // FNV-1a over the raw counters in field-table order. EventsDropped is
   // observability of the telemetry channel, not of the execution, and
-  // depends on ring capacity -- excluded so replay digests are
-  // configuration-independent.
+  // depends on ring capacity; the validation counters likewise depend on
+  // the --validate mode, which btrace replay reconstructs with defaults.
+  // All three are excluded so replay digests are configuration-
+  // independent.
   uint64_t H = 1469598103934665603ull;
   auto Mix = [&H](uint64_t V) {
     for (int I = 0; I < 8; ++I) {
@@ -87,8 +93,12 @@ uint64_t VmStats::digest() const {
       H *= 1099511628211ull;
     }
   };
+  auto Excluded = [](uint64_t VmStats::*M) {
+    return M == &VmStats::EventsDropped || M == &VmStats::TracesValidated ||
+           M == &VmStats::TraceValidationRejects;
+  };
   for (const FieldInfo &F : fields())
-    if (F.Counter && F.Counter != &VmStats::EventsDropped)
+    if (F.Counter && !Excluded(F.Counter))
       Mix(this->*F.Counter);
   return H;
 }

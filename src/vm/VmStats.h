@@ -46,6 +46,15 @@ struct VmStats {
   uint64_t LiveTraces = 0;
   uint64_t GraphNodes = 0;
 
+  //===--- Translation validation (src/validate) -----------------------===//
+  /// Traces handed to the construction-time translation validator, and
+  /// how many it rejected (the optimized form fell back to unoptimized).
+  /// Validation never changes what executes, and whether it runs at all
+  /// depends on --validate / build wiring a replay cannot see, so both
+  /// are digest-excluded like EventsDropped.
+  uint64_t TracesValidated = 0;
+  uint64_t TraceValidationRejects = 0;
+
   //===--- Observability ----------------------------------------------===//
   /// Telemetry events lost to ring overwriting (EventRing::dropped). Not
   /// part of the execution semantics, so digest() excludes it: a replay

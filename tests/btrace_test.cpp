@@ -31,7 +31,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iterator>
+#include <memory>
 
 using namespace jtc;
 using namespace jtc::btrace;
@@ -78,32 +80,75 @@ std::vector<uint8_t> readFileBytes(const std::filesystem::path &P) {
 // Round trips
 //===----------------------------------------------------------------------===//
 
-TEST(BtraceRoundTripTest, ReproducesExactBlockStream) {
-  const struct {
-    const char *Name;
-    Module M;
-  } Programs[] = {
-      {"countingLoop", testprog::countingLoop(500)},
-      {"recursiveFactorial", testprog::recursiveFactorial(12)},
-      {"virtualDispatch", testprog::virtualDispatch()},
-      {"switchProgram", testprog::switchProgram()},
-      {"arraySquares", testprog::arraySquares(64)},
-      {"hotLoop", testprog::hotLoop(5000)},
+namespace {
+
+/// The capture (module build + full VM run + encode) dominates this
+/// suite's wall clock, so the round-trip cases share sessions built once
+/// in SetUpTestSuite rather than re-capturing per case. Builders are kept
+/// alongside each session so the determinism case can re-capture and
+/// compare streams byte for byte.
+class SharedCaptureTest : public ::testing::Test {
+protected:
+  struct Session {
+    std::string Name;
+    std::function<Module()> Build;
+    uint32_t SyncInterval;
+    std::unique_ptr<Captured> C;
   };
-  for (const auto &P : Programs) {
-    Captured C(P.M);
+
+  static void SetUpTestSuite() {
+    Programs = new std::vector<Session>();
+    const std::pair<const char *, std::function<Module()>> Specs[] = {
+        {"countingLoop", [] { return testprog::countingLoop(500); }},
+        {"recursiveFactorial", [] { return testprog::recursiveFactorial(12); }},
+        {"virtualDispatch", [] { return testprog::virtualDispatch(); }},
+        {"switchProgram", [] { return testprog::switchProgram(); }},
+        {"arraySquares", [] { return testprog::arraySquares(64); }},
+        {"hotLoop", [] { return testprog::hotLoop(5000); }},
+    };
+    for (const auto &[Name, Build] : Specs)
+      Programs->push_back(
+          {Name, Build, 64, std::make_unique<Captured>(Build())});
+    Workloads = new std::vector<Session>();
+    for (const WorkloadInfo &W : allWorkloads()) {
+      // Reduced scale keeps the suite fast; the CI smoke and the fuzz
+      // audit cover full-scale streams.
+      uint32_t Scale = W.DefaultScale / 20 ? W.DefaultScale / 20 : 1;
+      auto Build = [&W, Scale] { return W.Build(Scale); };
+      Workloads->push_back(
+          {W.Name, Build, 512,
+           std::make_unique<Captured>(Build(), VmOptions(),
+                                      /*SyncInterval=*/512)});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete Programs;
+    Programs = nullptr;
+    delete Workloads;
+    Workloads = nullptr;
+  }
+
+  static std::vector<Session> *Programs;
+  static std::vector<Session> *Workloads;
+};
+
+std::vector<SharedCaptureTest::Session> *SharedCaptureTest::Programs = nullptr;
+std::vector<SharedCaptureTest::Session> *SharedCaptureTest::Workloads = nullptr;
+
+} // namespace
+
+TEST_F(SharedCaptureTest, ReproducesExactBlockStream) {
+  for (const Session &P : *Programs) {
+    const Captured &C = *P.C;
     EXPECT_EQ(C.R.Status, RunStatus::Finished) << P.Name;
     std::vector<fuzz::Violation> Vs = checkBtraceRoundTrip(C.PM, C.Rec);
     EXPECT_TRUE(Vs.empty()) << P.Name << ":\n" << fuzz::formatViolations(Vs);
   }
 }
 
-TEST(BtraceRoundTripTest, AllSixWorkloadsReplayBitIdentically) {
-  for (const WorkloadInfo &W : allWorkloads()) {
-    // Reduced scale keeps the suite fast; the CI smoke and the fuzz
-    // audit cover full-scale streams.
-    uint32_t Scale = W.DefaultScale / 20 ? W.DefaultScale / 20 : 1;
-    Captured C(W.Build(Scale), VmOptions(), /*SyncInterval=*/512);
+TEST_F(SharedCaptureTest, AllSixWorkloadsReplayBitIdentically) {
+  for (const Session &W : *Workloads) {
+    const Captured &C = *W.C;
     EXPECT_EQ(C.R.Status, RunStatus::Finished) << W.Name;
     std::vector<fuzz::Violation> Vs = checkBtraceRoundTrip(C.PM, C.Rec);
     EXPECT_TRUE(Vs.empty()) << W.Name << ":\n" << fuzz::formatViolations(Vs);
@@ -117,6 +162,22 @@ TEST(BtraceRoundTripTest, AllSixWorkloadsReplayBitIdentically) {
         << W.Name << ": " << Err.message();
     EXPECT_EQ(RR.ReplayDigest, C.VM.stats().digest()) << W.Name;
     EXPECT_EQ(RR.BlocksWalked, C.Rec.blocks().size()) << W.Name;
+  }
+}
+
+TEST_F(SharedCaptureTest, RecaptureIsByteIdentical) {
+  // Sharing sessions across cases (and running test binaries under
+  // `ctest -j`) is sound only if capture is a pure function of the
+  // program: a fresh capture of the same module must reproduce the
+  // fixture's stream byte for byte, digest and all.
+  for (const std::vector<Session> *Group : {Programs, Workloads}) {
+    for (const Session &S : *Group) {
+      Captured Again(S.Build(), VmOptions(), S.SyncInterval);
+      EXPECT_EQ(Again.R.Status, S.C->R.Status) << S.Name;
+      EXPECT_EQ(Again.Rec.stream(), S.C->Rec.stream())
+          << S.Name << ": re-capture diverged from the shared session";
+      EXPECT_EQ(Again.VM.stats().digest(), S.C->VM.stats().digest()) << S.Name;
+    }
   }
 }
 

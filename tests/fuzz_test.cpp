@@ -275,19 +275,44 @@ TraceVM runProbe(const PreparedModule &PM, CacheFault Fault, RunStatus *S) {
 
 } // namespace
 
-TEST(FaultInjectionTest, RetirementFiresOnBehaviourShiftAndFaultSuppressesIt) {
-  Module M = retirementProbe(16, 50);
-  PreparedModule PM(M);
+/// The probe module and its prepared form are shared across every case:
+/// SetUpTestSuite builds them once instead of each test rebuilding them,
+/// and the determinism case below pins the property that makes the
+/// sharing (and `ctest -j`) safe -- runs against the shared
+/// PreparedModule do not influence one another.
+class RetirementProbeTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    M = new Module(retirementProbe(16, 50));
+    PM = new PreparedModule(*M);
+  }
+  static void TearDownTestSuite() {
+    delete PM;
+    PM = nullptr;
+    delete M;
+    M = nullptr;
+  }
 
+  static Module *M;
+  static PreparedModule *PM;
+};
+
+Module *RetirementProbeTest::M = nullptr;
+PreparedModule *RetirementProbeTest::PM = nullptr;
+
+TEST_F(RetirementProbeTest, RetirementFiresOnBehaviourShift) {
   RunStatus S;
-  TraceVM Good = runProbe(PM, CacheFault::None, &S);
+  TraceVM Good = runProbe(*PM, CacheFault::None, &S);
   EXPECT_GT(Good.stats().TracesRetired, 0u)
       << "the healthy cache must retire the warmup trace once its "
          "observed completion collapses";
   EXPECT_TRUE(checkTraceVm(Good, S).empty())
       << formatViolations(checkTraceVm(Good, S));
+}
 
-  TraceVM Bad = runProbe(PM, CacheFault::SkipRetirement, &S);
+TEST_F(RetirementProbeTest, SkipRetirementFaultSuppressesItAndIsFlagged) {
+  RunStatus S;
+  TraceVM Bad = runProbe(*PM, CacheFault::SkipRetirement, &S);
   EXPECT_EQ(Bad.stats().TracesRetired, 0u);
   std::vector<Violation> Vs = checkTraceVm(Bad, S);
   bool SawRetirementLaw = false;
@@ -297,6 +322,19 @@ TEST(FaultInjectionTest, RetirementFiresOnBehaviourShiftAndFaultSuppressesIt) {
       << "the invariant audit must flag the surviving under-performer; "
          "violations were:\n"
       << formatViolations(Vs);
+}
+
+TEST_F(RetirementProbeTest, ProbeRunsAreDeterministic) {
+  // A PreparedModule carries no mutable run state, so back-to-back runs
+  // must agree bit-for-bit -- the invariant that lets this fixture share
+  // one instance across cases and test binaries under `ctest -j`.
+  RunStatus S1, S2;
+  TraceVM A = runProbe(*PM, CacheFault::None, &S1);
+  TraceVM B = runProbe(*PM, CacheFault::None, &S2);
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(A.machine().output(), B.machine().output());
+  EXPECT_EQ(A.stats().digest(), B.stats().digest());
+  EXPECT_EQ(A.stats().TracesRetired, B.stats().TracesRetired);
 }
 
 #endif // JTC_TELEMETRY

@@ -12,10 +12,14 @@
 
 #include "TestPrograms.h"
 #include "analysis/Analysis.h"
+#include "text/AsmParser.h"
+#include "validate/Validator.h"
 #include "vm/TraceVM.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 using namespace jtc;
 
@@ -876,4 +880,110 @@ TEST(OptimizerTest, WorkloadSegmentsWithFactsStayEquivalentAtExits) {
                    ExitCompared, Seed += 500);
   }
   EXPECT_GT(ExitCompared, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Translation validation of every pass combination (src/validate)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The ablation grid: all passes stacked, none, each alone, and each
+/// individually disabled.
+std::vector<std::pair<std::string, OptConfig>> ablationConfigs() {
+  auto Toggle = [](OptConfig &C, unsigned I, bool On) {
+    switch (I) {
+    case 0:
+      C.FoldConstants = On;
+      break;
+    case 1:
+      C.ForwardLoads = On;
+      break;
+    case 2:
+      C.DeferStores = On;
+      break;
+    case 3:
+      C.EliminateGuards = On;
+      break;
+    case 4:
+      C.LivenessAtExits = On;
+      break;
+    }
+  };
+  const char *Names[] = {"fold", "forward", "defer", "elim-guards",
+                         "liveness"};
+  std::vector<std::pair<std::string, OptConfig>> Out;
+  Out.emplace_back("stacked", OptConfig());
+  OptConfig AllOff;
+  for (unsigned I = 0; I < 5; ++I)
+    Toggle(AllOff, I, false);
+  Out.emplace_back("none", AllOff);
+  for (unsigned I = 0; I < 5; ++I) {
+    OptConfig Alone = AllOff;
+    Toggle(Alone, I, true);
+    Out.emplace_back(std::string(Names[I]) + "-alone", Alone);
+    OptConfig Without;
+    Toggle(Without, I, false);
+    Out.emplace_back(std::string("no-") + Names[I], Without);
+  }
+  return Out;
+}
+
+/// Optimizes every live-trace segment of an already-run \p VM under every
+/// ablation config and demands the validator accepts each result.
+unsigned expectAllConfigsValidate(const PreparedModule &PM, const TraceVM &VM,
+                                  const analysis::ModuleAnalysis *Facts,
+                                  const std::string &Tag) {
+  unsigned Checked = 0;
+  for (const auto &[Name, Cfg] : ablationConfigs()) {
+    for (const Trace &T : VM.traceCache().traces()) {
+      if (!T.Alive)
+        continue;
+      for (const LinearSegment &Seg : linearizeTrace(PM, T, false, Facts)) {
+        OptStats St;
+        LinearSegment Opt = optimizeSegment(Seg, St, Cfg);
+        validate::Result R = validate::validateSegment(Seg, Opt);
+        EXPECT_TRUE(R.Ok)
+            << Tag << " [" << Name << "] trace " << T.Id << ": "
+            << validate::reasonName(R.Why) << ": " << R.Detail;
+        ++Checked;
+      }
+    }
+  }
+  return Checked;
+}
+
+} // namespace
+
+TEST(ValidatorAblationTest, EveryPassAloneAndStackedValidatesOnAllWorkloads) {
+  for (const WorkloadInfo &W : allWorkloads()) {
+    Module M = W.Build(std::max(1u, W.DefaultScale / 100));
+    PreparedModule PM(M);
+    analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
+    TraceVM VM(PM, VmOptions());
+    VM.run();
+    EXPECT_GT(expectAllConfigsValidate(PM, VM, &Facts, W.Name), 0u) << W.Name;
+  }
+}
+
+TEST(ValidatorAblationTest, EveryPassValidatesOnFuzzCorpusRepros) {
+  // The checked-in fuzz regression programs exercise shapes the workloads
+  // do not (heap traffic, traps, deep dispatch); the optimizer must prove
+  // through on their traces under every pass combination too.
+  unsigned Checked = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(JTC_OPT_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".jasm")
+      continue;
+    std::string Path = Entry.path().string();
+    std::string Error;
+    std::optional<Module> M = parseModuleFile(Path, Error);
+    ASSERT_TRUE(M.has_value()) << Path << ": " << Error;
+    PreparedModule PM(*M);
+    analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(*M);
+    TraceVM VM(PM, VmOptions().startStateDelay(1).decayInterval(32));
+    VM.run();
+    Checked += expectAllConfigsValidate(PM, VM, &Facts, Path);
+  }
+  EXPECT_GT(Checked, 0u) << "corpus repros must produce validatable traces";
 }

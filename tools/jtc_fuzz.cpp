@@ -20,6 +20,9 @@
 ///   --inject=<fault>     deliberately break the trace cache and expect
 ///                        the oracle to notice: skip-invalidation or
 ///                        skip-retirement (self-test mode)
+///   --validate=<mode>    trace validation in the grid VMs: off, on
+///                        (default) or strict (abort on any rejection)
+///   --no-validate-audit  skip the offline validator-vs-oracle audit
 ///   --repro-dir=<dir>    write failing cases as .jasm reproducers
 ///   --json[=<file>]      campaign report as JSON (stdout if no file)
 ///   --features=<csv>     (gen) enable only the listed statement features:
@@ -71,6 +74,7 @@ int usage() {
          "               --max-failures=N --max-instr=N --no-minimize\n"
          "               --no-traps --no-net --no-threaded --no-refinement\n"
          "               --no-persist-audit --no-btrace-audit\n"
+         "               --validate=off|on|strict --no-validate-audit\n"
          "               --inject=skip-invalidation|skip-retirement\n"
          "               --repro-dir=DIR --json[=FILE]\n"
          "  replay options: --max-instr=N --no-net --no-threaded\n"
@@ -88,6 +92,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
   Opts.Fuzz.Gen.Features.Traps = true;
   bool NoMinimize = false, NoTraps = false, NoNet = false, NoThreaded = false;
   bool NoRefinement = false, NoPersistAudit = false, NoBtraceAudit = false;
+  bool NoValidateAudit = false;
   ArgParser P;
   P.positionals(&Opts.Files)
       .custom(
@@ -117,6 +122,17 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
       .flag("no-refinement", &NoRefinement)
       .flag("no-persist-audit", &NoPersistAudit)
       .flag("no-btrace-audit", &NoBtraceAudit)
+      .flag("no-validate-audit", &NoValidateAudit)
+      .custom(
+          "validate",
+          [&Opts](const std::string &V) {
+            if (!parseValidateMode(V, Opts.Fuzz.Oracle.Validate)) {
+              std::cerr << "unknown validate mode '" << V << "'\n";
+              return false;
+            }
+            return true;
+          },
+          /*ValueRequired=*/true)
       .custom(
           "inject",
           [&Opts](const std::string &F) {
@@ -193,6 +209,8 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
     Opts.Fuzz.Oracle.CheckPersist = false;
   if (NoBtraceAudit)
     Opts.Fuzz.Oracle.CheckBtrace = false;
+  if (NoValidateAudit)
+    Opts.Fuzz.Oracle.CheckValidate = false;
   return true;
 }
 

@@ -27,6 +27,8 @@
 ///                          (default 4096)
 ///     --btrace-keep=<n>    keep at most n streams per module (default 4,
 ///                          0 = keep everything)
+///     --validate=<mode>    trace translation validation: off, on
+///                          (default) or strict (abort on rejection)
 ///     --no-warm            disable trace-cache warm handoff
 ///     --no-traces          profile only, no trace dispatch
 ///     --no-profile         plain block interpreter sessions
@@ -66,6 +68,7 @@ struct Options {
   std::string BtraceDir; ///< Per-session capture directory (empty = off).
   uint32_t BtraceSyncInterval = 4096;
   uint32_t BtraceKeep = 4;
+  ValidateMode Validate = ValidateMode::On;
   bool NoWarm = false;
   bool NoTraces = false;
   bool NoProfile = false;
@@ -83,7 +86,7 @@ int usage() {
                "  --save-profile=DIR --load-profile=DIR "
                "--checkpoint-interval=SECONDS\n"
                "  --btrace-dir=DIR --btrace-sync-interval=N --btrace-keep=N\n"
-               "  --stats --json[=FILE]\n"
+               "  --validate=off|on|strict --stats --json[=FILE]\n"
                "  workloads:";
   for (const WorkloadInfo &W : allWorkloads())
     std::cerr << " " << W.Name;
@@ -108,6 +111,16 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .strOpt("btrace-dir", &Opts.BtraceDir)
       .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
       .u32Opt("btrace-keep", &Opts.BtraceKeep)
+      .custom(
+          "validate",
+          [&Opts](const std::string &V) {
+            if (!parseValidateMode(V, Opts.Validate)) {
+              std::cerr << "unknown validate mode '" << V << "'\n";
+              return false;
+            }
+            return true;
+          },
+          /*ValueRequired=*/true)
       .flag("no-warm", &Opts.NoWarm)
       .flag("no-traces", &Opts.NoTraces)
       .flag("no-profile", &Opts.NoProfile)
@@ -157,6 +170,7 @@ void writeServeJson(std::ostream &OS, const Options &Opts, const VmService &Svc,
       .fieldBool("warm_handoff", !Opts.NoWarm)
       .fieldBool("traces", !Opts.NoTraces)
       .fieldBool("profiling", !Opts.NoProfile)
+      .field("validate", validateModeName(Opts.Validate))
       .endObject();
   W.fieldReal("wall_seconds", WallSeconds);
   W.fieldReal("requests_per_second",
@@ -203,7 +217,8 @@ int main(int Argc, char **Argv) {
                             .maxInstructions(Opts.MaxInstructions)
                             .traces(!Opts.NoTraces)
                             .profiling(!Opts.NoProfile)
-                            .btraceSyncInterval(Opts.BtraceSyncInterval)));
+                            .btraceSyncInterval(Opts.BtraceSyncInterval)
+                            .validate(Opts.Validate)));
   for (const WorkloadInfo *W : Ws)
     Svc.registerWorkload(*W, Opts.Scale);
 
@@ -239,6 +254,10 @@ int main(int Argc, char **Argv) {
               << " req/s)\n"
               << "sessions:  " << S.WarmStarts << " warm, " << S.ColdStarts
               << " cold, " << S.SnapshotsPublished << " snapshots published\n";
+    if (Opts.Validate != ValidateMode::Off)
+      std::cout << "validation: " << S.Aggregate.TracesValidated
+                << " traces checked, " << S.Aggregate.TraceValidationRejects
+                << " rejected\n";
     if (!Opts.SaveProfileDir.empty() || !Opts.LoadProfileDir.empty())
       std::cout << "checkpoints: " << S.CheckpointsSaved << " saved, "
                 << S.CheckpointsLoaded << " loaded, "

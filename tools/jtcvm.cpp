@@ -40,6 +40,9 @@
 ///                        (default 4096; 0 = none)
 ///   --replay=<f>         do not execute: replay the .btc stream against
 ///                        <program> and verify the stats digest
+///   --validate=<mode>    construction-time translation validation of
+///                        optimized traces: off, on (default) or strict
+///                        (abort the process on any rejection)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +57,7 @@
 #include "telemetry/Export.h"
 #include "text/AsmParser.h"
 #include "text/AsmWriter.h"
+#include "validate/Validator.h"
 #include "vm/TraceVM.h"
 #include "workloads/Workloads.h"
 
@@ -95,6 +99,7 @@ struct Options {
   std::string BtraceOut;   ///< .btc branch-trace capture file.
   uint32_t BtraceSyncInterval = 4096;
   std::string Replay;       ///< .btc stream to replay instead of running.
+  ValidateMode Validate = ValidateMode::On;
   uint32_t ResolvedScale = 1; ///< Actual workload scale (after defaults).
 
   /// Any flag that needs the event ring or phase sampler.
@@ -119,7 +124,8 @@ int usage() {
                "               --sample-interval=N --telemetry-cap=N\n"
                "               --load-profile=FILE --save-profile=FILE\n"
                "               --btrace-out=FILE --btrace-sync-interval=N "
-               "--replay=FILE\n";
+               "--replay=FILE\n"
+               "               --validate=off|on|strict\n";
   return 2;
 }
 
@@ -153,6 +159,16 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .strOpt("btrace-out", &Opts.BtraceOut)
       .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
       .strOpt("replay", &Opts.Replay)
+      .custom(
+          "validate",
+          [&Opts](const std::string &V) {
+            if (!parseValidateMode(V, Opts.Validate)) {
+              std::cerr << "unknown validate mode '" << V << "'\n";
+              return false;
+            }
+            return true;
+          },
+          /*ValueRequired=*/true)
       .uintOpt("sample-interval", &Opts.SampleInterval)
       .custom(
           "telemetry-cap",
@@ -269,6 +285,24 @@ void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
         .fieldBool("dropped", ES.Dropped)
         .endObject();
   }
+  // The validation verdict breakdown: how many constructed/seeded traces
+  // the translation validator checked, and the rejections by typed
+  // reason. Omitted entirely with --validate=off (nothing ran).
+  if (VM.options().validate() != ValidateMode::Off) {
+    const TraceCache::CacheStats &CS = VM.traceCache().stats();
+    W.key("validation")
+        .beginObject()
+        .field("mode", validateModeName(VM.options().validate()))
+        .fieldUInt("checked", CS.TracesValidated)
+        .fieldUInt("accepted", CS.TracesValidated - CS.ValidationRejects)
+        .fieldUInt("rejected", CS.ValidationRejects);
+    W.key("rejected_by_reason").beginObject();
+    for (const auto &[Code, Count] : CS.RejectsByReason)
+      W.fieldUInt(
+          validate::reasonName(static_cast<validate::Reason>(Code)), Count);
+    W.endObject();
+    W.endObject();
+  }
   W.key("stats").beginObject();
   VM.stats().writeJsonFields(W);
   W.endObject();
@@ -351,7 +385,8 @@ int cmdRun(const Options &Opts, const Module &M) {
                      .sampleInterval(Opts.SampleInterval)
                      .loadProfilePath(Opts.LoadProfile)
                      .saveProfilePath(Opts.SaveProfile)
-                     .btraceSyncInterval(Opts.BtraceSyncInterval));
+                     .btraceSyncInterval(Opts.BtraceSyncInterval)
+                     .validate(Opts.Validate));
   persist::LoadReport Loaded;
   persist::PersistError PErr;
   if (!persist::applyProfileOptions(VM, Loaded, PErr)) {
