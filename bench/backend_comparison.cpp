@@ -1,0 +1,126 @@
+//===- bench/backend_comparison.cpp - Table VII rerun across backends -----===//
+///
+/// The Table VII workload set rerun on both trace-execution tiers: each
+/// workload is timed end-to-end under --backend=interp and --backend=jit
+/// (best of N runs), with the interp/JIT equivalence contract asserted
+/// on the way (identical folded stats digests -- a mismatch aborts, the
+/// numbers would be meaningless). The interesting columns are the net
+/// speedup of the template-JIT tier over block-stepping the same traces
+/// and how much of the run the compiled tier actually served.
+///
+/// JSON artifact: one record per workload; "overhead" reuses the
+/// OverheadSample shape with plain_seconds = the interp-backend wall
+/// time and profiled_seconds = the jit-backend wall time, and "stats"
+/// is the jit run's statistics block (whose tier counters report traces
+/// compiled, native dispatches and code bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Verifier.h"
+#include "harness/Experiment.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace jtc;
+
+namespace {
+
+VmOptions tierOptions(backend::BackendKind K) {
+  // The recommended configuration of the Table VII experiment, with
+  // immediate promotion so the jit tier serves every hot dispatch.
+  return VmOptions()
+      .completionThreshold(0.97)
+      .startStateDelay(64)
+      .backend(K)
+      .jitPromoteAfter(0);
+}
+
+/// Best-of-\p Repeats wall seconds for \p PM under \p Options; the
+/// digest and stats of the last run are returned through the outs.
+double timeRuns(const PreparedModule &PM, const VmOptions &Options,
+                int Repeats, VmStats &Stats) {
+  double Best = 1e100;
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    TraceVM VM(PM, Options);
+    Timer T;
+    RunResult R = VM.run();
+    double Sec = T.seconds();
+    if (R.Status == RunStatus::Trapped) {
+      std::fprintf(stderr, "workload trapped: %s\n", trapName(R.Trap));
+      std::abort();
+    }
+    if (Sec < Best)
+      Best = Sec;
+    Stats = VM.currentStats();
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonOut = parseBenchJsonArg(argc, argv, "backend_comparison");
+  if (!backend::jitSupportedHost()) {
+    std::cout << "backend_comparison: no template-JIT support on this host; "
+                 "nothing to compare\n";
+    return 0;
+  }
+  std::cout << "Backend comparison: Table VII workloads, interp vs jit "
+               "trace tier\n\n";
+
+  TablePrinter T({"benchmark", "interp (s)", "jit (s)", "speedup",
+                  "traces compiled", "jit dispatch share"});
+  std::vector<BenchRecord> Records;
+  int Faster = 0;
+  for (const WorkloadInfo &W : allWorkloads()) {
+    std::cerr << "  timing " << W.Name << "...\n";
+    Module M = W.Build(W.DefaultScale);
+    std::vector<VerifyError> Errors = verifyModule(M);
+    if (!Errors.empty()) {
+      std::fprintf(stderr, "workload '%s' failed verification\n", W.Name);
+      return 1;
+    }
+    PreparedModule PM(M);
+    VmStats SI, SJ;
+    double InterpSec =
+        timeRuns(PM, tierOptions(backend::BackendKind::Interp), 3, SI);
+    double JitSec = timeRuns(PM, tierOptions(backend::BackendKind::Jit), 3, SJ);
+    // The equivalence contract gates the comparison: same digest or the
+    // two tiers did not run the same execution.
+    if (SI.digest() != SJ.digest()) {
+      std::fprintf(stderr,
+                   "backend digest mismatch on '%s': interp %llx, jit %llx\n",
+                   W.Name, static_cast<unsigned long long>(SI.digest()),
+                   static_cast<unsigned long long>(SJ.digest()));
+      return 1;
+    }
+    if (JitSec < InterpSec)
+      ++Faster;
+    uint64_t TierTotal = SJ.TraceDispatchesJit + SJ.TraceDispatchesInterp;
+    double JitShare =
+        TierTotal ? static_cast<double>(SJ.TraceDispatchesJit) /
+                        static_cast<double>(TierTotal)
+                  : 0.0;
+    T.addRow({W.Name, TablePrinter::fmt(InterpSec, 3),
+              TablePrinter::fmt(JitSec, 3),
+              TablePrinter::fmt(InterpSec / JitSec, 2) + "x",
+              std::to_string(SJ.TracesJitCompiled),
+              TablePrinter::fmtPercent(JitShare, 1)});
+    BenchRecord R = BenchRecord::forStats(W.Name, 0.97, 64, SJ);
+    R.HasOverhead = true;
+    R.Overhead.PlainSeconds = InterpSec;
+    R.Overhead.ProfiledSeconds = JitSec;
+    R.Overhead.Dispatches = SJ.TraceDispatches;
+    R.Overhead.Instructions = SJ.Instructions;
+    Records.push_back(std::move(R));
+  }
+  T.print(std::cout);
+  std::cout << "\njit faster on " << Faster << "/"
+            << allWorkloads().size() << " workloads\n";
+  maybeWriteBenchJson(JsonOut, "backend_comparison", Records);
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- backend/BackendKind.h - Trace-execution tier selection ---*- C++ -*-===//
+///
+/// \file
+/// The backend knob: which tier executes dispatched traces. Kept in its
+/// own header (enum + names only) so VmOptions can carry the knob without
+/// depending on the execution machinery in TraceBackend.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_BACKEND_BACKENDKIND_H
+#define JTC_BACKEND_BACKENDKIND_H
+
+#include <cstdint>
+#include <string>
+
+namespace jtc {
+namespace backend {
+
+/// Which TraceBackend executes dispatched traces (the CLI spelling of
+/// --backend=).
+enum class BackendKind : uint8_t {
+  Interp, ///< Block-step every trace through the interpreter (the
+          ///< pre-seam behaviour; the differential-fuzzing oracle).
+  Jit,    ///< Compile hot completed traces to x86-64 template code; a
+          ///< trace that cannot compile (or a non-x86-64 host) falls
+          ///< back to the interpreter backend transparently.
+  Auto,   ///< Jit when the host supports it, Interp otherwise.
+};
+
+inline const char *backendKindName(BackendKind K) {
+  switch (K) {
+  case BackendKind::Interp:
+    return "interp";
+  case BackendKind::Jit:
+    return "jit";
+  case BackendKind::Auto:
+    return "auto";
+  }
+  return "interp";
+}
+
+/// Parses "interp" / "jit" / "auto".
+inline bool parseBackendKind(const std::string &V, BackendKind &Out) {
+  if (V == "interp")
+    Out = BackendKind::Interp;
+  else if (V == "jit")
+    Out = BackendKind::Jit;
+  else if (V == "auto")
+    Out = BackendKind::Auto;
+  else
+    return false;
+  return true;
+}
+
+} // namespace backend
+} // namespace jtc
+
+#endif // JTC_BACKEND_BACKENDKIND_H

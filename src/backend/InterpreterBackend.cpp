@@ -1,0 +1,64 @@
+//===- backend/InterpreterBackend.cpp - Block-stepping trace tier ---------===//
+
+#include "backend/InterpreterBackend.h"
+
+#include "interp/BlockStepper.h"
+
+#include <cassert>
+
+namespace jtc {
+namespace backend {
+
+TraceRunResult stepTrace(const Trace &T, TraceRunContext &Ctx) {
+  BlockStepper &S = Ctx.Stepper;
+  assert(S.currentBlock() == T.Blocks.front() &&
+         "stepper not positioned at the trace entry");
+
+  const uint64_t Start = S.instructions();
+  // Absolute instruction count at which the session budget cuts the run.
+  // The check is block-granular and sits after the status check, matching
+  // the live loop it replaces.
+  const uint64_t Stop = Ctx.RemainingBudget > ~0ull - Start
+                            ? ~0ull
+                            : Start + Ctx.RemainingBudget;
+
+  TraceRunResult R;
+  for (size_t I = 0; I < T.Blocks.size(); ++I) {
+    BlockStepper::StepStatus St = S.step();
+    R.BlocksRun = static_cast<uint32_t>(I + 1);
+    R.Instructions = S.instructions() - Start;
+    if (St == BlockStepper::StepStatus::Trapped) {
+      R.End = TraceRunEnd::Trapped;
+      return R;
+    }
+    if (St == BlockStepper::StepStatus::Finished) {
+      R.End = TraceRunEnd::Finished;
+      return R;
+    }
+    if (S.instructions() >= Stop) {
+      R.End = TraceRunEnd::Budget;
+      return R;
+    }
+    BlockId Next = S.currentBlock();
+    if (I + 1 == T.Blocks.size()) {
+      R.End = TraceRunEnd::Completed;
+      R.NextBlock = Next;
+      return R;
+    }
+    if (Next != T.Blocks[I + 1]) {
+      R.End = TraceRunEnd::Diverged;
+      R.NextBlock = Next;
+      return R;
+    }
+  }
+  assert(false && "trace has no blocks");
+  return R;
+}
+
+TraceRunResult InterpreterBackend::run(const Trace &T, TraceRunContext &Ctx) {
+  ++Stats.InterpDispatches;
+  return stepTrace(T, Ctx);
+}
+
+} // namespace backend
+} // namespace jtc

@@ -1,0 +1,947 @@
+//===- backend/JitBackend.cpp - x86-64 template JIT trace tier ------------===//
+
+#include "backend/JitBackend.h"
+
+#include "analysis/Analysis.h"
+#include "backend/InterpreterBackend.h"
+#include "backend/TraceIR.h"
+#include "backend/X64Emitter.h"
+#include "interp/BlockStepper.h"
+#include "interp/PreparedModule.h"
+#include "runtime/Machine.h"
+#include "telemetry/EventRing.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define JTC_HAVE_MMAP 1
+#endif
+
+namespace jtc {
+namespace backend {
+
+// The templates address JitContext fields by these constants; keep the
+// struct layout and the generated code in lockstep.
+static constexpr int32_t CtxMach = 0;
+static constexpr int32_t CtxLocals = 8;
+static constexpr int32_t CtxTop = 16;
+static constexpr int32_t CtxExit = 24;
+static constexpr int32_t CtxPayload = 32;
+static_assert(offsetof(JitContext, Mach) == CtxMach, "ABI drift");
+static_assert(offsetof(JitContext, Locals) == CtxLocals, "ABI drift");
+static_assert(offsetof(JitContext, StackTop) == CtxTop, "ABI drift");
+static_assert(offsetof(JitContext, ExitIndex) == CtxExit, "ABI drift");
+static_assert(offsetof(JitContext, ExitPayload) == CtxPayload, "ABI drift");
+
+// Pinned registers (all callee-saved; see JitBackend.h).
+static constexpr Reg CtxReg = Reg::Rbx;
+static constexpr Reg LocalsReg = Reg::R13;
+static constexpr Reg TopReg = Reg::R14;
+static constexpr Reg MachReg = Reg::R15;
+
+//===----------------------------------------------------------------------===//
+// Runtime helpers
+//
+// Heap-touching ops go through these instead of inline code: heap cells
+// are nested std::vectors, so their semantics stay defined once, in C++,
+// byte-identical to Machine::execOne. Helpers set Machine::trap()
+// themselves and report "trapped" through the second return register;
+// they never touch the Machine's operand stack or locals arenas (the
+// template code owns those via pinned pointers).
+//===----------------------------------------------------------------------===//
+
+extern "C" {
+
+/// Returned in rax (Value) and rdx (Trap) under the SysV ABI.
+struct JitHelperResult {
+  int64_t Value;
+  uint64_t Trap;
+};
+
+static JitHelperResult jtcJitIaload(Machine *M, int64_t Ref, int64_t Idx) {
+  Heap &H = M->heap();
+  if (!H.isLive(Ref) || H.classOf(Ref) != Heap::ArrayClass) {
+    M->setTrap(TrapKind::NullReference);
+    return {0, 1};
+  }
+  if (Idx < 0 || static_cast<size_t>(Idx) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::ArrayBounds);
+    return {0, 1};
+  }
+  return {H.load(Ref, static_cast<size_t>(Idx)), 0};
+}
+
+static uint64_t jtcJitIastore(Machine *M, int64_t Ref, int64_t Idx,
+                              int64_t Value) {
+  Heap &H = M->heap();
+  if (!H.isLive(Ref) || H.classOf(Ref) != Heap::ArrayClass) {
+    M->setTrap(TrapKind::NullReference);
+    return 1;
+  }
+  if (Idx < 0 || static_cast<size_t>(Idx) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::ArrayBounds);
+    return 1;
+  }
+  H.store(Ref, static_cast<size_t>(Idx), Value);
+  return 0;
+}
+
+static JitHelperResult jtcJitArrayLength(Machine *M, int64_t Ref) {
+  Heap &H = M->heap();
+  if (!H.isLive(Ref) || H.classOf(Ref) != Heap::ArrayClass) {
+    M->setTrap(TrapKind::NullReference);
+    return {0, 1};
+  }
+  return {static_cast<int64_t>(H.slotCount(Ref)), 0};
+}
+
+static JitHelperResult jtcJitGetField(Machine *M, int64_t Ref, int64_t Slot) {
+  Heap &H = M->heap();
+  if (!H.isLive(Ref) || H.classOf(Ref) == Heap::ArrayClass) {
+    M->setTrap(TrapKind::NullReference);
+    return {0, 1};
+  }
+  if (static_cast<size_t>(Slot) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::FieldBounds);
+    return {0, 1};
+  }
+  return {H.load(Ref, static_cast<size_t>(Slot)), 0};
+}
+
+static uint64_t jtcJitPutField(Machine *M, int64_t Ref, int64_t Slot,
+                               int64_t Value) {
+  Heap &H = M->heap();
+  if (!H.isLive(Ref) || H.classOf(Ref) == Heap::ArrayClass) {
+    M->setTrap(TrapKind::NullReference);
+    return 1;
+  }
+  if (static_cast<size_t>(Slot) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::FieldBounds);
+    return 1;
+  }
+  H.store(Ref, static_cast<size_t>(Slot), Value);
+  return 0;
+}
+
+static JitHelperResult jtcJitNew(Machine *M, int64_t ClassId) {
+  const Class &C = M->module().Classes[static_cast<size_t>(ClassId)];
+  int64_t Ref = M->heap().allocObject(static_cast<uint32_t>(ClassId),
+                                      C.NumFields);
+  if (Ref == Heap::Null) {
+    M->setTrap(TrapKind::OutOfMemory);
+    return {0, 1};
+  }
+  return {Ref, 0};
+}
+
+static JitHelperResult jtcJitNewArray(Machine *M, int64_t Len) {
+  if (Len < 0) {
+    M->setTrap(TrapKind::NegativeArraySize);
+    return {0, 1};
+  }
+  int64_t Ref = M->heap().allocArray(Len);
+  if (Ref == Heap::Null) {
+    M->setTrap(TrapKind::OutOfMemory);
+    return {0, 1};
+  }
+  return {Ref, 0};
+}
+
+static void jtcJitIprint(Machine *M, int64_t Value) {
+  M->appendOutput(Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame helpers
+//
+// Calls and returns inside a trace run the Machine's real frame machinery.
+// Protocol: shrink the over-extended operand arena to the live top (the
+// frame ops work on the vector's end), run the frame op, re-extend by the
+// trace's stack slack, and publish the -- possibly reallocated -- top and
+// locals pointers back through the JitContext; the template reloads its
+// pinned registers afterwards. Return code: 0 = continue on trace,
+// 1 = trapped, 2 = diverged (JC->ExitPayload holds where execution
+// actually went), 3 = program finished (bottom-frame return).
+//===----------------------------------------------------------------------===//
+
+static uint64_t jtcJitCallStatic(JitContext *JC, uint64_t Callee,
+                                 uint64_t ReturnPc, uint64_t Slack) {
+  Machine *M = JC->Mach;
+  size_t Top = static_cast<size_t>(JC->StackTop - M->operandStackData());
+  M->resizeOperandStack(Top);
+  if (!M->pushFrame(static_cast<uint32_t>(Callee),
+                    static_cast<uint32_t>(ReturnPc))) {
+    // StackOverflow trap, args left on the stack (pushFrame's contract).
+    JC->StackTop = M->operandStackData() + M->operandStackSize();
+    return 1;
+  }
+  size_t NewTop = M->operandStackSize();
+  M->resizeOperandStack(NewTop + Slack);
+  JC->StackTop = M->operandStackData() + NewTop;
+  JC->Locals = M->currentLocalsData();
+  return 0;
+}
+
+static uint64_t jtcJitCallVirtual(JitContext *JC, uint64_t SlotId,
+                                  uint64_t ReturnPc, uint64_t Expect,
+                                  uint64_t Slack) {
+  Machine *M = JC->Mach;
+  size_t Top = static_cast<size_t>(JC->StackTop - M->operandStackData());
+  M->resizeOperandStack(Top);
+  // Resolution replicates execOne's InvokeVirtual: receiver liveness, then
+  // vtable dispatch, trapping *before* the args are consumed.
+  const Module &Mod = M->module();
+  const SlotInfo &Slot = Mod.Slots[static_cast<size_t>(SlotId)];
+  int64_t Receiver = M->operandStackData()[Top - Slot.ArgCount];
+  Heap &H = M->heap();
+  if (!H.isLive(Receiver)) {
+    M->setTrap(TrapKind::NullReference);
+    JC->StackTop = M->operandStackData() + Top;
+    return 1;
+  }
+  uint32_t ClassId = H.classOf(Receiver);
+  uint32_t Callee = ClassId == Heap::ArrayClass
+                        ? InvalidMethod
+                        : Mod.Classes[ClassId].Vtable[static_cast<size_t>(
+                              SlotId)];
+  if (Callee == InvalidMethod) {
+    M->setTrap(TrapKind::BadVirtualDispatch);
+    JC->StackTop = M->operandStackData() + Top;
+    return 1;
+  }
+  if (!M->pushFrame(Callee, static_cast<uint32_t>(ReturnPc))) {
+    JC->StackTop = M->operandStackData() + M->operandStackSize();
+    return 1;
+  }
+  size_t NewTop = M->operandStackSize();
+  M->resizeOperandStack(NewTop + Slack);
+  JC->StackTop = M->operandStackData() + NewTop;
+  JC->Locals = M->currentLocalsData();
+  JC->ExitPayload = Callee;
+  return Expect != InvalidMethod && Callee != Expect ? 2 : 0;
+}
+
+static uint64_t jtcJitRet(JitContext *JC, uint64_t HasValue,
+                          uint64_t ExpectMethod, uint64_t ExpectPc,
+                          uint64_t Slack) {
+  Machine *M = JC->Mach;
+  size_t Top = static_cast<size_t>(JC->StackTop - M->operandStackData());
+  M->resizeOperandStack(Top);
+  Machine::PopInfo Info = M->popFrame(HasValue != 0);
+  if (Info.BottomFrame) {
+    JC->StackTop = M->operandStackData() + M->operandStackSize();
+    return 3;
+  }
+  size_t NewTop = M->operandStackSize();
+  M->resizeOperandStack(NewTop + Slack);
+  JC->StackTop = M->operandStackData() + NewTop;
+  JC->Locals = M->currentLocalsData();
+  JC->ExitPayload = Info.ReturnPc;
+  return ExpectMethod != InvalidMethod &&
+                 (M->currentMethodId() != ExpectMethod ||
+                  Info.ReturnPc != ExpectPc)
+             ? 2
+             : 0;
+}
+
+} // extern "C"
+
+//===----------------------------------------------------------------------===//
+// CodeArena
+//===----------------------------------------------------------------------===//
+
+CodeArena::~CodeArena() {
+#ifdef JTC_HAVE_MMAP
+  for (Chunk &C : Chunks)
+    munmap(C.Base, C.Size);
+#endif
+}
+
+const void *CodeArena::install(const std::vector<uint8_t> &Code) {
+#ifdef JTC_HAVE_MMAP
+  if (Code.empty())
+    return nullptr;
+  Chunk *C = Chunks.empty() ? nullptr : &Chunks.back();
+  if (!C || C->Size - C->Used < Code.size()) {
+    const size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    size_t Size = ((Code.size() + Page - 1) / Page) * Page;
+    if (Size < (64u << 10))
+      Size = 64u << 10;
+    void *Base = mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (Base == MAP_FAILED)
+      return nullptr;
+    Chunks.push_back({static_cast<uint8_t *>(Base), Size, 0});
+    C = &Chunks.back();
+  } else {
+    if (mprotect(C->Base, C->Size, PROT_READ | PROT_WRITE) != 0)
+      return nullptr;
+  }
+  uint8_t *At = C->Base + C->Used;
+  std::memcpy(At, Code.data(), Code.size());
+  C->Used += Code.size();
+  if (mprotect(C->Base, C->Size, PROT_READ | PROT_EXEC) != 0)
+    return nullptr;
+  return At;
+#else
+  (void)Code;
+  return nullptr;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// TraceCompiler: TraceIR -> machine code + exit records
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Signed-compare condition for a branch opcode.
+static Cond condFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEq:
+  case Opcode::IfIcmpEq:
+    return Cond::Eq;
+  case Opcode::IfNe:
+  case Opcode::IfIcmpNe:
+    return Cond::Ne;
+  case Opcode::IfLt:
+  case Opcode::IfIcmpLt:
+    return Cond::Lt;
+  case Opcode::IfGe:
+  case Opcode::IfIcmpGe:
+    return Cond::Ge;
+  case Opcode::IfGt:
+  case Opcode::IfIcmpGt:
+    return Cond::Gt;
+  case Opcode::IfLe:
+  case Opcode::IfIcmpLe:
+    return Cond::Le;
+  default:
+    assert(false && "not a branch opcode");
+    return Cond::Eq;
+  }
+}
+
+static bool isIcmp(Opcode Op) {
+  return Op >= Opcode::IfIcmpEq && Op <= Opcode::IfIcmpLe;
+}
+
+class TraceCompiler {
+public:
+  TraceCompiler(const TraceIR &IR, const PreparedModule &PM)
+      : IR(IR), PM(PM) {}
+
+  /// Emits the whole trace; false on an op the templates cannot express
+  /// (cannot happen for IR produced by lowerTrace, but kept as a safety
+  /// net rather than an assert in release builds).
+  bool emit();
+
+  const std::vector<uint8_t> &code() const { return E.code(); }
+  std::vector<ExitRecord> takeExits() { return std::move(Exits); }
+
+private:
+  // Exit-record plumbing: templates jump to per-record stubs emitted
+  // after the body; each stub stores its record index and joins the
+  // common epilogue.
+  uint32_t addExit(const ExitRecord &R) {
+    Exits.push_back(R);
+    return static_cast<uint32_t>(Exits.size() - 1);
+  }
+  /// Instructions executed once \p Op (at its source position) has: full
+  /// blocks before it, plus the partial block through the op itself.
+  uint64_t instrsThrough(const IrOp &Op) const {
+    const BasicBlock &BB = PM.block(IR.Blocks[Op.SrcBlockIndex]);
+    return IR.InstrPrefix[Op.SrcBlockIndex] + (Op.SrcPc - BB.StartPc + 1);
+  }
+  /// An exit record positioned at \p Op, with interpreter-exact counts.
+  uint32_t exitAt(const IrOp &Op, ExitRecord::Kind K) {
+    ExitRecord R;
+    R.K = K;
+    R.BlocksRun = Op.SrcBlockIndex + 1;
+    R.Instructions = instrsThrough(Op);
+    return addExit(R);
+  }
+  uint32_t trapExit(const IrOp &Op, TrapKind Set) {
+    uint32_t Idx = exitAt(Op, ExitRecord::Kind::Trap);
+    Exits[Idx].TrapToSet = Set;
+    return Idx;
+  }
+  void jumpToExit(size_t Fixup, uint32_t ExitIdx) {
+    ExitFixups.push_back({Fixup, ExitIdx});
+  }
+
+  void prologue();
+  void emitOp(const IrOp &Op);
+  void emitGuard(const IrOp &Op);
+  void emitFrameOp(const IrOp &Op);
+  void emitDivRem(const IrOp &Op, bool Rem);
+  void emitCompletion();
+  void emitStubsAndEpilogue();
+
+  // Template building blocks.
+  void pushRax() {
+    E.movMR(TopReg, 0, Reg::Rax);
+    E.addRI(TopReg, 8);
+  }
+  void popRax() {
+    E.subRI(TopReg, 8);
+    E.movRM(Reg::Rax, TopReg, 0);
+  }
+  void helperCall(const void *Fn) {
+    E.movRI(Reg::Rax, static_cast<int64_t>(reinterpret_cast<uintptr_t>(Fn)));
+    E.callR(Reg::Rax);
+  }
+  /// test rdx, rdx; jnz <trap stub> -- for helpers returning
+  /// JitHelperResult.
+  void helperTrapCheckRdx(const IrOp &Op) {
+    E.testRR(Reg::Rdx, Reg::Rdx);
+    jumpToExit(E.jcc(Cond::Ne), trapExit(Op, TrapKind::None));
+  }
+  /// test rax, rax; jnz <trap stub> -- for helpers returning a bare trap
+  /// flag.
+  void helperTrapCheckRax(const IrOp &Op) {
+    E.testRR(Reg::Rax, Reg::Rax);
+    jumpToExit(E.jcc(Cond::Ne), trapExit(Op, TrapKind::None));
+  }
+
+  const TraceIR &IR;
+  const PreparedModule &PM;
+  X64Emitter E;
+  std::vector<ExitRecord> Exits;
+  std::vector<std::pair<size_t, uint32_t>> ExitFixups;
+  bool Failed = false;
+};
+
+void TraceCompiler::prologue() {
+  E.pushR(Reg::Rbx);
+  E.pushR(Reg::R13);
+  E.pushR(Reg::R14);
+  E.pushR(Reg::R15);
+  // Four pushes put rsp back at 16-byte alignment minus the return
+  // address; one more qword keeps helper call sites ABI-aligned.
+  E.subRI(Reg::Rsp, 8);
+  E.movRR(CtxReg, Reg::Rdi);
+  E.movRM(MachReg, CtxReg, CtxMach);
+  E.movRM(LocalsReg, CtxReg, CtxLocals);
+  E.movRM(TopReg, CtxReg, CtxTop);
+}
+
+void TraceCompiler::emitGuard(const IrOp &Op) {
+  if (isIcmp(Op.I.Op)) {
+    E.movRM(Reg::Rcx, TopReg, -8);  // B
+    E.movRM(Reg::Rax, TopReg, -16); // A
+    E.subRI(TopReg, 16);
+    E.cmpRR(Reg::Rax, Reg::Rcx);
+  } else {
+    E.subRI(TopReg, 8);
+    E.movRM(Reg::Rax, TopReg, 0);
+    E.cmpRI(Reg::Rax, 0);
+  }
+  // The guard asserts the recorded direction; exit when the branch goes
+  // the other way.
+  Cond C = condFor(Op.I.Op);
+  Cond ExitWhen = Op.GuardTaken ? negate(C) : C;
+
+  uint32_t Idx = exitAt(Op, ExitRecord::Kind::Guard);
+  Exits[Idx].Next = Op.Resume;
+  jumpToExit(E.jcc(ExitWhen), Idx);
+}
+
+void TraceCompiler::emitFrameOp(const IrOp &Op) {
+  // Publish the live top: the helper works on the Machine's real stack
+  // state, not the over-extended template view.
+  E.movMR(CtxReg, CtxTop, TopReg);
+  E.movRR(Reg::Rdi, CtxReg);
+  switch (Op.K) {
+  case IrOp::Kind::CallStatic:
+    E.movRI(Reg::Rsi, Op.Callee);
+    E.movRI(Reg::Rdx, Op.ReturnPc);
+    E.movRI(Reg::Rcx, IR.MaxPush);
+    helperCall(reinterpret_cast<const void *>(&jtcJitCallStatic));
+    break;
+  case IrOp::Kind::CallVirtual:
+    E.movRI(Reg::Rsi, Op.I.A); // vtable slot
+    E.movRI(Reg::Rdx, Op.ReturnPc);
+    E.movRI(Reg::Rcx, Op.Callee); // expected callee (InvalidMethod: none)
+    E.movRI(Reg::R8, IR.MaxPush);
+    helperCall(reinterpret_cast<const void *>(&jtcJitCallVirtual));
+    break;
+  default:
+    assert(Op.K == IrOp::Kind::Ret && "not a frame op");
+    E.movRI(Reg::Rsi, Op.HasValue ? 1 : 0);
+    E.movRI(Reg::Rdx, Op.ExpectMethod);
+    E.movRI(Reg::Rcx, Op.ExpectPc);
+    E.movRI(Reg::R8, IR.MaxPush);
+    helperCall(reinterpret_cast<const void *>(&jtcJitRet));
+    break;
+  }
+  // The frame op moved the frame and may have reallocated the arenas;
+  // re-derive the pinned pointers before dispatching on the return code
+  // (0 continue, 1 trap, 2 diverge, 3 finished).
+  E.movRM(LocalsReg, CtxReg, CtxLocals);
+  E.movRM(TopReg, CtxReg, CtxTop);
+  if (Op.K == IrOp::Kind::Ret) {
+    E.cmpRI(Reg::Rax, 3);
+    jumpToExit(E.jcc(Cond::Eq), exitAt(Op, ExitRecord::Kind::Finished));
+    if (Op.ExpectMethod != InvalidMethod) {
+      E.cmpRI(Reg::Rax, 2);
+      jumpToExit(E.jcc(Cond::Eq), exitAt(Op, ExitRecord::Kind::DivergeRet));
+    }
+  } else {
+    E.cmpRI(Reg::Rax, 1);
+    jumpToExit(E.jcc(Cond::Eq), trapExit(Op, TrapKind::None));
+    if (Op.K == IrOp::Kind::CallVirtual && Op.Callee != InvalidMethod) {
+      E.cmpRI(Reg::Rax, 2);
+      jumpToExit(E.jcc(Cond::Eq), exitAt(Op, ExitRecord::Kind::DivergeCallee));
+    }
+  }
+}
+
+void TraceCompiler::emitDivRem(const IrOp &Op, bool Rem) {
+  E.movRM(Reg::Rcx, TopReg, -8);  // B (divisor)
+  E.movRM(Reg::Rax, TopReg, -16); // A (dividend)
+  E.subRI(TopReg, 8);
+  E.testRR(Reg::Rcx, Reg::Rcx);
+  jumpToExit(E.jcc(Cond::Eq), trapExit(Op, TrapKind::DivideByZero));
+  // INT64_MIN / -1 is defined as (INT64_MIN, 0) instead of hardware #DE.
+  E.cmpRI(Reg::Rcx, -1);
+  size_t NotMinus1 = E.jcc(Cond::Ne);
+  E.movRI(Reg::Rdx, std::numeric_limits<int64_t>::min());
+  E.cmpRR(Reg::Rax, Reg::Rdx);
+  size_t NotMin = E.jcc(Cond::Ne);
+  if (Rem)
+    E.movRI(Reg::Rax, 0);
+  size_t Special = E.jmp();
+  E.bind(NotMinus1);
+  E.bind(NotMin);
+  E.cqo();
+  E.idivR(Reg::Rcx);
+  if (Rem)
+    E.movRR(Reg::Rax, Reg::Rdx);
+  E.bind(Special);
+  E.movMR(TopReg, -8, Reg::Rax);
+}
+
+void TraceCompiler::emitOp(const IrOp &Op) {
+  switch (Op.K) {
+  case IrOp::Kind::Guard:
+    emitGuard(Op);
+    return;
+  case IrOp::Kind::CallStatic:
+  case IrOp::Kind::CallVirtual:
+  case IrOp::Kind::Ret:
+    emitFrameOp(Op);
+    return;
+  case IrOp::Kind::Instr:
+    break;
+  }
+
+  const Instruction &I = Op.I;
+  const int32_t LocalOff = I.A * 8; // for the local-slot ops
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::Iconst:
+    E.movMI32(TopReg, 0, I.A);
+    E.addRI(TopReg, 8);
+    break;
+  case Opcode::Iload:
+    E.movRM(Reg::Rax, LocalsReg, LocalOff);
+    pushRax();
+    break;
+  case Opcode::Istore:
+    popRax();
+    E.movMR(LocalsReg, LocalOff, Reg::Rax);
+    break;
+  case Opcode::Iinc:
+    E.movRM(Reg::Rax, LocalsReg, LocalOff);
+    E.addRI(Reg::Rax, I.B);
+    E.movMR(LocalsReg, LocalOff, Reg::Rax);
+    break;
+  case Opcode::Pop:
+    E.subRI(TopReg, 8);
+    break;
+  case Opcode::Dup:
+    E.movRM(Reg::Rax, TopReg, -8);
+    pushRax();
+    break;
+  case Opcode::Swap:
+    E.movRM(Reg::Rax, TopReg, -8);
+    E.movRM(Reg::Rcx, TopReg, -16);
+    E.movMR(TopReg, -8, Reg::Rcx);
+    E.movMR(TopReg, -16, Reg::Rax);
+    break;
+
+  case Opcode::Iadd:
+  case Opcode::Isub:
+  case Opcode::Imul:
+  case Opcode::Iand:
+  case Opcode::Ior:
+  case Opcode::Ixor:
+    E.movRM(Reg::Rax, TopReg, -16); // A
+    switch (I.Op) {
+    case Opcode::Iadd:
+      E.addRM(Reg::Rax, TopReg, -8);
+      break;
+    case Opcode::Isub:
+      E.subRM(Reg::Rax, TopReg, -8);
+      break;
+    case Opcode::Imul:
+      E.imulRM(Reg::Rax, TopReg, -8);
+      break;
+    case Opcode::Iand:
+      E.andRM(Reg::Rax, TopReg, -8);
+      break;
+    case Opcode::Ior:
+      E.orRM(Reg::Rax, TopReg, -8);
+      break;
+    default:
+      E.xorRM(Reg::Rax, TopReg, -8);
+      break;
+    }
+    E.subRI(TopReg, 8);
+    E.movMR(TopReg, -8, Reg::Rax);
+    break;
+
+  case Opcode::Idiv:
+    emitDivRem(Op, /*Rem=*/false);
+    break;
+  case Opcode::Irem:
+    emitDivRem(Op, /*Rem=*/true);
+    break;
+
+  case Opcode::Ineg:
+    E.movRM(Reg::Rax, TopReg, -8);
+    E.negR(Reg::Rax);
+    E.movMR(TopReg, -8, Reg::Rax);
+    break;
+
+  case Opcode::Ishl:
+  case Opcode::Ishr:
+  case Opcode::Iushr:
+    // Hardware masks cl to 63 in 64-bit mode, which is exactly the
+    // interpreter's `B & 63`.
+    E.movRM(Reg::Rcx, TopReg, -8);  // count
+    E.movRM(Reg::Rax, TopReg, -16); // value
+    E.subRI(TopReg, 8);
+    if (I.Op == Opcode::Ishl)
+      E.shlCl(Reg::Rax);
+    else if (I.Op == Opcode::Iushr)
+      E.shrCl(Reg::Rax);
+    else
+      E.sarCl(Reg::Rax);
+    E.movMR(TopReg, -8, Reg::Rax);
+    break;
+
+  case Opcode::Iaload:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rdx, TopReg, -8);  // Idx
+    E.movRM(Reg::Rsi, TopReg, -16); // Ref
+    E.subRI(TopReg, 16);
+    helperCall(reinterpret_cast<const void *>(&jtcJitIaload));
+    helperTrapCheckRdx(Op);
+    pushRax();
+    break;
+  case Opcode::Iastore:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rcx, TopReg, -8);  // Value
+    E.movRM(Reg::Rdx, TopReg, -16); // Idx
+    E.movRM(Reg::Rsi, TopReg, -24); // Ref
+    E.subRI(TopReg, 24);
+    helperCall(reinterpret_cast<const void *>(&jtcJitIastore));
+    helperTrapCheckRax(Op);
+    break;
+  case Opcode::ArrayLength:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rsi, TopReg, -8); // Ref
+    E.subRI(TopReg, 8);
+    helperCall(reinterpret_cast<const void *>(&jtcJitArrayLength));
+    helperTrapCheckRdx(Op);
+    pushRax();
+    break;
+  case Opcode::GetField:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rsi, TopReg, -8); // Ref
+    E.movRI(Reg::Rdx, I.A);        // Slot
+    E.subRI(TopReg, 8);
+    helperCall(reinterpret_cast<const void *>(&jtcJitGetField));
+    helperTrapCheckRdx(Op);
+    pushRax();
+    break;
+  case Opcode::PutField:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rcx, TopReg, -8);  // Value
+    E.movRM(Reg::Rsi, TopReg, -16); // Ref
+    E.movRI(Reg::Rdx, I.A);         // Slot
+    E.subRI(TopReg, 16);
+    helperCall(reinterpret_cast<const void *>(&jtcJitPutField));
+    helperTrapCheckRax(Op);
+    break;
+  case Opcode::New:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRI(Reg::Rsi, I.A); // ClassId
+    helperCall(reinterpret_cast<const void *>(&jtcJitNew));
+    helperTrapCheckRdx(Op);
+    pushRax();
+    break;
+  case Opcode::NewArray:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rsi, TopReg, -8); // Len
+    E.subRI(TopReg, 8);
+    helperCall(reinterpret_cast<const void *>(&jtcJitNewArray));
+    helperTrapCheckRdx(Op);
+    pushRax();
+    break;
+  case Opcode::Iprint:
+    E.movRR(Reg::Rdi, MachReg);
+    E.movRM(Reg::Rsi, TopReg, -8);
+    E.subRI(TopReg, 8);
+    helperCall(reinterpret_cast<const void *>(&jtcJitIprint));
+    break;
+
+  default:
+    assert(false && "op survived lowering but has no template");
+    Failed = true;
+    break;
+  }
+}
+
+void TraceCompiler::emitCompletion() {
+  // How the final block's terminator selects the successor. All counts
+  // are the full-trace counts; only the successor differs. When the final
+  // op was a frame op, the op itself already executed (emitFrameOp) and
+  // the successor is dynamic -- the exit record defers to the payload the
+  // helper recorded.
+  ExitRecord Done;
+  Done.K = ExitRecord::Kind::Complete;
+  Done.BlocksRun = static_cast<uint32_t>(IR.Blocks.size());
+  Done.Instructions = IR.InstrCount;
+
+  if (IR.Complete == TraceIR::CompleteKind::Static) {
+    Done.Next = IR.NextFall;
+    jumpToExit(E.jmp(), addExit(Done));
+    return;
+  }
+  if (IR.Complete == TraceIR::CompleteKind::Callee) {
+    Done.K = ExitRecord::Kind::CompleteCallee;
+    jumpToExit(E.jmp(), addExit(Done));
+    return;
+  }
+  if (IR.Complete == TraceIR::CompleteKind::Return) {
+    Done.K = ExitRecord::Kind::CompleteRet;
+    jumpToExit(E.jmp(), addExit(Done));
+    return;
+  }
+
+  if (isIcmp(IR.FinalTerm.Op)) {
+    E.movRM(Reg::Rcx, TopReg, -8);
+    E.movRM(Reg::Rax, TopReg, -16);
+    E.subRI(TopReg, 16);
+    E.cmpRR(Reg::Rax, Reg::Rcx);
+  } else {
+    E.subRI(TopReg, 8);
+    E.movRM(Reg::Rax, TopReg, 0);
+    E.cmpRI(Reg::Rax, 0);
+  }
+  ExitRecord Taken = Done;
+  Taken.Next = IR.NextTaken;
+  jumpToExit(E.jcc(condFor(IR.FinalTerm.Op)), addExit(Taken));
+  Done.Next = IR.NextFall;
+  jumpToExit(E.jmp(), addExit(Done));
+}
+
+void TraceCompiler::emitStubsAndEpilogue() {
+  // One stub per exit record: store the record index, join the epilogue.
+  std::vector<size_t> StubAt(Exits.size());
+  std::vector<size_t> ToEpilogue;
+  ToEpilogue.reserve(Exits.size());
+  for (size_t K = 0; K < Exits.size(); ++K) {
+    StubAt[K] = E.size();
+    E.movMI32(CtxReg, CtxExit, static_cast<int32_t>(K));
+    ToEpilogue.push_back(E.jmp());
+  }
+  size_t Epilogue = E.size();
+  for (size_t Fix : ToEpilogue)
+    E.patchRel32(Fix, Epilogue);
+  for (const auto &[Fix, ExitIdx] : ExitFixups)
+    E.patchRel32(Fix, StubAt[ExitIdx]);
+
+  E.movMR(CtxReg, CtxTop, TopReg);
+  E.addRI(Reg::Rsp, 8);
+  E.popR(Reg::R15);
+  E.popR(Reg::R14);
+  E.popR(Reg::R13);
+  E.popR(Reg::Rbx);
+  E.ret();
+}
+
+bool TraceCompiler::emit() {
+  prologue();
+  for (const IrOp &Op : IR.Ops) {
+    emitOp(Op);
+    if (Failed)
+      return false;
+  }
+  emitCompletion();
+  emitStubsAndEpilogue();
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JitBackend
+//===----------------------------------------------------------------------===//
+
+JitBackend::JitBackend(const PreparedModule &PM, const BackendConfig &Config)
+    : PM(PM), Config(Config) {}
+
+JitBackend::~JitBackend() = default;
+
+CompileFallback JitBackend::tryCompile(const Trace &T, CompiledTrace &Out) {
+  if (Config.SimulateUnsupportedHost || !jitSupportedHost())
+    return CompileFallback::HostUnsupported;
+
+  if (!Facts)
+    Facts = std::make_unique<analysis::ModuleAnalysis>(
+        analysis::ModuleAnalysis::compute(PM.module()));
+
+  LowerResult L = lowerTrace(PM, T, Facts.get());
+  if (!L.ok())
+    return L.Why;
+
+  TraceCompiler TC(L.IR, PM);
+  if (!TC.emit())
+    return CompileFallback::NoTemplate;
+
+  const void *Entry = Arena.install(TC.code());
+  if (!Entry)
+    return CompileFallback::CodeSpace;
+
+  Out.Fn = reinterpret_cast<TraceFn>(reinterpret_cast<uintptr_t>(Entry));
+  Out.Exits = TC.takeExits();
+  Out.MaxPush = L.IR.MaxPush;
+  Out.InstrCount = L.IR.InstrCount;
+  Stats.CodeBytes += TC.code().size();
+  JTC_RECORD_EVENT(Telem, EventKind::TraceCompiled, T.Id,
+                   static_cast<uint32_t>(TC.code().size()));
+  return CompileFallback::None;
+}
+
+const CompiledTrace *JitBackend::compiled(const Trace &T) {
+  auto It = Cache.find(T.Id);
+  if (It != Cache.end() && It->second.Blocks != T.Blocks) {
+    // The cache reused this trace id for a different block sequence; the
+    // old code is dead.
+    Cache.erase(It);
+    It = Cache.end();
+  }
+  if (It != Cache.end())
+    return &It->second;
+  if (T.Completed < Config.JitPromoteAfter)
+    return nullptr; // not hot yet; keep interpreting
+
+  CompiledTrace C;
+  C.Blocks = T.Blocks;
+  CompileFallback Why = tryCompile(T, C);
+  if (Why != CompileFallback::None) {
+    C.Fn = nullptr;
+    ++Stats.CompileFallbacks;
+    ++Stats.FallbacksByReason[static_cast<unsigned>(Why)];
+    JTC_RECORD_EVENT(Telem, EventKind::TraceCompileFallback, T.Id,
+                     static_cast<uint32_t>(Why));
+  } else {
+    ++Stats.TracesCompiled;
+  }
+  return &Cache.emplace(T.Id, std::move(C)).first->second;
+}
+
+TraceRunResult JitBackend::run(const Trace &T, TraceRunContext &Ctx) {
+  const CompiledTrace *C = compiled(T);
+  // Delegate to block-stepping when the trace has no native code (yet),
+  // or when the session budget could cut the run mid-trace -- the budget
+  // check is block-granular, which native code does not replicate. A
+  // budget the whole trace exactly fits is safe: TraceVM applies the
+  // live loop's post-block checks during replay.
+  if (!C || !C->Fn || T.InstrCount > Ctx.RemainingBudget) {
+    ++Stats.InterpDispatches;
+    return stepTrace(T, Ctx);
+  }
+
+  ++Stats.CompiledDispatches;
+  Machine &M = Ctx.Mach;
+  const size_t Top = M.operandStackSize();
+  // Pre-extend the operand arena by the trace's maximum stack growth so
+  // template code pushes with raw stores; the base pointer is taken
+  // *after* the resize (only the frame helpers move the arena, and they
+  // republish the pointers through the context).
+  M.resizeOperandStack(Top + C->MaxPush);
+  int64_t *Base = M.operandStackData();
+
+  JitContext JC;
+  JC.Mach = &M;
+  JC.Locals = M.currentLocalsData();
+  JC.StackTop = Base + Top;
+  JC.ExitIndex = 0;
+  C->Fn(&JC);
+
+  // JC.StackTop points into the *current* allocation (frame helpers may
+  // have reallocated the arena mid-run).
+  int64_t *Cur = M.operandStackData();
+  assert(JC.StackTop >= Cur && JC.StackTop <= Cur + M.operandStackSize() &&
+         "native code corrupted the operand stack top");
+  M.resizeOperandStack(static_cast<size_t>(JC.StackTop - Cur));
+
+  assert(JC.ExitIndex < C->Exits.size() && "bad exit index");
+  const ExitRecord &X = C->Exits[JC.ExitIndex];
+  Ctx.Stepper.creditInstructions(X.Instructions);
+
+  TraceRunResult R;
+  R.BlocksRun = X.BlocksRun;
+  R.Instructions = X.Instructions;
+  switch (X.K) {
+  case ExitRecord::Kind::Complete:
+    R.End = TraceRunEnd::Completed;
+    R.NextBlock = X.Next;
+    break;
+  case ExitRecord::Kind::Guard:
+    R.End = TraceRunEnd::Diverged;
+    R.NextBlock = X.Next;
+    break;
+  case ExitRecord::Kind::CompleteCallee:
+  case ExitRecord::Kind::DivergeCallee:
+    // The run ended right after a virtual call; the successor is the
+    // entry block of the callee the helper resolved.
+    R.End = X.K == ExitRecord::Kind::CompleteCallee ? TraceRunEnd::Completed
+                                                    : TraceRunEnd::Diverged;
+    R.NextBlock =
+        Ctx.PM.methodEntryBlock(static_cast<uint32_t>(JC.ExitPayload));
+    break;
+  case ExitRecord::Kind::CompleteRet:
+  case ExitRecord::Kind::DivergeRet:
+    // The run ended right after a return; the machine is back in the
+    // caller and the successor is the block at the recorded return pc.
+    R.End = X.K == ExitRecord::Kind::CompleteRet ? TraceRunEnd::Completed
+                                                 : TraceRunEnd::Diverged;
+    R.NextBlock = Ctx.PM.blockStartingAt(
+        M.currentMethodId(), static_cast<uint32_t>(JC.ExitPayload));
+    break;
+  case ExitRecord::Kind::Finished:
+    R.End = TraceRunEnd::Finished;
+    break;
+  case ExitRecord::Kind::Trap:
+    R.End = TraceRunEnd::Trapped;
+    if (X.TrapToSet != TrapKind::None)
+      M.setTrap(X.TrapToSet);
+    break;
+  }
+  return R;
+}
+
+} // namespace backend
+} // namespace jtc

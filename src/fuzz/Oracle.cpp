@@ -169,15 +169,20 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
          << " decay=" << G.Decay << "]";
     Comparer C(Result, Name.str());
 
-    TraceVM VM(PM, VmOptions()
-                       .completionThreshold(G.Threshold)
-                       .startStateDelay(G.Delay)
-                       .decayInterval(G.Decay)
-                       .maxInstructions(Config.MaxInstructions)
-                       .telemetry(Config.Telemetry)
-                       .telemetryCapacity(Config.TelemetryCapacity)
-                       .validate(Config.Validate)
-                       .cacheFault(Config.Fault));
+    // The backend axis below re-runs this exact configuration on the
+    // JIT tier, so the base run pins Interp explicitly (a JTC_BACKEND
+    // override must not collapse the two sides onto one tier).
+    VmOptions Base = VmOptions()
+                         .completionThreshold(G.Threshold)
+                         .startStateDelay(G.Delay)
+                         .decayInterval(G.Decay)
+                         .maxInstructions(Config.MaxInstructions)
+                         .telemetry(Config.Telemetry)
+                         .telemetryCapacity(Config.TelemetryCapacity)
+                         .validate(Config.Validate)
+                         .cacheFault(Config.Fault);
+    TraceVM VM(PM,
+               VmOptions(Base).backend(backend::BackendKind::Interp));
     // The btrace recorder shadows the run: ground-truth block sequence
     // plus an in-memory compressed stream, audited after the run.
     std::unique_ptr<BtraceRecorder> Rec;
@@ -198,6 +203,56 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
       C.violations(checkBtraceRoundTrip(PM, *Rec));
     if (Config.CheckValidate && Config.Fault == CacheFault::None)
       C.violations(checkValidateAudit(PM, VM));
+
+    // Backend equivalence: the same configuration on the JIT tier must
+    // be observationally indistinguishable -- including the adaptive
+    // bookkeeping (stats digest) and the emitted btrace stream, which
+    // deliberately has no backend field.
+    if (Config.CheckBackends && Config.Fault == CacheFault::None &&
+        backend::jitSupportedHost()) {
+      std::ostringstream JName;
+      JName << "tracevm-jit[t=" << G.Threshold << " delay=" << G.Delay
+            << " decay=" << G.Decay << "]";
+      Comparer JC(Result, JName.str());
+      TraceVM JitVM(PM, VmOptions(Base)
+                            .backend(backend::BackendKind::Jit)
+                            .jitPromoteAfter(0));
+      std::unique_ptr<BtraceRecorder> JitRec;
+      if (Rec) {
+        JitRec = std::make_unique<BtraceRecorder>(PM, JitVM);
+        JitRec->attach(JitVM);
+      }
+      RunResult JR = JitVM.run();
+      JC.outcome(JR.Status, JitVM.machine().trap());
+      JC.instructions(JR.Instructions);
+      JC.output(JitVM.machine().output());
+      JC.heap(fuzz::heapDigest(JitVM.machine().heap()), RefDigest);
+      if (VM.currentStats().digest() != JitVM.currentStats().digest()) {
+        std::ostringstream OS;
+        OS << "interp digest " << std::hex << VM.currentStats().digest()
+           << ", jit digest " << JitVM.currentStats().digest();
+        Result.Findings.push_back(
+            {JName.str(), "backend-digest-mismatch", OS.str()});
+      }
+      if (JitRec) {
+        if (JitRec->blocks() != Rec->blocks()) {
+          std::ostringstream OS;
+          OS << "interp dispatched " << Rec->blocks().size()
+             << " blocks, jit " << JitRec->blocks().size();
+          Result.Findings.push_back(
+              {JName.str(), "backend-block-mismatch", OS.str()});
+        } else if (JitRec->stream() != Rec->stream()) {
+          std::ostringstream OS;
+          OS << "identical block sequence encoded to different streams ("
+             << Rec->stream().size() << " vs " << JitRec->stream().size()
+             << " bytes)";
+          Result.Findings.push_back(
+              {JName.str(), "backend-stream-mismatch", OS.str()});
+        }
+      }
+      if (Config.CheckInvariants)
+        JC.violations(checkTraceVm(JitVM, JR.Status));
+    }
   }
 
   if (Config.IncludeNet) {

@@ -93,6 +93,16 @@ struct OracleConfig {
   /// cache fault, like the btrace audit.
   bool CheckValidate = true;
 
+  /// Differential backend axis: re-run every grid point under
+  /// --backend=jit (promotion threshold 0, so every dispatched trace is
+  /// compiled) and demand the exact observable run back -- status, trap,
+  /// instruction count, output, heap, the folded VmStats digest and,
+  /// when the btrace audit is on, the byte-identical compressed stream.
+  /// This is the interp/JIT equivalence contract of
+  /// backend/TraceBackend.h, enforced program-by-program. Skipped on
+  /// hosts without template-JIT support and under an injected fault.
+  bool CheckBackends = true;
+
   /// Validation mode for the grid's TraceVM runs. On exercises the
   /// construction-time hook on every generated program; Strict turns any
   /// in-session rejection into an abort (CI smoke runs use this).

@@ -39,6 +39,16 @@ public:
   /// The block about to be executed by the next step().
   BlockId currentBlock() const { return Cur; }
 
+  /// Repositions the stepper at \p B without executing anything. Used by
+  /// the trace backends: after native code runs a trace, the stepper must
+  /// resume at the successor (or side-exit) block the native code reached.
+  void resumeAt(BlockId B) { Cur = B; }
+
+  /// Credits \p N instructions executed outside step() (by JIT-compiled
+  /// trace code) so instructions() stays the whole-run total no matter
+  /// which tier executed.
+  void creditInstructions(uint64_t N) { Instructions += N; }
+
   /// Total instructions executed so far.
   uint64_t instructions() const { return Instructions; }
 

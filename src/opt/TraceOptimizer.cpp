@@ -79,6 +79,12 @@ jtc::linearizeTrace(const PreparedModule &PM, const Trace &T,
   for (size_t Bi = 0; Bi < T.Blocks.size(); ++Bi) {
     const BasicBlock &BB = PM.block(T.Blocks[Bi]);
     const Method &Mth = M.Methods[BB.MethodId];
+    // Stamps the source position onto an op before appending it.
+    auto Push = [&](LinearOp Op, uint32_t Pc) {
+      Op.SrcBlockIndex = static_cast<uint32_t>(Bi);
+      Op.SrcPc = Pc;
+      Cur.Ops.push_back(std::move(Op));
+    };
     // A block in a different method than the current inline frame means
     // the previous segment ended (call break, return past the root, or
     // trace start).
@@ -97,7 +103,7 @@ jtc::linearizeTrace(const PreparedModule &PM, const Trace &T,
         if (Base > 0 && (I.Op == Opcode::Iload || I.Op == Opcode::Istore ||
                          I.Op == Opcode::Iinc))
           Remapped.A += static_cast<int32_t>(Base);
-        Cur.Ops.push_back(LinearOp::instr(Remapped));
+        Push(LinearOp::instr(Remapped), Pc);
         break;
       }
       case OpKind::Jump:
@@ -126,7 +132,7 @@ jtc::linearizeTrace(const PreparedModule &PM, const Trace &T,
             G.LiveAtExit = MA->Liveness.liveIn(G.ExitPc);
           }
         }
-        Cur.Ops.push_back(std::move(G));
+        Push(std::move(G), Pc);
         break;
       }
       case OpKind::Switch:
@@ -138,7 +144,7 @@ jtc::linearizeTrace(const PreparedModule &PM, const Trace &T,
         // The selected case is not tracked through the guard, only that
         // the selector must reproduce the recorded direction; switch
         // guards are therefore never eliminated.
-        Cur.Ops.push_back(LinearOp::guard(I.Op, /*Taken=*/true));
+        Push(LinearOp::guard(I.Op, /*Taken=*/true), Pc);
         break;
       case OpKind::Call: {
         assert(Last && "call mid-block");
@@ -160,13 +166,14 @@ jtc::linearizeTrace(const PreparedModule &PM, const Trace &T,
             // lands in the lowest renamed local), and non-argument
             // locals are zeroed as pushFrame would.
             for (uint32_t K = CM.NumArgs; K-- > 0;)
-              Cur.Ops.push_back(LinearOp::instr(Instruction(
-                  Opcode::Istore, static_cast<int32_t>(NewBase + K))));
+              Push(LinearOp::instr(Instruction(
+                       Opcode::Istore, static_cast<int32_t>(NewBase + K))),
+                   Pc);
             for (uint32_t K = CM.NumArgs; K < CM.NumLocals; ++K) {
-              Cur.Ops.push_back(
-                  LinearOp::instr(Instruction(Opcode::Iconst, 0)));
-              Cur.Ops.push_back(LinearOp::instr(Instruction(
-                  Opcode::Istore, static_cast<int32_t>(NewBase + K))));
+              Push(LinearOp::instr(Instruction(Opcode::Iconst, 0)), Pc);
+              Push(LinearOp::instr(Instruction(
+                       Opcode::Istore, static_cast<int32_t>(NewBase + K))),
+                   Pc);
             }
             Cur.NumLocals = NewBase + CM.NumLocals;
             Inline.push_back({Callee, NewBase});

@@ -70,6 +70,14 @@ struct LinearOp {
   /// inlined frame) every local must be intact.
   bool HasLiveAtExit = false;
   analysis::LocalSet LiveAtExit;
+  /// Source position: the trace block (index into Trace::Blocks) and the
+  /// method pc this op was lowered from. Exact on linearizeTrace output;
+  /// the optimizer synthesizes and moves ops, so optimized segments carry
+  /// positions only as provenance hints. The trace backends (src/backend)
+  /// use these to attribute a side exit or trap back to the interpreter's
+  /// block/instruction accounting.
+  uint32_t SrcBlockIndex = 0;
+  uint32_t SrcPc = 0;
 
   static LinearOp instr(Instruction In) {
     LinearOp Op;

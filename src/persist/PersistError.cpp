@@ -31,11 +31,18 @@ const char *persist::persistErrorKindName(PersistErrorKind K) {
   return "unknown";
 }
 
-std::string PersistError::message() const {
-  std::string M = persistErrorKindName(Kind);
-  if (!Detail.empty()) {
-    M += ": ";
-    M += Detail;
-  }
-  return M;
+const ErrorDomain &persist::persistErrorDomain() {
+  static const ErrorDomain Dom = {"persist", [](uint32_t Code) {
+                                    return persistErrorKindName(
+                                        static_cast<PersistErrorKind>(Code));
+                                  }};
+  return Dom;
 }
+
+TypedError PersistError::typed() const {
+  if (ok())
+    return TypedError();
+  return TypedError(persistErrorDomain(), static_cast<uint32_t>(Kind), Detail);
+}
+
+std::string PersistError::message() const { return typed().message(); }

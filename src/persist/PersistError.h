@@ -16,6 +16,8 @@
 #ifndef JTC_PERSIST_PERSISTERROR_H
 #define JTC_PERSIST_PERSISTERROR_H
 
+#include "support/TypedError.h"
+
 #include <string>
 
 namespace jtc {
@@ -37,6 +39,9 @@ enum class PersistErrorKind : unsigned char {
 /// Stable machine-readable kind name ("bad-magic", "version-skew", ...).
 const char *persistErrorKindName(PersistErrorKind K);
 
+/// The TypedError domain for snapshot/btrace decode failures ("persist").
+const ErrorDomain &persistErrorDomain();
+
 /// One load/save failure. Default-constructed means success; ok() is the
 /// polarity every persist API reports through its out-parameter.
 struct PersistError {
@@ -45,7 +50,10 @@ struct PersistError {
 
   bool ok() const { return Kind == PersistErrorKind::None; }
 
-  /// "kind: detail" (or "ok"), for diagnostics.
+  /// This failure as the repo-uniform TypedError (success when ok()).
+  TypedError typed() const;
+
+  /// "kind: detail" (or "ok"), for diagnostics. Rendered through typed().
   std::string message() const;
 
   static PersistError make(PersistErrorKind K, std::string Detail) {

@@ -117,6 +117,22 @@ public:
     Locals[Frames.back().LocalsBase + Idx] = V;
   }
 
+  // Arena access for the template JIT (src/backend): generated code works
+  // on the raw operand and locals arrays through base pointers, and its
+  // runtime helpers replicate execOne's heap/trap/output semantics.
+  // Pointers are invalidated by push/pop/resizeOperandStack and by frame
+  // operations; the JIT re-derives them per trace run and never executes
+  // native code across such an operation.
+  size_t operandStackSize() const { return Operands.size(); }
+  int64_t *operandStackData() { return Operands.data(); }
+  void resizeOperandStack(size_t N) { Operands.resize(N); }
+  int64_t *currentLocalsData() {
+    assert(!Frames.empty() && "no active frame");
+    return Locals.data() + Frames.back().LocalsBase;
+  }
+  void setTrap(TrapKind Kind) { TrapValue = Kind; }
+  void appendOutput(int64_t V) { Output.push_back(V); }
+
 private:
   struct Frame {
     uint32_t MethodId = 0;

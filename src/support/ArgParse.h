@@ -17,8 +17,11 @@
 #define JTC_SUPPORT_ARGPARSE_H
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jtc {
@@ -47,6 +50,36 @@ public:
   /// --name or --name=value, interpreted by \p Fn. With \p ValueRequired
   /// a bare --name is rejected before \p Fn runs.
   ArgParser &custom(const char *Name, Handler Fn, bool ValueRequired = false);
+
+  /// --name=<choice>, a closed enum vocabulary: each (spelling, value)
+  /// pair maps one legal string to *Out. Anything else is rejected with a
+  /// diagnostic listing the legal spellings, so every tool sharing an
+  /// enum flag (--validate, --backend) rejects identically.
+  template <typename Enum>
+  ArgParser &choice(const char *Name,
+                    std::initializer_list<std::pair<const char *, Enum>> Vocab,
+                    Enum *Out) {
+    std::vector<std::pair<std::string, Enum>> Cs(Vocab.begin(), Vocab.end());
+    return custom(
+        Name,
+        [Name, Cs, Out](const std::string &V) {
+          for (const auto &C : Cs)
+            if (C.first == V) {
+              *Out = C.second;
+              return true;
+            }
+          std::string Legal;
+          for (const auto &C : Cs) {
+            if (!Legal.empty())
+              Legal += ", ";
+            Legal += C.first;
+          }
+          std::fprintf(stderr, "invalid value '%s' for --%s (expected %s)\n",
+                       V.c_str(), Name, Legal.c_str());
+          return false;
+        },
+        /*ValueRequired=*/true);
+  }
 
   /// Collect non-option arguments into \p Out instead of rejecting them.
   ArgParser &positionals(std::vector<std::string> *Out);

@@ -1,0 +1,34 @@
+//===- support/TypedError.cpp ---------------------------------------------===//
+
+#include "support/TypedError.h"
+
+#include "support/Json.h"
+
+using namespace jtc;
+
+std::string TypedError::message() const {
+  if (ok())
+    return "ok";
+  std::string S = codeName();
+  if (!Detail.empty()) {
+    S += ": ";
+    S += Detail;
+  }
+  return S;
+}
+
+std::string TypedError::qualifiedMessage() const {
+  if (ok())
+    return "ok";
+  std::string S = categoryName();
+  S += "/";
+  S += message();
+  return S;
+}
+
+void TypedError::writeJsonFields(JsonWriter &W) const {
+  W.field("category", categoryName());
+  W.field("code", codeName());
+  if (!Detail.empty())
+    W.field("detail", Detail);
+}

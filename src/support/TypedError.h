@@ -1,0 +1,83 @@
+//===- support/TypedError.h - One typed-error pattern -----------*- C++ -*-===//
+///
+/// \file
+/// The shared shape of every typed-error taxonomy in the repository. Three
+/// subsystems grew their own enum + name + message dialects (the persist
+/// decoder's PersistErrorKind, the btrace decoder reusing it, and the
+/// validator's rejection Reason); the trace-backend tier adds compile
+/// fallback reasons. Instead of a fourth dialect, each taxonomy registers
+/// an ErrorDomain -- a domain name plus a code-to-name function -- and
+/// renders failures through one TypedError value, so diagnostics
+/// ("domain: code: detail") and --json output ({"category", "code",
+/// "detail"}) are byte-uniform across subsystems.
+///
+/// Each subsystem keeps its own enum as the source of truth (codes are
+/// persisted in telemetry and fixtures, so their numeric values stay
+/// stable); TypedError is the rendering seam, not a replacement enum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_SUPPORT_TYPEDERROR_H
+#define JTC_SUPPORT_TYPEDERROR_H
+
+#include <cstdint>
+#include <string>
+
+namespace jtc {
+
+class JsonWriter;
+
+/// One error taxonomy: a stable category name and the mapping from its
+/// enum codes to stable kebab-case names. Domains are static constants
+/// (persistErrorDomain(), validate::reasonDomain(), backend::
+/// compileFallbackDomain()); a TypedError holds a pointer to one.
+struct ErrorDomain {
+  /// Stable category name ("persist", "validate", "backend").
+  const char *Name;
+  /// Stable code name for any code of this domain ("bad-magic",
+  /// "guard-dropped", "unsupported-op", ...).
+  const char *(*CodeName)(uint32_t Code);
+};
+
+/// One failure (or success) of any registered domain. Default-constructed
+/// means success; ok() is the polarity every API reports.
+class TypedError {
+public:
+  TypedError() = default;
+  TypedError(const ErrorDomain &Domain, uint32_t Code, std::string Detail = "")
+      : Dom(&Domain), Code(Code), Detail(std::move(Detail)) {}
+
+  bool ok() const { return Dom == nullptr; }
+
+  /// The taxonomy, or null for success.
+  const ErrorDomain *domain() const { return Dom; }
+  uint32_t code() const { return Code; }
+
+  /// Stable kebab-case code name; "ok" for success.
+  const char *codeName() const { return Dom ? Dom->CodeName(Code) : "ok"; }
+
+  /// Category name; "ok" for success.
+  const char *categoryName() const { return Dom ? Dom->Name : "ok"; }
+
+  const std::string &detail() const { return Detail; }
+
+  /// "code: detail" (or just "code", or "ok"), the uniform one-line
+  /// diagnostic every taxonomy historically printed.
+  std::string message() const;
+
+  /// "category/code: detail", for contexts mixing domains.
+  std::string qualifiedMessage() const;
+
+  /// Uniform --json rendering: writes "category", "code" and (when
+  /// non-empty) "detail" fields into an already-open JSON object.
+  void writeJsonFields(JsonWriter &W) const;
+
+private:
+  const ErrorDomain *Dom = nullptr;
+  uint32_t Code = 0;
+  std::string Detail;
+};
+
+} // namespace jtc
+
+#endif // JTC_SUPPORT_TYPEDERROR_H

@@ -42,6 +42,10 @@ const char *jtc::eventKindName(EventKind K) {
     return "trace-validated";
   case EventKind::TraceValidationRejected:
     return "trace-validation-rejected";
+  case EventKind::TraceCompiled:
+    return "trace-compiled";
+  case EventKind::TraceCompileFallback:
+    return "trace-compile-fallback";
   }
   return "unknown";
 }

@@ -60,10 +60,15 @@ enum class EventKind : uint8_t {
   TraceValidationRejected, ///< Validation proof failed (optimized form
                            ///< discarded): Id = trace, Arg =
                            ///< validate::Reason code.
+  TraceCompiled,         ///< Backend promoted a trace to native code:
+                         ///< Id = trace, Arg = code bytes emitted.
+  TraceCompileFallback,  ///< Promotion failed; the trace stays on the
+                         ///< interpreter tier: Id = trace, Arg =
+                         ///< backend::CompileFallback code.
 };
 
 inline constexpr unsigned NumEventKinds =
-    static_cast<unsigned>(EventKind::TraceValidationRejected) + 1;
+    static_cast<unsigned>(EventKind::TraceCompileFallback) + 1;
 
 /// Stable machine-readable name ("trace-constructed", "decay-pass", ...).
 const char *eventKindName(EventKind K);

@@ -48,6 +48,14 @@ const char *validate::reasonName(Reason R) {
   return "none";
 }
 
+const ErrorDomain &validate::reasonDomain() {
+  static const ErrorDomain Dom = {"validate", [](uint32_t Code) {
+                                    return reasonName(
+                                        static_cast<Reason>(Code));
+                                  }};
+  return Dom;
+}
+
 namespace {
 
 //===----------------------------------------------------------------------===//

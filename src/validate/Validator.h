@@ -38,6 +38,7 @@
 #define JTC_VALIDATE_VALIDATOR_H
 
 #include "opt/TraceOptimizer.h"
+#include "support/TypedError.h"
 
 #include <cstdint>
 #include <string>
@@ -75,6 +76,9 @@ inline constexpr unsigned NumReasons =
 /// Stable kebab-case name (telemetry, --json, corpus fixtures).
 const char *reasonName(Reason R);
 
+/// The TypedError domain for validation rejections ("validate").
+const ErrorDomain &reasonDomain();
+
 /// The verdict for one segment pair or a whole trace.
 struct Result {
   bool Ok = true;
@@ -92,6 +96,13 @@ struct Result {
     R.Why = Why;
     R.Detail = std::move(Detail);
     return R;
+  }
+
+  /// This verdict as the repo-uniform TypedError (success when Ok).
+  TypedError typed() const {
+    if (Ok)
+      return TypedError();
+    return TypedError(reasonDomain(), static_cast<uint32_t>(Why), Detail);
   }
 };
 

@@ -39,9 +39,8 @@ TraceCache::ValidationVerdict AdaptiveEngine::validateCandidate(const Trace &T) 
   if (!R.Ok && Options->validate() == ValidateMode::Strict) {
     std::fprintf(stderr,
                  "jtc: --validate=strict: trace %u rejected by translation "
-                 "validation: %s (segment %u%s%s)\n",
-                 T.Id, validate::reasonName(R.Why), R.SegmentIndex,
-                 R.Detail.empty() ? "" : ": ", R.Detail.c_str());
+                 "validation: %s (segment %u)\n",
+                 T.Id, R.typed().qualifiedMessage().c_str(), R.SegmentIndex);
     std::abort();
   }
   return {R.Ok, static_cast<uint32_t>(R.Why)};

@@ -94,6 +94,15 @@ public:
 
   VmStats &stats() { return Stats; }
   const VmStats &stats() const { return Stats; }
+
+  /// The trace the engine just entered (set by transition() on a trace-
+  /// cache hit, cleared on completion/divergence). TraceVM consults this
+  /// at the top of its loop to hand the whole trace to the TraceBackend
+  /// instead of stepping block by block. The pointer is owned by the
+  /// trace cache and is invalidated by the cache mutation at the end of
+  /// the trace's execution -- callers must not hold it across
+  /// completeActiveTrace / exitActiveTraceEarly.
+  const Trace *activeTrace() const { return Active; }
   const BranchCorrelationGraph &graph() const { return Graph; }
   const TraceCache &traceCache() const { return Cache; }
 

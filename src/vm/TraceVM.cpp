@@ -8,13 +8,16 @@ using namespace jtc;
 
 TraceVM::TraceVM(const PreparedModule &PM, VmOptions Options)
     : PM(&PM), Options(Options), Mach(PM.module()), Stepper(PM, Mach),
-      Engine(PM, this->Options) {
+      Engine(PM, this->Options),
+      Backend(backend::makeBackend(this->Options.backend(), PM,
+                                   this->Options.backendConfig())) {
 #ifdef JTC_TELEMETRY
   if (this->Options.telemetry()) {
     Ring = EventRing(this->Options.telemetryCapacity(),
                      &Engine.stats().BlocksExecuted);
     Telem = &Ring;
     Engine.setTelemetry(&Ring);
+    Backend->setTelemetry(&Ring);
     Sampler = PhaseSampler<VmStats>(this->Options.sampleInterval());
   }
 #endif
@@ -48,6 +51,16 @@ RunResult TraceVM::run() {
 
   VmStats &Stats = Engine.stats();
   while (true) {
+    // A trace-cache hit hands the whole trace to the backend; this is the
+    // only place a dispatched trace executes. Everything below the check
+    // is the plain single-block path.
+    if (const Trace *T = Engine.activeTrace()) {
+      if (!runActiveTrace(*T, R))
+        break;
+      Cur = Stepper.currentBlock();
+      continue;
+    }
+
     BlockStepper::StepStatus S = Stepper.step(); // executes Cur
     Engine.executed(Cur);
 #ifdef JTC_TELEMETRY
@@ -83,8 +96,84 @@ RunResult TraceVM::run() {
   return R;
 }
 
+bool TraceVM::runActiveTrace(const Trace &T, RunResult &R) {
+  // The main loop only reaches here with budget remaining, so the
+  // subtraction cannot underflow.
+  backend::TraceRunContext Ctx{*PM, Mach, Stepper,
+                               Options.maxInstructions() -
+                                   Stepper.instructions()};
+  backend::TraceRunResult TR = Backend->run(T, Ctx);
+  assert(TR.BlocksRun >= 1 && "a dispatched trace executes at least a block");
+
+  // Replay the summary through the engine in exactly the live loop's
+  // per-block order (executed, sampler, status, budget, sink, transition)
+  // so every BlocksExecuted-stamped clock and the btrace stream are
+  // bit-identical to a block-stepped run. The trace pointer stays valid
+  // throughout: the cache mutates only inside the *final* engine call of
+  // this replay (completeActiveTrace inside the last executed(), or
+  // exitActiveTraceEarly inside the last transition()/endRun()), and every
+  // read of T happens before it.
+  VmStats &Stats = Engine.stats();
+  (void)Stats;
+  for (uint32_t I = 0; I + 1 < TR.BlocksRun; ++I) {
+    BlockId B = T.Blocks[I];
+    BlockId Next = T.Blocks[I + 1];
+    Engine.executed(B);
+#ifdef JTC_TELEMETRY
+    if (Sampler.enabled() && Stats.BlocksExecuted >= Sampler.nextSampleAt())
+      Sampler.sample(Stats.BlocksExecuted, currentStats());
+#endif
+    if (Sink)
+      Sink->onTransition(B, Next);
+    Engine.transition(B, Next);
+  }
+
+  BlockId Last = T.Blocks[TR.BlocksRun - 1];
+  Engine.executed(Last); // completes the trace when TR.End == Completed
+#ifdef JTC_TELEMETRY
+  if (Sampler.enabled() && Stats.BlocksExecuted >= Sampler.nextSampleAt())
+    Sampler.sample(Stats.BlocksExecuted, currentStats());
+#endif
+
+  switch (TR.End) {
+  case backend::TraceRunEnd::Finished:
+  case backend::TraceRunEnd::Trapped:
+    Engine.endRun();
+    R.Status = TR.End == backend::TraceRunEnd::Finished ? RunStatus::Finished
+                                                        : RunStatus::Trapped;
+    R.Trap = Mach.trap();
+    return false;
+  case backend::TraceRunEnd::Budget:
+    Engine.endRun();
+    R.Status = RunStatus::BudgetExhausted;
+    return false;
+  case backend::TraceRunEnd::Completed:
+  case backend::TraceRunEnd::Diverged:
+    // The live loop checks the budget after executing a block and before
+    // its outgoing transition; a run that ends exactly on the budget at a
+    // completion/divergence boundary must end the same way here.
+    if (Stepper.instructions() >= Options.maxInstructions()) {
+      Engine.endRun();
+      R.Status = RunStatus::BudgetExhausted;
+      return false;
+    }
+    if (Sink)
+      Sink->onTransition(Last, TR.NextBlock);
+    Engine.transition(Last, TR.NextBlock);
+    Stepper.resumeAt(TR.NextBlock);
+    return true;
+  }
+  return true; // unreachable
+}
+
 VmStats TraceVM::currentStats() const {
   VmStats S = Engine.snapshotStats(Stepper.instructions());
   S.EventsDropped = Ring.dropped();
+  const backend::BackendStats &BS = Backend->stats();
+  S.TracesJitCompiled = BS.TracesCompiled;
+  S.TraceCompileFallbacks = BS.CompileFallbacks;
+  S.TraceDispatchesJit = BS.CompiledDispatches;
+  S.TraceDispatchesInterp = BS.InterpDispatches;
+  S.JitCodeBytes = BS.CodeBytes;
   return S;
 }

@@ -31,6 +31,7 @@
 #ifndef JTC_VM_TRACEVM_H
 #define JTC_VM_TRACEVM_H
 
+#include "backend/TraceBackend.h"
 #include "interp/BlockStepper.h"
 #include "telemetry/EventRing.h"
 #include "telemetry/PhaseSampler.h"
@@ -95,6 +96,10 @@ public:
   /// The phase-sample time series (empty unless Options.sampleInterval()).
   const PhaseSampler<VmStats> &sampler() const { return Sampler; }
 
+  /// The trace-execution backend this session dispatches through (after
+  /// Auto resolution). Tests assert on its name() and tier accounting.
+  const backend::TraceBackend &traceBackend() const { return *Backend; }
+
   const VmOptions &options() const { return Options; }
   const PreparedModule &prepared() const { return *PM; }
   const BranchCorrelationGraph &graph() const { return Engine.graph(); }
@@ -103,11 +108,20 @@ public:
   const Machine &machine() const { return Mach; }
 
 private:
+  /// Runs the trace AdaptiveEngine just entered through the backend, then
+  /// replays the summary through the engine (executed/transition per
+  /// block, in the live loop's exact order) so adaptive state, telemetry
+  /// clocks and the btrace stream are bit-identical across backends.
+  /// Returns false when the run ended inside the trace (finish / trap /
+  /// budget), with \p R filled in; true to continue the dispatch loop.
+  bool runActiveTrace(const Trace &T, RunResult &R);
+
   const PreparedModule *PM;
   VmOptions Options;
   Machine Mach;
   BlockStepper Stepper;
   AdaptiveEngine Engine;
+  std::unique_ptr<backend::TraceBackend> Backend;
 
   // Telemetry. Telem is &Ring when enabled, null otherwise -- the null
   // check is the instrumentation sites' only cost when telemetry is off.

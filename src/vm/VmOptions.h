@@ -21,11 +21,14 @@
 #ifndef JTC_VM_VMOPTIONS_H
 #define JTC_VM_VMOPTIONS_H
 
+#include "backend/BackendKind.h"
+#include "backend/TraceBackend.h"
 #include "opt/OptConfig.h"
 #include "profile/ProfilerConfig.h"
 #include "trace/TraceConfig.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 namespace jtc {
@@ -53,17 +56,18 @@ inline const char *validateModeName(ValidateMode M) {
   return "on";
 }
 
-/// Parses "off" / "on" / "strict" (the CLI spelling of --validate=).
-inline bool parseValidateMode(const std::string &V, ValidateMode &Out) {
-  if (V == "off")
-    Out = ValidateMode::Off;
-  else if (V == "on")
-    Out = ValidateMode::On;
-  else if (V == "strict")
-    Out = ValidateMode::Strict;
-  else
-    return false;
-  return true;
+/// The backend a default-constructed VmOptions selects. Normally Interp
+/// (the JIT is opt-in via --backend), but the JTC_BACKEND environment
+/// variable overrides it so CI can force a tier across an entire test
+/// suite without threading a flag through every harness.
+inline backend::BackendKind defaultBackendKind() {
+  static const backend::BackendKind Kind = [] {
+    backend::BackendKind K = backend::BackendKind::Interp;
+    if (const char *Env = std::getenv("JTC_BACKEND"))
+      (void)backend::parseBackendKind(Env, K);
+    return K;
+  }();
+  return Kind;
 }
 
 class VmOptions {
@@ -184,6 +188,32 @@ public:
     return *this;
   }
 
+  /// Trace execution backend: interp (portable reference tier), jit
+  /// (x86-64 template JIT, errors where unsupported builds would lie
+  /// about what ran -- makeBackend still falls back per-trace on compile
+  /// bails), or auto (jit when the host supports it, else interp).
+  // (jtc::backend is spelled in full below: the member function named
+  // `backend` hides the namespace inside this class's scope.)
+  VmOptions &backend(jtc::backend::BackendKind K) {
+    Backend = K;
+    return *this;
+  }
+
+  /// How many completed executions promote a trace to native code
+  /// (--backend=jit/auto only). 0 compiles on first dispatch.
+  VmOptions &jitPromoteAfter(uint32_t N) {
+    JitPromote = N;
+    return *this;
+  }
+
+  /// Test/CI hook: pretend the host cannot run the JIT, so
+  /// --backend=auto's graceful-fallback path is exercisable on any
+  /// machine, including x86-64 ones.
+  VmOptions &simulateUnsupportedHost(bool On) {
+    SimUnsupported = On;
+    return *this;
+  }
+
   //===--- Getters -----------------------------------------------------===//
 
   double completionThreshold() const { return Threshold; }
@@ -202,6 +232,9 @@ public:
   const std::string &saveProfilePath() const { return SaveProfile; }
   ValidateMode validate() const { return Validate; }
   const OptConfig &optConfig() const { return Opt; }
+  jtc::backend::BackendKind backend() const { return Backend; }
+  uint32_t jitPromoteAfter() const { return JitPromote; }
+  bool simulateUnsupportedHost() const { return SimUnsupported; }
 
   //===--- Derived sub-configurations ----------------------------------===//
   //
@@ -224,6 +257,13 @@ public:
     return T;
   }
 
+  jtc::backend::BackendConfig backendConfig() const {
+    jtc::backend::BackendConfig B;
+    B.JitPromoteAfter = JitPromote;
+    B.SimulateUnsupportedHost = SimUnsupported;
+    return B;
+  }
+
 private:
   double Threshold = 0.97;
   uint32_t Delay = 64;
@@ -241,6 +281,9 @@ private:
   std::string SaveProfile;
   ValidateMode Validate = ValidateMode::On;
   OptConfig Opt;
+  jtc::backend::BackendKind Backend = defaultBackendKind();
+  uint32_t JitPromote = 2;
+  bool SimUnsupported = false;
 };
 
 } // namespace jtc

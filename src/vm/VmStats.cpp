@@ -64,6 +64,16 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
               /*InPrint=*/false),
       Counter("trace validation rejects", "trace_validation_rejects",
               &VmStats::TraceValidationRejects, /*InPrint=*/false),
+      Counter("traces jit compiled", "traces_jit_compiled",
+              &VmStats::TracesJitCompiled, /*InPrint=*/false),
+      Counter("trace compile fallbacks", "trace_compile_fallbacks",
+              &VmStats::TraceCompileFallbacks, /*InPrint=*/false),
+      Counter("trace dispatches (jit)", "trace_dispatches_jit",
+              &VmStats::TraceDispatchesJit, /*InPrint=*/false),
+      Counter("trace dispatches (interp)", "trace_dispatches_interp",
+              &VmStats::TraceDispatchesInterp, /*InPrint=*/false),
+      Counter("jit code bytes", "jit_code_bytes", &VmStats::JitCodeBytes,
+              /*InPrint=*/false),
       Counter("live traces", "live_traces", &VmStats::LiveTraces),
       Counter("branch graph nodes", "graph_nodes", &VmStats::GraphNodes),
       Counter("telemetry events dropped", "events_dropped",
@@ -93,9 +103,17 @@ uint64_t VmStats::digest() const {
       H *= 1099511628211ull;
     }
   };
+  // The backend-tier counters are excluded for the same reason: which
+  // tier ran a trace is a --backend choice, and interp/JIT runs are
+  // bit-equivalent by contract.
   auto Excluded = [](uint64_t VmStats::*M) {
     return M == &VmStats::EventsDropped || M == &VmStats::TracesValidated ||
-           M == &VmStats::TraceValidationRejects;
+           M == &VmStats::TraceValidationRejects ||
+           M == &VmStats::TracesJitCompiled ||
+           M == &VmStats::TraceCompileFallbacks ||
+           M == &VmStats::TraceDispatchesJit ||
+           M == &VmStats::TraceDispatchesInterp ||
+           M == &VmStats::JitCodeBytes;
   };
   for (const FieldInfo &F : fields())
     if (F.Counter && !Excluded(F.Counter))

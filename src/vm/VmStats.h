@@ -55,6 +55,19 @@ struct VmStats {
   uint64_t TracesValidated = 0;
   uint64_t TraceValidationRejects = 0;
 
+  //===--- Backend tiering (src/backend) -------------------------------===//
+  /// Which execution tier served trace dispatches, and what the JIT
+  /// compiled. Tier selection is a --backend configuration choice that
+  /// by contract never changes execution semantics (interp and JIT runs
+  /// are bit-equivalent), so like the validation counters all five are
+  /// digest-excluded: a replay or an oracle run under a different
+  /// backend still matches.
+  uint64_t TracesJitCompiled = 0;     ///< Traces compiled to native code.
+  uint64_t TraceCompileFallbacks = 0; ///< Compiles that bailed to interp.
+  uint64_t TraceDispatchesJit = 0;    ///< Trace entries run natively.
+  uint64_t TraceDispatchesInterp = 0; ///< Trace entries run by stepTrace.
+  uint64_t JitCodeBytes = 0;          ///< Native code bytes installed.
+
   //===--- Observability ----------------------------------------------===//
   /// Telemetry events lost to ring overwriting (EventRing::dropped). Not
   /// part of the execution semantics, so digest() excludes it: a replay

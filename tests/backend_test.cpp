@@ -1,0 +1,342 @@
+//===- tests/backend_test.cpp - TraceBackend tiers and equivalence --------===//
+///
+/// \file
+/// The trace-execution seam: interp/JIT bit-equivalence, guard side-exit
+/// state materialization, compile-failure fallback, and tier-promotion
+/// accounting. Everything here runs against the contract in
+/// backend/TraceBackend.h -- which backend executes a dispatched trace
+/// must be unobservable except through the digest-excluded tier counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/TraceBackend.h"
+
+#include "TestPrograms.h"
+#include "interp/InstructionInterpreter.h"
+#include "runtime/Heap.h"
+#include "vm/TraceVM.h"
+
+#include <gtest/gtest.h>
+
+using namespace jtc;
+
+namespace {
+
+/// main: a hot loop where every RareEvery-th iteration takes the cold
+/// branch direction, so the hot trace's guard keeps firing mid-trace and
+/// the side exit must materialize interpreter-exact state (locals i, sum
+/// and the countdown are all live across the exit).
+Module biasedBranchLoop(int32_t N, int32_t RareEvery) {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 3, false);
+  MethodBuilder B = Asm.beginMethod(Main);
+  Label Loop = B.newLabel(), Rare = B.newLabel(), Cont = B.newLabel(),
+        Done = B.newLabel();
+  B.iconst(0);
+  B.istore(0); // i
+  B.iconst(0);
+  B.istore(1); // sum
+  B.iconst(RareEvery);
+  B.istore(2); // countdown to the rare direction
+  B.bind(Loop);
+  B.iload(0);
+  B.iconst(N);
+  B.branch(Opcode::IfIcmpGe, Done);
+  B.iload(2);
+  B.iconst(1);
+  B.emit(Opcode::Isub);
+  B.istore(2);
+  B.iload(2);
+  B.iconst(0);
+  B.branch(Opcode::IfIcmpLe, Rare);
+  B.iload(1);
+  B.iconst(1);
+  B.emit(Opcode::Iadd);
+  B.istore(1);
+  B.branch(Opcode::Goto, Cont);
+  B.bind(Rare);
+  B.iconst(RareEvery);
+  B.istore(2);
+  B.iload(1);
+  B.iconst(100);
+  B.emit(Opcode::Iadd);
+  B.istore(1);
+  B.bind(Cont);
+  B.iinc(0, 1);
+  B.branch(Opcode::Goto, Loop);
+  B.bind(Done);
+  B.iload(1);
+  B.emit(Opcode::Iprint);
+  B.halt();
+  B.finish();
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+/// main: a hot loop over a virtual call whose receiver alternates between
+/// two classes, so a trace through the call sees the "wrong" resolved
+/// callee on every other iteration (the DivergeCallee exit path).
+Module polymorphicCallLoop(int32_t N) {
+  Assembler Asm;
+  uint32_t Slot = Asm.declareSlot("val", 1, true);
+  uint32_t CA = Asm.declareClass("A", 1);
+  uint32_t CB = Asm.declareClass("B", 1);
+  uint32_t MA = Asm.declareMethod("A.val", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(MA);
+    B.iload(0);
+    B.getfield(0);
+    B.iconst(1);
+    B.emit(Opcode::Iadd);
+    B.iret();
+    B.finish();
+  }
+  uint32_t MB = Asm.declareMethod("B.val", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(MB);
+    B.iload(0);
+    B.getfield(0);
+    B.iconst(2);
+    B.emit(Opcode::Imul);
+    B.iret();
+    B.finish();
+  }
+  Asm.setVtableEntry(CA, Slot, MA);
+  Asm.setVtableEntry(CB, Slot, MB);
+
+  uint32_t Main = Asm.declareMethod("main", 0, 5, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Loop = B.newLabel(), UseA = B.newLabel(), Acc = B.newLabel(),
+          Done = B.newLabel();
+    B.newobj(CA);
+    B.emit(Opcode::Dup);
+    B.iconst(3);
+    B.putfield(0);
+    B.istore(0); // a
+    B.newobj(CB);
+    B.emit(Opcode::Dup);
+    B.iconst(4);
+    B.putfield(0);
+    B.istore(1); // b
+    B.iconst(0);
+    B.istore(2); // i
+    B.iconst(0);
+    B.istore(3); // sum
+    B.iconst(0);
+    B.istore(4); // toggle
+    B.bind(Loop);
+    B.iload(2);
+    B.iconst(N);
+    B.branch(Opcode::IfIcmpGe, Done);
+    B.iload(4);
+    B.iconst(0);
+    B.branch(Opcode::IfIcmpEq, UseA);
+    B.iload(1);
+    B.invokevirtual(Slot);
+    B.branch(Opcode::Goto, Acc);
+    B.bind(UseA);
+    B.iload(0);
+    B.invokevirtual(Slot);
+    B.bind(Acc);
+    B.iload(3);
+    B.emit(Opcode::Iadd);
+    B.istore(3);
+    B.iconst(1);
+    B.iload(4);
+    B.emit(Opcode::Isub);
+    B.istore(4); // toggle = 1 - toggle
+    B.iinc(2, 1);
+    B.branch(Opcode::Goto, Loop);
+    B.bind(Done);
+    B.iload(3);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
+VmOptions baseOptions() {
+  return VmOptions().startStateDelay(8).completionThreshold(0.9);
+}
+
+VmOptions interpOptions() {
+  return baseOptions().backend(backend::BackendKind::Interp);
+}
+
+VmOptions jitOptions() {
+  // Promotion threshold 0: every dispatched trace compiles immediately,
+  // maximizing native coverage in short test runs.
+  return baseOptions().backend(backend::BackendKind::Jit).jitPromoteAfter(0);
+}
+
+bool hostHasJit() { return backend::jitSupportedHost(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Interp/JIT equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(BackendTest, InterpJitBitEquivalence) {
+  if (!hostHasJit())
+    GTEST_SKIP() << "no template-JIT support on this host";
+  const Module Programs[] = {
+      testprog::countingLoop(20000),
+      testprog::hotLoop(20000),
+      testprog::recursiveFactorial(12),
+      testprog::arraySquares(256),
+      biasedBranchLoop(20000, 7),
+      polymorphicCallLoop(20000),
+  };
+  for (const Module &M : Programs) {
+    PreparedModule PM(M);
+    TraceVM VI(PM, interpOptions());
+    RunResult RI = VI.run();
+    TraceVM VJ(PM, jitOptions());
+    RunResult RJ = VJ.run();
+    EXPECT_EQ(RI.Status, RJ.Status);
+    EXPECT_EQ(RI.Instructions, RJ.Instructions);
+    EXPECT_EQ(RI.Dispatches, RJ.Dispatches);
+    EXPECT_EQ(VI.machine().output(), VJ.machine().output());
+    EXPECT_EQ(heapDigest(VI.machine().heap()), heapDigest(VJ.machine().heap()));
+    // The adaptive bookkeeping is replayed identically: the full folded
+    // stats digest (which excludes the tier counters) must match.
+    EXPECT_EQ(VI.currentStats().digest(), VJ.currentStats().digest());
+  }
+}
+
+TEST(BackendTest, GuardSideExitMaterializesState) {
+  if (!hostHasJit())
+    GTEST_SKIP() << "no template-JIT support on this host";
+  // The rare branch direction fires the compiled trace's guard over and
+  // over; every exit must leave exactly the interpreter's state, or sum
+  // drifts and the printed output diverges from the plain interpreter.
+  Module M = biasedBranchLoop(30000, 5);
+  Machine Plain(M);
+  RunResult RP = runInstructions(Plain);
+  PreparedModule PM(M);
+  TraceVM VM(PM, jitOptions());
+  RunResult R = VM.run();
+  EXPECT_EQ(RP.Status, R.Status);
+  EXPECT_EQ(RP.Instructions, R.Instructions);
+  EXPECT_EQ(Plain.output(), VM.machine().output());
+  // The JIT tier actually ran: traces compiled and dispatched natively.
+  const VmStats S = VM.currentStats();
+  EXPECT_GT(S.TracesJitCompiled, 0u);
+  EXPECT_GT(S.TraceDispatchesJit, 0u);
+}
+
+TEST(BackendTest, CallAndReturnDivergenceExitsAreExact) {
+  if (!hostHasJit())
+    GTEST_SKIP() << "no template-JIT support on this host";
+  // Alternating receivers force the virtual-call guard to diverge on
+  // every other trace entry; the frame helper has already pushed the
+  // real callee frame when the exit fires, so any state error shows up
+  // in the sum immediately.
+  Module M = polymorphicCallLoop(30000);
+  Machine Plain(M);
+  RunResult RP = runInstructions(Plain);
+  PreparedModule PM(M);
+  TraceVM VM(PM, jitOptions());
+  RunResult R = VM.run();
+  EXPECT_EQ(RP.Status, R.Status);
+  EXPECT_EQ(RP.Instructions, R.Instructions);
+  EXPECT_EQ(Plain.output(), VM.machine().output());
+  EXPECT_GT(VM.currentStats().TraceDispatchesJit, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback and tiering accounting
+//===----------------------------------------------------------------------===//
+
+TEST(BackendTest, CompileFailureFallsBackToInterpreter) {
+  // Simulated unsupported host: every promotion attempt records a
+  // HostUnsupported fallback and the run is served entirely by the
+  // embedded interpreter tier, with unchanged semantics.
+  Module M = testprog::hotLoop(20000);
+  Machine Plain(M);
+  runInstructions(Plain);
+  PreparedModule PM(M);
+  TraceVM VM(PM, jitOptions().simulateUnsupportedHost(true));
+  RunResult R = VM.run();
+  EXPECT_EQ(RunStatus::Finished, R.Status);
+  EXPECT_EQ(Plain.output(), VM.machine().output());
+  const VmStats S = VM.currentStats();
+  EXPECT_EQ(0u, S.TracesJitCompiled);
+  EXPECT_EQ(0u, S.TraceDispatchesJit);
+  EXPECT_EQ(0u, S.JitCodeBytes);
+  EXPECT_GT(S.TraceCompileFallbacks, 0u);
+  EXPECT_GT(S.TraceDispatchesInterp, 0u);
+  EXPECT_EQ(S.TraceDispatches, S.TraceDispatchesInterp);
+}
+
+TEST(BackendTest, AutoResolvesPerHostSupport) {
+  Module M = testprog::hotLoop(100);
+  PreparedModule PM(M);
+  backend::BackendConfig Unsupported;
+  Unsupported.SimulateUnsupportedHost = true;
+  std::unique_ptr<backend::TraceBackend> B = backend::makeBackend(
+      backend::BackendKind::Auto, PM, Unsupported);
+  EXPECT_STREQ("interp", B->name());
+  if (hostHasJit()) {
+    std::unique_ptr<backend::TraceBackend> J = backend::makeBackend(
+        backend::BackendKind::Auto, PM, backend::BackendConfig());
+    EXPECT_STREQ("jit", J->name());
+  }
+}
+
+TEST(BackendTest, TierPromotionAccounting) {
+  if (!hostHasJit())
+    GTEST_SKIP() << "no template-JIT support on this host";
+  // Promotion threshold 3: the first three completed dispatches of the
+  // hot trace run on the interpreter tier, everything after compiles.
+  Module M = testprog::hotLoop(50000);
+  PreparedModule PM(M);
+  TraceVM VM(PM, baseOptions()
+                     .backend(backend::BackendKind::Jit)
+                     .jitPromoteAfter(3));
+  VM.run();
+  const VmStats S = VM.currentStats();
+  EXPECT_GT(S.TracesJitCompiled, 0u);
+  EXPECT_GT(S.JitCodeBytes, 0u);
+  EXPECT_GT(S.TraceDispatchesJit, 0u);
+  // Pre-promotion dispatches of the compiled trace ran on the
+  // interpreter tier.
+  EXPECT_GE(S.TraceDispatchesInterp, 3u);
+  // Every trace dispatch was served by exactly one tier.
+  EXPECT_EQ(S.TraceDispatches, S.TraceDispatchesJit + S.TraceDispatchesInterp);
+}
+
+TEST(BackendTest, TierCountersAreDigestExcluded) {
+  if (!hostHasJit())
+    GTEST_SKIP() << "no template-JIT support on this host";
+  // Which tier ran is configuration, not semantics: digests must match
+  // across backends even though the tier counters differ wildly.
+  Module M = testprog::hotLoop(30000);
+  PreparedModule PM(M);
+  TraceVM VI(PM, interpOptions());
+  VI.run();
+  TraceVM VJ(PM, jitOptions());
+  VJ.run();
+  const VmStats SI = VI.currentStats(), SJ = VJ.currentStats();
+  EXPECT_NE(SI.TraceDispatchesJit, SJ.TraceDispatchesJit);
+  EXPECT_EQ(SI.digest(), SJ.digest());
+}
+
+TEST(BackendTest, CompileFallbackNamesAreStable) {
+  // Fallback codes surface in telemetry and --json; their names are part
+  // of the public vocabulary, rendered through the shared TypedError
+  // domain like every other taxonomy.
+  using backend::CompileFallback;
+  EXPECT_STREQ("host-unsupported",
+               compileFallbackName(CompileFallback::HostUnsupported));
+  EXPECT_STREQ("trace-shape",
+               compileFallbackName(CompileFallback::TraceShape));
+  TypedError E(backend::compileFallbackDomain(),
+               static_cast<uint32_t>(CompileFallback::SwitchGuard),
+               "trace 7");
+  EXPECT_EQ("backend/switch-guard: trace 7", E.qualifiedMessage());
+}

@@ -23,6 +23,8 @@
 ///   --validate=<mode>    trace validation in the grid VMs: off, on
 ///                        (default) or strict (abort on any rejection)
 ///   --no-validate-audit  skip the offline validator-vs-oracle audit
+///   --no-backend-audit   skip the interp-vs-jit backend equivalence
+///                        re-run of every grid point
 ///   --repro-dir=<dir>    write failing cases as .jasm reproducers
 ///   --json[=<file>]      campaign report as JSON (stdout if no file)
 ///   --features=<csv>     (gen) enable only the listed statement features:
@@ -75,6 +77,7 @@ int usage() {
          "               --no-traps --no-net --no-threaded --no-refinement\n"
          "               --no-persist-audit --no-btrace-audit\n"
          "               --validate=off|on|strict --no-validate-audit\n"
+         "               --no-backend-audit\n"
          "               --inject=skip-invalidation|skip-retirement\n"
          "               --repro-dir=DIR --json[=FILE]\n"
          "  replay options: --max-instr=N --no-net --no-threaded\n"
@@ -92,7 +95,7 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
   Opts.Fuzz.Gen.Features.Traps = true;
   bool NoMinimize = false, NoTraps = false, NoNet = false, NoThreaded = false;
   bool NoRefinement = false, NoPersistAudit = false, NoBtraceAudit = false;
-  bool NoValidateAudit = false;
+  bool NoValidateAudit = false, NoBackendAudit = false;
   ArgParser P;
   P.positionals(&Opts.Files)
       .custom(
@@ -123,16 +126,12 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
       .flag("no-persist-audit", &NoPersistAudit)
       .flag("no-btrace-audit", &NoBtraceAudit)
       .flag("no-validate-audit", &NoValidateAudit)
-      .custom(
-          "validate",
-          [&Opts](const std::string &V) {
-            if (!parseValidateMode(V, Opts.Fuzz.Oracle.Validate)) {
-              std::cerr << "unknown validate mode '" << V << "'\n";
-              return false;
-            }
-            return true;
-          },
-          /*ValueRequired=*/true)
+      .flag("no-backend-audit", &NoBackendAudit)
+      .choice("validate",
+              {{"off", ValidateMode::Off},
+               {"on", ValidateMode::On},
+               {"strict", ValidateMode::Strict}},
+              &Opts.Fuzz.Oracle.Validate)
       .custom(
           "inject",
           [&Opts](const std::string &F) {
@@ -211,6 +210,8 @@ bool parseOptions(int Argc, char **Argv, ToolOptions &Opts) {
     Opts.Fuzz.Oracle.CheckBtrace = false;
   if (NoValidateAudit)
     Opts.Fuzz.Oracle.CheckValidate = false;
+  if (NoBackendAudit)
+    Opts.Fuzz.Oracle.CheckBackends = false;
   return true;
 }
 

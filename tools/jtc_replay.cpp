@@ -35,6 +35,7 @@
 #include "bytecode/Verifier.h"
 #include "support/ArgParse.h"
 #include "support/Json.h"
+#include "support/TypedError.h"
 #include "text/AsmParser.h"
 #include "interp/PreparedModule.h"
 #include "workloads/Workloads.h"
@@ -137,6 +138,31 @@ const char *statusName(RunStatus S) {
   return "unknown";
 }
 
+/// Reports a typed failure: one qualified line on stderr, and with --json
+/// the repo-uniform error document ({"error": {"category", "code",
+/// "detail"}}) so machine consumers parse every taxonomy the same way.
+int failTyped(const Options &Opts, const char *Context, const TypedError &E) {
+  std::cerr << Context << ": " << E.qualifiedMessage() << "\n";
+  if (Opts.Json) {
+    auto WriteErr = [&](std::ostream &OS) {
+      JsonWriter W(OS);
+      W.beginObject().field("context", Context);
+      W.key("error").beginObject();
+      E.writeJsonFields(W);
+      W.endObject().endObject();
+      OS << "\n";
+    };
+    if (Opts.JsonOut.empty()) {
+      WriteErr(std::cout);
+    } else {
+      std::ofstream OS(Opts.JsonOut);
+      if (OS)
+        WriteErr(OS);
+    }
+  }
+  return 1;
+}
+
 void writeReplayJson(std::ostream &OS, const Options &Opts,
                      const btrace::ReplayResult &RR) {
   JsonWriter W(OS);
@@ -224,10 +250,8 @@ int main(int Argc, char **Argv) {
   btrace::BtraceHeader H;
   size_t HeaderSize = 0;
   persist::PersistError Err;
-  if (!btrace::decodeHeader(Data.data(), Data.size(), H, HeaderSize, Err)) {
-    std::cerr << "bad btrace stream: " << Err.message() << "\n";
-    return 1;
-  }
+  if (!btrace::decodeHeader(Data.data(), Data.size(), H, HeaderSize, Err))
+    return failTyped(Opts, "bad btrace stream", Err.typed());
   std::string Spec = Opts.Program.empty() ? H.Spec : Opts.Program;
   if (Spec.empty()) {
     std::cerr << "stream has no embedded program spec; pass --program=\n";
@@ -243,10 +267,8 @@ int main(int Argc, char **Argv) {
     return cmdRecover(Opts, Data, PM);
 
   btrace::ReplayResult RR;
-  if (!btrace::replayBtrace(Data.data(), Data.size(), PM, RR, Err)) {
-    std::cerr << "replay failed: " << Err.message() << "\n";
-    return 1;
-  }
+  if (!btrace::replayBtrace(Data.data(), Data.size(), PM, RR, Err))
+    return failTyped(Opts, "replay failed", Err.typed());
 
   if (Opts.Stats)
     RR.Stats.print(std::cerr);

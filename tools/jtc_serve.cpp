@@ -29,6 +29,8 @@
 ///                          0 = keep everything)
 ///     --validate=<mode>    trace translation validation: off, on
 ///                          (default) or strict (abort on rejection)
+///     --backend=<tier>     trace-execution backend for every session:
+///                          interp (default), jit or auto
 ///     --no-warm            disable trace-cache warm handoff
 ///     --no-traces          profile only, no trace dispatch
 ///     --no-profile         plain block interpreter sessions
@@ -69,6 +71,7 @@ struct Options {
   uint32_t BtraceSyncInterval = 4096;
   uint32_t BtraceKeep = 4;
   ValidateMode Validate = ValidateMode::On;
+  backend::BackendKind Backend = defaultBackendKind();
   bool NoWarm = false;
   bool NoTraces = false;
   bool NoProfile = false;
@@ -86,7 +89,8 @@ int usage() {
                "  --save-profile=DIR --load-profile=DIR "
                "--checkpoint-interval=SECONDS\n"
                "  --btrace-dir=DIR --btrace-sync-interval=N --btrace-keep=N\n"
-               "  --validate=off|on|strict --stats --json[=FILE]\n"
+               "  --validate=off|on|strict --backend=interp|jit|auto\n"
+               "  --stats --json[=FILE]\n"
                "  workloads:";
   for (const WorkloadInfo &W : allWorkloads())
     std::cerr << " " << W.Name;
@@ -111,16 +115,16 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .strOpt("btrace-dir", &Opts.BtraceDir)
       .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
       .u32Opt("btrace-keep", &Opts.BtraceKeep)
-      .custom(
-          "validate",
-          [&Opts](const std::string &V) {
-            if (!parseValidateMode(V, Opts.Validate)) {
-              std::cerr << "unknown validate mode '" << V << "'\n";
-              return false;
-            }
-            return true;
-          },
-          /*ValueRequired=*/true)
+      .choice("validate",
+              {{"off", ValidateMode::Off},
+               {"on", ValidateMode::On},
+               {"strict", ValidateMode::Strict}},
+              &Opts.Validate)
+      .choice("backend",
+              {{"interp", backend::BackendKind::Interp},
+               {"jit", backend::BackendKind::Jit},
+               {"auto", backend::BackendKind::Auto}},
+              &Opts.Backend)
       .flag("no-warm", &Opts.NoWarm)
       .flag("no-traces", &Opts.NoTraces)
       .flag("no-profile", &Opts.NoProfile)
@@ -171,6 +175,7 @@ void writeServeJson(std::ostream &OS, const Options &Opts, const VmService &Svc,
       .fieldBool("traces", !Opts.NoTraces)
       .fieldBool("profiling", !Opts.NoProfile)
       .field("validate", validateModeName(Opts.Validate))
+      .field("backend", backend::backendKindName(Opts.Backend))
       .endObject();
   W.fieldReal("wall_seconds", WallSeconds);
   W.fieldReal("requests_per_second",
@@ -218,7 +223,8 @@ int main(int Argc, char **Argv) {
                             .traces(!Opts.NoTraces)
                             .profiling(!Opts.NoProfile)
                             .btraceSyncInterval(Opts.BtraceSyncInterval)
-                            .validate(Opts.Validate)));
+                            .validate(Opts.Validate)
+                            .backend(Opts.Backend)));
   for (const WorkloadInfo *W : Ws)
     Svc.registerWorkload(*W, Opts.Scale);
 

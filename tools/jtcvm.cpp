@@ -43,6 +43,11 @@
 ///   --validate=<mode>    construction-time translation validation of
 ///                        optimized traces: off, on (default) or strict
 ///                        (abort the process on any rejection)
+///   --backend=<tier>     trace-execution backend: interp (default; the
+///                        oracle tier), jit (x86-64 template JIT), or
+///                        auto (jit when the host supports it). The
+///                        JTC_BACKEND environment variable changes the
+///                        default.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +59,7 @@
 #include "persist/Snapshot.h"
 #include "support/ArgParse.h"
 #include "support/Json.h"
+#include "support/TypedError.h"
 #include "telemetry/Export.h"
 #include "text/AsmParser.h"
 #include "text/AsmWriter.h"
@@ -100,6 +106,7 @@ struct Options {
   uint32_t BtraceSyncInterval = 4096;
   std::string Replay;       ///< .btc stream to replay instead of running.
   ValidateMode Validate = ValidateMode::On;
+  backend::BackendKind Backend = defaultBackendKind();
   uint32_t ResolvedScale = 1; ///< Actual workload scale (after defaults).
 
   /// Any flag that needs the event ring or phase sampler.
@@ -125,7 +132,8 @@ int usage() {
                "               --load-profile=FILE --save-profile=FILE\n"
                "               --btrace-out=FILE --btrace-sync-interval=N "
                "--replay=FILE\n"
-               "               --validate=off|on|strict\n";
+               "               --validate=off|on|strict "
+               "--backend=interp|jit|auto\n";
   return 2;
 }
 
@@ -159,16 +167,16 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .strOpt("btrace-out", &Opts.BtraceOut)
       .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
       .strOpt("replay", &Opts.Replay)
-      .custom(
-          "validate",
-          [&Opts](const std::string &V) {
-            if (!parseValidateMode(V, Opts.Validate)) {
-              std::cerr << "unknown validate mode '" << V << "'\n";
-              return false;
-            }
-            return true;
-          },
-          /*ValueRequired=*/true)
+      .choice("validate",
+              {{"off", ValidateMode::Off},
+               {"on", ValidateMode::On},
+               {"strict", ValidateMode::Strict}},
+              &Opts.Validate)
+      .choice("backend",
+              {{"interp", backend::BackendKind::Interp},
+               {"jit", backend::BackendKind::Jit},
+               {"auto", backend::BackendKind::Auto}},
+              &Opts.Backend)
       .uintOpt("sample-interval", &Opts.SampleInterval)
       .custom(
           "telemetry-cap",
@@ -258,6 +266,9 @@ void writeRunJson(std::ostream &OS, const Options &Opts, const TraceVM &VM,
       .fieldUInt("decay", Opts.Decay)
       .fieldBool("traces", !Opts.NoTraces)
       .fieldBool("profiling", !Opts.NoProfile)
+      // Requested knob and the tier actually executing (Auto resolved).
+      .field("backend", backend::backendKindName(VM.options().backend()))
+      .field("backend_tier", VM.traceBackend().name())
       .endObject();
   if (!Opts.LoadProfile.empty()) {
     W.key("profile")
@@ -335,6 +346,28 @@ bool writeFileOr(const std::string &Path, Fn &&Write) {
   return true;
 }
 
+/// Reports a typed failure: one qualified line on stderr, and with --json
+/// the repo-uniform error document ({"error": {"category", "code",
+/// "detail"}}) shared by the persist, validate and backend taxonomies.
+int failTyped(const Options &Opts, const char *Context, const TypedError &E) {
+  std::cerr << Context << ": " << E.qualifiedMessage() << "\n";
+  if (Opts.Json) {
+    auto WriteErr = [&](std::ostream &OS) {
+      JsonWriter W(OS);
+      W.beginObject().field("context", Context);
+      W.key("error").beginObject();
+      E.writeJsonFields(W);
+      W.endObject().endObject();
+      OS << "\n";
+    };
+    if (Opts.JsonOut.empty())
+      WriteErr(std::cout);
+    else
+      writeFileOr(Opts.JsonOut, WriteErr);
+  }
+  return 1;
+}
+
 /// `jtcvm run --replay=<f>`: replay a captured .btc stream against the
 /// program instead of executing it, and verify the recorded digest.
 int cmdReplay(const Options &Opts, const Module &M) {
@@ -348,10 +381,8 @@ int cmdReplay(const Options &Opts, const Module &M) {
   PreparedModule PM(M);
   btrace::ReplayResult RR;
   persist::PersistError Err;
-  if (!btrace::replayBtrace(Data.data(), Data.size(), PM, RR, Err)) {
-    std::cerr << "replay failed: " << Err.message() << "\n";
-    return 1;
-  }
+  if (!btrace::replayBtrace(Data.data(), Data.size(), PM, RR, Err))
+    return failTyped(Opts, "replay failed", Err.typed());
   if (Opts.Stats)
     RR.Stats.print(std::cerr);
   std::cerr << "replayed " << RR.BlocksWalked << " blocks ("
@@ -386,14 +417,12 @@ int cmdRun(const Options &Opts, const Module &M) {
                      .loadProfilePath(Opts.LoadProfile)
                      .saveProfilePath(Opts.SaveProfile)
                      .btraceSyncInterval(Opts.BtraceSyncInterval)
-                     .validate(Opts.Validate));
+                     .validate(Opts.Validate)
+                     .backend(Opts.Backend));
   persist::LoadReport Loaded;
   persist::PersistError PErr;
-  if (!persist::applyProfileOptions(VM, Loaded, PErr)) {
-    std::cerr << "cannot load profile '" << Opts.LoadProfile
-              << "': " << PErr.message() << "\n";
-    return 1;
-  }
+  if (!persist::applyProfileOptions(VM, Loaded, PErr))
+    return failTyped(Opts, "cannot load profile", PErr.typed());
   if (!Opts.LoadProfile.empty() && !Opts.Quiet)
     std::cerr << "profile loaded: " << Loaded.Nodes << " nodes, "
               << Loaded.Traces << " traces ("
@@ -404,21 +433,14 @@ int cmdRun(const Options &Opts, const Module &M) {
     Capture = btrace::BtraceFileCapture::start(VM, Opts.BtraceOut,
                                                Opts.Program,
                                                Opts.ResolvedScale, PErr);
-    if (!Capture) {
-      std::cerr << "cannot capture btrace: " << PErr.message() << "\n";
-      return 1;
-    }
+    if (!Capture)
+      return failTyped(Opts, "cannot capture btrace", PErr.typed());
   }
   RunResult R = VM.run();
-  if (Capture && !Capture->finish(PErr)) {
-    std::cerr << "btrace capture failed: " << PErr.message() << "\n";
-    return 1;
-  }
-  if (!persist::finishProfileOptions(VM, PErr)) {
-    std::cerr << "cannot save profile '" << Opts.SaveProfile
-              << "': " << PErr.message() << "\n";
-    return 1;
-  }
+  if (Capture && !Capture->finish(PErr))
+    return failTyped(Opts, "btrace capture failed", PErr.typed());
+  if (!persist::finishProfileOptions(VM, PErr))
+    return failTyped(Opts, "cannot save profile", PErr.typed());
   // --json to stdout owns the stream: program output is suppressed there
   // so the document stays parseable.
   bool JsonToStdout = Opts.Json && Opts.JsonOut.empty();
