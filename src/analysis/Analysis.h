@@ -12,6 +12,7 @@
 #ifndef JTC_ANALYSIS_ANALYSIS_H
 #define JTC_ANALYSIS_ANALYSIS_H
 
+#include "analysis/Alias.h"
 #include "analysis/Cfg.h"
 #include "analysis/Dataflow.h"
 #include "analysis/Lint.h"

@@ -87,6 +87,31 @@ void appendCallees(const Module &M, const Method &Fn,
 
 } // namespace
 
+std::optional<EffectSummary>
+ModuleSummaries::callSite(const Module &M, const Instruction &I) const {
+  if (I.Op == Opcode::InvokeStatic) {
+    auto Target = static_cast<uint32_t>(I.A);
+    if (Target >= Summaries.size())
+      return std::nullopt;
+    return Summaries[Target];
+  }
+  if (I.Op != Opcode::InvokeVirtual)
+    return std::nullopt;
+  uint32_t Slot = static_cast<uint32_t>(I.A);
+  EffectSummary E;
+  E.MayTrap = true; // Dispatch traps on null / non-object receivers.
+  bool Any = false;
+  for (const Class &C : M.Classes)
+    if (Slot < C.Vtable.size() && C.Vtable[Slot] != InvalidMethod &&
+        C.Vtable[Slot] < Summaries.size()) {
+      E.merge(Summaries[C.Vtable[Slot]]);
+      Any = true;
+    }
+  if (!Any)
+    return std::nullopt;
+  return E;
+}
+
 ModuleSummaries ModuleSummaries::compute(const Module &M) {
   const uint32_t N = static_cast<uint32_t>(M.Methods.size());
   ModuleSummaries S;

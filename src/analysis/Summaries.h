@@ -17,6 +17,7 @@
 #include "bytecode/Program.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,16 @@ public:
   /// True when the method participates in a call-graph cycle (directly or
   /// mutually recursive).
   bool isRecursive(uint32_t Id) const { return Recursive[Id]; }
+
+  /// Effect facts for one call instruction, i.e. per trace op rather than
+  /// per enclosing method: the merged summary of every method \p I can
+  /// dispatch to. InvokeStatic resolves to its single target; InvokeVirtual
+  /// merges every implementation of the slot across the module's vtables
+  /// (and is always MayTrap: dispatch itself can fail on a null or
+  /// non-object receiver). Returns nullopt when \p I is not a call or the
+  /// virtual slot has no implementation anywhere.
+  std::optional<EffectSummary> callSite(const Module &M,
+                                        const Instruction &I) const;
 
 private:
   std::vector<EffectSummary> Summaries;

@@ -15,6 +15,7 @@ TraceRunResult stepTrace(const Trace &T, TraceRunContext &Ctx) {
          "stepper not positioned at the trace entry");
 
   const uint64_t Start = S.instructions();
+  const uint64_t ElidedStart = S.checksElided();
   // Absolute instruction count at which the session budget cuts the run.
   // The check is block-granular and sits after the status check, matching
   // the live loop it replaces.
@@ -22,11 +23,27 @@ TraceRunResult stepTrace(const Trace &T, TraceRunContext &Ctx) {
                             ? ~0ull
                             : Start + Ctx.RemainingBudget;
 
+  // Cursor over the trace's check-elision facts (pc-ordered within
+  // ascending block index); each block's slice is armed on the stepper
+  // just before that block steps. Inside the trace the facts' path
+  // assumption holds by construction: block I only executes after blocks
+  // 0..I-1 matched the recorded sequence.
+  const MemElision *EF = T.MemElisions.data();
+  const size_t EN = T.MemElisions.size();
+  size_t EC = 0;
+
   TraceRunResult R;
   for (size_t I = 0; I < T.Blocks.size(); ++I) {
+    if (EC < EN && EF[EC].BlockIndex == I) {
+      size_t Begin = EC;
+      while (EC < EN && EF[EC].BlockIndex == I)
+        ++EC;
+      S.setElisions(EF + Begin, EC - Begin);
+    }
     BlockStepper::StepStatus St = S.step();
     R.BlocksRun = static_cast<uint32_t>(I + 1);
     R.Instructions = S.instructions() - Start;
+    R.ChecksElided = S.checksElided() - ElidedStart;
     if (St == BlockStepper::StepStatus::Trapped) {
       R.End = TraceRunEnd::Trapped;
       return R;
@@ -57,7 +74,9 @@ TraceRunResult stepTrace(const Trace &T, TraceRunContext &Ctx) {
 
 TraceRunResult InterpreterBackend::run(const Trace &T, TraceRunContext &Ctx) {
   ++Stats.InterpDispatches;
-  return stepTrace(T, Ctx);
+  TraceRunResult R = stepTrace(T, Ctx);
+  Stats.MemChecksElided += R.ChecksElided;
+  return R;
 }
 
 } // namespace backend

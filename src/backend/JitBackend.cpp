@@ -128,6 +128,78 @@ static uint64_t jtcJitPutField(Machine *M, int64_t Ref, int64_t Slot,
   return 0;
 }
 
+//===--- Reduced-check variants (IrOp::ElideKind) ----------------------===//
+//
+// For heap accesses the trace-path alias analysis proved cannot fail a
+// check (Trace::MemElisions). NoNull keeps the bounds check but skips the
+// liveness/class check; Fast skips everything and so cannot trap at all
+// (the template emits no trap exit for it). Pop order, trap kinds and
+// Heap calls mirror Machine::execOneElided exactly.
+
+static JitHelperResult jtcJitIaloadNoNull(Machine *M, int64_t Ref,
+                                          int64_t Idx) {
+  Heap &H = M->heap();
+  if (Idx < 0 || static_cast<size_t>(Idx) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::ArrayBounds);
+    return {0, 1};
+  }
+  return {H.load(Ref, static_cast<size_t>(Idx)), 0};
+}
+
+static int64_t jtcJitIaloadFast(Machine *M, int64_t Ref, int64_t Idx) {
+  return M->heap().load(Ref, static_cast<size_t>(Idx));
+}
+
+static uint64_t jtcJitIastoreNoNull(Machine *M, int64_t Ref, int64_t Idx,
+                                    int64_t Value) {
+  Heap &H = M->heap();
+  if (Idx < 0 || static_cast<size_t>(Idx) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::ArrayBounds);
+    return 1;
+  }
+  H.store(Ref, static_cast<size_t>(Idx), Value);
+  return 0;
+}
+
+static void jtcJitIastoreFast(Machine *M, int64_t Ref, int64_t Idx,
+                              int64_t Value) {
+  M->heap().store(Ref, static_cast<size_t>(Idx), Value);
+}
+
+static int64_t jtcJitArrayLengthFast(Machine *M, int64_t Ref) {
+  return static_cast<int64_t>(M->heap().slotCount(Ref));
+}
+
+static JitHelperResult jtcJitGetFieldNoNull(Machine *M, int64_t Ref,
+                                            int64_t Slot) {
+  Heap &H = M->heap();
+  if (static_cast<size_t>(Slot) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::FieldBounds);
+    return {0, 1};
+  }
+  return {H.load(Ref, static_cast<size_t>(Slot)), 0};
+}
+
+static int64_t jtcJitGetFieldFast(Machine *M, int64_t Ref, int64_t Slot) {
+  return M->heap().load(Ref, static_cast<size_t>(Slot));
+}
+
+static uint64_t jtcJitPutFieldNoNull(Machine *M, int64_t Ref, int64_t Slot,
+                                     int64_t Value) {
+  Heap &H = M->heap();
+  if (static_cast<size_t>(Slot) >= H.slotCount(Ref)) {
+    M->setTrap(TrapKind::FieldBounds);
+    return 1;
+  }
+  H.store(Ref, static_cast<size_t>(Slot), Value);
+  return 0;
+}
+
+static void jtcJitPutFieldFast(Machine *M, int64_t Ref, int64_t Slot,
+                               int64_t Value) {
+  M->heap().store(Ref, static_cast<size_t>(Slot), Value);
+}
+
 static JitHelperResult jtcJitNew(Machine *M, int64_t ClassId) {
   const Class &C = M->module().Classes[static_cast<size_t>(ClassId)];
   int64_t Ref = M->heap().allocObject(static_cast<uint32_t>(ClassId),
@@ -350,6 +422,10 @@ private:
   // common epilogue.
   uint32_t addExit(const ExitRecord &R) {
     Exits.push_back(R);
+    // Every exit reached from this point in the template has executed
+    // every elided op emitted so far (they are straight-line), so the
+    // prefix count is exact per exit.
+    Exits.back().ChecksElided = ElidedSoFar;
     return static_cast<uint32_t>(Exits.size() - 1);
   }
   /// Instructions executed once \p Op (at its source position) has: full
@@ -414,6 +490,11 @@ private:
   X64Emitter E;
   std::vector<ExitRecord> Exits;
   std::vector<std::pair<size_t, uint32_t>> ExitFixups;
+  /// Checks skipped by the elided ops emitted so far; bumped *before* an
+  /// elided op's templates (so its own residual trap exit counts it,
+  /// matching the stepper, which counts the elision before the bounds
+  /// check can trap).
+  uint64_t ElidedSoFar = 0;
   bool Failed = false;
 };
 
@@ -643,8 +724,17 @@ void TraceCompiler::emitOp(const IrOp &Op) {
     E.movRM(Reg::Rdx, TopReg, -8);  // Idx
     E.movRM(Reg::Rsi, TopReg, -16); // Ref
     E.subRI(TopReg, 16);
-    helperCall(reinterpret_cast<const void *>(&jtcJitIaload));
-    helperTrapCheckRdx(Op);
+    if (Op.Elide == IrOp::ElideKind::Full) {
+      ElidedSoFar += 2;
+      helperCall(reinterpret_cast<const void *>(&jtcJitIaloadFast));
+    } else if (Op.Elide == IrOp::ElideKind::NullOnly) {
+      ElidedSoFar += 1;
+      helperCall(reinterpret_cast<const void *>(&jtcJitIaloadNoNull));
+      helperTrapCheckRdx(Op);
+    } else {
+      helperCall(reinterpret_cast<const void *>(&jtcJitIaload));
+      helperTrapCheckRdx(Op);
+    }
     pushRax();
     break;
   case Opcode::Iastore:
@@ -653,15 +743,31 @@ void TraceCompiler::emitOp(const IrOp &Op) {
     E.movRM(Reg::Rdx, TopReg, -16); // Idx
     E.movRM(Reg::Rsi, TopReg, -24); // Ref
     E.subRI(TopReg, 24);
-    helperCall(reinterpret_cast<const void *>(&jtcJitIastore));
-    helperTrapCheckRax(Op);
+    if (Op.Elide == IrOp::ElideKind::Full) {
+      ElidedSoFar += 2;
+      helperCall(reinterpret_cast<const void *>(&jtcJitIastoreFast));
+    } else if (Op.Elide == IrOp::ElideKind::NullOnly) {
+      ElidedSoFar += 1;
+      helperCall(reinterpret_cast<const void *>(&jtcJitIastoreNoNull));
+      helperTrapCheckRax(Op);
+    } else {
+      helperCall(reinterpret_cast<const void *>(&jtcJitIastore));
+      helperTrapCheckRax(Op);
+    }
     break;
   case Opcode::ArrayLength:
     E.movRR(Reg::Rdi, MachReg);
     E.movRM(Reg::Rsi, TopReg, -8); // Ref
     E.subRI(TopReg, 8);
-    helperCall(reinterpret_cast<const void *>(&jtcJitArrayLength));
-    helperTrapCheckRdx(Op);
+    if (Op.Elide != IrOp::ElideKind::None) {
+      // The liveness/class check is ArrayLength's only check, so both
+      // elision kinds skip everything (weight 1, like the stepper).
+      ElidedSoFar += 1;
+      helperCall(reinterpret_cast<const void *>(&jtcJitArrayLengthFast));
+    } else {
+      helperCall(reinterpret_cast<const void *>(&jtcJitArrayLength));
+      helperTrapCheckRdx(Op);
+    }
     pushRax();
     break;
   case Opcode::GetField:
@@ -669,8 +775,17 @@ void TraceCompiler::emitOp(const IrOp &Op) {
     E.movRM(Reg::Rsi, TopReg, -8); // Ref
     E.movRI(Reg::Rdx, I.A);        // Slot
     E.subRI(TopReg, 8);
-    helperCall(reinterpret_cast<const void *>(&jtcJitGetField));
-    helperTrapCheckRdx(Op);
+    if (Op.Elide == IrOp::ElideKind::Full) {
+      ElidedSoFar += 2;
+      helperCall(reinterpret_cast<const void *>(&jtcJitGetFieldFast));
+    } else if (Op.Elide == IrOp::ElideKind::NullOnly) {
+      ElidedSoFar += 1;
+      helperCall(reinterpret_cast<const void *>(&jtcJitGetFieldNoNull));
+      helperTrapCheckRdx(Op);
+    } else {
+      helperCall(reinterpret_cast<const void *>(&jtcJitGetField));
+      helperTrapCheckRdx(Op);
+    }
     pushRax();
     break;
   case Opcode::PutField:
@@ -679,8 +794,17 @@ void TraceCompiler::emitOp(const IrOp &Op) {
     E.movRM(Reg::Rsi, TopReg, -16); // Ref
     E.movRI(Reg::Rdx, I.A);         // Slot
     E.subRI(TopReg, 16);
-    helperCall(reinterpret_cast<const void *>(&jtcJitPutField));
-    helperTrapCheckRax(Op);
+    if (Op.Elide == IrOp::ElideKind::Full) {
+      ElidedSoFar += 2;
+      helperCall(reinterpret_cast<const void *>(&jtcJitPutFieldFast));
+    } else if (Op.Elide == IrOp::ElideKind::NullOnly) {
+      ElidedSoFar += 1;
+      helperCall(reinterpret_cast<const void *>(&jtcJitPutFieldNoNull));
+      helperTrapCheckRax(Op);
+    } else {
+      helperCall(reinterpret_cast<const void *>(&jtcJitPutField));
+      helperTrapCheckRax(Op);
+    }
     break;
   case Opcode::New:
     E.movRR(Reg::Rdi, MachReg);
@@ -870,7 +994,9 @@ TraceRunResult JitBackend::run(const Trace &T, TraceRunContext &Ctx) {
   // live loop's post-block checks during replay.
   if (!C || !C->Fn || T.InstrCount > Ctx.RemainingBudget) {
     ++Stats.InterpDispatches;
-    return stepTrace(T, Ctx);
+    TraceRunResult R = stepTrace(T, Ctx);
+    Stats.MemChecksElided += R.ChecksElided;
+    return R;
   }
 
   ++Stats.CompiledDispatches;
@@ -900,10 +1026,13 @@ TraceRunResult JitBackend::run(const Trace &T, TraceRunContext &Ctx) {
   assert(JC.ExitIndex < C->Exits.size() && "bad exit index");
   const ExitRecord &X = C->Exits[JC.ExitIndex];
   Ctx.Stepper.creditInstructions(X.Instructions);
+  Ctx.Stepper.creditChecksElided(X.ChecksElided);
+  Stats.MemChecksElided += X.ChecksElided;
 
   TraceRunResult R;
   R.BlocksRun = X.BlocksRun;
   R.Instructions = X.Instructions;
+  R.ChecksElided = X.ChecksElided;
   switch (X.K) {
   case ExitRecord::Kind::Complete:
     R.End = TraceRunEnd::Completed;

@@ -89,6 +89,11 @@ struct ExitRecord {
   Kind K = Kind::Complete;
   uint32_t BlocksRun = 0;
   uint64_t Instructions = 0;
+  /// Dynamic heap-access checks the elided templates skipped on the path
+  /// to this exit (the compile-time prefix count; exact because elided
+  /// ops are straight-line code between exits). Mirrors the stepper's
+  /// checksElided() accounting for the same run.
+  uint64_t ChecksElided = 0;
   BlockId Next = InvalidBlockId;
   TrapKind TrapToSet = TrapKind::None;
 };

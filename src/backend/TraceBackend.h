@@ -80,6 +80,9 @@ struct BackendStats {
   uint64_t CompiledDispatches = 0; ///< Trace runs executed natively.
   uint64_t InterpDispatches = 0;   ///< Trace runs executed by block-stepping.
   uint64_t CodeBytes = 0;          ///< Native code emitted.
+  /// Dynamic heap-access checks skipped via trace MemElisions, summed
+  /// over every run this backend served (both tiers count identically).
+  uint64_t MemChecksElided = 0;
   uint64_t FallbacksByReason[NumCompileFallbacks] = {};
 };
 
@@ -103,6 +106,9 @@ struct TraceRunResult {
   uint32_t BlocksRun = 0;      ///< Trace blocks executed (>= 1).
   uint64_t Instructions = 0;   ///< Instructions executed by this run.
   BlockId NextBlock = InvalidBlockId; ///< Successor (Completed / Diverged).
+  /// Dynamic checks skipped via the trace's MemElisions during this run
+  /// (digest-neutral accounting; see BackendStats::MemChecksElided).
+  uint64_t ChecksElided = 0;
 };
 
 /// Everything a backend may touch while running one trace. The stepper is

@@ -47,6 +47,38 @@ LowerResult lowerTrace(const PreparedModule &PM, const Trace &T,
   int32_t Depth = 0;
   int32_t MaxDepth = 0;
 
+  // Cursor over the trace's check-elision facts, ordered by
+  // (BlockIndex, Pc) exactly like the lowering walk. Applied only to the
+  // heap opcodes the facts can describe -- anything else is a stale or
+  // foreign annotation and is ignored.
+  const std::vector<MemElision> &Elisions = T.MemElisions;
+  size_t ElideCursor = 0;
+  auto applyElide = [&](IrOp &Op) {
+    while (ElideCursor < Elisions.size() &&
+           (Elisions[ElideCursor].BlockIndex < Op.SrcBlockIndex ||
+            (Elisions[ElideCursor].BlockIndex == Op.SrcBlockIndex &&
+             Elisions[ElideCursor].Pc < Op.SrcPc)))
+      ++ElideCursor;
+    if (ElideCursor >= Elisions.size() ||
+        Elisions[ElideCursor].BlockIndex != Op.SrcBlockIndex ||
+        Elisions[ElideCursor].Pc != Op.SrcPc)
+      return;
+    switch (Op.I.Op) {
+    case Opcode::GetField:
+    case Opcode::PutField:
+    case Opcode::Iaload:
+    case Opcode::Iastore:
+    case Opcode::ArrayLength:
+      Op.Elide = Elisions[ElideCursor].Kind == MemElision::Full
+                     ? IrOp::ElideKind::Full
+                     : IrOp::ElideKind::NullOnly;
+      break;
+    default:
+      break;
+    }
+    ++ElideCursor;
+  };
+
   // Lower block by block, straight off the recorded stream. Every
   // non-final block's recorded successor is verified against what its
   // terminator can actually produce; a mismatch is a corrupted trace
@@ -73,6 +105,7 @@ LowerResult lowerTrace(const PreparedModule &PM, const Trace &T,
       Op.SrcPc = Pc;
       assert(opPops(I.Op) >= 0 && opPushes(I.Op) >= 0 &&
              "variable-arity opcode classified Normal");
+      applyElide(Op);
       Depth -= opPops(I.Op);
       Depth += opPushes(I.Op);
       MaxDepth = std::max(MaxDepth, Depth);
@@ -91,6 +124,7 @@ LowerResult lowerTrace(const PreparedModule &PM, const Trace &T,
       // Fallthrough into the next leader: the terminator is an ordinary
       // instruction; the successor is static.
       Op.K = IrOp::Kind::Instr;
+      applyElide(Op);
       Depth -= opPops(Term.Op);
       Depth += opPushes(Term.Op);
       MaxDepth = std::max(MaxDepth, Depth);

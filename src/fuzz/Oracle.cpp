@@ -204,6 +204,33 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Config) {
     if (Config.CheckValidate && Config.Fault == CacheFault::None)
       C.violations(checkValidateAudit(PM, VM));
 
+    // Memory-elision equivalence: the same configuration with dynamic
+    // check elision disabled must be observationally identical (elision
+    // only skips checks the alias analysis proved redundant), and the
+    // stats digest must not move either -- the elision counters are
+    // digest-excluded by design, so --mem-elide is replay-neutral.
+    if (Config.Fault == CacheFault::None) {
+      std::ostringstream EName;
+      EName << "tracevm-noelide[t=" << G.Threshold << " delay=" << G.Delay
+            << " decay=" << G.Decay << "]";
+      Comparer EC(Result, EName.str());
+      TraceVM EVM(PM, VmOptions(Base)
+                          .backend(backend::BackendKind::Interp)
+                          .memElide(false));
+      RunResult ER = EVM.run();
+      EC.outcome(ER.Status, EVM.machine().trap());
+      EC.instructions(ER.Instructions);
+      EC.output(EVM.machine().output());
+      EC.heap(fuzz::heapDigest(EVM.machine().heap()), RefDigest);
+      if (VM.currentStats().digest() != EVM.currentStats().digest()) {
+        std::ostringstream OS;
+        OS << "elide-on digest " << std::hex << VM.currentStats().digest()
+           << ", elide-off digest " << EVM.currentStats().digest();
+        Result.Findings.push_back(
+            {EName.str(), "mem-elide-digest-mismatch", OS.str()});
+      }
+    }
+
     // Backend equivalence: the same configuration on the JIT tier must
     // be observationally indistinguishable -- including the adaptive
     // bookkeeping (stats digest) and the emitted btrace stream, which

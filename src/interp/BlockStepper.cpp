@@ -13,13 +13,37 @@ void BlockStepper::start() {
   Instructions = 0;
 }
 
+/// Dynamic checks one elided heap access skips: the liveness/class check
+/// always, plus the bounds check when Kind is Full (ArrayLength has no
+/// bounds check to begin with).
+static uint64_t elisionWeight(Opcode Op, uint8_t Kind) {
+  if (Kind != MemElision::Full || Op == Opcode::ArrayLength)
+    return 1;
+  return 2;
+}
+
 BlockStepper::StepStatus BlockStepper::step() {
   assert(Cur != InvalidBlockId && "step() before start() or after finish");
   const BasicBlock &BB = PM->block(Cur);
   const Method &M = PM->module().Methods[BB.MethodId];
 
+  // Consume the one-shot elision span armed for this block (null on the
+  // vast majority of steps: one predictable branch per instruction).
+  const MemElision *EF = Elide;
+  const size_t EN = ElideCount;
+  size_t EI = 0;
+  Elide = nullptr;
+  ElideCount = 0;
+
   for (uint32_t Pc = BB.StartPc; Pc < BB.EndPc; ++Pc) {
-    Effect E = Mach->execOne(M.Code[Pc]);
+    Effect E;
+    if (EF && EI < EN && EF[EI].Pc == Pc) {
+      E = Mach->execOneElided(M.Code[Pc], EF[EI].Kind == MemElision::Full);
+      ChecksElided += elisionWeight(M.Code[Pc].Op, EF[EI].Kind);
+      ++EI;
+    } else {
+      E = Mach->execOne(M.Code[Pc]);
+    }
     ++Instructions;
 
     switch (E.Kind) {

@@ -36,6 +36,13 @@ enum class UnsoundPass : uint8_t {
   /// Discard the first deferred store owed at an exit flush outright:
   /// the local's final value is simply lost.
   KillLiveOnExit,
+  /// When dead-store elimination overwrites a pending heap store, emit
+  /// the dead store again *after* its overwrite, resurrecting the stale
+  /// value as the cell's final content.
+  ResurrectDeadStore,
+  /// Eliminate the first heap load the alias analysis did *not* justify,
+  /// substituting a fabricated value as if the cell were known.
+  AliasConfusedLoad,
 };
 
 inline const char *unsoundPassName(UnsoundPass P) {
@@ -50,6 +57,10 @@ inline const char *unsoundPassName(UnsoundPass P) {
     return "wrong-constant";
   case UnsoundPass::KillLiveOnExit:
     return "kill-live-on-exit";
+  case UnsoundPass::ResurrectDeadStore:
+    return "resurrect-dead-store";
+  case UnsoundPass::AliasConfusedLoad:
+    return "alias-confused-load";
   }
   return "none";
 }
@@ -71,12 +82,23 @@ struct OptConfig {
   /// Honor per-guard liveness: locals dead at a side exit's resume pc may
   /// keep a stale value there.
   bool LivenessAtExits = true;
+  /// Eliminate heap loads whose cell value is already known (a dominating
+  /// load or store to the same field/element on the trace path).
+  bool ElimRedundantLoads = true;
+  /// Eliminate heap stores that are dead: overwritten before any exit or
+  /// possible aliasing read, or targeting a non-escaping allocation whose
+  /// reference provably dies inside the segment.
+  bool ElimDeadStores = true;
+  /// Let a pending store to a non-escaping allocation sink past side
+  /// exits that provably cannot reach the allocation.
+  bool SinkStores = true;
   /// Test-only deliberate miscompilation (see UnsoundPass).
   UnsoundPass Mutate = UnsoundPass::None;
 
   bool stock() const {
     return FoldConstants && ForwardLoads && DeferStores && EliminateGuards &&
-           LivenessAtExits && Mutate == UnsoundPass::None;
+           LivenessAtExits && ElimRedundantLoads && ElimDeadStores &&
+           SinkStores && Mutate == UnsoundPass::None;
   }
 };
 

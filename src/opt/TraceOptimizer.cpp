@@ -337,17 +337,58 @@ struct LocalVal {
   uint32_t Src = 0; ///< Kind::Copy: the (non-dirty) source local.
 };
 
+/// Identity of one heap cell the optimizer can reason about: the local
+/// currently holding the base reference plus a constant index. Valid only
+/// while the base local is not redefined (redefinition drops the facts).
+struct CellKey {
+  enum class Group : uint8_t { Field, Elem, Len };
+  Group G = Group::Field;
+  uint32_t Base = 0;
+  int32_t Index = 0;
+  bool operator==(const CellKey &O) const = default;
+};
+
+/// What the optimizer knows about one cell's current content.
+struct CellVal {
+  CellKey Key;
+  Entry Val; ///< Kind::Const or Kind::Load only.
+};
+
+/// A heap store held back (not yet emitted). It may be overwritten (dead
+/// store), sunk past side exits that cannot reach the allocation, or
+/// flushed before the next emitted effect.
+struct PendingHeapStore {
+  CellKey Key;
+  Entry Val;     ///< Kind::Const or Kind::Load only.
+  Instruction I; ///< The PutField/Iastore to re-emit.
+  /// Provably cannot trap (fresh allocation, index in bounds). Required
+  /// for any elimination or reordering that skips the store's checks.
+  bool NoTrap = false;
+  bool Sunk = false; ///< Already counted as sunk past an exit.
+};
+
+/// Tracks a local holding a freshly allocated, not-yet-escaped object:
+/// such a reference aliases nothing else in the segment.
+struct FreshAlloc {
+  bool Fresh = false;
+  bool Escaped = false;
+  bool IsArray = false;
+  int32_t ClassId = -1;
+  int64_t ConstLen = -1;
+};
+
 class SegmentOptimizer {
 public:
   SegmentOptimizer(const LinearSegment &In, OptStats &Stats,
-                   const OptConfig &Cfg)
-      : In(In), Stats(Stats), Cfg(Cfg) {
+                   const OptConfig &Cfg, const Module *Mod)
+      : In(In), Stats(Stats), Cfg(Cfg), Mod(Mod) {
     Out.MethodId = In.MethodId;
     Out.NumLocals = In.NumLocals;
     Out.ScratchBase = In.ScratchBase;
     Out.EntryConsts = In.EntryConsts;
     Vals.assign(In.NumLocals, LocalVal());
     Dirty.assign(In.NumLocals, false);
+    Fresh.assign(In.NumLocals, FreshAlloc());
     // Statically proved entry constants: known but clean (the real local
     // already holds the value, so nothing is owed at exits).
     for (const auto &[L, C] : In.EntryConsts)
@@ -398,6 +439,7 @@ private:
       case Entry::Kind::Load:
         assert(!Dirty[E.Local] && "deferred load of a dirty local");
         emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+        markExposed(E.Local); // a persistent stack copy of the reference
         break;
       }
       E.K = Entry::Kind::Materialized;
@@ -427,6 +469,7 @@ private:
         break;
       case Entry::Kind::Load:
         emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+        markExposed(E.Local);
         break;
       }
       E.K = Entry::Kind::Materialized;
@@ -443,6 +486,7 @@ private:
       break;
     case LocalVal::Kind::Copy:
       emit(Instruction(Opcode::Iload, static_cast<int32_t>(Vals[X].Src)));
+      markExposed(Vals[X].Src); // the copy lands in another local
       break;
     case LocalVal::Kind::Unknown:
       assert(false && "dirty local with unknown value");
@@ -565,12 +609,269 @@ private:
     return std::nullopt;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Heap memory: redundant-load elimination, dead-store elimination and
+  // store sinking over field/element cells named by (base local, index).
+  //===--------------------------------------------------------------------===//
+
+  /// The entry \p DepthFromTop below the abstract top (1 = top). Depths
+  /// below the abstract stack are incoming operands, i.e. materialized.
+  Entry peek(int DepthFromTop) const {
+    if (static_cast<size_t>(DepthFromTop) > AbstractStack.size())
+      return {Entry::Kind::Materialized, 0, 0};
+    return AbstractStack[AbstractStack.size() -
+                         static_cast<size_t>(DepthFromTop)];
+  }
+
+  /// A reference held in local \p L gained a second name (a stack copy, a
+  /// local copy, or a heap cell): stop treating it as unaliased.
+  void markExposed(uint32_t L) {
+    if (L < Fresh.size())
+      Fresh[L].Escaped = true;
+  }
+
+  /// True when cells \p A and \p B can never name the same storage:
+  /// different groups (a length is not a field), same base with different
+  /// indices, or one base holding a freshly allocated reference that has
+  /// no other name. Freshness is judged at the moment both names exist,
+  /// which is exactly when the question is asked: a later escape cannot
+  /// retroactively alias values captured now.
+  bool distinctCells(const CellKey &A, const CellKey &B) const {
+    if (A.G != B.G)
+      return true;
+    if (A.Base == B.Base)
+      return A.Index != B.Index;
+    auto Unaliased = [&](uint32_t L) {
+      return L < Fresh.size() && Fresh[L].Fresh && !Fresh[L].Escaped;
+    };
+    return Unaliased(A.Base) || Unaliased(B.Base);
+  }
+
+  const Entry *lookupCell(const CellKey &K) const {
+    for (const CellVal &C : Cells)
+      if (C.Key == K)
+        return &C.Val;
+    return nullptr;
+  }
+
+  void recordCell(const CellKey &K, Entry V) {
+    for (CellVal &C : Cells) {
+      if (C.Key == K) {
+        C.Val = V;
+        return;
+      }
+    }
+    if (Cells.size() < 64) // bound the per-segment working set
+      Cells.push_back({K, V});
+  }
+
+  /// A store to \p K kills knowledge of every cell it may alias.
+  void dropCellsForStore(const CellKey &K) {
+    std::erase_if(Cells,
+                  [&](const CellVal &C) { return !distinctCells(K, C.Key); });
+  }
+
+  /// A store through an unidentified base kills every same-group cell
+  /// except those on provably unaliased fresh allocations.
+  void dropCellsUnknownStore(CellKey::Group G) {
+    std::erase_if(Cells, [&](const CellVal &C) {
+      return C.Key.G == G &&
+             !(C.Key.Base < Fresh.size() && Fresh[C.Key.Base].Fresh &&
+               !Fresh[C.Key.Base].Escaped);
+    });
+  }
+
+  /// Local \p X is redefined: cells based on it name a different object
+  /// now, and cells whose remembered value was "whatever X holds" are
+  /// stale.
+  void dropCellsOfLocal(uint32_t X) {
+    std::erase_if(Cells, [&](const CellVal &C) {
+      return C.Key.Base == X ||
+             (C.Val.K == Entry::Kind::Load && C.Val.Local == X);
+    });
+  }
+
+  bool stackHoldsLoadOf(uint32_t X) const {
+    for (const Entry &E : AbstractStack)
+      if (E.K == Entry::Kind::Load && E.Local == X)
+        return true;
+    return false;
+  }
+
+  /// Re-emits one held-back heap store. Stack-neutral, so it is safe at
+  /// any emission point; base and value locals are non-dirty by the
+  /// pending invariant (redefining either flushes first).
+  void flushPendingStore(const PendingHeapStore &P) {
+    emit(Instruction(Opcode::Iload, static_cast<int32_t>(P.Key.Base)));
+    if (P.Key.G == CellKey::Group::Elem)
+      emit(Instruction(Opcode::Iconst, P.Key.Index));
+    if (P.Val.K == Entry::Kind::Const)
+      emit(Instruction(Opcode::Iconst, static_cast<int32_t>(P.Val.C)));
+    else
+      emit(Instruction(Opcode::Iload, static_cast<int32_t>(P.Val.Local)));
+    emit(P.I);
+  }
+
+  /// Pending stores never cross an emitted effect (print, allocation,
+  /// kept heap access): they land, in program order, just before it.
+  void flushPendingAll() {
+    for (const PendingHeapStore &P : Pending)
+      flushPendingStore(P);
+    Pending.clear();
+  }
+
+  /// Local \p X is about to be redefined: pending stores based on it or
+  /// valued from it must land first -- except a store into a fresh
+  /// allocation whose last name dies here, which can never be observed.
+  void pendingRedefine(uint32_t X) {
+    enum class Act : uint8_t { Keep, Flush, Drop };
+    std::vector<Act> Plan(Pending.size(), Act::Keep);
+    for (size_t P = 0; P < Pending.size(); ++P) {
+      PendingHeapStore &PS = Pending[P];
+      bool Affected = PS.Key.Base == X ||
+                      (PS.Val.K == Entry::Kind::Load && PS.Val.Local == X);
+      if (!Affected)
+        continue;
+      if (PS.Key.Base == X && Cfg.ElimDeadStores && PS.NoTrap &&
+          X < Fresh.size() && Fresh[X].Fresh && !Fresh[X].Escaped &&
+          !stackHoldsLoadOf(X)) {
+        ++Stats.MemDeadStores;
+        Plan[P] = Act::Drop;
+      } else {
+        Plan[P] = Act::Flush;
+      }
+    }
+    // Trap order: nothing flushes past a retained possibly-trapping
+    // entry (its later flush would move the trap across this write).
+    bool FlushAfter = false;
+    for (size_t P = Pending.size(); P-- > 0;) {
+      if (Plan[P] == Act::Flush)
+        FlushAfter = true;
+      else if (Plan[P] == Act::Keep && FlushAfter && !Pending[P].NoTrap)
+        Plan[P] = Act::Flush;
+    }
+    std::vector<PendingHeapStore> Remaining;
+    for (size_t P = 0; P < Pending.size(); ++P) {
+      if (Plan[P] == Act::Flush)
+        flushPendingStore(Pending[P]);
+      else if (Plan[P] == Act::Keep)
+        Remaining.push_back(Pending[P]);
+    }
+    Pending = std::move(Remaining);
+  }
+
+  /// At a surviving guard: a pending store may sink past the exit only if
+  /// the exit path provably cannot reach the allocation -- the base local
+  /// is dead there (or scratch), the reference never escaped, and the
+  /// store itself cannot trap. Everything else lands before the guard.
+  void processPendingAtGuard(const LinearOp &G) {
+    for (size_t P = 0; P < Pending.size();) {
+      PendingHeapStore &PS = Pending[P];
+      uint32_t B = PS.Key.Base;
+      bool DeadAtExit =
+          B >= In.ScratchBase ||
+          (Cfg.LivenessAtExits && G.HasLiveAtExit && !G.LiveAtExit.test(B));
+      if (Cfg.SinkStores && PS.NoTrap && B < Fresh.size() && Fresh[B].Fresh &&
+          !Fresh[B].Escaped && DeadAtExit) {
+        if (!PS.Sunk) {
+          PS.Sunk = true;
+          ++Stats.MemStoresSunk;
+        }
+        ++P;
+        continue;
+      }
+      flushPendingStore(PS);
+      Pending.erase(Pending.begin() + static_cast<ptrdiff_t>(P));
+    }
+  }
+
+  /// A store into \p K cannot trap when the base is a fresh allocation
+  /// (live, non-null, known shape) and the index is provably in bounds.
+  bool noTrapStore(Opcode Op, const CellKey &K) const {
+    if (K.Base >= Fresh.size())
+      return false;
+    const FreshAlloc &F = Fresh[K.Base];
+    if (!F.Fresh)
+      return false;
+    if (Op == Opcode::PutField)
+      return !F.IsArray && Mod && F.ClassId >= 0 &&
+             static_cast<size_t>(F.ClassId) < Mod->Classes.size() &&
+             K.Index >= 0 &&
+             static_cast<uint32_t>(K.Index) <
+                 Mod->Classes[static_cast<size_t>(F.ClassId)].NumFields;
+    return F.IsArray && F.ConstLen >= 0 && K.Index >= 0 &&
+           K.Index < F.ConstLen;
+  }
+
+  /// Emits a kept heap operation. Deferred operand entries are pushed in
+  /// place (no materializeAll): the base of an identified access is
+  /// consumed by the access itself and does not escape through it, so
+  /// only entries *below* the operand window -- which persist on the real
+  /// stack -- count as exposure.
+  void emitKeptHeapOp(const Instruction &I) {
+    int NOps = opPops(I.Op);
+    size_t N = AbstractStack.size();
+    size_t First = N >= static_cast<size_t>(NOps)
+                       ? N - static_cast<size_t>(NOps)
+                       : 0;
+    bool IsStore = I.Op == Opcode::PutField || I.Op == Opcode::Iastore;
+    for (size_t J = 0; J < N; ++J) {
+      Entry &E = AbstractStack[J];
+      switch (E.K) {
+      case Entry::Kind::Materialized:
+        break;
+      case Entry::Kind::Const:
+        emit(Instruction(Opcode::Iconst, static_cast<int32_t>(E.C)));
+        break;
+      case Entry::Kind::Load:
+        emit(Instruction(Opcode::Iload, static_cast<int32_t>(E.Local)));
+        // Below the window: a persistent stack copy. Top of a store's
+        // window: the reference is written into the heap.
+        if (J < First || (IsStore && J + 1 == N))
+          markExposed(E.Local);
+        break;
+      }
+      E.K = Entry::Kind::Materialized;
+    }
+    emit(I);
+    for (int P = 0; P < NOps; ++P)
+      pop();
+    for (int P = 0; P < opPushes(I.Op); ++P)
+      push({Entry::Kind::Materialized, 0, 0});
+  }
+
+  void handleHeapLoad(const Instruction &I);
+  void handleHeapStore(const Instruction &I);
+
+  /// Fresh/cell bookkeeping when a materialized store lands a just-pushed
+  /// value into local \p X (TA: the value was an allocation result; LK:
+  /// it was an identified heap load's result).
+  struct TopAllocInfo {
+    bool Valid = false;
+    bool IsArray = false;
+    int32_t ClassId = -1;
+    int64_t ConstLen = -1;
+  };
+  void recordMaterializedStore(uint32_t X, const TopAllocInfo &TA,
+                               const std::optional<CellKey> &LK) {
+    if (TA.Valid) {
+      Fresh[X] = {true, false, TA.IsArray, TA.ClassId, TA.ConstLen};
+      if (TA.IsArray && TA.ConstLen >= 0)
+        recordCell({CellKey::Group::Len, X, 0},
+                   {Entry::Kind::Const, TA.ConstLen, 0});
+      return;
+    }
+    if (LK && LK->Base != X)
+      recordCell(*LK, {Entry::Kind::Load, 0, X});
+  }
+
   void handleInstr(const Instruction &I);
   void handleGuard(const LinearOp &Op);
 
   const LinearSegment &In;
   OptStats &Stats;
   const OptConfig Cfg;
+  const Module *Mod; ///< For trap-freedom proofs; may be null.
   LinearSegment Out;
   std::vector<Entry> AbstractStack;
   std::vector<LocalVal> Vals; ///< Known local values.
@@ -578,11 +879,23 @@ private:
   std::vector<std::vector<size_t>> Reads;  ///< Load positions per local.
   std::vector<std::vector<size_t>> Writes; ///< Store positions per local.
   std::vector<size_t> Guards; ///< Guard positions (side exits).
+  std::vector<CellVal> Cells; ///< Known heap-cell contents.
+  std::vector<PendingHeapStore> Pending; ///< Held-back heap stores.
+  std::vector<FreshAlloc> Fresh;         ///< Per-local freshness.
+  TopAllocInfo TopAlloc; ///< Set by New/NewArray for the next Istore.
+  std::optional<CellKey> LastLoadKey; ///< Set by a kept identified load.
   size_t CurIndex = 0;  ///< Index of the op being processed.
   bool Mutated = false; ///< The UnsoundPass hook fired (at most once).
 };
 
 void SegmentOptimizer::handleInstr(const Instruction &I) {
+  // Allocation-result / load-result association holds only across the
+  // immediately following instruction (an Istore naming the value).
+  const TopAllocInfo TA = TopAlloc;
+  TopAlloc = TopAllocInfo();
+  const std::optional<CellKey> LK = LastLoadKey;
+  LastLoadKey.reset();
+
   switch (I.Op) {
   case Opcode::Nop:
     return; // dropped
@@ -619,11 +932,20 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
   case Opcode::Istore: {
     auto X = static_cast<uint32_t>(I.A);
     Entry E = pop();
-    // `iload x; istore x` cancels outright.
+    // `iload x; istore x` cancels outright (x is unchanged, so heap
+    // facts keyed on it survive).
     if (E.K == Entry::Kind::Load && E.Local == X) {
       ++Stats.DeadStores;
       return;
     }
+    // x is redefined: heap facts keyed on it die, and pending heap
+    // stores based on or valued from it land (or are proven dead) while
+    // the old value is still in its slot.
+    pendingRedefine(X);
+    dropCellsOfLocal(X);
+    Fresh[X] = FreshAlloc();
+    if (E.K == Entry::Kind::Load)
+      markExposed(E.Local); // the reference gains a second name
     // Any deferred load of x still on the stack must observe the old
     // value, and any deferred copy *of* x must be pinned before x
     // changes.
@@ -647,6 +969,8 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
       Dirty[X] = false;
       if (auto C = constOf(E); C && fitsImm(*C))
         Vals[X] = {LocalVal::Kind::Const, *C, 0};
+      if (E.K == Entry::Kind::Materialized)
+        recordMaterializedStore(X, TA, LK);
       return;
     }
     if (Dirty[X])
@@ -669,11 +993,15 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
     emit(Instruction(Opcode::Istore, static_cast<int32_t>(X)));
     Vals[X] = LocalVal();
     Dirty[X] = false;
+    recordMaterializedStore(X, TA, LK);
     return;
   }
 
   case Opcode::Iinc: {
     auto X = static_cast<uint32_t>(I.A);
+    pendingRedefine(X);
+    dropCellsOfLocal(X);
+    Fresh[X] = FreshAlloc();
     materializeLoadsOf(X);
     invalidateCopiesOf(X);
     if (Cfg.FoldConstants && Cfg.DeferStores &&
@@ -751,6 +1079,7 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
   }
 
   case Opcode::Iprint: {
+    flushPendingAll(); // print is an effect: held-back stores land first
     Entry E = pop();
     // The net stack effect of push+print is zero, so a deferred operand
     // can be emitted directly without disturbing entries beneath it.
@@ -762,6 +1091,38 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
     emit(Instruction(Opcode::Iprint));
     return;
   }
+
+  case Opcode::New:
+  case Opcode::NewArray: {
+    // Allocation is an effect (it can trap on exhaustion): held-back
+    // stores land first so the effect order is preserved. The constant
+    // length (if any) is read before materialization erases it.
+    flushPendingAll();
+    std::optional<int64_t> Len;
+    if (I.Op == Opcode::NewArray)
+      Len = constOf(peek(1));
+    materializeAll();
+    emit(I);
+    for (int P = 0; P < opPops(I.Op); ++P)
+      pop();
+    push({Entry::Kind::Materialized, 0, 0});
+    TopAlloc.Valid = true;
+    TopAlloc.IsArray = I.Op == Opcode::NewArray;
+    TopAlloc.ClassId = I.Op == Opcode::New ? I.A : -1;
+    TopAlloc.ConstLen = (Len && *Len >= 0 && fitsImm(*Len)) ? *Len : -1;
+    return;
+  }
+
+  case Opcode::GetField:
+  case Opcode::Iaload:
+  case Opcode::ArrayLength:
+    handleHeapLoad(I);
+    return;
+
+  case Opcode::PutField:
+  case Opcode::Iastore:
+    handleHeapStore(I);
+    return;
 
   default:
     break;
@@ -802,7 +1163,160 @@ void SegmentOptimizer::handleInstr(const Instruction &I) {
     push({Entry::Kind::Materialized, 0, 0});
 }
 
+void SegmentOptimizer::handleHeapLoad(const Instruction &I) {
+  int NOps = opPops(I.Op); // GetField/ArrayLength: 1, Iaload: 2
+  // Eliminable only when every operand is still deferred: popping them
+  // then costs nothing on the real stack.
+  bool Deferrable = AbstractStack.size() >= static_cast<size_t>(NOps);
+  for (int P = 1; P <= NOps && Deferrable; ++P)
+    Deferrable = peek(P).K != Entry::Kind::Materialized;
+  std::optional<CellKey> K;
+  if (Deferrable) {
+    Entry Base = peek(NOps);
+    if (Base.K == Entry::Kind::Load) {
+      if (I.Op == Opcode::GetField)
+        K = CellKey{CellKey::Group::Field, Base.Local, I.A};
+      else if (I.Op == Opcode::ArrayLength)
+        K = CellKey{CellKey::Group::Len, Base.Local, 0};
+      else if (auto C = constOf(peek(1)); C && *C >= 0 && fitsImm(*C))
+        K = CellKey{CellKey::Group::Elem, Base.Local, static_cast<int32_t>(*C)};
+    }
+  }
+  if (Cfg.ElimRedundantLoads && K) {
+    if (const Entry *V = lookupCell(*K)) {
+      // The cell's content is known from a dominating access through the
+      // same (unchanged) base local and index; that access also already
+      // performed -- or, for a held-back store, will perform at the same
+      // effect position -- this load's exact null/bounds checks.
+      for (int P = 0; P < NOps; ++P)
+        pop();
+      push(*V);
+      ++Stats.MemLoadsEliminated;
+      return;
+    }
+  }
+  if (Cfg.Mutate == UnsoundPass::AliasConfusedLoad && !Mutated && Deferrable) {
+    // Deliberate miscompile: the cell is NOT known, but the load is
+    // eliminated anyway with a fabricated value.
+    Mutated = true;
+    for (int P = 0; P < NOps; ++P)
+      pop();
+    push({Entry::Kind::Const, 0, 0});
+    return;
+  }
+  flushPendingAll();
+  emitKeptHeapOp(I);
+  // If the very next instruction stores the result to a local, that
+  // local becomes the cell's remembered value.
+  LastLoadKey = K;
+}
+
+void SegmentOptimizer::handleHeapStore(const Instruction &I) {
+  int NOps = opPops(I.Op); // PutField: 2, Iastore: 3
+  bool Deferrable = AbstractStack.size() >= static_cast<size_t>(NOps);
+  for (int P = 1; P <= NOps && Deferrable; ++P)
+    Deferrable = peek(P).K != Entry::Kind::Materialized;
+  std::optional<CellKey> K;
+  if (Deferrable) {
+    Entry Base = peek(NOps);
+    if (Base.K == Entry::Kind::Load) {
+      if (I.Op == Opcode::PutField)
+        K = CellKey{CellKey::Group::Field, Base.Local, I.A};
+      else if (auto C = constOf(peek(2)); C && *C >= 0 && fitsImm(*C))
+        K = CellKey{CellKey::Group::Elem, Base.Local, static_cast<int32_t>(*C)};
+    }
+  }
+  // The stored value must be re-creatable at the flush point: a constant
+  // or a local that is pinned (flushed) before any redefinition.
+  std::optional<Entry> RecVal;
+  if (Deferrable) {
+    Entry V = peek(1);
+    if (auto C = constOf(V); C && fitsImm(*C))
+      RecVal = Entry{Entry::Kind::Const, *C, 0};
+    else if (V.K == Entry::Kind::Load)
+      RecVal = V;
+  }
+  if (K && RecVal && (Cfg.ElimDeadStores || Cfg.SinkStores)) {
+    // Storing a reference into the heap publishes it.
+    if (RecVal->K == Entry::Kind::Load)
+      markExposed(RecVal->Local);
+    // An exact overwrite makes the held-back store dead; a may-alias
+    // store pins it in program order first. Two ordering rules keep trap
+    // positions sound: a possibly-trapping pending may be overwrite-
+    // killed only while it is the most recent pending (its twin's
+    // identical trap condition then replaces it with no observable
+    // window), and nothing may be flushed past a *retained* possibly-
+    // trapping entry (its trap would move across the flushed write).
+    std::optional<PendingHeapStore> Resurrect;
+    enum class Act : uint8_t { Keep, Flush, Drop };
+    std::vector<Act> Plan(Pending.size(), Act::Keep);
+    for (size_t P = 0; P < Pending.size(); ++P) {
+      PendingHeapStore &PS = Pending[P];
+      if (PS.Key == *K) {
+        bool Killable = PS.NoTrap || P + 1 == Pending.size();
+        if (Cfg.Mutate == UnsoundPass::ResurrectDeadStore && !Mutated &&
+            Killable) {
+          // Deliberate miscompile: the dead store is re-emitted *after*
+          // its overwrite, resurrecting the stale value.
+          Mutated = true;
+          Resurrect = PS;
+          Plan[P] = Act::Drop;
+        } else if (Cfg.ElimDeadStores && Killable) {
+          ++Stats.MemDeadStores;
+          Plan[P] = Act::Drop;
+        } else {
+          Plan[P] = Act::Flush; // sink-only config or unkillable: it lands
+        }
+      } else if (!distinctCells(PS.Key, *K)) {
+        Plan[P] = Act::Flush;
+      }
+    }
+    bool FlushAfter = false;
+    for (size_t P = Pending.size(); P-- > 0;) {
+      if (Plan[P] == Act::Flush)
+        FlushAfter = true;
+      else if (Plan[P] == Act::Keep && FlushAfter && !Pending[P].NoTrap)
+        Plan[P] = Act::Flush;
+    }
+    std::vector<PendingHeapStore> Remaining;
+    for (size_t P = 0; P < Pending.size(); ++P) {
+      if (Plan[P] == Act::Flush)
+        flushPendingStore(Pending[P]);
+      else if (Plan[P] == Act::Keep)
+        Remaining.push_back(Pending[P]);
+    }
+    Pending = std::move(Remaining);
+    for (int P = 0; P < NOps; ++P)
+      pop();
+    PendingHeapStore NewP;
+    NewP.Key = *K;
+    NewP.Val = *RecVal;
+    NewP.I = I;
+    NewP.NoTrap = noTrapStore(I.Op, *K);
+    Pending.push_back(NewP);
+    if (Resurrect)
+      Pending.push_back(*Resurrect);
+    dropCellsForStore(*K);
+    recordCell(*K, *RecVal);
+    return;
+  }
+  // Kept store: held-back stores land first (effect order), then the
+  // store itself updates / kills cell knowledge.
+  flushPendingAll();
+  emitKeptHeapOp(I);
+  if (K) {
+    dropCellsForStore(*K);
+    if (RecVal)
+      recordCell(*K, *RecVal);
+  } else {
+    dropCellsUnknownStore(I.Op == Opcode::PutField ? CellKey::Group::Field
+                                                   : CellKey::Group::Elem);
+  }
+}
+
 void SegmentOptimizer::handleGuard(const LinearOp &Op) {
+  TopAlloc = TopAllocInfo();
+  LastLoadKey.reset();
   int Pops = opPops(Op.I.Op);
   assert(Pops >= 1 && Pops <= 2);
 
@@ -848,6 +1362,10 @@ void SegmentOptimizer::handleGuard(const LinearOp &Op) {
   // the guard carries liveness facts.
   materializeAll();
   flushDirtyLocalsAtGuard(Op);
+  // After materialization and local flushes (both of which can expose a
+  // reference), decide which held-back heap stores may sink past this
+  // exit and which must land before it.
+  processPendingAtGuard(Op);
   Out.Ops.push_back(Op);
   for (int P = 0; P < Pops; ++P)
     pop();
@@ -868,6 +1386,18 @@ LinearSegment SegmentOptimizer::run() {
   // Segment end: the next thing executed is unoptimized code.
   materializeAll();
   flushDirtyLocals();
+  // Held-back heap stores: a store into a fresh, never-escaped scratch
+  // allocation dies with its frame; everything else lands now.
+  for (const PendingHeapStore &PS : Pending) {
+    uint32_t B = PS.Key.Base;
+    if (Cfg.ElimDeadStores && PS.NoTrap && B >= In.ScratchBase &&
+        B < Fresh.size() && Fresh[B].Fresh && !Fresh[B].Escaped) {
+      ++Stats.MemDeadStores;
+      continue;
+    }
+    flushPendingStore(PS);
+  }
+  Pending.clear();
 
   Stats.InstructionsBefore += In.numInstructions();
   Stats.InstructionsAfter += Out.numInstructions();
@@ -877,12 +1407,12 @@ LinearSegment SegmentOptimizer::run() {
 } // namespace
 
 LinearSegment jtc::optimizeSegment(const LinearSegment &In, OptStats &Stats,
-                                   const OptConfig &Config) {
-  return SegmentOptimizer(In, Stats, Config).run();
+                                   const OptConfig &Config, const Module *M) {
+  return SegmentOptimizer(In, Stats, Config, M).run();
 }
 
 LinearSegment jtc::optimizeSegment(const LinearSegment &In, OptStats &Stats) {
-  return optimizeSegment(In, Stats, OptConfig());
+  return optimizeSegment(In, Stats, OptConfig(), nullptr);
 }
 
 std::vector<LinearSegment>
@@ -893,6 +1423,6 @@ jtc::optimizeTrace(const PreparedModule &PM, const Trace &T, OptStats &Stats,
   std::vector<LinearSegment> Out;
   for (const LinearSegment &Seg :
        linearizeTrace(PM, T, InlineStaticCalls, Facts))
-    Out.push_back(optimizeSegment(Seg, Stats, Config));
+    Out.push_back(optimizeSegment(Seg, Stats, Config, &PM.module()));
   return Out;
 }

@@ -154,6 +154,15 @@ struct OptStats {
   /// Deferred local stores a guard skipped because liveness proved the
   /// local dead at the exit pc.
   uint64_t GuardExitLocalsSkipped = 0;
+  /// Heap loads eliminated because the cell's value was already known
+  /// (dominating load or store to the same field/element).
+  uint64_t MemLoadsEliminated = 0;
+  /// Heap stores eliminated: overwritten before any observation point,
+  /// or targeting a non-escaping allocation that dies in the segment.
+  uint64_t MemDeadStores = 0;
+  /// Pending heap stores that crossed at least one side exit because the
+  /// target allocation is unreachable from the exit path.
+  uint64_t MemStoresSunk = 0;
 
   /// Average number of locals materialized per surviving side exit -- the
   /// guard materialization cost liveness is meant to shrink.
@@ -181,8 +190,13 @@ struct OptStats {
 /// test-only UnsoundPass mutation hook; with a mutation set the
 /// equivalence contract is deliberately broken and the translation
 /// validator (src/validate) must reject the result.
+/// \p M (when given) enables the escape-licensed memory eliminations
+/// that must prove an omitted store trap-free from class field counts;
+/// without it those eliminations stay off (the alias-neutral ones --
+/// redundant loads, overwritten stores -- do not need it).
 LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats,
-                              const OptConfig &Config);
+                              const OptConfig &Config,
+                              const Module *M = nullptr);
 LinearSegment optimizeSegment(const LinearSegment &In, OptStats &Stats);
 
 /// Convenience: linearize + optimize every segment of \p T, accumulating

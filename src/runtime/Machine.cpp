@@ -354,3 +354,54 @@ Effect Machine::execOne(const Instruction &I) {
   assert(false && "unhandled opcode");
   return {EffectKind::Halt, 0, false};
 }
+
+Effect Machine::execOneElided(const Instruction &I, bool Full) {
+  // Pop order and trap kinds mirror execOne exactly; only the elided
+  // checks are gone. The liveness/class check is always elided (that is
+  // what licenses calling this at all); Full additionally drops the
+  // bounds check. Heap's own asserts still police the proof in checked
+  // builds.
+  switch (I.Op) {
+  case Opcode::GetField: {
+    int64_t Ref = pop();
+    auto Idx = static_cast<size_t>(I.A);
+    if (!Full && Idx >= TheHeap.slotCount(Ref))
+      return trapOut(TrapKind::FieldBounds);
+    push(TheHeap.load(Ref, Idx));
+    return {};
+  }
+  case Opcode::PutField: {
+    int64_t Value = pop();
+    int64_t Ref = pop();
+    auto Idx = static_cast<size_t>(I.A);
+    if (!Full && Idx >= TheHeap.slotCount(Ref))
+      return trapOut(TrapKind::FieldBounds);
+    TheHeap.store(Ref, Idx, Value);
+    return {};
+  }
+  case Opcode::Iaload: {
+    int64_t Idx = pop();
+    int64_t Ref = pop();
+    if (!Full && (Idx < 0 || static_cast<size_t>(Idx) >= TheHeap.slotCount(Ref)))
+      return trapOut(TrapKind::ArrayBounds);
+    push(TheHeap.load(Ref, static_cast<size_t>(Idx)));
+    return {};
+  }
+  case Opcode::Iastore: {
+    int64_t Value = pop();
+    int64_t Idx = pop();
+    int64_t Ref = pop();
+    if (!Full && (Idx < 0 || static_cast<size_t>(Idx) >= TheHeap.slotCount(Ref)))
+      return trapOut(TrapKind::ArrayBounds);
+    TheHeap.store(Ref, static_cast<size_t>(Idx), Value);
+    return {};
+  }
+  case Opcode::ArrayLength: {
+    int64_t Ref = pop();
+    push(static_cast<int64_t>(TheHeap.slotCount(Ref)));
+    return {};
+  }
+  default:
+    return execOne(I);
+  }
+}

@@ -61,6 +61,16 @@ public:
   /// dispatch boundaries.
   Effect execOne(const Instruction &I);
 
+  /// Executes one *heap-access* instruction with its dynamic checks
+  /// reduced, for accesses the trace-path alias analysis proved cannot
+  /// fail them (trace/Trace.h's MemElision). \p Full skips every check;
+  /// otherwise only the liveness/class check is skipped and the
+  /// field/array bounds check remains. The caller asserts the proof: an
+  /// unjustified call is undefined behaviour (the same type-verified-
+  /// input assumption the validator's reference reasoning documents).
+  /// Non-heap opcodes fall back to execOne.
+  Effect execOneElided(const Instruction &I, bool Full);
+
   /// Pushes a frame for \p Callee, moving its arguments from the operand
   /// stack into the new locals. Returns false (and sets a StackOverflow
   /// trap) when the frame budget is exhausted.

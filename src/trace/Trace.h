@@ -34,6 +34,25 @@ enum class TraceValidation : uint8_t {
   Rejected,  ///< Proof failed; fall back to the unoptimized form.
 };
 
+/// One heap access on the trace path whose dynamic checks the alias
+/// analysis proved redundant (src/analysis/Alias.h's analyzeTraceMemory;
+/// this POD mirrors its TraceMemFact so the trace layer stays below the
+/// analysis layer in the link order). The facts hold only while execution
+/// is *inside* the trace -- every block before BlockIndex matched the
+/// recorded sequence -- which is exactly when the backends consult them.
+struct MemElision {
+  /// Values of Kind. An enum class would force the analysis layer to
+  /// depend on this header (or vice versa); two named constants keep the
+  /// mirror one-way.
+  static constexpr uint8_t NullOnly = 0; ///< Skip the liveness/class
+                                         ///< check; keep the bounds check.
+  static constexpr uint8_t Full = 1;     ///< Skip every check: the access
+                                         ///< provably cannot trap.
+  uint32_t BlockIndex = 0; ///< Index into Trace::Blocks.
+  uint32_t Pc = 0;         ///< Instruction pc within that block's method.
+  uint8_t Kind = NullOnly;
+};
+
 struct Trace {
   TraceId Id = InvalidTraceId;
   BlockId EntryFrom = InvalidBlockId;  ///< Predecessor block P of the entry.
@@ -42,6 +61,15 @@ struct Trace {
   uint32_t InstrCount = 0; ///< Total instructions over Blocks.
   bool Alive = true;       ///< False once replaced by a newer trace.
   TraceValidation Validation = TraceValidation::Unchecked;
+
+  /// Check-elision facts, ordered by (BlockIndex, Pc), installed by the
+  /// trace cache's annotate hook (AdaptiveEngine runs the alias analysis
+  /// over the block sequence at construction time). Both execution tiers
+  /// honor them: the interpreter tier via Machine::execOneElided, the JIT
+  /// via unchecked helper templates. Empty when annotation is off or
+  /// nothing was provable. Purely an execution shortcut -- the elided
+  /// checks are proven to pass, so behaviour and digests are unchanged.
+  std::vector<MemElision> MemElisions;
 
   /// Runtime behaviour, maintained by the trace cache: how often the
   /// trace was dispatched and how often it ran to completion. Used to

@@ -134,23 +134,26 @@ void TraceCache::install(const TraceCandidate &C) {
 }
 
 void TraceCache::applyValidation(Trace &T) {
-  if (!Validate)
-    return;
-  ValidationVerdict V = Validate(T);
-  ++Stats.TracesValidated;
-  if (V.Accepted) {
-    T.Validation = TraceValidation::Accepted;
-    JTC_RECORD_EVENT(Telem, EventKind::TraceValidated, T.Id,
-                     static_cast<uint32_t>(T.Blocks.size()));
-    return;
+  if (Validate) {
+    ValidationVerdict V = Validate(T);
+    ++Stats.TracesValidated;
+    if (V.Accepted) {
+      T.Validation = TraceValidation::Accepted;
+      JTC_RECORD_EVENT(Telem, EventKind::TraceValidated, T.Id,
+                       static_cast<uint32_t>(T.Blocks.size()));
+    } else {
+      // Sound fallback: the trace stays dispatchable (dispatch interprets
+      // the unoptimized block sequence), but the optimized form is
+      // poisoned.
+      T.Validation = TraceValidation::Rejected;
+      ++Stats.ValidationRejects;
+      ++Stats.RejectsByReason[V.ReasonCode];
+      JTC_RECORD_EVENT(Telem, EventKind::TraceValidationRejected, T.Id,
+                       V.ReasonCode);
+    }
   }
-  // Sound fallback: the trace stays dispatchable (dispatch interprets
-  // the unoptimized block sequence), but the optimized form is poisoned.
-  T.Validation = TraceValidation::Rejected;
-  ++Stats.ValidationRejects;
-  ++Stats.RejectsByReason[V.ReasonCode];
-  JTC_RECORD_EVENT(Telem, EventKind::TraceValidationRejected, T.Id,
-                   V.ReasonCode);
+  if (Annotate && T.Validation != TraceValidation::Rejected)
+    Annotate(T);
 }
 
 void TraceCache::recordExecution(TraceId Id, bool CompletedRun) {

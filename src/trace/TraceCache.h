@@ -60,6 +60,17 @@ public:
   /// TraceValidated / TraceValidationRejected telemetry event.
   void setValidateHook(ValidateHook H) { Validate = std::move(H); }
 
+  using AnnotateHook = std::function<void(Trace &)>;
+
+  /// Installs a construction-time annotation hook, called once per
+  /// freshly constructed or seeded trace (after validation; hash-cons
+  /// reuse keeps the original annotation) to attach derived execution
+  /// facts -- today the alias analysis' MemElisions. Like validation it
+  /// runs off the dispatch path, and it is skipped for traces whose
+  /// optimized form validation rejected: a failed proof means analysis
+  /// and optimizer disagreed somewhere, so the trace runs fully checked.
+  void setAnnotateHook(AnnotateHook H) { Annotate = std::move(H); }
+
   /// Trace entered by the block transition (\p From -> \p To), or null.
   /// This is the per-dispatch lookup the interpreter performs.
   const Trace *findTrace(BlockId From, BlockId To) const {
@@ -143,6 +154,7 @@ private:
   TraceBuilder Builder;
   EventRing *Telem = nullptr;
   ValidateHook Validate;
+  AnnotateHook Annotate;
   std::function<uint32_t(BlockId)> BlockSize;
   std::vector<Trace> Traces;
   /// (EntryFrom, Blocks[0]) pair key -> live trace id.

@@ -68,10 +68,16 @@ enum class Reason : uint8_t {
   EffectMismatch,         ///< Observable effect lists disagree.
   FinalLocalMismatch,     ///< A local's final value differs.
   FinalStackMismatch,     ///< The final operand stack differs.
+  MemLoadUnjustified,  ///< A heap load vanished without a proof that its
+                       ///< value and checks were already established.
+  MemStoreUnjustified, ///< A heap store vanished (or appeared) without a
+                       ///< dead-store proof, or final heaps diverge.
+  MemSinkUnjustified,  ///< A heap store crossed a side exit without a
+                       ///< proof the exit path cannot observe the cell.
 };
 
 inline constexpr unsigned NumReasons =
-    static_cast<unsigned>(Reason::FinalStackMismatch) + 1;
+    static_cast<unsigned>(Reason::MemSinkUnjustified) + 1;
 
 /// Stable kebab-case name (telemetry, --json, corpus fixtures).
 const char *reasonName(Reason R);
@@ -109,9 +115,23 @@ struct Result {
 /// Proves \p Opt a sound refinement of \p Src under the segment's entry
 /// assumptions. Both segments are evaluated from the same fully symbolic
 /// initial state, so acceptance means equivalence for *every* initial
-/// (locals, stack) -- the validator never needs to trust the optimizer's
-/// reasoning, only re-check its conclusion.
-Result validateSegment(const LinearSegment &Src, const LinearSegment &Opt);
+/// (locals, stack, heap) -- the validator never needs to trust the
+/// optimizer's reasoning, only re-check its conclusion.
+///
+/// Heap accesses evaluate against a symbolic heap (a chain of store
+/// frames over an opaque initial heap, with same-cell collapse and
+/// commuting of provably distinct frames), so a redundant load the
+/// optimizer forwarded converges to the same value id as the source's
+/// load. Omitted load effects must be justified by an earlier access to
+/// the same address or a trap-freedom proof; omitted or sunk stores must
+/// be proven dead (overwritten, or targeting an allocation the exit
+/// path / segment end provably cannot observe). \p M supplies class
+/// field counts for those trap-freedom proofs; without it the memory
+/// justifications that need one are rejected. Reference reasoning
+/// assumes type-verified input (an allocation's reference cannot be
+/// forged from arithmetic), which the bytecode verifier guarantees.
+Result validateSegment(const LinearSegment &Src, const LinearSegment &Opt,
+                       const Module *M = nullptr);
 
 /// Convenience for the trace-install path: linearizes \p T, optimizes
 /// each segment under \p Config, and validates every pair. The first

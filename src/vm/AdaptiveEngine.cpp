@@ -23,6 +23,8 @@ AdaptiveEngine::AdaptiveEngine(const PreparedModule &PM,
     if (Options.validate() != ValidateMode::Off)
       Cache.setValidateHook(
           [this](const Trace &T) { return validateCandidate(T); });
+    if (Options.memElide())
+      Cache.setAnnotateHook([this](Trace &T) { annotateCandidate(T); });
   }
 }
 
@@ -30,12 +32,16 @@ AdaptiveEngine::~AdaptiveEngine() = default;
 AdaptiveEngine::AdaptiveEngine(AdaptiveEngine &&) noexcept = default;
 AdaptiveEngine &AdaptiveEngine::operator=(AdaptiveEngine &&) noexcept = default;
 
-TraceCache::ValidationVerdict AdaptiveEngine::validateCandidate(const Trace &T) {
+const analysis::ModuleAnalysis &AdaptiveEngine::moduleFacts() {
   if (!Facts)
     Facts = std::make_unique<analysis::ModuleAnalysis>(
         analysis::ModuleAnalysis::compute(PM->module()));
+  return *Facts;
+}
+
+TraceCache::ValidationVerdict AdaptiveEngine::validateCandidate(const Trace &T) {
   validate::Result R =
-      validate::validateTrace(*PM, T, Options->optConfig(), Facts.get());
+      validate::validateTrace(*PM, T, Options->optConfig(), &moduleFacts());
   if (!R.Ok && Options->validate() == ValidateMode::Strict) {
     std::fprintf(stderr,
                  "jtc: --validate=strict: trace %u rejected by translation "
@@ -44,6 +50,31 @@ TraceCache::ValidationVerdict AdaptiveEngine::validateCandidate(const Trace &T) 
     std::abort();
   }
   return {R.Ok, static_cast<uint32_t>(R.Why)};
+}
+
+void AdaptiveEngine::annotateCandidate(Trace &T) {
+  const analysis::ModuleAnalysis &A = moduleFacts();
+  std::vector<analysis::TraceBlockSpan> Spans;
+  Spans.reserve(T.Blocks.size());
+  for (BlockId B : T.Blocks) {
+    const BasicBlock &BB = PM->block(B);
+    Spans.push_back({BB.MethodId, BB.StartPc, BB.EndPc});
+  }
+  std::vector<analysis::TraceMemFact> MemFacts = analysis::analyzeTraceMemory(
+      PM->module(),
+      [&A](uint32_t MethodId) -> const analysis::MethodValueFacts * {
+        const analysis::MethodAnalysis *MA = A.method(MethodId);
+        return MA ? &MA->Values : nullptr;
+      },
+      Spans);
+  T.MemElisions.clear();
+  T.MemElisions.reserve(MemFacts.size());
+  for (const analysis::TraceMemFact &F : MemFacts)
+    T.MemElisions.push_back({F.BlockIndex, F.Pc,
+                             F.Elide == analysis::MemElide::Full
+                                 ? MemElision::Full
+                                 : MemElision::NullOnly});
+  Stats.MemElisionSites += T.MemElisions.size();
 }
 
 void AdaptiveEngine::setTelemetry(EventRing *R) {

@@ -124,6 +124,16 @@ private:
   /// --validate=strict a rejection aborts the process.
   TraceCache::ValidationVerdict validateCandidate(const Trace &T);
 
+  /// The TraceCache annotation hook (memElide on): runs the alias
+  /// analysis over \p T's block sequence (analysis::analyzeTraceMemory)
+  /// and records the heap accesses whose dynamic checks are provably
+  /// redundant on the trace path, for both execution tiers to skip.
+  void annotateCandidate(Trace &T);
+
+  /// The lazily computed per-module analysis shared by validation and
+  /// annotation.
+  const analysis::ModuleAnalysis &moduleFacts();
+
   const PreparedModule *PM;
   const VmOptions *Options;
   BranchCorrelationGraph Graph;

@@ -175,5 +175,6 @@ VmStats TraceVM::currentStats() const {
   S.TraceDispatchesJit = BS.CompiledDispatches;
   S.TraceDispatchesInterp = BS.InterpDispatches;
   S.JitCodeBytes = BS.CodeBytes;
+  S.MemChecksElided = BS.MemChecksElided;
   return S;
 }

@@ -178,6 +178,17 @@ public:
     return *this;
   }
 
+  /// Alias-analysis check elision: annotate every installed trace with
+  /// the heap accesses whose null/class/bounds checks are provably
+  /// redundant on the trace path, and let both execution tiers skip
+  /// them. On by default; the analysis runs once per constructed trace,
+  /// off the dispatch path, and elision never changes behaviour (the
+  /// skipped checks are proven to pass), so digests are unaffected.
+  VmOptions &memElide(bool On) {
+    MemElide = On;
+    return *this;
+  }
+
   /// Optimizer pass selection, threaded through to validation (the
   /// validator re-optimizes under the same configuration it checks).
   /// Also carries the test-only UnsoundPass mutation hook, which lets
@@ -231,6 +242,7 @@ public:
   const std::string &loadProfilePath() const { return LoadProfile; }
   const std::string &saveProfilePath() const { return SaveProfile; }
   ValidateMode validate() const { return Validate; }
+  bool memElide() const { return MemElide; }
   const OptConfig &optConfig() const { return Opt; }
   jtc::backend::BackendKind backend() const { return Backend; }
   uint32_t jitPromoteAfter() const { return JitPromote; }
@@ -280,6 +292,7 @@ private:
   std::string LoadProfile;
   std::string SaveProfile;
   ValidateMode Validate = ValidateMode::On;
+  bool MemElide = true;
   OptConfig Opt;
   jtc::backend::BackendKind Backend = defaultBackendKind();
   uint32_t JitPromote = 2;

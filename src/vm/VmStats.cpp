@@ -74,6 +74,10 @@ const std::vector<VmStats::FieldInfo> &VmStats::fields() {
               &VmStats::TraceDispatchesInterp, /*InPrint=*/false),
       Counter("jit code bytes", "jit_code_bytes", &VmStats::JitCodeBytes,
               /*InPrint=*/false),
+      Counter("mem elision sites", "mem_elision_sites",
+              &VmStats::MemElisionSites, /*InPrint=*/false),
+      Counter("mem checks elided", "mem_checks_elided",
+              &VmStats::MemChecksElided, /*InPrint=*/false),
       Counter("live traces", "live_traces", &VmStats::LiveTraces),
       Counter("branch graph nodes", "graph_nodes", &VmStats::GraphNodes),
       Counter("telemetry events dropped", "events_dropped",
@@ -113,7 +117,11 @@ uint64_t VmStats::digest() const {
            M == &VmStats::TraceCompileFallbacks ||
            M == &VmStats::TraceDispatchesJit ||
            M == &VmStats::TraceDispatchesInterp ||
-           M == &VmStats::JitCodeBytes;
+           M == &VmStats::JitCodeBytes ||
+           // Elision accounting is configuration (--mem-elide) like the
+           // tier counters; the elided checks were proved to pass, so the
+           // execution semantics are identical either way.
+           M == &VmStats::MemElisionSites || M == &VmStats::MemChecksElided;
   };
   for (const FieldInfo &F : fields())
     if (F.Counter && !Excluded(F.Counter))

@@ -68,6 +68,17 @@ struct VmStats {
   uint64_t TraceDispatchesInterp = 0; ///< Trace entries run by stepTrace.
   uint64_t JitCodeBytes = 0;          ///< Native code bytes installed.
 
+  //===--- Memory-check elision (src/analysis) --------------------------===//
+  /// Heap-access check elision proved by the trace-path alias analysis
+  /// (Trace::MemElisions). Sites counts annotated access sites over all
+  /// installed traces; ChecksElided counts the dynamic checks both tiers
+  /// actually skipped. Elision never changes execution semantics (the
+  /// checks were proved to pass), and whether it runs at all is the
+  /// --mem-elide configuration, so like the validation and tier counters
+  /// both are digest-excluded.
+  uint64_t MemElisionSites = 0;  ///< Annotated heap-access sites.
+  uint64_t MemChecksElided = 0;  ///< Dynamic checks skipped at run time.
+
   //===--- Observability ----------------------------------------------===//
   /// Telemetry events lost to ring overwriting (EventRing::dropped). Not
   /// part of the execution semantics, so digest() excludes it: a replay

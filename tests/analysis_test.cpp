@@ -392,6 +392,258 @@ TEST(SummariesTest, HeapTrafficPropagatesToCallers) {
   EXPECT_TRUE(S.ReadsHeap);
 }
 
+/// Regression for the per-trace-op query: a call instruction's facts are
+/// those of its possible targets, not of the enclosing method. The static
+/// call resolves to its one pure callee even though main itself prints
+/// and halts; the virtual call merges every implementation of the slot
+/// and is may-trap by dispatch alone.
+TEST(SummariesTest, CallSiteQueryResolvesPerTraceOpDispatch) {
+  Assembler Asm;
+  uint32_t Slot = Asm.declareSlot("act", 1, true);
+  uint32_t CA = Asm.declareClass("A", 1);
+  uint32_t CB = Asm.declareClass("B", 1);
+  uint32_t Reader = Asm.declareMethod("A.act", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Reader);
+    B.iload(0);
+    B.getfield(0);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Writer = Asm.declareMethod("B.act", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Writer);
+    B.iload(0);
+    B.iconst(5);
+    B.putfield(0);
+    B.iconst(0);
+    B.iret();
+    B.finish();
+  }
+  Asm.setVtableEntry(CA, Slot, Reader);
+  Asm.setVtableEntry(CB, Slot, Writer);
+  uint32_t Pure = Asm.declareMethod("pure", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Pure);
+    B.iload(0);
+    B.iconst(2);
+    B.emit(Opcode::Imul);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Main = Asm.declareMethod("main", 0, 1, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.iconst(21);
+    B.invokestatic(Pure);
+    B.emit(Opcode::Iprint);
+    B.newobj(CA);
+    B.invokevirtual(Slot);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  Module M = Asm.build();
+  ASSERT_TRUE(isValid(M));
+
+  const analysis::ModuleSummaries S = analysis::ModuleSummaries::compute(M);
+  const std::vector<Instruction> &Code = M.Methods[Main].Code;
+
+  auto Static = S.callSite(M, Code[pcOf(M, Main, Opcode::InvokeStatic)]);
+  ASSERT_TRUE(Static.has_value());
+  EXPECT_TRUE(Static->pure()); // Callee facts, not main's print/halt.
+
+  auto Virtual = S.callSite(M, Code[pcOf(M, Main, Opcode::InvokeVirtual)]);
+  ASSERT_TRUE(Virtual.has_value());
+  EXPECT_TRUE(Virtual->MayTrap); // Dispatch can fail on its own.
+  EXPECT_TRUE(Virtual->ReadsHeap);  // From A.act.
+  EXPECT_TRUE(Virtual->WritesHeap); // From B.act.
+  EXPECT_FALSE(Virtual->Prints);
+
+  // Non-call trace ops and unimplemented slots have no call-site facts.
+  EXPECT_FALSE(S.callSite(M, Instruction(Opcode::Iadd)).has_value());
+  EXPECT_FALSE(
+      S.callSite(M, Instruction(Opcode::InvokeVirtual, 99)).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Alias & escape analysis
+//===----------------------------------------------------------------------===//
+
+TEST(AliasTest, EscapeLatticeClassifiesAllocationSites) {
+  Assembler Asm;
+  uint32_t C = Asm.declareClass("C", 1);
+  uint32_t Pure = Asm.declareMethod("pure", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Pure);
+    B.iconst(7);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Writer = Asm.declareMethod("writer", 1, 1, true);
+  {
+    MethodBuilder B = Asm.beginMethod(Writer);
+    B.iload(0);
+    B.iconst(5);
+    B.putfield(0);
+    B.iconst(0);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Main = Asm.declareMethod("main", 0, 1, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    // Site 0: read locally, never leaves the frame.
+    B.newobj(C);
+    B.istore(0);
+    B.iload(0);
+    B.getfield(0);
+    B.emit(Opcode::Iprint);
+    // Site 1: passed to a heap-free callee.
+    B.newobj(C);
+    B.invokestatic(Pure);
+    B.emit(Opcode::Iprint);
+    // Site 2: passed to a callee that may write the heap.
+    B.newobj(C);
+    B.invokestatic(Writer);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  Module M = Asm.build();
+  ASSERT_TRUE(isValid(M));
+
+  ModuleAnalysis A = ModuleAnalysis::compute(M);
+  const MethodAnalysis *MA = A.method(Main);
+  ASSERT_NE(MA, nullptr);
+  analysis::MethodEscapeFacts F =
+      analysis::analyzeMethodEscapes(MA->Cfg, MA->Values, A.summaries());
+  ASSERT_EQ(F.Sites.size(), 3u);
+  EXPECT_FALSE(F.Overflowed);
+  EXPECT_EQ(F.Sites[0].Escape, analysis::EscapeClass::NoEscape);
+  EXPECT_EQ(F.Sites[1].Escape, analysis::EscapeClass::ArgEscape);
+  EXPECT_EQ(F.Sites[2].Escape, analysis::EscapeClass::GlobalEscape);
+}
+
+/// The trace walk proves accesses through a fresh allocation: array
+/// element traffic keeps only the bounds check (NullOnly), while length
+/// reads and known-class field traffic shed every check (Full).
+TEST(AliasTest, TraceMemoryWalkProvesFreshAllocationAccesses) {
+  Assembler Asm;
+  uint32_t C = Asm.declareClass("C", 1);
+  uint32_t Main = Asm.declareMethod("main", 0, 2, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.iconst(4);
+    B.emit(Opcode::NewArray);
+    B.istore(0);
+    B.iload(0);
+    B.iconst(0);
+    B.iconst(9);
+    B.emit(Opcode::Iastore); // NullOnly: the index is dynamic.
+    B.iload(0);
+    B.emit(Opcode::ArrayLength); // Full: no bounds check to keep.
+    B.emit(Opcode::Iprint);
+    B.iload(0);
+    B.iconst(0);
+    B.emit(Opcode::Iaload); // NullOnly.
+    B.emit(Opcode::Iprint);
+    B.newobj(C);
+    B.istore(1);
+    B.iload(1);
+    B.iconst(3);
+    B.putfield(0); // Full: class known, slot in range.
+    B.iload(1);
+    B.getfield(0); // Full.
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  Module M = Asm.build();
+  ASSERT_TRUE(isValid(M));
+
+  ModuleAnalysis A = ModuleAnalysis::compute(M);
+  analysis::ValueFactsFn Facts =
+      [&](uint32_t F) -> const analysis::MethodValueFacts * {
+    return A.method(F) ? &A.method(F)->Values : nullptr;
+  };
+  std::vector<analysis::TraceBlockSpan> Blocks = {
+      {Main, 0, static_cast<uint32_t>(M.Methods[Main].Code.size())}};
+  analysis::AliasStats Stats;
+  std::vector<analysis::TraceMemFact> Elidable =
+      analysis::analyzeTraceMemory(M, Facts, Blocks, &Stats);
+
+  EXPECT_EQ(Stats.MemOps, 5u);
+  EXPECT_EQ(Stats.ElidedNull, 2u);
+  EXPECT_EQ(Stats.ElidedFull, 3u);
+  EXPECT_EQ(Stats.MayNullBase, 0u);
+  EXPECT_EQ(Stats.UnknownBase, 0u);
+  ASSERT_EQ(Elidable.size(), 5u);
+  EXPECT_EQ(Elidable[0].Pc, pcOf(M, Main, Opcode::Iastore));
+  EXPECT_EQ(Elidable[0].Elide, analysis::MemElide::NullOnly);
+  EXPECT_EQ(Elidable[1].Pc, pcOf(M, Main, Opcode::ArrayLength));
+  EXPECT_EQ(Elidable[1].Elide, analysis::MemElide::Full);
+  EXPECT_EQ(Elidable[3].Pc, pcOf(M, Main, Opcode::PutField));
+  EXPECT_EQ(Elidable[3].Elide, analysis::MemElide::Full);
+}
+
+/// The module-wide report aggregates both passes and names the pattern
+/// that blocked each unproven access.
+TEST(AliasTest, ModuleReportAggregatesStatsAndDiagnostics) {
+  Assembler Asm;
+  uint32_t C = Asm.declareClass("C", 1);
+  uint32_t Opaque = Asm.declareMethod("opaque", 1, 1, true);
+  {
+    // The argument's shape is unknown to the intra-method analysis, so
+    // this access is unsupported and must surface as a diagnostic.
+    MethodBuilder B = Asm.beginMethod(Opaque);
+    B.iload(0);
+    B.getfield(0);
+    B.iret();
+    B.finish();
+  }
+  uint32_t Main = Asm.declareMethod("main", 0, 1, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    B.newobj(C);
+    B.istore(0);
+    B.iload(0);
+    B.iconst(3);
+    B.putfield(0); // Provable: fresh known-class base.
+    B.iload(0);
+    B.invokestatic(Opaque);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  Module M = Asm.build();
+  ASSERT_TRUE(isValid(M));
+
+  ModuleAnalysis A = ModuleAnalysis::compute(M);
+  analysis::ValueFactsFn Facts =
+      [&](uint32_t F) -> const analysis::MethodValueFacts * {
+    return A.method(F) ? &A.method(F)->Values : nullptr;
+  };
+  analysis::ModuleAliasReport R =
+      analysis::analyzeModuleAliasing(M, Facts, A.summaries());
+
+  EXPECT_EQ(R.Stats.AllocSites, 1u);
+  EXPECT_EQ(R.Stats.MemOps, 2u);
+  EXPECT_GE(R.Stats.ElidedFull, 1u); // main's putfield.
+  EXPECT_EQ(R.Stats.UnknownBase, 1u); // opaque's getfield.
+  ASSERT_EQ(R.Diagnostics.size(), 1u);
+  EXPECT_NE(R.Diagnostics[0].find("opaque"), std::string::npos);
+  EXPECT_NE(R.Diagnostics[0].find("base shape unknown"), std::string::npos);
+  ASSERT_EQ(R.Escapes.size(), M.Methods.size());
+  ASSERT_EQ(R.Escapes[Main].Sites.size(), 1u);
+  // The object rides into a heap-reading (but heap-free-writing) callee.
+  EXPECT_EQ(R.Escapes[Main].Sites[0].Escape, analysis::EscapeClass::ArgEscape);
+}
+
 //===----------------------------------------------------------------------===//
 // Typed verifier rejection classes
 //===----------------------------------------------------------------------===//

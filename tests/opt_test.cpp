@@ -315,6 +315,73 @@ TEST(OptimizerTest, EliminatesDeadStores) {
   expectEquivalent(In, Out, 3);
 }
 
+TEST(OptimizerTest, EliminatesRedundantHeapLoads) {
+  // The second getfield reads the same field of the same base with no
+  // intervening clobber, and the first read's value is still at hand in
+  // local 1; the alias analysis proves the reload redundant. Heap
+  // segments are not evaluable here, so the validator stands in as the
+  // equivalence oracle.
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::GetField, 0),
+      Instruction(Opcode::Istore, 1), // t = o.f
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::GetField, 0), // o.f again: redundant
+      Instruction(Opcode::Iload, 1),
+      Instruction(Opcode::Iadd),
+      Instruction(Opcode::Iprint),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_GE(St.MemLoadsEliminated, 1u);
+  validate::Result R = validate::validateSegment(In, Out);
+  EXPECT_TRUE(R.Ok) << validate::reasonName(R.Why) << ": " << R.Detail;
+}
+
+TEST(OptimizerTest, EliminatesDeadHeapStores) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iconst, 1),
+      Instruction(Opcode::PutField, 0), // killed by the store below
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iconst, 2),
+      Instruction(Opcode::PutField, 0),
+  });
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St);
+  EXPECT_GE(St.MemDeadStores, 1u);
+  validate::Result R = validate::validateSegment(In, Out);
+  EXPECT_TRUE(R.Ok) << validate::reasonName(R.Why) << ": " << R.Detail;
+}
+
+TEST(OptimizerTest, MemoryPassesRespectTheirConfigGates) {
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iconst, 1),
+      Instruction(Opcode::PutField, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iconst, 2),
+      Instruction(Opcode::PutField, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::GetField, 0),
+      Instruction(Opcode::Iprint),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::GetField, 0),
+      Instruction(Opcode::Iprint),
+  });
+  OptConfig Off;
+  Off.ElimRedundantLoads = false;
+  Off.ElimDeadStores = false;
+  Off.SinkStores = false;
+  OptStats St;
+  LinearSegment Out = optimizeSegment(In, St, Off);
+  EXPECT_EQ(St.MemLoadsEliminated, 0u);
+  EXPECT_EQ(St.MemDeadStores, 0u);
+  EXPECT_EQ(St.MemStoresSunk, 0u);
+  validate::Result R = validate::validateSegment(In, Out);
+  EXPECT_TRUE(R.Ok) << validate::reasonName(R.Why) << ": " << R.Detail;
+}
+
 TEST(OptimizerTest, CancelsLoadStoreOfSameLocal) {
   LinearSegment In = segment({
       Instruction(Opcode::Iload, 1),
@@ -908,17 +975,27 @@ std::vector<std::pair<std::string, OptConfig>> ablationConfigs() {
     case 4:
       C.LivenessAtExits = On;
       break;
+    case 5:
+      C.ElimRedundantLoads = On;
+      break;
+    case 6:
+      C.ElimDeadStores = On;
+      break;
+    case 7:
+      C.SinkStores = On;
+      break;
     }
   };
-  const char *Names[] = {"fold", "forward", "defer", "elim-guards",
-                         "liveness"};
+  const char *Names[] = {"fold",     "forward",   "defer",
+                         "elim-guards", "liveness", "elim-loads",
+                         "elim-dead-stores", "sink-stores"};
   std::vector<std::pair<std::string, OptConfig>> Out;
   Out.emplace_back("stacked", OptConfig());
   OptConfig AllOff;
-  for (unsigned I = 0; I < 5; ++I)
+  for (unsigned I = 0; I < 8; ++I)
     Toggle(AllOff, I, false);
   Out.emplace_back("none", AllOff);
-  for (unsigned I = 0; I < 5; ++I) {
+  for (unsigned I = 0; I < 8; ++I) {
     OptConfig Alone = AllOff;
     Toggle(Alone, I, true);
     Out.emplace_back(std::string(Names[I]) + "-alone", Alone);

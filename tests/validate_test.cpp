@@ -63,12 +63,11 @@ Result optimizeAndValidate(const LinearSegment &In,
   return validateSegment(In, Out);
 }
 
-/// The four deliberate miscompilations.
+/// The six deliberate miscompilations.
 const UnsoundPass AllMutations[] = {
-    UnsoundPass::DropGuard,
-    UnsoundPass::ReorderStorePastExit,
-    UnsoundPass::WrongConstant,
-    UnsoundPass::KillLiveOnExit,
+    UnsoundPass::DropGuard,          UnsoundPass::ReorderStorePastExit,
+    UnsoundPass::WrongConstant,      UnsoundPass::KillLiveOnExit,
+    UnsoundPass::ResurrectDeadStore, UnsoundPass::AliasConfusedLoad,
 };
 
 OptConfig mutated(UnsoundPass P) {
@@ -405,8 +404,9 @@ TEST(ValidatorTest, ScratchLocalsMayDiverge) {
 namespace {
 
 /// A segment with a data-dependent guard owing a dirty-local flush, a
-/// foldable constant, and stores live at both the exit and the end --
-/// every mutation class has something to corrupt.
+/// foldable constant, stores live at both the exit and the end, an
+/// overwritten heap store and an unestablished heap load -- every
+/// mutation class has something to corrupt.
 LinearSegment richGuardedSegment() {
   LinearSegment S = segment({
       Instruction(Opcode::Iconst, 6),
@@ -417,6 +417,18 @@ LinearSegment richGuardedSegment() {
   });
   S.Ops.push_back(guard(Opcode::IfNe, /*Taken=*/true));
   S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iload, 0)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iprint)));
+  // obj.f0 = 1 then obj.f0 = 2: dead-store elimination's (and so
+  // ResurrectDeadStore's) site.
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iload, 2)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iconst, 1)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::PutField, 0)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iload, 2)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iconst, 2)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::PutField, 0)));
+  // other.f1 was never established: AliasConfusedLoad's site.
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iload, 3)));
+  S.Ops.push_back(LinearOp::instr(Instruction(Opcode::GetField, 1)));
   S.Ops.push_back(LinearOp::instr(Instruction(Opcode::Iprint)));
   return S;
 }
@@ -508,6 +520,38 @@ TEST(ValidatorMutationTest, KillLiveOnExitIsTypedLocalMismatch) {
   EXPECT_TRUE(optimizeAndValidate(AtGuard).Ok);
 }
 
+TEST(ValidatorMutationTest, ResurrectDeadStoreIsTypedMemStoreUnjustified) {
+  // obj.f0 = 1 is dead (overwritten by obj.f0 = 2); the mutation re-emits
+  // it *after* the overwrite, making the stale 1 the cell's final
+  // content. The symbolic final heaps diverge.
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iconst, 1),
+      Instruction(Opcode::PutField, 0),
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::Iconst, 2),
+      Instruction(Opcode::PutField, 0),
+  });
+  Result R = optimizeAndValidate(In, mutated(UnsoundPass::ResurrectDeadStore));
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Why, Reason::MemStoreUnjustified);
+  EXPECT_TRUE(optimizeAndValidate(In).Ok);
+}
+
+TEST(ValidatorMutationTest, AliasConfusedLoadIsTypedMemLoadUnjustified) {
+  // obj.f0 was never established inside the segment, so eliminating the
+  // load (with a fabricated value) has no dominating-access proof.
+  LinearSegment In = segment({
+      Instruction(Opcode::Iload, 0),
+      Instruction(Opcode::GetField, 0),
+      Instruction(Opcode::Iprint),
+  });
+  Result R = optimizeAndValidate(In, mutated(UnsoundPass::AliasConfusedLoad));
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Why, Reason::MemLoadUnjustified);
+  EXPECT_TRUE(optimizeAndValidate(In).Ok);
+}
+
 //===----------------------------------------------------------------------===//
 // Whole traces from real programs
 //===----------------------------------------------------------------------===//
@@ -584,6 +628,52 @@ Module storeBeforeExitLoop() {
   return Asm.build();
 }
 
+/// Hot loop with array traffic the memory passes transform: a dead store
+/// (a[0]=1 overwritten by a[0]=i) and a load of a never-written cell
+/// (a[1]) -- the sites of the two alias mutations. The loaded cell
+/// feeds a print so the alias mutations corrupt an observable effect
+/// rather than a live local. Locals: 0=a, 1=i.
+Module arrayCellLoop() {
+  Assembler Asm;
+  uint32_t Main = Asm.declareMethod("main", 0, 2, false);
+  {
+    MethodBuilder B = Asm.beginMethod(Main);
+    Label Loop = B.newLabel(), Done = B.newLabel();
+    B.iconst(8);
+    B.emit(Opcode::NewArray);
+    B.istore(0);
+    B.iconst(0);
+    B.istore(1);
+    B.bind(Loop);
+    B.iload(1);
+    B.iconst(60000);
+    B.branch(Opcode::IfIcmpGe, Done);
+    B.iload(0);
+    B.iconst(0);
+    B.iconst(1);
+    B.emit(Opcode::Iastore); // a[0] = 1: dead
+    B.iload(0);
+    B.iconst(0);
+    B.iload(1);
+    B.emit(Opcode::Iastore); // a[0] = i: the overwrite
+    B.iload(0);
+    B.iconst(1);
+    B.emit(Opcode::Iaload); // a[1]: never established
+    B.emit(Opcode::Iprint);
+    B.iinc(1, 1);
+    B.branch(Opcode::Goto, Loop);
+    B.bind(Done);
+    B.iload(0);
+    B.iconst(0);
+    B.emit(Opcode::Iaload);
+    B.emit(Opcode::Iprint);
+    B.halt();
+    B.finish();
+  }
+  Asm.setEntry(Main);
+  return Asm.build();
+}
+
 /// Hot loop printing a foldable constant expression each iteration: the
 /// wrong-constant mutation's site.
 Module foldedPrintLoop() {
@@ -635,6 +725,16 @@ TEST(ValidatorTraceTest, EveryMutationClassIsCaughtOnRealTraces) {
              R == Reason::SideExitLocalMismatch ||
              R == Reason::SideExitStackMismatch ||
              R == Reason::FinalStackMismatch;
+    case UnsoundPass::ResurrectDeadStore:
+      return R == Reason::MemStoreUnjustified;
+    case UnsoundPass::AliasConfusedLoad:
+      // The fabricated value usually surfaces as the missing load itself;
+      // when it feeds a store or effect first, the divergence can be
+      // typed at that consumer instead.
+      return R == Reason::MemLoadUnjustified ||
+             R == Reason::MemStoreUnjustified || R == Reason::EffectMismatch ||
+             R == Reason::FinalLocalMismatch ||
+             R == Reason::SideExitLocalMismatch;
     case UnsoundPass::None:
       break;
     }
@@ -650,6 +750,7 @@ TEST(ValidatorTraceTest, EveryMutationClassIsCaughtOnRealTraces) {
   Programs.push_back(testprog::countingLoop(100000));
   Programs.push_back(storeBeforeExitLoop());
   Programs.push_back(foldedPrintLoop());
+  Programs.push_back(arrayCellLoop());
 
   for (UnsoundPass P : AllMutations) {
     unsigned Rejected = 0;
@@ -804,7 +905,8 @@ bool parseUnsound(const std::string &Name, UnsoundPass &Out) {
   for (UnsoundPass P :
        {UnsoundPass::None, UnsoundPass::DropGuard,
         UnsoundPass::ReorderStorePastExit, UnsoundPass::WrongConstant,
-        UnsoundPass::KillLiveOnExit}) {
+        UnsoundPass::KillLiveOnExit, UnsoundPass::ResurrectDeadStore,
+        UnsoundPass::AliasConfusedLoad}) {
     if (Name == unsoundPassName(P)) {
       Out = P;
       return true;
@@ -839,7 +941,7 @@ std::vector<CorpusCase> readManifest() {
 
 TEST(ValidatorCorpusTest, ManifestCoversAcceptanceAndEveryMutationClass) {
   std::vector<CorpusCase> Cases = readManifest();
-  ASSERT_GE(Cases.size(), 6u);
+  ASSERT_GE(Cases.size(), 8u);
   bool SawAccept = false;
   std::set<UnsoundPass> Mutations;
   for (const CorpusCase &C : Cases) {
@@ -847,7 +949,7 @@ TEST(ValidatorCorpusTest, ManifestCoversAcceptanceAndEveryMutationClass) {
     Mutations.insert(C.Mutation);
   }
   EXPECT_TRUE(SawAccept) << "corpus must pin accepted pairs too";
-  EXPECT_EQ(Mutations.size(), 5u)
+  EXPECT_EQ(Mutations.size(), 7u)
       << "corpus must pin every mutation class plus acceptance";
 }
 

@@ -3,20 +3,29 @@
 /// Runs the dataflow-analysis framework over programs and reports
 /// advisory findings: code that verifies and runs but is probably not
 /// what the author meant (unreachable blocks, dead branches, dead
-/// stores, unused locals, stack-neutral loops).
+/// stores, unused locals, stack-neutral loops). It also reports the
+/// field-sensitive alias & escape analysis per module: how many heap
+/// accesses the analysis can prove check-free (the facts the memory
+/// passes and --mem-elide consume), allocation-site escape classes, and
+/// a diagnostic per access whose proof was blocked (base may be null /
+/// base shape unknown).
 ///
 ///   jtc-analyze <program>... [options]
 ///
 /// <program> is either a path to a .jasm file or "workload:<name>" for
 /// one of the built-in benchmarks. Programs that fail verification are
 /// reported as errors (exit 1); lint findings are advisory and do not
-/// affect the exit status unless --strict is given.
+/// affect the exit status unless --strict is given. Alias statistics and
+/// unsupported-pattern diagnostics are informational only: an unproven
+/// access is a missed optimization, not a defect, so they never affect
+/// the exit status.
 ///
 /// Options:
 ///   --json        emit findings as one JSON document on stdout
 ///   --strict      exit 1 when any finding is reported
 ///   --scale=<n>   workload scale override (workload inputs only)
-///   --quiet       suppress the per-input "ok" lines (human mode)
+///   --quiet       suppress the per-input "ok" lines and the alias
+///                 diagnostics (human mode)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,41 +92,60 @@ std::optional<Module> loadProgram(const std::string &Input,
   return M;
 }
 
-/// All findings for one input, in method order.
-std::vector<analysis::LintFinding> lintModule(const Module &M) {
+/// Lint findings plus the alias & escape report for one input.
+struct InputReport {
+  std::vector<analysis::LintFinding> Findings;
+  analysis::ModuleAliasReport Alias;
+};
+
+InputReport analyzeModule(const Module &M) {
   analysis::ModuleAnalysis Facts = analysis::ModuleAnalysis::compute(M);
-  std::vector<analysis::LintFinding> All;
+  InputReport R;
   for (uint32_t F = 0; F < Facts.numMethods(); ++F) {
     const analysis::MethodAnalysis *MA = Facts.method(F);
     if (!MA)
       continue;
     std::vector<analysis::LintFinding> Fs =
         analysis::lintMethod(MA->Values, MA->Liveness);
-    All.insert(All.end(), Fs.begin(), Fs.end());
+    R.Findings.insert(R.Findings.end(), Fs.begin(), Fs.end());
   }
-  return All;
+  analysis::ValueFactsFn VF =
+      [&Facts](uint32_t F) -> const analysis::MethodValueFacts * {
+    return Facts.method(F) ? &Facts.method(F)->Values : nullptr;
+  };
+  R.Alias = analysis::analyzeModuleAliasing(M, VF, Facts.summaries());
+  return R;
 }
 
 void printHuman(const std::string &Input, const Module &M,
-                const std::vector<analysis::LintFinding> &Findings,
-                bool Quiet) {
-  for (const analysis::LintFinding &F : Findings)
+                const InputReport &R, bool Quiet) {
+  for (const analysis::LintFinding &F : R.Findings)
     std::cout << Input << ": method " << M.Methods[F.MethodId].Name
               << " block " << F.Block << " @" << F.Pc << ": "
               << analysis::lintKindName(F.K) << ": " << F.Message << "\n";
-  if (!Quiet || !Findings.empty())
+  if (!Quiet)
+    for (const std::string &D : R.Alias.Diagnostics)
+      std::cout << Input << ": alias: " << D << "\n";
+  const analysis::AliasStats &S = R.Alias.Stats;
+  std::cout << Input << ": alias: " << S.MemOps << " heap accesses ("
+            << S.ElidedFull << " check-free, " << S.ElidedNull
+            << " bounds-only, " << S.MayNullBase << " may-null, "
+            << S.UnknownBase << " unknown-base), " << S.AllocSites
+            << " alloc sites (" << S.NoEscape << " no-escape, " << S.ArgEscape
+            << " arg-escape, " << S.GlobalEscape << " global-escape)\n";
+  if (!Quiet || !R.Findings.empty())
     std::cout << Input << ": " << M.Methods.size() << " methods, "
-              << Findings.size() << " finding"
-              << (Findings.size() == 1 ? "" : "s") << "\n";
+              << R.Findings.size() << " finding"
+              << (R.Findings.size() == 1 ? "" : "s") << "\n";
 }
 
 void writeInputJson(JsonWriter &W, const std::string &Input, const Module &M,
-                    const std::vector<analysis::LintFinding> &Findings) {
+                    const InputReport &R) {
   W.beginObject();
   W.field("input", Input);
   W.fieldUInt("methods", M.Methods.size());
   W.key("findings").beginArray();
-  for (const analysis::LintFinding &F : Findings) {
+  for (const analysis::LintFinding &F : R.Findings) {
     W.beginObject()
         .field("kind", analysis::lintKindName(F.K))
         .field("method", M.Methods[F.MethodId].Name)
@@ -128,6 +156,22 @@ void writeInputJson(JsonWriter &W, const std::string &Input, const Module &M,
         .endObject();
   }
   W.endArray();
+  const analysis::AliasStats &S = R.Alias.Stats;
+  W.key("alias").beginObject();
+  W.fieldUInt("memOps", S.MemOps)
+      .fieldUInt("elidedFull", S.ElidedFull)
+      .fieldUInt("elidedNull", S.ElidedNull)
+      .fieldUInt("mayNullBase", S.MayNullBase)
+      .fieldUInt("unknownBase", S.UnknownBase)
+      .fieldUInt("allocSites", S.AllocSites)
+      .fieldUInt("noEscape", S.NoEscape)
+      .fieldUInt("argEscape", S.ArgEscape)
+      .fieldUInt("globalEscape", S.GlobalEscape);
+  W.key("diagnostics").beginArray();
+  for (const std::string &D : R.Alias.Diagnostics)
+    W.value(D);
+  W.endArray();
+  W.endObject();
   W.endObject();
 }
 
@@ -158,12 +202,12 @@ int main(int Argc, char **Argv) {
       LoadFailed = true;
       continue;
     }
-    std::vector<analysis::LintFinding> Findings = lintModule(*M);
-    TotalFindings += Findings.size();
+    InputReport R = analyzeModule(*M);
+    TotalFindings += R.Findings.size();
     if (Opts.Json)
-      writeInputJson(W, Input, *M, Findings);
+      writeInputJson(W, Input, *M, R);
     else
-      printHuman(Input, *M, Findings, Opts.Quiet);
+      printHuman(Input, *M, R, Opts.Quiet);
   }
 
   if (Opts.Json) {

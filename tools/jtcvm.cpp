@@ -48,6 +48,10 @@
 ///                        auto (jit when the host supports it). The
 ///                        JTC_BACKEND environment variable changes the
 ///                        default.
+///   --mem-elide=<mode>   heap-access check elision from the trace-path
+///                        alias analysis: on (default) or off. Digest-
+///                        neutral either way (elided checks were proved
+///                        to pass).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +110,7 @@ struct Options {
   uint32_t BtraceSyncInterval = 4096;
   std::string Replay;       ///< .btc stream to replay instead of running.
   ValidateMode Validate = ValidateMode::On;
+  bool MemElide = true; ///< Annotate traces with heap-check elisions.
   backend::BackendKind Backend = defaultBackendKind();
   uint32_t ResolvedScale = 1; ///< Actual workload scale (after defaults).
 
@@ -133,7 +138,7 @@ int usage() {
                "               --btrace-out=FILE --btrace-sync-interval=N "
                "--replay=FILE\n"
                "               --validate=off|on|strict "
-               "--backend=interp|jit|auto\n";
+               "--backend=interp|jit|auto --mem-elide=on|off\n";
   return 2;
 }
 
@@ -172,6 +177,7 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
                {"on", ValidateMode::On},
                {"strict", ValidateMode::Strict}},
               &Opts.Validate)
+      .choice("mem-elide", {{"off", false}, {"on", true}}, &Opts.MemElide)
       .choice("backend",
               {{"interp", backend::BackendKind::Interp},
                {"jit", backend::BackendKind::Jit},
@@ -418,6 +424,7 @@ int cmdRun(const Options &Opts, const Module &M) {
                      .saveProfilePath(Opts.SaveProfile)
                      .btraceSyncInterval(Opts.BtraceSyncInterval)
                      .validate(Opts.Validate)
+                     .memElide(Opts.MemElide)
                      .backend(Opts.Backend));
   persist::LoadReport Loaded;
   persist::PersistError PErr;
