@@ -1,0 +1,501 @@
+//===- bench/fleet_scaling.cpp - Fleet throughput & warm-boot bench -------===//
+///
+/// Load-generates against a real jtc-fleet (real sockets, real forked
+/// shard processes) and reports two things as a JSON artifact:
+///
+///  1. Scaling: requests/second and latency percentiles as the shard
+///     count sweeps (default 1, 2, 4), with every remote session's heap
+///     and output digests gated against a local single-process reference
+///     run -- a fleet that scales by corrupting results does not count.
+///
+///  2. Warm boot: for each workload, the first-session latency of a
+///     fleet booted cold versus one booted from the fleet profile
+///     aggregate the previous fleet merged -- the paper's "persistent
+///     profile" payoff measured across process generations, through the
+///     aggregation tier rather than a single donor file.
+///
+/// The artifact records hardware_concurrency: on a single-core host the
+/// scaling sweep cannot physically show speedup (shards time-slice one
+/// CPU), so CI gates on the ratio only when cores >= 4.
+///
+/// Flags: --shards-list=1,2,4 --threads=N --sessions=N --scale-percent=P
+///        --workload=NAME[:SCALE] (repeatable) --warm-sessions=N
+///        --skip-warm --skip-scaling --json[=FILE]
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Shard.h"
+#include "fleet/Supervisor.h"
+#include "net/Client.h"
+#include "server/VmService.h"
+#include "support/ArgParse.h"
+#include "support/Json.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace jtc;
+using namespace jtc::fleet;
+
+#ifndef JTC_FLEET_BIN
+#error "JTC_FLEET_BIN must point at the jtc-fleet binary"
+#endif
+
+namespace {
+
+struct Options {
+  std::string ShardsList = "1,2,4";
+  uint32_t Threads = 4;
+  uint32_t Sessions = 48;    ///< Per shard-count sweep.
+  uint32_t ScalePercent = 25; ///< Workload scale as % of registry default.
+  uint32_t WarmSessions = 3; ///< Sessions per generation in the warm phase.
+  std::vector<std::pair<std::string, uint32_t>> Workloads;
+  bool SkipWarm = false;
+  bool SkipScaling = false;
+  bool Json = false;
+  std::string JsonOut;
+};
+
+struct Reference {
+  uint64_t HeapDigest = 0;
+  uint64_t OutputDigest = 0;
+};
+
+struct SweepResult {
+  unsigned Shards = 0;
+  uint64_t Completed = 0;
+  uint64_t Backpressure = 0;
+  uint64_t Errors = 0;
+  uint64_t DigestMismatches = 0;
+  double Seconds = 0;
+  double ReqPerSec = 0;
+  double P50Ms = 0;
+  double P99Ms = 0;
+};
+
+struct WarmResult {
+  std::string Workload;
+  double ColdFirstSeconds = 0; ///< Shard-side first-session latency, cold.
+  double WarmFirstSeconds = 0; ///< Same, booted from the aggregate.
+  bool WarmStartFlag = false;  ///< The warm generation reported WarmStart.
+  uint64_t CheckpointsLoaded = 0;
+  uint64_t LoadRejects = 0;
+  bool Improved = false;
+};
+
+double percentile(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = static_cast<size_t>(P * (V.size() - 1));
+  return V[I];
+}
+
+/// Local single-process reference digests, one VmService session per
+/// workload -- the oracle every fleet session must match.
+std::map<std::string, Reference> buildReference(
+    const std::vector<std::pair<std::string, uint32_t>> &Workloads) {
+  std::map<std::string, Reference> Ref;
+  VmService Svc(ServiceOptions().workers(1));
+  for (const auto &[Name, Scale] : Workloads) {
+    const WorkloadInfo *W = findWorkload(Name);
+    if (!W)
+      continue;
+    Svc.registerWorkload(*W, Scale);
+    SessionResult R = Svc.run({Name});
+    Ref[Name] = {R.HeapDigest, net::outputDigest(R.Output)};
+  }
+  return Ref;
+}
+
+FleetOptions fleetOptions(const Options &Opts, unsigned Shards,
+                          const std::string &StateDir) {
+  FleetOptions FO;
+  FO.Shards = Shards;
+  FO.Workers = 1;
+  FO.StateDir = StateDir;
+  FO.MaxQueueDepth = 256;
+  FO.ShardBinary = JTC_FLEET_BIN;
+  FO.Workloads = Opts.Workloads;
+  return FO;
+}
+
+/// One load-generator thread: its own socket, its own slice of keys.
+void loadgenThread(uint16_t Port, const Options &Opts, unsigned ThreadId,
+                   uint32_t Sessions,
+                   const std::map<std::string, Reference> &Ref,
+                   SweepResult &Out, std::vector<double> &Latencies,
+                   std::mutex &OutMutex) {
+  std::string Err;
+  auto Client = net::BlockingClient::connect(Port, Err);
+  if (!Client) {
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    Out.Errors += Sessions;
+    return;
+  }
+  uint64_t Completed = 0, Backpressure = 0, Errors = 0, Mismatches = 0;
+  std::vector<double> Local;
+  for (uint32_t I = 0; I < Sessions; ++I) {
+    net::RunSessionMsg M;
+    M.SessionKey =
+        "t" + std::to_string(ThreadId) + "-s" + std::to_string(I);
+    M.Module = Opts.Workloads[I % Opts.Workloads.size()].first;
+    auto T0 = std::chrono::steady_clock::now();
+    net::Frame Reply;
+    net::NetError NErr;
+    if (!Client->call(net::MessageType::RunSession, M.encode(), Reply, NErr,
+                      /*TimeoutSeconds=*/120)) {
+      ++Errors;
+      continue;
+    }
+    double Ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - T0)
+            .count();
+    if (Reply.Type == net::MessageType::SessionDone) {
+      net::SessionDoneMsg D;
+      if (!D.decode(Reply.Payload, NErr)) {
+        ++Errors;
+        continue;
+      }
+      ++Completed;
+      Local.push_back(Ms);
+      auto It = Ref.find(M.Module);
+      if (It != Ref.end() && (D.HeapDigest != It->second.HeapDigest ||
+                              D.OutputDigest != It->second.OutputDigest))
+        ++Mismatches;
+    } else if (Reply.Type == net::MessageType::Backpressure) {
+      ++Backpressure;
+    } else {
+      ++Errors;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(OutMutex);
+  Out.Completed += Completed;
+  Out.Backpressure += Backpressure;
+  Out.Errors += Errors;
+  Out.DigestMismatches += Mismatches;
+  Latencies.insert(Latencies.end(), Local.begin(), Local.end());
+}
+
+bool runSweep(const Options &Opts, unsigned Shards,
+              const std::map<std::string, Reference> &Ref,
+              const std::string &StateDir, SweepResult &Out) {
+  Out.Shards = Shards;
+  FleetSupervisor Fleet(fleetOptions(Opts, Shards, StateDir));
+  std::string Err;
+  if (!Fleet.start(Err)) {
+    std::cerr << "fleet_scaling: start(" << Shards << "): " << Err << "\n";
+    return false;
+  }
+  unsigned Threads = std::max(1u, Opts.Threads);
+  uint32_t PerThread = std::max(1u, Opts.Sessions / Threads);
+
+  std::mutex OutMutex;
+  std::vector<double> Latencies;
+  std::atomic<unsigned> Live{Threads};
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Gen;
+  for (unsigned T = 0; T < Threads; ++T)
+    Gen.emplace_back([&, T] {
+      loadgenThread(Fleet.frontPort(), Opts, T, PerThread, Ref, Out,
+                    Latencies, OutMutex);
+      --Live;
+    });
+  while (Live > 0)
+    Fleet.poll(10);
+  for (std::thread &G : Gen)
+    G.join();
+  Out.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Out.ReqPerSec = Out.Seconds > 0 ? Out.Completed / Out.Seconds : 0;
+  Out.P50Ms = percentile(Latencies, 0.50);
+  Out.P99Ms = percentile(Latencies, 0.99);
+  Fleet.shutdown();
+  return true;
+}
+
+/// Runs one fleet generation over a single workload and reports the
+/// first session's shard-side latency plus the shard's checkpoint-load
+/// counters. \p Aggregate runs an aggregation round before shutdown so
+/// the next generation can boot warm.
+bool runGeneration(const Options &Opts, const std::string &Workload,
+                   uint32_t Scale, const std::string &StateDir,
+                   bool Aggregate, WarmResult &Out, bool Warm) {
+  FleetOptions FO = fleetOptions(Opts, 1, StateDir);
+  FO.Workloads = {{Workload, Scale}};
+  FleetSupervisor Fleet(FO);
+  std::string Err;
+  if (!Fleet.start(Err)) {
+    std::cerr << "fleet_scaling: warm-gen start: " << Err << "\n";
+    return false;
+  }
+  bool Ok = true;
+  std::atomic<bool> Done{false};
+  std::thread Gen([&] {
+    std::string CErr;
+    auto Client = net::BlockingClient::connect(Fleet.frontPort(), CErr);
+    if (!Client) {
+      Ok = false;
+      Done = true;
+      return;
+    }
+    for (uint32_t I = 0; I < Opts.WarmSessions && Ok; ++I) {
+      net::RunSessionMsg M;
+      M.SessionKey = "warm-" + std::to_string(I);
+      M.Module = Workload;
+      net::Frame Reply;
+      net::NetError NErr;
+      if (!Client->call(net::MessageType::RunSession, M.encode(), Reply,
+                        NErr, /*TimeoutSeconds=*/120) ||
+          Reply.Type != net::MessageType::SessionDone) {
+        Ok = false;
+        break;
+      }
+      net::SessionDoneMsg D;
+      if (!D.decode(Reply.Payload, NErr)) {
+        Ok = false;
+        break;
+      }
+      if (I == 0) {
+        if (Warm) {
+          Out.WarmFirstSeconds = D.Seconds;
+          Out.WarmStartFlag = D.WarmStart;
+        } else {
+          Out.ColdFirstSeconds = D.Seconds;
+        }
+      }
+    }
+    Done = true;
+  });
+  while (!Done)
+    Fleet.poll(10);
+  Gen.join();
+  if (Ok && Warm) {
+    std::vector<ShardStatsReport> Stats;
+    if (Fleet.fetchStats(Stats, Err) && !Stats.empty())
+      for (const auto &[Key, V] : Stats[0].Counters) {
+        if (Key == "checkpoints-loaded")
+          Out.CheckpointsLoaded = V;
+        if (Key == "checkpoint-load-rejects")
+          Out.LoadRejects = V;
+      }
+  }
+  if (Ok && Aggregate && !Fleet.aggregateNow(Err)) {
+    std::cerr << "fleet_scaling: aggregate: " << Err << "\n";
+    Ok = false;
+  }
+  Fleet.shutdown();
+  return Ok;
+}
+
+bool parseOptions(int Argc, char **Argv, Options &Opts) {
+  ArgParser P;
+  P.strOpt("shards-list", &Opts.ShardsList)
+      .u32Opt("threads", &Opts.Threads)
+      .u32Opt("sessions", &Opts.Sessions)
+      .u32Opt("scale-percent", &Opts.ScalePercent)
+      .u32Opt("warm-sessions", &Opts.WarmSessions)
+      .custom(
+          "workload",
+          [&Opts](const std::string &V) {
+            size_t Colon = V.find(':');
+            uint32_t Scale = 0;
+            if (Colon != std::string::npos)
+              Scale = static_cast<uint32_t>(
+                  std::strtoul(V.c_str() + Colon + 1, nullptr, 10));
+            Opts.Workloads.emplace_back(V.substr(0, Colon), Scale);
+            return true;
+          },
+          /*ValueRequired=*/true)
+      .flag("skip-warm", &Opts.SkipWarm)
+      .flag("skip-scaling", &Opts.SkipScaling)
+      .custom("json", [&Opts](const std::string &V) {
+        Opts.Json = true;
+        Opts.JsonOut = V;
+        return true;
+      });
+  if (!P.parse(Argc, Argv))
+    return false;
+  if (Opts.Workloads.empty())
+    for (const WorkloadInfo &W : allWorkloads())
+      Opts.Workloads.emplace_back(W.Name, 0);
+  for (auto &[Name, Scale] : Opts.Workloads)
+    if (Scale == 0) {
+      const WorkloadInfo *W = findWorkload(Name);
+      uint32_t Default = W ? W->DefaultScale : 100;
+      Scale = std::max<uint32_t>(
+          1, static_cast<uint32_t>(
+                 static_cast<uint64_t>(Default) * Opts.ScalePercent / 100));
+    }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseOptions(Argc, Argv, Opts)) {
+    std::cerr << "usage: fleet_scaling [--shards-list=1,2,4] [--threads=N] "
+                 "[--sessions=N]\n  [--scale-percent=P] "
+                 "[--workload=NAME[:SCALE]]... [--warm-sessions=N]\n"
+                 "  [--skip-warm] [--skip-scaling] [--json[=FILE]]\n";
+    return 2;
+  }
+
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::cerr << "fleet_scaling: " << Cores << " cores, "
+            << Opts.Workloads.size() << " workloads\n";
+
+  std::map<std::string, Reference> Ref = buildReference(Opts.Workloads);
+
+  namespace fs = std::filesystem;
+  std::string Root =
+      (fs::temp_directory_path() / "jtc-fleet-scaling").string();
+  std::error_code Ec;
+  fs::remove_all(Root, Ec);
+
+  std::vector<unsigned> ShardCounts;
+  for (size_t Pos = 0; Pos < Opts.ShardsList.size();) {
+    size_t Comma = Opts.ShardsList.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Opts.ShardsList.size();
+    unsigned N = static_cast<unsigned>(
+        std::strtoul(Opts.ShardsList.substr(Pos, Comma - Pos).c_str(),
+                     nullptr, 10));
+    if (N)
+      ShardCounts.push_back(N);
+    Pos = Comma + 1;
+  }
+
+  std::vector<SweepResult> Sweeps;
+  if (!Opts.SkipScaling)
+    for (unsigned Shards : ShardCounts) {
+      SweepResult R;
+      std::string Dir = Root + "/scale-" + std::to_string(Shards);
+      if (!runSweep(Opts, Shards, Ref, Dir, R))
+        return 1;
+      std::fprintf(stderr,
+                   "  shards=%u: %.1f req/s p50=%.1fms p99=%.1fms "
+                   "(%llu ok, %llu bp, %llu err, %llu digest mismatches)\n",
+                   Shards, R.ReqPerSec, R.P50Ms, R.P99Ms,
+                   (unsigned long long)R.Completed,
+                   (unsigned long long)R.Backpressure,
+                   (unsigned long long)R.Errors,
+                   (unsigned long long)R.DigestMismatches);
+      Sweeps.push_back(R);
+    }
+
+  std::vector<WarmResult> Warm;
+  if (!Opts.SkipWarm)
+    for (const auto &[Name, Scale] : Opts.Workloads) {
+      WarmResult R;
+      R.Workload = Name;
+      std::string Dir = Root + "/warm-" + Name;
+      // Generation 1: cold boot, serve, aggregate on the way out.
+      if (!runGeneration(Opts, Name, Scale, Dir, /*Aggregate=*/true, R,
+                         /*Warm=*/false))
+        return 1;
+      // Generation 2: same state dir; shards boot from the aggregate.
+      if (!runGeneration(Opts, Name, Scale, Dir, /*Aggregate=*/false, R,
+                         /*Warm=*/true))
+        return 1;
+      R.Improved = R.WarmFirstSeconds < R.ColdFirstSeconds;
+      std::fprintf(stderr,
+                   "  warm %s: cold=%.4fs warm=%.4fs warm_start=%d "
+                   "loaded=%llu rejects=%llu %s\n",
+                   Name.c_str(), R.ColdFirstSeconds, R.WarmFirstSeconds,
+                   R.WarmStartFlag ? 1 : 0,
+                   (unsigned long long)R.CheckpointsLoaded,
+                   (unsigned long long)R.LoadRejects,
+                   R.Improved ? "improved" : "no-gain");
+      Warm.push_back(R);
+    }
+
+  uint64_t TotalMismatches = 0, TotalErrors = 0;
+  for (const SweepResult &R : Sweeps) {
+    TotalMismatches += R.DigestMismatches;
+    TotalErrors += R.Errors;
+  }
+  unsigned WarmWins = 0, WarmFlagged = 0;
+  for (const WarmResult &R : Warm) {
+    WarmWins += R.Improved ? 1 : 0;
+    WarmFlagged += R.WarmStartFlag ? 1 : 0;
+  }
+
+  if (Opts.Json) {
+    std::ofstream File;
+    std::ostream *OS = &std::cout;
+    if (!Opts.JsonOut.empty()) {
+      File.open(Opts.JsonOut);
+      if (!File) {
+        std::cerr << "fleet_scaling: cannot write " << Opts.JsonOut << "\n";
+        return 1;
+      }
+      OS = &File;
+    }
+    JsonWriter W(*OS);
+    W.beginObject();
+    W.fieldUInt("hardware_concurrency", Cores)
+        .fieldUInt("sessions_per_sweep", Opts.Sessions)
+        .fieldUInt("threads", Opts.Threads)
+        .fieldUInt("digest_mismatches", TotalMismatches)
+        .fieldUInt("errors", TotalErrors);
+    W.key("scaling").beginArray();
+    for (const SweepResult &R : Sweeps) {
+      W.beginObject()
+          .fieldUInt("shards", R.Shards)
+          .fieldUInt("completed", R.Completed)
+          .fieldUInt("backpressure", R.Backpressure)
+          .fieldUInt("errors", R.Errors)
+          .fieldUInt("digest_mismatches", R.DigestMismatches)
+          .fieldReal("seconds", R.Seconds)
+          .fieldReal("req_per_sec", R.ReqPerSec)
+          .fieldReal("p50_ms", R.P50Ms)
+          .fieldReal("p99_ms", R.P99Ms)
+          .endObject();
+    }
+    W.endArray();
+    W.key("warm_boot").beginArray();
+    for (const WarmResult &R : Warm) {
+      W.beginObject()
+          .field("workload", R.Workload)
+          .fieldReal("cold_first_seconds", R.ColdFirstSeconds)
+          .fieldReal("warm_first_seconds", R.WarmFirstSeconds)
+          .fieldBool("warm_start", R.WarmStartFlag)
+          .fieldUInt("checkpoints_loaded", R.CheckpointsLoaded)
+          .fieldUInt("load_rejects", R.LoadRejects)
+          .fieldBool("improved", R.Improved)
+          .endObject();
+    }
+    W.endArray();
+    W.fieldUInt("warm_improved", WarmWins)
+        .fieldUInt("warm_start_flagged", WarmFlagged);
+    W.endObject();
+    *OS << "\n";
+  }
+
+  // Correctness gates hold on any hardware; the scaling ratio is only
+  // meaningful with enough cores to actually run shards in parallel.
+  if (TotalMismatches || TotalErrors) {
+    std::cerr << "fleet_scaling: FAILED digest/error gate\n";
+    return 1;
+  }
+  if (!Opts.SkipWarm && !Warm.empty() && WarmFlagged == 0) {
+    std::cerr << "fleet_scaling: FAILED: no warm generation reported a "
+                 "warm start\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- net/Client.cpp -----------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace jtc;
+using namespace jtc::net;
+
+BlockingClient::~BlockingClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<BlockingClient> BlockingClient::connect(uint16_t Port,
+                                                        std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("connect: ") + std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return std::unique_ptr<BlockingClient>(new BlockingClient(Fd));
+}
+
+bool BlockingClient::send(MessageType Type, uint64_t RequestId,
+                          const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Bytes = encodeFrame(Type, RequestId, Payload);
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool BlockingClient::recv(Frame &Out, NetError &Err, double TimeoutSeconds) {
+  for (;;) {
+    if (Reader.failed()) {
+      Err = Reader.error();
+      return false;
+    }
+    if (Reader.next(Out))
+      return true;
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, static_cast<int>(TimeoutSeconds * 1000));
+    if (R == 0) {
+      Err = NetError::make(NetErrorKind::Truncated, "timeout");
+      return false;
+    }
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = NetError::make(NetErrorKind::Truncated,
+                           std::string("poll: ") + std::strerror(errno));
+      return false;
+    }
+    uint8_t Buf[64 * 1024];
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N == 0) {
+      Err = NetError::make(NetErrorKind::Truncated, "peer closed");
+      return false;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = NetError::make(NetErrorKind::Truncated,
+                           std::string("read: ") + std::strerror(errno));
+      return false;
+    }
+    Reader.feed(Buf, static_cast<size_t>(N));
+  }
+}
+
+bool BlockingClient::call(MessageType Type,
+                          const std::vector<uint8_t> &Payload, Frame &Out,
+                          NetError &Err, double TimeoutSeconds) {
+  uint64_t Id = nextRequestId();
+  if (!send(Type, Id, Payload)) {
+    Err = NetError::make(NetErrorKind::Truncated, "send failed");
+    return false;
+  }
+  if (!recv(Out, Err, TimeoutSeconds))
+    return false;
+  if (Out.RequestId != Id) {
+    Err = NetError::make(NetErrorKind::Malformed,
+                         "response correlates to a different request");
+    return false;
+  }
+  return true;
+}

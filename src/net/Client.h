@@ -1,0 +1,64 @@
+//===- net/Client.h - Blocking fleet protocol client ------------*- C++ -*-===//
+///
+/// \file
+/// The client half of the fleet protocol: a plain blocking socket wrapped
+/// in frame encode/decode, used by the load generator, the fleet tests
+/// and jtc-fleet's own end-of-run stats fetch. Requests can be pipelined
+/// -- send() any number of frames, then recv() responses as they arrive
+/// and correlate by request id -- or driven strictly call()-at-a-time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_NET_CLIENT_H
+#define JTC_NET_CLIENT_H
+
+#include "net/Protocol.h"
+
+#include <memory>
+#include <string>
+
+namespace jtc {
+namespace net {
+
+class BlockingClient {
+public:
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient &) = delete;
+  BlockingClient &operator=(const BlockingClient &) = delete;
+
+  /// Connects to 127.0.0.1:\p Port; null with \p Err set on failure.
+  static std::unique_ptr<BlockingClient> connect(uint16_t Port,
+                                                 std::string &Err);
+
+  /// Writes one frame (blocking until fully written). False on a dead
+  /// connection.
+  bool send(MessageType Type, uint64_t RequestId,
+            const std::vector<uint8_t> &Payload);
+
+  /// Blocks until the next complete frame arrives (or \p TimeoutSeconds
+  /// passes, or the peer closes). False with \p Err typed on failure;
+  /// a timeout reports NetErrorKind::Truncated with a "timeout" detail.
+  bool recv(Frame &Out, NetError &Err, double TimeoutSeconds = 30.0);
+
+  /// send + recv, asserting the response correlates to this request.
+  /// Any response type is accepted (Error and Backpressure are valid
+  /// protocol answers); callers dispatch on Out.Type.
+  bool call(MessageType Type, const std::vector<uint8_t> &Payload,
+            Frame &Out, NetError &Err, double TimeoutSeconds = 30.0);
+
+  /// Next pipelined request id this client will use.
+  uint64_t nextRequestId() { return NextId++; }
+
+private:
+  explicit BlockingClient(int Fd) : Fd(Fd) {}
+
+  int Fd;
+  FrameReader Reader;
+  uint64_t NextId = 1;
+};
+
+} // namespace net
+} // namespace jtc
+
+#endif // JTC_NET_CLIENT_H

@@ -1,0 +1,327 @@
+//===- net/EpollServer.cpp ------------------------------------------------===//
+
+#include "net/EpollServer.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace jtc;
+using namespace jtc::net;
+
+EpollServer::Handler::~Handler() = default;
+void EpollServer::Handler::onConnClosed(uint64_t) {}
+void EpollServer::Handler::onWake() {}
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+void setNoDelay(int Fd) {
+  int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+} // namespace
+
+EpollServer::EpollServer(Config C, Handler &H) : Cfg(C), H(H) {
+  EpollFd = epoll_create1(EPOLL_CLOEXEC);
+  assert(EpollFd >= 0 && "epoll_create1 failed");
+  WakeFd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  assert(WakeFd >= 0 && "eventfd failed");
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = 0; // Sentinel: the wake fd.
+  epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+}
+
+EpollServer::~EpollServer() {
+  // Conns own their fds; listeners are the owner's (kept across shard
+  // restarts), so only deregister them.
+  for (auto &[Id, C] : Conns)
+    ::close(C.Fd);
+  for (int Fd : Listeners)
+    epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+}
+
+int EpollServer::makeListenSocket(uint16_t Port, uint16_t &BoundPort,
+                                  std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 512) != 0 || !setNonBlocking(Fd)) {
+    Err = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    Err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+bool EpollServer::addListener(int Fd, std::string &Err) {
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  // Listeners are tagged by (id = 1, fd) packed into u64: id 0 is the
+  // wake fd, odd-low-bit tags a listener, connections use their ConnId
+  // shifted past the tag bits.
+  Ev.data.u64 = (static_cast<uint64_t>(Fd) << 2) | 1;
+  if (epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+    Err = std::string("epoll_ctl add listener: ") + std::strerror(errno);
+    return false;
+  }
+  Listeners.push_back(Fd);
+  return true;
+}
+
+uint64_t EpollServer::registerConn(int Fd, bool Outgoing) {
+  setNonBlocking(Fd);
+  setNoDelay(Fd);
+  uint64_t Id = NextConnId++;
+  Conn C;
+  C.Fd = Fd;
+  C.Id = Id;
+  C.Outgoing = Outgoing;
+  C.LastActivity = std::chrono::steady_clock::now();
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = (Id << 2) | 2;
+  if (epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+    ::close(Fd);
+    return 0;
+  }
+  FdToConn[Fd] = Id;
+  Conns.emplace(Id, std::move(C));
+  return Id;
+}
+
+uint64_t EpollServer::connectTo(uint16_t Port, std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return 0;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("connect: ") + std::strerror(errno);
+    ::close(Fd);
+    return 0;
+  }
+  uint64_t Id = registerConn(Fd, /*Outgoing=*/true);
+  if (!Id)
+    Err = "epoll registration failed";
+  return Id;
+}
+
+void EpollServer::doAccept(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (Fd < 0)
+      return; // EAGAIN or a transient error: nothing more to accept now.
+    if (registerConn(Fd, /*Outgoing=*/false))
+      ++Counters.ConnsAccepted;
+  }
+}
+
+void EpollServer::doRead(Conn &C) {
+  uint8_t Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Counters.BytesIn += static_cast<uint64_t>(N);
+      C.LastActivity = std::chrono::steady_clock::now();
+      C.Reader.feed(Buf, static_cast<size_t>(N));
+      if (static_cast<size_t>(N) < sizeof(Buf))
+        break; // Drained (short read); avoid one extra EAGAIN syscall.
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    // EOF or hard error.
+    destroyConn(C.Id, /*Idle=*/false);
+    return;
+  }
+  uint64_t Id = C.Id;
+  Frame F;
+  while (Conns.count(Id) && Conns.at(Id).Reader.next(F)) {
+    ++Counters.FramesIn;
+    H.onFrame(Id, std::move(F)); // May close Id or others.
+    F = Frame();
+  }
+  auto It = Conns.find(Id);
+  if (It != Conns.end() && It->second.Reader.failed()) {
+    ++Counters.ProtocolErrors;
+    destroyConn(Id, /*Idle=*/false);
+  }
+}
+
+bool EpollServer::flush(Conn &C) {
+  while (C.WriteOff < C.WriteBuf.size()) {
+    ssize_t N = ::write(C.Fd, C.WriteBuf.data() + C.WriteOff,
+                        C.WriteBuf.size() - C.WriteOff);
+    if (N > 0) {
+      Counters.BytesOut += static_cast<uint64_t>(N);
+      C.WriteOff += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    destroyConn(C.Id, /*Idle=*/false);
+    return false;
+  }
+  if (C.WriteOff == C.WriteBuf.size()) {
+    C.WriteBuf.clear();
+    C.WriteOff = 0;
+  } else if (C.WriteOff >= 64 * 1024) {
+    C.WriteBuf.erase(C.WriteBuf.begin(),
+                     C.WriteBuf.begin() +
+                         static_cast<std::ptrdiff_t>(C.WriteOff));
+    C.WriteOff = 0;
+  }
+  updateEvents(C);
+  return true;
+}
+
+void EpollServer::updateEvents(Conn &C) {
+  bool Want = !C.WriteBuf.empty();
+  if (Want == C.WantWrite)
+    return;
+  C.WantWrite = Want;
+  epoll_event Ev{};
+  Ev.events = EPOLLIN | (Want ? EPOLLOUT : 0u);
+  Ev.data.u64 = (C.Id << 2) | 2;
+  epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+void EpollServer::send(uint64_t ConnId, MessageType Type, uint64_t RequestId,
+                       const std::vector<uint8_t> &Payload) {
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end())
+    return;
+  Conn &C = It->second;
+  std::vector<uint8_t> Bytes = encodeFrame(Type, RequestId, Payload);
+  C.WriteBuf.insert(C.WriteBuf.end(), Bytes.begin(), Bytes.end());
+  ++Counters.FramesOut;
+  if (C.WriteBuf.size() - C.WriteOff > Cfg.MaxWriteBufferBytes) {
+    destroyConn(ConnId, /*Idle=*/false); // Peer stopped reading.
+    return;
+  }
+  C.LastActivity = std::chrono::steady_clock::now();
+  flush(C);
+}
+
+void EpollServer::closeConn(uint64_t ConnId) {
+  if (Conns.count(ConnId))
+    destroyConn(ConnId, /*Idle=*/false);
+}
+
+void EpollServer::destroyConn(uint64_t ConnId, bool Idle) {
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end())
+    return;
+  int Fd = It->second.Fd;
+  epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::close(Fd);
+  FdToConn.erase(Fd);
+  Conns.erase(It);
+  ++Counters.ConnsClosed;
+  if (Idle)
+    ++Counters.IdleClosed;
+  H.onConnClosed(ConnId);
+}
+
+void EpollServer::wake() {
+  uint64_t One = 1;
+  ssize_t Ignored = ::write(WakeFd, &One, sizeof(One));
+  (void)Ignored; // A full counter still wakes the loop.
+}
+
+void EpollServer::sweepIdle() {
+  if (Cfg.IdleTimeoutSeconds <= 0)
+    return;
+  auto Now = std::chrono::steady_clock::now();
+  std::vector<uint64_t> Victims;
+  for (const auto &[Id, C] : Conns) {
+    if (C.Outgoing)
+      continue;
+    double Idle = std::chrono::duration<double>(Now - C.LastActivity).count();
+    if (Idle > Cfg.IdleTimeoutSeconds)
+      Victims.push_back(Id);
+  }
+  for (uint64_t Id : Victims)
+    destroyConn(Id, /*Idle=*/true);
+}
+
+void EpollServer::poll(int TimeoutMs) {
+  epoll_event Events[128];
+  int N = epoll_wait(EpollFd, Events, 128, TimeoutMs);
+  bool Woken = false;
+  for (int I = 0; I < N; ++I) {
+    uint64_t Tag = Events[I].data.u64;
+    if (Tag == 0) {
+      uint64_t Drain = 0;
+      while (::read(WakeFd, &Drain, sizeof(Drain)) > 0) {
+      }
+      Woken = true;
+      continue;
+    }
+    if ((Tag & 3) == 1) {
+      doAccept(static_cast<int>(Tag >> 2));
+      continue;
+    }
+    uint64_t ConnId = Tag >> 2;
+    auto It = Conns.find(ConnId);
+    if (It == Conns.end())
+      continue; // Closed earlier this round.
+    if (Events[I].events & (EPOLLHUP | EPOLLERR)) {
+      // Flush what the peer will still take, then read for EOF below.
+      if (!flush(It->second))
+        continue;
+    }
+    if (Events[I].events & EPOLLOUT) {
+      if (!flush(It->second))
+        continue;
+      It = Conns.find(ConnId);
+      if (It == Conns.end())
+        continue;
+    }
+    if (Events[I].events & (EPOLLIN | EPOLLHUP | EPOLLERR))
+      doRead(It->second);
+  }
+  if (Woken)
+    H.onWake();
+  sweepIdle();
+}

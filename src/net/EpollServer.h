@@ -1,0 +1,153 @@
+//===- net/EpollServer.h - Non-blocking epoll front-end ---------*- C++ -*-===//
+///
+/// \file
+/// The event loop under both halves of the serving fleet: each shard
+/// process runs one EpollServer over its inherited listening socket, and
+/// the supervisor runs another that multiplexes client connections and
+/// the per-shard upstream connections in a single epoll set.
+///
+/// The loop is deliberately single-threaded: every callback fires on the
+/// thread calling poll(), so handlers touch connection state without
+/// locks. Work finished on other threads (a VmService worker retiring a
+/// session) re-enters the loop through wake() -- an eventfd registered in
+/// the same epoll set -- and the handler drains its own outbox in
+/// onWake(). Connection lifecycle is all here: non-blocking accept,
+/// per-connection read buffering through FrameReader, write buffering
+/// with EPOLLOUT armed only while a partial write is outstanding, idle
+/// timeouts, and typed protocol-error teardown.
+///
+/// Connections are addressed by stable 64-bit ids, never raw fds: an fd
+/// number is reused by the kernel the instant a connection closes, but a
+/// ConnId held in a pending-request map stays dead forever, so a late
+/// response can never be routed to an unrelated fresh connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_NET_EPOLLSERVER_H
+#define JTC_NET_EPOLLSERVER_H
+
+#include "net/Protocol.h"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace net {
+
+/// Serving counters every front-end reports (shard and supervisor).
+struct NetCounters {
+  uint64_t ConnsAccepted = 0;
+  uint64_t ConnsClosed = 0;
+  uint64_t IdleClosed = 0;      ///< Subset of ConnsClosed: idle timeout.
+  uint64_t ProtocolErrors = 0;  ///< Connections torn down on a NetError.
+  uint64_t FramesIn = 0;
+  uint64_t FramesOut = 0;
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+};
+
+class EpollServer {
+public:
+  struct Config {
+    /// Close connections with no traffic for this long (0 = never).
+    /// Outgoing (connectTo) connections are exempt; their lifetime is the
+    /// owner's business.
+    double IdleTimeoutSeconds = 0;
+    /// A connection whose peer stops reading while responses pile up is
+    /// torn down once its write buffer passes this bound.
+    size_t MaxWriteBufferBytes = 64u << 20;
+  };
+
+  /// Loop callbacks. All fire on the poll()ing thread.
+  class Handler {
+  public:
+    virtual ~Handler();
+    /// A complete frame arrived on \p ConnId.
+    virtual void onFrame(uint64_t ConnId, Frame F) = 0;
+    /// \p ConnId is gone (peer close, error, idle timeout, closeConn).
+    virtual void onConnClosed(uint64_t ConnId);
+    /// wake() was called from some thread since the last poll.
+    virtual void onWake();
+  };
+
+  EpollServer(Config C, Handler &H);
+  ~EpollServer();
+
+  EpollServer(const EpollServer &) = delete;
+  EpollServer &operator=(const EpollServer &) = delete;
+
+  /// Creates a non-blocking listening TCP socket on 127.0.0.1:\p Port
+  /// (0 = kernel-assigned); fills \p BoundPort. Returns -1 with \p Err
+  /// set on failure. The fd is close-on-exec OFF so a supervisor can pass
+  /// it to a forked shard and keep it across shard restarts.
+  static int makeListenSocket(uint16_t Port, uint16_t &BoundPort,
+                              std::string &Err);
+
+  /// Registers \p Fd (a listening socket) for accepts. Does NOT take
+  /// ownership: the supervisor keeps shard listen fds alive across
+  /// restarts.
+  bool addListener(int Fd, std::string &Err);
+
+  /// Opens a connection to 127.0.0.1:\p Port and registers it in the
+  /// loop. Returns 0 with \p Err set on failure. The connect is allowed
+  /// to block briefly (loopback; the peer's backlog accepts instantly).
+  uint64_t connectTo(uint16_t Port, std::string &Err);
+
+  /// Queues one frame on \p ConnId and flushes as far as the socket
+  /// accepts. Unknown / dead ids are silently dropped (the session that
+  /// asked is gone; there is nobody to tell).
+  void send(uint64_t ConnId, MessageType Type, uint64_t RequestId,
+            const std::vector<uint8_t> &Payload);
+
+  void closeConn(uint64_t ConnId);
+  bool connAlive(uint64_t ConnId) const { return Conns.count(ConnId) != 0; }
+
+  /// Thread-safe: makes the next (or current) poll() return and fire
+  /// Handler::onWake.
+  void wake();
+
+  /// One epoll_wait round: dispatches accepts, reads (frames to
+  /// onFrame), writes, wake-ups, then sweeps idle connections.
+  void poll(int TimeoutMs);
+
+  const NetCounters &counters() const { return Counters; }
+  size_t numConnections() const { return Conns.size(); }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    uint64_t Id = 0;
+    bool Outgoing = false; ///< connectTo (idle-exempt) vs accepted.
+    bool WantWrite = false; ///< EPOLLOUT currently armed.
+    FrameReader Reader;
+    std::vector<uint8_t> WriteBuf;
+    size_t WriteOff = 0; ///< Flushed prefix of WriteBuf.
+    std::chrono::steady_clock::time_point LastActivity;
+  };
+
+  uint64_t registerConn(int Fd, bool Outgoing);
+  void doAccept(int ListenFd);
+  void doRead(Conn &C);
+  bool flush(Conn &C); ///< False when the connection died mid-write.
+  void updateEvents(Conn &C);
+  void destroyConn(uint64_t ConnId, bool Idle);
+  void sweepIdle();
+
+  Config Cfg;
+  Handler &H;
+  int EpollFd = -1;
+  int WakeFd = -1; ///< eventfd.
+  std::vector<int> Listeners;
+  std::map<uint64_t, Conn> Conns; ///< ConnId -> connection.
+  std::map<int, uint64_t> FdToConn;
+  uint64_t NextConnId = 1;
+  NetCounters Counters;
+};
+
+} // namespace net
+} // namespace jtc
+
+#endif // JTC_NET_EPOLLSERVER_H

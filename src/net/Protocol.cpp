@@ -1,0 +1,381 @@
+//===- net/Protocol.cpp ---------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+using namespace jtc;
+using namespace jtc::net;
+using persist::ByteReader;
+using persist::ByteWriter;
+
+const char *net::messageTypeName(MessageType T) {
+  switch (T) {
+  case MessageType::Ping:
+    return "ping";
+  case MessageType::Pong:
+    return "pong";
+  case MessageType::SubmitProgram:
+    return "submit-program";
+  case MessageType::SubmitAck:
+    return "submit-ack";
+  case MessageType::RunSession:
+    return "run-session";
+  case MessageType::SessionDone:
+    return "session-done";
+  case MessageType::Backpressure:
+    return "backpressure";
+  case MessageType::FetchStats:
+    return "fetch-stats";
+  case MessageType::StatsReply:
+    return "stats-reply";
+  case MessageType::Checkpoint:
+    return "checkpoint";
+  case MessageType::CheckpointAck:
+    return "checkpoint-ack";
+  case MessageType::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+const char *net::netErrorKindName(NetErrorKind K) {
+  switch (K) {
+  case NetErrorKind::None:
+    return "ok";
+  case NetErrorKind::BadMagic:
+    return "bad-magic";
+  case NetErrorKind::VersionSkew:
+    return "version-skew";
+  case NetErrorKind::BadType:
+    return "bad-type";
+  case NetErrorKind::Oversize:
+    return "oversize";
+  case NetErrorKind::Truncated:
+    return "truncated";
+  case NetErrorKind::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
+const ErrorDomain &net::netErrorDomain() {
+  static const ErrorDomain D = {"net", [](uint32_t Code) {
+                                  return netErrorKindName(
+                                      static_cast<NetErrorKind>(Code));
+                                }};
+  return D;
+}
+
+TypedError NetError::typed() const {
+  if (ok())
+    return TypedError();
+  return TypedError(netErrorDomain(), static_cast<uint32_t>(Kind), Detail);
+}
+
+std::string NetError::message() const { return typed().message(); }
+
+std::vector<uint8_t> net::encodeFrame(MessageType Type, uint64_t RequestId,
+                                      const std::vector<uint8_t> &Payload) {
+  ByteWriter W;
+  W.u32(FrameMagic);
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  W.u8(static_cast<uint8_t>(Type));
+  W.u8(ProtocolVersion);
+  W.u16(0);
+  W.u64(RequestId);
+  W.bytes(Payload.data(), Payload.size());
+  return W.take();
+}
+
+void FrameReader::feed(const uint8_t *Data, size_t Size) {
+  if (failed())
+    return;
+  // Compact the already-consumed prefix before it grows unboundedly.
+  if (Consumed > 0 && (Consumed == Buf.size() || Consumed >= 64 * 1024)) {
+    Buf.erase(Buf.begin(),
+              Buf.begin() + static_cast<std::ptrdiff_t>(Consumed));
+    Consumed = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + Size);
+}
+
+bool FrameReader::next(Frame &Out) {
+  if (failed())
+    return false;
+  const size_t Avail = Buf.size() - Consumed;
+  if (Avail < FrameHeaderBytes)
+    return false;
+  ByteReader R(Buf.data() + Consumed, Avail);
+  uint32_t Magic = 0, Len = 0;
+  uint8_t Type = 0, Ver = 0;
+  uint16_t Rsvd = 0;
+  uint64_t ReqId = 0;
+  // The header is complete (Avail >= FrameHeaderBytes), so these reads
+  // cannot fail.
+  R.u32(Magic);
+  R.u32(Len);
+  R.u8(Type);
+  R.u8(Ver);
+  R.u16(Rsvd);
+  R.u64(ReqId);
+  if (Magic != FrameMagic) {
+    Err = NetError::make(NetErrorKind::BadMagic, "stream is not framed");
+    return false;
+  }
+  if (Ver != ProtocolVersion) {
+    Err = NetError::make(NetErrorKind::VersionSkew,
+                         "protocol version " + std::to_string(Ver));
+    return false;
+  }
+  if (Type >= NumMessageTypes) {
+    Err = NetError::make(NetErrorKind::BadType,
+                         "message type " + std::to_string(Type));
+    return false;
+  }
+  if (Len > MaxPayloadBytes) {
+    Err = NetError::make(NetErrorKind::Oversize,
+                         "declared payload of " + std::to_string(Len) +
+                             " bytes");
+    return false;
+  }
+  if (Avail < FrameHeaderBytes + Len)
+    return false; // Torn mid-payload: wait for more bytes.
+  Out.Type = static_cast<MessageType>(Type);
+  Out.RequestId = ReqId;
+  Out.Payload.assign(Buf.begin() +
+                         static_cast<std::ptrdiff_t>(Consumed +
+                                                     FrameHeaderBytes),
+                     Buf.begin() + static_cast<std::ptrdiff_t>(
+                                       Consumed + FrameHeaderBytes + Len));
+  Consumed += FrameHeaderBytes + Len;
+  return true;
+}
+
+namespace {
+
+bool fail(NetError &Err, NetErrorKind K, const char *What) {
+  Err = NetError::make(K, What);
+  return false;
+}
+
+void putString(ByteWriter &W, const std::string &S) {
+  W.varint(S.size());
+  W.bytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+}
+
+bool getString(ByteReader &R, std::string &Out, NetError &Err,
+               const char *What) {
+  uint64_t Len = 0;
+  if (!R.varint(Len))
+    return fail(Err, NetErrorKind::Truncated, What);
+  if (Len > R.remaining())
+    return fail(Err, NetErrorKind::Truncated, What);
+  const uint8_t *Data = nullptr;
+  R.span(static_cast<size_t>(Len), Data);
+  Out.assign(reinterpret_cast<const char *>(Data),
+             static_cast<size_t>(Len));
+  return true;
+}
+
+/// Every payload must consume exactly its bytes: trailing garbage means
+/// the peer speaks a different dialect.
+bool finish(ByteReader &R, NetError &Err, const char *What) {
+  if (!R.exhausted())
+    return fail(Err, NetErrorKind::Malformed, What);
+  return true;
+}
+
+} // namespace
+
+std::vector<uint8_t> SubmitProgramMsg::encode() const {
+  ByteWriter W;
+  putString(W, Name);
+  putString(W, Jasm);
+  return W.take();
+}
+
+bool SubmitProgramMsg::decode(const std::vector<uint8_t> &Payload,
+                              NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  SubmitProgramMsg M;
+  if (!getString(R, M.Name, Err, "submit-program name") ||
+      !getString(R, M.Jasm, Err, "submit-program text") ||
+      !finish(R, Err, "submit-program trailing bytes"))
+    return false;
+  if (M.Name.empty())
+    return fail(Err, NetErrorKind::Malformed, "submit-program empty name");
+  *this = std::move(M);
+  return true;
+}
+
+std::vector<uint8_t> RunSessionMsg::encode() const {
+  ByteWriter W;
+  putString(W, SessionKey);
+  putString(W, Module);
+  W.varint(MaxInstructions);
+  return W.take();
+}
+
+bool RunSessionMsg::decode(const std::vector<uint8_t> &Payload,
+                           NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  RunSessionMsg M;
+  if (!getString(R, M.SessionKey, Err, "run-session key") ||
+      !getString(R, M.Module, Err, "run-session module"))
+    return false;
+  if (!R.varint(M.MaxInstructions))
+    return fail(Err, NetErrorKind::Truncated, "run-session budget");
+  if (!finish(R, Err, "run-session trailing bytes"))
+    return false;
+  if (M.Module.empty())
+    return fail(Err, NetErrorKind::Malformed, "run-session empty module");
+  *this = std::move(M);
+  return true;
+}
+
+std::vector<uint8_t> SessionDoneMsg::encode() const {
+  ByteWriter W;
+  W.u8(Status);
+  W.u8(Trap);
+  W.u8(WarmStart ? 1 : 0);
+  W.varint(Shard);
+  W.varint(BlocksExecuted);
+  W.varint(Instructions);
+  W.u64(HeapDigest);
+  W.u64(OutputDigest);
+  W.u64(StatsDigest);
+  uint64_t SecondsBits = 0;
+  static_assert(sizeof(SecondsBits) == sizeof(Seconds));
+  __builtin_memcpy(&SecondsBits, &Seconds, sizeof(SecondsBits));
+  W.u64(SecondsBits);
+  return W.take();
+}
+
+bool SessionDoneMsg::decode(const std::vector<uint8_t> &Payload,
+                            NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  SessionDoneMsg M;
+  uint8_t Warm = 0;
+  uint64_t Shard64 = 0, SecondsBits = 0;
+  if (!R.u8(M.Status) || !R.u8(M.Trap) || !R.u8(Warm) ||
+      !R.varint(Shard64) || !R.varint(M.BlocksExecuted) ||
+      !R.varint(M.Instructions) || !R.u64(M.HeapDigest) ||
+      !R.u64(M.OutputDigest) || !R.u64(M.StatsDigest) || !R.u64(SecondsBits))
+    return fail(Err, NetErrorKind::Truncated, "session-done fields");
+  if (!finish(R, Err, "session-done trailing bytes"))
+    return false;
+  if (Warm > 1 || Shard64 > 0xffffffffull)
+    return fail(Err, NetErrorKind::Malformed, "session-done fields");
+  M.WarmStart = Warm != 0;
+  M.Shard = static_cast<uint32_t>(Shard64);
+  __builtin_memcpy(&M.Seconds, &SecondsBits, sizeof(M.Seconds));
+  *this = M;
+  return true;
+}
+
+std::vector<uint8_t> BackpressureMsg::encode() const {
+  ByteWriter W;
+  W.varint(QueueDepth);
+  W.varint(Bound);
+  return W.take();
+}
+
+bool BackpressureMsg::decode(const std::vector<uint8_t> &Payload,
+                             NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  BackpressureMsg M;
+  if (!R.varint(M.QueueDepth) || !R.varint(M.Bound))
+    return fail(Err, NetErrorKind::Truncated, "backpressure fields");
+  if (!finish(R, Err, "backpressure trailing bytes"))
+    return false;
+  *this = M;
+  return true;
+}
+
+std::vector<uint8_t> StatsReplyMsg::encode() const {
+  ByteWriter W;
+  W.varint(Counters.size());
+  for (const auto &[Key, Value] : Counters) {
+    putString(W, Key);
+    W.varint(Value);
+  }
+  return W.take();
+}
+
+bool StatsReplyMsg::decode(const std::vector<uint8_t> &Payload,
+                           NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  uint64_t N = 0;
+  if (!R.varint(N))
+    return fail(Err, NetErrorKind::Truncated, "stats-reply count");
+  // Two bytes is the smallest possible entry (empty key + 1-byte value).
+  if (N > R.remaining())
+    return fail(Err, NetErrorKind::Malformed, "stats-reply count");
+  StatsReplyMsg M;
+  M.Counters.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    std::string Key;
+    uint64_t Value = 0;
+    if (!getString(R, Key, Err, "stats-reply key"))
+      return false;
+    if (!R.varint(Value))
+      return fail(Err, NetErrorKind::Truncated, "stats-reply value");
+    M.Counters.emplace_back(std::move(Key), Value);
+  }
+  if (!finish(R, Err, "stats-reply trailing bytes"))
+    return false;
+  *this = std::move(M);
+  return true;
+}
+
+std::vector<uint8_t> CheckpointAckMsg::encode() const {
+  ByteWriter W;
+  W.varint(Saved);
+  return W.take();
+}
+
+bool CheckpointAckMsg::decode(const std::vector<uint8_t> &Payload,
+                              NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  CheckpointAckMsg M;
+  if (!R.varint(M.Saved))
+    return fail(Err, NetErrorKind::Truncated, "checkpoint-ack fields");
+  if (!finish(R, Err, "checkpoint-ack trailing bytes"))
+    return false;
+  *this = M;
+  return true;
+}
+
+std::vector<uint8_t> ErrorMsg::encode() const {
+  ByteWriter W;
+  W.varint(Code);
+  putString(W, Detail);
+  return W.take();
+}
+
+bool ErrorMsg::decode(const std::vector<uint8_t> &Payload, NetError &Err) {
+  ByteReader R(Payload.data(), Payload.size());
+  ErrorMsg M;
+  uint64_t Code64 = 0;
+  if (!R.varint(Code64))
+    return fail(Err, NetErrorKind::Truncated, "error code");
+  if (Code64 > 0xffffffffull)
+    return fail(Err, NetErrorKind::Malformed, "error code");
+  M.Code = static_cast<uint32_t>(Code64);
+  if (!getString(R, M.Detail, Err, "error detail") ||
+      !finish(R, Err, "error trailing bytes"))
+    return false;
+  *this = std::move(M);
+  return true;
+}
+
+uint64_t net::outputDigest(const std::vector<int64_t> &Output) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis.
+  for (int64_t V : Output) {
+    uint64_t U = static_cast<uint64_t>(V);
+    for (int I = 0; I < 8; ++I) {
+      H ^= (U >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  }
+  return H;
+}

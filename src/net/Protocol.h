@@ -1,0 +1,227 @@
+//===- net/Protocol.h - Fleet serving wire protocol -------------*- C++ -*-===//
+///
+/// \file
+/// The length-prefixed binary protocol the sharded serving fleet speaks:
+/// a fixed 20-byte frame header (magic, payload length, message type,
+/// protocol version, request id) followed by a typed payload encoded with
+/// the persist layer's bounds-checked ByteWriter/ByteReader primitives.
+/// Request ids let one connection carry many requests concurrently -- the
+/// supervisor multiplexes every client's sessions over a single upstream
+/// connection per shard and correlates responses by id.
+///
+/// The decode side follows the repo's strict-loader discipline: arbitrary
+/// bytes land in a typed NetError (bad magic, version skew, an oversized
+/// declared payload, truncation, malformed payload), never in undefined
+/// behaviour and never in a partially applied message. FrameReader
+/// reassembles frames from an arbitrary re-slicing of the byte stream --
+/// a torn read that splits a header or payload mid-byte just waits for
+/// more input -- which is what tests/net_test.cpp's byte-at-a-time and
+/// fuzz-sliced framing tests pin down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JTC_NET_PROTOCOL_H
+#define JTC_NET_PROTOCOL_H
+
+#include "persist/ByteStream.h"
+#include "support/TypedError.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace jtc {
+namespace net {
+
+/// "JTCF", little-endian, as the first 4 bytes of every frame.
+inline constexpr uint32_t FrameMagic = 0x4643544Au;
+inline constexpr uint8_t ProtocolVersion = 1;
+/// Frames declaring a larger payload are rejected before buffering (a
+/// hostile peer cannot make a connection allocate unboundedly).
+inline constexpr uint32_t MaxPayloadBytes = 16u << 20;
+inline constexpr size_t FrameHeaderBytes = 20;
+
+/// Every message the fleet protocol speaks. Requests flow client ->
+/// supervisor -> shard; each has exactly one response type (or Error /
+/// Backpressure), correlated by the request id.
+enum class MessageType : uint8_t {
+  Ping = 0,      ///< Liveness probe; also the supervisor's keepalive.
+  Pong,          ///< Response to Ping.
+  SubmitProgram, ///< Register a .jasm program fleet-wide {name, text}.
+  SubmitAck,     ///< Program accepted (verified + registered).
+  RunSession,    ///< Run a session {session key, module, budget}.
+  SessionDone,   ///< Session retired; carries outcome + digests.
+  Backpressure,  ///< Typed admission-control rejection {depth, bound}.
+  FetchStats,    ///< Request the serving counters.
+  StatsReply,    ///< Counter name/value pairs.
+  Checkpoint,    ///< Checkpoint published profiles to disk now.
+  CheckpointAck, ///< Checkpoint finished {files written}.
+  Error,         ///< Typed request failure {code, detail}.
+};
+
+inline constexpr unsigned NumMessageTypes =
+    static_cast<unsigned>(MessageType::Error) + 1;
+
+/// Stable machine-readable name ("ping", "run-session", ...).
+const char *messageTypeName(MessageType T);
+
+/// Why a byte stream failed to parse as frames / payloads.
+enum class NetErrorKind : unsigned char {
+  None,          ///< Success.
+  BadMagic,      ///< Frame does not start with FrameMagic.
+  VersionSkew,   ///< Protocol version this build does not speak.
+  BadType,       ///< Message type byte outside the vocabulary.
+  Oversize,      ///< Declared payload exceeds MaxPayloadBytes.
+  Truncated,     ///< Payload ends before its declared structure does.
+  Malformed,     ///< Structure decodes but violates the message spec.
+};
+
+const char *netErrorKindName(NetErrorKind K);
+
+/// The TypedError domain for protocol failures ("net").
+const ErrorDomain &netErrorDomain();
+
+/// One framing/decode failure. Default-constructed means success.
+struct NetError {
+  NetErrorKind Kind = NetErrorKind::None;
+  std::string Detail;
+
+  bool ok() const { return Kind == NetErrorKind::None; }
+  TypedError typed() const;
+  std::string message() const;
+
+  static NetError make(NetErrorKind K, std::string Detail) {
+    return NetError{K, std::move(Detail)};
+  }
+};
+
+/// Typed request-level failures carried by MessageType::Error.
+enum class RequestErrorCode : uint32_t {
+  UnknownModule = 1, ///< RunSession named a module no shard has.
+  ShardDown = 2,     ///< Target shard crashed; the supervisor is
+                     ///< restarting it. Retryable.
+  BadRequest = 3,    ///< Request payload was structurally unacceptable.
+  ProgramRejected = 4, ///< SubmitProgram failed to parse or verify.
+  Shutdown = 5,      ///< Peer is draining and no longer accepts work.
+};
+
+/// One reassembled frame.
+struct Frame {
+  MessageType Type = MessageType::Ping;
+  uint64_t RequestId = 0;
+  std::vector<uint8_t> Payload;
+};
+
+/// Serializes a complete frame (header + payload), ready to write.
+std::vector<uint8_t> encodeFrame(MessageType Type, uint64_t RequestId,
+                                 const std::vector<uint8_t> &Payload);
+
+/// Incremental frame reassembly over an arbitrarily sliced byte stream.
+/// feed() buffers input; next() pops completed frames in order. The first
+/// structural violation (magic, version, type, oversize) latches into
+/// error() and next() never yields again -- the connection owner closes.
+class FrameReader {
+public:
+  void feed(const uint8_t *Data, size_t Size);
+
+  /// Pops the next complete frame into \p Out. Returns false when no
+  /// complete frame is buffered (or the reader is in error).
+  bool next(Frame &Out);
+
+  const NetError &error() const { return Err; }
+  bool failed() const { return !Err.ok(); }
+
+  /// Bytes buffered but not yet consumed as frames.
+  size_t pendingBytes() const { return Buf.size() - Consumed; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Consumed = 0; ///< Prefix of Buf already emitted as frames.
+  NetError Err;
+};
+
+//===--- Message payloads -------------------------------------------------===//
+///
+/// Each message struct encodes into payload bytes and strictly decodes
+/// from them; decode returns false (with \p Err typed) on truncation or
+/// spec violations and leaves no partial state behind. Strings are
+/// varint-length-prefixed; decode bounds string lengths by the payload
+/// size, so a hostile length cannot drive allocation past the (already
+/// bounded) frame.
+
+struct SubmitProgramMsg {
+  std::string Name;
+  std::string Jasm; ///< Program text (text/AsmParser syntax).
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+struct RunSessionMsg {
+  std::string SessionKey; ///< Consistent-hash routing key.
+  std::string Module;     ///< Registered module name.
+  uint64_t MaxInstructions = 0; ///< 0: the shard's configured budget.
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+struct SessionDoneMsg {
+  uint8_t Status = 0;     ///< RunStatus.
+  uint8_t Trap = 0;       ///< TrapKind.
+  bool WarmStart = false; ///< Session was seeded from a snapshot.
+  uint32_t Shard = 0;     ///< Shard that ran the session.
+  uint64_t BlocksExecuted = 0;
+  uint64_t Instructions = 0;
+  uint64_t HeapDigest = 0;   ///< jtc::heapDigest of the final heap.
+  uint64_t OutputDigest = 0; ///< FNV-1a over the printed values.
+  uint64_t StatsDigest = 0;  ///< VmStats::digest() of the session.
+  double Seconds = 0;        ///< Shard-side session wall clock.
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+struct BackpressureMsg {
+  uint64_t QueueDepth = 0; ///< Sessions in flight at rejection time.
+  uint64_t Bound = 0;      ///< The shard's admission bound.
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+struct StatsReplyMsg {
+  /// Counter name -> value, in emission order. Names are stable
+  /// kebab-case keys; the supervisor sums same-named counters across
+  /// shards.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+struct CheckpointAckMsg {
+  uint64_t Saved = 0; ///< .jtcp files written.
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+struct ErrorMsg {
+  uint32_t Code = 0; ///< RequestErrorCode.
+  std::string Detail;
+
+  std::vector<uint8_t> encode() const;
+  bool decode(const std::vector<uint8_t> &Payload, NetError &Err);
+};
+
+/// FNV-1a over a program's printed output, the digest SessionDoneMsg
+/// carries so a load generator can gate every remote session against a
+/// local single-process reference run.
+uint64_t outputDigest(const std::vector<int64_t> &Output);
+
+} // namespace net
+} // namespace jtc
+
+#endif // JTC_NET_PROTOCOL_H

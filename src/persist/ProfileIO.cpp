@@ -11,6 +11,7 @@
 
 #include "persist/Snapshot.h"
 #include "persist/SnapshotFormat.h"
+#include "persist/SnapshotMerge.h"
 
 #include "vm/ModuleFingerprint.h"
 
@@ -112,16 +113,11 @@ bool persist::loadProfile(TraceVM &VM, const std::string &Path,
   // bar) is not re-installed -- re-running a retirement the donor already
   // performed would only waste dispatches on a known under-performer.
   const TraceConfig TC = VM.options().traceConfig();
-  const double Bar = TC.CompletionThreshold - TC.RetirementMargin;
   VmSeed Installed;
   Installed.Nodes = std::move(S.Seed.Nodes);
   Installed.Traces.reserve(S.Seed.Traces.size());
   for (TraceCache::TraceSeed &T : S.Seed.Traces) {
-    double Observed =
-        T.Entered == 0 ? 1.0
-                       : static_cast<double>(T.Completed) /
-                             static_cast<double>(T.Entered);
-    if (T.Entered >= TC.RetirementCheckEntries && Observed < Bar) {
+    if (!passesCompletionFilter(T, TC)) {
       ++Report.TracesDroppedByCompletion;
       continue;
     }

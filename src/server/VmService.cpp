@@ -72,21 +72,31 @@ bool VmService::hasModule(const std::string &Name) const {
 }
 
 std::future<SessionResult> VmService::submit(RunRequest R) {
+  auto Promise = std::make_shared<std::promise<SessionResult>>();
+  std::future<SessionResult> F = Promise->get_future();
+  submitAsync(std::move(R), [Promise](SessionResult Result) {
+    Promise->set_value(std::move(Result));
+  });
+  return F;
+}
+
+void VmService::submitAsync(RunRequest R,
+                            std::function<void(SessionResult)> Done) {
   PendingRun P;
   P.Request = std::move(R);
-  std::future<SessionResult> F = P.Promise.get_future();
+  P.Done = std::move(Done);
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     if (Stopping) {
-      // The pool is gone; resolve rather than leave the future hanging.
+      // The pool is gone; resolve rather than leave the caller hanging.
       SessionResult Dead;
       Dead.Module = P.Request.Module;
       Dead.Rejected = true;
-      P.Promise.set_value(std::move(Dead));
+      P.Done(std::move(Dead));
       std::lock_guard<std::mutex> SLock(StatsMutex);
       ++Stats.Submitted;
       ++Stats.Rejected;
-      return F;
+      return;
     }
     Queue.push_back(std::move(P));
   }
@@ -95,10 +105,14 @@ std::future<SessionResult> VmService::submit(RunRequest R) {
     ++Stats.Submitted;
   }
   QueueCv.notify_one();
-  return F;
 }
 
 SessionResult VmService::run(RunRequest R) { return submit(std::move(R)).get(); }
+
+uint64_t VmService::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Queue.size() + InFlight;
+}
 
 void VmService::drain() {
   {
@@ -228,7 +242,7 @@ void VmService::workerLoop(unsigned WorkerId) {
       ++InFlight;
     }
     SessionResult R = runOne(P.Request, WorkerId);
-    P.Promise.set_value(std::move(R));
+    P.Done(std::move(R));
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       --InFlight;

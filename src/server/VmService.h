@@ -35,6 +35,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -223,8 +224,19 @@ public:
   /// to).
   std::future<SessionResult> submit(RunRequest R);
 
+  /// Callback form for event-loop embeddings (the fleet shard): \p Done
+  /// runs on the worker thread that retired the session, exactly once,
+  /// including when the pool is stopping (with a Rejected result). The
+  /// callback must not block; hand off to your own loop (e.g. an outbox
+  /// plus an eventfd wake).
+  void submitAsync(RunRequest R, std::function<void(SessionResult)> Done);
+
   /// Convenience: submit + wait.
   SessionResult run(RunRequest R);
+
+  /// Requests admitted but not yet retired (queued + in flight). The
+  /// admission-control signal for the serving front-end.
+  uint64_t queueDepth() const;
 
   /// Blocks until every submitted request has retired; then, when a
   /// checkpoint directory is configured, writes every published snapshot
@@ -269,7 +281,7 @@ private:
 
   struct PendingRun {
     RunRequest Request;
-    std::promise<SessionResult> Promise;
+    std::function<void(SessionResult)> Done; ///< Runs exactly once.
   };
 
   void workerLoop(unsigned WorkerId);

@@ -82,6 +82,65 @@ ArgParser &ArgParser::realOpt(const char *Name, double *Out) {
              });
 }
 
+ArgParser &ArgParser::durationOpt(const char *Name, double *Out) {
+  return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
+             [Name, Out](const std::string &V) {
+               errno = 0;
+               char *End = nullptr;
+               double X = std::strtod(V.c_str(), &End);
+               std::string Suffix = End ? std::string(End) : std::string();
+               bool Ok = !V.empty() && errno == 0 && End != V.c_str() &&
+                         X >= 0.0;
+               if (Ok) {
+                 if (Suffix == "ms")
+                   X /= 1000.0;
+                 else if (Suffix == "m")
+                   X *= 60.0;
+                 else if (Suffix == "h")
+                   X *= 3600.0;
+                 else if (!Suffix.empty() && Suffix != "s")
+                   Ok = false;
+               }
+               if (!Ok) {
+                 std::fprintf(stderr,
+                              "invalid duration '%s' for --%s "
+                              "(expected e.g. 250ms, 30s, 5m, 1h)\n",
+                              V.c_str(), Name);
+                 return false;
+               }
+               *Out = X;
+               return true;
+             });
+}
+
+ArgParser &ArgParser::sizeOpt(const char *Name, uint64_t *Out) {
+  return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
+             [Name, Out](const std::string &V) {
+               std::string Digits = V;
+               uint64_t Scale = 1;
+               if (!Digits.empty()) {
+                 switch (Digits.back()) {
+                 case 'k': case 'K': Scale = 1024ull; break;
+                 case 'm': case 'M': Scale = 1024ull * 1024; break;
+                 case 'g': case 'G': Scale = 1024ull * 1024 * 1024; break;
+                 default: break;
+                 }
+                 if (Scale != 1)
+                   Digits.pop_back();
+               }
+               uint64_t N = 0;
+               if (!parseUInt(Name, Digits, N))
+                 return false;
+               if (Scale != 1 && N > UINT64_MAX / Scale) {
+                 std::fprintf(stderr, "value '%s' for --%s out of range\n",
+                              V.c_str(), Name);
+                 return false;
+               }
+               *Out = N * Scale;
+               return true;
+             });
+}
+
 ArgParser &ArgParser::strOpt(const char *Name, std::string *Out) {
   return add(Name, /*TakesValue=*/true, /*ValueRequired=*/true,
              [Out](const std::string &V) {

@@ -47,6 +47,15 @@ public:
   /// --name=<text>; the value may be empty only via --name= explicitly.
   ArgParser &strOpt(const char *Name, std::string *Out);
 
+  /// --name=<duration>: a number with an optional ms / s / m / h suffix
+  /// ("250ms", "30s", "5m", "1.5h"). A bare number means seconds, so
+  /// older second-valued spellings keep working. *Out is in seconds.
+  ArgParser &durationOpt(const char *Name, double *Out);
+
+  /// --name=<size>: a byte count with an optional k / M / G suffix
+  /// (case-insensitive, x1024: "64k", "1M"). A bare number is bytes.
+  ArgParser &sizeOpt(const char *Name, uint64_t *Out);
+
   /// --name or --name=value, interpreted by \p Fn. With \p ValueRequired
   /// a bare --name is rejected before \p Fn runs.
   ArgParser &custom(const char *Name, Handler Fn, bool ValueRequired = false);

@@ -46,6 +46,16 @@ const char *jtc::eventKindName(EventKind K) {
     return "trace-compiled";
   case EventKind::TraceCompileFallback:
     return "trace-compile-fallback";
+  case EventKind::ConnAccepted:
+    return "conn-accepted";
+  case EventKind::ConnClosed:
+    return "conn-closed";
+  case EventKind::RequestRejectedBackpressure:
+    return "request-rejected-backpressure";
+  case EventKind::ShardRestarted:
+    return "shard-restarted";
+  case EventKind::AggregateMerged:
+    return "aggregate-merged";
   }
   return "unknown";
 }

@@ -65,10 +65,19 @@ enum class EventKind : uint8_t {
   TraceCompileFallback,  ///< Promotion failed; the trace stays on the
                          ///< interpreter tier: Id = trace, Arg =
                          ///< backend::CompileFallback code.
+  ConnAccepted,          ///< Fleet front-end accepted a connection:
+                         ///< Id = connection id.
+  ConnClosed,            ///< Connection ended (either side): Id = conn.
+  RequestRejectedBackpressure, ///< Admission control refused a session:
+                               ///< Id = shard, Arg = queue depth.
+  ShardRestarted,        ///< Supervisor respawned a crashed shard:
+                         ///< Id = shard, Arg = restart count.
+  AggregateMerged,       ///< Fleet profile aggregate rebuilt: Id =
+                         ///< traces kept, Arg = snapshots merged.
 };
 
 inline constexpr unsigned NumEventKinds =
-    static_cast<unsigned>(EventKind::TraceCompileFallback) + 1;
+    static_cast<unsigned>(EventKind::AggregateMerged) + 1;
 
 /// Stable machine-readable name ("trace-constructed", "decay-pass", ...).
 const char *eventKindName(EventKind K);

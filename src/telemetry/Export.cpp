@@ -139,6 +139,33 @@ void jtc::telemetry_detail::writeChromeEvents(JsonWriter &W,
           .endObject()
           .endObject();
       break;
+    case EventKind::TraceCompiled:
+    case EventKind::TraceCompileFallback:
+      // Tier promotion verdicts: async instants on the trace's span.
+      eventPrelude(W, "trace", "backend", "n", E.Clock);
+      W.fieldUInt("id", E.Id)
+          .key("args")
+          .beginObject()
+          .field("event", Kind)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
+    case EventKind::ConnAccepted:
+    case EventKind::ConnClosed:
+    case EventKind::RequestRejectedBackpressure:
+    case EventKind::ShardRestarted:
+    case EventKind::AggregateMerged:
+      // Fleet/net lifecycle: thread-scoped instants.
+      eventPrelude(W, Kind, "fleet", "i", E.Clock);
+      W.field("s", "t")
+          .key("args")
+          .beginObject()
+          .fieldUInt("id", E.Id)
+          .fieldUInt("arg", E.Arg)
+          .endObject()
+          .endObject();
+      break;
     }
   });
 }

@@ -1,0 +1,505 @@
+//===- tests/net_test.cpp - Fleet wire protocol & epoll front-end ---------===//
+///
+/// The net layer's contract, from both sides:
+///
+///  - framing: every message round-trips through encode/decode; the
+///    FrameReader reassembles identically however the byte stream is
+///    sliced (byte-at-a-time, random fuzz slices), and a torn prefix
+///    just waits -- it never yields a partial frame;
+///  - strictness: bad magic, version skew, unknown types, oversize
+///    declarations and truncated/trailing payloads land in typed
+///    NetErrors, never UB and never a partially applied message;
+///  - the event loop: echo service over a real socket, pipelined
+///    requests, idle-timeout sweeping, protocol-error teardown, and
+///    write buffering across a response larger than one socket buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "net/EpollServer.h"
+#include "net/Protocol.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace jtc;
+using namespace jtc::net;
+
+namespace {
+
+std::vector<uint8_t> bytes(std::initializer_list<int> L) {
+  std::vector<uint8_t> V;
+  for (int X : L)
+    V.push_back(static_cast<uint8_t>(X));
+  return V;
+}
+
+//===--- Message payload round trips --------------------------------------===//
+
+TEST(NetProtocol, SubmitProgramRoundTrip) {
+  SubmitProgramMsg M;
+  M.Name = "loopy";
+  M.Jasm = ".method main\n  iconst 0\n  ireturn\n.end\n";
+  SubmitProgramMsg D;
+  NetError Err;
+  ASSERT_TRUE(D.decode(M.encode(), Err)) << Err.message();
+  EXPECT_EQ(D.Name, M.Name);
+  EXPECT_EQ(D.Jasm, M.Jasm);
+}
+
+TEST(NetProtocol, RunSessionRoundTrip) {
+  RunSessionMsg M;
+  M.SessionKey = "tenant-42";
+  M.Module = "compress";
+  M.MaxInstructions = 123456789ull;
+  RunSessionMsg D;
+  NetError Err;
+  ASSERT_TRUE(D.decode(M.encode(), Err));
+  EXPECT_EQ(D.SessionKey, M.SessionKey);
+  EXPECT_EQ(D.Module, M.Module);
+  EXPECT_EQ(D.MaxInstructions, M.MaxInstructions);
+}
+
+TEST(NetProtocol, SessionDoneRoundTripPreservesDoubles) {
+  SessionDoneMsg M;
+  M.Status = 1;
+  M.Trap = 3;
+  M.WarmStart = true;
+  M.Shard = 7;
+  M.BlocksExecuted = 0xdeadbeefcafeull;
+  M.Instructions = 42;
+  M.HeapDigest = ~0ull;
+  M.OutputDigest = 0x123456789abcdef0ull;
+  M.StatsDigest = 0xfedcba9876543210ull;
+  M.Seconds = 0.03125;
+  SessionDoneMsg D;
+  NetError Err;
+  ASSERT_TRUE(D.decode(M.encode(), Err));
+  EXPECT_EQ(D.Status, M.Status);
+  EXPECT_EQ(D.Trap, M.Trap);
+  EXPECT_EQ(D.WarmStart, M.WarmStart);
+  EXPECT_EQ(D.Shard, M.Shard);
+  EXPECT_EQ(D.BlocksExecuted, M.BlocksExecuted);
+  EXPECT_EQ(D.HeapDigest, M.HeapDigest);
+  EXPECT_EQ(D.OutputDigest, M.OutputDigest);
+  EXPECT_EQ(D.StatsDigest, M.StatsDigest);
+  EXPECT_EQ(D.Seconds, M.Seconds); // Bit-exact through the u64 packing.
+}
+
+TEST(NetProtocol, StatsReplyRoundTripPreservesOrder) {
+  StatsReplyMsg M;
+  M.Counters = {{"completed", 10}, {"warm-starts", 3}, {"empty", 0}};
+  StatsReplyMsg D;
+  NetError Err;
+  ASSERT_TRUE(D.decode(M.encode(), Err));
+  EXPECT_EQ(D.Counters, M.Counters);
+}
+
+TEST(NetProtocol, ErrorAndBackpressureRoundTrip) {
+  ErrorMsg E;
+  E.Code = static_cast<uint32_t>(RequestErrorCode::ShardDown);
+  E.Detail = "shard 3 crashed; retry";
+  ErrorMsg ED;
+  NetError Err;
+  ASSERT_TRUE(ED.decode(E.encode(), Err));
+  EXPECT_EQ(ED.Code, E.Code);
+  EXPECT_EQ(ED.Detail, E.Detail);
+
+  BackpressureMsg B;
+  B.QueueDepth = 65;
+  B.Bound = 64;
+  BackpressureMsg BD;
+  ASSERT_TRUE(BD.decode(B.encode(), Err));
+  EXPECT_EQ(BD.QueueDepth, B.QueueDepth);
+  EXPECT_EQ(BD.Bound, B.Bound);
+}
+
+TEST(NetProtocol, EveryTruncatedPrefixIsTyped) {
+  SubmitProgramMsg M;
+  M.Name = "x";
+  M.Jasm = "text";
+  std::vector<uint8_t> Good = M.encode();
+
+  for (size_t Len = 0; Len < Good.size(); ++Len) {
+    std::vector<uint8_t> Cut(Good.begin(),
+                             Good.begin() + static_cast<std::ptrdiff_t>(Len));
+    SubmitProgramMsg D;
+    NetError Err;
+    EXPECT_FALSE(D.decode(Cut, Err)) << "prefix " << Len;
+    EXPECT_EQ(Err.Kind, NetErrorKind::Truncated) << "prefix " << Len;
+    EXPECT_TRUE(D.Name.empty()); // No partial install.
+  }
+}
+
+TEST(NetProtocol, TrailingBytesAreMalformed) {
+  RunSessionMsg M;
+  M.SessionKey = "k";
+  M.Module = "m";
+  std::vector<uint8_t> Long = M.encode();
+  Long.push_back(0);
+  RunSessionMsg D;
+  NetError Err;
+  EXPECT_FALSE(D.decode(Long, Err));
+  EXPECT_EQ(Err.Kind, NetErrorKind::Malformed);
+}
+
+TEST(NetProtocol, EmptyModuleNameIsMalformed) {
+  RunSessionMsg M;
+  M.SessionKey = "k";
+  M.Module = "";
+  RunSessionMsg D;
+  NetError Err;
+  EXPECT_FALSE(D.decode(M.encode(), Err));
+  EXPECT_EQ(Err.Kind, NetErrorKind::Malformed);
+}
+
+TEST(NetProtocol, OutputDigestDistinguishesOrderAndLength) {
+  EXPECT_NE(outputDigest({1, 2}), outputDigest({2, 1}));
+  EXPECT_EQ(outputDigest({1, 2}), outputDigest({1, 2}));
+  EXPECT_NE(outputDigest({}), outputDigest({0}));
+}
+
+//===--- Frame reassembly -------------------------------------------------===//
+
+Frame mkFrame(MessageType T, uint64_t Id, std::vector<uint8_t> Payload) {
+  Frame F;
+  F.Type = T;
+  F.RequestId = Id;
+  F.Payload = std::move(Payload);
+  return F;
+}
+
+std::vector<uint8_t> concatFrames(const std::vector<Frame> &Frames) {
+  std::vector<uint8_t> Stream;
+  for (const Frame &F : Frames) {
+    std::vector<uint8_t> B = encodeFrame(F.Type, F.RequestId, F.Payload);
+    Stream.insert(Stream.end(), B.begin(), B.end());
+  }
+  return Stream;
+}
+
+std::vector<Frame> testFrames() {
+  RunSessionMsg Run;
+  Run.SessionKey = "key";
+  Run.Module = "compress";
+  Run.MaxInstructions = 1000;
+  StatsReplyMsg Stats;
+  Stats.Counters = {{"a", 1}, {"b", 2}};
+  return {
+      mkFrame(MessageType::Ping, 1, {}),
+      mkFrame(MessageType::RunSession, 2, Run.encode()),
+      mkFrame(MessageType::SessionDone, 2, SessionDoneMsg().encode()),
+      mkFrame(MessageType::StatsReply, 3, Stats.encode()),
+  };
+}
+
+TEST(FrameReader, ByteAtATime) {
+  std::vector<Frame> Want = testFrames();
+  std::vector<uint8_t> Stream = concatFrames(Want);
+  FrameReader R;
+  std::vector<Frame> Got;
+  for (uint8_t B : Stream) {
+    R.feed(&B, 1);
+    Frame F;
+    while (R.next(F))
+      Got.push_back(F);
+  }
+  ASSERT_FALSE(R.failed());
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I) {
+    EXPECT_EQ(Got[I].Type, Want[I].Type);
+    EXPECT_EQ(Got[I].RequestId, Want[I].RequestId);
+    EXPECT_EQ(Got[I].Payload, Want[I].Payload);
+  }
+  EXPECT_EQ(R.pendingBytes(), 0u);
+}
+
+TEST(FrameReader, FuzzSlicedFraming) {
+  std::vector<Frame> Want = testFrames();
+  std::vector<uint8_t> Stream = concatFrames(Want);
+  Prng Rng(0xf1ee7);
+  for (int Round = 0; Round < 200; ++Round) {
+    FrameReader R;
+    std::vector<Frame> Got;
+    size_t Off = 0;
+    while (Off < Stream.size()) {
+      size_t N =
+          1 + static_cast<size_t>(
+                  Rng.nextBelow(std::min<uint64_t>(Stream.size() - Off, 37)));
+      R.feed(Stream.data() + Off, N);
+      Off += N;
+      Frame F;
+      while (R.next(F))
+        Got.push_back(F);
+    }
+    ASSERT_FALSE(R.failed());
+    ASSERT_EQ(Got.size(), Want.size()) << "round " << Round;
+    for (size_t I = 0; I < Want.size(); ++I) {
+      EXPECT_EQ(Got[I].Type, Want[I].Type);
+      EXPECT_EQ(Got[I].RequestId, Want[I].RequestId);
+      EXPECT_EQ(Got[I].Payload, Want[I].Payload);
+    }
+  }
+}
+
+TEST(FrameReader, TornHeaderAndPayloadWait) {
+  std::vector<uint8_t> Stream =
+      encodeFrame(MessageType::Ping, 9, bytes({1, 2, 3, 4}));
+  ASSERT_EQ(Stream.size(), FrameHeaderBytes + 4);
+  FrameReader R;
+  // Half the header: no frame, no error.
+  R.feed(Stream.data(), FrameHeaderBytes / 2);
+  Frame F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_FALSE(R.failed());
+  // Header complete, payload torn: still waiting.
+  R.feed(Stream.data() + FrameHeaderBytes / 2,
+         FrameHeaderBytes - FrameHeaderBytes / 2 + 2);
+  EXPECT_FALSE(R.next(F));
+  EXPECT_FALSE(R.failed());
+  // The rest arrives.
+  R.feed(Stream.data() + FrameHeaderBytes + 2, 2);
+  ASSERT_TRUE(R.next(F));
+  EXPECT_EQ(F.RequestId, 9u);
+  EXPECT_EQ(F.Payload, bytes({1, 2, 3, 4}));
+  EXPECT_FALSE(R.next(F));
+}
+
+TEST(FrameReader, BadMagicLatches) {
+  std::vector<uint8_t> Stream = encodeFrame(MessageType::Ping, 1, {});
+  Stream[0] ^= 0xff;
+  FrameReader R;
+  R.feed(Stream.data(), Stream.size());
+  Frame F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_TRUE(R.failed());
+  EXPECT_EQ(R.error().Kind, NetErrorKind::BadMagic);
+  // Latched: even valid follow-up bytes never yield frames again.
+  std::vector<uint8_t> Good = encodeFrame(MessageType::Ping, 2, {});
+  R.feed(Good.data(), Good.size());
+  EXPECT_FALSE(R.next(F));
+  EXPECT_EQ(R.error().Kind, NetErrorKind::BadMagic);
+}
+
+// Header layout: u32 magic, u32 payload len, u8 type, u8 version, u16
+// reserved, u64 request id -- all little-endian.
+
+TEST(FrameReader, VersionSkew) {
+  std::vector<uint8_t> Stream = encodeFrame(MessageType::Ping, 1, {});
+  Stream[9] = ProtocolVersion + 1;
+  FrameReader R;
+  R.feed(Stream.data(), Stream.size());
+  Frame F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_EQ(R.error().Kind, NetErrorKind::VersionSkew);
+}
+
+TEST(FrameReader, BadType) {
+  std::vector<uint8_t> Stream = encodeFrame(MessageType::Ping, 1, {});
+  Stream[8] = static_cast<uint8_t>(NumMessageTypes);
+  FrameReader R;
+  R.feed(Stream.data(), Stream.size());
+  Frame F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_EQ(R.error().Kind, NetErrorKind::BadType);
+}
+
+TEST(FrameReader, OversizeDeclarationRejectedBeforeBuffering) {
+  std::vector<uint8_t> Stream = encodeFrame(MessageType::Ping, 1, {});
+  uint32_t Huge = MaxPayloadBytes + 1;
+  Stream[4] = static_cast<uint8_t>(Huge);
+  Stream[5] = static_cast<uint8_t>(Huge >> 8);
+  Stream[6] = static_cast<uint8_t>(Huge >> 16);
+  Stream[7] = static_cast<uint8_t>(Huge >> 24);
+  FrameReader R;
+  R.feed(Stream.data(), Stream.size());
+  Frame F;
+  EXPECT_FALSE(R.next(F));
+  EXPECT_EQ(R.error().Kind, NetErrorKind::Oversize);
+}
+
+//===--- EpollServer over real sockets ------------------------------------===//
+
+/// Echo handler: answers Ping with Pong carrying the same payload; any
+/// other type is echoed back verbatim.
+class EchoHandler : public EpollServer::Handler {
+public:
+  EpollServer *Net = nullptr;
+
+  void onFrame(uint64_t ConnId, Frame F) override {
+    MessageType T = F.Type == MessageType::Ping ? MessageType::Pong : F.Type;
+    Net->send(ConnId, T, F.RequestId, F.Payload);
+  }
+};
+
+struct EchoServer {
+  EchoHandler Handler;
+  EpollServer Net;
+  uint16_t Port = 0;
+  int ListenFd = -1;
+
+  explicit EchoServer(EpollServer::Config Cfg = {}) : Net(Cfg, Handler) {
+    Handler.Net = &Net;
+    std::string Err;
+    ListenFd = EpollServer::makeListenSocket(0, Port, Err);
+    EXPECT_GE(ListenFd, 0) << Err;
+    EXPECT_TRUE(Net.addListener(ListenFd, Err)) << Err;
+  }
+  ~EchoServer() {
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+  }
+};
+
+TEST(EpollServer, EchoAndPipelining) {
+  EchoServer S;
+  std::string Err;
+  auto Client = BlockingClient::connect(S.Port, Err);
+  ASSERT_TRUE(Client) << Err;
+
+  // Pipeline three pings before reading anything; responses come back in
+  // order with matching ids.
+  uint64_t Ids[3];
+  for (int I = 0; I < 3; ++I) {
+    Ids[I] = Client->nextRequestId();
+    ASSERT_TRUE(
+        Client->send(MessageType::Ping, Ids[I], bytes({I, I + 1, I + 2})));
+  }
+  for (int I = 0; I < 3; ++I) {
+    Frame F;
+    NetError NErr;
+    bool Got = false;
+    for (int Spin = 0; Spin < 5000 && !Got; ++Spin) {
+      S.Net.poll(1);
+      Got = Client->recv(F, NErr, 0.001);
+    }
+    ASSERT_TRUE(Got) << NErr.message();
+    EXPECT_EQ(F.Type, MessageType::Pong);
+    EXPECT_EQ(F.RequestId, Ids[I]);
+    EXPECT_EQ(F.Payload, bytes({I, I + 1, I + 2}));
+  }
+  EXPECT_EQ(S.Net.counters().FramesIn, 3u);
+  EXPECT_EQ(S.Net.counters().FramesOut, 3u);
+  EXPECT_EQ(S.Net.counters().ConnsAccepted, 1u);
+}
+
+TEST(EpollServer, LargeResponseFlushesAcrossPartialWrites) {
+  EchoServer S;
+  std::string Err;
+  auto Client = BlockingClient::connect(S.Port, Err);
+  ASSERT_TRUE(Client) << Err;
+
+  // 2 MB payload: far past any socket buffer, so both directions exercise
+  // buffering -- the client thread blocks through its send while the
+  // server parks the unwritten remainder and resumes under EPOLLOUT.
+  std::vector<uint8_t> Big(2u << 20);
+  Prng Rng(7);
+  for (auto &B : Big)
+    B = static_cast<uint8_t>(Rng.next());
+
+  std::atomic<bool> Done{false};
+  bool Ok = false;
+  Frame Reply;
+  NetError NErr;
+  std::thread ClientSide([&] {
+    Ok = Client->send(MessageType::Checkpoint, 77, Big) &&
+         Client->recv(Reply, NErr, 60.0);
+    Done = true;
+  });
+  while (!Done)
+    S.Net.poll(5);
+  ClientSide.join();
+
+  ASSERT_TRUE(Ok) << NErr.message();
+  EXPECT_EQ(Reply.Type, MessageType::Checkpoint);
+  EXPECT_EQ(Reply.RequestId, 77u);
+  EXPECT_EQ(Reply.Payload, Big);
+}
+
+TEST(EpollServer, RawJunkTearsDownConnectionAsProtocolError) {
+  EchoServer S;
+
+  // A raw socket speaking no protocol at all.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(S.Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  std::vector<uint8_t> Junk(64, 0xAB);
+  ASSERT_EQ(::write(Fd, Junk.data(), Junk.size()),
+            static_cast<ssize_t>(Junk.size()));
+
+  auto End = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (S.Net.counters().ProtocolErrors == 0 &&
+         std::chrono::steady_clock::now() < End)
+    S.Net.poll(10);
+  EXPECT_EQ(S.Net.counters().ProtocolErrors, 1u);
+  EXPECT_EQ(S.Net.numConnections(), 0u);
+  EXPECT_EQ(S.Net.counters().FramesIn, 0u);
+  ::close(Fd);
+}
+
+TEST(EpollServer, IdleTimeoutSweepsSilentConnections) {
+  EpollServer::Config Cfg;
+  Cfg.IdleTimeoutSeconds = 0.05;
+  EchoServer S(Cfg);
+  std::string Err;
+  auto Client = BlockingClient::connect(S.Port, Err);
+  ASSERT_TRUE(Client) << Err;
+
+  // Let the connection be accepted, then go silent past the timeout.
+  auto End = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (S.Net.counters().ConnsAccepted == 0 &&
+         std::chrono::steady_clock::now() < End)
+    S.Net.poll(10);
+  ASSERT_EQ(S.Net.numConnections(), 1u);
+  while (S.Net.numConnections() > 0 &&
+         std::chrono::steady_clock::now() < End)
+    S.Net.poll(10);
+  EXPECT_EQ(S.Net.numConnections(), 0u);
+  EXPECT_EQ(S.Net.counters().IdleClosed, 1u);
+}
+
+TEST(EpollServer, StaleConnIdNeverRoutes) {
+  EchoServer S;
+  std::string Err;
+  auto Client = BlockingClient::connect(S.Port, Err);
+  ASSERT_TRUE(Client) << Err;
+  auto End = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (S.Net.counters().ConnsAccepted == 0 &&
+         std::chrono::steady_clock::now() < End)
+    S.Net.poll(10);
+  ASSERT_EQ(S.Net.numConnections(), 1u);
+
+  Client.reset(); // Peer closes.
+  while (S.Net.numConnections() > 0 &&
+         std::chrono::steady_clock::now() < End)
+    S.Net.poll(10);
+
+  // Sending to the (now dead) id is a silent no-op, not UB or a crash --
+  // and a fresh connection must not receive it.
+  S.Net.send(1, MessageType::Pong, 1, {});
+  auto Fresh = BlockingClient::connect(S.Port, Err);
+  ASSERT_TRUE(Fresh) << Err;
+  for (int Spin = 0; Spin < 20; ++Spin)
+    S.Net.poll(1);
+  Frame F;
+  NetError NErr;
+  EXPECT_FALSE(Fresh->recv(F, NErr, 0.05));
+}
+
+} // namespace

@@ -1,0 +1,311 @@
+//===- tests/snapshot_merge_test.cpp - Profile snapshot merge laws --------===//
+///
+/// The algebra the fleet's aggregation tier depends on, pinned as laws:
+///
+///  - commutative: merging the same multiset of snapshots in any order is
+///    byte-identical (the aggregator folds shard checkpoints in whatever
+///    order the filesystem lists them);
+///  - idempotent: merging a snapshot with itself is the identity up to
+///    canonical ordering (shards double-report after a crashed round);
+///  - decay-epoch reconciliation: the merged epoch is the max input
+///    epoch, and per-node scalars reconcile toward the mature side;
+///  - traces dedup by structural fingerprint keeping the max donor
+///    history, and the donor-completion filter drops traces whose merged
+///    history already failed the retirement bar;
+///  - mismatched module fingerprints are a typed error, never a merge.
+///
+/// Laws are checked over hand-built synthetic snapshots (exact control of
+/// every field) plus real donor captures merged through the file-level
+/// entry point and reinstalled into a fresh session.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/Snapshot.h"
+#include "persist/SnapshotMerge.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace jtc;
+using namespace jtc::persist;
+
+namespace {
+
+/// Fresh per-test scratch directory under the system temp dir.
+std::filesystem::path scratchDir(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "jtc-merge-test" / Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+BcgNodeSnapshot makeNode(BlockId From, BlockId To, uint32_t StartDelayLeft,
+                         uint32_t SinceDecay, uint64_t Execs,
+                         std::vector<std::pair<BlockId, uint16_t>> Corrs) {
+  BcgNodeSnapshot N;
+  N.From = From;
+  N.To = To;
+  N.StartDelayLeft = StartDelayLeft;
+  N.SinceDecay = SinceDecay;
+  N.Execs = Execs;
+  N.Corrs = std::move(Corrs);
+  return N;
+}
+
+TraceCache::TraceSeed makeTrace(BlockId EntryFrom, std::vector<BlockId> Blocks,
+                                uint64_t Entered, uint64_t Completed,
+                                double ExpectedCompletion = 1.0) {
+  TraceCache::TraceSeed T;
+  T.EntryFrom = EntryFrom;
+  T.Blocks = std::move(Blocks);
+  T.ExpectedCompletion = ExpectedCompletion;
+  T.Entered = Entered;
+  T.Completed = Completed;
+  return T;
+}
+
+SnapshotData makeSnap(uint64_t Fingerprint, uint64_t DonorBlocks,
+                      std::vector<BcgNodeSnapshot> Nodes,
+                      std::vector<TraceCache::TraceSeed> Traces) {
+  SnapshotData S;
+  S.Fingerprint = Fingerprint;
+  S.DonorBlocks = DonorBlocks;
+  S.Seed.Nodes = std::move(Nodes);
+  S.Seed.Traces = std::move(Traces);
+  return S;
+}
+
+SnapshotData merged(const std::vector<SnapshotData> &Inputs,
+                    MergeReport *ReportOut = nullptr) {
+  SnapshotData Out;
+  MergeReport Report;
+  PersistError Err;
+  EXPECT_TRUE(mergeSnapshots(Inputs, TraceConfig(), Out, Report, Err))
+      << Err.message();
+  if (ReportOut)
+    *ReportOut = Report;
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Merge laws over synthetic snapshots
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotMerge, CommutativeByteIdentical) {
+  SnapshotData A = makeSnap(
+      42, 1000,
+      {makeNode(1, 2, 0, 5, 100, {{3, 40}, {4, 7}}),
+       makeNode(2, 3, 2, 0, 10, {{5, 9}})},
+      {makeTrace(1, {2, 3, 4}, 30, 29), makeTrace(5, {6}, 4, 4)});
+  SnapshotData B = makeSnap(
+      42, 800,
+      {makeNode(1, 2, 1, 9, 80, {{3, 55}, {7, 2}}),
+       makeNode(9, 10, 0, 1, 3, {{11, 1}})},
+      {makeTrace(1, {2, 3, 4}, 50, 48), makeTrace(8, {9, 10}, 2, 2)});
+
+  EXPECT_EQ(encodeSnapshot(merged({A, B})), encodeSnapshot(merged({B, A})));
+}
+
+TEST(SnapshotMerge, SelfMergeIsIdentityUpToCanonical) {
+  // Deliberately non-canonical input: nodes and corrs out of order.
+  SnapshotData A = makeSnap(
+      7, 500,
+      {makeNode(4, 5, 0, 0, 9, {{8, 3}, {6, 12}}),
+       makeNode(1, 2, 3, 4, 50, {{3, 20}})},
+      {makeTrace(4, {5, 6}, 10, 10), makeTrace(1, {2, 3}, 8, 8)});
+
+  MergeReport Report;
+  SnapshotData M = merged({A, A}, &Report);
+  EXPECT_EQ(encodeSnapshot(M), encodeSnapshot(canonicalSnapshot(A)));
+  EXPECT_EQ(Report.TracesDeduped, 2u); // Both traces folded once each.
+  EXPECT_EQ(Report.Nodes, 2u);
+  EXPECT_EQ(Report.Traces, 2u);
+}
+
+TEST(SnapshotMerge, MergeOfOneCanonicalizes) {
+  SnapshotData A = makeSnap(7, 500,
+                            {makeNode(4, 5, 0, 0, 9, {{8, 3}, {6, 12}}),
+                             makeNode(1, 2, 3, 4, 50, {{3, 20}})},
+                            {makeTrace(4, {5, 6}, 1, 1)});
+  EXPECT_EQ(encodeSnapshot(merged({A})),
+            encodeSnapshot(canonicalSnapshot(A)));
+  // Canonicalizing twice changes nothing.
+  EXPECT_EQ(encodeSnapshot(canonicalSnapshot(canonicalSnapshot(A))),
+            encodeSnapshot(canonicalSnapshot(A)));
+}
+
+TEST(SnapshotMerge, CountersMergeByElementWiseMax) {
+  SnapshotData A = makeSnap(1, 0, {makeNode(1, 2, 0, 0, 5, {{3, 40}, {4, 7}})},
+                            {});
+  SnapshotData B = makeSnap(1, 0, {makeNode(1, 2, 0, 0, 5, {{3, 15}, {9, 6}})},
+                            {});
+  SnapshotData M = merged({A, B});
+  ASSERT_EQ(M.Seed.Nodes.size(), 1u);
+  const BcgNodeSnapshot &N = M.Seed.Nodes[0];
+  // Union of targets, each at the max observed count, sorted by target.
+  ASSERT_EQ(N.Corrs.size(), 3u);
+  EXPECT_EQ(N.Corrs[0], (std::pair<BlockId, uint16_t>{3, 40}));
+  EXPECT_EQ(N.Corrs[1], (std::pair<BlockId, uint16_t>{4, 7}));
+  EXPECT_EQ(N.Corrs[2], (std::pair<BlockId, uint16_t>{9, 6}));
+
+  // Max never double-counts: merging B in again is a no-op.
+  EXPECT_EQ(encodeSnapshot(merged({A, B, B})), encodeSnapshot(M));
+}
+
+TEST(SnapshotMerge, DecayEpochReconciliation) {
+  // A is the younger capture (lower epoch, start delay still pending);
+  // B is more mature. The merge reconciles toward maturity.
+  SnapshotData A = makeSnap(1, 300, {makeNode(1, 2, 8, 2, 40, {{3, 1}})}, {});
+  SnapshotData B = makeSnap(1, 900, {makeNode(1, 2, 0, 6, 70, {{3, 2}})}, {});
+  MergeReport Report;
+  SnapshotData M = merged({A, B}, &Report);
+  EXPECT_EQ(M.DonorBlocks, 900u); // Max epoch wins.
+  EXPECT_EQ(Report.Epoch, 900u);
+  ASSERT_EQ(M.Seed.Nodes.size(), 1u);
+  EXPECT_EQ(M.Seed.Nodes[0].StartDelayLeft, 0u); // min
+  EXPECT_EQ(M.Seed.Nodes[0].SinceDecay, 6u);     // max
+  EXPECT_EQ(M.Seed.Nodes[0].Execs, 70u);         // max
+}
+
+TEST(SnapshotMerge, TraceDedupKeepsMaxHistory) {
+  SnapshotData A = makeSnap(1, 0, {}, {makeTrace(1, {2, 3}, 30, 29, 0.99)});
+  SnapshotData B = makeSnap(1, 0, {}, {makeTrace(1, {2, 3}, 50, 41, 0.98)});
+  MergeReport Report;
+  SnapshotData M = merged({A, B}, &Report);
+  ASSERT_EQ(M.Seed.Traces.size(), 1u);
+  EXPECT_EQ(M.Seed.Traces[0].Entered, 50u);
+  EXPECT_EQ(M.Seed.Traces[0].Completed, 41u);
+  EXPECT_EQ(Report.TracesDeduped, 1u);
+
+  // A different block sequence is a different trace, not a duplicate.
+  SnapshotData C = makeSnap(1, 0, {}, {makeTrace(1, {2, 4}, 5, 5)});
+  MergeReport R2;
+  SnapshotData M2 = merged({A, C}, &R2);
+  EXPECT_EQ(M2.Seed.Traces.size(), 2u);
+  EXPECT_EQ(R2.TracesDeduped, 0u);
+}
+
+TEST(SnapshotMerge, CompletionFilterDropsProvenRetirees) {
+  TraceConfig TC;
+  // Above the check threshold with completion far below bar: dropped.
+  TraceCache::TraceSeed Bad =
+      makeTrace(1, {2, 3}, TC.RetirementCheckEntries + 36, 50);
+  // Same poor rate but too few donor entries to judge: kept.
+  TraceCache::TraceSeed Young = makeTrace(4, {5}, 4, 2);
+  // Healthy history: kept.
+  TraceCache::TraceSeed Good = makeTrace(6, {7}, 200, 199);
+  EXPECT_FALSE(passesCompletionFilter(Bad, TC));
+  EXPECT_TRUE(passesCompletionFilter(Young, TC));
+  EXPECT_TRUE(passesCompletionFilter(Good, TC));
+
+  SnapshotData A = makeSnap(1, 0, {}, {Bad, Young, Good});
+  MergeReport Report;
+  SnapshotData M = merged({A}, &Report);
+  EXPECT_EQ(M.Seed.Traces.size(), 2u);
+  EXPECT_EQ(Report.TracesDroppedByCompletion, 1u);
+  for (const auto &T : M.Seed.Traces)
+    EXPECT_NE(T.EntryFrom, 1u);
+
+  // Dedup can push a trace over the bar: two observations of the same
+  // trace whose *combined* (max) history proves it a retiree.
+  SnapshotData H1 = makeSnap(1, 0, {},
+                             {makeTrace(9, {10}, TC.RetirementCheckEntries / 2,
+                                        TC.RetirementCheckEntries / 4)});
+  SnapshotData H2 = makeSnap(1, 0, {},
+                             {makeTrace(9, {10}, TC.RetirementCheckEntries * 2,
+                                        TC.RetirementCheckEntries / 2)});
+  MergeReport R2;
+  SnapshotData M2 = merged({H1, H2}, &R2);
+  EXPECT_EQ(M2.Seed.Traces.size(), 0u);
+  EXPECT_EQ(R2.TracesDroppedByCompletion, 1u);
+}
+
+TEST(SnapshotMerge, FingerprintMismatchIsTypedAndLeavesOutUntouched) {
+  SnapshotData A = makeSnap(1, 0, {makeNode(1, 2, 0, 0, 1, {})}, {});
+  SnapshotData B = makeSnap(2, 0, {}, {});
+  SnapshotData Out = makeSnap(99, 7, {}, {makeTrace(1, {2}, 1, 1)});
+  MergeReport Report;
+  PersistError Err;
+  EXPECT_FALSE(mergeSnapshots({A, B}, TraceConfig(), Out, Report, Err));
+  EXPECT_EQ(Err.Kind, PersistErrorKind::FingerprintMismatch);
+  EXPECT_EQ(Out.Fingerprint, 99u); // Untouched on failure.
+  EXPECT_EQ(Out.Seed.Traces.size(), 1u);
+}
+
+TEST(SnapshotMerge, NoInputsIsMalformed) {
+  SnapshotData Out;
+  MergeReport Report;
+  PersistError Err;
+  EXPECT_FALSE(mergeSnapshots({}, TraceConfig(), Out, Report, Err));
+  EXPECT_EQ(Err.Kind, PersistErrorKind::Malformed);
+}
+
+//===----------------------------------------------------------------------===//
+// Real donors through the file-level path
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotMerge, FileMergeOfRealDonorsReinstalls) {
+  // Two donor sessions over the same module; deterministic program, so
+  // their snapshots describe the same traces.
+  Module M1 = testprog::hotLoop(20000);
+  PreparedModule PM(M1);
+  TraceVM D1(PM, VmOptions());
+  TraceVM D2(PM, VmOptions());
+  ASSERT_EQ(D1.run().Status, RunStatus::Finished);
+  ASSERT_EQ(D2.run().Status, RunStatus::Finished);
+
+  std::filesystem::path Dir = scratchDir("file-merge");
+  std::string PA = (Dir / "a.jtcp").string();
+  std::string PB = (Dir / "b.jtcp").string();
+  std::string POut = (Dir / "merged.jtcp").string();
+  PersistError Err;
+  ASSERT_TRUE(saveSnapshotFile(captureSnapshot(D1), PA, Err));
+  ASSERT_TRUE(saveSnapshotFile(captureSnapshot(D2), PB, Err));
+
+  MergeReport Report;
+  ASSERT_TRUE(mergeSnapshotFiles({PA, PB}, POut, TraceConfig(), Report, Err))
+      << Err.message();
+  EXPECT_EQ(Report.Inputs, 2u);
+  EXPECT_GT(Report.Nodes, 0u);
+  EXPECT_GT(Report.Traces, 0u);
+
+  // The merged file loads into a fresh session through the strict
+  // pipeline and serves the donors' traces.
+  TraceVM Warm(PM, VmOptions());
+  LoadReport LR;
+  ASSERT_TRUE(loadProfile(Warm, POut, LR, Err)) << Err.message();
+  EXPECT_EQ(LR.Traces, Report.Traces);
+  ASSERT_EQ(Warm.run().Status, RunStatus::Finished);
+  EXPECT_GT(Warm.stats().TracesSeeded, 0u);
+  EXPECT_EQ(Warm.machine().output(), D1.machine().output());
+
+  // Re-merging the merged file with an original input is byte-stable:
+  // the aggregation tier can fold the same checkpoint forever.
+  std::string PAgain = (Dir / "again.jtcp").string();
+  ASSERT_TRUE(
+      mergeSnapshotFiles({POut, PA}, PAgain, TraceConfig(), Report, Err));
+  SnapshotData SOut, SAgain;
+  ASSERT_TRUE(loadSnapshotFile(POut, SOut, Err));
+  ASSERT_TRUE(loadSnapshotFile(PAgain, SAgain, Err));
+  EXPECT_EQ(encodeSnapshot(SAgain), encodeSnapshot(SOut));
+}
+
+TEST(SnapshotMerge, FileMergeMissingInputNamesThePath) {
+  std::filesystem::path Dir = scratchDir("missing-input");
+  std::string PA = (Dir / "a.jtcp").string();
+  PersistError Err;
+  ASSERT_TRUE(saveSnapshotFile(
+      makeSnap(1, 0, {makeNode(1, 2, 0, 0, 1, {})}, {}), PA, Err));
+  std::string Missing = (Dir / "nope.jtcp").string();
+  MergeReport Report;
+  EXPECT_FALSE(mergeSnapshotFiles({PA, Missing}, (Dir / "out.jtcp").string(),
+                                  TraceConfig(), Report, Err));
+  EXPECT_EQ(Err.Kind, PersistErrorKind::Io);
+  EXPECT_NE(Err.Detail.find("nope.jtcp"), std::string::npos);
+}

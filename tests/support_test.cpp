@@ -388,3 +388,64 @@ TEST(ArgParseTest, PositionalsCollectedOnlyWhenRequested) {
   EXPECT_EQ(Pos[0], "a.jasm");
   EXPECT_EQ(Pos[1], "b.jasm");
 }
+
+TEST(ArgParseTest, DurationSuffixes) {
+  double S = -1;
+  ArgParser P;
+  P.durationOpt("interval", &S);
+  // Bare numbers stay seconds, so pre-suffix spellings keep working.
+  EXPECT_TRUE(parseArgs(P, {"--interval=30"}));
+  EXPECT_DOUBLE_EQ(S, 30.0);
+  EXPECT_TRUE(parseArgs(P, {"--interval=250ms"}));
+  EXPECT_DOUBLE_EQ(S, 0.25);
+  EXPECT_TRUE(parseArgs(P, {"--interval=30s"}));
+  EXPECT_DOUBLE_EQ(S, 30.0);
+  EXPECT_TRUE(parseArgs(P, {"--interval=5m"}));
+  EXPECT_DOUBLE_EQ(S, 300.0);
+  EXPECT_TRUE(parseArgs(P, {"--interval=1.5h"}));
+  EXPECT_DOUBLE_EQ(S, 5400.0);
+  EXPECT_TRUE(parseArgs(P, {"--interval=0"}));
+  EXPECT_DOUBLE_EQ(S, 0.0);
+}
+
+TEST(ArgParseTest, DurationRejectsGarbage) {
+  double S = 0;
+  ArgParser P;
+  P.durationOpt("interval", &S);
+  EXPECT_FALSE(parseArgs(P, {"--interval=-5s"})); // Negative durations.
+  EXPECT_FALSE(parseArgs(P, {"--interval=5x"}));  // Unknown suffix.
+  EXPECT_FALSE(parseArgs(P, {"--interval=ms"}));  // No number.
+  EXPECT_FALSE(parseArgs(P, {"--interval="}));    // Empty value.
+  EXPECT_FALSE(parseArgs(P, {"--interval=5 s"})); // Inner whitespace.
+}
+
+TEST(ArgParseTest, SizeSuffixes) {
+  uint64_t N = 0;
+  ArgParser P;
+  P.sizeOpt("depth", &N);
+  EXPECT_TRUE(parseArgs(P, {"--depth=512"}));
+  EXPECT_EQ(N, 512u);
+  EXPECT_TRUE(parseArgs(P, {"--depth=64k"}));
+  EXPECT_EQ(N, 64u * 1024);
+  EXPECT_TRUE(parseArgs(P, {"--depth=64K"})); // Case-insensitive.
+  EXPECT_EQ(N, 64u * 1024);
+  EXPECT_TRUE(parseArgs(P, {"--depth=1M"}));
+  EXPECT_EQ(N, 1u << 20);
+  EXPECT_TRUE(parseArgs(P, {"--depth=2G"}));
+  EXPECT_EQ(N, 2ull << 30);
+}
+
+TEST(ArgParseTest, SizeRejectsGarbageAndOverflow) {
+  uint64_t N = 0;
+  ArgParser P;
+  P.sizeOpt("depth", &N);
+  EXPECT_FALSE(parseArgs(P, {"--depth=abc"}));
+  EXPECT_FALSE(parseArgs(P, {"--depth=1.5M"})); // Sizes are integral.
+  EXPECT_FALSE(parseArgs(P, {"--depth=-1k"}));
+  EXPECT_FALSE(parseArgs(P, {"--depth=k"}));
+  EXPECT_FALSE(parseArgs(P, {"--depth="}));
+  // 2^64 / 2^30 < 2^35: this scale overflows and must be rejected, not
+  // silently wrapped.
+  EXPECT_FALSE(parseArgs(P, {"--depth=99999999999999999999G"}));
+  EXPECT_FALSE(parseArgs(P, {"--depth=18446744073709551615G"}));
+}

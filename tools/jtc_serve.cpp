@@ -87,7 +87,7 @@ int usage() {
                "  --threshold=X --delay=N --decay=N --max-instr=N\n"
                "  --snapshot-min-blocks=N --no-warm --no-traces --no-profile\n"
                "  --save-profile=DIR --load-profile=DIR "
-               "--checkpoint-interval=SECONDS\n"
+               "--checkpoint-interval=DURATION (30s, 5m; bare = seconds)\n"
                "  --btrace-dir=DIR --btrace-sync-interval=N --btrace-keep=N\n"
                "  --validate=off|on|strict --backend=interp|jit|auto\n"
                "  --stats --json[=FILE]\n"
@@ -111,7 +111,7 @@ bool parseOptions(int Argc, char **Argv, Options &Opts) {
       .uintOpt("snapshot-min-blocks", &Opts.SnapshotMinBlocks)
       .strOpt("save-profile", &Opts.SaveProfileDir)
       .strOpt("load-profile", &Opts.LoadProfileDir)
-      .realOpt("checkpoint-interval", &Opts.CheckpointInterval)
+      .durationOpt("checkpoint-interval", &Opts.CheckpointInterval)
       .strOpt("btrace-dir", &Opts.BtraceDir)
       .u32Opt("btrace-sync-interval", &Opts.BtraceSyncInterval)
       .u32Opt("btrace-keep", &Opts.BtraceKeep)

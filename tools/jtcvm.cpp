@@ -7,6 +7,9 @@
 ///   jtcvm verify <program>            run the static verifier
 ///   jtcvm disasm <program>            print the decoded program
 ///   jtcvm emit <program>              print the program as .jasm text
+///   jtcvm --merge-profiles <out.jtcp> <in.jtcp>...
+///                                     merge profile snapshots (same
+///                                     module) into one fleet snapshot
 ///
 /// <program> is either a path to a .jasm file or "workload:<name>" for
 /// one of the built-in benchmarks (workload:compress etc.).
@@ -61,6 +64,7 @@
 #include "bytecode/Verifier.h"
 #include "interp/InstructionInterpreter.h"
 #include "persist/Snapshot.h"
+#include "persist/SnapshotMerge.h"
 #include "support/ArgParse.h"
 #include "support/Json.h"
 #include "support/TypedError.h"
@@ -499,9 +503,36 @@ int cmdInterp(const Options &Opts, const Module &M) {
   return reportEnd(R);
 }
 
+/// jtcvm --merge-profiles <out.jtcp> <in.jtcp>... -- the CLI face of the
+/// fleet aggregation tier's snapshot merge.
+int cmdMergeProfiles(int Argc, char **Argv) {
+  if (Argc < 4) {
+    std::cerr << "usage: jtcvm --merge-profiles <out.jtcp> <in.jtcp>...\n";
+    return 2;
+  }
+  std::string OutPath = Argv[2];
+  std::vector<std::string> InPaths(Argv + 3, Argv + Argc);
+  persist::MergeReport Report;
+  persist::PersistError Err;
+  if (!persist::mergeSnapshotFiles(InPaths, OutPath, TraceConfig(), Report,
+                                   Err)) {
+    std::cerr << "merge failed: " << Err.message() << "\n";
+    return 1;
+  }
+  std::cout << "merged " << Report.Inputs << " snapshots -> " << OutPath
+            << ": " << Report.Nodes << " nodes, " << Report.Traces
+            << " traces (" << Report.TracesDeduped << " deduped, "
+            << Report.TracesDroppedByCompletion
+            << " dropped by completion), epoch " << Report.Epoch << "\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "--merge-profiles") == 0)
+    return cmdMergeProfiles(Argc, Argv);
+
   Options Opts;
   if (!parseOptions(Argc, Argv, Opts))
     return usage();
